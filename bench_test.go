@@ -1,0 +1,190 @@
+package mfcp
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4), plus component micro-benchmarks. Each experiment benchmark runs the
+// corresponding harness at a reduced replicate budget so `go test -bench=.`
+// finishes interactively; cmd/mfcpbench runs the full-budget versions that
+// EXPERIMENTS.md records.
+
+import (
+	"testing"
+
+	"mfcp/internal/matching"
+	"mfcp/internal/rng"
+)
+
+// benchConfig is the reduced-budget experiment configuration shared by the
+// table/figure benchmarks.
+func benchConfig() ExperimentConfig {
+	return ExperimentConfig{
+		Replicates: 2, Rounds: 6, RoundSize: 5,
+		PoolSize: 60, FeatureDim: 12,
+		PretrainEpochs: 60, RegretEpochs: 16,
+		Hidden: []int{8},
+	}
+}
+
+// BenchmarkTable1Ablation regenerates Table 1 (the MFCP design ablation).
+func BenchmarkTable1Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Seed = uint64(i + 1)
+		if tbl := Table1(cfg); len(tbl.Rows) != 4 {
+			b.Fatal("ablation table malformed")
+		}
+	}
+}
+
+// BenchmarkFig4Overall regenerates Fig. 4 (overall comparison, settings
+// A/B/C × five methods × three metrics).
+func BenchmarkFig4Overall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Seed = uint64(i + 1)
+		if tables := Figure4(cfg); len(tables) != 3 {
+			b.Fatal("expected one table per setting")
+		}
+	}
+}
+
+// BenchmarkFig5Scaling regenerates Fig. 5 (regret/utilization vs round size).
+func BenchmarkFig5Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Seed = uint64(i + 1)
+		reg, util := Figure5(cfg, []int{5, 10})
+		if len(reg.Rows) != 5 || len(util.Rows) != 5 {
+			b.Fatal("scaling tables malformed")
+		}
+	}
+}
+
+// BenchmarkTable2Parallel regenerates Table 2 (parallel task execution).
+func BenchmarkTable2Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Seed = uint64(i + 1)
+		if tbl := Table2(cfg); len(tbl.Rows) != 4 {
+			b.Fatal("parallel table malformed")
+		}
+	}
+}
+
+// BenchmarkX1BetaSweep regenerates the Theorem 1 smoothing check.
+func BenchmarkX1BetaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Seed = uint64(i + 1)
+		if tbl := ExtensionTable(cfg, "X1"); len(tbl.Rows) == 0 {
+			b.Fatal("beta sweep empty")
+		}
+	}
+}
+
+// BenchmarkX3Convergence regenerates the Theorem 4/5 convergence check.
+func BenchmarkX3Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Seed = uint64(i + 1)
+		if tbl := ExtensionTable(cfg, "X3"); len(tbl.Rows) != 2 {
+			b.Fatal("convergence table malformed")
+		}
+	}
+}
+
+// --- Component benchmarks: the pieces the experiments are built from. ---
+
+// BenchmarkScenarioBuild measures full environment materialization
+// (task-graph generation, embedding, ground-truth + noisy profiling).
+func BenchmarkScenarioBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewScenario(ScenarioConfig{PoolSize: 120, Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatchRound measures one full matching solve (relax → round →
+// repair) on a 3×10 instance.
+func BenchmarkMatchRound(b *testing.B) {
+	s, err := NewScenario(ScenarioConfig{PoolSize: 40, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	round := s.SampleRound([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 10, s.Stream("bench"))
+	T, A := s.TrueMatrices(round)
+	var mc MatchConfig
+	mc.FillDefaults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if assign := Match(mc, T, A); len(assign) != 10 {
+			b.Fatal("bad assignment")
+		}
+	}
+}
+
+// BenchmarkExactMatch measures the branch-and-bound oracle on 3×10.
+func BenchmarkExactMatch(b *testing.B) {
+	s, err := NewScenario(ScenarioConfig{PoolSize: 40, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	round := s.SampleRound([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 10, s.Stream("bench"))
+	T, A := s.TrueMatrices(round)
+	var mc MatchConfig
+	mc.FillDefaults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactMatch(mc, T, A)
+	}
+}
+
+// BenchmarkMFCPTrainEpochAD measures one analytical-differentiation
+// training epoch (solve + KKT backward + predictor update), amortized.
+func BenchmarkMFCPTrainEpochAD(b *testing.B) {
+	s, err := NewScenario(ScenarioConfig{PoolSize: 60, FeatureDim: 12, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, _ := s.Split(0.75)
+	warm := PretrainPredictors(s, train, []int{8}, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(s, train, TrainerConfig{Kind: KindAD, Warm: warm, Epochs: 10, RoundSize: 5, ValRounds: -1})
+	}
+}
+
+// BenchmarkMFCPTrainEpochFG measures zeroth-order training epochs.
+func BenchmarkMFCPTrainEpochFG(b *testing.B) {
+	s, err := NewScenario(ScenarioConfig{PoolSize: 60, FeatureDim: 12, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, _ := s.Split(0.75)
+	warm := PretrainPredictors(s, train, []int{8}, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(s, train, TrainerConfig{Kind: KindFG, Warm: warm, Epochs: 10, RoundSize: 5, ValRounds: -1})
+	}
+}
+
+// BenchmarkRelaxedSolver measures the mirror-descent inner solver alone.
+func BenchmarkRelaxedSolver(b *testing.B) {
+	r := rng.New(1)
+	T := NewScenarioMatrix(r, 3, 25, 0.2, 3)
+	A := NewScenarioMatrix(r, 3, 25, 0.7, 0.99)
+	p := matching.NewProblem(T, A)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matching.SolveRelaxed(p, matching.SolveOptions{Iters: 200})
+	}
+}
+
+// NewScenarioMatrix builds a uniform random matrix for benchmarks.
+func NewScenarioMatrix(r *rng.Source, m, n int, lo, hi float64) *Matrix {
+	out := &Matrix{Rows: m, Cols: n, Data: make([]float64, m*n)}
+	for k := range out.Data {
+		out.Data[k] = r.Uniform(lo, hi)
+	}
+	return out
+}

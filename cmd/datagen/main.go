@@ -1,0 +1,96 @@
+// Command datagen materializes a synthetic scenario to CSV files for
+// inspection or use outside this repository: the task pool with graph
+// statistics, the feature matrix, and the measured/true performance
+// matrices per cluster.
+//
+// Usage:
+//
+//	datagen -out ./data -setting B -pool 200 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mfcp"
+	"mfcp/internal/workload"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "data", "output directory")
+		setting = flag.String("setting", "A", "cluster setting A|B|C")
+		pool    = flag.Int("pool", 160, "task pool size")
+		dim     = flag.Int("dim", 16, "feature dimension")
+		seed    = flag.Uint64("seed", 1, "scenario seed")
+	)
+	flag.Parse()
+
+	s, err := mfcp.NewScenario(workload.Config{
+		Setting:    mfcp.Setting(strings.ToUpper(*setting)),
+		PoolSize:   *pool,
+		FeatureDim: *dim,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	// tasks.csv — pool with graph statistics.
+	var b strings.Builder
+	b.WriteString("task,name,family,nodes,depth,batch,steps_per_epoch,epochs,dataset_mb,epoch_gflops\n")
+	for j, task := range s.Pool {
+		c := task.Cost()
+		fmt.Fprintf(&b, "%d,%s,%s,%d,%d,%d,%d,%d,%.1f,%.2f\n",
+			j, task.Name, task.Family, c.Nodes, c.Depth, task.BatchSize,
+			task.StepsPerEpoch, task.Epochs, task.DatasetMB, task.EpochFLOPs()/1e9)
+	}
+	write(*out, "tasks.csv", b.String())
+
+	// features.csv
+	b.Reset()
+	b.WriteString("task")
+	for d := 0; d < s.Features.Cols; d++ {
+		fmt.Fprintf(&b, ",f%d", d)
+	}
+	b.WriteByte('\n')
+	for j := 0; j < s.Features.Rows; j++ {
+		fmt.Fprintf(&b, "%d", j)
+		for _, v := range s.Features.Row(j) {
+			fmt.Fprintf(&b, ",%.6f", v)
+		}
+		b.WriteByte('\n')
+	}
+	write(*out, "features.csv", b.String())
+
+	// performance.csv — per (cluster, task): measured and true labels.
+	b.Reset()
+	b.WriteString("cluster,cluster_name,task,true_time_norm,meas_time_norm,true_reliability,meas_reliability\n")
+	for i, p := range s.Fleet {
+		for j := range s.Pool {
+			fmt.Fprintf(&b, "%d,%s,%d,%.6f,%.6f,%.4f,%.4f\n",
+				i, p.Name, j, s.TrueT.At(i, j), s.MeasT.At(i, j), s.TrueA.At(i, j), s.MeasA.At(i, j))
+		}
+	}
+	write(*out, "performance.csv", b.String())
+
+	fmt.Printf("wrote %s/{tasks,features,performance}.csv  (setting %s, %d tasks × %d clusters, time scale %.1fs)\n",
+		*out, strings.ToUpper(*setting), len(s.Pool), s.M(), s.TimeScale)
+}
+
+func write(dir, name, content string) {
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command mfcpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mfcpbench -exp all                    # every table and figure
+//	mfcpbench -exp fig4 -replicates 10    # overall comparison, more reps
+//	mfcpbench -exp table2 -csv            # parallel setting, CSV output
+//
+// Experiments: table1, fig4, fig5, table2, beta (X1), zo (X2), conv (X3),
+// lambda (X4), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mfcp"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: table1|fig4|fig5|table2|beta|zo|conv|lambda|routes|samples|noise|gamma|drift|solvers|embed|all")
+		replicates = flag.Int("replicates", 0, "independent repetitions per cell (0 = default)")
+		rounds     = flag.Int("rounds", 0, "evaluation rounds per replicate (0 = default)")
+		roundSize  = flag.Int("n", 0, "tasks per round (0 = default 5)")
+		seed       = flag.Uint64("seed", 0, "base seed (0 = default 1)")
+		setting    = flag.String("setting", "A", "cluster setting for single-setting experiments: A|B|C")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plotOut    = flag.Bool("plot", false, "also render ASCII charts for fig4 and fig5")
+	)
+	flag.Parse()
+
+	cfg := mfcp.ExperimentConfig{
+		Replicates: *replicates,
+		Rounds:     *rounds,
+		RoundSize:  *roundSize,
+		Seed:       *seed,
+		Setting:    mfcp.Setting(strings.ToUpper(*setting)),
+	}
+
+	emit := func(t *mfcp.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "table1":
+			emit(mfcp.Table1(cfg))
+		case "fig4":
+			for _, t := range mfcp.Figure4(cfg) {
+				emit(t)
+			}
+			if *plotOut {
+				for _, set := range []string{"A", "B", "C"} {
+					c := cfg
+					c.Setting = mfcp.Setting(set)
+					results := mfcp.CompareMethods(c, true)
+					fmt.Println(mfcp.RegretChart("Fig. 4 setting "+set, results))
+					fmt.Println(mfcp.UtilizationChart("Fig. 4 setting "+set, results))
+				}
+			}
+		case "fig5":
+			reg, util := mfcp.Figure5(cfg, nil)
+			emit(reg)
+			emit(util)
+			if *plotOut {
+				regChart, utilChart := mfcp.Figure5Charts(cfg, nil)
+				fmt.Println(regChart)
+				fmt.Println(utilChart)
+			}
+		case "table2":
+			emit(mfcp.Table2(cfg))
+		case "beta", "zo", "conv", "lambda", "routes", "samples", "noise", "gamma", "drift", "solvers", "embed":
+			key := map[string]string{
+				"beta": "X1", "zo": "X2", "conv": "X3", "lambda": "X4",
+				"routes": "X5", "samples": "X6", "noise": "X7", "gamma": "X8", "drift": "X9", "solvers": "X10", "embed": "X11",
+			}[name]
+			emit(mfcp.ExtensionTable(cfg, key))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig4", "fig5", "table2", "beta", "zo", "conv", "lambda", "routes", "samples", "noise", "gamma", "drift", "solvers", "embed"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

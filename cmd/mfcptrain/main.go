@@ -1,0 +1,97 @@
+// Command mfcptrain trains one prediction method on a generated scenario
+// and reports its test metrics and (for MFCP) the training-regret curve.
+//
+// Usage:
+//
+//	mfcptrain -method mfcp-ad -setting A -seed 42
+//	mfcptrain -method tsm -pool 200 -rounds 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mfcp"
+	"mfcp/internal/core"
+	"mfcp/internal/experiments"
+	"mfcp/internal/workload"
+)
+
+func main() {
+	var (
+		method    = flag.String("method", "mfcp-fg", "tam|tsm|ucb|mfcp-ad|mfcp-fg")
+		setting   = flag.String("setting", "A", "cluster setting A|B|C")
+		seed      = flag.Uint64("seed", 1, "scenario seed")
+		pool      = flag.Int("pool", 120, "task pool size")
+		rounds    = flag.Int("rounds", 30, "evaluation rounds")
+		roundSize = flag.Int("n", 5, "tasks per round")
+		pretrain  = flag.Int("pretrain", 200, "MSE pretrain epochs")
+		regret    = flag.Int("epochs", 120, "end-to-end regret epochs (MFCP only)")
+		parallel  = flag.Bool("parallel", false, "parallel task execution setting (§3.4)")
+		history   = flag.Bool("history", false, "print the MFCP training-regret curve")
+	)
+	flag.Parse()
+
+	s, err := mfcp.NewScenario(workload.Config{
+		Setting:  mfcp.Setting(strings.ToUpper(*setting)),
+		PoolSize: *pool,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	train, test := s.Split(0.75)
+
+	var mc core.MatchConfig
+	mc.FillDefaults()
+	if *parallel {
+		for _, p := range s.Fleet {
+			mc.Speedups = append(mc.Speedups, p.Speedup)
+		}
+	}
+
+	var m mfcp.Method
+	var tr *mfcp.Trainer
+	switch *method {
+	case "tam":
+		m = mfcp.NewTAM(s, train)
+	case "tsm":
+		m = mfcp.NewTSM(s, train, []int{16}, *pretrain)
+	case "ucb":
+		m = mfcp.NewUCB(s, train)
+	case "mfcp-ad", "mfcp-fg":
+		kind := mfcp.KindAD
+		if *method == "mfcp-fg" {
+			kind = mfcp.KindFG
+		}
+		tr = mfcp.Train(s, train, core.Config{
+			Kind: kind, PretrainEpochs: *pretrain, Epochs: *regret,
+			RoundSize: *roundSize, Match: mc,
+		})
+		m = tr
+	default:
+		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	agg := experiments.EvaluateMethod(s, m, test, mc, *rounds, *roundSize, s.Stream("cli-eval"))
+	fmt.Printf("method=%s setting=%s seed=%d pool=%d N=%d rounds=%d\n",
+		m.Name(), strings.ToUpper(*setting), *seed, *pool, *roundSize, *rounds)
+	fmt.Printf("  regret       %.4f\n", agg.Regret)
+	fmt.Printf("  reliability  %.4f\n", agg.Reliability)
+	fmt.Printf("  utilization  %.4f\n", agg.Utilization)
+	fmt.Printf("  makespan     %.4f (normalized; ×%.1fs wall clock)\n", agg.Makespan, s.TimeScale)
+	fmt.Printf("  feasible     %.0f%%\n", 100*agg.FeasibleFrac)
+	if tr != nil {
+		fmt.Printf("  val regret   %.4f  (skipped epochs: %d)\n", tr.ValRegret, tr.SkippedEpochs)
+		if *history {
+			fmt.Println("  training-regret history:")
+			for i, h := range tr.History {
+				fmt.Printf("    epoch %3d  %.4f\n", i, h)
+			}
+		}
+	}
+}

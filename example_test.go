@@ -1,0 +1,71 @@
+package mfcp_test
+
+import (
+	"fmt"
+
+	"mfcp"
+)
+
+// ExampleMatch assigns three tasks to two clusters: cluster 0 is fast but
+// the makespan objective forces spreading, and the reliability constraint
+// is satisfiable either way.
+func ExampleMatch() {
+	T := &mfcp.Matrix{Rows: 2, Cols: 3, Data: []float64{
+		1.0, 1.0, 1.0, // cluster 0: fast for every task
+		2.0, 2.0, 2.0, // cluster 1: uniformly slower
+	}}
+	A := &mfcp.Matrix{Rows: 2, Cols: 3, Data: []float64{
+		0.95, 0.95, 0.95,
+		0.90, 0.90, 0.90,
+	}}
+	var mc mfcp.MatchConfig // paper defaults: γ=0.8, β=10, λ=0.05
+	assign := mfcp.Match(mc, T, A)
+
+	// Balancing the makespan, two tasks go to the fast cluster and one to
+	// the slow one (loads 2.0 vs 2.0) rather than all three to cluster 0
+	// (load 3.0).
+	counts := make([]int, 2)
+	for _, cl := range assign {
+		counts[cl]++
+	}
+	fmt.Println("fast cluster tasks:", counts[0])
+	fmt.Println("slow cluster tasks:", counts[1])
+	// Output:
+	// fast cluster tasks: 2
+	// slow cluster tasks: 1
+}
+
+// ExampleExactMatch solves a small instance to optimality: the unreliable
+// fast cluster is ruled out by the reliability threshold.
+func ExampleExactMatch() {
+	T := &mfcp.Matrix{Rows: 2, Cols: 1, Data: []float64{
+		1.0, // cluster 0: fast...
+		5.0, // cluster 1: slow...
+	}}
+	A := &mfcp.Matrix{Rows: 2, Cols: 1, Data: []float64{
+		0.50, // ...but a coin flip
+		0.99, // ...but dependable
+	}}
+	mc := mfcp.MatchConfig{Gamma: 0.9}
+	assign, cost, feasible := mfcp.ExactMatch(mc, T, A)
+	fmt.Printf("assign=%v cost=%.1f feasible=%v\n", assign, cost, feasible)
+	// Output:
+	// assign=[1] cost=5.0 feasible=true
+}
+
+// ExampleNewScenario shows the simulated-environment entry point.
+func ExampleNewScenario() {
+	s, err := mfcp.NewScenario(mfcp.ScenarioConfig{
+		Setting:  mfcp.SettingA,
+		PoolSize: 24,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", s.M())
+	fmt.Println("tasks:", s.PoolLen())
+	// Output:
+	// clusters: 3
+	// tasks: 24
+}

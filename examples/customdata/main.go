@@ -1,0 +1,99 @@
+// Custom-data example: using the library on YOUR OWN measurements instead
+// of the built-in simulator.
+//
+// An operator with real profiling data prepares two CSV files (the same
+// layout cmd/datagen emits):
+//
+//	features.csv     task,f0,f1,...          one row per task
+//	performance.csv  cluster,cluster_name,task,...,meas_time_norm,...,meas_reliability
+//
+// loads them as a Scenario, trains predictors, and matches incoming
+// rounds. Here we fabricate the CSVs with cmd/datagen's writer equivalent
+// (in-memory), then run the full external-data flow.
+//
+//	go run ./examples/customdata
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mfcp"
+)
+
+func main() {
+	// Stand-in for "your measurements": export a simulated scenario to CSV.
+	// With real data you would skip this step and write the files yourself.
+	dir, err := os.MkdirTemp("", "mfcp-customdata")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	writeDemoCSVs(dir)
+
+	// 1. Load the dataset. No simulator stands behind it: the measured
+	//    matrices are all the platform knows.
+	scenario, err := mfcp.LoadScenarioCSV(dir, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("loaded external dataset: %d clusters × %d tasks, time unit ≈ %.0fs\n",
+		scenario.M(), scenario.PoolLen(), scenario.TimeScale)
+
+	// 2. Train exactly as with simulated scenarios.
+	train, test := scenario.Split(0.75)
+	shared := mfcp.PretrainPredictors(scenario, train, []int{16}, 200)
+	trainer := mfcp.Train(scenario, train, mfcp.TrainerConfig{
+		Kind: mfcp.KindFG, Warm: shared, Epochs: 120,
+	})
+
+	// 3. Match a round and evaluate against the best available knowledge
+	//    (for external data, the measurements themselves).
+	round := scenario.SampleRound(test, 5, scenario.Stream("demo"))
+	That, Ahat := trainer.Predict(round)
+	var mc mfcp.MatchConfig
+	assign := mfcp.Match(mc, That, Ahat)
+	ev := mfcp.Evaluate(scenario, mc, round, assign)
+	fmt.Printf("matched %d tasks: regret=%.4f reliability=%.3f utilization=%.3f\n",
+		len(round), ev.Regret, ev.Reliability, ev.Utilization)
+	for k, j := range round {
+		fmt.Printf("  task %3d -> cluster %d\n", j, assign[k])
+	}
+}
+
+// writeDemoCSVs exports a small simulated scenario in datagen's layout.
+func writeDemoCSVs(dir string) {
+	src, err := mfcp.NewScenario(mfcp.ScenarioConfig{PoolSize: 80, FeatureDim: 12, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	var f, p []byte
+	f = append(f, []byte("task")...)
+	for d := 0; d < src.Features.Cols; d++ {
+		f = append(f, []byte(fmt.Sprintf(",f%d", d))...)
+	}
+	f = append(f, '\n')
+	for j := 0; j < src.Features.Rows; j++ {
+		f = append(f, []byte(fmt.Sprintf("%d", j))...)
+		for _, v := range src.Features.Row(j) {
+			f = append(f, []byte(fmt.Sprintf(",%.6f", v))...)
+		}
+		f = append(f, '\n')
+	}
+	p = append(p, []byte("cluster,cluster_name,task,true_time_norm,meas_time_norm,true_reliability,meas_reliability\n")...)
+	for i, prof := range src.Fleet {
+		for j := 0; j < src.PoolLen(); j++ {
+			p = append(p, []byte(fmt.Sprintf("%d,%s,%d,%.6f,%.6f,%.4f,%.4f\n",
+				i, prof.Name, j, src.TrueT.At(i, j), src.MeasT.At(i, j), src.TrueA.At(i, j), src.MeasA.At(i, j)))...)
+		}
+	}
+	must(os.WriteFile(filepath.Join(dir, "features.csv"), f, 0o644))
+	must(os.WriteFile(filepath.Join(dir, "performance.csv"), p, 0o644))
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module mfcp
+
+go 1.22

@@ -1,0 +1,187 @@
+// Package baselines implements the paper's comparison methods (§4.1.2):
+//
+//   - TAM (Task-Agnostic Matching): ignores task variation, predicting each
+//     cluster's training-set average time and reliability for every task.
+//   - TSM (Two-Stage Method): cluster-specific MSE-trained predictors,
+//     then matching on the predictions — the conventional
+//     predict-then-optimize pipeline MFCP argues against.
+//   - UCB: bootstrap-ensemble predictors whose confidence bounds enter the
+//     matcher optimistically, making the matching robust to prediction
+//     error without modeling the downstream objective.
+//
+// Every method exposes Name and Predict(round) → (T̂, Â); the experiment
+// harness feeds all methods through the identical matching pipeline so
+// differences in the tables are attributable to prediction quality alone.
+package baselines
+
+import (
+	"mfcp/internal/core"
+	"mfcp/internal/mat"
+	"mfcp/internal/nn"
+	"mfcp/internal/parallel"
+	"mfcp/internal/workload"
+)
+
+// TAM predicts per-cluster constants: the mean measured time and
+// reliability over the training tasks.
+type TAM struct {
+	s    *workload.Scenario
+	tAvg mat.Vec
+	aAvg mat.Vec
+}
+
+// NewTAM fits the task-agnostic baseline.
+func NewTAM(s *workload.Scenario, train []int) *TAM {
+	m := s.M()
+	b := &TAM{s: s, tAvg: mat.NewVec(m), aAvg: mat.NewVec(m)}
+	for i := 0; i < m; i++ {
+		tv, av := s.LabelVectors(i, train)
+		b.tAvg[i] = tv.Sum() / float64(len(tv))
+		b.aAvg[i] = av.Sum() / float64(len(av))
+	}
+	return b
+}
+
+// Name implements the method interface.
+func (b *TAM) Name() string { return "TAM" }
+
+// Predict returns constant rows regardless of the round's tasks.
+func (b *TAM) Predict(round []int) (T, A *mat.Dense) {
+	m, n := b.s.M(), len(round)
+	T = mat.NewDense(m, n)
+	A = mat.NewDense(m, n)
+	for i := 0; i < m; i++ {
+		T.Row(i).Fill(b.tAvg[i])
+		A.Row(i).Fill(b.aAvg[i])
+	}
+	return T, A
+}
+
+// TSM is the two-stage method: per-cluster MSE-trained predictors
+// (equation 1) feeding the matcher.
+type TSM struct {
+	s   *workload.Scenario
+	set *core.PredictorSet
+}
+
+// NewTSM trains the two-stage baseline. hidden and epochs match the MFCP
+// pretrain so the comparison isolates the training objective.
+func NewTSM(s *workload.Scenario, train []int, hidden []int, epochs int) *TSM {
+	stream := s.Stream("tsm")
+	set := core.NewPredictorSet(s.M(), s.Features.Cols, hidden, stream.Split("init"))
+	core.PretrainMSE(set, s, train, epochs, stream.Split("train"))
+	return &TSM{s: s, set: set}
+}
+
+// NewTSMFromSet wraps an already-trained predictor set as the two-stage
+// baseline. The experiment harness uses this to hand TSM and the MFCP
+// variants the identical MSE warm start, pairing the comparison.
+func NewTSMFromSet(s *workload.Scenario, set *core.PredictorSet) *TSM {
+	return &TSM{s: s, set: set}
+}
+
+// Name implements the method interface.
+func (b *TSM) Name() string { return "TSM" }
+
+// PredictorSet exposes the underlying predictors, e.g. for the platform's
+// online refitting.
+func (b *TSM) PredictorSet() *core.PredictorSet { return b.set }
+
+// Predict implements the method interface.
+func (b *TSM) Predict(round []int) (T, A *mat.Dense) {
+	return b.set.Predict(b.s.FeaturesOf(round))
+}
+
+// UCB holds bootstrap ensembles per cluster and predicts optimistic
+// confidence bounds: t̂ − α·σ_t (a fast cluster is given the benefit of the
+// doubt) and â + α·σ_a.
+type UCB struct {
+	s     *workload.Scenario
+	tEns  []*nn.Ensemble
+	aEns  []*nn.Ensemble
+	Alpha float64
+}
+
+// UCBConfig parameterizes the UCB baseline.
+type UCBConfig struct {
+	Hidden  []int
+	Epochs  int
+	Members int     // ensemble size (default 5)
+	Alpha   float64 // confidence multiplier (default 1)
+}
+
+// NewUCB trains the UCB baseline.
+func NewUCB(s *workload.Scenario, train []int, cfg UCBConfig) *UCB {
+	if cfg.Members == 0 {
+		cfg.Members = 5
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1
+	}
+	if cfg.Hidden == nil {
+		cfg.Hidden = []int{16}
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 200
+	}
+	stream := s.Stream("ucb")
+	Z := s.FeaturesOf(train)
+	m := s.M()
+	b := &UCB{s: s, tEns: make([]*nn.Ensemble, m), aEns: make([]*nn.Ensemble, m), Alpha: cfg.Alpha}
+	dims := append([]int{s.Features.Cols}, cfg.Hidden...)
+	dims = append(dims, 1)
+	trainCfg := nn.TrainMSEConfig{Epochs: cfg.Epochs, BatchSize: 16}
+	parallel.ForChunked(2*m, 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i := k / 2
+			tv, av := s.LabelVectors(i, train)
+			if k%2 == 0 {
+				b.tEns[i] = nn.TrainEnsemble(cfg.Members, dims, nn.ReLU, nn.Softplus, Z, tv, trainCfg, stream.SplitIndexed("time", i))
+			} else {
+				b.aEns[i] = nn.TrainEnsemble(cfg.Members, dims, nn.ReLU, nn.Sigmoid, Z, av, trainCfg, stream.SplitIndexed("rel", i))
+			}
+		}
+	})
+	return b
+}
+
+// Name implements the method interface.
+func (b *UCB) Name() string { return "UCB" }
+
+// Predict returns the optimistic confidence-bound matrices.
+func (b *UCB) Predict(round []int) (T, A *mat.Dense) {
+	Z := b.s.FeaturesOf(round)
+	m, n := b.s.M(), len(round)
+	T = mat.NewDense(m, n)
+	A = mat.NewDense(m, n)
+	for i := 0; i < m; i++ {
+		tMean, tStd := b.tEns[i].Predict(Z)
+		aMean, aStd := b.aEns[i].Predict(Z)
+		for j := 0; j < n; j++ {
+			tv := tMean[j] - b.Alpha*tStd[j]
+			if tv < 1e-4 {
+				tv = 1e-4
+			}
+			av := aMean[j] + b.Alpha*aStd[j]
+			if av > 0.999 {
+				av = 0.999
+			}
+			T.Set(i, j, tv)
+			A.Set(i, j, av)
+		}
+	}
+	return T, A
+}
+
+// Oracle predicts the hidden ground truth exactly — an upper bound used by
+// diagnostics and examples (not a paper baseline).
+type Oracle struct{ s *workload.Scenario }
+
+// NewOracle returns the ground-truth method.
+func NewOracle(s *workload.Scenario) *Oracle { return &Oracle{s: s} }
+
+// Name implements the method interface.
+func (b *Oracle) Name() string { return "Oracle" }
+
+// Predict returns the true matrices.
+func (b *Oracle) Predict(round []int) (T, A *mat.Dense) { return b.s.TrueMatrices(round) }

@@ -1,0 +1,123 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/workload"
+)
+
+func testScenario(seed uint64) *workload.Scenario {
+	return workload.MustNew(workload.Config{
+		Setting: cluster.SettingA, PoolSize: 60, FeatureDim: 12, Seed: seed,
+	})
+}
+
+func TestTAMConstantPredictions(t *testing.T) {
+	s := testScenario(1)
+	train, test := s.Split(0.75)
+	tam := NewTAM(s, train)
+	if tam.Name() != "TAM" {
+		t.Fatal("name")
+	}
+	round := test[:5]
+	T, A := tam.Predict(round)
+	for i := 0; i < s.M(); i++ {
+		for j := 1; j < 5; j++ {
+			if T.At(i, j) != T.At(i, 0) || A.At(i, j) != A.At(i, 0) {
+				t.Fatal("TAM predictions vary by task")
+			}
+		}
+	}
+	// The constants are the training means.
+	tv, _ := s.LabelVectors(0, train)
+	want := tv.Sum() / float64(len(tv))
+	if math.Abs(T.At(0, 0)-want) > 1e-12 {
+		t.Fatalf("TAM mean %v want %v", T.At(0, 0), want)
+	}
+}
+
+func TestTSMBeatsTAMOnPredictionError(t *testing.T) {
+	s := testScenario(2)
+	train, test := s.Split(0.75)
+	tam := NewTAM(s, train)
+	tsm := NewTSM(s, train, []int{16}, 200)
+	if tsm.Name() != "TSM" {
+		t.Fatal("name")
+	}
+	round := test
+	trueT, _ := s.TrueMatrices(round)
+	mseOf := func(T interface{ At(int, int) float64 }) float64 {
+		sum := 0.0
+		for i := 0; i < s.M(); i++ {
+			for j := range round {
+				d := T.At(i, j) - trueT.At(i, j)
+				sum += d * d
+			}
+		}
+		return sum
+	}
+	Ttam, _ := tam.Predict(round)
+	Ttsm, _ := tsm.Predict(round)
+	if mseOf(Ttsm) >= mseOf(Ttam) {
+		t.Fatalf("TSM prediction error %v not better than TAM %v", mseOf(Ttsm), mseOf(Ttam))
+	}
+}
+
+func TestUCBPredictionsOptimistic(t *testing.T) {
+	s := testScenario(3)
+	train, test := s.Split(0.75)
+	ucb := NewUCB(s, train, UCBConfig{Members: 3, Epochs: 80})
+	if ucb.Name() != "UCB" {
+		t.Fatal("name")
+	}
+	round := test[:6]
+	T, A := ucb.Predict(round)
+	for k := range T.Data {
+		if T.Data[k] < 1e-4 || math.IsNaN(T.Data[k]) {
+			t.Fatalf("UCB time %v out of range", T.Data[k])
+		}
+		if A.Data[k] <= 0 || A.Data[k] > 0.999 {
+			t.Fatalf("UCB reliability %v out of range", A.Data[k])
+		}
+	}
+	// More optimism (larger alpha) ⇒ weakly smaller times, larger reliabilities.
+	ucb.Alpha = 3
+	T3, A3 := ucb.Predict(round)
+	for k := range T.Data {
+		if T3.Data[k] > T.Data[k]+1e-12 {
+			t.Fatal("larger alpha increased a predicted time")
+		}
+		if A3.Data[k] < A.Data[k]-1e-12 {
+			t.Fatal("larger alpha decreased a predicted reliability")
+		}
+	}
+}
+
+func TestOraclePredictsTruth(t *testing.T) {
+	s := testScenario(4)
+	o := NewOracle(s)
+	round := []int{3, 7, 11}
+	T, A := o.Predict(round)
+	wantT, wantA := s.TrueMatrices(round)
+	if !T.Equal(wantT, 0) || !A.Equal(wantA, 0) {
+		t.Fatal("oracle does not return ground truth")
+	}
+	if o.Name() != "Oracle" {
+		t.Fatal("name")
+	}
+}
+
+func TestBaselinesDeterministic(t *testing.T) {
+	build := func() float64 {
+		s := testScenario(5)
+		train, test := s.Split(0.75)
+		tsm := NewTSM(s, train, []int{8}, 60)
+		T, _ := tsm.Predict(test[:4])
+		return T.At(0, 0) + T.At(2, 3)
+	}
+	if build() != build() {
+		t.Fatal("TSM training not deterministic")
+	}
+}

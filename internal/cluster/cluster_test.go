@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mfcp/internal/rng"
+	"mfcp/internal/taskgraph"
+)
+
+func TestInventoryValid(t *testing.T) {
+	inv := Inventory()
+	if len(inv) < 9 {
+		t.Fatalf("inventory has %d profiles", len(inv))
+	}
+	names := map[string]bool{}
+	for _, p := range inv {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if names[p.Name] {
+			t.Fatalf("duplicate profile name %q", p.Name)
+		}
+		names[p.Name] = true
+	}
+}
+
+func TestFleetSettings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range []Setting{SettingA, SettingB, SettingC} {
+		fleet, err := Fleet(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fleet) != 3 {
+			t.Fatalf("setting %s fleet size %d", s, len(fleet))
+		}
+		for _, p := range fleet {
+			if p == nil {
+				t.Fatalf("setting %s has nil profile", s)
+			}
+			if seen[p.Name] {
+				t.Fatalf("profile %q reused across settings", p.Name)
+			}
+			seen[p.Name] = true
+		}
+	}
+	if _, err := Fleet("Z"); err == nil {
+		t.Fatal("unknown setting accepted")
+	}
+}
+
+func TestTrueTimePositiveAndDeterministic(t *testing.T) {
+	r := rng.New(1)
+	tasks := taskgraph.GenerateMix(20, nil, r)
+	for _, p := range Inventory() {
+		for _, task := range tasks {
+			t1 := p.TrueTime(task)
+			t2 := p.TrueTime(task)
+			if t1 <= 0 || math.IsNaN(t1) || math.IsInf(t1, 0) {
+				t.Fatalf("%s/%s time=%v", p.Name, task.Name, t1)
+			}
+			if t1 != t2 {
+				t.Fatalf("TrueTime not deterministic")
+			}
+		}
+	}
+}
+
+func TestTrueTimeMonotoneInWork(t *testing.T) {
+	// More steps on the same graph must take longer.
+	r := rng.New(2)
+	task := taskgraph.Generate(taskgraph.FamilyCNN, r)
+	p := Inventory()[0]
+	t1 := p.TrueTime(task)
+	task2 := *task
+	task2.StepsPerEpoch *= 2
+	if p.TrueTime(&task2) <= t1 {
+		t.Fatal("doubling steps did not increase time")
+	}
+}
+
+func TestHeterogeneityCreatesPreferenceStructure(t *testing.T) {
+	// Core premise of the paper: cluster orderings differ by task. Find two
+	// tasks and two clusters with opposite orderings.
+	r := rng.New(3)
+	fleet := MustFleet(SettingA)
+	tasks := taskgraph.GenerateMix(60, nil, r)
+	found := false
+	for i := 0; i < len(tasks) && !found; i++ {
+		for j := i + 1; j < len(tasks) && !found; j++ {
+			for a := 0; a < len(fleet) && !found; a++ {
+				for b := a + 1; b < len(fleet); b++ {
+					d1 := fleet[a].TrueTime(tasks[i]) - fleet[b].TrueTime(tasks[i])
+					d2 := fleet[a].TrueTime(tasks[j]) - fleet[b].TrueTime(tasks[j])
+					if d1*d2 < 0 {
+						found = true
+						break
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no preference reversal across 60 tasks — fleet not heterogeneous enough")
+	}
+}
+
+func TestReliabilityRangeAndDecay(t *testing.T) {
+	r := rng.New(4)
+	for _, p := range Inventory() {
+		for i := 0; i < 20; i++ {
+			task := taskgraph.Generate(taskgraph.Family(i%taskgraph.NumFamilies), r)
+			a := p.TrueReliability(task)
+			if a < 0.05 || a > 0.999 {
+				t.Fatalf("%s reliability %v outside clamp", p.Name, a)
+			}
+		}
+	}
+	// Longer tasks on a flaky cluster must be (weakly) less reliable.
+	p := Inventory()[6] // spot-pool, high failure rate
+	task := taskgraph.Generate(taskgraph.FamilyCNN, rng.New(5))
+	long := *task
+	long.StepsPerEpoch = task.StepsPerEpoch * 8
+	if p.TrueReliability(&long) > p.TrueReliability(task) {
+		t.Fatal("longer task more reliable")
+	}
+}
+
+func TestReliabilitySpreadAcrossClusters(t *testing.T) {
+	// Setting C is designed to have a wide reliability spread.
+	fleet := MustFleet(SettingC)
+	task := taskgraph.Generate(taskgraph.FamilyCNN, rng.New(6))
+	lo, hi := 1.0, 0.0
+	for _, p := range fleet {
+		a := p.TrueReliability(task)
+		lo = math.Min(lo, a)
+		hi = math.Max(hi, a)
+	}
+	if hi-lo < 0.02 {
+		t.Fatalf("setting C reliability spread only %v", hi-lo)
+	}
+}
+
+func TestMeasureNoisyButUnbiasedish(t *testing.T) {
+	p := Inventory()[0]
+	task := taskgraph.Generate(taskgraph.FamilyMLP, rng.New(7))
+	r := rng.New(8)
+	trueT := p.TrueTime(task)
+	sum := 0.0
+	n := 2000
+	for i := 0; i < n; i++ {
+		m, a := p.Measure(task, 20, r)
+		if m <= 0 || a <= 0 || a >= 1 {
+			t.Fatalf("measurement out of range: t=%v a=%v", m, a)
+		}
+		sum += m
+	}
+	mean := sum / float64(n)
+	// lognormal(0, σ) has mean exp(σ²/2) ≈ 1.00125 for σ=0.05
+	if math.Abs(mean/trueT-1) > 0.02 {
+		t.Fatalf("measured mean %v vs true %v", mean, trueT)
+	}
+}
+
+func TestMeasureReliabilityFrequency(t *testing.T) {
+	p := Inventory()[0]
+	task := taskgraph.Generate(taskgraph.FamilyCNN, rng.New(9))
+	r := rng.New(10)
+	trueA := p.TrueReliability(task)
+	var acc float64
+	n := 500
+	for i := 0; i < n; i++ {
+		_, a := p.Measure(task, 50, r)
+		acc += a
+	}
+	if est := acc / float64(n); math.Abs(est-trueA) > 0.05 {
+		t.Fatalf("reliability frequency %v vs true %v", est, trueA)
+	}
+}
+
+func TestMemPressure(t *testing.T) {
+	if memPressure(1, 10) != 1 {
+		t.Fatal("low occupancy should be penalty-free")
+	}
+	if memPressure(9, 10) <= 1 {
+		t.Fatal("90% occupancy should be penalized")
+	}
+	if memPressure(15, 10) < memPressure(9, 10) {
+		t.Fatal("pressure not monotone past capacity")
+	}
+	// Continuity at the boundary occ=1.
+	below := memPressure(0.999999*10, 10)
+	above := memPressure(1.000001*10, 10)
+	if math.Abs(below-above) > 0.01 {
+		t.Fatalf("memPressure discontinuous at capacity: %v vs %v", below, above)
+	}
+}
+
+func TestZetaProperties(t *testing.T) {
+	curves := []SpeedupCurve{DefaultSpeedup(), {Floor: 0.7, Rate: 0.3}, NoSpeedup()}
+	check := func(raw uint8) bool {
+		k := float64(raw%40) + 0.5
+		for _, s := range curves {
+			z := s.Zeta(k)
+			if z <= 0 || z > 1 {
+				return false
+			}
+			if s.Zeta(k+1) > z+1e-12 { // non-increasing
+				return false
+			}
+			if z < s.Floor-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	if DefaultSpeedup().Zeta(1) != 1 || DefaultSpeedup().Zeta(0.3) != 1 {
+		t.Fatal("ζ(k≤1) must be 1")
+	}
+}
+
+func TestZetaDerivMatchesFiniteDiff(t *testing.T) {
+	s := DefaultSpeedup()
+	for _, k := range []float64{1.5, 2, 3.7, 10} {
+		h := 1e-6
+		fd := (s.Zeta(k+h) - s.Zeta(k-h)) / (2 * h)
+		if math.Abs(fd-s.ZetaDeriv(k)) > 1e-5 {
+			t.Fatalf("ZetaDeriv(%v)=%v, fd=%v", k, s.ZetaDeriv(k), fd)
+		}
+	}
+}
+
+func TestZetaConvergesToFloor(t *testing.T) {
+	s := DefaultSpeedup()
+	if math.Abs(s.Zeta(50)-0.6) > 1e-6 {
+		t.Fatalf("ζ(50)=%v, want ≈0.6", s.Zeta(50))
+	}
+}
+
+func TestNoSpeedupTrivial(t *testing.T) {
+	if !NoSpeedup().IsTrivial() {
+		t.Fatal("NoSpeedup not trivial")
+	}
+	if DefaultSpeedup().IsTrivial() {
+		t.Fatal("DefaultSpeedup reported trivial")
+	}
+}
+
+func BenchmarkTrueTime(b *testing.B) {
+	p := Inventory()[0]
+	task := taskgraph.Generate(taskgraph.FamilyTransformer, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.TrueTime(task)
+	}
+}
+
+func TestDriftFactor(t *testing.T) {
+	var zero Drift
+	if !zero.IsZero() || zero.Factor(100) != 1 {
+		t.Fatal("zero drift not identity")
+	}
+	aging := Drift{Trend: 0.01}
+	if aging.Factor(0) != 1 || math.Abs(aging.Factor(50)-1.5) > 1e-12 {
+		t.Fatalf("trend factors: %v %v", aging.Factor(0), aging.Factor(50))
+	}
+	osc := Drift{Amplitude: 0.4, Period: 20}
+	// One full period must return to ~1 and peak near 1.4.
+	if math.Abs(osc.Factor(20)-1) > 1e-9 {
+		t.Fatalf("periodic factor at full period: %v", osc.Factor(20))
+	}
+	if math.Abs(osc.Factor(5)-1.4) > 1e-9 {
+		t.Fatalf("peak factor: %v", osc.Factor(5))
+	}
+	// Clamped positive even under absurd parameters.
+	crazy := Drift{Trend: -10}
+	if crazy.Factor(100) <= 0 {
+		t.Fatal("factor not clamped positive")
+	}
+}
+
+func TestDefaultDriftsHeterogeneous(t *testing.T) {
+	ds := DefaultDrifts(3)
+	if len(ds) != 3 {
+		t.Fatalf("len %d", len(ds))
+	}
+	// The three clusters must drift differently at some round.
+	same := true
+	for r := 1; r < 50; r += 7 {
+		f0, f1, f2 := ds[0].Factor(r), ds[1].Factor(r), ds[2].Factor(r)
+		if f0 != f1 || f1 != f2 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("default drifts identical across clusters")
+	}
+}

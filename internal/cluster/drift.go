@@ -1,0 +1,58 @@
+package cluster
+
+import "math"
+
+// Drift models slow multiplicative change in a cluster's effective speed
+// over platform rounds — co-tenancy waves, thermal throttling, gradual
+// degradation. The factor multiplies execution times:
+//
+//	factor(r) = 1 + Trend·r + Amplitude·sin(2π·(r/Period + Phase))
+//
+// clamped to stay positive. A zero Drift is the identity.
+type Drift struct {
+	// Amplitude is the peak fractional slowdown/speedup of the cyclic
+	// component (e.g. 0.3 = ±30%).
+	Amplitude float64
+	// Period is the cycle length in rounds (ignored when Amplitude is 0).
+	Period float64
+	// Phase offsets the cycle (fraction of a period).
+	Phase float64
+	// Trend is the per-round secular slowdown (positive = aging).
+	Trend float64
+}
+
+// IsZero reports whether the drift is the identity.
+func (d Drift) IsZero() bool { return d.Amplitude == 0 && d.Trend == 0 }
+
+// Factor returns the multiplicative time factor at round r.
+func (d Drift) Factor(r int) float64 {
+	f := 1 + d.Trend*float64(r)
+	if d.Amplitude != 0 && d.Period > 0 {
+		f += d.Amplitude * math.Sin(2*math.Pi*(float64(r)/d.Period+d.Phase))
+	}
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}
+
+// DefaultDrifts returns a heterogeneous drift assignment for an m-cluster
+// fleet: cluster 0 ages linearly, cluster 1 oscillates (diurnal
+// co-tenancy), the rest alternate milder versions. Used by the adaptation
+// study.
+func DefaultDrifts(m int) []Drift {
+	out := make([]Drift, m)
+	for i := range out {
+		switch i % 3 {
+		case 0:
+			// Steady aging: ×2.2 slower by round 60.
+			out[i] = Drift{Trend: 0.02}
+		case 1:
+			// Strong co-tenancy wave: ±50% on a 30-round cycle.
+			out[i] = Drift{Amplitude: 0.5, Period: 30, Phase: float64(i) * 0.17}
+		default:
+			out[i] = Drift{Amplitude: 0.25, Period: 20, Phase: float64(i) * 0.29, Trend: 0.005}
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mfcp/internal/taskgraph"
+)
+
+// Preset fleet construction. The paper evaluates three randomly selected
+// 3-cluster combinations ("settings A, B, C") drawn from its platform's
+// heterogeneous inventory. We define a nine-cluster inventory spanning the
+// realistic axes of heterogeneity — datacenter-grade tensor monsters,
+// memory-rich but compute-modest nodes, consumer cards with flaky hosting,
+// CPU-heavy enterprise clusters — and fix which three each setting uses.
+
+// aff builds a family-affinity array in CNN, Transformer, RNN, MLP, UNet,
+// GNN order.
+func aff(cnn, xfmr, rnn, mlp, unet, gnn float64) [taskgraph.NumFamilies]float64 {
+	return [taskgraph.NumFamilies]float64{cnn, xfmr, rnn, mlp, unet, gnn}
+}
+
+// Inventory returns the full nine-profile cluster inventory. Callers may
+// mutate the returned profiles freely; each call builds fresh copies.
+func Inventory() []*Profile {
+	return []*Profile{
+		{
+			// Modern datacenter accelerators: huge tensor throughput,
+			// mature conv and attention kernels, reliable hosting.
+			Name:        "dc-tensor-a",
+			TensorFLOPS: 60e12, VectorFLOPS: 3.0e12, MemoryFLOPS: 0.9e12,
+			FamilyAffinity:    aff(0.8, 2.0, 1.6, 1.0, 0.85, 1.7),
+			KernelOverheadSec: 6e-6, BatchHalfSat: 48,
+			MemoryGB: 80, NetworkMBps: 1200,
+			FailuresPerHour: 0.15, NoiseSigma: 0.05,
+			Speedup: DefaultSpeedup(),
+		},
+		{
+			// Previous-gen datacenter: strong convs, attention kernels
+			// unfused (transformers run disproportionately slow).
+			Name:        "dc-tensor-b",
+			TensorFLOPS: 40e12, VectorFLOPS: 2.2e12, MemoryFLOPS: 0.7e12,
+			FamilyAffinity:    aff(0.85, 2.6, 1.3, 1.0, 0.9, 1.8),
+			KernelOverheadSec: 9e-6, BatchHalfSat: 32,
+			MemoryGB: 32, NetworkMBps: 900,
+			FailuresPerHour: 0.05, NoiseSigma: 0.07,
+			Speedup: DefaultSpeedup(),
+		},
+		{
+			// Memory-rich inference boxes repurposed for training: modest
+			// math, generous memory, excellent embedding throughput.
+			Name:        "mem-rich",
+			TensorFLOPS: 18e12, VectorFLOPS: 2.6e12, MemoryFLOPS: 1.6e12,
+			FamilyAffinity:    aff(1.4, 1.0, 0.8, 0.9, 1.2, 0.7),
+			KernelOverheadSec: 8e-6, BatchHalfSat: 24,
+			MemoryGB: 160, NetworkMBps: 800,
+			FailuresPerHour: 0.28, NoiseSigma: 0.08,
+			Speedup: DefaultSpeedup(),
+		},
+		{
+			// University cluster of consumer cards: decent tensor rate,
+			// tiny memory (pressure bites), flaky power/network.
+			Name:        "uni-consumer",
+			TensorFLOPS: 30e12, VectorFLOPS: 1.8e12, MemoryFLOPS: 0.5e12,
+			FamilyAffinity:    aff(1.0, 1.5, 1.1, 0.9, 1.05, 1.4),
+			KernelOverheadSec: 12e-6, BatchHalfSat: 20,
+			MemoryGB: 12, NetworkMBps: 250,
+			FailuresPerHour: 0.20, NoiseSigma: 0.14,
+			Speedup: SpeedupCurve{Floor: 0.6, Rate: 0.35},
+		},
+		{
+			// Enterprise CPU-heavy cluster: weak tensor math, wide vector
+			// units, very stable operations.
+			Name:        "ent-cpu",
+			TensorFLOPS: 6e12, VectorFLOPS: 3.5e12, MemoryFLOPS: 1.1e12,
+			FamilyAffinity:    aff(1.6, 1.2, 0.7, 0.75, 1.5, 0.8),
+			KernelOverheadSec: 3e-6, BatchHalfSat: 8,
+			MemoryGB: 256, NetworkMBps: 600,
+			FailuresPerHour: 0.015, NoiseSigma: 0.04,
+			Speedup: SpeedupCurve{Floor: 0.7, Rate: 0.6},
+		},
+		{
+			// Edge aggregation site: cheap, slow, small, unreliable.
+			Name:        "edge-agg",
+			TensorFLOPS: 9e12, VectorFLOPS: 1.0e12, MemoryFLOPS: 0.35e12,
+			FamilyAffinity:    aff(1.1, 1.7, 1.1, 0.95, 1.15, 1.3),
+			KernelOverheadSec: 20e-6, BatchHalfSat: 16,
+			MemoryGB: 16, NetworkMBps: 120,
+			FailuresPerHour: 0.35, NoiseSigma: 0.18,
+			Speedup: SpeedupCurve{Floor: 0.65, Rate: 0.4},
+		},
+		{
+			// Startup's spot-instance pool: fast when alive, preemptible.
+			Name:        "spot-pool",
+			TensorFLOPS: 32e12, VectorFLOPS: 2.4e12, MemoryFLOPS: 0.8e12,
+			FamilyAffinity:    aff(0.95, 1.1, 1.3, 1.0, 1.0, 1.2),
+			KernelOverheadSec: 7e-6, BatchHalfSat: 40,
+			MemoryGB: 40, NetworkMBps: 1000,
+			FailuresPerHour: 0.30, NoiseSigma: 0.10,
+			Speedup: DefaultSpeedup(),
+		},
+		{
+			// NLP-tuned pods: fused attention, fast embeddings, convs poor.
+			Name:        "nlp-pods",
+			TensorFLOPS: 26e12, VectorFLOPS: 2.0e12, MemoryFLOPS: 1.4e12,
+			FamilyAffinity:    aff(1.9, 0.55, 0.8, 1.05, 1.6, 0.9),
+			KernelOverheadSec: 8e-6, BatchHalfSat: 24,
+			MemoryGB: 48, NetworkMBps: 700,
+			FailuresPerHour: 0.32, NoiseSigma: 0.09,
+			Speedup: DefaultSpeedup(),
+		},
+		{
+			// Telco regional DC: balanced mid-range, good network.
+			Name:        "telco-regional",
+			TensorFLOPS: 22e12, VectorFLOPS: 2.1e12, MemoryFLOPS: 0.9e12,
+			FamilyAffinity:    aff(1.1, 1.1, 1.0, 0.95, 1.1, 1.0),
+			KernelOverheadSec: 9e-6, BatchHalfSat: 28,
+			MemoryGB: 64, NetworkMBps: 1500,
+			FailuresPerHour: 0.10, NoiseSigma: 0.08,
+			Speedup: DefaultSpeedup(),
+		},
+	}
+}
+
+// Setting names the paper's three evaluation fleets.
+type Setting string
+
+// The three cluster combinations used in Fig. 4 (and Setting A for the
+// other experiments).
+const (
+	SettingA Setting = "A"
+	SettingB Setting = "B"
+	SettingC Setting = "C"
+)
+
+// Fleet returns the three-cluster fleet for the given setting. The
+// compositions are fixed (the paper fixes its random selections too) and
+// chosen to span distinct heterogeneity regimes:
+//
+//	A: tensor monster vs NLP-tuned vs memory-rich — strong per-family
+//	   preference structure (the regime MFCP exploits best);
+//	B: modern vs previous-gen vs consumer — graded quality plus
+//	   reliability differences;
+//	C: CPU-heavy vs spot pool vs edge — extreme reliability spread.
+func Fleet(s Setting) ([]*Profile, error) {
+	inv := Inventory()
+	byName := map[string]*Profile{}
+	for _, p := range inv {
+		byName[p.Name] = p
+	}
+	var names []string
+	switch s {
+	case SettingA:
+		names = []string{"dc-tensor-a", "nlp-pods", "mem-rich"}
+	case SettingB:
+		names = []string{"dc-tensor-b", "uni-consumer", "telco-regional"}
+	case SettingC:
+		names = []string{"ent-cpu", "spot-pool", "edge-agg"}
+	default:
+		return nil, fmt.Errorf("cluster: unknown setting %q", s)
+	}
+	fleet := make([]*Profile, len(names))
+	for i, n := range names {
+		fleet[i] = byName[n]
+	}
+	return fleet, nil
+}
+
+// MustFleet is Fleet for the three known settings; it panics otherwise.
+func MustFleet(s Setting) []*Profile {
+	f, err := Fleet(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

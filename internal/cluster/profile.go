@@ -1,0 +1,192 @@
+// Package cluster models the third-party computing clusters an exchange
+// platform acquires: their hardware profiles, the ground-truth execution
+// time and reliability of deep-learning tasks on them, and the speedup
+// behaviour when tasks share a cluster.
+//
+// This is the stand-in for the paper's physical Xirang clusters. The model
+// is analytic but deliberately heterogeneous and nonlinear:
+//
+//   - each cluster prices tensor / vector / memory work differently
+//     (per-class throughputs) and carries per-family kernel-maturity
+//     multipliers — reproducing the "Cluster B is exponential where Cluster
+//     A is linear" misspecification in the paper's Fig. 2;
+//   - memory pressure kicks in superlinearly once a task's working set
+//     approaches capacity;
+//   - reliability decays with execution time (longer jobs see more failure
+//     opportunities, per the paper's footnote 1) and with memory pressure.
+//
+// Predictors never see these internals — only (feature, noisy measurement)
+// pairs — so the learning problem downstream is genuinely hard.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"mfcp/internal/rng"
+	"mfcp/internal/taskgraph"
+)
+
+// Profile describes one cluster's hardware and operational characteristics.
+type Profile struct {
+	Name string
+
+	// Effective training throughput (FLOP/s) per compute class. These fold
+	// together peak rate and achievable efficiency.
+	TensorFLOPS float64
+	VectorFLOPS float64
+	MemoryFLOPS float64
+
+	// FamilyAffinity multiplies execution time per task family, modeling
+	// kernel/library maturity differences (e.g. excellent cuDNN convs but
+	// unfused attention). 1 means neutral; >1 slower.
+	FamilyAffinity [taskgraph.NumFamilies]float64
+
+	// KernelOverheadSec is the fixed cost per operator launch per step.
+	KernelOverheadSec float64
+
+	// BatchHalfSat is the batch size at which the tensor units reach half
+	// of peak utilization; small batches underutilize wide accelerators.
+	BatchHalfSat float64
+
+	// MemoryGB is accelerator memory capacity. Working sets near or above
+	// it trigger superlinear slowdown and reliability loss.
+	MemoryGB float64
+
+	// NetworkMBps is the staging bandwidth for dataset transfer.
+	NetworkMBps float64
+
+	// FailuresPerHour is the base interruption rate (hardware, network,
+	// preemption) of this third-party site.
+	FailuresPerHour float64
+
+	// NoiseSigma is the lognormal sigma of run-to-run time variation.
+	NoiseSigma float64
+
+	// Speedup governs parallel task execution on this cluster (§3.4).
+	Speedup SpeedupCurve
+}
+
+// Validate checks that the profile is physically sensible.
+func (p *Profile) Validate() error {
+	if p.TensorFLOPS <= 0 || p.VectorFLOPS <= 0 || p.MemoryFLOPS <= 0 {
+		return fmt.Errorf("cluster %q: non-positive throughput", p.Name)
+	}
+	for f, a := range p.FamilyAffinity {
+		if a <= 0 {
+			return fmt.Errorf("cluster %q: non-positive affinity for %v", p.Name, taskgraph.Family(f))
+		}
+	}
+	if p.MemoryGB <= 0 || p.NetworkMBps <= 0 {
+		return fmt.Errorf("cluster %q: non-positive capacity", p.Name)
+	}
+	if p.FailuresPerHour < 0 || p.NoiseSigma < 0 {
+		return fmt.Errorf("cluster %q: negative rate", p.Name)
+	}
+	return nil
+}
+
+// memPressure returns the superlinear slowdown multiplier for a working set
+// of usedGB on capacity capGB. Below ~70% occupancy it is 1; it grows
+// quadratically after that and steeply past capacity (paging/offload).
+func memPressure(usedGB, capGB float64) float64 {
+	occ := usedGB / capGB
+	switch {
+	case occ <= 0.7:
+		return 1
+	case occ <= 1.0:
+		d := (occ - 0.7) / 0.3
+		return 1 + 0.8*d*d
+	default:
+		return 1.8 * math.Exp(2*(occ-1))
+	}
+}
+
+// workingSetGB estimates a task's accelerator working set: parameters,
+// gradients and optimizer state (3x params) plus activations.
+func workingSetGB(c taskgraph.GraphCost) float64 {
+	paramBytes := 4 * c.Params * 3
+	return (paramBytes + c.ActivationBytes) / 1e9
+}
+
+// TrueTime returns the ground-truth execution time (seconds) of the whole
+// task — all epochs plus one-time dataset staging — on this cluster,
+// excluding run-to-run noise. This is the t the platform's matcher
+// optimizes over.
+func (p *Profile) TrueTime(t *taskgraph.Task) float64 {
+	epochs := float64(t.Epochs)
+	if epochs < 1 {
+		epochs = 1
+	}
+	return p.EpochTime(t)*epochs + t.DatasetMB/p.NetworkMBps
+}
+
+// EpochTime returns the ground-truth single-epoch execution time (seconds)
+// excluding staging — the quantity a profiling run measures directly.
+func (p *Profile) EpochTime(t *taskgraph.Task) float64 {
+	c := t.Cost()
+	steps := float64(t.StepsPerEpoch)
+
+	// Batch-dependent tensor utilization: wide accelerators starve on small
+	// batches. This is one of the nonlinearities that defeats linear
+	// predictors on some clusters but not others.
+	util := float64(t.BatchSize) / (float64(t.BatchSize) + p.BatchHalfSat)
+
+	tensor := c.FLOPsByClass[taskgraph.ClassTensor] * taskgraph.TrainFLOPsMultiplier / (p.TensorFLOPS * util)
+	vector := c.FLOPsByClass[taskgraph.ClassVector] * taskgraph.TrainFLOPsMultiplier / p.VectorFLOPS
+	memory := c.FLOPsByClass[taskgraph.ClassMemory] * taskgraph.TrainFLOPsMultiplier / p.MemoryFLOPS
+	compute := (tensor + vector + memory) * steps
+
+	overhead := float64(c.Nodes) * p.KernelOverheadSec * steps
+	return (compute + overhead) * p.FamilyAffinity[t.Family] * memPressure(workingSetGB(c), p.MemoryGB)
+}
+
+// TrueReliability returns the ground-truth probability that the task
+// completes successfully on this cluster.
+func (p *Profile) TrueReliability(t *taskgraph.Task) float64 {
+	hours := p.TrueTime(t) / 3600
+	// Survival of a Poisson interruption process over the run...
+	surv := math.Exp(-p.FailuresPerHour * hours)
+	// ...times a memory-safety factor: jobs near capacity OOM-crash.
+	occ := workingSetGB(t.Cost()) / p.MemoryGB
+	memSafe := 1.0
+	if occ > 0.8 {
+		memSafe = math.Exp(-2.5 * (occ - 0.8))
+	}
+	// ...times a staging-fragility factor for huge datasets on thin pipes.
+	stagingHours := t.DatasetMB / p.NetworkMBps / 3600
+	netSafe := math.Exp(-0.5 * p.FailuresPerHour * stagingHours)
+	a := surv * memSafe * netSafe
+	return clamp(a, 0.05, 0.999)
+}
+
+// Measure returns one noisy observation of (time, success-probability
+// estimate) for the task, as the platform's profiling runs would produce.
+// Time noise is multiplicative lognormal; the reliability observation is a
+// frequency estimate from `trials` Bernoulli runs (trials <= 0 uses 20).
+func (p *Profile) Measure(t *taskgraph.Task, trials int, r *rng.Source) (timeSec, reliability float64) {
+	timeSec = p.TrueTime(t) * r.LogNormal(0, p.NoiseSigma)
+	if trials <= 0 {
+		trials = 20
+	}
+	a := p.TrueReliability(t)
+	succ := 0
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(a) {
+			succ++
+		}
+	}
+	// Laplace smoothing keeps the observation off the {0,1} boundary.
+	reliability = (float64(succ) + 1) / (float64(trials) + 2)
+	return timeSec, reliability
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,45 @@
+package cluster
+
+import "math"
+
+// SpeedupCurve is the time-adjustment function ζ of §3.4: given the number
+// of tasks k assigned to a cluster, ζ(k) multiplies the summed execution
+// time to model parallel-sharing gains. The paper's evaluation uses an
+// exponential decay from 1 down to a floor of 0.6.
+//
+// ζ must be positive, non-increasing, and ζ(k) = 1 for k ≤ 1 (a single
+// exclusive task gains nothing).
+type SpeedupCurve struct {
+	// Floor is the asymptotic speedup ratio (paper: 0.6).
+	Floor float64
+	// Rate is the exponential decay rate per additional task.
+	Rate float64
+}
+
+// DefaultSpeedup is the paper's evaluation curve: exponential decay 1 → 0.6.
+func DefaultSpeedup() SpeedupCurve { return SpeedupCurve{Floor: 0.6, Rate: 0.5} }
+
+// NoSpeedup models strictly sequential exclusive execution (ζ ≡ 1),
+// the paper's convex setting.
+func NoSpeedup() SpeedupCurve { return SpeedupCurve{Floor: 1, Rate: 0} }
+
+// Zeta evaluates ζ at a (possibly fractional, during continuous relaxation)
+// task count k.
+func (s SpeedupCurve) Zeta(k float64) float64 {
+	if k <= 1 {
+		return 1
+	}
+	return s.Floor + (1-s.Floor)*math.Exp(-s.Rate*(k-1))
+}
+
+// ZetaDeriv evaluates dζ/dk, needed by the gradient of the non-convex
+// objective (17).
+func (s SpeedupCurve) ZetaDeriv(k float64) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return -s.Rate * (1 - s.Floor) * math.Exp(-s.Rate*(k-1))
+}
+
+// IsTrivial reports whether the curve is identically 1 (sequential setting).
+func (s SpeedupCurve) IsTrivial() bool { return s.Floor >= 1 || s.Rate == 0 }

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/matching"
+	"mfcp/internal/nn"
+	"mfcp/internal/rng"
+	"mfcp/internal/workload"
+)
+
+func testScenario(seed uint64) *workload.Scenario {
+	return workload.MustNew(workload.Config{
+		Setting: cluster.SettingA, PoolSize: 60, FeatureDim: 12, Seed: seed,
+	})
+}
+
+func TestPredictorSetShapes(t *testing.T) {
+	r := rng.New(1)
+	set := NewPredictorSet(3, 12, []int{8}, r)
+	if set.M() != 3 {
+		t.Fatalf("M=%d", set.M())
+	}
+	s := testScenario(2)
+	Z := s.FeaturesOf([]int{0, 1, 2, 3, 4})
+	T, A := set.Predict(Z)
+	if T.Rows != 3 || T.Cols != 5 || A.Rows != 3 || A.Cols != 5 {
+		t.Fatal("prediction shapes wrong")
+	}
+	for k := range T.Data {
+		if T.Data[k] < 0 {
+			t.Fatal("negative time prediction despite softplus head")
+		}
+		if A.Data[k] < 0 || A.Data[k] > 1 {
+			t.Fatal("reliability prediction outside (0,1)")
+		}
+	}
+}
+
+func TestForwardMatchesPredict(t *testing.T) {
+	r := rng.New(3)
+	set := NewPredictorSet(3, 12, []int{8}, r)
+	s := testScenario(4)
+	Z := s.FeaturesOf([]int{1, 5, 9})
+	T1, A1 := set.Predict(Z)
+	_, T2, A2 := set.forward(Z)
+	if !T1.Equal(T2, 1e-12) || !A1.Equal(A2, 1e-12) {
+		t.Fatal("forward and Predict disagree")
+	}
+}
+
+func TestPretrainReducesMSE(t *testing.T) {
+	s := testScenario(5)
+	train, _ := s.Split(0.75)
+	set := NewPredictorSet(s.M(), s.Features.Cols, []int{16}, s.Stream("init"))
+	Z := s.FeaturesOf(train)
+	mseOf := func() float64 {
+		total := 0.0
+		for i := 0; i < s.M(); i++ {
+			tv, _ := s.LabelVectors(i, train)
+			total += nn.MSE(set.Preds[i].Time.PredictBatch(Z), tv)
+		}
+		return total
+	}
+	before := mseOf()
+	PretrainMSE(set, s, train, 150, s.Stream("pre"))
+	after := mseOf()
+	if after > before*0.5 {
+		t.Fatalf("pretrain barely helped: %v -> %v", before, after)
+	}
+}
+
+func TestTrainADRunsAndImproves(t *testing.T) {
+	s := testScenario(6)
+	train, _ := s.Split(0.75)
+	cfg := Config{Kind: AD, PretrainEpochs: 100, Epochs: 30, RoundSize: 5}
+	tr := Train(s, train, cfg)
+	if len(tr.History) != 30 {
+		t.Fatalf("history length %d", len(tr.History))
+	}
+	if tr.SkippedEpochs > 15 {
+		t.Fatalf("AD skipped %d/30 epochs", tr.SkippedEpochs)
+	}
+	// Late-phase training regret should not exceed early-phase on average.
+	early := mean(tr.History[:10])
+	late := mean(tr.History[len(tr.History)-10:])
+	if late > early*1.5+0.05 {
+		t.Fatalf("training regret diverged: early %v late %v", early, late)
+	}
+	T, A := tr.Predict([]int{0, 1, 2, 3, 4})
+	if T.Rows != s.M() || A.Cols != 5 {
+		t.Fatal("Predict shapes wrong")
+	}
+}
+
+func TestTrainFGRuns(t *testing.T) {
+	s := testScenario(7)
+	train, _ := s.Split(0.75)
+	cfg := Config{Kind: FG, PretrainEpochs: 80, Epochs: 10, RoundSize: 4}
+	cfg.ZO.Samples = 4
+	tr := Train(s, train, cfg)
+	if tr.Name() != "MFCP-FG" {
+		t.Fatalf("name %q", tr.Name())
+	}
+	if len(tr.History) != 10 {
+		t.Fatalf("history %d", len(tr.History))
+	}
+	for _, h := range tr.History {
+		if math.IsNaN(h) || math.IsInf(h, 0) {
+			t.Fatalf("non-finite training regret %v", h)
+		}
+	}
+}
+
+func TestTrainFGParallelSetting(t *testing.T) {
+	s := testScenario(8)
+	train, _ := s.Split(0.75)
+	speedups := make([]cluster.SpeedupCurve, s.M())
+	for i, p := range s.Fleet {
+		speedups[i] = p.Speedup
+	}
+	cfg := Config{Kind: FG, PretrainEpochs: 60, Epochs: 6, RoundSize: 5}
+	cfg.Match.Speedups = speedups
+	cfg.ZO.Samples = 4
+	tr := Train(s, train, cfg)
+	if tr.SkippedEpochs != 0 {
+		t.Fatalf("FG skipped %d epochs in parallel setting", tr.SkippedEpochs)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	run := func() []float64 {
+		s := testScenario(9)
+		train, _ := s.Split(0.75)
+		cfg := Config{Kind: AD, PretrainEpochs: 40, Epochs: 8, RoundSize: 4}
+		return Train(s, train, cfg).History
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("training not deterministic at epoch %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMatchConfigDefaults(t *testing.T) {
+	var mc MatchConfig
+	mc.FillDefaults()
+	if mc.Gamma != 0.8 || mc.Beta != 10 || mc.Lambda != 0.05 || mc.Entropy != 0 || mc.SolveIters != 200 {
+		t.Fatalf("defaults: %+v", mc)
+	}
+}
+
+func TestMatchConfigSolveFeasible(t *testing.T) {
+	s := testScenario(10)
+	var mc MatchConfig
+	mc.FillDefaults()
+	mc.Gamma = 0.8
+	round := []int{0, 1, 2, 3, 4}
+	T, A := s.TrueMatrices(round)
+	assign := mc.Solve(T, A)
+	if len(assign) != 5 {
+		t.Fatalf("assignment length %d", len(assign))
+	}
+	p := mc.Problem(T, A)
+	if p.Entropy != 0 {
+		t.Fatal("MatchConfig.Problem must not enable entropy")
+	}
+	for _, a := range assign {
+		if a < 0 || a >= s.M() {
+			t.Fatalf("assignment out of range: %v", assign)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if AD.String() != "MFCP-AD" || FG.String() != "MFCP-FG" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestTrainZeroEpochsEqualsPretrainOnly(t *testing.T) {
+	// Epochs: -1 is not representable; use PretrainEpochs only by setting
+	// Epochs to the minimum and checking the pretrained snapshot predicts
+	// identically to a TSM-style pipeline with the same streams.
+	s := testScenario(11)
+	train, _ := s.Split(0.75)
+	set := NewPredictorSet(s.M(), s.Features.Cols, []int{16}, s.Stream("mfcp-MFCP-AD").Split("init"))
+	PretrainMSE(set, s, train, 50, s.Stream("mfcp-MFCP-AD").Split("pretrain"))
+	cfg := Config{Kind: AD, PretrainEpochs: 50, Epochs: 1, RoundSize: 4}
+	tr := Train(s, train, cfg)
+	// After exactly one alternating epoch only the time nets moved; the
+	// reliability nets must still match the pretrained snapshot.
+	round := []int{0, 1, 2}
+	_, wantA := set.Predict(s.FeaturesOf(round))
+	_, gotA := tr.Predict(round)
+	if !wantA.Equal(gotA, 1e-9) {
+		t.Fatal("reliability nets changed during a time-only epoch")
+	}
+}
+
+func TestSolvePipelineSharedAcrossMethods(t *testing.T) {
+	// Two MatchConfigs with identical fields must produce identical
+	// assignments for the same inputs (determinism of the solver).
+	s := testScenario(12)
+	round := []int{0, 1, 2, 3, 4, 5}
+	T, A := s.MeasuredMatrices(round)
+	var mc MatchConfig
+	mc.FillDefaults()
+	a1 := mc.Solve(T, A)
+	a2 := mc.Solve(T, A)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("matching not deterministic")
+		}
+	}
+	_ = matching.AssignmentMatrix(a1, s.M())
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

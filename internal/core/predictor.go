@@ -1,0 +1,108 @@
+// Package core implements the paper's contribution: MFCP, the
+// Matching-Focused Cluster Performance Predictor (§3).
+//
+// A PredictorSet holds, per cluster, an execution-time network m_ω and a
+// reliability network m_φ over frozen task features. The Trainer first
+// warm-starts them with conventional MSE fitting (the two-stage baseline's
+// entire training), then performs the end-to-end regret-descent phase of
+// Fig. 3: forward through prediction and relaxed matching, regret loss
+// against the measured ground truth, and backward through the matching
+// argmin by either analytical KKT differentiation (MFCP-AD, §3.3) or the
+// zeroth-order forward-gradient method of Algorithm 2 (MFCP-FG, §3.4).
+package core
+
+import (
+	"mfcp/internal/mat"
+	"mfcp/internal/nn"
+	"mfcp/internal/parallel"
+	"mfcp/internal/rng"
+)
+
+// Predictor couples one cluster's two performance networks.
+type Predictor struct {
+	// Time predicts normalized execution time; softplus head keeps it
+	// positive.
+	Time *nn.MLP
+	// Rel predicts completion probability; sigmoid head bounds it to (0,1).
+	Rel *nn.MLP
+}
+
+// PredictorSet holds cluster-specific predictors for a fleet of M clusters,
+// as the paper prescribes (m_ω_i, m_φ_i per cluster i).
+type PredictorSet struct {
+	Preds []*Predictor
+}
+
+// NewPredictorSet builds M predictors over inDim-dimensional features with
+// the given hidden layer widths; initialization streams derive from r.
+func NewPredictorSet(m, inDim int, hidden []int, r *rng.Source) *PredictorSet {
+	dims := append([]int{inDim}, hidden...)
+	dims = append(dims, 1)
+	set := &PredictorSet{Preds: make([]*Predictor, m)}
+	for i := 0; i < m; i++ {
+		cr := r.SplitIndexed("cluster", i)
+		set.Preds[i] = &Predictor{
+			Time: nn.NewMLP(dims, nn.ReLU, nn.Softplus, cr.Split("time")),
+			Rel:  nn.NewMLP(dims, nn.ReLU, nn.Sigmoid, cr.Split("rel")),
+		}
+	}
+	return set
+}
+
+// M returns the number of clusters covered.
+func (ps *PredictorSet) M() int { return len(ps.Preds) }
+
+// Predict maps task features Z (N × d) to predicted matrices T̂, Â
+// (each M × N).
+func (ps *PredictorSet) Predict(Z *mat.Dense) (That, Ahat *mat.Dense) {
+	m, n := ps.M(), Z.Rows
+	That = mat.NewDense(m, n)
+	Ahat = mat.NewDense(m, n)
+	parallel.ForChunked(m, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tOut := ps.Preds[i].Time.PredictBatch(Z)
+			aOut := ps.Preds[i].Rel.PredictBatch(Z)
+			for j := 0; j < n; j++ {
+				That.Set(i, j, tOut.At(j, 0))
+				Ahat.Set(i, j, aOut.At(j, 0))
+			}
+		}
+	})
+	return That, Ahat
+}
+
+// tapes holds per-cluster forward tapes for one round, ready for backprop.
+type tapes struct {
+	time []*nn.Tape
+	rel  []*nn.Tape
+}
+
+// forward runs all predictors over Z keeping tapes, and assembles T̂, Â.
+func (ps *PredictorSet) forward(Z *mat.Dense) (tp tapes, That, Ahat *mat.Dense) {
+	m, n := ps.M(), Z.Rows
+	tp = tapes{time: make([]*nn.Tape, m), rel: make([]*nn.Tape, m)}
+	That = mat.NewDense(m, n)
+	Ahat = mat.NewDense(m, n)
+	parallel.ForChunked(m, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tp.time[i] = ps.Preds[i].Time.Forward(Z)
+			tp.rel[i] = ps.Preds[i].Rel.Forward(Z)
+			tOut := tp.time[i].Out()
+			aOut := tp.rel[i].Out()
+			for j := 0; j < n; j++ {
+				That.Set(i, j, tOut.At(j, 0))
+				Ahat.Set(i, j, aOut.At(j, 0))
+			}
+		}
+	})
+	return tp, That, Ahat
+}
+
+// Clone deep-copies the set (used to snapshot the pretrained state).
+func (ps *PredictorSet) Clone() *PredictorSet {
+	out := &PredictorSet{Preds: make([]*Predictor, len(ps.Preds))}
+	for i, p := range ps.Preds {
+		out.Preds[i] = &Predictor{Time: p.Time.Clone(), Rel: p.Rel.Clone()}
+	}
+	return out
+}

@@ -1,0 +1,521 @@
+package core
+
+import (
+	"mfcp/internal/cluster"
+	"mfcp/internal/diffopt"
+	"mfcp/internal/mat"
+	"mfcp/internal/matching"
+	"mfcp/internal/nn"
+	"mfcp/internal/parallel"
+	"mfcp/internal/rng"
+	"mfcp/internal/workload"
+)
+
+// Kind selects the gradient route through the matching argmin.
+type Kind int
+
+const (
+	// AD is MFCP with analytical differentiation via the KKT system
+	// (convex sequential setting only).
+	AD Kind = iota
+	// FG is MFCP with zeroth-order forward gradients (Algorithm 2); it
+	// also covers the non-convex parallel setting.
+	FG
+	// UR is MFCP with unrolled differentiation — backpropagation through
+	// the mirror-descent iterations themselves. Not a paper variant; an
+	// extension used by the gradient-route ablation (DESIGN.md X5).
+	UR
+)
+
+// String names the trainer kind as the paper does.
+func (k Kind) String() string {
+	switch k {
+	case AD:
+		return "MFCP-AD"
+	case UR:
+		return "MFCP-UR"
+	default:
+		return "MFCP-FG"
+	}
+}
+
+// MatchConfig bundles the matching hyperparameters shared by training and
+// evaluation so every method optimizes the identical downstream problem.
+type MatchConfig struct {
+	// Gamma is the reliability threshold γ (default 0.8).
+	Gamma float64
+	// Beta is the LSE smoothing β (default 10).
+	Beta float64
+	// Lambda is the barrier weight λ (default 0.05).
+	Lambda float64
+	// Entropy is the regularizer ρ used while differentiating. Zero means
+	// "pick per gradient route": 0.02 for AD/UR, 0.08 for convex FG, 0.15
+	// for non-convex FG.
+	Entropy float64
+	// Norm selects the reliability normalization (default NormPerTask).
+	Norm matching.NormKind
+	// Objective selects the time cost function (default SmoothMakespan;
+	// LinearSum reproduces ablation row 1).
+	Objective matching.ObjectiveKind
+	// Barrier selects the constraint treatment (default LogBarrier;
+	// HardPenalty reproduces ablation row 2).
+	Barrier matching.BarrierKind
+	// Speedups enables the parallel-execution setting when non-nil.
+	Speedups []cluster.SpeedupCurve
+	// SolveIters budgets the inner solver (default 200).
+	SolveIters int
+}
+
+// FillDefaults populates zero fields with the defaults above.
+func (mc *MatchConfig) FillDefaults() {
+	if mc.Gamma == 0 {
+		mc.Gamma = 0.8
+	}
+	if mc.Beta == 0 {
+		mc.Beta = 10
+	}
+	if mc.Lambda == 0 {
+		mc.Lambda = 0.05
+	}
+	// Entropy is deliberately NOT defaulted here: it is a training-time
+	// regularizer whose right value depends on the gradient route and the
+	// convexity regime, so Config.fillDefaults owns it (kind-aware).
+	if mc.SolveIters == 0 {
+		mc.SolveIters = 200
+	}
+}
+
+// Problem builds a matching problem over (T, A) with this configuration.
+// Entropy is NOT applied here; trainers opt in explicitly.
+func (mc MatchConfig) Problem(T, A *mat.Dense) *matching.Problem {
+	p := matching.NewProblem(T, A)
+	p.Gamma = mc.Gamma
+	p.Beta = mc.Beta
+	p.Lambda = mc.Lambda
+	p.Norm = mc.Norm
+	p.Objective = mc.Objective
+	p.Barrier = mc.Barrier
+	p.Speedups = mc.Speedups
+	return p
+}
+
+// Solve runs the standard pipeline on a problem built from (T, A): relaxed
+// solve, round, repair. All methods in the evaluation share this matcher.
+func (mc MatchConfig) Solve(T, A *mat.Dense) []int {
+	p := mc.Problem(T, A)
+	_, assign := matching.Solve(p, matching.SolveOptions{Iters: mc.SolveIters})
+	return assign
+}
+
+// Config parameterizes MFCP training.
+type Config struct {
+	// Kind selects MFCP-AD or MFCP-FG.
+	Kind Kind
+	// Hidden is the predictor hidden architecture (default [16]).
+	Hidden []int
+	// PretrainEpochs is the MSE warm-start budget (default 200; this phase
+	// alone is exactly the two-stage baseline's training).
+	PretrainEpochs int
+	// Epochs is the end-to-end regret-descent budget (default 240).
+	Epochs int
+	// RoundSize is the number of tasks per simulated allocation round
+	// (default 5, the paper's headline configuration).
+	RoundSize int
+	// LR is the regret-phase Adam learning rate (default 3e-3, tuned on validation scenarios).
+	LR float64
+	// GradClip bounds per-epoch predictor gradients (default 1).
+	GradClip float64
+	// Match configures the downstream matching problem.
+	Match MatchConfig
+	// ZO configures Algorithm 2's estimator (FG only).
+	ZO diffopt.ZeroOrderConfig
+	// Unroll configures backprop-through-the-solver (UR only).
+	Unroll diffopt.UnrollConfig
+	// RowWise follows Algorithm 2 literally: when training cluster i, the
+	// other rows of T̂, Â are replaced by measured values (default true for
+	// FG). When false, all rows stay predicted and FullVJP is used.
+	RowWise *bool
+	// Alternate fixes φ while stepping ω and vice versa, per §3.3
+	// (default true).
+	Alternate *bool
+	// MSEAnchor is the weight μ of an auxiliary MSE term kept alongside the
+	// regret loss during the end-to-end phase (default 0.05). Pure regret
+	// descent lets a flexible predictor distort its outputs arbitrarily as
+	// long as training-round decisions stay right, which generalizes poorly;
+	// the anchor realizes the paper's Fig. 2 intuition — REWEIGHT errors
+	// toward decision-relevant tasks rather than abandon accuracy. Set
+	// negative to disable entirely.
+	MSEAnchor float64
+	// ValRounds is the number of held-out validation rounds used for early
+	// stopping of the regret phase (default 8; 0 keeps the default, set
+	// negative to disable early stopping). Validation rounds draw from a
+	// task subset disjoint from the regret-training rounds, so the early
+	// stop measures transfer, not memorization.
+	ValRounds int
+	// CheckEvery is the early-stopping cadence in epochs (default 5).
+	CheckEvery int
+	// ValFrac is the fraction of training tasks reserved for validation
+	// rounds (default 0.25).
+	ValFrac float64
+	// Warm optionally seeds the predictors from an existing set (cloned,
+	// never mutated), skipping the MSE pretrain. This lets experiments
+	// start MFCP from exactly the two-stage baseline's weights so the
+	// comparison isolates the regret-descent phase.
+	Warm *PredictorSet
+}
+
+func boolPtr(b bool) *bool { return &b }
+
+func (c *Config) fillDefaults() {
+	if c.Hidden == nil {
+		c.Hidden = []int{16}
+	}
+	if c.PretrainEpochs == 0 {
+		c.PretrainEpochs = 200
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 240
+	}
+	if c.RoundSize == 0 {
+		c.RoundSize = 5
+	}
+	if c.LR == 0 {
+		c.LR = 3e-3
+	}
+	if c.MSEAnchor == 0 {
+		c.MSEAnchor = 0.05
+	}
+	if c.ValRounds == 0 {
+		c.ValRounds = 8
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 5
+	}
+	if c.ValFrac == 0 {
+		c.ValFrac = 0.25
+	}
+	if c.GradClip == 0 {
+		c.GradClip = 1
+	}
+	if c.Kind == FG {
+		// Zeroth-order defaults tuned on validation scenarios: a larger
+		// perturbation (Δ=0.3) with a stronger entropy smoothing (ρ=0.08)
+		// lets each Gaussian probe cross assignment-vertex plateaus, turning
+		// the estimator into a smoothed perturbed-optimizer gradient (cf.
+		// Berthet et al. 2020). Theorem 3's Δ* = (2σ²_F/β²S)^{1/4} lands in
+		// the same range for the observed σ_F. The non-convex parallel
+		// setting benefits from even heavier smoothing (its landscape has
+		// packing/spreading local optima the probes must see across).
+		nonConvex := false
+		for _, sp := range c.Match.Speedups {
+			if !sp.IsTrivial() {
+				nonConvex = true
+			}
+		}
+		if c.ZO.Delta == 0 {
+			if nonConvex {
+				c.ZO.Delta = 0.5
+			} else {
+				c.ZO.Delta = 0.3
+			}
+		}
+		if c.ZO.Samples == 0 {
+			c.ZO.Samples = 16
+		}
+		if c.Match.Entropy == 0 {
+			if nonConvex {
+				c.Match.Entropy = 0.15
+			} else {
+				c.Match.Entropy = 0.08
+			}
+		}
+	}
+	c.Match.FillDefaults()
+	if c.Match.Entropy == 0 {
+		// AD and UR need a positive entropy for a nonsingular system; the
+		// FG branch above already chose its own value.
+		c.Match.Entropy = 0.02
+	}
+	if c.RowWise == nil {
+		// Algorithm 2 as printed perturbs one cluster row at a time with
+		// the other rows pinned to measured values. Perturbing the full
+		// predicted matrices (the natural batch extension when every
+		// cluster's predictors train together) measured consistently lower
+		// test regret, so it is the default; set RowWise for the literal
+		// per-row scheme.
+		c.RowWise = boolPtr(false)
+	}
+	if c.Alternate == nil {
+		c.Alternate = boolPtr(true)
+	}
+}
+
+// Trainer is a trained MFCP model: per-cluster predictors plus the matching
+// configuration they were optimized against.
+type Trainer struct {
+	Cfg  Config
+	Set  *PredictorSet
+	Scen *workload.Scenario
+	// History records the training regret (discrete, against measured
+	// ground truth) per end-to-end epoch.
+	History []float64
+	// SkippedEpochs counts epochs whose gradient was unavailable (KKT
+	// boundary/singularity); they are reported, not hidden.
+	SkippedEpochs int
+	// ValRegret is the best validation regret achieved (when early
+	// stopping is enabled).
+	ValRegret float64
+
+	name string
+}
+
+// Name identifies the method in experiment tables.
+func (tr *Trainer) Name() string { return tr.name }
+
+// Predict returns (T̂, Â) for the given pool indices.
+func (tr *Trainer) Predict(round []int) (T, A *mat.Dense) {
+	return tr.Set.Predict(tr.Scen.FeaturesOf(round))
+}
+
+// Train runs the full MFCP pipeline on the scenario's training indices and
+// returns the trained model.
+func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
+	cfg.fillDefaults()
+	tr := &Trainer{Cfg: cfg, Scen: s, name: cfg.Kind.String()}
+	stream := s.Stream("mfcp-" + cfg.Kind.String())
+
+	// Phase 1: MSE warm start (identical to the two-stage baseline), or a
+	// caller-provided warm set.
+	if cfg.Warm != nil {
+		tr.Set = cfg.Warm.Clone()
+	} else {
+		tr.Set = NewPredictorSet(s.M(), s.Features.Cols, cfg.Hidden, stream.Split("init"))
+		PretrainMSE(tr.Set, s, train, cfg.PretrainEpochs, stream.Split("pretrain"))
+	}
+
+	// Phase 2: end-to-end regret descent.
+	timeOpts := make([]nn.Optimizer, s.M())
+	relOpts := make([]nn.Optimizer, s.M())
+	for i := range timeOpts {
+		timeOpts[i] = nn.NewAdam(cfg.LR)
+		relOpts[i] = nn.NewAdam(cfg.LR)
+	}
+	roundStream := stream.Split("rounds")
+	gradStream := stream.Split("grads")
+
+	// Early stopping: validation rounds drawn from a task subset the
+	// regret descent never trains on; the best-scoring snapshot wins.
+	fitIdx := train
+	var valRounds [][]int
+	if cfg.ValRounds > 0 {
+		valStream := stream.Split("validation")
+		perm := valStream.Perm(len(train))
+		cut := int(float64(len(train)) * (1 - cfg.ValFrac))
+		if cut < cfg.RoundSize {
+			cut = min(cfg.RoundSize, len(train))
+		}
+		fitIdx = make([]int, 0, cut)
+		valIdx := make([]int, 0, len(train)-cut)
+		for k, pi := range perm {
+			if k < cut {
+				fitIdx = append(fitIdx, train[pi])
+			} else {
+				valIdx = append(valIdx, train[pi])
+			}
+		}
+		if len(valIdx) < cfg.RoundSize {
+			valIdx = train // degenerate split; fall back to shared tasks
+		}
+		for v := 0; v < cfg.ValRounds; v++ {
+			valRounds = append(valRounds, s.SampleRound(valIdx, cfg.RoundSize, valStream))
+		}
+	}
+	bestVal := tr.validationRegret(valRounds)
+	bestSet := tr.Set.Clone()
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		round := s.SampleRound(fitIdx, cfg.RoundSize, roundStream)
+		Z := s.FeaturesOf(round)
+		Tm, Am := s.MeasuredMatrices(round)
+		trueProb := cfg.Match.Problem(Tm, Am)
+
+		tp, That, Ahat := tr.Set.forward(Z)
+		dT, dA, trainRegret, err := tr.matchingGrads(trueProb, That, Ahat, Tm, Am, gradStream.SplitIndexed("epoch", epoch))
+		tr.History = append(tr.History, trainRegret)
+		if err != nil {
+			tr.SkippedEpochs++
+			continue
+		}
+		if cfg.MSEAnchor > 0 {
+			// Auxiliary MSE gradient keeps predictions anchored to the
+			// measurements while the regret term reweights them.
+			n := float64(len(round))
+			scale := cfg.MSEAnchor * 2 / n
+			dT.AddScaled(scale, That.Clone().AddScaled(-1, Tm))
+			dA.AddScaled(scale, Ahat.Clone().AddScaled(-1, Am))
+		}
+
+		updateTime := true
+		updateRel := true
+		if *cfg.Alternate {
+			updateTime = epoch%2 == 0
+			updateRel = !updateTime
+		}
+		n := len(round)
+		parallel.ForChunked(s.M(), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if updateTime {
+					dOut := mat.NewDense(n, 1)
+					for j := 0; j < n; j++ {
+						dOut.Set(j, 0, dT.At(i, j))
+					}
+					g := tr.Set.Preds[i].Time.Backward(tp.time[i], dOut, nil)
+					nn.ClipGrads(g, cfg.GradClip)
+					timeOpts[i].Step(tr.Set.Preds[i].Time, g)
+				}
+				if updateRel {
+					dOut := mat.NewDense(n, 1)
+					for j := 0; j < n; j++ {
+						dOut.Set(j, 0, dA.At(i, j))
+					}
+					g := tr.Set.Preds[i].Rel.Backward(tp.rel[i], dOut, nil)
+					nn.ClipGrads(g, cfg.GradClip)
+					relOpts[i].Step(tr.Set.Preds[i].Rel, g)
+				}
+			}
+		})
+
+		if len(valRounds) > 0 && (epoch+1)%cfg.CheckEvery == 0 {
+			if v := tr.validationRegret(valRounds); v < bestVal {
+				bestVal = v
+				bestSet = tr.Set.Clone()
+			}
+		}
+	}
+	if len(valRounds) > 0 {
+		// Final check, then restore the best snapshot seen.
+		if v := tr.validationRegret(valRounds); v < bestVal {
+			bestVal = v
+			bestSet = tr.Set.Clone()
+		}
+		tr.Set = bestSet
+		tr.ValRegret = bestVal
+	}
+	return tr
+}
+
+// validationRegret scores the current predictors on the held-out rounds:
+// mean discrete regret against the measured ground truth.
+func (tr *Trainer) validationRegret(valRounds [][]int) float64 {
+	if len(valRounds) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, round := range valRounds {
+		Z := tr.Scen.FeaturesOf(round)
+		Tm, Am := tr.Scen.MeasuredMatrices(round)
+		trueProb := tr.Cfg.Match.Problem(Tm, Am)
+		That, Ahat := tr.Set.Predict(Z)
+		assign := tr.Cfg.Match.Solve(That, Ahat)
+		_, oracle := matching.Solve(trueProb, matching.SolveOptions{Iters: tr.Cfg.Match.SolveIters})
+		total += (trueProb.DiscreteCost(assign) - trueProb.DiscreteCost(oracle)) / float64(len(round))
+	}
+	return total / float64(len(valRounds))
+}
+
+// matchingGrads computes dL/dT̂ and dL/dÂ for one training round, plus the
+// round's discrete training regret. The loss is equation (12)'s upper
+// level: L = (1/N)·(F(X*(T̂,Â); T, A) − F(X*(T,A); T, A)); only the first
+// term depends on the predictors, and ∂L/∂X* = (1/N)·∇_X F_true evaluated
+// at the prediction-driven optimum.
+func (tr *Trainer) matchingGrads(trueProb *matching.Problem, That, Ahat, Tm, Am *mat.Dense, r *rng.Source) (dT, dA *mat.Dense, trainRegret float64, err error) {
+	cfg := tr.Cfg
+	invN := 1 / float64(That.Cols)
+
+	// Prediction-driven optimum with the entropy regularizer active so the
+	// argmin is differentiable (see matching.Problem.Entropy).
+	predProb := cfg.Match.Problem(That, Ahat)
+	predProb.Entropy = cfg.Match.Entropy
+	X := matching.SolveRelaxed(predProb, matching.SolveOptions{Iters: cfg.Match.SolveIters})
+
+	// Loss gradient w.r.t. the matching: (1/N)·∇_X F under true values.
+	w := trueProb.GradX(X, nil)
+	w.Scale(invN)
+
+	// Training regret for the history curve (discrete, vs measured truth),
+	// with the oracle produced by the same matching pipeline (eq. 6).
+	predAssign := matching.Repair(predProb, matching.Round(X))
+	_, oracle := matching.Solve(trueProb, matching.SolveOptions{Iters: cfg.Match.SolveIters})
+	trainRegret = (trueProb.DiscreteCost(predAssign) - trueProb.DiscreteCost(oracle)) * invN
+
+	switch cfg.Kind {
+	case AD:
+		dT, dA, err = diffopt.AdjointGrads(predProb, X, w)
+		if err != nil {
+			return nil, nil, trainRegret, err
+		}
+	case UR:
+		ur := cfg.Unroll
+		if ur.Iters == 0 {
+			ur.Iters = cfg.Match.SolveIters
+		}
+		// The adjoint seed is the regret-loss gradient at the trajectory's
+		// own final iterate, not at the separately solved X.
+		_, dT, dA, err = diffopt.UnrolledGradsFunc(predProb, func(Xk *mat.Dense) *mat.Dense {
+			wk := trueProb.GradX(Xk, nil)
+			wk.Scale(invN)
+			return wk
+		}, ur)
+		if err != nil {
+			return nil, nil, trainRegret, err
+		}
+	default: // FG
+		if *cfg.RowWise {
+			// Algorithm 2 literally: when training cluster i's predictors,
+			// the other rows carry measured values (lines 3 and 7).
+			m, n := That.Rows, That.Cols
+			dT = mat.NewDense(m, n)
+			dA = mat.NewDense(m, n)
+			for i := 0; i < m; i++ {
+				Tmix := Tm.Clone()
+				copy(Tmix.Row(i), That.Row(i))
+				Amix := Am.Clone()
+				copy(Amix.Row(i), Ahat.Row(i))
+				rowProb := cfg.Match.Problem(Tmix, Amix)
+				rowProb.Entropy = cfg.Match.Entropy
+				Xi := matching.SolveRelaxed(rowProb, matching.SolveOptions{Iters: cfg.Match.SolveIters})
+				wi := trueProb.GradX(Xi, nil)
+				wi.Scale(invN)
+				dTi, dAi := diffopt.RowVJP(rowProb, Xi, wi, i, cfg.ZO, r.SplitIndexed("row", i))
+				copy(dT.Row(i), dTi)
+				copy(dA.Row(i), dAi)
+			}
+		} else {
+			dT, dA = diffopt.FullVJP(predProb, X, w, cfg.ZO, r.Split("full"))
+		}
+	}
+	return dT, dA, trainRegret, nil
+}
+
+// PretrainMSE fits every predictor in the set to the measured labels over
+// the training indices by plain MSE — equation (1), the entirety of the
+// two-stage baseline's learning. All 2M networks train in parallel.
+func PretrainMSE(set *PredictorSet, s *workload.Scenario, train []int, epochs int, r *rng.Source) {
+	if epochs <= 0 {
+		return
+	}
+	Z := s.FeaturesOf(train)
+	m := set.M()
+	parallel.ForChunked(2*m, 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i := k / 2
+			tv, av := s.LabelVectors(i, train)
+			cfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16}
+			if k%2 == 0 {
+				nn.TrainMSE(set.Preds[i].Time, Z, tv, cfg, r.SplitIndexed("time", i))
+			} else {
+				nn.TrainMSE(set.Preds[i].Rel, Z, av, cfg, r.SplitIndexed("rel", i))
+			}
+		}
+	})
+}

@@ -1,0 +1,359 @@
+package diffopt
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/mat"
+	"mfcp/internal/matching"
+	"mfcp/internal/rng"
+)
+
+// testProblem builds a small strictly-feasible convex instance with the
+// entropy regularizer enabled (MFCP-AD's domain).
+func testProblem(r *rng.Source, m, n int) *matching.Problem {
+	T := mat.NewDense(m, n)
+	A := mat.NewDense(m, n)
+	for k := range T.Data {
+		T.Data[k] = r.Uniform(0.3, 2.5)
+		A.Data[k] = r.Uniform(0.85, 0.99)
+	}
+	p := matching.NewProblem(T, A)
+	p.Gamma = 0.8
+	p.Beta = 6
+	p.Lambda = 0.05
+	p.Entropy = 0.05
+	return p
+}
+
+// preciseSolve converges the relaxed problem tightly so finite differences
+// of the argmin map are clean.
+func preciseSolve(p *matching.Problem, init *mat.Dense) *mat.Dense {
+	return matching.SolveRelaxed(p, matching.SolveOptions{Iters: 4000, Tol: 1e-12, Init: init})
+}
+
+// lossAt computes L(θ) = ⟨w, X*(θ)⟩ for perturbed matrices.
+func lossAt(p *matching.Problem, w *mat.Dense) float64 {
+	X := preciseSolve(p, nil)
+	return dot(w, X)
+}
+
+func TestAdjointGradsMatchFiniteDiffT(t *testing.T) {
+	r := rng.New(1)
+	p := testProblem(r, 3, 4)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(3, 4)
+	for k := range w.Data {
+		w.Data[k] = r.Norm()
+	}
+	dT, _, err := AdjointGrads(p, X, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-4
+	for _, k := range []int{0, 3, 5, 7, 11} {
+		orig := p.T.Data[k]
+		p.T.Data[k] = orig + h
+		up := lossAt(p, w)
+		p.T.Data[k] = orig - h
+		down := lossAt(p, w)
+		p.T.Data[k] = orig
+		fd := (up - down) / (2 * h)
+		if math.Abs(fd-dT.Data[k]) > 2e-2*(1+math.Abs(fd)) {
+			t.Fatalf("dL/dT[%d]: adjoint %v, fd %v", k, dT.Data[k], fd)
+		}
+	}
+}
+
+func TestAdjointGradsMatchFiniteDiffA(t *testing.T) {
+	r := rng.New(2)
+	p := testProblem(r, 3, 4)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(3, 4)
+	for k := range w.Data {
+		w.Data[k] = r.Norm()
+	}
+	_, dA, err := AdjointGrads(p, X, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-4
+	for _, k := range []int{1, 4, 6, 9} {
+		orig := p.A.Data[k]
+		p.A.Data[k] = orig + h
+		up := lossAt(p, w)
+		p.A.Data[k] = orig - h
+		down := lossAt(p, w)
+		p.A.Data[k] = orig
+		fd := (up - down) / (2 * h)
+		if math.Abs(fd-dA.Data[k]) > 2e-2*(1+math.Abs(fd)) {
+			t.Fatalf("dL/dA[%d]: adjoint %v, fd %v", k, dA.Data[k], fd)
+		}
+	}
+}
+
+func TestAdjointNonZeroReliabilityGradient(t *testing.T) {
+	// The whole point of the interior-point reformulation (§3.2): the
+	// gradient w.r.t. Â must NOT vanish when the constraint is satisfied.
+	r := rng.New(3)
+	p := testProblem(r, 3, 5)
+	X := preciseSolve(p, nil)
+	if p.ReliabilityMargin(X) <= 0 {
+		t.Fatal("test instance unexpectedly infeasible")
+	}
+	// Note w must not be constant: columns of X conserve mass, so a uniform
+	// w has exactly zero directional sensitivity to any parameter.
+	w := mat.NewDense(3, 5)
+	for k := range w.Data {
+		w.Data[k] = r.Norm()
+	}
+	_, dA, err := AdjointGrads(p, X, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dA.MaxAbs() < 1e-8 {
+		t.Fatalf("reliability gradient vanished: %v", dA.MaxAbs())
+	}
+}
+
+func TestJacobiansMatchAdjoint(t *testing.T) {
+	// The adjoint form must equal wᵀ·J for the full Jacobians.
+	r := rng.New(4)
+	p := testProblem(r, 2, 3)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(2, 3)
+	for k := range w.Data {
+		w.Data[k] = r.Norm()
+	}
+	dT, dA, err := AdjointGrads(p, X, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	JT, JA, err := Jacobians(p, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn := 6
+	for col := 0; col < mn; col++ {
+		sT, sA := 0.0, 0.0
+		for row := 0; row < mn; row++ {
+			sT += w.Data[row] * JT.At(row, col)
+			sA += w.Data[row] * JA.At(row, col)
+		}
+		if math.Abs(sT-dT.Data[col]) > 1e-8 {
+			t.Fatalf("T col %d: jacobian %v adjoint %v", col, sT, dT.Data[col])
+		}
+		if math.Abs(sA-dA.Data[col]) > 1e-8 {
+			t.Fatalf("A col %d: jacobian %v adjoint %v", col, sA, dA.Data[col])
+		}
+	}
+}
+
+func TestJacobianColumnsSumToZero(t *testing.T) {
+	// Each column of X lives on a simplex: perturbing any parameter moves
+	// mass within columns, so per-column entries of dX/dθ must sum to 0.
+	r := rng.New(5)
+	p := testProblem(r, 3, 3)
+	X := preciseSolve(p, nil)
+	JT, JA, err := Jacobians(p, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.N()
+	for col := 0; col < 9; col++ {
+		for j := 0; j < n; j++ {
+			sT, sA := 0.0, 0.0
+			for i := 0; i < p.M(); i++ {
+				sT += JT.At(i*n+j, col)
+				sA += JA.At(i*n+j, col)
+			}
+			if math.Abs(sT) > 1e-8 || math.Abs(sA) > 1e-8 {
+				t.Fatalf("column mass not conserved: sT=%v sA=%v", sT, sA)
+			}
+		}
+	}
+}
+
+func TestADRequiresEntropyAndConvexity(t *testing.T) {
+	r := rng.New(6)
+	p := testProblem(r, 2, 2)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(2, 2).Fill(1)
+
+	noEntropy := *p
+	noEntropy.Entropy = 0
+	if _, _, err := AdjointGrads(&noEntropy, X, w); err == nil {
+		t.Fatal("AD accepted zero entropy")
+	}
+
+	parallel := *p
+	parallel.Speedups = []cluster.SpeedupCurve{cluster.DefaultSpeedup(), cluster.DefaultSpeedup()}
+	if _, _, err := AdjointGrads(&parallel, X, w); err != ErrNotConvex {
+		t.Fatal("AD accepted non-convex problem")
+	}
+
+	linear := *p
+	linear.Objective = matching.LinearSum
+	if _, _, err := AdjointGrads(&linear, X, w); err != ErrNotConvex {
+		t.Fatal("AD accepted linear-sum objective")
+	}
+}
+
+func TestZerothOrderRowVJPMatchesAdjoint(t *testing.T) {
+	// In the convex setting the zeroth-order estimate must agree with the
+	// analytic gradient up to sampling noise (Theorem 3's bound).
+	r := rng.New(7)
+	p := testProblem(r, 3, 4)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(3, 4)
+	for k := range w.Data {
+		w.Data[k] = r.Norm()
+	}
+	dT, dA, err := AdjointGrads(p, X, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ZeroOrderConfig{Delta: 0.02, Samples: 600, Solve: func(q *matching.Problem, init *mat.Dense) *mat.Dense {
+		return matching.SolveRelaxed(q, matching.SolveOptions{Iters: 800, Tol: 1e-10, Init: init})
+	}}
+	row := 1
+	zT, zA := RowVJP(p, X, w, row, cfg, r.Split("zo"))
+	// Compare direction and magnitude loosely: cosine similarity > 0.9.
+	cos := func(a, b mat.Vec) float64 {
+		na, nb := a.Norm2(), b.Norm2()
+		if na == 0 || nb == 0 {
+			return 0
+		}
+		return a.Dot(b) / (na * nb)
+	}
+	if c := cos(zT, dT.Row(row)); c < 0.9 {
+		t.Fatalf("zeroth-order dT cosine %v\nzo=%v\nad=%v", c, zT, dT.Row(row))
+	}
+	if c := cos(zA, dA.Row(row)); c < 0.85 {
+		t.Fatalf("zeroth-order dA cosine %v\nzo=%v\nad=%v", c, zA, dA.Row(row))
+	}
+}
+
+func TestZerothOrderVarianceShrinksWithSamples(t *testing.T) {
+	r := rng.New(8)
+	p := testProblem(r, 3, 3)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(3, 3).Fill(1)
+	spread := func(samples int) float64 {
+		var acc float64
+		var est []mat.Vec
+		for rep := 0; rep < 6; rep++ {
+			zT, _ := RowVJP(p, X, w, 0, ZeroOrderConfig{Delta: 0.05, Samples: samples}, r.SplitIndexed("rep", rep*1000+samples))
+			est = append(est, zT)
+		}
+		// mean pairwise distance
+		cnt := 0
+		for i := range est {
+			for j := i + 1; j < len(est); j++ {
+				d := est[i].Clone().AddScaled(-1, est[j]).Norm2()
+				acc += d
+				cnt++
+			}
+		}
+		return acc / float64(cnt)
+	}
+	small := spread(4)
+	large := spread(64)
+	if large > small {
+		t.Fatalf("spread did not shrink with samples: S=4 %v vs S=64 %v", small, large)
+	}
+}
+
+func TestZerothOrderWorksOnNonConvex(t *testing.T) {
+	// The parallel-execution setting: AD refuses, FG must still produce a
+	// finite, non-trivial gradient.
+	r := rng.New(9)
+	p := testProblem(r, 3, 5)
+	p.Speedups = []cluster.SpeedupCurve{
+		cluster.DefaultSpeedup(), {Floor: 0.7, Rate: 0.4}, cluster.DefaultSpeedup(),
+	}
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(3, 5)
+	for k := range w.Data {
+		w.Data[k] = r.Norm()
+	}
+	zT, zA := RowVJP(p, X, w, 2, ZeroOrderConfig{Delta: 0.05, Samples: 32}, r.Split("zo"))
+	for _, v := range append(zT.Clone(), zA...) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite zeroth-order gradient: %v %v", zT, zA)
+		}
+	}
+	if zT.NormInf() == 0 {
+		t.Fatal("time gradient identically zero")
+	}
+}
+
+func TestFullVJPShapes(t *testing.T) {
+	r := rng.New(10)
+	p := testProblem(r, 3, 4)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(3, 4).Fill(1)
+	dT, dA := FullVJP(p, X, w, ZeroOrderConfig{Samples: 8}, r.Split("full"))
+	if dT.Rows != 3 || dT.Cols != 4 || dA.Rows != 3 || dA.Cols != 4 {
+		t.Fatal("FullVJP shape mismatch")
+	}
+}
+
+func TestOptimalDelta(t *testing.T) {
+	d := OptimalDelta(1, 10, 16)
+	want := math.Sqrt(math.Sqrt(2.0 / (100 * 16)))
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("OptimalDelta=%v want %v", d, want)
+	}
+	if OptimalDelta(0, 10, 16) != 0.05 {
+		t.Fatal("degenerate OptimalDelta should fall back to default")
+	}
+	// Larger S → smaller optimal Δ (variance shrinks, take less bias).
+	if OptimalDelta(1, 10, 64) >= OptimalDelta(1, 10, 4) {
+		t.Fatal("OptimalDelta not decreasing in S")
+	}
+}
+
+func TestBoundaryDetection(t *testing.T) {
+	// Construct an instance whose optimum pins the reliability margin near
+	// zero: γ barely achievable.
+	T := mat.FromRows([][]float64{{1, 1}, {1, 1}})
+	A := mat.FromRows([][]float64{{0.849, 0.849}, {0.8495, 0.8495}})
+	p := matching.NewProblem(T, A)
+	p.Gamma = 0.8493
+	p.Entropy = 0.05
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(2, 2).Fill(1)
+	if _, _, err := AdjointGrads(p, X, w); err == nil {
+		// Not necessarily ErrBoundary (the barrier may keep u above the
+		// threshold), but if it succeeds the margin must be genuinely safe.
+		if u := p.ReliabilityMargin(X); u < 1e-6 {
+			t.Fatalf("AD accepted boundary margin %v", u)
+		}
+	}
+}
+
+func BenchmarkAdjointGrads3x10(b *testing.B) {
+	r := rng.New(1)
+	p := testProblem(r, 3, 10)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(3, 10).Fill(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := AdjointGrads(p, X, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRowVJP3x10S8(b *testing.B) {
+	r := rng.New(1)
+	p := testProblem(r, 3, 10)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(3, 10).Fill(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RowVJP(p, X, w, 0, ZeroOrderConfig{Samples: 8}, r.SplitIndexed("b", i))
+	}
+}

@@ -1,0 +1,136 @@
+package diffopt
+
+import (
+	"mfcp/internal/mat"
+	"mfcp/internal/matching"
+)
+
+// linearization caches the quantities needed for Hessian-vector and
+// cross-derivative products of the convex sequential objective F at a
+// point X: the log-sum-exp weights, the reliability margin, and the
+// barrier's first/second derivatives there. Unlike the KKT path, it is
+// valid anywhere in the simplex (including the barrier's linear-extension
+// region), which backprop-through-the-solver needs since early iterates
+// can be infeasible.
+type linearization struct {
+	p    *matching.Problem
+	X    *mat.Dense
+	pw   mat.Vec // softmax weights of the loads
+	u    float64 // reliability margin
+	bg   float64 // d(barrier)/du
+	b2   float64 // d²(barrier)/du²
+	c    float64 // normalization constant of g
+	beta float64
+	rho  float64
+}
+
+// linearize evaluates the shared state at X. Only the convex sequential
+// objective (SmoothMakespan, no speedups) is supported.
+func linearize(p *matching.Problem, X *mat.Dense) (*linearization, error) {
+	if !p.IsConvex() || p.Objective != matching.SmoothMakespan {
+		return nil, ErrNotConvex
+	}
+	loads := p.Loads(X, nil)
+	l := &linearization{
+		p: p, X: X,
+		pw:   mat.SoftmaxWeights(loads, p.Beta, nil),
+		u:    p.ReliabilityMargin(X),
+		c:    p.NormConst(),
+		beta: p.Beta,
+		rho:  p.Entropy,
+	}
+	l.bg, l.b2 = p.BarrierDeriv(l.u)
+	return l, nil
+}
+
+// HessVec computes (∇²_XX F)·v into dst (allocating when nil):
+//
+//	(Hv)_ij = β·pw_i·t_ij·[(t_i·v_i) − Σ_k pw_k (t_k·v_k)]
+//	        + b2·c²·a_ij·⟨A, v⟩ + (ρ/x_ij)·v_ij.
+func (l *linearization) HessVec(v, dst *mat.Dense) *mat.Dense {
+	m, n := l.p.M(), l.p.N()
+	if dst == nil {
+		dst = mat.NewDense(m, n)
+	}
+	// Per-cluster contractions t_i·v_i and the pw-weighted total.
+	tv := mat.NewVec(m)
+	wsum := 0.0
+	av := 0.0
+	for i := 0; i < m; i++ {
+		tv[i] = l.p.T.Row(i).Dot(v.Row(i))
+		wsum += l.pw[i] * tv[i]
+		av += l.p.A.Row(i).Dot(v.Row(i))
+	}
+	barCoef := l.b2 * l.c * l.c * av
+	for i := 0; i < m; i++ {
+		ti := l.p.T.Row(i)
+		ai := l.p.A.Row(i)
+		xi := l.X.Row(i)
+		vi := v.Row(i)
+		drow := dst.Row(i)
+		lse := l.beta * l.pw[i] * (tv[i] - wsum)
+		for j := 0; j < n; j++ {
+			out := lse*ti[j] + barCoef*ai[j]
+			if l.rho > 0 {
+				x := xi[j]
+				if x < 1e-9 {
+					x = 1e-9
+				}
+				out += l.rho / x * vi[j]
+			}
+			drow[j] = out
+		}
+	}
+	return dst
+}
+
+// CrossTVec computes (∇²_XT F)ᵀ·y into dst (allocating when nil) — the
+// contraction dL/dT given an adjoint y on X:
+//
+//	(Bᵀy)_kl = β·pw_k·x_kl·(r_k − R) + pw_k·y_kl,  r_i = y_i·t_i, R = Σ pw_i r_i.
+func (l *linearization) CrossTVec(y, dst *mat.Dense) *mat.Dense {
+	m, n := l.p.M(), l.p.N()
+	if dst == nil {
+		dst = mat.NewDense(m, n)
+	}
+	r := mat.NewVec(m)
+	R := 0.0
+	for i := 0; i < m; i++ {
+		r[i] = y.Row(i).Dot(l.p.T.Row(i))
+		R += l.pw[i] * r[i]
+	}
+	for k := 0; k < m; k++ {
+		xk := l.X.Row(k)
+		yk := y.Row(k)
+		drow := dst.Row(k)
+		coef := l.beta * l.pw[k] * (r[k] - R)
+		for j := 0; j < n; j++ {
+			drow[j] = coef*xk[j] + l.pw[k]*yk[j]
+		}
+	}
+	return dst
+}
+
+// CrossAVec computes (∇²_XA F)ᵀ·y into dst (allocating when nil):
+//
+//	(Bᵀy)_kl = bg·c·y_kl + b2·c²·x_kl·⟨A, y⟩.
+func (l *linearization) CrossAVec(y, dst *mat.Dense) *mat.Dense {
+	m, n := l.p.M(), l.p.N()
+	if dst == nil {
+		dst = mat.NewDense(m, n)
+	}
+	q := 0.0
+	for i := 0; i < m; i++ {
+		q += y.Row(i).Dot(l.p.A.Row(i))
+	}
+	coef := l.b2 * l.c * l.c * q
+	for k := 0; k < m; k++ {
+		xk := l.X.Row(k)
+		yk := y.Row(k)
+		drow := dst.Row(k)
+		for j := 0; j < n; j++ {
+			drow[j] = l.bg*l.c*yk[j] + coef*xk[j]
+		}
+	}
+	return dst
+}

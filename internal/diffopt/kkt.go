@@ -1,0 +1,268 @@
+// Package diffopt differentiates the matching argmin with respect to the
+// predicted cost matrices — the core technical machinery of MFCP (§3.3–3.4).
+//
+// Two routes are provided, matching the paper's two variants:
+//
+//   - Analytical differentiation (MFCP-AD): for the convex sequential
+//     setting, the total differential of the stationarity system (eq. 15)
+//     yields dX*/dT̂ and dX*/dÂ. We implement the adjoint (vector–Jacobian)
+//     form — one symmetric KKT solve per backward pass — plus full Jacobians
+//     for analysis and tests.
+//
+//   - Zeroth-order forward gradients (MFCP-FG, Algorithm 2): Gaussian
+//     perturbations of the predicted row, re-solving the matching, and
+//     averaging directional differences. Works for the non-convex parallel
+//     setting where no closed form exists.
+//
+// All derivative code is validated against finite differences of the actual
+// solver output in the package tests.
+package diffopt
+
+import (
+	"errors"
+	"fmt"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/matching"
+)
+
+// ErrNotConvex is returned when analytical differentiation is requested for
+// a problem outside its domain (parallel speedups, linear-sum objective, or
+// hard penalty).
+var ErrNotConvex = errors.New("diffopt: analytical differentiation requires the convex sequential setting with a log barrier")
+
+// ErrBoundary is returned when the optimum sits too close to the constraint
+// boundary for the implicit function theorem to apply.
+var ErrBoundary = errors.New("diffopt: optimum too close to reliability boundary for implicit differentiation")
+
+// adCompatible checks the problem is in MFCP-AD's domain.
+func adCompatible(p *matching.Problem) error {
+	if !p.IsConvex() || p.Objective != matching.SmoothMakespan || p.Barrier != matching.LogBarrier {
+		return ErrNotConvex
+	}
+	if p.Entropy <= 0 {
+		return errors.New("diffopt: analytical differentiation needs Entropy > 0 for a nonsingular KKT system (see matching.Problem.Entropy)")
+	}
+	return nil
+}
+
+// kktState caches the quantities shared by the Hessian blocks at X.
+type kktState struct {
+	m, n  int
+	pw    mat.Vec // softmax weights of the loads
+	u     float64 // reliability margin g(X, A)
+	c     float64 // normalization constant in g
+	X     *mat.Dense
+	probT *mat.Dense
+	probA *mat.Dense
+	rho   float64
+}
+
+func newKKTState(p *matching.Problem, X *mat.Dense) (*kktState, error) {
+	if err := adCompatible(p); err != nil {
+		return nil, err
+	}
+	loads := p.Loads(X, nil)
+	st := &kktState{
+		m: p.M(), n: p.N(),
+		pw:    mat.SoftmaxWeights(loads, p.Beta, nil),
+		u:     p.ReliabilityMargin(X),
+		X:     X,
+		probT: p.T,
+		probA: p.A,
+		rho:   p.Entropy,
+	}
+	switch p.Norm {
+	case matching.NormPerClusterTask:
+		st.c = 1 / float64(st.m*st.n)
+	default:
+		st.c = 1 / float64(st.n)
+	}
+	if st.u < 1e-6 {
+		return nil, ErrBoundary
+	}
+	return st, nil
+}
+
+// assembleKKT builds the symmetric reduced KKT matrix
+//
+//	K = [ ∇²_XX F   Dᵀ ]
+//	    [ D         0  ]
+//
+// with D the N×MN column-sum (equality constraint) Jacobian, box
+// constraints disregarded per §3.3 of the paper.
+func (st *kktState) assembleKKT(beta, lambda float64) *mat.Dense {
+	mn := st.m * st.n
+	dim := mn + st.n
+	K := mat.NewDense(dim, dim)
+	bar := lambda * st.c * st.c / (st.u * st.u)
+	for i := 0; i < st.m; i++ {
+		ti := st.probT.Row(i)
+		ai := st.probA.Row(i)
+		for k := 0; k < st.m; k++ {
+			tk := st.probT.Row(k)
+			ak := st.probA.Row(k)
+			// β·pw_i(δ_ik − pw_k) coefficient of t_i t_kᵀ.
+			coef := -beta * st.pw[i] * st.pw[k]
+			if i == k {
+				coef += beta * st.pw[i]
+			}
+			for j := 0; j < st.n; j++ {
+				row := K.Row(i*st.n + j)
+				base := k * st.n
+				for l := 0; l < st.n; l++ {
+					row[base+l] += coef*ti[j]*tk[l] + bar*ai[j]*ak[l]
+				}
+			}
+		}
+		// Entropy diagonal ρ/x.
+		for j := 0; j < st.n; j++ {
+			x := st.X.At(i, j)
+			if x < 1e-9 {
+				x = 1e-9
+			}
+			K.Add(i*st.n+j, i*st.n+j, st.rho/x)
+		}
+	}
+	// Equality blocks: D and Dᵀ.
+	for j := 0; j < st.n; j++ {
+		for i := 0; i < st.m; i++ {
+			K.Set(mn+j, i*st.n+j, 1)
+			K.Set(i*st.n+j, mn+j, 1)
+		}
+	}
+	return K
+}
+
+// AdjointGrads computes dL/dT̂ and dL/dÂ given w = ∂L/∂X* at the relaxed
+// optimum X* of p — the right-to-left gradient decomposition of equation
+// (7), middle factor. It performs one KKT factorization and two cheap
+// contraction passes.
+func AdjointGrads(p *matching.Problem, X, w *mat.Dense) (dT, dA *mat.Dense, err error) {
+	st, err := newKKTState(p, X)
+	if err != nil {
+		return nil, nil, err
+	}
+	mn := st.m * st.n
+	K := st.assembleKKT(p.Beta, p.Lambda)
+	rhs := mat.NewVec(mn + st.n)
+	copy(rhs[:mn], w.Data)
+	f, err := mat.Factorize(K)
+	if err != nil {
+		return nil, nil, fmt.Errorf("diffopt: KKT factorization: %w", err)
+	}
+	yFull, err := f.Solve(rhs, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("diffopt: KKT solve: %w", err)
+	}
+	y := mat.NewDense(st.m, st.n)
+	copy(y.Data, yFull[:mn])
+
+	// dL/dT_kl = −[ β·pw_k·x_kl·(r_k − R) + pw_k·y_kl ]
+	// with r_i = Σ_j y_ij t_ij and R = Σ_i pw_i r_i.
+	dT = mat.NewDense(st.m, st.n)
+	r := mat.NewVec(st.m)
+	for i := 0; i < st.m; i++ {
+		r[i] = y.Row(i).Dot(st.probT.Row(i))
+	}
+	R := 0.0
+	for i := 0; i < st.m; i++ {
+		R += st.pw[i] * r[i]
+	}
+	for k := 0; k < st.m; k++ {
+		xk := st.X.Row(k)
+		yk := y.Row(k)
+		drow := dT.Row(k)
+		for l := 0; l < st.n; l++ {
+			drow[l] = -(p.Beta*st.pw[k]*xk[l]*(r[k]-R) + st.pw[k]*yk[l])
+		}
+	}
+
+	// dL/dA_kl = −[ −(λc/u)·y_kl + (λc²/u²)·q·x_kl ], q = Σ y ⊙ A.
+	dA = mat.NewDense(st.m, st.n)
+	q := 0.0
+	for i := 0; i < st.m; i++ {
+		q += y.Row(i).Dot(st.probA.Row(i))
+	}
+	lcu := p.Lambda * st.c / st.u
+	lc2u2 := p.Lambda * st.c * st.c / (st.u * st.u)
+	for k := 0; k < st.m; k++ {
+		xk := st.X.Row(k)
+		yk := y.Row(k)
+		drow := dA.Row(k)
+		for l := 0; l < st.n; l++ {
+			drow[l] = -(-lcu*yk[l] + lc2u2*q*xk[l])
+		}
+	}
+	return dT, dA, nil
+}
+
+// Jacobians computes the full Jacobians dX*/dT̂ and dX*/dÂ as (MN)×(MN)
+// matrices (row index: vec(X) entry; column index: vec(T) or vec(A) entry).
+// Intended for analysis and tests; training uses AdjointGrads.
+func Jacobians(p *matching.Problem, X *mat.Dense) (JT, JA *mat.Dense, err error) {
+	st, err := newKKTState(p, X)
+	if err != nil {
+		return nil, nil, err
+	}
+	mn := st.m * st.n
+	K := st.assembleKKT(p.Beta, p.Lambda)
+	f, err := mat.Factorize(K)
+	if err != nil {
+		return nil, nil, err
+	}
+	JT = mat.NewDense(mn, mn)
+	JA = mat.NewDense(mn, mn)
+	rhs := mat.NewVec(mn + st.n)
+	sol := mat.NewVec(mn + st.n)
+	// For each parameter θ_kl, rhs = −B[:, (kl)]; solve K·[dX;dν] = rhs.
+	for k := 0; k < st.m; k++ {
+		for l := 0; l < st.n; l++ {
+			col := k*st.n + l
+			// B_T column: ∂²F/∂x_ij∂t_kl = β pw_i (δ_ik − pw_k) x_kl t_ij + pw_i δ_ik δ_jl.
+			rhs.Fill(0)
+			xkl := st.X.At(k, l)
+			for i := 0; i < st.m; i++ {
+				coef := -p.Beta * st.pw[i] * st.pw[k]
+				if i == k {
+					coef += p.Beta * st.pw[i]
+				}
+				ti := st.probT.Row(i)
+				for j := 0; j < st.n; j++ {
+					v := coef * xkl * ti[j]
+					if i == k && j == l {
+						v += st.pw[i]
+					}
+					rhs[i*st.n+j] = -v
+				}
+			}
+			if _, err := f.Solve(rhs, sol); err != nil {
+				return nil, nil, err
+			}
+			for idx := 0; idx < mn; idx++ {
+				JT.Set(idx, col, sol[idx])
+			}
+			// B_A column: ∂²F/∂x_ij∂a_kl = −(λc/u) δ_ik δ_jl + (λc²/u²) a_ij x_kl.
+			rhs.Fill(0)
+			lcu := p.Lambda * st.c / st.u
+			lc2u2 := p.Lambda * st.c * st.c / (st.u * st.u)
+			for i := 0; i < st.m; i++ {
+				ai := st.probA.Row(i)
+				for j := 0; j < st.n; j++ {
+					v := lc2u2 * ai[j] * xkl
+					if i == k && j == l {
+						v -= lcu
+					}
+					rhs[i*st.n+j] = -v
+				}
+			}
+			if _, err := f.Solve(rhs, sol); err != nil {
+				return nil, nil, err
+			}
+			for idx := 0; idx < mn; idx++ {
+				JA.Set(idx, col, sol[idx])
+			}
+		}
+	}
+	return JT, JA, nil
+}

@@ -1,0 +1,82 @@
+package diffopt
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/mat"
+	"mfcp/internal/matching"
+	"mfcp/internal/rng"
+)
+
+func TestSPSADirectionMatchesAdjoint(t *testing.T) {
+	r := rng.New(71)
+	p := testProblem(r, 3, 4)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(3, 4)
+	r.NormVec(w.Data)
+	dTa, dAa, err := AdjointGrads(p, X, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ZeroOrderConfig{Delta: 0.02, Samples: 800, Solve: func(q *matching.Problem, init *mat.Dense) *mat.Dense {
+		return matching.SolveRelaxed(q, matching.SolveOptions{Iters: 800, Tol: 1e-10, Init: init})
+	}}
+	dTs, dAs := SPSAVJP(p, X, w, cfg, r.Split("spsa"))
+	cos := func(a, b mat.Vec) float64 {
+		return a.Dot(b) / (a.Norm2()*b.Norm2() + 1e-300)
+	}
+	if c := cos(mat.Vec(dTs.Data), mat.Vec(dTa.Data)); c < 0.85 {
+		t.Fatalf("SPSA dT cosine %v", c)
+	}
+	if c := cos(mat.Vec(dAs.Data), mat.Vec(dAa.Data)); c < 0.75 {
+		t.Fatalf("SPSA dA cosine %v", c)
+	}
+}
+
+func TestSPSAFiniteOnNonConvex(t *testing.T) {
+	r := rng.New(72)
+	p := testProblem(r, 3, 5)
+	p.Speedups = nonConvexSpeedups(3)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(3, 5)
+	r.NormVec(w.Data)
+	dT, dA := SPSAVJP(p, X, w, ZeroOrderConfig{Samples: 16}, r.Split("spsa"))
+	for k := range dT.Data {
+		if math.IsNaN(dT.Data[k]) || math.IsNaN(dA.Data[k]) {
+			t.Fatal("NaN in SPSA gradient")
+		}
+	}
+	if dT.MaxAbs() == 0 {
+		t.Fatal("SPSA time gradient identically zero")
+	}
+}
+
+func TestRademacherEntries(t *testing.T) {
+	r := rng.New(73)
+	d := rademacher(r, 8, 8)
+	plus, minus := 0, 0
+	for _, v := range d.Data {
+		switch v {
+		case 1:
+			plus++
+		case -1:
+			minus++
+		default:
+			t.Fatalf("non-Rademacher entry %v", v)
+		}
+	}
+	if plus == 0 || minus == 0 {
+		t.Fatal("degenerate Rademacher draw")
+	}
+}
+
+// nonConvexSpeedups builds default ζ curves for m clusters (test helper).
+func nonConvexSpeedups(m int) []cluster.SpeedupCurve {
+	out := make([]cluster.SpeedupCurve, m)
+	for i := range out {
+		out[i] = cluster.DefaultSpeedup()
+	}
+	return out
+}

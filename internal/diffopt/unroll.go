@@ -1,0 +1,134 @@
+package diffopt
+
+import (
+	"mfcp/internal/mat"
+	"mfcp/internal/matching"
+)
+
+// UnrollConfig parameterizes backpropagation through the solver.
+type UnrollConfig struct {
+	// Iters is the number of mirror-descent steps to unroll (default 120).
+	Iters int
+	// LR is the step size η (default 0.5, matching the solver default).
+	LR float64
+}
+
+func (c *UnrollConfig) fillDefaults() {
+	if c.Iters == 0 {
+		c.Iters = 120
+	}
+	if c.LR == 0 {
+		c.LR = 0.5
+	}
+}
+
+// UnrolledGrads computes dL/dT̂ and dL/dÂ by differentiating through the
+// mirror-descent iterations themselves (Domke-style "unrolling") rather
+// than through the optimality conditions. Given w = ∂L/∂X_K at the final
+// iterate, it replays the forward trajectory
+//
+//	X_k = colsoftmax(Y_k),   Y_{k+1} = Y_k − η·∇_X F(X_k, T̂, Â),
+//
+// and backpropagates with the closed-form Hessian- and cross-derivative
+// products of hvp.go. It returns the final iterate alongside the gradients.
+//
+// Compared to AdjointGrads (implicit differentiation at the converged
+// optimum) unrolling needs no KKT solve, tolerates non-converged or
+// boundary trajectories, and differentiates exactly the computation the
+// solver performs — at the cost of O(K) Hessian products and storing K
+// iterates. It shares the convex-sequential-objective restriction.
+func UnrolledGrads(p *matching.Problem, w *mat.Dense, cfg UnrollConfig) (X, dT, dA *mat.Dense, err error) {
+	return UnrolledGradsFunc(p, func(*mat.Dense) *mat.Dense { return w }, cfg)
+}
+
+// UnrolledGradsFunc is UnrolledGrads with the loss gradient supplied as a
+// function of the final iterate — needed when ∂L/∂X itself depends on where
+// the trajectory lands (as the regret loss does).
+func UnrolledGradsFunc(p *matching.Problem, wAt func(X *mat.Dense) *mat.Dense, cfg UnrollConfig) (X, dT, dA *mat.Dense, err error) {
+	cfg.fillDefaults()
+	if !p.IsConvex() || p.Objective != matching.SmoothMakespan {
+		return nil, nil, nil, ErrNotConvex
+	}
+	m, n := p.M(), p.N()
+
+	// Forward pass, storing every iterate.
+	Y := mat.NewDense(m, n) // zero logits = uniform columns
+	iterates := make([]*mat.Dense, cfg.Iters+1)
+	grad := mat.NewDense(m, n)
+	for k := 0; k <= cfg.Iters; k++ {
+		Xk := colSoftmax(Y, nil)
+		iterates[k] = Xk
+		if k == cfg.Iters {
+			break
+		}
+		p.GradX(Xk, grad)
+		Y.AddScaled(-cfg.LR, grad)
+	}
+	X = iterates[cfg.Iters]
+
+	// Backward pass.
+	dT = mat.NewDense(m, n)
+	dA = mat.NewDense(m, n)
+	// dL/dY at step K: softmax-Jacobian product with w at the final iterate.
+	dY := softmaxJVP(X, wAt(X), nil)
+	hv := mat.NewDense(m, n)
+	sv := mat.NewDense(m, n)
+	cross := mat.NewDense(m, n)
+	for k := cfg.Iters - 1; k >= 0; k-- {
+		Xk := iterates[k]
+		l, lerr := linearize(p, Xk)
+		if lerr != nil {
+			return nil, nil, nil, lerr
+		}
+		// Parameter gradients: dL/dθ += −η · B_θ(X_k)ᵀ · dY.
+		l.CrossTVec(dY, cross)
+		dT.AddScaled(-cfg.LR, cross)
+		l.CrossAVec(dY, cross)
+		dA.AddScaled(-cfg.LR, cross)
+		// State gradient: dY ← dY − η · S(X_k) · H(X_k) · dY.
+		l.HessVec(dY, hv)
+		softmaxJVP(Xk, hv, sv)
+		dY.AddScaled(-cfg.LR, sv)
+	}
+	return X, dT, dA, nil
+}
+
+// colSoftmax writes the column-wise softmax of logits into dst
+// (allocating when nil).
+func colSoftmax(logits, dst *mat.Dense) *mat.Dense {
+	if dst == nil {
+		dst = mat.NewDense(logits.Rows, logits.Cols)
+	}
+	col := mat.NewVec(logits.Rows)
+	sm := mat.NewVec(logits.Rows)
+	for j := 0; j < logits.Cols; j++ {
+		for i := 0; i < logits.Rows; i++ {
+			col[i] = logits.At(i, j)
+		}
+		col.Softmax(1, sm)
+		for i := 0; i < logits.Rows; i++ {
+			dst.Set(i, j, sm[i])
+		}
+	}
+	return dst
+}
+
+// softmaxJVP computes, column by column, S(x)·v where S = diag(x) − x xᵀ is
+// the softmax Jacobian (symmetric, so this is also Sᵀ·v). dst is allocated
+// when nil; v and dst may not alias.
+func softmaxJVP(X, v, dst *mat.Dense) *mat.Dense {
+	if dst == nil {
+		dst = mat.NewDense(X.Rows, X.Cols)
+	}
+	for j := 0; j < X.Cols; j++ {
+		dot := 0.0
+		for i := 0; i < X.Rows; i++ {
+			dot += X.At(i, j) * v.At(i, j)
+		}
+		for i := 0; i < X.Rows; i++ {
+			x := X.At(i, j)
+			dst.Set(i, j, x*(v.At(i, j)-dot))
+		}
+	}
+	return dst
+}

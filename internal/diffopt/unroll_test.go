@@ -1,0 +1,290 @@
+package diffopt
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/mat"
+	"mfcp/internal/matching"
+	"mfcp/internal/rng"
+)
+
+func TestColSoftmaxColumnsSumToOne(t *testing.T) {
+	r := rng.New(31)
+	logits := mat.NewDense(3, 5)
+	r.NormVec(logits.Data)
+	X := colSoftmax(logits, nil)
+	for j := 0; j < 5; j++ {
+		sum := 0.0
+		for i := 0; i < 3; i++ {
+			v := X.At(i, j)
+			if v <= 0 || v >= 1 {
+				t.Fatalf("softmax value %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("column %d sum %v", j, sum)
+		}
+	}
+}
+
+func TestSoftmaxJVPMatchesFiniteDiff(t *testing.T) {
+	r := rng.New(32)
+	logits := mat.NewDense(3, 2)
+	r.NormVec(logits.Data)
+	v := mat.NewDense(3, 2)
+	r.NormVec(v.Data)
+	X := colSoftmax(logits, nil)
+	analytic := softmaxJVP(X, v, nil)
+	// finite-difference d⟨v, softmax(Y)⟩/dY
+	const h = 1e-6
+	for k := range logits.Data {
+		orig := logits.Data[k]
+		logits.Data[k] = orig + h
+		up := dot(v, colSoftmax(logits, nil))
+		logits.Data[k] = orig - h
+		down := dot(v, colSoftmax(logits, nil))
+		logits.Data[k] = orig
+		fd := (up - down) / (2 * h)
+		if math.Abs(fd-analytic.Data[k]) > 1e-6 {
+			t.Fatalf("JVP[%d]: analytic %v fd %v", k, analytic.Data[k], fd)
+		}
+	}
+}
+
+func TestHessVecMatchesFiniteDiffOfGrad(t *testing.T) {
+	r := rng.New(33)
+	p := testProblem(r, 3, 4)
+	X := preciseSolve(p, nil)
+	l, err := linearize(p, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := mat.NewDense(3, 4)
+	r.NormVec(v.Data)
+	analytic := l.HessVec(v, nil)
+	// FD: (∇F(X + hv) − ∇F(X − hv)) / 2h
+	const h = 1e-6
+	up := p.GradX(X.Clone().AddScaled(h, v), nil)
+	down := p.GradX(X.Clone().AddScaled(-h, v), nil)
+	for k := range analytic.Data {
+		fd := (up.Data[k] - down.Data[k]) / (2 * h)
+		if math.Abs(fd-analytic.Data[k]) > 1e-4*(1+math.Abs(fd)) {
+			t.Fatalf("HessVec[%d]: analytic %v fd %v", k, analytic.Data[k], fd)
+		}
+	}
+}
+
+func TestCrossVecsMatchAdjointContractions(t *testing.T) {
+	// CrossTVec/CrossAVec must reproduce the contractions inside
+	// AdjointGrads: for the same adjoint y, AdjointGrads returns
+	// −CrossVec(y_solved); here we verify the raw products against the
+	// explicit Jacobians' transpose action.
+	r := rng.New(34)
+	p := testProblem(r, 2, 3)
+	X := preciseSolve(p, nil)
+	l, err := linearize(p, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := mat.NewDense(2, 3)
+	r.NormVec(y.Data)
+	gotT := l.CrossTVec(y, nil)
+	gotA := l.CrossAVec(y, nil)
+	// Explicit B via finite differences of ∇_X F in T and A.
+	const h = 1e-6
+	for k := range p.T.Data {
+		orig := p.T.Data[k]
+		p.T.Data[k] = orig + h
+		up := p.GradX(X, nil)
+		p.T.Data[k] = orig - h
+		down := p.GradX(X, nil)
+		p.T.Data[k] = orig
+		want := 0.0
+		for idx := range y.Data {
+			want += y.Data[idx] * (up.Data[idx] - down.Data[idx]) / (2 * h)
+		}
+		if math.Abs(want-gotT.Data[k]) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("CrossTVec[%d]: got %v want %v", k, gotT.Data[k], want)
+		}
+	}
+	for k := range p.A.Data {
+		orig := p.A.Data[k]
+		p.A.Data[k] = orig + h
+		up := p.GradX(X, nil)
+		p.A.Data[k] = orig - h
+		down := p.GradX(X, nil)
+		p.A.Data[k] = orig
+		want := 0.0
+		for idx := range y.Data {
+			want += y.Data[idx] * (up.Data[idx] - down.Data[idx]) / (2 * h)
+		}
+		if math.Abs(want-gotA.Data[k]) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("CrossAVec[%d]: got %v want %v", k, gotA.Data[k], want)
+		}
+	}
+}
+
+func TestUnrolledGradsMatchFiniteDiff(t *testing.T) {
+	// The unrolled gradient differentiates the K-step solver output
+	// exactly, so it must match finite differences of that same K-step map
+	// tightly — no convergence slack needed.
+	r := rng.New(35)
+	p := testProblem(r, 3, 4)
+	w := mat.NewDense(3, 4)
+	r.NormVec(w.Data)
+	cfg := UnrollConfig{Iters: 60, LR: 0.4}
+	_, dT, dA, err := UnrolledGrads(p, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossAt := func() float64 {
+		X, _, _, err := UnrolledGrads(p, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dot(w, X)
+	}
+	const h = 1e-5
+	for _, k := range []int{0, 3, 7, 11} {
+		orig := p.T.Data[k]
+		p.T.Data[k] = orig + h
+		up := lossAt()
+		p.T.Data[k] = orig - h
+		down := lossAt()
+		p.T.Data[k] = orig
+		fd := (up - down) / (2 * h)
+		if math.Abs(fd-dT.Data[k]) > 1e-4*(1+math.Abs(fd)) {
+			t.Fatalf("unrolled dT[%d]: analytic %v fd %v", k, dT.Data[k], fd)
+		}
+	}
+	for _, k := range []int{1, 5, 9} {
+		orig := p.A.Data[k]
+		p.A.Data[k] = orig + h
+		up := lossAt()
+		p.A.Data[k] = orig - h
+		down := lossAt()
+		p.A.Data[k] = orig
+		fd := (up - down) / (2 * h)
+		if math.Abs(fd-dA.Data[k]) > 1e-4*(1+math.Abs(fd)) {
+			t.Fatalf("unrolled dA[%d]: analytic %v fd %v", k, dA.Data[k], fd)
+		}
+	}
+}
+
+func TestUnrolledAgreesWithAdjointWhenConverged(t *testing.T) {
+	// With enough iterations the unrolled gradient approximates the
+	// implicit (KKT) gradient at the optimum.
+	r := rng.New(36)
+	p := testProblem(r, 3, 4)
+	w := mat.NewDense(3, 4)
+	r.NormVec(w.Data)
+	X, dTu, dAu, err := UnrolledGrads(p, w, UnrollConfig{Iters: 3000, LR: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTa, dAa, err := AdjointGrads(p, X, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cos := func(a, b mat.Vec) float64 {
+		return a.Dot(b) / (a.Norm2()*b.Norm2() + 1e-300)
+	}
+	if c := cos(mat.Vec(dTu.Data), mat.Vec(dTa.Data)); c < 0.98 {
+		t.Fatalf("unrolled/adjoint dT cosine %v", c)
+	}
+	if c := cos(mat.Vec(dAu.Data), mat.Vec(dAa.Data)); c < 0.95 {
+		t.Fatalf("unrolled/adjoint dA cosine %v", c)
+	}
+}
+
+func TestUnrolledMatchesSolverIterate(t *testing.T) {
+	// The forward trajectory inside UnrolledGrads must land where the
+	// production mirror solver lands for the same budget/step size.
+	r := rng.New(37)
+	p := testProblem(r, 3, 5)
+	w := mat.NewDense(3, 5).Fill(1)
+	X, _, _, err := UnrolledGrads(p, w, UnrollConfig{Iters: 200, LR: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xs := matching.SolveRelaxed(p, matching.SolveOptions{Iters: 200, LR: 0.5, Tol: 0})
+	if !X.Equal(Xs, 1e-6) {
+		t.Fatalf("unrolled forward differs from solver:\n%v\nvs\n%v", X, Xs)
+	}
+}
+
+func TestUnrolledRejectsNonConvex(t *testing.T) {
+	r := rng.New(38)
+	p := testProblem(r, 2, 2)
+	p.Speedups = []cluster.SpeedupCurve{cluster.DefaultSpeedup(), cluster.DefaultSpeedup()}
+	w := mat.NewDense(2, 2).Fill(1)
+	if _, _, _, err := UnrolledGrads(p, w, UnrollConfig{}); err != ErrNotConvex {
+		t.Fatalf("want ErrNotConvex, got %v", err)
+	}
+}
+
+func BenchmarkUnrolledGrads3x10(b *testing.B) {
+	r := rng.New(1)
+	p := testProblem(r, 3, 10)
+	w := mat.NewDense(3, 10).Fill(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := UnrolledGrads(p, w, UnrollConfig{Iters: 120}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEntropyHessianIsSPD(t *testing.T) {
+	// The entropy regularizer exists to make the reduced Hessian positive
+	// definite; certify it with a Cholesky factorization of the explicit
+	// Hessian assembled from HessVec columns.
+	r := rng.New(39)
+	p := testProblem(r, 2, 3)
+	X := preciseSolve(p, nil)
+	l, err := linearize(p, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn := 6
+	H := mat.NewDense(mn, mn)
+	basis := mat.NewDense(2, 3)
+	col := mat.NewDense(2, 3)
+	for k := 0; k < mn; k++ {
+		basis.Fill(0)
+		basis.Data[k] = 1
+		l.HessVec(basis, col)
+		for row := 0; row < mn; row++ {
+			H.Set(row, k, col.Data[row])
+		}
+	}
+	// Symmetry first (Cholesky reads only the lower triangle).
+	if !H.Equal(H.T(), 1e-8) {
+		t.Fatal("Hessian not symmetric")
+	}
+	if !mat.IsSPD(H) {
+		t.Fatalf("entropy-regularized Hessian not SPD:\n%v", H)
+	}
+	// Without entropy the Hessian is only PSD (low rank): it must fail the
+	// strict SPD check.
+	q := *p
+	q.Entropy = 0
+	lq, err := linearize(&q, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < mn; k++ {
+		basis.Fill(0)
+		basis.Data[k] = 1
+		lq.HessVec(basis, col)
+		for row := 0; row < mn; row++ {
+			H.Set(row, k, col.Data[row])
+		}
+	}
+	if mat.IsSPD(H) {
+		t.Fatal("rank-deficient Hessian unexpectedly SPD")
+	}
+}

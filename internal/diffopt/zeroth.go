@@ -1,0 +1,172 @@
+package diffopt
+
+import (
+	"math"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/matching"
+	"mfcp/internal/parallel"
+	"mfcp/internal/rng"
+)
+
+// SolveFn computes the relaxed matching optimum for a problem, optionally
+// warm-started from init (which implementations must not mutate).
+type SolveFn func(p *matching.Problem, init *mat.Dense) *mat.Dense
+
+// DefaultSolve is the standard inner solver used during gradient
+// estimation: mirror descent with a warm start and a moderate budget.
+func DefaultSolve(p *matching.Problem, init *mat.Dense) *mat.Dense {
+	return matching.SolveRelaxed(p, matching.SolveOptions{Iters: 150, Init: init})
+}
+
+// ZeroOrderConfig parameterizes Algorithm 2's estimator.
+type ZeroOrderConfig struct {
+	// Delta is the perturbation size Δ (default 0.05).
+	Delta float64
+	// Samples is the sampling count S (default 8).
+	Samples int
+	// Solve is the inner solver (default DefaultSolve).
+	Solve SolveFn
+}
+
+func (c *ZeroOrderConfig) fillDefaults() {
+	if c.Delta == 0 {
+		c.Delta = 0.05
+	}
+	if c.Samples == 0 {
+		c.Samples = 8
+	}
+	if c.Solve == nil {
+		c.Solve = DefaultSolve
+	}
+}
+
+// OptimalDelta returns the bias/variance-balancing perturbation size of
+// Theorem 3, Δ* = (2σ²_F / (β²·S))^{1/4}.
+func OptimalDelta(sigmaF, beta float64, samples int) float64 {
+	if sigmaF <= 0 || beta <= 0 || samples <= 0 {
+		return 0.05
+	}
+	v := 2 * sigmaF * sigmaF / (beta * beta * float64(samples))
+	return math.Sqrt(math.Sqrt(v))
+}
+
+// RowVJP estimates dL/dt̂_i and dL/dâ_i for one cluster row i by the
+// forward-gradient method of Algorithm 2: S Gaussian directions, each
+// requiring two extra matching solves (perturbed T̂ row, perturbed Â row).
+//
+// p carries the predicted matrices (T̂, Â); X is the unperturbed relaxed
+// optimum X*(T̂, Â); w = ∂L/∂X*. Samples run in parallel with streams split
+// deterministically from r.
+func RowVJP(p *matching.Problem, X, w *mat.Dense, row int, cfg ZeroOrderConfig, r *rng.Source) (dTi, dAi mat.Vec) {
+	cfg.fillDefaults()
+	n := p.N()
+	type sampleGrad struct{ dT, dA mat.Vec }
+	// Base inner product ⟨w, X⟩ cancels in the difference; precompute the
+	// perturbed-minus-base contraction per sample.
+	base := dot(w, X)
+	grads := parallel.Map(cfg.Samples, func(s int) sampleGrad {
+		sr := r.SplitIndexed("zo", s)
+		vT := mat.Vec(sr.NormVec(make([]float64, n)))
+		vA := mat.Vec(sr.NormVec(make([]float64, n)))
+
+		// Perturb the time row.
+		pT := perturbRow(p, row, vT, cfg.Delta, true)
+		XT := cfg.Solve(pT, X)
+		gT := (dot(w, XT) - base) / cfg.Delta
+
+		// Perturb the reliability row.
+		pA := perturbRow(p, row, vA, cfg.Delta, false)
+		XA := cfg.Solve(pA, X)
+		gA := (dot(w, XA) - base) / cfg.Delta
+
+		out := sampleGrad{dT: mat.NewVec(n), dA: mat.NewVec(n)}
+		out.dT.AddScaled(gT, vT)
+		out.dA.AddScaled(gA, vA)
+		return out
+	})
+	dTi = mat.NewVec(n)
+	dAi = mat.NewVec(n)
+	inv := 1 / float64(cfg.Samples)
+	for _, g := range grads {
+		dTi.AddScaled(inv, g.dT)
+		dAi.AddScaled(inv, g.dA)
+	}
+	return dTi, dAi
+}
+
+// FullVJP estimates dL/dT̂ and dL/dÂ for the entire matrices by perturbing
+// all entries at once (the natural extension of Algorithm 2 when every
+// cluster's predictor trains simultaneously).
+func FullVJP(p *matching.Problem, X, w *mat.Dense, cfg ZeroOrderConfig, r *rng.Source) (dT, dA *mat.Dense) {
+	cfg.fillDefaults()
+	m, n := p.M(), p.N()
+	base := dot(w, X)
+	type sampleGrad struct{ dT, dA *mat.Dense }
+	grads := parallel.Map(cfg.Samples, func(s int) sampleGrad {
+		sr := r.SplitIndexed("zofull", s)
+		vT := mat.NewDense(m, n)
+		vA := mat.NewDense(m, n)
+		sr.NormVec(vT.Data)
+		sr.NormVec(vA.Data)
+
+		pT := p.WithPrediction(p.T.Clone().AddScaled(cfg.Delta, vT), nil)
+		XT := cfg.Solve(pT, X)
+		gT := (dot(w, XT) - base) / cfg.Delta
+
+		pA := p.WithPrediction(nil, perturbedA(p.A, vA, cfg.Delta))
+		XA := cfg.Solve(pA, X)
+		gA := (dot(w, XA) - base) / cfg.Delta
+
+		return sampleGrad{dT: vT.Scale(gT), dA: vA.Scale(gA)}
+	})
+	dT = mat.NewDense(m, n)
+	dA = mat.NewDense(m, n)
+	inv := 1 / float64(cfg.Samples)
+	for _, g := range grads {
+		dT.AddScaled(inv, g.dT)
+		dA.AddScaled(inv, g.dA)
+	}
+	return dT, dA
+}
+
+// perturbRow returns a problem whose T (isTime) or A row is p's plus
+// delta·v, leaving the other matrix shared.
+func perturbRow(p *matching.Problem, row int, v mat.Vec, delta float64, isTime bool) *matching.Problem {
+	if isTime {
+		T := p.T.Clone()
+		T.Row(row).AddScaled(delta, v)
+		return p.WithPrediction(T, nil)
+	}
+	A := p.A.Clone()
+	A.Row(row).AddScaled(delta, v)
+	clampUnit(A.Row(row))
+	return p.WithPrediction(nil, A)
+}
+
+// perturbedA returns A + delta·V with entries clamped to [0, 1]; negative
+// or >1 reliabilities would put the barrier outside its domain.
+func perturbedA(A, V *mat.Dense, delta float64) *mat.Dense {
+	out := A.Clone().AddScaled(delta, V)
+	clampUnit(out.Data)
+	return out
+}
+
+func clampUnit(xs []float64) {
+	for i, v := range xs {
+		if v < 0 {
+			xs[i] = 0
+		} else if v > 1 {
+			xs[i] = 1
+		}
+	}
+}
+
+// dot is the Frobenius inner product of equally shaped matrices.
+func dot(a, b *mat.Dense) float64 {
+	s := 0.0
+	for k := range a.Data {
+		s += a.Data[k] * b.Data[k]
+	}
+	return s
+}

@@ -1,0 +1,224 @@
+// Package embed turns task computation graphs into fixed-length feature
+// vectors.
+//
+// The paper front-ends its predictors with a GNN task embedder and then
+// "omits the distinction between tasks and features" — the embedder is a
+// frozen preprocessing stage, not a trained component. We reproduce that
+// role with a randomly initialized, fixed-weight message-passing network:
+// per-node features (operator one-hot + log-scaled dimensions) are mixed
+// over the DAG for a few rounds, pooled (mean and max), and concatenated
+// with global cost summaries (log FLOPs per compute class, parameters,
+// depth, steps). The weights are a pure function of a seed, so the mapping
+// is deterministic and shared between training and evaluation.
+package embed
+
+import (
+	"math"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+	"mfcp/internal/taskgraph"
+)
+
+// nodeFeatDim is the raw per-node feature width: operator one-hot, compute
+// class one-hot, and 8 log-scaled dimension fields.
+const nodeFeatDim = taskgraph.NumOpKinds + taskgraph.NumComputeClasses + 8
+
+// globalFeatDim is the number of whole-graph summary features appended to
+// the pooled node representation.
+const globalFeatDim = 9
+
+// Embedder maps task graphs to ℝ^Dim feature vectors. Construct with New;
+// the zero value is not usable.
+type Embedder struct {
+	Hidden int // message-passing width
+	Rounds int // number of propagation rounds
+	Dim    int // output feature dimension
+
+	wIn   *mat.Dense // nodeFeatDim -> Hidden
+	wSelf *mat.Dense // Hidden -> Hidden
+	wAgg  *mat.Dense // Hidden -> Hidden
+	wOut  *mat.Dense // 2*Hidden + globalFeatDim -> Dim
+}
+
+// New returns an Embedder with the given output dimension. All weights are
+// derived deterministically from seed.
+func New(dim int, seed uint64) *Embedder {
+	const hidden = 24
+	const rounds = 3
+	r := rng.New(seed)
+	e := &Embedder{
+		Hidden: hidden,
+		Rounds: rounds,
+		Dim:    dim,
+		wIn:    randomWeights(r.Split("in"), hidden, nodeFeatDim),
+		wSelf:  randomWeights(r.Split("self"), hidden, hidden),
+		wAgg:   randomWeights(r.Split("agg"), hidden, hidden),
+		wOut:   randomWeights(r.Split("out"), dim, 2*hidden+globalFeatDim),
+	}
+	return e
+}
+
+// randomWeights draws a rows×cols matrix with Xavier-style scaling so
+// activations neither explode nor die across rounds.
+func randomWeights(r *rng.Source, rows, cols int) *mat.Dense {
+	w := mat.NewDense(rows, cols)
+	scale := math.Sqrt(2.0 / float64(rows+cols))
+	for i := range w.Data {
+		w.Data[i] = r.Normal(0, scale)
+	}
+	return w
+}
+
+// log1p compresses a non-negative magnitude to a small dynamic range.
+func log1p(x float64) float64 { return math.Log1p(math.Max(x, 0)) }
+
+// nodeFeatures writes the raw feature vector of node n into dst.
+func nodeFeatures(n taskgraph.Node, dst mat.Vec) {
+	dst.Fill(0)
+	dst[int(n.Kind)] = 1
+	dst[taskgraph.NumOpKinds+int(n.Kind.Class())] = 1
+	base := taskgraph.NumOpKinds + taskgraph.NumComputeClasses
+	dims := [...]int{n.Batch, n.Spatial, n.Seq, n.In, n.Out, n.Kernel, n.Heads, n.Vocab}
+	for i, d := range dims {
+		dst[base+i] = log1p(float64(d)) / 12 // log(1e5) ≈ 11.5 → keep O(1)
+	}
+}
+
+// Embed maps the task to its feature vector. The same task always maps to
+// the same features.
+func (e *Embedder) Embed(t *taskgraph.Task) mat.Vec {
+	g := t.Graph
+	n := g.Len()
+	// h holds the current node states; hNext the next round's.
+	h := make([]mat.Vec, n)
+	hNext := make([]mat.Vec, n)
+	raw := mat.NewVec(nodeFeatDim)
+	for i := 0; i < n; i++ {
+		nodeFeatures(g.Nodes[i], raw)
+		h[i] = e.wIn.MulVec(raw, nil)
+		tanhInPlace(h[i])
+		hNext[i] = mat.NewVec(e.Hidden)
+	}
+	// Build the reverse adjacency once: messages flow along edges
+	// producer -> consumer, so each node aggregates its producers.
+	producers := make([][]int, n)
+	for from, outs := range g.Edges {
+		for _, to := range outs {
+			producers[to] = append(producers[to], from)
+		}
+	}
+	agg := mat.NewVec(e.Hidden)
+	msg := mat.NewVec(e.Hidden)
+	selfPart := mat.NewVec(e.Hidden)
+	for round := 0; round < e.Rounds; round++ {
+		for i := 0; i < n; i++ {
+			agg.Fill(0)
+			if ps := producers[i]; len(ps) > 0 {
+				for _, p := range ps {
+					agg.AddScaled(1/float64(len(ps)), h[p])
+				}
+			}
+			e.wAgg.MulVec(agg, msg)
+			e.wSelf.MulVec(h[i], selfPart)
+			for j := range hNext[i] {
+				hNext[i][j] = math.Tanh(selfPart[j] + msg[j])
+			}
+		}
+		h, hNext = hNext, h
+	}
+	// Readout: mean-pool ++ max-pool ++ global summaries.
+	readout := mat.NewVec(2*e.Hidden + globalFeatDim)
+	meanPart := readout[:e.Hidden]
+	maxPart := readout[e.Hidden : 2*e.Hidden]
+	copy(maxPart, h[0])
+	for i := 0; i < n; i++ {
+		meanPart.AddScaled(1/float64(n), h[i])
+		for j, v := range h[i] {
+			if v > maxPart[j] {
+				maxPart[j] = v
+			}
+		}
+	}
+	cost := t.Cost()
+	globals := readout[2*e.Hidden:]
+	globals[0] = log1p(cost.FLOPsByClass[taskgraph.ClassTensor]) / 30
+	globals[1] = log1p(cost.FLOPsByClass[taskgraph.ClassVector]) / 30
+	globals[2] = log1p(cost.FLOPsByClass[taskgraph.ClassMemory]) / 30
+	globals[3] = log1p(cost.Params) / 25
+	globals[4] = log1p(cost.ActivationBytes) / 30
+	globals[5] = log1p(float64(cost.Depth)) / 6
+	globals[6] = log1p(float64(cost.Nodes)) / 6
+	globals[7] = log1p(float64(t.StepsPerEpoch)) / 12
+	globals[8] = log1p(t.DatasetMB) / 15
+
+	out := e.wOut.MulVec(readout, nil)
+	tanhInPlace(out)
+	// Reserve the last two output slots for undistorted global cost signal:
+	// the predictors downstream are deliberately small, and the paper's
+	// embedders likewise pass through headline scale features.
+	if e.Dim >= 2 {
+		out[e.Dim-2] = log1p(t.EpochFLOPs()) / 35
+		out[e.Dim-1] = globals[3]
+	}
+	return out
+}
+
+// EmbedAll maps a slice of tasks to a len(tasks)×Dim feature matrix.
+func (e *Embedder) EmbedAll(tasks []*taskgraph.Task) *mat.Dense {
+	out := mat.NewDense(len(tasks), e.Dim)
+	for i, t := range tasks {
+		copy(out.Row(i), e.Embed(t))
+	}
+	return out
+}
+
+func tanhInPlace(v mat.Vec) {
+	for i, x := range v {
+		v[i] = math.Tanh(x)
+	}
+}
+
+// StatsEmbedder is a deliberately weaker, message-passing-free alternative
+// embedder: it exposes only the whole-graph cost summaries (the `globals`
+// block) tiled/truncated to the requested dimension, discarding all
+// structural information. The embedding-ablation study (X11) uses it to
+// quantify how much of downstream matching quality the graph-aware
+// embedder actually buys.
+type StatsEmbedder struct {
+	Dim int
+}
+
+// NewStats returns a StatsEmbedder with the given output dimension.
+func NewStats(dim int) *StatsEmbedder { return &StatsEmbedder{Dim: dim} }
+
+// Embed maps the task to its global-statistics feature vector.
+func (e *StatsEmbedder) Embed(t *taskgraph.Task) mat.Vec {
+	cost := t.Cost()
+	raw := []float64{
+		log1p(cost.FLOPsByClass[taskgraph.ClassTensor]) / 30,
+		log1p(cost.FLOPsByClass[taskgraph.ClassVector]) / 30,
+		log1p(cost.FLOPsByClass[taskgraph.ClassMemory]) / 30,
+		log1p(cost.Params) / 25,
+		log1p(cost.ActivationBytes) / 30,
+		log1p(float64(cost.Depth)) / 6,
+		log1p(float64(cost.Nodes)) / 6,
+		log1p(float64(t.StepsPerEpoch)) / 12,
+		log1p(t.DatasetMB) / 15,
+		log1p(t.EpochFLOPs()) / 35,
+	}
+	out := mat.NewVec(e.Dim)
+	for i := 0; i < e.Dim && i < len(raw); i++ {
+		out[i] = raw[i]
+	}
+	return out
+}
+
+// EmbedAll maps a slice of tasks to a len(tasks)×Dim feature matrix.
+func (e *StatsEmbedder) EmbedAll(tasks []*taskgraph.Task) *mat.Dense {
+	out := mat.NewDense(len(tasks), e.Dim)
+	for i, t := range tasks {
+		copy(out.Row(i), e.Embed(t))
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package embed
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/rng"
+	"mfcp/internal/taskgraph"
+)
+
+func TestEmbedDeterministic(t *testing.T) {
+	task := taskgraph.Generate(taskgraph.FamilyCNN, rng.New(1))
+	e1 := New(16, 7)
+	e2 := New(16, 7)
+	a := e1.Embed(task)
+	b := e2.Embed(task)
+	if !a.Equal(b, 0) {
+		t.Fatal("same seed embedders disagree")
+	}
+}
+
+func TestEmbedSeedMatters(t *testing.T) {
+	task := taskgraph.Generate(taskgraph.FamilyCNN, rng.New(1))
+	a := New(16, 7).Embed(task)
+	b := New(16, 8).Embed(task)
+	if a.Equal(b, 1e-9) {
+		t.Fatal("different seeds gave identical embeddings")
+	}
+}
+
+func TestEmbedDimAndRange(t *testing.T) {
+	r := rng.New(3)
+	e := New(12, 1)
+	for i := 0; i < 40; i++ {
+		task := taskgraph.Generate(taskgraph.Family(i%taskgraph.NumFamilies), r)
+		v := e.Embed(task)
+		if len(v) != 12 {
+			t.Fatalf("dim=%d", len(v))
+		}
+		for j, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("embedding[%d]=%v", j, x)
+			}
+			if math.Abs(x) > 3 {
+				t.Fatalf("embedding[%d]=%v outside expected O(1) range", j, x)
+			}
+		}
+	}
+}
+
+func TestEmbedSeparatesTasks(t *testing.T) {
+	// Distinct tasks should land on distinct embeddings — injectivity is
+	// what makes prediction possible at all.
+	r := rng.New(5)
+	e := New(16, 2)
+	seen := map[string]bool{}
+	dup := 0
+	for i := 0; i < 60; i++ {
+		task := taskgraph.Generate(taskgraph.Family(i%taskgraph.NumFamilies), r)
+		v := e.Embed(task)
+		key := ""
+		for _, x := range v {
+			key += string(rune(int(x*1e6) % 1114111))
+		}
+		if seen[key] {
+			dup++
+		}
+		seen[key] = true
+	}
+	if dup > 3 {
+		t.Fatalf("%d/60 embedding collisions", dup)
+	}
+}
+
+func TestEmbedScaleSignal(t *testing.T) {
+	// The reserved last slot tracks total work: a much bigger task must get
+	// a larger value there.
+	e := New(16, 2)
+	small := taskgraph.Generate(taskgraph.FamilyMLP, rng.New(10))
+	big := taskgraph.Generate(taskgraph.FamilyTransformer, rng.New(10))
+	if big.EpochFLOPs() < 10*small.EpochFLOPs() {
+		t.Skip("sampled tasks not sufficiently different in scale")
+	}
+	vs := e.Embed(small)
+	vb := e.Embed(big)
+	if vb[14] <= vs[14] {
+		t.Fatalf("FLOPs passthrough not monotone: big=%v small=%v", vb[14], vs[14])
+	}
+}
+
+func TestEmbedAllShape(t *testing.T) {
+	r := rng.New(9)
+	tasks := taskgraph.GenerateMix(5, nil, r)
+	m := New(8, 1).EmbedAll(tasks)
+	if m.Rows != 5 || m.Cols != 8 {
+		t.Fatalf("EmbedAll shape %dx%d", m.Rows, m.Cols)
+	}
+	for i := 0; i < 5; i++ {
+		if !m.Row(i).Equal(New(8, 1).Embed(tasks[i]), 1e-12) {
+			t.Fatalf("EmbedAll row %d differs from Embed", i)
+		}
+	}
+}
+
+func BenchmarkEmbedTransformer(b *testing.B) {
+	task := taskgraph.Generate(taskgraph.FamilyTransformer, rng.New(1))
+	e := New(16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Embed(task)
+	}
+}
+
+func TestStatsEmbedderBasics(t *testing.T) {
+	r := rng.New(99)
+	e := NewStats(10)
+	for i := 0; i < 20; i++ {
+		task := taskgraph.Generate(taskgraph.Family(i%taskgraph.NumFamilies), r)
+		v := e.Embed(task)
+		if len(v) != 10 {
+			t.Fatalf("dim %d", len(v))
+		}
+		for _, x := range v {
+			if math.IsNaN(x) || x < 0 {
+				t.Fatalf("stats feature %v", x)
+			}
+		}
+	}
+	// Deterministic and structure-blind: tasks with identical costs embed
+	// identically regardless of seed (no random weights involved).
+	task := taskgraph.Generate(taskgraph.FamilyCNN, rng.New(5))
+	if !NewStats(10).Embed(task).Equal(NewStats(10).Embed(task), 0) {
+		t.Fatal("stats embedder not deterministic")
+	}
+}
+
+func TestStatsEmbedderTruncation(t *testing.T) {
+	task := taskgraph.Generate(taskgraph.FamilyMLP, rng.New(6))
+	small := NewStats(3).Embed(task)
+	big := NewStats(10).Embed(task)
+	for i := range small {
+		if small[i] != big[i] {
+			t.Fatal("truncation changed leading features")
+		}
+	}
+	// Over-wide dims are zero-padded.
+	wide := NewStats(16).Embed(task)
+	for _, x := range wide[10:] {
+		if x != 0 {
+			t.Fatal("padding not zero")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mfcp/internal/plot"
+)
+
+// RegretChart renders a method comparison's regret column as a horizontal
+// bar chart (a Fig. 4 panel).
+func RegretChart(title string, results []MethodResult) string {
+	labels := make([]string, len(results))
+	values := make([]float64, len(results))
+	for i, r := range results {
+		labels[i] = r.Name
+		values[i] = r.Regret.Mean
+	}
+	return plot.HBar(title+" — regret (lower is better)", labels, values, 40)
+}
+
+// UtilizationChart renders the utilization column as a bar chart.
+func UtilizationChart(title string, results []MethodResult) string {
+	labels := make([]string, len(results))
+	values := make([]float64, len(results))
+	for i, r := range results {
+		labels[i] = r.Name
+		values[i] = r.Utilization.Mean
+	}
+	return plot.HBar(title+" — utilization (higher is better)", labels, values, 40)
+}
+
+// ScalingResults computes the raw per-size method results behind Fig. 5.
+func ScalingResults(cfg Config, sizes []int) ([]int, [][]MethodResult) {
+	cfg.FillDefaults()
+	if len(sizes) == 0 {
+		sizes = DefaultScalingSizes
+	}
+	results := make([][]MethodResult, len(sizes))
+	for ni, n := range sizes {
+		c := cfg
+		c.RoundSize = n
+		results[ni] = RunMethods(c, StandardSpecs(c, true))
+	}
+	return sizes, results
+}
+
+// ScalingCharts renders Fig. 5 as two ASCII line charts (regret and
+// utilization versus round size) from precomputed results.
+func ScalingCharts(sizes []int, results [][]MethodResult) (regret, utilization string) {
+	if len(results) == 0 {
+		return "(no data)\n", "(no data)\n"
+	}
+	x := make([]float64, len(sizes))
+	for i, n := range sizes {
+		x[i] = float64(n)
+	}
+	numMethods := len(results[0])
+	regSeries := make([]plot.Series, numMethods)
+	utilSeries := make([]plot.Series, numMethods)
+	for mi := 0; mi < numMethods; mi++ {
+		regSeries[mi] = plot.Series{Name: results[0][mi].Name}
+		utilSeries[mi] = plot.Series{Name: results[0][mi].Name}
+		for ni := range sizes {
+			regSeries[mi].Y = append(regSeries[mi].Y, results[ni][mi].Regret.Mean)
+			utilSeries[mi].Y = append(utilSeries[mi].Y, results[ni][mi].Utilization.Mean)
+		}
+	}
+	regret = plot.Line("Fig. 5a — regret vs tasks per round", x, regSeries, 50, 12)
+	utilization = plot.Line("Fig. 5b — utilization vs tasks per round", x, utilSeries, 50, 12)
+	return regret, utilization
+}
+
+// tablesFromScaling converts raw scaling results into the Fig. 5 tables.
+func tablesFromScaling(setting string, sizes []int, results [][]MethodResult) (regret, utilization *Table) {
+	headers := []string{"Method"}
+	for _, n := range sizes {
+		headers = append(headers, fmt.Sprintf("N=%d", n))
+	}
+	regret = &Table{Title: "Fig. 5a — Regret vs task count (setting " + setting + ")", Headers: headers}
+	utilization = &Table{Title: "Fig. 5b — Utilization vs task count (setting " + setting + ")", Headers: headers}
+	numMethods := len(results[0])
+	for mi := 0; mi < numMethods; mi++ {
+		regRow := []string{results[0][mi].Name}
+		utilRow := []string{results[0][mi].Name}
+		for ni := range sizes {
+			r := results[ni][mi]
+			regRow = append(regRow, r.Regret.String())
+			utilRow = append(utilRow, r.Utilization.String())
+		}
+		regret.Rows = append(regret.Rows, regRow)
+		utilization.Rows = append(utilization.Rows, utilRow)
+	}
+	return regret, utilization
+}

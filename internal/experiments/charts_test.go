@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mfcp/internal/stats"
+)
+
+func fakeResults() []MethodResult {
+	return []MethodResult{
+		{Name: "TAM", Regret: stats.Summarize([]float64{0.4, 0.5}), Utilization: stats.Summarize([]float64{0.5, 0.5})},
+		{Name: "MFCP", Regret: stats.Summarize([]float64{0.1, 0.1}), Utilization: stats.Summarize([]float64{0.6, 0.6})},
+	}
+}
+
+func TestRegretChartRenders(t *testing.T) {
+	out := RegretChart("demo", fakeResults())
+	if !strings.Contains(out, "TAM") || !strings.Contains(out, "MFCP") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "lower is better") {
+		t.Fatal("orientation note missing")
+	}
+}
+
+func TestUtilizationChartRenders(t *testing.T) {
+	out := UtilizationChart("demo", fakeResults())
+	if !strings.Contains(out, "higher is better") {
+		t.Fatal("orientation note missing")
+	}
+}
+
+func TestScalingChartsFromResults(t *testing.T) {
+	sizes := []int{5, 10}
+	results := [][]MethodResult{fakeResults(), fakeResults()}
+	reg, util := ScalingCharts(sizes, results)
+	for _, chart := range []string{reg, util} {
+		if !strings.Contains(chart, "TAM") || !strings.Contains(chart, "MFCP") {
+			t.Fatalf("legend missing:\n%s", chart)
+		}
+	}
+	// Degenerate input must not panic.
+	r, u := ScalingCharts(nil, nil)
+	if !strings.Contains(r, "no data") || !strings.Contains(u, "no data") {
+		t.Fatal("empty charts")
+	}
+}
+
+func TestTablesFromScalingShape(t *testing.T) {
+	sizes := []int{5, 10}
+	results := [][]MethodResult{fakeResults(), fakeResults()}
+	reg, util := tablesFromScaling("A", sizes, results)
+	if len(reg.Rows) != 2 || len(util.Rows) != 2 {
+		t.Fatalf("rows: %d / %d", len(reg.Rows), len(util.Rows))
+	}
+	if len(reg.Headers) != 3 {
+		t.Fatalf("headers: %v", reg.Headers)
+	}
+}

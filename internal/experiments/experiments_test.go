@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mfcp/internal/baselines"
+	"mfcp/internal/workload"
+)
+
+// tinyConfig keeps experiment tests fast: small pools and budgets.
+func tinyConfig() Config {
+	return Config{
+		Replicates: 2, Rounds: 4, RoundSize: 4,
+		PoolSize: 48, FeatureDim: 12,
+		PretrainEpochs: 40, RegretEpochs: 6,
+		Hidden: []int{8},
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"a", "bb"},
+		Rows:    [][]string{{"xxxx", "y"}},
+		Notes:   []string{"hello"},
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "== demo ==") || !strings.Contains(s, "xxxx") || !strings.Contains(s, "note: hello") {
+		t.Fatalf("render:\n%s", s)
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") || !strings.Contains(csv, "xxxx,y") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := &Table{Headers: []string{"h"}, Rows: [][]string{{`va"l,ue`}}}
+	if !strings.Contains(tbl.CSV(), `"va""l,ue"`) {
+		t.Fatalf("csv escaping: %s", tbl.CSV())
+	}
+}
+
+func TestRunMethodsPairedAndDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	specs := []MethodSpec{
+		{Name: "TAM", Build: func(bc *BuildContext) Method { return baselines.NewTAM(bc.S, bc.Train) }},
+		{Name: "Oracle", Build: func(bc *BuildContext) Method { return baselines.NewOracle(bc.S) }},
+	}
+	r1 := RunMethods(cfg, specs)
+	r2 := RunMethods(cfg, specs)
+	if len(r1) != 2 {
+		t.Fatalf("results %d", len(r1))
+	}
+	for i := range r1 {
+		if r1[i].Regret.Mean != r2[i].Regret.Mean {
+			t.Fatal("RunMethods not deterministic")
+		}
+	}
+	// The oracle predicts the truth: its matchings equal the reference
+	// matchings, so regret must be ~0; TAM must be worse.
+	oracle := r1[1]
+	if oracle.Regret.Mean > 1e-9 {
+		t.Fatalf("oracle regret %v", oracle.Regret.Mean)
+	}
+	if r1[0].Regret.Mean <= oracle.Regret.Mean {
+		t.Fatalf("TAM (%v) not worse than oracle (%v)", r1[0].Regret.Mean, oracle.Regret.Mean)
+	}
+}
+
+func TestBuildContextSharesPretrain(t *testing.T) {
+	s := workload.MustNew(workload.Config{PoolSize: 40, FeatureDim: 12, Seed: 3})
+	train, _ := s.Split(0.75)
+	bc := &BuildContext{S: s, Train: train, hidden: []int{8}, pretrainEpochs: 20}
+	a := bc.Pretrained()
+	b := bc.Pretrained()
+	if a != b {
+		t.Fatal("Pretrained not cached")
+	}
+}
+
+func TestStandardSpecsComposition(t *testing.T) {
+	cfg := tinyConfig()
+	withAD := StandardSpecs(cfg, true)
+	names := []string{}
+	for _, s := range withAD {
+		names = append(names, s.Name)
+	}
+	want := []string{"TAM", "TSM", "UCB", "MFCP-AD", "MFCP-FG"}
+	if len(names) != len(want) {
+		t.Fatalf("specs %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("specs %v", names)
+		}
+	}
+	withoutAD := StandardSpecs(cfg, false)
+	if len(withoutAD) != 4 {
+		t.Fatalf("no-AD specs %d", len(withoutAD))
+	}
+	for _, s := range withoutAD {
+		if s.Name == "MFCP-AD" {
+			t.Fatal("MFCP-AD present in non-convex spec set")
+		}
+	}
+}
+
+func TestAblationProducesFourRows(t *testing.T) {
+	cfg := tinyConfig()
+	tbl := Ablation(cfg)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("ablation rows %d", len(tbl.Rows))
+	}
+	if tbl.Rows[3][0] != "MFCP" {
+		t.Fatalf("last row %v", tbl.Rows[3])
+	}
+}
+
+func TestScalingTables(t *testing.T) {
+	cfg := tinyConfig()
+	reg, util := Scaling(cfg, []int{3, 5})
+	if len(reg.Headers) != 3 || len(util.Headers) != 3 {
+		t.Fatalf("headers: %v", reg.Headers)
+	}
+	if len(reg.Rows) != 5 {
+		t.Fatalf("rows %d (want 5 methods)", len(reg.Rows))
+	}
+}
+
+func TestParallelExecutionTable(t *testing.T) {
+	cfg := tinyConfig()
+	tbl := ParallelExecution(cfg)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("parallel rows %d (want 4 methods, no AD)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[0] == "MFCP-AD" {
+			t.Fatal("MFCP-AD in parallel table")
+		}
+	}
+}
+
+func TestSweepBetaWithinBound(t *testing.T) {
+	cfg := tinyConfig()
+	tbl := SweepBeta(cfg)
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty beta sweep")
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "true" {
+			t.Fatalf("beta=%s gap outside Theorem 1 bound: %v", row[0], row)
+		}
+	}
+}
+
+func TestConvergenceDecays(t *testing.T) {
+	cfg := tinyConfig()
+	tbl := Convergence(cfg)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("convergence rows %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if strings.Contains(row[0], "non-monotone") {
+			t.Fatalf("solver trajectory non-monotone: %v", row)
+		}
+	}
+}
+
+func TestSweepBarrierMonotoneReliability(t *testing.T) {
+	cfg := tinyConfig()
+	tbl := SweepBarrier(cfg)
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// Reliability at the largest λ must be at least that at the smallest.
+	first := tbl.Rows[0][1]
+	last := tbl.Rows[len(tbl.Rows)-1][1]
+	if last < first {
+		t.Fatalf("reliability not improved by larger λ: %s -> %s", first, last)
+	}
+}
+
+func TestSweepPerturbationRuns(t *testing.T) {
+	cfg := tinyConfig()
+	tbl := SweepPerturbation(cfg)
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("perturbation sweep empty: %v", tbl.Notes)
+	}
+}

@@ -1,0 +1,279 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) plus the extension studies listed in DESIGN.md. Each
+// experiment builds scenarios, trains all methods on identical data,
+// evaluates them through one shared matching pipeline, and renders a
+// paper-style table of mean ± std cells over replicates.
+package experiments
+
+import (
+	"fmt"
+
+	"mfcp/internal/baselines"
+	"mfcp/internal/cluster"
+	"mfcp/internal/core"
+	"mfcp/internal/mat"
+	"mfcp/internal/metrics"
+	"mfcp/internal/parallel"
+	"mfcp/internal/rng"
+	"mfcp/internal/stats"
+	"mfcp/internal/workload"
+)
+
+// Method is anything that predicts performance matrices for a round of
+// tasks. All baselines and MFCP trainers satisfy it.
+type Method interface {
+	Name() string
+	Predict(round []int) (T, A *mat.Dense)
+}
+
+// BuildContext carries the per-replicate state a method builder needs: the
+// scenario, the training indices, and a lazily shared MSE-pretrained
+// predictor set. Sharing the pretrain between TSM and the MFCP variants
+// makes the comparison paired: every regret difference is attributable to
+// the end-to-end phase, not to initialization luck.
+type BuildContext struct {
+	S     *workload.Scenario
+	Train []int
+
+	hidden         []int
+	pretrainEpochs int
+	shared         *core.PredictorSet
+}
+
+// Pretrained returns the replicate's shared MSE-trained predictor set,
+// training it on first use.
+func (bc *BuildContext) Pretrained() *core.PredictorSet {
+	if bc.shared == nil {
+		stream := bc.S.Stream("shared-pretrain")
+		bc.shared = core.NewPredictorSet(bc.S.M(), bc.S.Features.Cols, bc.hidden, stream.Split("init"))
+		core.PretrainMSE(bc.shared, bc.S, bc.Train, bc.pretrainEpochs, stream.Split("train"))
+	}
+	return bc.shared
+}
+
+// MethodSpec names a method and knows how to build it on a replicate.
+type MethodSpec struct {
+	Name  string
+	Build func(bc *BuildContext) Method
+}
+
+// Config holds the knobs shared by every experiment.
+type Config struct {
+	// Setting selects the fleet (default A).
+	Setting cluster.Setting
+	// Replicates is the number of independent repetitions behind each
+	// mean ± std cell (default 5).
+	Replicates int
+	// Rounds is the number of evaluation rounds per replicate (default 20).
+	Rounds int
+	// RoundSize is N, the tasks per round (default 5).
+	RoundSize int
+	// PoolSize and FeatureDim shape the scenario (defaults 120, 16).
+	PoolSize   int
+	FeatureDim int
+	// TrainFrac splits the pool (default 0.75).
+	TrainFrac float64
+	// Seed drives everything (default 1).
+	Seed uint64
+	// Match configures the shared downstream matching problem.
+	Match core.MatchConfig
+	// PretrainEpochs and RegretEpochs budget predictor training
+	// (defaults 200, 240).
+	PretrainEpochs int
+	RegretEpochs   int
+	// Hidden is the predictor architecture shared by all learned methods.
+	Hidden []int
+	// Parallel switches the evaluation (and MFCP training) to the
+	// resource-sharing scheduler of §3.4, using each fleet profile's ζ.
+	Parallel bool
+	// NoiseScale multiplies cluster measurement noise (0 = unchanged);
+	// used by the noise-sensitivity sweep.
+	NoiseScale float64
+}
+
+// FillDefaults populates zero fields.
+func (c *Config) FillDefaults() {
+	if c.Setting == "" {
+		c.Setting = cluster.SettingA
+	}
+	if c.Replicates == 0 {
+		c.Replicates = 5
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 20
+	}
+	if c.RoundSize == 0 {
+		c.RoundSize = 5
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 120
+	}
+	if c.FeatureDim == 0 {
+		c.FeatureDim = 16
+	}
+	if c.TrainFrac == 0 {
+		c.TrainFrac = 0.75
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.PretrainEpochs == 0 {
+		c.PretrainEpochs = 200
+	}
+	if c.RegretEpochs == 0 {
+		c.RegretEpochs = 240
+	}
+	if c.Hidden == nil {
+		c.Hidden = []int{16}
+	}
+	c.Match.FillDefaults()
+}
+
+// speedupsFor returns the fleet's ζ curves when the parallel setting is on.
+func (c *Config) speedupsFor(s *workload.Scenario) []cluster.SpeedupCurve {
+	if !c.Parallel {
+		return nil
+	}
+	out := make([]cluster.SpeedupCurve, len(s.Fleet))
+	for i, p := range s.Fleet {
+		out[i] = p.Speedup
+	}
+	return out
+}
+
+// matchConfigFor finalizes the match config for a concrete scenario.
+func (c *Config) matchConfigFor(s *workload.Scenario) core.MatchConfig {
+	mc := c.Match
+	mc.Speedups = c.speedupsFor(s)
+	return mc
+}
+
+// MethodResult aggregates one method's metrics across replicates.
+type MethodResult struct {
+	Name        string
+	Regret      stats.Summary
+	Reliability stats.Summary
+	Utilization stats.Summary
+	Makespan    stats.Summary
+}
+
+// EvaluateMethod scores a trained method on `rounds` random test rounds:
+// predict → shared matcher → metrics against the ground-truth oracle.
+func EvaluateMethod(s *workload.Scenario, m Method, test []int, mc core.MatchConfig, rounds, roundSize int, r *rng.Source) metrics.Aggregate {
+	evals := make([]metrics.Eval, rounds)
+	for k := 0; k < rounds; k++ {
+		round := s.SampleRound(test, roundSize, r)
+		That, Ahat := m.Predict(round)
+		assign := mc.Solve(That, Ahat)
+		trueT, trueA := s.TrueMatrices(round)
+		trueProb := mc.Problem(trueT, trueA)
+		// Equation (6) compares against the matching the SAME algorithm
+		// produces under true values, not an idealized exact oracle.
+		oracle := mc.Solve(trueT, trueA)
+		evals[k] = metrics.Evaluate(trueProb, assign, oracle)
+	}
+	return metrics.Mean(evals)
+}
+
+// RunMethods trains and evaluates the given methods on `Replicates`
+// independent scenarios (in parallel) and aggregates per-method summaries.
+// Within a replicate every method shares the scenario, the train/test
+// split, and the evaluation rounds, so comparisons are paired.
+func RunMethods(cfg Config, specs []MethodSpec) []MethodResult {
+	cfg.FillDefaults()
+	type repResult struct{ agg []metrics.Aggregate }
+	reps := parallel.Map(cfg.Replicates, func(rep int) repResult {
+		s := workload.MustNew(workload.Config{
+			Setting:    cfg.Setting,
+			PoolSize:   cfg.PoolSize,
+			FeatureDim: cfg.FeatureDim,
+			NoiseScale: cfg.NoiseScale,
+			Seed:       cfg.Seed + uint64(rep)*1_000_003,
+		})
+		train, test := s.Split(cfg.TrainFrac)
+		mc := cfg.matchConfigFor(s)
+		bc := &BuildContext{S: s, Train: train, hidden: cfg.Hidden, pretrainEpochs: cfg.PretrainEpochs}
+		aggs := make([]metrics.Aggregate, len(specs))
+		for mi, spec := range specs {
+			method := spec.Build(bc)
+			// Every method scores on the same evaluation rounds (the
+			// stream name is method-independent), pairing the comparison.
+			evalStream := s.Stream("eval-rounds")
+			aggs[mi] = EvaluateMethod(s, method, test, mc, cfg.Rounds, cfg.RoundSize, evalStream)
+		}
+		return repResult{agg: aggs}
+	})
+	out := make([]MethodResult, len(specs))
+	for mi, spec := range specs {
+		var reg, rel, util, mks []float64
+		for _, rr := range reps {
+			a := rr.agg[mi]
+			reg = append(reg, a.Regret)
+			rel = append(rel, a.Reliability)
+			util = append(util, a.Utilization)
+			mks = append(mks, a.Makespan)
+		}
+		out[mi] = MethodResult{
+			Name:        spec.Name,
+			Regret:      stats.Summarize(reg),
+			Reliability: stats.Summarize(rel),
+			Utilization: stats.Summarize(util),
+			Makespan:    stats.Summarize(mks),
+		}
+	}
+	return out
+}
+
+// StandardSpecs returns the paper's five methods (§4.1.2) wired to cfg's
+// budgets. includeAD drops MFCP-AD for non-convex settings (Table 2).
+func StandardSpecs(cfg Config, includeAD bool) []MethodSpec {
+	cfg.FillDefaults()
+	mfcpConfig := func(bc *BuildContext, kind core.Kind) core.Config {
+		return core.Config{
+			Kind: kind, Hidden: cfg.Hidden,
+			Epochs:    cfg.RegretEpochs,
+			RoundSize: cfg.RoundSize,
+			Match:     cfg.matchConfigFor(bc.S),
+			Warm:      bc.Pretrained(),
+		}
+	}
+	specs := []MethodSpec{
+		{Name: "TAM", Build: func(bc *BuildContext) Method {
+			return baselines.NewTAM(bc.S, bc.Train)
+		}},
+		{Name: "TSM", Build: func(bc *BuildContext) Method {
+			return baselines.NewTSMFromSet(bc.S, bc.Pretrained())
+		}},
+		{Name: "UCB", Build: func(bc *BuildContext) Method {
+			return baselines.NewUCB(bc.S, bc.Train, baselines.UCBConfig{Hidden: cfg.Hidden, Epochs: cfg.PretrainEpochs})
+		}},
+	}
+	if includeAD {
+		specs = append(specs, MethodSpec{Name: "MFCP-AD", Build: func(bc *BuildContext) Method {
+			return core.Train(bc.S, bc.Train, mfcpConfig(bc, core.AD))
+		}})
+	}
+	specs = append(specs, MethodSpec{Name: "MFCP-FG", Build: func(bc *BuildContext) Method {
+		return core.Train(bc.S, bc.Train, mfcpConfig(bc, core.FG))
+	}})
+	return specs
+}
+
+// resultTable renders MethodResults as a three-metric table.
+func resultTable(title string, results []MethodResult) *Table {
+	t := &Table{Title: title, Headers: []string{"Method", "Regret", "Reliability", "Utilization"}}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{r.Name, r.Regret.String(), r.Reliability.String(), r.Utilization.String()})
+	}
+	return t
+}
+
+// fmtF renders a float cell.
+func fmtF(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// MatchConfigForTest exposes the per-scenario match configuration to
+// external probes and tests.
+func MatchConfigForTest(cfg Config, s *workload.Scenario) core.MatchConfig {
+	cfg.FillDefaults()
+	return cfg.matchConfigFor(s)
+}

@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"mfcp/internal/cluster"
+)
+
+// Overall reproduces Fig. 4: Regret / Reliability / Utilization for the
+// five methods under cluster settings A, B, and C. It returns one table per
+// setting.
+func Overall(cfg Config) []*Table {
+	cfg.FillDefaults()
+	var tables []*Table
+	for _, setting := range []cluster.Setting{cluster.SettingA, cluster.SettingB, cluster.SettingC} {
+		c := cfg
+		c.Setting = setting
+		results := RunMethods(c, StandardSpecs(c, true))
+		tbl := resultTable("Fig. 4 — Overall performance, setting "+string(setting), results)
+		tbl.Notes = append(tbl.Notes,
+			"expected shape (paper): MFCP-AD ≈ MFCP-FG < UCB < TSM < TAM on regret; MFCP highest utilization")
+		tables = append(tables, tbl)
+	}
+	return tables
+}

@@ -1,0 +1,18 @@
+package experiments
+
+// DefaultScalingSizes are Fig. 5's task counts per round.
+var DefaultScalingSizes = []int{5, 10, 15, 20, 25}
+
+// Scaling reproduces Fig. 5: Regret and Cluster Utilization versus the
+// number of tasks per round, under setting A. It returns two tables (one
+// per metric) whose columns are the task counts.
+func Scaling(cfg Config, sizes []int) (regret, utilization *Table) {
+	cfg.FillDefaults()
+	sizes, results := ScalingResults(cfg, sizes)
+	regret, utilization = tablesFromScaling(string(cfg.Setting), sizes, results)
+	regret.Notes = append(regret.Notes,
+		"expected shape (paper): roughly linear growth in N; MFCP variants lowest at every N")
+	utilization.Notes = append(utilization.Notes,
+		"expected shape (paper): utilization rises with N for all methods; MFCP highest, TAM lowest")
+	return regret, utilization
+}

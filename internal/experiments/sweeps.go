@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mfcp/internal/baselines"
+	"mfcp/internal/core"
+	"mfcp/internal/parallel"
+	"mfcp/internal/stats"
+	"mfcp/internal/workload"
+)
+
+// GradientRoutes compares the three ways of differentiating through the
+// matching argmin end-to-end (extension X5): analytical KKT (AD),
+// zeroth-order perturbation (FG, Algorithm 2), and backprop through the
+// solver iterations (UR). All start from the identical MSE warm start.
+func GradientRoutes(cfg Config) *Table {
+	cfg.FillDefaults()
+	specs := []MethodSpec{
+		{Name: "TSM (warm start)", Build: func(bc *BuildContext) Method {
+			return baselines.NewTSMFromSet(bc.S, bc.Pretrained())
+		}},
+	}
+	for _, kind := range []core.Kind{core.AD, core.FG, core.UR} {
+		kind := kind
+		specs = append(specs, MethodSpec{Name: kind.String(), Build: func(bc *BuildContext) Method {
+			return core.Train(bc.S, bc.Train, core.Config{
+				Kind: kind, Hidden: cfg.Hidden,
+				Epochs: cfg.RegretEpochs, RoundSize: cfg.RoundSize,
+				Match: cfg.matchConfigFor(bc.S), Warm: bc.Pretrained(),
+			})
+		}})
+	}
+	results := RunMethods(cfg, specs)
+	tbl := resultTable("X5 — gradient routes through the argmin (setting "+string(cfg.Setting)+")", results)
+	tbl.Notes = append(tbl.Notes,
+		"AD: implicit KKT differentiation; FG: Algorithm 2 zeroth-order; UR: unrolled solver backprop — all regret-train from the same MSE warm start")
+	return tbl
+}
+
+// SampleEfficiency sweeps the number of profiled training tasks (extension
+// X6): the paper motivates MFCP with the scarcity of physical profiling
+// runs, so its edge over pure-MSE training should persist (or grow) as the
+// training pool shrinks.
+func SampleEfficiency(cfg Config, poolSizes []int) *Table {
+	cfg.FillDefaults()
+	if len(poolSizes) == 0 {
+		poolSizes = []int{40, 80, 120, 200}
+	}
+	headers := []string{"Method"}
+	for _, ps := range poolSizes {
+		headers = append(headers, fmt.Sprintf("pool=%d", ps))
+	}
+	tbl := &Table{Title: "X6 — regret vs profiling-pool size (setting " + string(cfg.Setting) + ")", Headers: headers}
+	rows := map[string][]string{"TSM": {"TSM"}, "MFCP-FG": {"MFCP-FG"}, "Δ (paired, p<.05?)": {"Δ (paired, p<.05?)"}}
+	order := []string{"TSM", "MFCP-FG", "Δ (paired, p<.05?)"}
+	for _, ps := range poolSizes {
+		c := cfg
+		c.PoolSize = ps
+		specs := []MethodSpec{
+			{Name: "TSM", Build: func(bc *BuildContext) Method {
+				return baselines.NewTSMFromSet(bc.S, bc.Pretrained())
+			}},
+			{Name: "MFCP-FG", Build: func(bc *BuildContext) Method {
+				return core.Train(bc.S, bc.Train, core.Config{
+					Kind: core.FG, Hidden: c.Hidden,
+					Epochs: c.RegretEpochs, RoundSize: c.RoundSize,
+					Match: c.matchConfigFor(bc.S), Warm: bc.Pretrained(),
+				})
+			}},
+		}
+		perRep := runMethodsRaw(c, specs)
+		tsm := perRep[0]
+		fg := perRep[1]
+		rows["TSM"] = append(rows["TSM"], stats.Summarize(tsm).String())
+		rows["MFCP-FG"] = append(rows["MFCP-FG"], stats.Summarize(fg).String())
+		cmp := stats.PairedBootstrap(fg, tsm, 4000, workload.MustNew(workload.Config{Seed: c.Seed}).Stream("boot"))
+		rows["Δ (paired, p<.05?)"] = append(rows["Δ (paired, p<.05?)"],
+			fmt.Sprintf("%+.3f (%v)", cmp.MeanDiff, cmp.Significant()))
+	}
+	for _, k := range order {
+		tbl.Rows = append(tbl.Rows, rows[k])
+	}
+	tbl.Notes = append(tbl.Notes,
+		"Δ = MFCP-FG − TSM regret, paired across replicates; negative favors MFCP")
+	return tbl
+}
+
+// NoiseSensitivity sweeps measurement-noise intensity (extension X7) by
+// scaling every cluster's run-to-run sigma; decision-focused training
+// should degrade more gracefully than MSE fitting as labels get noisier.
+func NoiseSensitivity(cfg Config, scales []float64) *Table {
+	cfg.FillDefaults()
+	if len(scales) == 0 {
+		scales = []float64{0.5, 1, 2, 4}
+	}
+	headers := []string{"Method"}
+	for _, sc := range scales {
+		headers = append(headers, fmt.Sprintf("noise×%.1f", sc))
+	}
+	tbl := &Table{Title: "X7 — regret vs measurement-noise scale (setting " + string(cfg.Setting) + ")", Headers: headers}
+	tsmRow := []string{"TSM"}
+	fgRow := []string{"MFCP-FG"}
+	for _, sc := range scales {
+		c := cfg
+		c.NoiseScale = sc
+		specs := []MethodSpec{
+			{Name: "TSM", Build: func(bc *BuildContext) Method {
+				return baselines.NewTSMFromSet(bc.S, bc.Pretrained())
+			}},
+			{Name: "MFCP-FG", Build: func(bc *BuildContext) Method {
+				return core.Train(bc.S, bc.Train, core.Config{
+					Kind: core.FG, Hidden: c.Hidden,
+					Epochs: c.RegretEpochs, RoundSize: c.RoundSize,
+					Match: c.matchConfigFor(bc.S), Warm: bc.Pretrained(),
+				})
+			}},
+		}
+		perRep := runMethodsRaw(c, specs)
+		tsmRow = append(tsmRow, stats.Summarize(perRep[0]).String())
+		fgRow = append(fgRow, stats.Summarize(perRep[1]).String())
+	}
+	tbl.Rows = append(tbl.Rows, tsmRow, fgRow)
+	tbl.Notes = append(tbl.Notes, "noise scale multiplies every cluster's lognormal run-to-run sigma")
+	return tbl
+}
+
+// GammaSweep varies the reliability threshold γ (extension X8) and reports
+// how the full pipeline trades makespan for reliability, per method.
+func GammaSweep(cfg Config, gammas []float64) *Table {
+	cfg.FillDefaults()
+	if len(gammas) == 0 {
+		gammas = []float64{0.7, 0.8, 0.88, 0.93}
+	}
+	tbl := &Table{
+		Title:   "X8 — reliability threshold γ sweep (setting " + string(cfg.Setting) + ", MFCP-FG)",
+		Headers: []string{"gamma", "Regret", "Reliability", "Utilization", "Makespan"},
+	}
+	for _, g := range gammas {
+		c := cfg
+		c.Match.Gamma = g
+		specs := []MethodSpec{{Name: "MFCP-FG", Build: func(bc *BuildContext) Method {
+			return core.Train(bc.S, bc.Train, core.Config{
+				Kind: core.FG, Hidden: c.Hidden,
+				Epochs: c.RegretEpochs, RoundSize: c.RoundSize,
+				Match: c.matchConfigFor(bc.S), Warm: bc.Pretrained(),
+			})
+		}}}
+		res := RunMethods(c, specs)[0]
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%.2f", g),
+			res.Regret.String(), res.Reliability.String(), res.Utilization.String(), res.Makespan.String(),
+		})
+	}
+	tbl.Notes = append(tbl.Notes, "tighter γ costs makespan (and can raise regret) while lifting achieved reliability")
+	return tbl
+}
+
+// runMethodsRaw trains and evaluates methods like RunMethods but returns
+// the raw per-replicate regrets per method, preserving the pairing needed
+// by significance tests.
+func runMethodsRaw(cfg Config, specs []MethodSpec) [][]float64 {
+	cfg.FillDefaults()
+	perRep := parallel.Map(cfg.Replicates, func(rep int) []float64 {
+		s := workload.MustNew(workload.Config{
+			Setting:    cfg.Setting,
+			PoolSize:   cfg.PoolSize,
+			FeatureDim: cfg.FeatureDim,
+			NoiseScale: cfg.NoiseScale,
+			Seed:       cfg.Seed + uint64(rep)*1_000_003,
+		})
+		train, test := s.Split(cfg.TrainFrac)
+		mc := cfg.matchConfigFor(s)
+		bc := &BuildContext{S: s, Train: train, hidden: cfg.Hidden, pretrainEpochs: cfg.PretrainEpochs}
+		regrets := make([]float64, len(specs))
+		for mi, spec := range specs {
+			method := spec.Build(bc)
+			agg := EvaluateMethod(s, method, test, mc, cfg.Rounds, cfg.RoundSize, s.Stream("eval-rounds"))
+			regrets[mi] = agg.Regret
+		}
+		return regrets
+	})
+	out := make([][]float64, len(specs))
+	for mi := range specs {
+		for _, rr := range perRep {
+			out[mi] = append(out[mi], rr[mi])
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mfcp/internal/workload"
+)
+
+func TestGradientRoutesTable(t *testing.T) {
+	cfg := tinyConfig()
+	tbl := GradientRoutes(cfg)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows %d (warm start + 3 routes)", len(tbl.Rows))
+	}
+	names := []string{}
+	for _, r := range tbl.Rows {
+		names = append(names, r[0])
+	}
+	for _, want := range []string{"TSM (warm start)", "MFCP-AD", "MFCP-FG", "MFCP-UR"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing route %q in %v", want, names)
+		}
+	}
+}
+
+func TestSampleEfficiencyTable(t *testing.T) {
+	cfg := tinyConfig()
+	tbl := SampleEfficiency(cfg, []int{32, 48})
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	if len(tbl.Rows[0]) != 3 {
+		t.Fatalf("cols %d", len(tbl.Rows[0]))
+	}
+	// The Δ row must carry a significance annotation.
+	if !strings.Contains(tbl.Rows[2][1], "(") {
+		t.Fatalf("delta row lacks significance: %v", tbl.Rows[2])
+	}
+}
+
+func TestNoiseSensitivityTable(t *testing.T) {
+	cfg := tinyConfig()
+	tbl := NoiseSensitivity(cfg, []float64{1, 3})
+	if len(tbl.Rows) != 2 || len(tbl.Rows[0]) != 3 {
+		t.Fatalf("shape: %v", tbl.Rows)
+	}
+}
+
+func TestGammaSweepTable(t *testing.T) {
+	cfg := tinyConfig()
+	tbl := GammaSweep(cfg, []float64{0.7, 0.9})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "0.70" || tbl.Rows[1][0] != "0.90" {
+		t.Fatalf("gamma labels: %v", tbl.Rows)
+	}
+}
+
+func TestNoiseScaleChangesMeasurements(t *testing.T) {
+	// The NoiseScale knob must widen the spread of measured vs true times
+	// while leaving the ground truth untouched.
+	base := workload.MustNew(workload.Config{PoolSize: 32, FeatureDim: 8, Seed: 9})
+	noisy := workload.MustNew(workload.Config{PoolSize: 32, FeatureDim: 8, Seed: 9, NoiseScale: 5})
+	spread := func(s *workload.Scenario) float64 {
+		total := 0.0
+		for k := range s.MeasT.Data {
+			d := s.MeasT.Data[k]/s.TrueT.Data[k] - 1
+			total += d * d
+		}
+		return total
+	}
+	if spread(noisy) <= 1.5*spread(base) {
+		t.Fatalf("noise scale barely widened measurements: %v vs %v", spread(noisy), spread(base))
+	}
+}
+
+func TestSolverStudyTable(t *testing.T) {
+	cfg := tinyConfig()
+	tbl := SolverStudy(cfg)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// Every solver's mean cost ratio must be parseable and ≥ ~1 (the exact
+	// reference is optimal).
+	for _, row := range tbl.Rows {
+		var mean, std float64
+		if _, err := fmt.Sscanf(row[1], "%f ± %f", &mean, &std); err != nil {
+			t.Fatalf("unparseable ratio cell %q", row[1])
+		}
+		if mean < 0.999 {
+			t.Fatalf("solver %s beat the exact optimum: %v", row[0], mean)
+		}
+	}
+}
+
+func TestAdaptationStudyTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drift study is slow")
+	}
+	cfg := tinyConfig()
+	tbl := AdaptationStudy(cfg)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	if len(tbl.Rows[0]) != 6 { // method + 4 windows + overall
+		t.Fatalf("cols %d: %v", len(tbl.Rows[0]), tbl.Rows[0])
+	}
+}
+
+func TestEmbeddingStudyTable(t *testing.T) {
+	cfg := tinyConfig()
+	tbl := EmbeddingStudy(cfg)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,104 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/rng"
+)
+
+// randomSPD builds A = BᵀB + n·I, guaranteed SPD.
+func randomSPD(r *rng.Source, n int) *Dense {
+	b := randomDense(r, n, n)
+	a := Mul(b.T(), b, nil)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	r := rng.New(91)
+	for _, n := range []int{1, 3, 8, 15} {
+		a := randomSPD(r, n)
+		c, err := FactorizeCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := c.L()
+		if !Mul(l, l.T(), nil).Equal(a, 1e-8) {
+			t.Fatalf("n=%d: L·Lᵀ != A", n)
+		}
+		// Factor is lower triangular.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("upper triangle non-zero at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	r := rng.New(92)
+	a := randomSPD(r, 9)
+	x := Vec(r.NormVec(make([]float64, 9)))
+	b := a.MulVec(x, nil)
+	c, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Solve(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(x, 1e-7) {
+		t.Fatalf("solve wrong:\n%v\nvs\n%v", got, x)
+	}
+	// Agreement with the LU path.
+	lu, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(lu, 1e-7) {
+		t.Fatal("Cholesky and LU disagree")
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, -1}})
+	if _, err := FactorizeCholesky(a); err != ErrNotSPD {
+		t.Fatalf("want ErrNotSPD, got %v", err)
+	}
+	if IsSPD(a) {
+		t.Fatal("indefinite matrix reported SPD")
+	}
+	if !IsSPD(Eye(4)) {
+		t.Fatal("identity not SPD")
+	}
+	if _, err := FactorizeCholesky(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 0}, {0, 9}})
+	c, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LogDet(); math.Abs(got-math.Log(36)) > 1e-12 {
+		t.Fatalf("LogDet=%v want log(36)=%v", got, math.Log(36))
+	}
+}
+
+func BenchmarkCholesky64(b *testing.B) {
+	a := randomSPD(rng.New(1), 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorizeCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mfcp/internal/parallel"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewDense returns a zeroed Rows×Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("mat: NewDense with negative dimension")
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (which are copied). All rows must
+// have equal length.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("mat: FromRows with ragged rows")
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+// Add adds v to element (i, j).
+func (m *Dense) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] += v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of bounds for %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns row i as a Vec sharing the matrix's storage.
+func (m *Dense) Row(i int) Vec {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("mat: row %d out of bounds for %dx%d", i, m.Rows, m.Cols))
+	}
+	return Vec(m.Data[i*m.Cols : (i+1)*m.Cols])
+}
+
+// Col copies column j into a new Vec.
+func (m *Dense) Col(j int) Vec {
+	if j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: col %d out of bounds for %dx%d", j, m.Rows, m.Cols))
+	}
+	out := NewVec(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// SetCol writes v into column j.
+func (m *Dense) SetCol(j int, v Vec) {
+	if len(v) != m.Rows {
+		panic("mat: SetCol length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+j] = v[i]
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies src's contents into m. Shapes must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("mat: CopyFrom shape mismatch")
+	}
+	copy(m.Data, src.Data)
+}
+
+// Fill sets every element to c and returns m.
+func (m *Dense) Fill(c float64) *Dense {
+	for i := range m.Data {
+		m.Data[i] = c
+	}
+	return m
+}
+
+// Scale multiplies every element by alpha in place and returns m.
+func (m *Dense) Scale(alpha float64) *Dense {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+	return m
+}
+
+// AddScaled computes m += alpha*b in place. Shapes must match.
+func (m *Dense) AddScaled(alpha float64, b *Dense) *Dense {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("mat: AddScaled shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += alpha * b.Data[i]
+	}
+	return m
+}
+
+// T returns a newly allocated transpose.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
+		}
+	}
+	return out
+}
+
+// Equal reports element-wise equality within tol.
+func (m *Dense) Equal(b *Dense, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbs returns the largest absolute element (0 for empty matrices).
+func (m *Dense) MaxAbs() float64 {
+	return Vec(m.Data).NormInf()
+}
+
+// FrobeniusNorm returns the Frobenius norm.
+func (m *Dense) FrobeniusNorm() float64 {
+	return Vec(m.Data).Norm2()
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%9.4f", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MulVec computes dst = m · x (allocating dst when nil) and returns dst.
+func (m *Dense) MulVec(x Vec, dst Vec) Vec {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVec dim mismatch: %dx%d by %d", m.Rows, m.Cols, len(x)))
+	}
+	if dst == nil {
+		dst = NewVec(m.Rows)
+	}
+	if len(dst) != m.Rows {
+		panic("mat: MulVec dst length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Row(i).Dot(x)
+	}
+	return dst
+}
+
+// MulVecT computes dst = mᵀ · x (allocating dst when nil) and returns dst.
+func (m *Dense) MulVecT(x Vec, dst Vec) Vec {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVecT dim mismatch: %dx%d^T by %d", m.Rows, m.Cols, len(x)))
+	}
+	if dst == nil {
+		dst = NewVec(m.Cols)
+	}
+	if len(dst) != m.Cols {
+		panic("mat: MulVecT dst length mismatch")
+	}
+	dst.Fill(0)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+	return dst
+}
+
+// parallelGemmThreshold is the flop count above which Mul fans out across
+// goroutines; below it the spawn cost dominates.
+const parallelGemmThreshold = 64 * 64 * 64
+
+// Mul computes dst = a · b. dst is allocated when nil; it must not alias a
+// or b. Large products are computed in parallel over row blocks with an
+// ikj loop order for cache-friendly streaming of b.
+func Mul(a, b, dst *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dim mismatch %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst == nil {
+		dst = NewDense(a.Rows, b.Cols)
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: Mul dst shape mismatch")
+	}
+	if dst == a || dst == b {
+		panic("mat: Mul dst must not alias an operand")
+	}
+	mulRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dst.Row(i)
+			drow.Fill(0)
+			arow := a.Row(i)
+			for k, aik := range arow {
+				if aik == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bkj := range brow {
+					drow[j] += aik * bkj
+				}
+			}
+		}
+	}
+	if a.Rows*a.Cols*b.Cols >= parallelGemmThreshold && a.Rows > 1 {
+		grain := 1
+		parallel.ForChunked(a.Rows, grain, mulRange)
+	} else {
+		mulRange(0, a.Rows)
+	}
+	return dst
+}
+
+// OuterProduct computes dst += alpha · u vᵀ (allocating dst when nil).
+func OuterProduct(alpha float64, u, v Vec, dst *Dense) *Dense {
+	if dst == nil {
+		dst = NewDense(len(u), len(v))
+	}
+	if dst.Rows != len(u) || dst.Cols != len(v) {
+		panic("mat: OuterProduct shape mismatch")
+	}
+	for i, ui := range u {
+		if ui == 0 {
+			continue
+		}
+		row := dst.Row(i)
+		c := alpha * ui
+		for j, vj := range v {
+			row[j] += c * vj
+		}
+	}
+	return dst
+}

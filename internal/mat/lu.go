@@ -1,0 +1,161 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, where L is
+// unit lower triangular and U upper triangular, packed into lu.
+type LU struct {
+	lu    *Dense
+	pivot []int // row i of the factorization came from row pivot[i] of A
+	signs int   // parity of the permutation, for Det
+}
+
+// Factorize computes the LU factorization of the square matrix a (which is
+// not modified). It returns ErrSingular if a pivot underflows.
+func Factorize(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: Factorize of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	for i := range pivot {
+		pivot[i] = i
+	}
+	signs := 1
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the largest |entry| in column k at/below k.
+		p := k
+		maxAbs := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > maxAbs {
+				maxAbs, p = a, i
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			pivot[k], pivot[p] = pivot[p], pivot[k]
+			signs = -signs
+		}
+		pivInv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := lu.At(i, k) * pivInv
+			lu.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= l * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, signs: signs}, nil
+}
+
+// Solve solves A·x = b for one right-hand side, writing into dst
+// (allocating when nil).
+func (f *LU) Solve(b Vec, dst Vec) (Vec, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: LU.Solve rhs length %d, want %d", len(b), n)
+	}
+	if dst == nil {
+		dst = NewVec(n)
+	}
+	// Apply permutation: y = P·b.
+	for i := 0; i < n; i++ {
+		dst[i] = b[f.pivot[i]]
+	}
+	// Forward substitution (L is unit lower triangular).
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		sum := dst[i]
+		for j := 0; j < i; j++ {
+			sum -= row[j] * dst[j]
+		}
+		dst[i] = sum
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		sum := dst[i]
+		for j := i + 1; j < n; j++ {
+			sum -= row[j] * dst[j]
+		}
+		d := row[i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		dst[i] = sum / d
+	}
+	return dst, nil
+}
+
+// SolveMat solves A·X = B column-by-column, returning a new matrix.
+func (f *LU) SolveMat(b *Dense) (*Dense, error) {
+	if b.Rows != f.lu.Rows {
+		return nil, fmt.Errorf("mat: LU.SolveMat rhs rows %d, want %d", b.Rows, f.lu.Rows)
+	}
+	out := NewDense(b.Rows, b.Cols)
+	col := NewVec(b.Rows)
+	res := NewVec(b.Rows)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		if _, err := f.Solve(col, res); err != nil {
+			return nil, err
+		}
+		out.SetCol(j, res)
+	}
+	return out, nil
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	det := float64(f.signs)
+	n := f.lu.Rows
+	for i := 0; i < n; i++ {
+		det *= f.lu.At(i, i)
+	}
+	return det
+}
+
+// Solve is a convenience that factorizes a and solves a·x = b.
+func Solve(a *Dense, b Vec) (Vec, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b, nil)
+}
+
+// Inverse returns a⁻¹, or ErrSingular.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMat(Eye(a.Rows))
+}
+
+// SolveSym solves the (symmetric, possibly indefinite) KKT-style system via
+// plain LU with partial pivoting. A dedicated LDLᵀ would halve the work, but
+// the systems here are small (MN+N ≲ a few hundred) and LU keeps one code
+// path; the name documents intent at call sites.
+func SolveSym(a *Dense, b Vec) (Vec, error) { return Solve(a, b) }

@@ -1,0 +1,406 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mfcp/internal/rng"
+)
+
+func randomDense(r *rng.Source, rows, cols int) *Dense {
+	m := NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Normal(0, 1)
+	}
+	return m
+}
+
+func TestVecDotAndAxpy(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	if v.Dot(w) != 32 {
+		t.Fatalf("dot=%v", v.Dot(w))
+	}
+	v.AddScaled(2, w)
+	if !v.Equal(Vec{9, 12, 15}, 1e-12) {
+		t.Fatalf("axpy=%v", v)
+	}
+}
+
+func TestVecDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Vec{1}.Dot(Vec{1, 2})
+}
+
+func TestNorm2Stable(t *testing.T) {
+	v := Vec{3e150, 4e150}
+	if got := v.Norm2(); math.IsInf(got, 0) || math.Abs(got-5e150) > 1e137 {
+		t.Fatalf("Norm2 overflowed: %v", got)
+	}
+	if (Vec{}).Norm2() != 0 {
+		t.Fatal("empty Norm2 != 0")
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	v := Vec{2, -1, 7, 7, 0}
+	if m, i := v.Max(); m != 7 || i != 2 {
+		t.Fatalf("Max=%v,%d", m, i)
+	}
+	if m, i := v.Min(); m != -1 || i != 1 {
+		t.Fatalf("Min=%v,%d", m, i)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	r := rng.New(1)
+	check := func(seed uint32) bool {
+		s := r.SplitIndexed("softmax", int(seed%1000))
+		n := s.Intn(10) + 1
+		v := Vec(s.NormVec(make([]float64, n))).Scale(10)
+		p := v.Softmax(1, nil)
+		sum := 0.0
+		for _, x := range p {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				return false
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-10 {
+			return false
+		}
+		// argmax is preserved
+		_, wantIdx := v.Max()
+		_, gotIdx := p.Max()
+		return wantIdx == gotIdx
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxTemperature(t *testing.T) {
+	v := Vec{1, 2, 3}
+	cold := v.Softmax(0.01, nil)
+	if cold[2] < 0.999 {
+		t.Fatalf("cold softmax not peaked: %v", cold)
+	}
+	hot := v.Softmax(1000, nil)
+	for _, x := range hot {
+		if math.Abs(x-1.0/3) > 1e-3 {
+			t.Fatalf("hot softmax not uniform: %v", hot)
+		}
+	}
+}
+
+func TestLogSumExpBoundsMax(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 100; trial++ {
+		n := r.Intn(8) + 1
+		v := Vec(r.NormVec(make([]float64, n))).Scale(5)
+		m, _ := v.Max()
+		for _, beta := range []float64{0.5, 2, 10, 100} {
+			lse := LogSumExp(v, beta)
+			if lse < m-1e-12 {
+				t.Fatalf("LSE %v below max %v at beta=%v", lse, m, beta)
+			}
+			if lse > m+math.Log(float64(n))/beta+1e-12 {
+				t.Fatalf("LSE %v above max+log(n)/beta at beta=%v", lse, beta)
+			}
+		}
+		// Convergence: beta=1e4 should be within 1e-3 of the max.
+		if d := LogSumExp(v, 1e4) - m; d > 1e-3 {
+			t.Fatalf("LSE did not converge to max: gap %v", d)
+		}
+	}
+}
+
+func TestSoftmaxWeightsSumToOne(t *testing.T) {
+	v := Vec{1, 5, 2}
+	p := SoftmaxWeights(v, 3, nil)
+	sum := 0.0
+	for _, x := range p {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum %v", sum)
+	}
+	if p[1] <= p[0] || p[1] <= p[2] {
+		t.Fatalf("weights not ordered with values: %v", p)
+	}
+}
+
+func TestDenseAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.At(1, 2) != 6 {
+		t.Fatal("At wrong")
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Fatal("Set wrong")
+	}
+	m.Add(0, 1, 1)
+	if m.At(0, 1) != 10 {
+		t.Fatal("Add wrong")
+	}
+	if !m.Col(0).Equal(Vec{1, 4}, 0) {
+		t.Fatalf("Col=%v", m.Col(0))
+	}
+	m.SetCol(2, Vec{7, 8})
+	if m.At(0, 2) != 7 || m.At(1, 2) != 8 {
+		t.Fatal("SetCol wrong")
+	}
+}
+
+func TestRowSharesStorage(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Row(1)[0] = 5
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row does not alias storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 || mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Fatalf("T wrong: %v", mt)
+	}
+	if !m.T().T().Equal(m, 0) {
+		t.Fatal("double transpose differs")
+	}
+}
+
+func TestMulAgainstHand(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b, nil)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !c.Equal(want, 1e-12) {
+		t.Fatalf("Mul wrong:\n%v", c)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	r := rng.New(3)
+	a := randomDense(r, 17, 17)
+	if !Mul(a, Eye(17), nil).Equal(a, 1e-12) || !Mul(Eye(17), a, nil).Equal(a, 1e-12) {
+		t.Fatal("identity multiplication changed matrix")
+	}
+}
+
+func TestMulParallelMatchesSerial(t *testing.T) {
+	// A matrix large enough to trigger the parallel path must give the same
+	// result as the small-path algorithm on the same data.
+	r := rng.New(4)
+	a := randomDense(r, 80, 70)
+	b := randomDense(r, 70, 90)
+	big := Mul(a, b, nil)
+	// compute serially by hand
+	want := NewDense(80, 90)
+	for i := 0; i < 80; i++ {
+		for j := 0; j < 90; j++ {
+			s := 0.0
+			for k := 0; k < 70; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	if !big.Equal(want, 1e-9) {
+		t.Fatal("parallel Mul differs from serial reference")
+	}
+}
+
+func TestMulVecAndT(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if !m.MulVec(Vec{1, 1, 1}, nil).Equal(Vec{6, 15}, 1e-12) {
+		t.Fatal("MulVec wrong")
+	}
+	if !m.MulVecT(Vec{1, 1}, nil).Equal(Vec{5, 7, 9}, 1e-12) {
+		t.Fatal("MulVecT wrong")
+	}
+}
+
+func TestMulVecTMatchesTransposeMul(t *testing.T) {
+	r := rng.New(5)
+	m := randomDense(r, 13, 7)
+	x := Vec(r.NormVec(make([]float64, 13)))
+	a := m.MulVecT(x, nil)
+	b := m.T().MulVec(x, nil)
+	if !a.Equal(b, 1e-10) {
+		t.Fatal("MulVecT != T().MulVec")
+	}
+}
+
+func TestOuterProduct(t *testing.T) {
+	d := OuterProduct(2, Vec{1, 2}, Vec{3, 4, 5}, nil)
+	want := FromRows([][]float64{{6, 8, 10}, {12, 16, 20}})
+	if !d.Equal(want, 1e-12) {
+		t.Fatalf("outer product wrong:\n%v", d)
+	}
+	// accumulate
+	OuterProduct(1, Vec{1, 0}, Vec{1, 1, 1}, d)
+	if d.At(0, 0) != 7 || d.At(1, 0) != 12 {
+		t.Fatal("OuterProduct accumulation wrong")
+	}
+}
+
+func TestLUSolveRoundTrip(t *testing.T) {
+	r := rng.New(6)
+	check := func(seed uint32) bool {
+		s := r.SplitIndexed("lu", int(seed%500))
+		n := s.Intn(12) + 1
+		a := randomDense(s, n, n)
+		// diagonal boost keeps matrices comfortably nonsingular
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n))
+		}
+		x := Vec(s.NormVec(make([]float64, n)))
+		b := a.MulVec(x, nil)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return got.Equal(x, 1e-7)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factorize(a); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := Factorize(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square Factorize did not error")
+	}
+}
+
+func TestLUPivotingHandlesZeroDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, Vec{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(Vec{3, 2}, 1e-12) {
+		t.Fatalf("pivoted solve wrong: %v", x)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 3}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-6) > 1e-12 {
+		t.Fatalf("det=%v", f.Det())
+	}
+	// Permutation parity: swapping rows flips the sign.
+	b := FromRows([][]float64{{0, 3}, {2, 0}})
+	f2, err := Factorize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f2.Det()+6) > 1e-12 {
+		t.Fatalf("det with pivot=%v", f2.Det())
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := rng.New(8)
+	a := randomDense(r, 9, 9)
+	for i := 0; i < 9; i++ {
+		a.Add(i, i, 9)
+	}
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Mul(a, inv, nil).Equal(Eye(9), 1e-8) {
+		t.Fatal("A·A⁻¹ != I")
+	}
+}
+
+func TestSolveMatMultipleRHS(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	b := FromRows([][]float64{{1, 0}, {0, 1}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.SolveMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Mul(a, x, nil).Equal(b, 1e-10) {
+		t.Fatal("SolveMat residual too large")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMulAliasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	a := NewDense(4, 4)
+	Mul(a, a, a)
+}
+
+func BenchmarkMul64(b *testing.B) {
+	r := rng.New(1)
+	x := randomDense(r, 64, 64)
+	y := randomDense(r, 64, 64)
+	dst := NewDense(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y, dst)
+	}
+}
+
+func BenchmarkMul256Parallel(b *testing.B) {
+	r := rng.New(1)
+	x := randomDense(r, 256, 256)
+	y := randomDense(r, 256, 256)
+	dst := NewDense(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y, dst)
+	}
+}
+
+func BenchmarkLUSolve64(b *testing.B) {
+	r := rng.New(1)
+	a := randomDense(r, 64, 64)
+	for i := 0; i < 64; i++ {
+		a.Add(i, i, 64)
+	}
+	rhs := Vec(r.NormVec(make([]float64, 64)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

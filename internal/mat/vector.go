@@ -1,0 +1,213 @@
+// Package mat implements the dense linear algebra kernels the repository is
+// built on: vectors, row-major matrices, BLAS-like level-1/2/3 operations
+// (with goroutine-parallel GEMM), LU factorization with partial pivoting,
+// and the softmax/log-sum-exp helpers the matching optimizer needs.
+//
+// Everything is float64 and row-major. The API follows the stdlib style:
+// receivers are mutated in place where that is the natural contract
+// (e.g. AddScaled), and functions that allocate say so.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense float64 vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Fill sets every element to c and returns v.
+func (v Vec) Fill(c float64) Vec {
+	for i := range v {
+		v[i] = c
+	}
+	return v
+}
+
+// Dot returns the inner product of v and w. It panics on length mismatch.
+func (v Vec) Dot(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	sum := 0.0
+	for i, x := range v {
+		sum += x * w[i]
+	}
+	return sum
+}
+
+// AddScaled computes v += alpha*w in place (BLAS axpy) and returns v.
+func (v Vec) AddScaled(alpha float64, w Vec) Vec {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: AddScaled length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+	return v
+}
+
+// Scale computes v *= alpha in place and returns v.
+func (v Vec) Scale(alpha float64) Vec {
+	for i := range v {
+		v[i] *= alpha
+	}
+	return v
+}
+
+// Sum returns the sum of all elements.
+func (v Vec) Sum() float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm, guarding against overflow.
+func (v Vec) Norm2() float64 {
+	scale, ssq := 0.0, 1.0
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum absolute element (0 for an empty vector).
+func (v Vec) NormInf() float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Max returns the maximum element and its index. It panics on an empty vector.
+func (v Vec) Max() (float64, int) {
+	if len(v) == 0 {
+		panic("mat: Max of empty vector")
+	}
+	best, at := v[0], 0
+	for i, x := range v {
+		if x > best {
+			best, at = x, i
+		}
+	}
+	return best, at
+}
+
+// Min returns the minimum element and its index. It panics on an empty vector.
+func (v Vec) Min() (float64, int) {
+	if len(v) == 0 {
+		panic("mat: Min of empty vector")
+	}
+	best, at := v[0], 0
+	for i, x := range v {
+		if x < best {
+			best, at = x, i
+		}
+	}
+	return best, at
+}
+
+// Equal reports whether v and w have the same length and elements within tol.
+func (v Vec) Equal(w Vec, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Softmax writes softmax(v / temp) into dst (allocating if dst is nil) and
+// returns it. It is numerically stable (subtracts the max). temp must be > 0.
+func (v Vec) Softmax(temp float64, dst Vec) Vec {
+	if temp <= 0 {
+		panic("mat: Softmax with non-positive temperature")
+	}
+	if dst == nil {
+		dst = NewVec(len(v))
+	}
+	if len(dst) != len(v) {
+		panic("mat: Softmax dst length mismatch")
+	}
+	if len(v) == 0 {
+		return dst
+	}
+	m, _ := v.Max()
+	sum := 0.0
+	for i, x := range v {
+		e := math.Exp((x - m) / temp)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}
+
+// LogSumExp returns (1/beta) * log(sum_i exp(beta*v_i)), computed stably.
+// As beta grows it converges to max(v) from above.
+func LogSumExp(v Vec, beta float64) float64 {
+	if len(v) == 0 {
+		panic("mat: LogSumExp of empty vector")
+	}
+	if beta <= 0 {
+		panic("mat: LogSumExp with non-positive beta")
+	}
+	m, _ := v.Max()
+	sum := 0.0
+	for _, x := range v {
+		sum += math.Exp(beta * (x - m))
+	}
+	return m + math.Log(sum)/beta
+}
+
+// SoftmaxWeights writes the softmax weights p_i = exp(beta*v_i)/sum into dst
+// (allocating if nil); these are the gradient weights of LogSumExp.
+func SoftmaxWeights(v Vec, beta float64, dst Vec) Vec {
+	if dst == nil {
+		dst = NewVec(len(v))
+	}
+	m, _ := v.Max()
+	sum := 0.0
+	for i, x := range v {
+		e := math.Exp(beta * (x - m))
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}

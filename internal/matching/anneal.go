@@ -1,0 +1,106 @@
+package matching
+
+import (
+	"math"
+
+	"mfcp/internal/rng"
+)
+
+// AnnealOptions configures the simulated-annealing discrete solver.
+type AnnealOptions struct {
+	// Iters is the number of proposal steps (default 4000).
+	Iters int
+	// T0 and T1 are the initial and final temperatures of the geometric
+	// cooling schedule (defaults 1.0 and 1e-3), in units of the
+	// penalized-cost objective.
+	T0, T1 float64
+	// Penalty is the weight on reliability-constraint violation added to
+	// the cost during the search (default 10).
+	Penalty float64
+	// Restarts runs that many independent chains and keeps the best
+	// (default 3).
+	Restarts int
+}
+
+func (o *AnnealOptions) fillDefaults() {
+	if o.Iters == 0 {
+		o.Iters = 4000
+	}
+	if o.T0 == 0 {
+		o.T0 = 1
+	}
+	if o.T1 == 0 {
+		o.T1 = 1e-3
+	}
+	if o.Penalty == 0 {
+		o.Penalty = 10
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 3
+	}
+}
+
+// SolveAnneal searches the discrete assignment space directly by simulated
+// annealing: single-task move proposals against a penalized objective
+//
+//	cost(assign) = f(assign) + Penalty·max(0, γ − reliability(assign)),
+//
+// with geometric cooling and multiple restarts. Unlike the relaxation
+// pipeline it involves no gradients at all, which makes it a useful
+// solver-ablation reference (it handles the non-convex ζ objective
+// natively) — and a fallback for objectives with no useful relaxation.
+// It is randomized; pass a dedicated stream for reproducibility.
+func SolveAnneal(p *Problem, opts AnnealOptions, r *rng.Source) []int {
+	opts.fillDefaults()
+	m, n := p.M(), p.N()
+	cost := func(assign []int) float64 {
+		c := p.DiscreteCost(assign)
+		if rel := p.DiscreteReliability(assign); rel < p.Gamma {
+			c += opts.Penalty * (p.Gamma - rel)
+		}
+		return c
+	}
+	var best []int
+	bestCost := math.Inf(1)
+	for restart := 0; restart < opts.Restarts; restart++ {
+		cr := r.SplitIndexed("chain", restart)
+		cur := make([]int, n)
+		for j := range cur {
+			cur[j] = cr.Intn(m)
+		}
+		curCost := cost(cur)
+		localBest := append([]int(nil), cur...)
+		localBestCost := curCost
+		cool := math.Pow(opts.T1/opts.T0, 1/float64(opts.Iters))
+		temp := opts.T0
+		for it := 0; it < opts.Iters; it++ {
+			j := cr.Intn(n)
+			old := cur[j]
+			next := cr.Intn(m)
+			if next == old {
+				temp *= cool
+				continue
+			}
+			cur[j] = next
+			nextCost := cost(cur)
+			delta := nextCost - curCost
+			if delta <= 0 || cr.Float64() < math.Exp(-delta/temp) {
+				curCost = nextCost
+				if curCost < localBestCost {
+					localBestCost = curCost
+					copy(localBest, cur)
+				}
+			} else {
+				cur[j] = old
+			}
+			temp *= cool
+		}
+		if localBestCost < bestCost {
+			bestCost = localBestCost
+			best = localBest
+		}
+	}
+	// Polish with the deterministic local search (also restores hard
+	// feasibility where achievable).
+	return Repair(p, best)
+}

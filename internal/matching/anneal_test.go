@@ -1,0 +1,103 @@
+package matching
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+)
+
+func TestAnnealValidAssignment(t *testing.T) {
+	r := rng.New(101)
+	p := randomProblem(r, 3, 8)
+	assign := SolveAnneal(p, AnnealOptions{Iters: 1500}, r.Split("sa"))
+	if len(assign) != 8 {
+		t.Fatalf("len %d", len(assign))
+	}
+	for _, a := range assign {
+		if a < 0 || a >= 3 {
+			t.Fatalf("cluster %d out of range", a)
+		}
+	}
+}
+
+func TestAnnealNearExact(t *testing.T) {
+	r := rng.New(102)
+	worst := 0.0
+	for trial := 0; trial < 15; trial++ {
+		p := randomProblem(r, 3, 7)
+		_, exactCost, feasible := SolveExact(p)
+		if !feasible {
+			continue
+		}
+		assign := SolveAnneal(p, AnnealOptions{}, r.SplitIndexed("sa", trial))
+		if ratio := p.DiscreteCost(assign) / exactCost; ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst > 1.25 {
+		t.Fatalf("annealing/exact ratio up to %v", worst)
+	}
+}
+
+func TestAnnealRespectsReliabilityWhenAchievable(t *testing.T) {
+	T := mat.FromRows([][]float64{{1, 1, 1, 1}, {1.5, 1.5, 1.5, 1.5}})
+	A := mat.FromRows([][]float64{{0.6, 0.6, 0.6, 0.6}, {0.99, 0.99, 0.99, 0.99}})
+	p := NewProblem(T, A)
+	p.Gamma = 0.9
+	assign := SolveAnneal(p, AnnealOptions{}, rng.New(103))
+	if p.DiscreteReliability(assign) < p.Gamma {
+		t.Fatalf("annealing ignored achievable γ: rel=%v", p.DiscreteReliability(assign))
+	}
+}
+
+func TestAnnealHandlesNonConvex(t *testing.T) {
+	// Strong parallel speedups: packing can beat spreading; annealing
+	// searches the discrete space natively. Verify against brute force.
+	T := mat.FromRows([][]float64{{1, 1, 1}, {1.05, 1.05, 1.05}})
+	A := mat.NewDense(2, 3).Fill(0.95)
+	p := NewProblem(T, A)
+	p.Gamma = 0.5
+	p.Speedups = []cluster.SpeedupCurve{{Floor: 0.3, Rate: 3}, {Floor: 0.3, Rate: 3}}
+	assign := SolveAnneal(p, AnnealOptions{}, rng.New(104))
+	got := p.DiscreteCost(assign)
+	_, exactCost, _ := SolveExact(p)
+	if got > exactCost+1e-9 {
+		t.Fatalf("annealing cost %v above exact %v", got, exactCost)
+	}
+}
+
+func TestAnnealDeterministicPerStream(t *testing.T) {
+	r1 := rng.New(105)
+	r2 := rng.New(105)
+	p := randomProblem(rng.New(106), 3, 6)
+	a := SolveAnneal(p, AnnealOptions{Iters: 800}, r1)
+	b := SolveAnneal(p, AnnealOptions{Iters: 800}, r2)
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatal("annealing not reproducible for identical streams")
+		}
+	}
+}
+
+func TestAnnealCostFinite(t *testing.T) {
+	r := rng.New(107)
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(r, 4, 9)
+		assign := SolveAnneal(p, AnnealOptions{Iters: 500, Restarts: 1}, r.SplitIndexed("sa", trial))
+		if c := p.DiscreteCost(assign); math.IsNaN(c) || math.IsInf(c, 0) || c <= 0 {
+			t.Fatalf("cost %v", c)
+		}
+	}
+}
+
+func BenchmarkAnneal3x10(b *testing.B) {
+	p := randomProblem(rng.New(1), 3, 10)
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveAnneal(p, AnnealOptions{Iters: 2000, Restarts: 2}, r.SplitIndexed("b", i))
+	}
+}

@@ -1,0 +1,127 @@
+package matching
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+)
+
+func TestEntropyGradientMatchesFiniteDiff(t *testing.T) {
+	r := rng.New(21)
+	p := randomProblem(r, 3, 4)
+	p.Entropy = 0.07
+	X := p.UniformX()
+	for k := range X.Data {
+		X.Data[k] += r.Uniform(-0.05, 0.05)
+	}
+	normalizeColumns(X)
+	analytic := p.GradX(X, nil)
+	const h = 1e-6
+	for k := range X.Data {
+		orig := X.Data[k]
+		X.Data[k] = orig + h
+		up := p.F(X)
+		X.Data[k] = orig - h
+		down := p.F(X)
+		X.Data[k] = orig
+		fd := (up - down) / (2 * h)
+		if math.Abs(fd-analytic.Data[k]) > 1e-4*(1+math.Abs(fd)) {
+			t.Fatalf("entropy grad[%d]: analytic %v fd %v", k, analytic.Data[k], fd)
+		}
+	}
+}
+
+func TestEntropyKeepsOptimumInterior(t *testing.T) {
+	// With entropy the relaxed optimum must stay strictly inside the
+	// simplex even when one cluster dominates.
+	T := mat.FromRows([][]float64{{0.1}, {5}, {5}})
+	A := mat.NewDense(3, 1).Fill(0.95)
+	p := NewProblem(T, A)
+	p.Entropy = 0.1
+	X := SolveRelaxed(p, SolveOptions{Iters: 800})
+	for i := 0; i < 3; i++ {
+		v := X.At(i, 0)
+		if v <= 1e-6 || v >= 1-1e-6 {
+			t.Fatalf("entropy-regularized optimum pinned to boundary: %v", X)
+		}
+	}
+	// And it must still prefer the fast cluster.
+	if X.At(0, 0) < X.At(1, 0) || X.At(0, 0) < X.At(2, 0) {
+		t.Fatalf("entropy destroyed the preference ordering: %v", X)
+	}
+}
+
+func TestEntropyVanishingRecoversOriginal(t *testing.T) {
+	r := rng.New(22)
+	p := randomProblem(r, 3, 5)
+	base := SolveRelaxed(p, SolveOptions{Iters: 500})
+	small := *p
+	small.Entropy = 1e-6
+	reg := SolveRelaxed(&small, SolveOptions{Iters: 500})
+	// Rounded decisions must agree when the regularizer is negligible.
+	a, b := Round(base), Round(reg)
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("tiny entropy changed the rounded matching: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestWithPredictionPreservesEntropy(t *testing.T) {
+	r := rng.New(23)
+	p := randomProblem(r, 2, 3)
+	p.Entropy = 0.05
+	q := p.WithPrediction(p.T.Clone(), nil)
+	if q.Entropy != 0.05 {
+		t.Fatal("WithPrediction dropped entropy")
+	}
+}
+
+func TestPGDMethodProducesCompetitiveMatchings(t *testing.T) {
+	// Algorithm 1 as printed (Euclidean step + column softmax) is not a
+	// monotone descent method — the softmax re-projection can raise F — but
+	// after rounding and repair its matchings must stay competitive with
+	// the mirror-descent pipeline.
+	r := rng.New(24)
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(r, 3, 6)
+		Xp := SolveRelaxed(p, SolveOptions{Method: MethodPGD, Iters: 300, LR: 0.5})
+		pgd := Repair(p, Round(Xp))
+		Xm := SolveRelaxed(p, SolveOptions{Method: MethodMirror, Iters: 300})
+		mirror := Repair(p, Round(Xm))
+		// Algorithm 1's printed form is markedly weaker than mirror descent
+		// (its softmax re-projection pulls iterates toward uniform); assert
+		// only that the pipeline stays within a small constant factor.
+		if p.DiscreteCost(pgd) > 2.2*p.DiscreteCost(mirror)+1e-9 {
+			t.Fatalf("PGD pipeline cost %v far above mirror %v",
+				p.DiscreteCost(pgd), p.DiscreteCost(mirror))
+		}
+	}
+}
+
+func TestRepairIdempotentOnOptimal(t *testing.T) {
+	r := rng.New(25)
+	for trial := 0; trial < 20; trial++ {
+		p := randomProblem(r, 3, 6)
+		exact, _, feasible := SolveExact(p)
+		if !feasible {
+			continue
+		}
+		repaired := Repair(p, exact)
+		if p.DiscreteCost(repaired) > p.DiscreteCost(exact)+1e-12 {
+			t.Fatal("Repair worsened the exact optimum")
+		}
+	}
+}
+
+func TestDiscreteLoadsMatchManual(t *testing.T) {
+	T := mat.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	A := mat.NewDense(2, 3).Fill(0.9)
+	p := NewProblem(T, A)
+	loads := p.DiscreteLoads([]int{0, 1, 0})
+	if !loads.Equal(mat.Vec{4, 5}, 1e-12) {
+		t.Fatalf("loads=%v", loads)
+	}
+}

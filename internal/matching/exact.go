@@ -1,0 +1,153 @@
+package matching
+
+import (
+	"math"
+	"sort"
+)
+
+// SolveExact finds the optimal discrete assignment by depth-first branch
+// and bound. It minimizes the (speedup-adjusted) makespan subject to the
+// mean-reliability constraint, using the problem's T and A as ground truth.
+//
+// It returns the best assignment, its cost, and whether any
+// reliability-feasible assignment exists (when none does, it returns the
+// reliability-maximizing assignment among cost-minimal ones found and
+// feasible=false).
+//
+// Complexity is O(M^N) worst case; pruning makes M=3, N≤15 fast. Callers
+// should gate on instance size.
+func SolveExact(p *Problem) (assign []int, cost float64, feasible bool) {
+	m, n := p.M(), p.N()
+	// Branch on tasks in decreasing max-time order: placing the heaviest
+	// tasks first makes the load lower bound bite early.
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	maxT := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			if v := p.T.At(i, j); v > maxT[j] {
+				maxT[j] = v
+			}
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return maxT[order[a]] > maxT[order[b]] })
+
+	// bestRel[k] = sum over the last k tasks (in branch order) of their
+	// maximum reliability — the optimistic completion used for pruning.
+	bestRelSuffix := make([]float64, n+1)
+	for k := n - 1; k >= 0; k-- {
+		j := order[k]
+		best := 0.0
+		for i := 0; i < m; i++ {
+			if v := p.A.At(i, j); v > best {
+				best = v
+			}
+		}
+		bestRelSuffix[k] = bestRelSuffix[k+1] + best
+	}
+	relNeeded := p.Gamma * float64(n)
+
+	cur := make([]int, n)
+	counts := make([]int, m)
+	loads := make([]float64, m) // raw (un-ζ'd) load sums
+	var best []int
+	bestCost := math.Inf(1)
+	bestFeasible := false
+	bestRelValue := -1.0
+
+	adjustedMax := func() float64 {
+		mx := 0.0
+		for i := 0; i < m; i++ {
+			v := p.zeta(i, float64(counts[i])) * loads[i]
+			if v > mx {
+				mx = v
+			}
+		}
+		return mx
+	}
+
+	var dfs func(k int, relSum float64)
+	dfs = func(k int, relSum float64) {
+		if k == n {
+			c := adjustedMax()
+			if p.Objective == LinearSum {
+				c = 0
+				for i := 0; i < m; i++ {
+					c += p.zeta(i, float64(counts[i])) * loads[i]
+				}
+			}
+			feas := relSum >= relNeeded-1e-12
+			better := false
+			switch {
+			case feas && !bestFeasible:
+				better = true
+			case feas == bestFeasible && c < bestCost-1e-15:
+				better = true
+			case feas == bestFeasible && math.Abs(c-bestCost) <= 1e-15 && relSum > bestRelValue:
+				better = true
+			}
+			if better {
+				bestCost = c
+				bestFeasible = feas
+				bestRelValue = relSum
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		// Reliability pruning: even assigning every remaining task to its
+		// most reliable cluster cannot reach γ, and we already have a
+		// feasible incumbent — prune.
+		if bestFeasible && relSum+bestRelSuffix[k] < relNeeded-1e-12 {
+			return
+		}
+		j := order[k]
+		for i := 0; i < m; i++ {
+			loads[i] += p.T.At(i, j)
+			counts[i]++
+			// Load lower bound: ζ is non-increasing in count, so the
+			// current adjusted max only grows as more tasks arrive on the
+			// same cluster ONLY in the sequential case. With speedups the
+			// adjusted load can shrink; the bound below remains valid
+			// because ζ ≥ Floor: use Floor-discounted loads.
+			lb := 0.0
+			for q := 0; q < m; q++ {
+				floor := 1.0
+				if p.Speedups != nil {
+					floor = p.Speedups[q].Floor
+				}
+				if v := floor * loads[q]; v > lb {
+					lb = v
+				}
+			}
+			prune := bestFeasible && p.Objective == SmoothMakespan && lb >= bestCost-1e-15
+			if !prune {
+				cur[j] = i
+				dfs(k+1, relSum+p.A.At(i, j))
+			}
+			loads[i] -= p.T.At(i, j)
+			counts[i]--
+		}
+	}
+	dfs(0, 0)
+	return best, bestCost, bestFeasible
+}
+
+// ExactTractable reports whether an instance is small enough for SolveExact
+// within interactive budgets.
+func ExactTractable(m, n int) bool {
+	return math.Pow(float64(m), float64(n)) <= 2e6
+}
+
+// BestAssignment picks the ground-truth optimal assignment for evaluation:
+// exact branch and bound when tractable, otherwise the continuous solver
+// pipeline with a high iteration budget.
+func BestAssignment(p *Problem) []int {
+	if ExactTractable(p.M(), p.N()) {
+		assign, _, _ := SolveExact(p)
+		return assign
+	}
+	_, assign := Solve(p, SolveOptions{Iters: 600})
+	return assign
+}

@@ -1,0 +1,81 @@
+package matching
+
+import (
+	"math"
+
+	"mfcp/internal/mat"
+)
+
+// SolveFrankWolfe minimizes the relaxed objective F by the Frank–Wolfe
+// (conditional gradient) method. The assignment polytope is a product of
+// column simplices, so the linear minimization oracle is simply a
+// per-column argmin of the gradient — each step moves toward a vertex
+// (an integral assignment), which makes the iterates naturally sparse and
+// the final rounding gap small.
+//
+// With the exact line search below on a convex F, Frank–Wolfe enjoys the
+// classic O(1/k) primal gap; it is exposed as an alternative to the mirror
+// and PGD solvers for the solver ablation, and as the preferred method
+// when very sparse relaxed solutions are wanted.
+func SolveFrankWolfe(p *Problem, opts SolveOptions) *mat.Dense {
+	opts.fillDefaults()
+	var X *mat.Dense
+	if opts.Init != nil {
+		X = opts.Init.Clone()
+		normalizeColumns(X)
+	} else {
+		X = p.UniformX()
+	}
+	m, n := p.M(), p.N()
+	grad := mat.NewDense(m, n)
+	vertex := mat.NewDense(m, n)
+	dir := mat.NewDense(m, n)
+	for it := 0; it < opts.Iters; it++ {
+		p.GradX(X, grad)
+		// Linear minimization oracle: for each task column pick the cluster
+		// with the smallest gradient entry.
+		vertex.Fill(0)
+		for j := 0; j < n; j++ {
+			best, bi := math.Inf(1), 0
+			for i := 0; i < m; i++ {
+				if g := grad.At(i, j); g < best {
+					best, bi = g, i
+				}
+			}
+			vertex.Set(bi, j, 1)
+		}
+		// Direction and duality gap: gap = ⟨grad, X − vertex⟩ ≥ 0 certifies
+		// proximity to optimality for convex F.
+		gap := 0.0
+		for k := range dir.Data {
+			dir.Data[k] = vertex.Data[k] - X.Data[k]
+			gap -= grad.Data[k] * dir.Data[k]
+		}
+		if gap < opts.Tol {
+			break
+		}
+		// Backtracking line search along X + γ·dir, γ ∈ (0, 1].
+		gamma := frankWolfeStep(p, X, dir, grad, gap)
+		X.AddScaled(gamma, dir)
+	}
+	return X
+}
+
+// frankWolfeStep picks the step size by backtracking from the classic
+// 2/(k+2)-style full step: halve γ until F decreases (or accept the
+// smallest probe). F evaluations are cheap (O(MN)).
+func frankWolfeStep(p *Problem, X, dir, grad *mat.Dense, gap float64) float64 {
+	base := p.F(X)
+	probe := X.Clone()
+	gamma := 1.0
+	for t := 0; t < 12; t++ {
+		probe.CopyFrom(X)
+		probe.AddScaled(gamma, dir)
+		// Sufficient decrease: an Armijo-style fraction of the linear model.
+		if p.F(probe) <= base-0.25*gamma*gap {
+			return gamma
+		}
+		gamma /= 2
+	}
+	return gamma
+}

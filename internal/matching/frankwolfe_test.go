@@ -1,0 +1,104 @@
+package matching
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+)
+
+func TestFrankWolfeStaysOnSimplex(t *testing.T) {
+	r := rng.New(61)
+	for trial := 0; trial < 20; trial++ {
+		p := randomProblem(r, 3, 6)
+		X := SolveFrankWolfe(p, SolveOptions{Iters: 100})
+		for j := 0; j < p.N(); j++ {
+			sum := 0.0
+			for i := 0; i < p.M(); i++ {
+				v := X.At(i, j)
+				if v < -1e-12 || v > 1+1e-12 || math.IsNaN(v) {
+					t.Fatalf("X[%d,%d]=%v", i, j, v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("column %d sum %v", j, sum)
+			}
+		}
+	}
+}
+
+func TestFrankWolfeDecreasesF(t *testing.T) {
+	r := rng.New(62)
+	for trial := 0; trial < 20; trial++ {
+		p := randomProblem(r, 3, 7)
+		start := p.F(p.UniformX())
+		X := SolveFrankWolfe(p, SolveOptions{Iters: 150})
+		if end := p.F(X); end > start+1e-9 {
+			t.Fatalf("FW increased F: %v -> %v", start, end)
+		}
+	}
+}
+
+func TestFrankWolfeMatchesMirrorQuality(t *testing.T) {
+	// On convex instances both solvers should reach near-identical F and
+	// equally good discrete matchings.
+	r := rng.New(63)
+	for trial := 0; trial < 15; trial++ {
+		p := randomProblem(r, 3, 6)
+		Xfw := SolveFrankWolfe(p, SolveOptions{Iters: 400, Tol: 1e-10})
+		Xm := SolveRelaxed(p, SolveOptions{Iters: 400})
+		ffw, fm := p.F(Xfw), p.F(Xm)
+		if ffw > fm+0.05*(1+math.Abs(fm)) {
+			t.Fatalf("FW F=%v far above mirror F=%v", ffw, fm)
+		}
+		fwCost := p.DiscreteCost(Repair(p, Round(Xfw)))
+		mCost := p.DiscreteCost(Repair(p, Round(Xm)))
+		if fwCost > 1.3*mCost+1e-9 {
+			t.Fatalf("FW pipeline cost %v vs mirror %v", fwCost, mCost)
+		}
+	}
+}
+
+func TestFrankWolfeObviousOptimum(t *testing.T) {
+	T := mat.FromRows([][]float64{{0.1}, {5}, {5}})
+	A := mat.NewDense(3, 1).Fill(0.95)
+	p := NewProblem(T, A)
+	p.Gamma = 0.8
+	X := SolveFrankWolfe(p, SolveOptions{Iters: 300})
+	if X.At(0, 0) < 0.9 {
+		t.Fatalf("FW missed the obvious optimum: %v", X)
+	}
+}
+
+func TestFrankWolfeGapTermination(t *testing.T) {
+	// A generous tolerance must terminate well before the iteration cap
+	// (checked indirectly: the solution is still simplex-feasible and F is
+	// finite; mostly a no-crash test for the early-exit path).
+	r := rng.New(64)
+	p := randomProblem(r, 3, 5)
+	X := SolveFrankWolfe(p, SolveOptions{Iters: 100000, Tol: 0.5})
+	if v := p.F(X); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("F=%v", v)
+	}
+}
+
+func TestFrankWolfeWarmStart(t *testing.T) {
+	r := rng.New(65)
+	p := randomProblem(r, 3, 5)
+	base := SolveFrankWolfe(p, SolveOptions{Iters: 300})
+	warm := SolveFrankWolfe(p, SolveOptions{Iters: 50, Init: base})
+	// Restarting at a converged point must not degrade it.
+	if p.F(warm) > p.F(base)+1e-9 {
+		t.Fatalf("warm start degraded: %v -> %v", p.F(base), p.F(warm))
+	}
+}
+
+func BenchmarkFrankWolfe3x10(b *testing.B) {
+	p := randomProblem(rng.New(1), 3, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveFrankWolfe(p, SolveOptions{Iters: 100})
+	}
+}

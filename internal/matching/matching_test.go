@@ -1,0 +1,476 @@
+package matching
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+)
+
+// randomProblem builds a feasible random instance.
+func randomProblem(r *rng.Source, m, n int) *Problem {
+	T := mat.NewDense(m, n)
+	A := mat.NewDense(m, n)
+	for k := range T.Data {
+		T.Data[k] = r.Uniform(0.2, 3)
+		A.Data[k] = r.Uniform(0.7, 0.999)
+	}
+	p := NewProblem(T, A)
+	p.Gamma = 0.8
+	return p
+}
+
+func TestLoadsSequential(t *testing.T) {
+	T := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	A := mat.NewDense(2, 2).Fill(0.9)
+	p := NewProblem(T, A)
+	X := mat.FromRows([][]float64{{1, 0}, {0, 1}})
+	loads := p.Loads(X, nil)
+	if !loads.Equal(mat.Vec{1, 4}, 1e-12) {
+		t.Fatalf("loads=%v", loads)
+	}
+	if c := p.TimeCost(X); c != 4 {
+		t.Fatalf("TimeCost=%v", c)
+	}
+}
+
+func TestSmoothCostUpperBoundsTrueCost(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		p := randomProblem(r, 3, 6)
+		X := SolveRelaxed(p, SolveOptions{Iters: 50})
+		f := p.TimeCost(X)
+		fs := p.SmoothTimeCost(X)
+		if fs < f-1e-9 {
+			t.Fatalf("smooth cost %v below true %v", fs, f)
+		}
+		if fs > f+math.Log(3)/p.Beta+1e-9 {
+			t.Fatalf("smooth cost %v too far above true %v", fs, f)
+		}
+	}
+}
+
+func TestTheorem1Convergence(t *testing.T) {
+	// f̃ → f as β → ∞ (Theorem 1).
+	r := rng.New(2)
+	p := randomProblem(r, 3, 5)
+	X := p.UniformX()
+	f := p.TimeCost(X)
+	prevGap := math.Inf(1)
+	for _, beta := range []float64{1, 10, 100, 1000} {
+		p.Beta = beta
+		gap := p.SmoothTimeCost(X) - f
+		if gap < -1e-12 || gap > prevGap+1e-12 {
+			t.Fatalf("gap %v at beta=%v not shrinking (prev %v)", gap, beta, prevGap)
+		}
+		prevGap = gap
+	}
+	if prevGap > 1e-2 {
+		t.Fatalf("gap at beta=1000 still %v", prevGap)
+	}
+}
+
+func TestGradXMatchesFiniteDiff(t *testing.T) {
+	r := rng.New(3)
+	cases := []struct {
+		name string
+		mod  func(p *Problem)
+	}{
+		{"logbarrier-makespan", func(p *Problem) {}},
+		{"hardpenalty", func(p *Problem) { p.Barrier = HardPenalty; p.Gamma = 0.95 }},
+		{"linearsum", func(p *Problem) { p.Objective = LinearSum }},
+		{"perclustertask", func(p *Problem) { p.Norm = NormPerClusterTask; p.Gamma = 0.25 }},
+		{"parallel", func(p *Problem) {
+			p.Speedups = []cluster.SpeedupCurve{cluster.DefaultSpeedup(), {Floor: 0.7, Rate: 0.3}, cluster.DefaultSpeedup()}
+		}},
+	}
+	for _, tc := range cases {
+		p := randomProblem(r, 3, 4)
+		tc.mod(p)
+		// An interior point: slightly perturbed uniform.
+		X := p.UniformX()
+		for k := range X.Data {
+			X.Data[k] += r.Uniform(-0.05, 0.05)
+		}
+		normalizeColumns(X)
+		analytic := p.GradX(X, nil)
+		const h = 1e-6
+		for k := range X.Data {
+			orig := X.Data[k]
+			X.Data[k] = orig + h
+			up := p.F(X)
+			X.Data[k] = orig - h
+			down := p.F(X)
+			X.Data[k] = orig
+			fd := (up - down) / (2 * h)
+			if math.Abs(fd-analytic.Data[k]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("%s: grad[%d] analytic %v, fd %v", tc.name, k, analytic.Data[k], fd)
+			}
+		}
+	}
+}
+
+func TestSolveRelaxedStaysOnSimplex(t *testing.T) {
+	r := rng.New(4)
+	check := func(seed uint16) bool {
+		s := r.SplitIndexed("simplex", int(seed%200))
+		p := randomProblem(s, 2+s.Intn(3), 3+s.Intn(6))
+		for _, method := range []Method{MethodMirror, MethodPGD} {
+			X := SolveRelaxed(p, SolveOptions{Method: method, Iters: 60})
+			for j := 0; j < p.N(); j++ {
+				sum := 0.0
+				for i := 0; i < p.M(); i++ {
+					v := X.At(i, j)
+					if v < -1e-12 || v > 1+1e-12 || math.IsNaN(v) {
+						return false
+					}
+					sum += v
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveRelaxedDecreasesF(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		p := randomProblem(r, 3, 8)
+		start := p.F(p.UniformX())
+		X := SolveRelaxed(p, SolveOptions{Iters: 200})
+		if end := p.F(X); end > start+1e-9 {
+			t.Fatalf("solver increased F: %v -> %v", start, end)
+		}
+	}
+}
+
+func TestMirrorRecoversObviousOptimum(t *testing.T) {
+	// Cluster 0 is vastly faster for every task and equally reliable: the
+	// relaxed solution must put (nearly) all mass away from the slow rows
+	// only insofar as makespan balancing demands — with a single task the
+	// answer is unambiguous.
+	T := mat.FromRows([][]float64{{0.1}, {5}, {5}})
+	A := mat.NewDense(3, 1).Fill(0.95)
+	p := NewProblem(T, A)
+	p.Gamma = 0.8
+	X := SolveRelaxed(p, SolveOptions{Iters: 400})
+	if X.At(0, 0) < 0.9 {
+		t.Fatalf("mass on fast cluster only %v\n%v", X.At(0, 0), X)
+	}
+}
+
+func TestMakespanBalancing(t *testing.T) {
+	// Two identical clusters, two identical heavy tasks: optimal split is
+	// one each; the relaxed optimum must not pile both on one cluster.
+	T := mat.FromRows([][]float64{{1, 1}, {1, 1}})
+	A := mat.NewDense(2, 2).Fill(0.95)
+	p := NewProblem(T, A)
+	p.Gamma = 0.8
+	_, assign := Solve(p, SolveOptions{})
+	if assign[0] == assign[1] {
+		t.Fatalf("both tasks on cluster %d", assign[0])
+	}
+}
+
+func TestRoundAndAssignmentMatrix(t *testing.T) {
+	X := mat.FromRows([][]float64{{0.7, 0.2}, {0.3, 0.8}})
+	assign := Round(X)
+	if assign[0] != 0 || assign[1] != 1 {
+		t.Fatalf("assign=%v", assign)
+	}
+	Xd := AssignmentMatrix(assign, 2)
+	if Xd.At(0, 0) != 1 || Xd.At(1, 1) != 1 || Xd.At(1, 0) != 0 {
+		t.Fatalf("matrix=%v", Xd)
+	}
+}
+
+func TestDiscreteCostAndReliability(t *testing.T) {
+	T := mat.FromRows([][]float64{{1, 2, 3}, {2, 1, 1}})
+	A := mat.FromRows([][]float64{{0.9, 0.8, 0.7}, {0.6, 0.95, 0.9}})
+	p := NewProblem(T, A)
+	assign := []int{0, 1, 1}
+	if c := p.DiscreteCost(assign); c != 2 {
+		t.Fatalf("cost=%v", c) // cluster0: 1; cluster1: 1+1=2
+	}
+	wantRel := (0.9 + 0.95 + 0.9) / 3
+	if rel := p.DiscreteReliability(assign); math.Abs(rel-wantRel) > 1e-12 {
+		t.Fatalf("rel=%v want %v", rel, wantRel)
+	}
+}
+
+func TestDiscreteCostWithSpeedup(t *testing.T) {
+	T := mat.FromRows([][]float64{{1, 1, 1}})
+	A := mat.NewDense(1, 3).Fill(0.9)
+	p := NewProblem(T, A)
+	p.Speedups = []cluster.SpeedupCurve{cluster.DefaultSpeedup()}
+	assign := []int{0, 0, 0}
+	want := p.Speedups[0].Zeta(3) * 3
+	if c := p.DiscreteCost(assign); math.Abs(c-want) > 1e-12 {
+		t.Fatalf("cost=%v want %v", c, want)
+	}
+}
+
+func TestRepairRestoresFeasibility(t *testing.T) {
+	// Cluster 0 fast but unreliable; cluster 1 slow but reliable. Start from
+	// the all-fast assignment (infeasible) and check Repair reaches γ.
+	T := mat.FromRows([][]float64{{1, 1, 1, 1}, {1.5, 1.5, 1.5, 1.5}})
+	A := mat.FromRows([][]float64{{0.6, 0.6, 0.6, 0.6}, {0.99, 0.99, 0.99, 0.99}})
+	p := NewProblem(T, A)
+	p.Gamma = 0.9
+	fixed := Repair(p, []int{0, 0, 0, 0})
+	if p.DiscreteReliability(fixed) < p.Gamma {
+		t.Fatalf("repair left reliability %v < γ", p.DiscreteReliability(fixed))
+	}
+}
+
+func TestRepairDoesNotWorsenFeasibleCost(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 30; trial++ {
+		p := randomProblem(r, 3, 7)
+		p.Gamma = 0.75
+		X := SolveRelaxed(p, SolveOptions{Iters: 100})
+		rounded := Round(X)
+		repaired := Repair(p, rounded)
+		if p.DiscreteReliability(rounded) >= p.Gamma {
+			if p.DiscreteCost(repaired) > p.DiscreteCost(rounded)+1e-9 {
+				t.Fatalf("repair worsened a feasible assignment: %v -> %v",
+					p.DiscreteCost(rounded), p.DiscreteCost(repaired))
+			}
+		}
+	}
+}
+
+func TestSolveExactSmall(t *testing.T) {
+	// Hand instance: exact optimum computable by hand.
+	T := mat.FromRows([][]float64{{2, 2}, {3, 1}})
+	A := mat.NewDense(2, 2).Fill(0.9)
+	p := NewProblem(T, A)
+	p.Gamma = 0.5
+	assign, cost, feasible := SolveExact(p)
+	if !feasible {
+		t.Fatal("trivially feasible instance reported infeasible")
+	}
+	// options: {0,0}:4 {0,1}:max(2,1)=2 {1,0}:max(3,2)=3 {1,1}:4 → best 2.
+	if math.Abs(cost-2) > 1e-12 || assign[0] != 0 || assign[1] != 1 {
+		t.Fatalf("exact: assign=%v cost=%v", assign, cost)
+	}
+}
+
+func TestSolveExactRespectsReliability(t *testing.T) {
+	// Fast cluster is unreliable; γ forces the slow one.
+	T := mat.FromRows([][]float64{{1}, {5}})
+	A := mat.FromRows([][]float64{{0.5}, {0.99}})
+	p := NewProblem(T, A)
+	p.Gamma = 0.9
+	assign, cost, feasible := SolveExact(p)
+	if !feasible || assign[0] != 1 || math.Abs(cost-5) > 1e-12 {
+		t.Fatalf("assign=%v cost=%v feasible=%v", assign, cost, feasible)
+	}
+}
+
+func TestSolveExactInfeasibleReported(t *testing.T) {
+	T := mat.FromRows([][]float64{{1}, {2}})
+	A := mat.FromRows([][]float64{{0.5}, {0.6}})
+	p := NewProblem(T, A)
+	p.Gamma = 0.99
+	assign, cost, feasible := SolveExact(p)
+	if feasible {
+		t.Fatal("infeasible instance reported feasible")
+	}
+	// Among infeasible assignments the solver stays cost-minimal.
+	if assign[0] != 0 || math.Abs(cost-1) > 1e-12 {
+		t.Fatalf("expected cost-minimal fallback, got assign=%v cost=%v", assign, cost)
+	}
+}
+
+func TestExactBeatsOrMatchesHeuristicEverywhere(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 40; trial++ {
+		p := randomProblem(r, 3, 6)
+		exact, exactCost, feasible := SolveExact(p)
+		_, heur := Solve(p, SolveOptions{Iters: 200})
+		if !feasible {
+			continue
+		}
+		if p.DiscreteReliability(heur) >= p.Gamma && exactCost > p.DiscreteCost(heur)+1e-9 {
+			t.Fatalf("exact cost %v worse than heuristic %v (exact=%v heur=%v)",
+				exactCost, p.DiscreteCost(heur), exact, heur)
+		}
+	}
+}
+
+func TestHeuristicNearOptimal(t *testing.T) {
+	// The pipeline should land within a modest factor of exact on small
+	// random instances; it is the workhorse behind all experiments.
+	r := rng.New(8)
+	worst := 0.0
+	for trial := 0; trial < 40; trial++ {
+		p := randomProblem(r, 3, 7)
+		_, exactCost, feasible := SolveExact(p)
+		if !feasible {
+			continue
+		}
+		_, heur := Solve(p, SolveOptions{Iters: 300})
+		ratio := p.DiscreteCost(heur) / exactCost
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst > 1.35 {
+		t.Fatalf("heuristic/exact ratio up to %v", worst)
+	}
+}
+
+func TestSolveExactParallelObjective(t *testing.T) {
+	// With speedups, packing can beat spreading; exact must consider it.
+	T := mat.FromRows([][]float64{{1, 1, 1}, {1.1, 1.1, 1.1}})
+	A := mat.NewDense(2, 3).Fill(0.95)
+	p := NewProblem(T, A)
+	p.Gamma = 0.5
+	p.Speedups = []cluster.SpeedupCurve{
+		{Floor: 0.3, Rate: 3}, // strong parallel speedup
+		{Floor: 0.3, Rate: 3},
+	}
+	assign, cost, feasible := SolveExact(p)
+	if !feasible {
+		t.Fatal("infeasible")
+	}
+	// all three on cluster 0: ζ(3)·3 ≈ (0.3+0.7e^{-6})·3 ≈ 0.905 — better
+	// than any split (≥ ζ(2)·2 ≈ 0.67·... compute: ζ(2)=0.3+0.7e^-3≈0.335 →
+	// 2·0.335=0.67 on the 2-side... so the best is actually 2+1 split).
+	// Just assert exact ≤ every brute-force alternative.
+	for a0 := 0; a0 < 2; a0++ {
+		for a1 := 0; a1 < 2; a1++ {
+			for a2 := 0; a2 < 2; a2++ {
+				alt := []int{a0, a1, a2}
+				if p.DiscreteCost(alt) < cost-1e-12 {
+					t.Fatalf("exact %v (%v) beaten by %v (%v)", assign, cost, alt, p.DiscreteCost(alt))
+				}
+			}
+		}
+	}
+}
+
+func TestBarrierContinuousAtEps(t *testing.T) {
+	p := NewProblem(mat.NewDense(1, 1).Fill(1), mat.NewDense(1, 1).Fill(0.9))
+	lo := p.barrierValue(barrierEps - 1e-12)
+	hi := p.barrierValue(barrierEps + 1e-12)
+	if math.Abs(lo-hi) > 1e-6 {
+		t.Fatalf("barrier jump at eps: %v vs %v", lo, hi)
+	}
+}
+
+func TestWithPrediction(t *testing.T) {
+	r := rng.New(9)
+	p := randomProblem(r, 2, 3)
+	T2 := p.T.Clone().Scale(2)
+	q := p.WithPrediction(T2, nil)
+	if q.T != T2 || q.A != p.A || q.Gamma != p.Gamma {
+		t.Fatal("WithPrediction mis-copied")
+	}
+	// original untouched
+	if p.T == T2 {
+		t.Fatal("original problem mutated")
+	}
+}
+
+func TestExactTractable(t *testing.T) {
+	if !ExactTractable(3, 12) {
+		t.Fatal("3^12 should be tractable")
+	}
+	if ExactTractable(3, 25) {
+		t.Fatal("3^25 should not be tractable")
+	}
+}
+
+func TestUniformXColumnsSumToOne(t *testing.T) {
+	p := NewProblem(mat.NewDense(4, 6).Fill(1), mat.NewDense(4, 6).Fill(0.9))
+	X := p.UniformX()
+	for j := 0; j < 6; j++ {
+		if math.Abs(X.Col(j).Sum()-1) > 1e-12 {
+			t.Fatal("uniform column sum != 1")
+		}
+	}
+}
+
+func BenchmarkSolveRelaxedMirror(b *testing.B) {
+	p := randomProblem(rng.New(1), 3, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveRelaxed(p, SolveOptions{Iters: 100})
+	}
+}
+
+func BenchmarkSolveExact3x10(b *testing.B) {
+	p := randomProblem(rng.New(1), 3, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveExact(p)
+	}
+}
+
+func TestRepairAlwaysValidAssignment(t *testing.T) {
+	// Property: for any instance and any (possibly terrible) starting
+	// assignment, Repair returns a complete, in-range assignment and never
+	// increases the cost of a feasible start.
+	r := rng.New(201)
+	check := func(seed uint16) bool {
+		s := r.SplitIndexed("repair", int(seed%300))
+		m := 2 + s.Intn(3)
+		n := 3 + s.Intn(7)
+		p := randomProblem(s, m, n)
+		start := make([]int, n)
+		for j := range start {
+			start[j] = s.Intn(m)
+		}
+		out := Repair(p, start)
+		if len(out) != n {
+			return false
+		}
+		for _, a := range out {
+			if a < 0 || a >= m {
+				return false
+			}
+		}
+		if p.DiscreteReliability(start) >= p.Gamma &&
+			p.DiscreteCost(out) > p.DiscreteCost(start)+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundPicksColumnArgmax(t *testing.T) {
+	r := rng.New(202)
+	check := func(seed uint16) bool {
+		s := r.SplitIndexed("round", int(seed%200))
+		m := 2 + s.Intn(4)
+		n := 1 + s.Intn(6)
+		X := mat.NewDense(m, n)
+		s.NormVec(X.Data)
+		assign := Round(X)
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				if X.At(i, j) > X.At(assign[j], j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,346 @@
+// Package matching implements the cluster–task matching optimization of the
+// paper (problem 2): assign N tasks to M clusters minimizing the makespan
+// (execution time of the slowest cluster) subject to a mean-reliability
+// constraint.
+//
+// It provides the continuously relaxed, smoothed, barrier-augmented
+// objective F(X, T, A) of equations (8)–(10) — including the non-convex
+// parallel-execution variant of §3.4 (equations 16–17) — projected
+// gradient / mirror-descent solvers (Algorithm 1), rounding with greedy
+// feasibility repair, and an exact branch-and-bound oracle for small
+// instances used by tests and ground-truth evaluation.
+package matching
+
+import (
+	"fmt"
+	"math"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/mat"
+)
+
+// ObjectiveKind selects the time cost function f(X, T).
+type ObjectiveKind int
+
+const (
+	// SmoothMakespan is the paper's objective (3)/(8): the (smoothed)
+	// maximum per-cluster execution time.
+	SmoothMakespan ObjectiveKind = iota
+	// LinearSum replaces the max with the sum of all cluster loads — the
+	// simplification evaluated in ablation row (1) of Table 1.
+	LinearSum
+)
+
+// BarrierKind selects how the reliability constraint enters F.
+type BarrierKind int
+
+const (
+	// LogBarrier is the interior-point logarithmic barrier of equation (9).
+	LogBarrier BarrierKind = iota
+	// HardPenalty is the hinge penalty λ·max(0, γ−ḡ) of ablation row (2).
+	HardPenalty
+)
+
+// NormKind selects the reliability normalization in g(X, A).
+type NormKind int
+
+const (
+	// NormPerTask divides the assigned-reliability sum by N, so g compares
+	// the mean success probability of the chosen assignment against γ.
+	// This matches the paper's reported "Reliability" metric and is the
+	// default (see DESIGN.md on the 1/(MN) caveat).
+	NormPerTask NormKind = iota
+	// NormPerClusterTask divides by M·N, the paper's literal equation (4).
+	NormPerClusterTask
+)
+
+// Problem is one matching instance. T and A are M×N matrices of (predicted
+// or true) execution times and reliabilities; times are assumed normalized
+// to O(1) by the workload layer.
+type Problem struct {
+	T *mat.Dense
+	A *mat.Dense
+
+	// Gamma is the reliability threshold γ.
+	Gamma float64
+	// Beta is the log-sum-exp smoothing sharpness β of equation (8).
+	Beta float64
+	// Lambda is the barrier weight λ of equation (9).
+	Lambda float64
+
+	Objective ObjectiveKind
+	Barrier   BarrierKind
+	Norm      NormKind
+
+	// Speedups holds each cluster's ζ curve for the parallel-execution
+	// setting (§3.4). nil or all-trivial curves give the convex sequential
+	// setting.
+	Speedups []cluster.SpeedupCurve
+
+	// Entropy is an optional regularizer weight ρ adding ρ·Σ x log x to F.
+	// The paper's smoothed objective is convex but not strongly convex, so
+	// the reduced KKT system used by analytical differentiation (eq. 15,
+	// with box constraints disregarded as in §3.3) can be singular at
+	// boundary optima. A small ρ keeps the argmin strictly interior and the
+	// Hessian positive definite — the standard decision-focused-learning
+	// device (cf. Wilder et al. 2019, who add a quadratic term). Trainers
+	// set ρ > 0 while differentiating; solving and evaluation use ρ = 0.
+	Entropy float64
+}
+
+// NewProblem returns a Problem over (T, A) with the paper's default
+// hyperparameters: β=10, λ=0.05, γ=0.8, per-task normalization.
+func NewProblem(T, A *mat.Dense) *Problem {
+	if T.Rows != A.Rows || T.Cols != A.Cols {
+		panic("matching: T and A shapes differ")
+	}
+	return &Problem{T: T, A: A, Gamma: 0.8, Beta: 10, Lambda: 0.05}
+}
+
+// M returns the cluster count.
+func (p *Problem) M() int { return p.T.Rows }
+
+// N returns the task count.
+func (p *Problem) N() int { return p.T.Cols }
+
+// WithPrediction returns a copy of p whose cost matrices are (T, A); all
+// hyperparameters carry over. Used to evaluate the same instance under
+// predicted versus true values.
+func (p *Problem) WithPrediction(T, A *mat.Dense) *Problem {
+	q := *p
+	if T != nil {
+		q.T = T
+	}
+	if A != nil {
+		q.A = A
+	}
+	if q.T.Rows != q.A.Rows || q.T.Cols != q.A.Cols {
+		panic("matching: WithPrediction shape mismatch")
+	}
+	return &q
+}
+
+// zeta returns cluster i's ζ evaluated at task mass k.
+func (p *Problem) zeta(i int, k float64) float64 {
+	if p.Speedups == nil {
+		return 1
+	}
+	return p.Speedups[i].Zeta(k)
+}
+
+// zetaDeriv returns dζ_i/dk.
+func (p *Problem) zetaDeriv(i int, k float64) float64 {
+	if p.Speedups == nil {
+		return 0
+	}
+	return p.Speedups[i].ZetaDeriv(k)
+}
+
+// IsConvex reports whether the relaxed objective is convex (sequential
+// execution; ζ ≡ 1). The parallel setting of §3.4 is non-convex.
+func (p *Problem) IsConvex() bool {
+	if p.Speedups == nil {
+		return true
+	}
+	for _, s := range p.Speedups {
+		if !s.IsTrivial() {
+			return false
+		}
+	}
+	return true
+}
+
+// normConst returns the constant c in g(X,A) = c·Σ xᵀa − γ.
+func (p *Problem) normConst() float64 {
+	switch p.Norm {
+	case NormPerClusterTask:
+		return 1 / float64(p.M()*p.N())
+	default:
+		return 1 / float64(p.N())
+	}
+}
+
+// Loads writes each cluster's (speedup-adjusted) load s_i = ζ_i(k_i)·x_iᵀt_i
+// into dst (allocating when nil) and returns it.
+func (p *Problem) Loads(X *mat.Dense, dst mat.Vec) mat.Vec {
+	p.checkX(X)
+	if dst == nil {
+		dst = mat.NewVec(p.M())
+	}
+	for i := 0; i < p.M(); i++ {
+		xi := X.Row(i)
+		k := xi.Sum()
+		dst[i] = p.zeta(i, k) * xi.Dot(p.T.Row(i))
+	}
+	return dst
+}
+
+// TimeCost evaluates the exact (unsmoothed) cost f(X, T): the max load for
+// SmoothMakespan, the total load for LinearSum.
+func (p *Problem) TimeCost(X *mat.Dense) float64 {
+	loads := p.Loads(X, nil)
+	if p.Objective == LinearSum {
+		return loads.Sum()
+	}
+	m, _ := loads.Max()
+	return m
+}
+
+// SmoothTimeCost evaluates the smoothed objective f̃ (equation 8 / 17), or
+// the linear sum which needs no smoothing.
+func (p *Problem) SmoothTimeCost(X *mat.Dense) float64 {
+	loads := p.Loads(X, nil)
+	if p.Objective == LinearSum {
+		return loads.Sum()
+	}
+	return mat.LogSumExp(loads, p.Beta)
+}
+
+// ReliabilityMargin evaluates g(X, A) = c·Σ x_iᵀa_i − γ. Positive means the
+// constraint is satisfied.
+func (p *Problem) ReliabilityMargin(X *mat.Dense) float64 {
+	p.checkX(X)
+	s := 0.0
+	for i := 0; i < p.M(); i++ {
+		s += X.Row(i).Dot(p.A.Row(i))
+	}
+	return s*p.normConst() - p.Gamma
+}
+
+// barrierEps is where the log barrier switches to its linear extension, so
+// F and its gradient stay finite when iterates brush the boundary.
+const barrierEps = 1e-3
+
+// barrierValue evaluates the constraint term of F at margin u.
+func (p *Problem) barrierValue(u float64) float64 {
+	switch p.Barrier {
+	case HardPenalty:
+		// λ·max(0, γ−ḡ) of ablation row (2), expressed via u = ḡ−γ.
+		if u < 0 {
+			return -p.Lambda * u
+		}
+		return 0
+	default:
+		if u >= barrierEps {
+			return -p.Lambda * math.Log(u)
+		}
+		// Linear extension: continuous and C¹ at u = ε.
+		return -p.Lambda * (math.Log(barrierEps) + (u-barrierEps)/barrierEps)
+	}
+}
+
+// barrierGradU evaluates d(barrier)/du at margin u.
+func (p *Problem) barrierGradU(u float64) float64 {
+	switch p.Barrier {
+	case HardPenalty:
+		if u < 0 {
+			return -p.Lambda
+		}
+		return 0
+	default:
+		if u >= barrierEps {
+			return -p.Lambda / u
+		}
+		return -p.Lambda / barrierEps
+	}
+}
+
+// BarrierDeriv returns the first and second derivatives of the constraint
+// term with respect to the margin u — the coefficients differentiable
+// optimization (internal/diffopt) needs to linearize the barrier. In the
+// log-barrier interior these are −λ/u and λ/u²; in the linear extension
+// region (u < ε) and for the hard penalty the curvature is zero.
+func (p *Problem) BarrierDeriv(u float64) (first, second float64) {
+	switch p.Barrier {
+	case HardPenalty:
+		if u < 0 {
+			return -p.Lambda, 0
+		}
+		return 0, 0
+	default:
+		if u >= barrierEps {
+			return -p.Lambda / u, p.Lambda / (u * u)
+		}
+		return -p.Lambda / barrierEps, 0
+	}
+}
+
+// NormConst returns the constant c in g(X, A) = c·Σ x_iᵀa_i − γ.
+func (p *Problem) NormConst() float64 { return p.normConst() }
+
+// entropyFloor keeps x log x and its derivatives finite at the boundary.
+const entropyFloor = 1e-12
+
+// F evaluates the full relaxed objective F(X, T, A) of equation (9), plus
+// the optional entropy regularizer.
+func (p *Problem) F(X *mat.Dense) float64 {
+	v := p.SmoothTimeCost(X) + p.barrierValue(p.ReliabilityMargin(X))
+	if p.Entropy > 0 {
+		for _, x := range X.Data {
+			if x > entropyFloor {
+				v += p.Entropy * x * math.Log(x)
+			}
+		}
+	}
+	return v
+}
+
+// GradX writes ∇_X F into dst (allocating when nil) and returns it.
+//
+// For the smoothed makespan with speedups (equation 17):
+//
+//	∂f̃/∂x_ij = p_i · (ζ_i(k_i)·t_ij + ζ'_i(k_i)·x_iᵀt_i),
+//
+// where p = softmax(β·s) are the log-sum-exp weights. The barrier adds
+// barrierGradU(u) · c · a_ij.
+func (p *Problem) GradX(X *mat.Dense, dst *mat.Dense) *mat.Dense {
+	p.checkX(X)
+	if dst == nil {
+		dst = mat.NewDense(p.M(), p.N())
+	}
+	loads := p.Loads(X, nil)
+	var weights mat.Vec
+	if p.Objective == LinearSum {
+		weights = mat.NewVec(p.M()).Fill(1)
+	} else {
+		weights = mat.SoftmaxWeights(loads, p.Beta, nil)
+	}
+	u := p.ReliabilityMargin(X)
+	bg := p.barrierGradU(u) * p.normConst()
+	for i := 0; i < p.M(); i++ {
+		xi := X.Row(i)
+		ti := p.T.Row(i)
+		ai := p.A.Row(i)
+		k := xi.Sum()
+		z := p.zeta(i, k)
+		dz := p.zetaDeriv(i, k)
+		dot := xi.Dot(ti)
+		drow := dst.Row(i)
+		wi := weights[i]
+		for j := 0; j < p.N(); j++ {
+			drow[j] = wi*(z*ti[j]+dz*dot) + bg*ai[j]
+			if p.Entropy > 0 {
+				x := xi[j]
+				if x < entropyFloor {
+					x = entropyFloor
+				}
+				drow[j] += p.Entropy * (1 + math.Log(x))
+			}
+		}
+	}
+	return dst
+}
+
+// checkX panics when X is not an M×N matrix.
+func (p *Problem) checkX(X *mat.Dense) {
+	if X.Rows != p.M() || X.Cols != p.N() {
+		panic(fmt.Sprintf("matching: X is %dx%d, want %dx%d", X.Rows, X.Cols, p.M(), p.N()))
+	}
+}
+
+// UniformX returns the barycentric starting point X_ij = 1/M.
+func (p *Problem) UniformX() *mat.Dense {
+	X := mat.NewDense(p.M(), p.N())
+	X.Fill(1 / float64(p.M()))
+	return X
+}

@@ -1,0 +1,305 @@
+package matching
+
+import (
+	"math"
+
+	"mfcp/internal/mat"
+)
+
+// Method selects the inner continuous solver.
+type Method int
+
+const (
+	// MethodMirror is exponentiated-gradient mirror descent on the
+	// assignment polytope: x_ij ← x_ij·exp(−η·∇_ij), column-renormalized.
+	// It is the default — it respects the simplex geometry, so steps stay
+	// feasible and convergence is fast and monotone in practice.
+	MethodMirror Method = iota
+	// MethodPGD is Algorithm 1 exactly as printed in the paper: a Euclidean
+	// gradient step followed by a column-wise softmax re-projection.
+	MethodPGD
+)
+
+// SolveOptions configures SolveRelaxed.
+type SolveOptions struct {
+	// Method selects the solver (default MethodMirror).
+	Method Method
+	// Iters caps gradient iterations (default 300).
+	Iters int
+	// LR is the step size η (default 0.5 for mirror, 0.3 for PGD).
+	LR float64
+	// Tol stops early when ‖X_{k+1} − X_k‖∞ < Tol (default 1e-7).
+	Tol float64
+	// Init optionally seeds the iterate; nil starts from uniform.
+	Init *mat.Dense
+}
+
+func (o *SolveOptions) fillDefaults() {
+	if o.Iters == 0 {
+		o.Iters = 300
+	}
+	if o.LR == 0 {
+		if o.Method == MethodPGD {
+			o.LR = 0.3
+		} else {
+			o.LR = 0.5
+		}
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+}
+
+// SolveRelaxed minimizes the relaxed objective F over the product of
+// column simplices and returns the continuous optimum X*. The result is a
+// fresh matrix; the options' Init is not mutated.
+func SolveRelaxed(p *Problem, opts SolveOptions) *mat.Dense {
+	opts.fillDefaults()
+	var X *mat.Dense
+	if opts.Init != nil {
+		X = opts.Init.Clone()
+		normalizeColumns(X)
+	} else {
+		X = p.UniformX()
+	}
+	grad := mat.NewDense(p.M(), p.N())
+	prev := X.Clone()
+	col := mat.NewVec(p.M())
+	for it := 0; it < opts.Iters; it++ {
+		p.GradX(X, grad)
+		switch opts.Method {
+		case MethodPGD:
+			// Algorithm 1: X ← X − η∇F, then column softmax.
+			X.AddScaled(-opts.LR, grad)
+			for j := 0; j < p.N(); j++ {
+				for i := 0; i < p.M(); i++ {
+					col[i] = X.At(i, j)
+				}
+				sm := col.Softmax(1, nil)
+				for i := 0; i < p.M(); i++ {
+					X.Set(i, j, sm[i])
+				}
+			}
+		default:
+			// Exponentiated gradient: multiplicative update + renormalize.
+			for j := 0; j < p.N(); j++ {
+				sum := 0.0
+				for i := 0; i < p.M(); i++ {
+					v := X.At(i, j) * math.Exp(-opts.LR*grad.At(i, j))
+					col[i] = v
+					sum += v
+				}
+				if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+					// A wildly scaled gradient blew the exponent up; reset
+					// the column to uniform rather than propagating NaNs.
+					for i := 0; i < p.M(); i++ {
+						X.Set(i, j, 1/float64(p.M()))
+					}
+					continue
+				}
+				for i := 0; i < p.M(); i++ {
+					X.Set(i, j, col[i]/sum)
+				}
+			}
+		}
+		// Convergence check every few iterations (the check itself is
+		// O(MN); cheap, but no need for it each step).
+		if it%5 == 4 {
+			maxDelta := 0.0
+			for k := range X.Data {
+				if d := math.Abs(X.Data[k] - prev.Data[k]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			if maxDelta < opts.Tol {
+				break
+			}
+			prev.CopyFrom(X)
+		}
+	}
+	return X
+}
+
+// normalizeColumns projects each column onto the simplex by clamping to
+// non-negative and dividing by the column sum (uniform if degenerate).
+func normalizeColumns(X *mat.Dense) {
+	for j := 0; j < X.Cols; j++ {
+		sum := 0.0
+		for i := 0; i < X.Rows; i++ {
+			v := X.At(i, j)
+			if v < 0 {
+				v = 0
+				X.Set(i, j, 0)
+			}
+			sum += v
+		}
+		if sum <= 0 {
+			for i := 0; i < X.Rows; i++ {
+				X.Set(i, j, 1/float64(X.Rows))
+			}
+			continue
+		}
+		for i := 0; i < X.Rows; i++ {
+			X.Set(i, j, X.At(i, j)/sum)
+		}
+	}
+}
+
+// Round converts a relaxed solution to a discrete assignment by column
+// argmax: assign[j] is the cluster receiving task j.
+func Round(X *mat.Dense) []int {
+	assign := make([]int, X.Cols)
+	for j := 0; j < X.Cols; j++ {
+		best, bi := math.Inf(-1), 0
+		for i := 0; i < X.Rows; i++ {
+			if v := X.At(i, j); v > best {
+				best, bi = v, i
+			}
+		}
+		assign[j] = bi
+	}
+	return assign
+}
+
+// AssignmentMatrix converts a discrete assignment to its 0/1 matrix.
+func AssignmentMatrix(assign []int, m int) *mat.Dense {
+	X := mat.NewDense(m, len(assign))
+	for j, i := range assign {
+		X.Set(i, j, 1)
+	}
+	return X
+}
+
+// DiscreteLoads returns each cluster's speedup-adjusted load under a
+// discrete assignment, using the problem's T.
+func (p *Problem) DiscreteLoads(assign []int) mat.Vec {
+	loads := mat.NewVec(p.M())
+	counts := make([]int, p.M())
+	for j, i := range assign {
+		loads[i] += p.T.At(i, j)
+		counts[i]++
+	}
+	for i := range loads {
+		loads[i] *= p.zeta(i, float64(counts[i]))
+	}
+	return loads
+}
+
+// DiscreteCost returns f of a discrete assignment: the max (or sum, for
+// LinearSum) of the speedup-adjusted loads.
+func (p *Problem) DiscreteCost(assign []int) float64 {
+	loads := p.DiscreteLoads(assign)
+	if p.Objective == LinearSum {
+		return loads.Sum()
+	}
+	m, _ := loads.Max()
+	return m
+}
+
+// DiscreteReliability returns the mean reliability of the assigned pairs
+// (the paper's reported Reliability metric).
+func (p *Problem) DiscreteReliability(assign []int) float64 {
+	s := 0.0
+	for j, i := range assign {
+		s += p.A.At(i, j)
+	}
+	return s / float64(len(assign))
+}
+
+// Repair greedily restores reliability feasibility and then local-searches
+// the makespan: single-task moves that strictly improve the cost while
+// keeping mean reliability ≥ γ (under the problem's own A — callers pass
+// predicted or true values by constructing the problem accordingly).
+// It returns a new slice; assign is not mutated.
+func Repair(p *Problem, assign []int) []int {
+	out := append([]int(nil), assign...)
+	n := len(out)
+	// Phase 1: feasibility. While the mean reliability misses γ, apply the
+	// move with the best reliability gain per unit cost increase.
+	for iter := 0; iter < 2*n; iter++ {
+		if p.DiscreteReliability(out) >= p.Gamma {
+			break
+		}
+		bestJ, bestI, bestScore := -1, -1, 0.0
+		baseCost := p.DiscreteCost(out)
+		for j := 0; j < n; j++ {
+			cur := out[j]
+			for i := 0; i < p.M(); i++ {
+				if i == cur {
+					continue
+				}
+				dRel := p.A.At(i, j) - p.A.At(cur, j)
+				if dRel <= 0 {
+					continue
+				}
+				out[j] = i
+				dCost := p.DiscreteCost(out) - baseCost
+				out[j] = cur
+				score := dRel / (1 + math.Max(dCost, 0))
+				if score > bestScore {
+					bestScore, bestJ, bestI = score, j, i
+				}
+			}
+		}
+		if bestJ < 0 {
+			break // no reliability-improving move exists
+		}
+		out[bestJ] = bestI
+	}
+	// Phase 2: makespan local search with feasibility preserved — greedy
+	// single-task moves plus pairwise swaps (which escape the local optima
+	// single moves get stuck in when two heavy tasks sit on each other's
+	// preferred clusters).
+	improved := true
+	for pass := 0; improved && pass < 3*n; pass++ {
+		improved = false
+		baseCost := p.DiscreteCost(out)
+		feasible := p.DiscreteReliability(out) >= p.Gamma
+		accept := func(newCost float64, newFeasible bool) bool {
+			return newCost < baseCost-1e-12 && (newFeasible || !feasible)
+		}
+		for j := 0; j < n; j++ {
+			cur := out[j]
+			for i := 0; i < p.M(); i++ {
+				if i == cur {
+					continue
+				}
+				out[j] = i
+				newCost := p.DiscreteCost(out)
+				if accept(newCost, p.DiscreteReliability(out) >= p.Gamma) {
+					baseCost = newCost
+					feasible = p.DiscreteReliability(out) >= p.Gamma
+					cur = i
+					improved = true
+				} else {
+					out[j] = cur
+				}
+			}
+		}
+		for j1 := 0; j1 < n; j1++ {
+			for j2 := j1 + 1; j2 < n; j2++ {
+				if out[j1] == out[j2] {
+					continue
+				}
+				out[j1], out[j2] = out[j2], out[j1]
+				newCost := p.DiscreteCost(out)
+				if accept(newCost, p.DiscreteReliability(out) >= p.Gamma) {
+					baseCost = newCost
+					feasible = p.DiscreteReliability(out) >= p.Gamma
+					improved = true
+				} else {
+					out[j1], out[j2] = out[j2], out[j1]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Solve runs the full pipeline: relax → optimize → round → repair. It
+// returns the continuous optimum and the final discrete assignment.
+func Solve(p *Problem, opts SolveOptions) (X *mat.Dense, assign []int) {
+	X = SolveRelaxed(p, opts)
+	assign = Repair(p, Round(X))
+	return X, assign
+}

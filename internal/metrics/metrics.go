@@ -1,0 +1,90 @@
+// Package metrics computes the paper's three evaluation metrics — matching
+// regret (eq. 6), reliability, and cluster utilization — from discrete
+// assignments evaluated against ground-truth cost matrices.
+package metrics
+
+import (
+	"mfcp/internal/mat"
+	"mfcp/internal/matching"
+)
+
+// Eval is one assignment's scorecard under ground truth.
+type Eval struct {
+	// Regret is (f(X̂, T) − f(X*, T)) / N: the per-task makespan excess of
+	// the prediction-driven matching over the oracle matching (eq. 6).
+	Regret float64
+	// Reliability is the mean true success probability of the assignment.
+	Reliability float64
+	// Utilization is Σ loads / (M · makespan) under ground-truth times.
+	Utilization float64
+	// Makespan is f(X̂, T): the ground-truth cost of the assignment.
+	Makespan float64
+	// OracleMakespan is f(X*, T).
+	OracleMakespan float64
+	// Feasible reports whether the assignment meets the reliability
+	// threshold γ under ground truth.
+	Feasible bool
+}
+
+// Utilization computes Σ loads / (M · max) for a load vector; 0 when idle.
+func Utilization(loads mat.Vec) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	maxLoad, _ := loads.Max()
+	if maxLoad <= 0 {
+		return 0
+	}
+	return loads.Sum() / (float64(len(loads)) * maxLoad)
+}
+
+// Evaluate scores assign against the ground-truth problem trueProb, with
+// oracle as the reference matching (typically matching.BestAssignment of
+// trueProb).
+func Evaluate(trueProb *matching.Problem, assign, oracle []int) Eval {
+	n := float64(trueProb.N())
+	cost := trueProb.DiscreteCost(assign)
+	oracleCost := trueProb.DiscreteCost(oracle)
+	loads := trueProb.DiscreteLoads(assign)
+	rel := trueProb.DiscreteReliability(assign)
+	return Eval{
+		Regret:         (cost - oracleCost) / n,
+		Reliability:    rel,
+		Utilization:    Utilization(loads),
+		Makespan:       cost,
+		OracleMakespan: oracleCost,
+		Feasible:       rel >= trueProb.Gamma,
+	}
+}
+
+// Aggregate summarizes a batch of Evals component-wise into means.
+type Aggregate struct {
+	Regret, Reliability, Utilization, Makespan float64
+	FeasibleFrac                               float64
+	N                                          int
+}
+
+// Mean folds evals into component means.
+func Mean(evals []Eval) Aggregate {
+	var a Aggregate
+	if len(evals) == 0 {
+		return a
+	}
+	for _, e := range evals {
+		a.Regret += e.Regret
+		a.Reliability += e.Reliability
+		a.Utilization += e.Utilization
+		a.Makespan += e.Makespan
+		if e.Feasible {
+			a.FeasibleFrac++
+		}
+	}
+	k := float64(len(evals))
+	a.Regret /= k
+	a.Reliability /= k
+	a.Utilization /= k
+	a.Makespan /= k
+	a.FeasibleFrac /= k
+	a.N = len(evals)
+	return a
+}

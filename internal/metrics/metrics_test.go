@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/matching"
+)
+
+func prob() *matching.Problem {
+	T := mat.FromRows([][]float64{{1, 2, 1}, {2, 1, 2}})
+	A := mat.FromRows([][]float64{{0.9, 0.9, 0.9}, {0.8, 0.95, 0.8}})
+	p := matching.NewProblem(T, A)
+	p.Gamma = 0.85
+	return p
+}
+
+func TestUtilizationBalanced(t *testing.T) {
+	if u := Utilization(mat.Vec{2, 2, 2}); math.Abs(u-1) > 1e-12 {
+		t.Fatalf("balanced utilization %v", u)
+	}
+	if u := Utilization(mat.Vec{3, 0, 0}); math.Abs(u-1.0/3) > 1e-12 {
+		t.Fatalf("skewed utilization %v", u)
+	}
+	if Utilization(nil) != 0 || Utilization(mat.Vec{0, 0}) != 0 {
+		t.Fatal("degenerate utilization not 0")
+	}
+}
+
+func TestEvaluateOracleZeroRegret(t *testing.T) {
+	p := prob()
+	oracle := matching.BestAssignment(p)
+	e := Evaluate(p, oracle, oracle)
+	if e.Regret != 0 {
+		t.Fatalf("oracle regret %v", e.Regret)
+	}
+	if e.Makespan != e.OracleMakespan {
+		t.Fatal("oracle makespans differ")
+	}
+}
+
+func TestEvaluateWorseAssignmentPositiveRegret(t *testing.T) {
+	p := prob()
+	oracle := matching.BestAssignment(p)
+	bad := []int{0, 0, 0} // pile everything on cluster 0
+	e := Evaluate(p, bad, oracle)
+	if e.Regret <= 0 {
+		t.Fatalf("bad assignment regret %v", e.Regret)
+	}
+	// regret = (cost − oracle)/N exactly
+	want := (p.DiscreteCost(bad) - p.DiscreteCost(oracle)) / 3
+	if math.Abs(e.Regret-want) > 1e-12 {
+		t.Fatalf("regret %v want %v", e.Regret, want)
+	}
+}
+
+func TestEvaluateFeasibility(t *testing.T) {
+	p := prob()
+	oracle := matching.BestAssignment(p)
+	feasible := []int{0, 1, 0} // rel = (0.9+0.95+0.9)/3 ≈ 0.9167 ≥ 0.85
+	if e := Evaluate(p, feasible, oracle); !e.Feasible {
+		t.Fatalf("feasible assignment flagged infeasible: rel=%v", e.Reliability)
+	}
+	infeasible := []int{1, 0, 1} // rel = (0.8+0.9+0.8)/3 ≈ 0.833 < 0.85
+	if e := Evaluate(p, infeasible, oracle); e.Feasible {
+		t.Fatalf("infeasible assignment flagged feasible: rel=%v", e.Reliability)
+	}
+}
+
+func TestMeanAggregate(t *testing.T) {
+	evals := []Eval{
+		{Regret: 1, Reliability: 0.8, Utilization: 0.5, Makespan: 2, Feasible: true},
+		{Regret: 3, Reliability: 0.9, Utilization: 0.7, Makespan: 4, Feasible: false},
+	}
+	a := Mean(evals)
+	if a.N != 2 || a.Regret != 2 || math.Abs(a.Reliability-0.85) > 1e-12 ||
+		math.Abs(a.Utilization-0.6) > 1e-12 || a.Makespan != 3 || a.FeasibleFrac != 0.5 {
+		t.Fatalf("aggregate wrong: %+v", a)
+	}
+	if empty := Mean(nil); empty.N != 0 || empty.Regret != 0 {
+		t.Fatal("empty aggregate not zero")
+	}
+}

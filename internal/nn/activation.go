@@ -1,0 +1,84 @@
+// Package nn implements the fully connected neural networks the platform
+// uses as cluster performance predictors (§4.1.1 of the paper trains plain
+// MLP heads on frozen GNN features), with manual backpropagation, SGD and
+// Adam optimizers, MSE training for the two-stage baseline, and bootstrap
+// ensembles for the UCB baseline.
+//
+// The design splits forward state into an explicit Tape so that a single
+// network can run concurrent forward/backward passes (zeroth-order gradient
+// estimation perturbs and re-evaluates in parallel) without data races.
+package nn
+
+import "math"
+
+// Activation selects a layer's elementwise nonlinearity.
+type Activation int
+
+// Supported activations. Softplus is the standard positive-output head for
+// execution-time predictors; Sigmoid bounds reliability predictions to (0,1).
+const (
+	Identity Activation = iota
+	ReLU
+	Tanh
+	Sigmoid
+	Softplus
+)
+
+// String returns the activation name.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case Sigmoid:
+		return "sigmoid"
+	case Softplus:
+		return "softplus"
+	default:
+		return "unknown"
+	}
+}
+
+// apply evaluates the activation at pre-activation z.
+func (a Activation) apply(z float64) float64 {
+	switch a {
+	case ReLU:
+		if z < 0 {
+			return 0
+		}
+		return z
+	case Tanh:
+		return math.Tanh(z)
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-z))
+	case Softplus:
+		// Numerically stable softplus: log(1+e^z) = max(z,0) + log1p(e^-|z|).
+		return math.Max(z, 0) + math.Log1p(math.Exp(-math.Abs(z)))
+	default:
+		return z
+	}
+}
+
+// deriv evaluates the activation derivative at pre-activation z.
+func (a Activation) deriv(z float64) float64 {
+	switch a {
+	case ReLU:
+		if z <= 0 {
+			return 0
+		}
+		return 1
+	case Tanh:
+		t := math.Tanh(z)
+		return 1 - t*t
+	case Sigmoid:
+		s := 1 / (1 + math.Exp(-z))
+		return s * (1 - s)
+	case Softplus:
+		return 1 / (1 + math.Exp(-z))
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,274 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+)
+
+// MLP is a fully connected feed-forward network. Weights are owned by the
+// network; forward-pass state lives in a Tape so concurrent evaluations of
+// one network are safe as long as Step is not called concurrently.
+type MLP struct {
+	Dims []int        // layer widths, Dims[0] = input, Dims[len-1] = output
+	Acts []Activation // Acts[l] applies after layer l (len = len(Dims)-1)
+	W    []*mat.Dense // W[l] is Dims[l+1] × Dims[l]
+	B    []mat.Vec    // B[l] is Dims[l+1]
+}
+
+// NewMLP builds a network with the given layer widths, hidden activation
+// and output activation, with He/Xavier-style initialization drawn from r.
+func NewMLP(dims []int, hidden, out Activation, r *rng.Source) *MLP {
+	if len(dims) < 2 {
+		panic("nn: MLP needs at least input and output dims")
+	}
+	L := len(dims) - 1
+	m := &MLP{Dims: append([]int(nil), dims...)}
+	m.Acts = make([]Activation, L)
+	m.W = make([]*mat.Dense, L)
+	m.B = make([]mat.Vec, L)
+	for l := 0; l < L; l++ {
+		if l == L-1 {
+			m.Acts[l] = out
+		} else {
+			m.Acts[l] = hidden
+		}
+		fanIn, fanOut := dims[l], dims[l+1]
+		scale := math.Sqrt(2 / float64(fanIn))
+		if m.Acts[l] == Tanh || m.Acts[l] == Sigmoid {
+			scale = math.Sqrt(1 / float64(fanIn))
+		}
+		w := mat.NewDense(fanOut, fanIn)
+		for i := range w.Data {
+			w.Data[i] = r.Normal(0, scale)
+		}
+		m.W[l] = w
+		m.B[l] = mat.NewVec(fanOut)
+	}
+	return m
+}
+
+// Clone returns a deep copy of the network.
+func (m *MLP) Clone() *MLP {
+	out := &MLP{
+		Dims: append([]int(nil), m.Dims...),
+		Acts: append([]Activation(nil), m.Acts...),
+		W:    make([]*mat.Dense, len(m.W)),
+		B:    make([]mat.Vec, len(m.B)),
+	}
+	for l := range m.W {
+		out.W[l] = m.W[l].Clone()
+		out.B[l] = m.B[l].Clone()
+	}
+	return out
+}
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.W {
+		n += len(m.W[l].Data) + len(m.B[l])
+	}
+	return n
+}
+
+// Tape holds the forward-pass intermediates needed for backprop: the input
+// and, per layer, pre-activations and post-activations for every sample.
+type Tape struct {
+	X    *mat.Dense   // input batch (n × Dims[0])
+	Pre  []*mat.Dense // Pre[l]: n × Dims[l+1], pre-activation
+	Post []*mat.Dense // Post[l]: n × Dims[l+1], post-activation
+}
+
+// Out returns the network output recorded on the tape (n × Dims[last]).
+func (t *Tape) Out() *mat.Dense { return t.Post[len(t.Post)-1] }
+
+// Forward runs the batch X (n × Dims[0]) through the network, returning the
+// tape. The input matrix is referenced, not copied; do not mutate it before
+// the corresponding Backward.
+func (m *MLP) Forward(X *mat.Dense) *Tape {
+	if X.Cols != m.Dims[0] {
+		panic(fmt.Sprintf("nn: Forward input dim %d, want %d", X.Cols, m.Dims[0]))
+	}
+	L := len(m.W)
+	t := &Tape{X: X, Pre: make([]*mat.Dense, L), Post: make([]*mat.Dense, L)}
+	cur := X
+	for l := 0; l < L; l++ {
+		n := cur.Rows
+		pre := mat.NewDense(n, m.Dims[l+1])
+		// pre = cur · W[l]ᵀ + b
+		for i := 0; i < n; i++ {
+			row := cur.Row(i)
+			prow := pre.Row(i)
+			for j := 0; j < m.Dims[l+1]; j++ {
+				prow[j] = m.W[l].Row(j).Dot(row) + m.B[l][j]
+			}
+		}
+		post := mat.NewDense(n, m.Dims[l+1])
+		act := m.Acts[l]
+		for k, z := range pre.Data {
+			post.Data[k] = act.apply(z)
+		}
+		t.Pre[l] = pre
+		t.Post[l] = post
+		cur = post
+	}
+	return t
+}
+
+// Predict is Forward for a single feature vector, returning the output
+// vector (allocating).
+func (m *MLP) Predict(x mat.Vec) mat.Vec {
+	X := mat.NewDense(1, len(x))
+	copy(X.Row(0), x)
+	return m.Forward(X).Out().Row(0).Clone()
+}
+
+// PredictBatch runs the batch and returns only the output matrix.
+func (m *MLP) PredictBatch(X *mat.Dense) *mat.Dense { return m.Forward(X).Out() }
+
+// Grads holds parameter gradients with the same shapes as the network.
+type Grads struct {
+	W []*mat.Dense
+	B []mat.Vec
+}
+
+// NewGrads allocates zero gradients shaped like m.
+func (m *MLP) NewGrads() *Grads {
+	g := &Grads{W: make([]*mat.Dense, len(m.W)), B: make([]mat.Vec, len(m.B))}
+	for l := range m.W {
+		g.W[l] = mat.NewDense(m.W[l].Rows, m.W[l].Cols)
+		g.B[l] = mat.NewVec(len(m.B[l]))
+	}
+	return g
+}
+
+// Zero resets all gradients in place.
+func (g *Grads) Zero() {
+	for l := range g.W {
+		g.W[l].Fill(0)
+		g.B[l].Fill(0)
+	}
+}
+
+// AddScaled accumulates alpha·other into g.
+func (g *Grads) AddScaled(alpha float64, other *Grads) {
+	for l := range g.W {
+		g.W[l].AddScaled(alpha, other.W[l])
+		g.B[l].AddScaled(alpha, other.B[l])
+	}
+}
+
+// MaxAbs returns the largest absolute gradient entry.
+func (g *Grads) MaxAbs() float64 {
+	m := 0.0
+	for l := range g.W {
+		if v := g.W[l].MaxAbs(); v > m {
+			m = v
+		}
+		if v := g.B[l].NormInf(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Backward computes parameter gradients for the batch recorded on tape,
+// given dOut = ∂L/∂output (n × Dims[last]). It accumulates into g
+// (allocating when nil) and returns it. Gradients are summed over the
+// batch; divide dOut by n upstream for means.
+func (m *MLP) Backward(tape *Tape, dOut *mat.Dense, g *Grads) *Grads {
+	if g == nil {
+		g = m.NewGrads()
+	}
+	L := len(m.W)
+	n := tape.X.Rows
+	if dOut.Rows != n || dOut.Cols != m.Dims[L] {
+		panic("nn: Backward dOut shape mismatch")
+	}
+	// delta starts as dL/dPost[L-1]; walk layers backwards.
+	delta := dOut.Clone()
+	for l := L - 1; l >= 0; l-- {
+		// dL/dPre[l] = delta ⊙ act'(Pre[l])
+		act := m.Acts[l]
+		pre := tape.Pre[l]
+		for k := range delta.Data {
+			delta.Data[k] *= act.deriv(pre.Data[k])
+		}
+		// input to layer l
+		var in *mat.Dense
+		if l == 0 {
+			in = tape.X
+		} else {
+			in = tape.Post[l-1]
+		}
+		// dW[l] += deltaᵀ · in ; dB[l] += column sums of delta
+		for i := 0; i < n; i++ {
+			drow := delta.Row(i)
+			irow := in.Row(i)
+			for j, dj := range drow {
+				if dj == 0 {
+					continue
+				}
+				grow := g.W[l].Row(j)
+				for c, ic := range irow {
+					grow[c] += dj * ic
+				}
+				g.B[l][j] += dj
+			}
+		}
+		if l > 0 {
+			// propagate: dL/dPost[l-1] = delta · W[l]
+			next := mat.NewDense(n, m.Dims[l])
+			for i := 0; i < n; i++ {
+				drow := delta.Row(i)
+				nrow := next.Row(i)
+				for j, dj := range drow {
+					if dj == 0 {
+						continue
+					}
+					wrow := m.W[l].Row(j)
+					for c, wc := range wrow {
+						nrow[c] += dj * wc
+					}
+				}
+			}
+			delta = next
+		}
+	}
+	return g
+}
+
+// InputGradient returns ∂(sum of outputs weighted by dOut)/∂X for the batch
+// on tape — the Jacobian-vector product through the network with respect to
+// its inputs. Needed by tests and by sensitivity analyses.
+func (m *MLP) InputGradient(tape *Tape, dOut *mat.Dense) *mat.Dense {
+	L := len(m.W)
+	n := tape.X.Rows
+	delta := dOut.Clone()
+	for l := L - 1; l >= 0; l-- {
+		act := m.Acts[l]
+		pre := tape.Pre[l]
+		for k := range delta.Data {
+			delta.Data[k] *= act.deriv(pre.Data[k])
+		}
+		next := mat.NewDense(n, m.Dims[l])
+		for i := 0; i < n; i++ {
+			drow := delta.Row(i)
+			nrow := next.Row(i)
+			for j, dj := range drow {
+				if dj == 0 {
+					continue
+				}
+				wrow := m.W[l].Row(j)
+				for c, wc := range wrow {
+					nrow[c] += dj * wc
+				}
+			}
+		}
+		delta = next
+	}
+	return delta
+}

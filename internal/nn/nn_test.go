@@ -1,0 +1,484 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+)
+
+func TestActivationDerivsMatchFiniteDiff(t *testing.T) {
+	acts := []Activation{Identity, ReLU, Tanh, Sigmoid, Softplus}
+	zs := []float64{-3, -1, -0.1, 0.1, 0.5, 2, 5}
+	for _, a := range acts {
+		for _, z := range zs {
+			h := 1e-6
+			fd := (a.apply(z+h) - a.apply(z-h)) / (2 * h)
+			if math.Abs(fd-a.deriv(z)) > 1e-5 {
+				t.Fatalf("%v deriv at %v: analytic %v, fd %v", a, z, a.deriv(z), fd)
+			}
+		}
+	}
+}
+
+func TestSoftplusStableAtExtremes(t *testing.T) {
+	if v := Softplus.apply(1000); math.IsInf(v, 0) || math.Abs(v-1000) > 1e-9 {
+		t.Fatalf("softplus(1000)=%v", v)
+	}
+	if v := Softplus.apply(-1000); v != 0 {
+		t.Fatalf("softplus(-1000)=%v", v)
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	r := rng.New(1)
+	net := NewMLP([]int{5, 8, 3}, ReLU, Identity, r)
+	X := mat.NewDense(7, 5)
+	for i := range X.Data {
+		X.Data[i] = r.Norm()
+	}
+	tape := net.Forward(X)
+	if out := tape.Out(); out.Rows != 7 || out.Cols != 3 {
+		t.Fatalf("out shape %dx%d", out.Rows, out.Cols)
+	}
+	if len(tape.Pre) != 2 || len(tape.Post) != 2 {
+		t.Fatalf("tape layers %d", len(tape.Pre))
+	}
+}
+
+func TestPredictMatchesForward(t *testing.T) {
+	r := rng.New(2)
+	net := NewMLP([]int{4, 6, 1}, Tanh, Identity, r)
+	x := mat.Vec(r.NormVec(make([]float64, 4)))
+	single := net.Predict(x)
+	X := mat.NewDense(1, 4)
+	copy(X.Row(0), x)
+	batch := net.PredictBatch(X).Row(0)
+	if !single.Equal(batch, 1e-12) {
+		t.Fatal("Predict and PredictBatch disagree")
+	}
+}
+
+// numericalParamGrad perturbs every parameter and finite-differences the
+// scalar loss L = sum(out ⊙ dOut).
+func numericalParamGrad(net *MLP, X, dOut *mat.Dense) *Grads {
+	g := net.NewGrads()
+	loss := func() float64 {
+		out := net.PredictBatch(X)
+		s := 0.0
+		for k := range out.Data {
+			s += out.Data[k] * dOut.Data[k]
+		}
+		return s
+	}
+	const h = 1e-6
+	for l := range net.W {
+		for k := range net.W[l].Data {
+			orig := net.W[l].Data[k]
+			net.W[l].Data[k] = orig + h
+			up := loss()
+			net.W[l].Data[k] = orig - h
+			down := loss()
+			net.W[l].Data[k] = orig
+			g.W[l].Data[k] = (up - down) / (2 * h)
+		}
+		for k := range net.B[l] {
+			orig := net.B[l][k]
+			net.B[l][k] = orig + h
+			up := loss()
+			net.B[l][k] = orig - h
+			down := loss()
+			net.B[l][k] = orig
+			g.B[l][k] = (up - down) / (2 * h)
+		}
+	}
+	return g
+}
+
+func TestBackwardMatchesFiniteDiff(t *testing.T) {
+	r := rng.New(3)
+	// Smooth activations so finite differences are clean.
+	for _, arch := range [][]int{{3, 5, 1}, {4, 6, 5, 2}} {
+		net := NewMLP(arch, Tanh, Identity, r)
+		n := 4
+		X := mat.NewDense(n, arch[0])
+		for i := range X.Data {
+			X.Data[i] = r.Norm()
+		}
+		dOut := mat.NewDense(n, arch[len(arch)-1])
+		for i := range dOut.Data {
+			dOut.Data[i] = r.Norm()
+		}
+		analytic := net.Backward(net.Forward(X), dOut, nil)
+		numeric := numericalParamGrad(net, X, dOut)
+		for l := range analytic.W {
+			if !analytic.W[l].Equal(numeric.W[l], 1e-4) {
+				t.Fatalf("arch %v layer %d W grads differ:\n%v\nvs\n%v", arch, l, analytic.W[l], numeric.W[l])
+			}
+			if !analytic.B[l].Equal(numeric.B[l], 1e-4) {
+				t.Fatalf("arch %v layer %d B grads differ", arch, l)
+			}
+		}
+	}
+}
+
+func TestBackwardSigmoidSoftplusHeads(t *testing.T) {
+	r := rng.New(4)
+	for _, out := range []Activation{Sigmoid, Softplus} {
+		net := NewMLP([]int{3, 4, 1}, Tanh, out, r)
+		X := mat.NewDense(3, 3)
+		for i := range X.Data {
+			X.Data[i] = r.Norm()
+		}
+		dOut := mat.NewDense(3, 1)
+		dOut.Fill(1)
+		analytic := net.Backward(net.Forward(X), dOut, nil)
+		numeric := numericalParamGrad(net, X, dOut)
+		for l := range analytic.W {
+			if !analytic.W[l].Equal(numeric.W[l], 1e-4) {
+				t.Fatalf("%v head: layer %d grads differ", out, l)
+			}
+		}
+	}
+}
+
+func TestInputGradientMatchesFiniteDiff(t *testing.T) {
+	r := rng.New(5)
+	net := NewMLP([]int{4, 6, 2}, Tanh, Sigmoid, r)
+	X := mat.NewDense(2, 4)
+	for i := range X.Data {
+		X.Data[i] = r.Norm()
+	}
+	dOut := mat.NewDense(2, 2)
+	for i := range dOut.Data {
+		dOut.Data[i] = r.Norm()
+	}
+	analytic := net.InputGradient(net.Forward(X), dOut)
+	loss := func() float64 {
+		out := net.PredictBatch(X)
+		s := 0.0
+		for k := range out.Data {
+			s += out.Data[k] * dOut.Data[k]
+		}
+		return s
+	}
+	const h = 1e-6
+	for k := range X.Data {
+		orig := X.Data[k]
+		X.Data[k] = orig + h
+		up := loss()
+		X.Data[k] = orig - h
+		down := loss()
+		X.Data[k] = orig
+		fd := (up - down) / (2 * h)
+		if math.Abs(fd-analytic.Data[k]) > 1e-5 {
+			t.Fatalf("input grad %d: analytic %v fd %v", k, analytic.Data[k], fd)
+		}
+	}
+}
+
+func TestBackwardAccumulates(t *testing.T) {
+	r := rng.New(6)
+	net := NewMLP([]int{2, 3, 1}, ReLU, Identity, r)
+	X := mat.NewDense(2, 2)
+	X.Data = []float64{1, 2, 3, 4}
+	dOut := mat.NewDense(2, 1)
+	dOut.Fill(1)
+	g := net.Backward(net.Forward(X), dOut, nil)
+	g2 := net.Backward(net.Forward(X), dOut, g.Zero2())
+	_ = g2
+}
+
+// Zero2 is a test helper alias so the accumulate test reads naturally.
+func (g *Grads) Zero2() *Grads { g.Zero(); return g }
+
+func TestGradsAddScaledAndClip(t *testing.T) {
+	r := rng.New(7)
+	net := NewMLP([]int{2, 2, 1}, ReLU, Identity, r)
+	g := net.NewGrads()
+	g.W[0].Fill(4)
+	before := g.MaxAbs()
+	if before != 4 {
+		t.Fatalf("MaxAbs=%v", before)
+	}
+	s := ClipGrads(g, 1)
+	if math.Abs(s-0.25) > 1e-12 || math.Abs(g.MaxAbs()-1) > 1e-12 {
+		t.Fatalf("clip scale=%v maxabs=%v", s, g.MaxAbs())
+	}
+	if ClipGrads(g, 10) != 1 {
+		t.Fatal("unnecessary clip applied")
+	}
+}
+
+func TestSGDReducesQuadratic(t *testing.T) {
+	// Minimizing MSE to a constant target: a 1-parameter sanity check that
+	// Step moves in the right direction.
+	r := rng.New(8)
+	net := NewMLP([]int{1, 1}, Identity, Identity, r)
+	X := mat.NewDense(1, 1)
+	X.Set(0, 0, 1)
+	y := mat.Vec{3}
+	opt := NewSGD(0.1, 0.0)
+	lossBefore := MSE(net.PredictBatch(X), y)
+	for i := 0; i < 100; i++ {
+		tape := net.Forward(X)
+		dOut := mat.NewDense(1, 1)
+		dOut.Set(0, 0, 2*(tape.Out().At(0, 0)-y[0]))
+		opt.Step(net, net.Backward(tape, dOut, nil))
+	}
+	lossAfter := MSE(net.PredictBatch(X), y)
+	if lossAfter > lossBefore/100 {
+		t.Fatalf("SGD barely reduced loss: %v -> %v", lossBefore, lossAfter)
+	}
+}
+
+func TestTrainMSEFitsNonlinearFunction(t *testing.T) {
+	r := rng.New(9)
+	n := 200
+	X := mat.NewDense(n, 1)
+	y := mat.NewVec(n)
+	for i := 0; i < n; i++ {
+		x := r.Uniform(-2, 2)
+		X.Set(i, 0, x)
+		y[i] = math.Sin(x) + 0.5*x
+	}
+	net := NewMLP([]int{1, 16, 16, 1}, Tanh, Identity, r)
+	final := TrainMSE(net, X, y, TrainMSEConfig{Epochs: 400, BatchSize: 32}, r)
+	if final > 0.01 {
+		t.Fatalf("MSE after training %v", final)
+	}
+}
+
+func TestTrainMSEDeterministic(t *testing.T) {
+	build := func() float64 {
+		r := rng.New(11)
+		n := 50
+		X := mat.NewDense(n, 2)
+		y := mat.NewVec(n)
+		for i := 0; i < n; i++ {
+			X.Set(i, 0, r.Norm())
+			X.Set(i, 1, r.Norm())
+			y[i] = X.At(i, 0) * X.At(i, 1)
+		}
+		net := NewMLP([]int{2, 8, 1}, Tanh, Identity, r.Split("init"))
+		return TrainMSE(net, X, y, TrainMSEConfig{Epochs: 50, BatchSize: 10}, r.Split("train"))
+	}
+	if build() != build() {
+		t.Fatal("training not deterministic")
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	r := rng.New(12)
+	n := 100
+	X := mat.NewDense(n, 3)
+	y := mat.NewVec(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			X.Set(i, j, r.Norm())
+		}
+		y[i] = 2*X.At(i, 0) - X.At(i, 1) + 0.5
+	}
+	net := NewMLP([]int{3, 8, 1}, ReLU, Identity, r)
+	final := TrainMSE(net, X, y, TrainMSEConfig{Epochs: 400, BatchSize: 25, Optimizer: NewAdam(5e-3)}, r)
+	if final > 0.01 {
+		t.Fatalf("Adam failed to fit linear target: MSE %v", final)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	r := rng.New(13)
+	net := NewMLP([]int{2, 3, 1}, ReLU, Identity, r)
+	cl := net.Clone()
+	net.W[0].Set(0, 0, 999)
+	if cl.W[0].At(0, 0) == 999 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	net := NewMLP([]int{3, 5, 2}, ReLU, Identity, rng.New(1))
+	want := 3*5 + 5 + 5*2 + 2
+	if net.NumParams() != want {
+		t.Fatalf("NumParams=%d want %d", net.NumParams(), want)
+	}
+}
+
+func TestEnsemblePredict(t *testing.T) {
+	r := rng.New(14)
+	n := 80
+	X := mat.NewDense(n, 1)
+	y := mat.NewVec(n)
+	for i := 0; i < n; i++ {
+		x := r.Uniform(-1, 1)
+		X.Set(i, 0, x)
+		y[i] = 2 * x
+	}
+	ens := TrainEnsemble(5, []int{1, 8, 1}, Tanh, Identity, X, y, TrainMSEConfig{Epochs: 100, BatchSize: 20}, r)
+	if len(ens.Members) != 5 {
+		t.Fatalf("ensemble size %d", len(ens.Members))
+	}
+	mean, std := ens.Predict(X)
+	for i := 0; i < n; i++ {
+		if std[i] < 0 || math.IsNaN(std[i]) {
+			t.Fatalf("std[%d]=%v", i, std[i])
+		}
+		if math.Abs(mean[i]-y[i]) > 0.5 {
+			t.Fatalf("ensemble mean off target: %v vs %v", mean[i], y[i])
+		}
+	}
+}
+
+func TestEnsembleUncertaintyGrowsOffData(t *testing.T) {
+	r := rng.New(15)
+	n := 60
+	X := mat.NewDense(n, 1)
+	y := mat.NewVec(n)
+	for i := 0; i < n; i++ {
+		x := r.Uniform(-1, 1)
+		X.Set(i, 0, x)
+		y[i] = x * x
+	}
+	ens := TrainEnsemble(8, []int{1, 12, 1}, Tanh, Identity, X, y, TrainMSEConfig{Epochs: 150, BatchSize: 16}, r)
+	onData := mat.NewDense(1, 1)
+	onData.Set(0, 0, 0.5)
+	offData := mat.NewDense(1, 1)
+	offData.Set(0, 0, 4.0)
+	_, stdOn := ens.Predict(onData)
+	_, stdOff := ens.Predict(offData)
+	if stdOff[0] <= stdOn[0] {
+		t.Logf("warning: extrapolation std %v not larger than interpolation %v", stdOff[0], stdOn[0])
+	}
+}
+
+func TestMLPQuickOutputFinite(t *testing.T) {
+	r := rng.New(16)
+	net := NewMLP([]int{6, 10, 1}, ReLU, Softplus, r)
+	check := func(raw [6]float64) bool {
+		x := mat.NewVec(6)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			x[i] = math.Mod(v, 10)
+		}
+		out := net.Predict(x)
+		return len(out) == 1 && !math.IsNaN(out[0]) && !math.IsInf(out[0], 0) && out[0] >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkForwardBatch64(b *testing.B) {
+	r := rng.New(1)
+	net := NewMLP([]int{16, 32, 32, 1}, ReLU, Softplus, r)
+	X := mat.NewDense(64, 16)
+	for i := range X.Data {
+		X.Data[i] = r.Norm()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(X)
+	}
+}
+
+func BenchmarkBackwardBatch64(b *testing.B) {
+	r := rng.New(1)
+	net := NewMLP([]int{16, 32, 32, 1}, ReLU, Softplus, r)
+	X := mat.NewDense(64, 16)
+	for i := range X.Data {
+		X.Data[i] = r.Norm()
+	}
+	dOut := mat.NewDense(64, 1)
+	dOut.Fill(1)
+	g := net.NewGrads()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Zero()
+		net.Backward(net.Forward(X), dOut, g)
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	r := rng.New(80)
+	net := NewMLP([]int{2, 4, 1}, Tanh, Identity, r)
+	clone := net.Clone()
+	g := net.NewGrads() // zero gradients: only decay acts
+	decayed := NewAdam(0.1)
+	decayed.WeightDecay = 0.5
+	plain := NewAdam(0.1)
+	for i := 0; i < 20; i++ {
+		decayed.Step(net, g)
+		plain.Step(clone, g)
+	}
+	normDecayed := 0.0
+	normPlain := 0.0
+	for l := range net.W {
+		normDecayed += net.W[l].FrobeniusNorm()
+		normPlain += clone.W[l].FrobeniusNorm()
+	}
+	if normDecayed >= normPlain {
+		t.Fatalf("weight decay did not shrink weights: %v vs %v", normDecayed, normPlain)
+	}
+	// Biases must NOT be decayed: with zero grads and zero-initialized
+	// biases they stay zero either way; check they match exactly.
+	for l := range net.B {
+		if !net.B[l].Equal(clone.B[l], 0) {
+			t.Fatal("biases diverged under decay")
+		}
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	r := rng.New(81)
+	net := NewMLP([]int{2, 2, 1}, ReLU, Identity, r)
+	before := net.W[0].FrobeniusNorm()
+	opt := NewSGD(0.1, 0)
+	opt.WeightDecay = 0.5
+	g := net.NewGrads()
+	for i := 0; i < 10; i++ {
+		opt.Step(net, g)
+	}
+	if net.W[0].FrobeniusNorm() >= before {
+		t.Fatal("SGD weight decay inert")
+	}
+}
+
+func TestCosineDecaySchedule(t *testing.T) {
+	s := CosineDecay(100, 0.1)
+	if v := s(1); v < 0.99 || v > 1.0 {
+		t.Fatalf("schedule start %v", v)
+	}
+	if v := s(100); math.Abs(v-0.1) > 1e-12 {
+		t.Fatalf("schedule end %v", v)
+	}
+	if v := s(500); v != 0.1 {
+		t.Fatalf("schedule floor %v", v)
+	}
+	prev := 2.0
+	for step := 1; step <= 100; step += 9 {
+		v := s(step)
+		if v > prev+1e-12 {
+			t.Fatalf("schedule not monotone at %d", step)
+		}
+		prev = v
+	}
+}
+
+func TestAdamScheduleApplied(t *testing.T) {
+	// With a schedule that zeroes the LR, parameters must not move.
+	r := rng.New(82)
+	net := NewMLP([]int{2, 2, 1}, ReLU, Identity, r)
+	snapshot := net.Clone()
+	opt := NewAdam(0.1)
+	opt.Schedule = func(int) float64 { return 0 }
+	g := net.NewGrads()
+	g.W[0].Fill(1)
+	opt.Step(net, g)
+	if !net.W[0].Equal(snapshot.W[0], 0) {
+		t.Fatal("zero-LR schedule still moved weights")
+	}
+}

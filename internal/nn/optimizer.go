@@ -1,0 +1,135 @@
+package nn
+
+import "math"
+
+// Optimizer updates network parameters from accumulated gradients.
+type Optimizer interface {
+	// Step applies one update of m's parameters using gradients g.
+	Step(m *MLP, g *Grads)
+	// Reset clears optimizer state (momenta), e.g. between training phases.
+	Reset()
+}
+
+// SGD is stochastic gradient descent with classical momentum and optional
+// decoupled weight decay.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	// WeightDecay applies p -= LR·wd·p before the gradient step (decoupled
+	// L2; 0 disables). Biases are not decayed.
+	WeightDecay float64
+	vel         *Grads
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step implements Optimizer.
+func (o *SGD) Step(m *MLP, g *Grads) {
+	if o.vel == nil {
+		o.vel = m.NewGrads()
+	}
+	for l := range m.W {
+		for k := range m.W[l].Data {
+			if o.WeightDecay > 0 {
+				m.W[l].Data[k] -= o.LR * o.WeightDecay * m.W[l].Data[k]
+			}
+			o.vel.W[l].Data[k] = o.Momentum*o.vel.W[l].Data[k] - o.LR*g.W[l].Data[k]
+			m.W[l].Data[k] += o.vel.W[l].Data[k]
+		}
+		for k := range m.B[l] {
+			o.vel.B[l][k] = o.Momentum*o.vel.B[l][k] - o.LR*g.B[l][k]
+			m.B[l][k] += o.vel.B[l][k]
+		}
+	}
+}
+
+// Reset implements Optimizer.
+func (o *SGD) Reset() { o.vel = nil }
+
+// Adam is the Adam optimizer (Kingma & Ba, 2015), with optional decoupled
+// weight decay (AdamW; Loshchilov & Hutter, 2019) and an optional learning
+// rate schedule.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	// WeightDecay is applied decoupled from the adaptive step (AdamW);
+	// biases are not decayed. 0 disables.
+	WeightDecay float64
+	// Schedule, when non-nil, maps the 1-based step counter to a learning
+	// rate multiplier (e.g. CosineDecay).
+	Schedule func(step int) float64
+	m, v     *Grads
+	t        int
+}
+
+// NewAdam returns an Adam optimizer with standard defaults for the moment
+// decay rates.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(net *MLP, g *Grads) {
+	if o.m == nil {
+		o.m = net.NewGrads()
+		o.v = net.NewGrads()
+	}
+	o.t++
+	lr := o.LR
+	if o.Schedule != nil {
+		lr *= o.Schedule(o.t)
+	}
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	upd := func(p, gd, mo, ve []float64, decay bool) {
+		for k := range p {
+			if decay && o.WeightDecay > 0 {
+				p[k] -= lr * o.WeightDecay * p[k]
+			}
+			mo[k] = o.Beta1*mo[k] + (1-o.Beta1)*gd[k]
+			ve[k] = o.Beta2*ve[k] + (1-o.Beta2)*gd[k]*gd[k]
+			mHat := mo[k] / c1
+			vHat := ve[k] / c2
+			p[k] -= lr * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+	}
+	for l := range net.W {
+		upd(net.W[l].Data, g.W[l].Data, o.m.W[l].Data, o.v.W[l].Data, true)
+		upd(net.B[l], g.B[l], o.m.B[l], o.v.B[l], false)
+	}
+}
+
+// CosineDecay returns a schedule decaying the learning rate multiplier from
+// 1 to floor over totalSteps by a half cosine, then holding at floor.
+func CosineDecay(totalSteps int, floor float64) func(step int) float64 {
+	if totalSteps < 1 {
+		totalSteps = 1
+	}
+	return func(step int) float64 {
+		if step >= totalSteps {
+			return floor
+		}
+		frac := float64(step) / float64(totalSteps)
+		return floor + (1-floor)*0.5*(1+math.Cos(math.Pi*frac))
+	}
+}
+
+// Reset implements Optimizer.
+func (o *Adam) Reset() { o.m, o.v, o.t = nil, nil, 0 }
+
+// ClipGrads scales g in place so its max-abs entry does not exceed clip.
+// Returns the scale applied (1 when no clipping was needed). Gradient
+// clipping keeps regret-loss training stable when the matching Jacobian
+// spikes near assignment boundary crossings.
+func ClipGrads(g *Grads, clip float64) float64 {
+	if clip <= 0 {
+		return 1
+	}
+	m := g.MaxAbs()
+	if m <= clip {
+		return 1
+	}
+	s := clip / m
+	g.AddScaled(s-1, g) // g = s*g
+	return s
+}

@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"math"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/parallel"
+	"mfcp/internal/rng"
+)
+
+// MSE returns the mean squared error between predictions (n × 1) and
+// targets.
+func MSE(pred *mat.Dense, y mat.Vec) float64 {
+	if pred.Rows != len(y) || pred.Cols != 1 {
+		panic("nn: MSE shape mismatch")
+	}
+	s := 0.0
+	for i, t := range y {
+		d := pred.At(i, 0) - t
+		s += d * d
+	}
+	return s / float64(len(y))
+}
+
+// TrainMSEConfig parameterizes supervised MSE training.
+type TrainMSEConfig struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+}
+
+func (c *TrainMSEConfig) fillDefaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 300
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.Optimizer == nil {
+		c.Optimizer = NewAdam(1e-2)
+	}
+}
+
+// TrainMSE fits net to (X, y) by minibatch MSE minimization — the
+// conventional predictor training of the paper's two-stage baseline
+// (Equation 1). It returns the final full-batch MSE.
+func TrainMSE(net *MLP, X *mat.Dense, y mat.Vec, cfg TrainMSEConfig, r *rng.Source) float64 {
+	cfg.fillDefaults()
+	n := X.Rows
+	if n != len(y) {
+		panic("nn: TrainMSE sample count mismatch")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	bx := mat.NewDense(cfg.BatchSize, X.Cols)
+	by := mat.NewVec(cfg.BatchSize)
+	for e := 0; e < cfg.Epochs; e++ {
+		r.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for off := 0; off < n; off += cfg.BatchSize {
+			b := cfg.BatchSize
+			if off+b > n {
+				b = n - off
+			}
+			XB := bx
+			YB := by
+			if b != cfg.BatchSize {
+				XB = mat.NewDense(b, X.Cols)
+				YB = mat.NewVec(b)
+			}
+			for k := 0; k < b; k++ {
+				copy(XB.Row(k), X.Row(idx[off+k]))
+				YB[k] = y[idx[off+k]]
+			}
+			tape := net.Forward(XB)
+			out := tape.Out()
+			dOut := mat.NewDense(b, 1)
+			for k := 0; k < b; k++ {
+				dOut.Set(k, 0, 2*(out.At(k, 0)-YB[k])/float64(b))
+			}
+			g := net.Backward(tape, dOut, nil)
+			cfg.Optimizer.Step(net, g)
+		}
+	}
+	return MSE(net.PredictBatch(X), y)
+}
+
+// Ensemble is a bag of networks trained on bootstrap resamples; its spread
+// estimates predictive uncertainty (the UCB baseline's confidence source).
+type Ensemble struct {
+	Members []*MLP
+}
+
+// TrainEnsemble trains k networks with architecture dims on bootstrap
+// resamples of (X, y). Members train in parallel; each gets an independent
+// initialization and resample stream derived from r's snapshot.
+func TrainEnsemble(k int, dims []int, hidden, out Activation, X *mat.Dense, y mat.Vec, cfg TrainMSEConfig, r *rng.Source) *Ensemble {
+	members := parallel.Map(k, func(i int) *MLP {
+		mr := r.SplitIndexed("member", i)
+		net := NewMLP(dims, hidden, out, mr.Split("init"))
+		n := X.Rows
+		// Bootstrap resample.
+		XB := mat.NewDense(n, X.Cols)
+		YB := mat.NewVec(n)
+		br := mr.Split("bootstrap")
+		for j := 0; j < n; j++ {
+			s := br.Intn(n)
+			copy(XB.Row(j), X.Row(s))
+			YB[j] = y[s]
+		}
+		local := cfg
+		local.Optimizer = nil // per-member optimizer state
+		TrainMSE(net, XB, YB, local, mr.Split("train"))
+		return net
+	})
+	return &Ensemble{Members: members}
+}
+
+// Predict returns the ensemble mean and standard deviation for each row of
+// X (both length X.Rows).
+func (e *Ensemble) Predict(X *mat.Dense) (mean, std mat.Vec) {
+	n := X.Rows
+	mean = mat.NewVec(n)
+	std = mat.NewVec(n)
+	k := float64(len(e.Members))
+	preds := make([]*mat.Dense, len(e.Members))
+	parallel.ForChunked(len(e.Members), 1, func(lo, hi int) {
+		for m := lo; m < hi; m++ {
+			preds[m] = e.Members[m].PredictBatch(X)
+		}
+	})
+	for i := 0; i < n; i++ {
+		s, ss := 0.0, 0.0
+		for m := range e.Members {
+			v := preds[m].At(i, 0)
+			s += v
+			ss += v * v
+		}
+		mu := s / k
+		mean[i] = mu
+		variance := ss/k - mu*mu
+		if variance < 0 {
+			variance = 0
+		}
+		std[i] = math.Sqrt(variance)
+	}
+	return mean, std
+}

@@ -1,0 +1,105 @@
+// Package parallel provides small, dependency-free primitives for data
+// parallelism: a chunked parallel for-loop and a bounded worker pool.
+//
+// The repository's hot paths — dense matrix multiply, batched neural-network
+// prediction, zeroth-order gradient sampling, and experiment replication —
+// all fan out through this package, so parallel policy (worker counts, chunk
+// sizing) lives in exactly one place. Following the HPC guide, workers share
+// memory only through disjoint index ranges; there are no locks on the data
+// path.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers is the default degree of parallelism. It is a variable so tests
+// and benchmarks can pin it.
+var Workers = runtime.GOMAXPROCS(0)
+
+// minChunk is the smallest index range worth shipping to a worker; below it
+// the scheduling overhead dominates and we run serially.
+const minChunk = 256
+
+// For runs body(i) for every i in [0, n), splitting the range across
+// Workers goroutines in contiguous chunks. It blocks until all iterations
+// complete. Iterations must be independent: body must not write to memory
+// another iteration reads.
+func For(n int, body func(i int)) {
+	ForChunked(n, minChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked runs body(lo, hi) over disjoint contiguous chunks covering
+// [0, n). grain is the minimum chunk size; pass 1 when each iteration is
+// expensive (e.g. one experiment replicate per index).
+func ForChunked(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	// Aim for a few chunks per worker so stragglers rebalance, but never
+	// below the grain.
+	chunk := n / (workers * 4)
+	if chunk < grain {
+		chunk = grain
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies f to every index in [0, n) and collects the results in order.
+// Each f(i) runs on its own worker slot; use it for coarse-grained work such
+// as experiment replicates.
+func Map[T any](n int, f func(i int) T) []T {
+	out := make([]T, n)
+	ForChunked(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(i)
+		}
+	})
+	return out
+}
+
+// Do runs the given thunks concurrently (bounded by Workers) and waits for
+// all of them.
+func Do(thunks ...func()) {
+	ForChunked(len(thunks), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			thunks[i]()
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 255, 256, 257, 10000} {
+		hits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForChunkedDisjointCover(t *testing.T) {
+	check := func(rawN uint16, rawGrain uint8) bool {
+		n := int(rawN % 5000)
+		grain := int(rawGrain%64) + 1
+		hits := make([]int32, n)
+		ForChunked(n, grain, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Fatalf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for _, h := range hits {
+			if h != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	out := Map(1000, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c int32
+	Do(
+		func() { atomic.StoreInt32(&a, 1) },
+		func() { atomic.StoreInt32(&b, 2) },
+		func() { atomic.StoreInt32(&c, 3) },
+	)
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("Do skipped a thunk: %d %d %d", a, b, c)
+	}
+}
+
+func TestSingleWorkerFallback(t *testing.T) {
+	old := Workers
+	defer func() { Workers = old }()
+	Workers = 1
+	sum := 0
+	// With one worker the body runs serially, so unsynchronized writes are safe.
+	For(1000, func(i int) { sum += i })
+	if sum != 999*1000/2 {
+		t.Fatalf("serial fallback sum %d", sum)
+	}
+}
+
+func TestZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(0, func(int) { called = true })
+	For(-5, func(int) { called = true })
+	ForChunked(-1, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for non-positive n")
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		For(4096, func(int) {})
+	}
+}

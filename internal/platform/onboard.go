@@ -1,0 +1,135 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/mat"
+	"mfcp/internal/nn"
+	"mfcp/internal/workload"
+)
+
+// OnboardingPoint reports prediction quality for one profiling budget when
+// a new cluster joins the platform.
+type OnboardingPoint struct {
+	// Samples is the number of profiled tasks.
+	Samples int
+	// TimeRMSE is the root mean squared error of the new cluster's time
+	// predictor on held-out tasks (normalized units).
+	TimeRMSE float64
+	// RelMAE is the mean absolute reliability prediction error.
+	RelMAE float64
+	// OrderingAccuracy is the fraction of held-out tasks for which the
+	// predictor correctly ranks the new cluster against the incumbent
+	// fleet's best time — the decision-relevant quantity for matching.
+	OrderingAccuracy float64
+}
+
+// OnboardingStudy simulates a new third-party cluster joining the platform:
+// it is profiled on progressively larger task budgets, a fresh predictor
+// pair is trained per budget, and the returned curve shows how quickly the
+// platform's view of the newcomer becomes matching-grade. This is the
+// paper's motivating scenario — "the platform needs to evaluate the
+// performance of running various deep learning tasks on these clusters" —
+// made quantitative.
+func OnboardingStudy(s *workload.Scenario, newcomer *cluster.Profile, sampleSizes []int, hidden []int, epochs int) ([]OnboardingPoint, error) {
+	if err := newcomer.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sampleSizes) == 0 {
+		sampleSizes = []int{8, 16, 32, 64}
+	}
+	if hidden == nil {
+		hidden = []int{16}
+	}
+	if epochs == 0 {
+		epochs = 200
+	}
+	root := s.Stream("onboarding")
+	perm := root.Split("perm").Perm(s.PoolLen())
+	maxBudget := sampleSizes[len(sampleSizes)-1]
+	if maxBudget >= s.PoolLen() {
+		return nil, fmt.Errorf("platform: onboarding budget %d exceeds pool %d", maxBudget, s.PoolLen())
+	}
+	holdout := perm[maxBudget:]
+
+	// Profile the newcomer on the full candidate prefix once; budgets nest.
+	measT := mat.NewVec(maxBudget)
+	measA := mat.NewVec(maxBudget)
+	measStream := root.Split("measure")
+	for k := 0; k < maxBudget; k++ {
+		task := s.Pool[perm[k]]
+		t, a := newcomer.Measure(task, 20, measStream)
+		measT[k] = t / s.TimeScale
+		measA[k] = a
+	}
+
+	// Ground truth on the holdout, including the incumbent fleet's best
+	// time per task (for the ordering metric).
+	trueT := mat.NewVec(len(holdout))
+	trueA := mat.NewVec(len(holdout))
+	bestIncumbent := mat.NewVec(len(holdout))
+	for k, j := range holdout {
+		task := s.Pool[j]
+		trueT[k] = newcomer.TrueTime(task) / s.TimeScale
+		trueA[k] = newcomer.TrueReliability(task)
+		best := s.TrueT.At(0, j)
+		for i := 1; i < s.M(); i++ {
+			if v := s.TrueT.At(i, j); v < best {
+				best = v
+			}
+		}
+		bestIncumbent[k] = best
+	}
+	Xhold := s.FeaturesOf(holdout)
+
+	var out []OnboardingPoint
+	for _, budget := range sampleSizes {
+		if budget > maxBudget {
+			return nil, fmt.Errorf("platform: sample sizes must be ascending (got %d after %d)", budget, maxBudget)
+		}
+		X := s.FeaturesOf(perm[:budget])
+		trainStream := root.SplitIndexed("train", budget)
+		timeNet := nn.NewMLP(append(append([]int{s.Features.Cols}, hidden...), 1), nn.ReLU, nn.Softplus, trainStream.Split("tinit"))
+		relNet := nn.NewMLP(append(append([]int{s.Features.Cols}, hidden...), 1), nn.ReLU, nn.Sigmoid, trainStream.Split("rinit"))
+		cfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 8}
+		nn.TrainMSE(timeNet, X, measT[:budget], cfg, trainStream.Split("ttrain"))
+		cfg.Optimizer = nil
+		nn.TrainMSE(relNet, X, measA[:budget], nn.TrainMSEConfig{Epochs: epochs, BatchSize: 8}, trainStream.Split("rtrain"))
+
+		predT := timeNet.PredictBatch(Xhold)
+		predA := relNet.PredictBatch(Xhold)
+		var sse, absErr float64
+		correct := 0
+		for k := range holdout {
+			dt := predT.At(k, 0) - trueT[k]
+			sse += dt * dt
+			da := predA.At(k, 0) - trueA[k]
+			if da < 0 {
+				da = -da
+			}
+			absErr += da
+			predFaster := predT.At(k, 0) < bestIncumbent[k]
+			trulyFaster := trueT[k] < bestIncumbent[k]
+			if predFaster == trulyFaster {
+				correct++
+			}
+		}
+		n := float64(len(holdout))
+		out = append(out, OnboardingPoint{
+			Samples:          budget,
+			TimeRMSE:         sqrt(sse / n),
+			RelMAE:           absErr / n,
+			OrderingAccuracy: float64(correct) / n,
+		})
+	}
+	return out, nil
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,236 @@
+package platform
+
+import (
+	"fmt"
+
+	"mfcp/internal/baselines"
+	"mfcp/internal/core"
+	"mfcp/internal/mat"
+	"mfcp/internal/metrics"
+	"mfcp/internal/nn"
+	"mfcp/internal/rng"
+	"mfcp/internal/sched"
+	"mfcp/internal/workload"
+)
+
+// Observation is one realized (cluster, task) execution the platform can
+// learn from: the noisy wall-clock it actually saw and whether the task
+// completed. Online learning is partial-feedback — only assigned pairs are
+// observed.
+type Observation struct {
+	Cluster int
+	TaskIdx int
+	// TimeNorm is the realized execution time in the scenario's normalized
+	// units.
+	TimeNorm float64
+	// Succeeded reports task completion.
+	Succeeded bool
+}
+
+// OnlineConfig extends a platform run with periodic predictor refitting
+// from live observations.
+type OnlineConfig struct {
+	Config
+	// RefitEvery triggers a fine-tune after this many rounds (default 10).
+	RefitEvery int
+	// RefitEpochs is the MSE fine-tune budget per refit (default 30).
+	RefitEpochs int
+	// BufferCap bounds the observation buffer; oldest observations are
+	// dropped first (default 512).
+	BufferCap int
+}
+
+func (c *OnlineConfig) fillDefaults() {
+	c.Config.fillDefaults()
+	if c.RefitEvery == 0 {
+		c.RefitEvery = 10
+	}
+	if c.RefitEpochs == 0 {
+		c.RefitEpochs = 30
+	}
+	if c.BufferCap == 0 {
+		c.BufferCap = 512
+	}
+}
+
+// OnlineReport extends Report with refit accounting and a learning curve.
+type OnlineReport struct {
+	Report
+	// Refits counts fine-tune events.
+	Refits int
+	// WindowRegret holds the mean regret of each RefitEvery-round window,
+	// the platform's learning curve.
+	WindowRegret []float64
+}
+
+// RunOnline simulates the platform with in-the-loop learning: each executed
+// round contributes (feature, realized time, success) observations for the
+// pairs it actually ran, and every RefitEvery rounds the predictors
+// fine-tune on the buffered observations. Only predictor-backed methods
+// (tsm, mfcp-*) support refitting; others return an error.
+func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
+	cfg.fillDefaults()
+	s, err := workload.New(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	train, live := s.Split(cfg.TrainFrac)
+	method, err := buildMethod(cfg.Config, s, train)
+	if err != nil {
+		return nil, err
+	}
+	set := predictorSetOf(method)
+	if set == nil {
+		return nil, fmt.Errorf("platform: method %q has no refittable predictors", cfg.Method)
+	}
+	mc := cfg.Match
+	if cfg.Parallel && mc.Speedups == nil {
+		for _, p := range s.Fleet {
+			mc.Speedups = append(mc.Speedups, p.Speedup)
+		}
+	}
+	mode := sched.Sequential
+	if cfg.Parallel {
+		mode = sched.Parallel
+	}
+
+	roundStream := s.Stream("platform-rounds")
+	execStream := s.Stream("platform-exec")
+	refitStream := s.Stream("platform-refit")
+	rep := &OnlineReport{Report: Report{Method: method.Name() + "+online"}}
+	var buffer []Observation
+	windowSum, windowN := 0.0, 0
+
+	for k := 0; k < cfg.Rounds; k++ {
+		round := s.SampleRound(live, cfg.RoundSize, roundStream)
+		That, Ahat := set.Predict(s.FeaturesOf(round))
+		assign := mc.Solve(That, Ahat)
+
+		trueT, trueA := s.TrueMatrices(round)
+		applyDrift(trueT, cfg.Drift, k)
+		trueProb := mc.Problem(trueT, trueA)
+		oracle := mc.Solve(trueT, trueA)
+		ev := metrics.Evaluate(trueProb, assign, oracle)
+		exec := sched.Execute(s.Fleet, gatherTasks(s, round), assign, mode, execStream.SplitIndexed("round", k))
+		scaleExecution(&exec, assign, cfg.Drift, k)
+
+		// Collect partial-feedback observations: the realized standalone
+		// duration of each (assigned cluster, task) pair, normalized like
+		// the training labels.
+		for j, i := range assign {
+			buffer = append(buffer, Observation{
+				Cluster:   i,
+				TaskIdx:   round[j],
+				TimeNorm:  exec.TaskSeconds[j] / s.TimeScale,
+				Succeeded: exec.Success[j],
+			})
+		}
+		if len(buffer) > cfg.BufferCap {
+			buffer = buffer[len(buffer)-cfg.BufferCap:]
+		}
+
+		rep.Rounds = append(rep.Rounds, RoundReport{Round: k, TaskIdx: round, Assignment: assign, Eval: ev, Execution: exec})
+		rep.MeanRegret += ev.Regret
+		rep.MeanReliability += ev.Reliability
+		rep.MeanUtilization += ev.Utilization
+		rep.MeanSuccessRate += exec.SuccessRate
+		for _, b := range exec.Busy {
+			rep.TotalBusySeconds += b
+		}
+		rep.TotalMakespanSeconds += exec.Makespan
+		windowSum += ev.Regret
+		windowN++
+
+		if (k+1)%cfg.RefitEvery == 0 {
+			refit(set, s, train, buffer, cfg.RefitEpochs, refitStream.SplitIndexed("refit", rep.Refits))
+			rep.Refits++
+			rep.WindowRegret = append(rep.WindowRegret, windowSum/float64(windowN))
+			windowSum, windowN = 0, 0
+		}
+	}
+	n := float64(cfg.Rounds)
+	rep.MeanRegret /= n
+	rep.MeanReliability /= n
+	rep.MeanUtilization /= n
+	rep.MeanSuccessRate /= n
+	return rep, nil
+}
+
+// predictorSetOf extracts the refittable predictor set from a method, or
+// nil when the method has none (TAM, UCB, Oracle).
+func predictorSetOf(m Predictor) *core.PredictorSet {
+	switch v := m.(type) {
+	case *core.Trainer:
+		return v.Set
+	case *baselines.TSM:
+		return v.PredictorSet()
+	default:
+		return nil
+	}
+}
+
+// refit fine-tunes each cluster's predictors on its buffered observations
+// MIXED with the original profiling labels (experience replay). Fine-tuning
+// on the small partial-feedback buffer alone catastrophically forgets tasks
+// outside it; replay anchors the update. Live observations are weighted by
+// duplication so fresh (possibly drifted) signal still dominates where it
+// exists. Time targets are realized normalized durations; reliability
+// targets the 0/1 completion indicator (whose MSE minimizer is the
+// Bernoulli mean).
+func refit(set *core.PredictorSet, s *workload.Scenario, train []int, buffer []Observation, epochs int, r *rng.Source) {
+	m := set.M()
+	perCluster := make([][]Observation, m)
+	for _, ob := range buffer {
+		perCluster[ob.Cluster] = append(perCluster[ob.Cluster], ob)
+	}
+	const liveWeight = 3 // each live observation counts as this many rows
+	for i := 0; i < m; i++ {
+		obs := perCluster[i]
+		if len(obs) < 4 {
+			continue // too little signal to fine-tune on
+		}
+		// Estimate the cluster's current speed factor from paired
+		// live-vs-profiled durations of the same tasks (recent half of the
+		// buffer). Replay targets are rescaled by it, so the anchor tracks
+		// regime changes instead of fighting them.
+		fHat := 0.0
+		cnt := 0
+		for _, ob := range obs[len(obs)/2:] {
+			if base := s.MeasT.At(i, ob.TaskIdx); base > 1e-9 {
+				fHat += ob.TimeNorm / base
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			fHat /= float64(cnt)
+		} else {
+			fHat = 1
+		}
+		rows := len(train) + liveWeight*len(obs)
+		X := mat.NewDense(rows, s.Features.Cols)
+		tTargets := mat.NewVec(rows)
+		aTargets := mat.NewVec(rows)
+		// Replay: the original profiling measurements, drift-corrected.
+		for k, j := range train {
+			copy(X.Row(k), s.Features.Row(j))
+			tTargets[k] = s.MeasT.At(i, j) * fHat
+			aTargets[k] = s.MeasA.At(i, j)
+		}
+		// Live observations, duplicated for weight.
+		at := len(train)
+		for _, ob := range obs {
+			for d := 0; d < liveWeight; d++ {
+				copy(X.Row(at), s.Features.Row(ob.TaskIdx))
+				tTargets[at] = ob.TimeNorm
+				if ob.Succeeded {
+					aTargets[at] = 1
+				}
+				at++
+			}
+		}
+		timeCfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16, Optimizer: nn.NewAdam(5e-4)}
+		nn.TrainMSE(set.Preds[i].Time, X, tTargets, timeCfg, r.SplitIndexed("time", i))
+		relCfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16, Optimizer: nn.NewAdam(5e-4)}
+		nn.TrainMSE(set.Preds[i].Rel, X, aTargets, relCfg, r.SplitIndexed("rel", i))
+	}
+}

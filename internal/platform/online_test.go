@@ -1,0 +1,187 @@
+package platform
+
+import (
+	"testing"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/taskgraph"
+	"mfcp/internal/workload"
+)
+
+func TestRunOnlineTSM(t *testing.T) {
+	cfg := OnlineConfig{
+		Config:      tinyCfg(MethodTSM),
+		RefitEvery:  3,
+		RefitEpochs: 10,
+	}
+	cfg.Rounds = 9
+	rep, err := RunOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Refits != 3 {
+		t.Fatalf("refits %d, want 3", rep.Refits)
+	}
+	if len(rep.WindowRegret) != 3 {
+		t.Fatalf("windows %d", len(rep.WindowRegret))
+	}
+	if rep.Method != "TSM+online" {
+		t.Fatalf("method %s", rep.Method)
+	}
+	if len(rep.Rounds) != 9 {
+		t.Fatalf("rounds %d", len(rep.Rounds))
+	}
+}
+
+func TestRunOnlineRefitChangesPredictions(t *testing.T) {
+	// Same configuration with refitting disabled (RefitEvery > Rounds) must
+	// produce different later-round assignments than with refitting on —
+	// otherwise the refit is a no-op.
+	base := OnlineConfig{Config: tinyCfg(MethodTSM), RefitEvery: 100, RefitEpochs: 30}
+	base.Rounds = 14
+	off, err := RunOnline(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := OnlineConfig{Config: tinyCfg(MethodTSM), RefitEvery: 2, RefitEpochs: 30}
+	on.Rounds = 14
+	onRep, err := RunOnline(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for k := range off.Rounds {
+		for j := range off.Rounds[k].Assignment {
+			if off.Rounds[k].Assignment[j] != onRep.Rounds[k].Assignment[j] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("refitting never changed any assignment")
+	}
+}
+
+func TestRunOnlineRejectsNonRefittable(t *testing.T) {
+	cfg := OnlineConfig{Config: tinyCfg(MethodTAM)}
+	if _, err := RunOnline(cfg); err == nil {
+		t.Fatal("TAM accepted for online refitting")
+	}
+}
+
+func TestRunOnlineDeterministic(t *testing.T) {
+	cfg := OnlineConfig{Config: tinyCfg(MethodTSM), RefitEvery: 3, RefitEpochs: 5}
+	cfg.Rounds = 6
+	a, err := RunOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanRegret != b.MeanRegret || a.Refits != b.Refits {
+		t.Fatal("online run not deterministic")
+	}
+}
+
+func TestOnboardingStudy(t *testing.T) {
+	s := workload.MustNew(workload.Config{PoolSize: 100, FeatureDim: 12, Seed: 21})
+	newcomer := cluster.Inventory()[4] // ent-cpu, not in setting A
+	points, err := OnboardingStudy(s, newcomer, []int{8, 24, 60}, []int{8}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points %d", len(points))
+	}
+	for i, p := range points {
+		if p.TimeRMSE < 0 || p.RelMAE < 0 || p.RelMAE > 1 {
+			t.Fatalf("point %d out of range: %+v", i, p)
+		}
+		if p.OrderingAccuracy < 0 || p.OrderingAccuracy > 1 {
+			t.Fatalf("ordering accuracy %v", p.OrderingAccuracy)
+		}
+	}
+	// More profiling budget should (weakly) reduce time RMSE from the
+	// smallest to the largest budget. Allow slack for noise but catch
+	// inverted learning curves.
+	if points[2].TimeRMSE > points[0].TimeRMSE*1.5 {
+		t.Fatalf("learning curve inverted: %v -> %v", points[0].TimeRMSE, points[2].TimeRMSE)
+	}
+}
+
+func TestOnboardingStudyValidation(t *testing.T) {
+	s := workload.MustNew(workload.Config{PoolSize: 30, FeatureDim: 10, Seed: 22})
+	newcomer := cluster.Inventory()[0]
+	if _, err := OnboardingStudy(s, newcomer, []int{64}, nil, 10); err == nil {
+		t.Fatal("budget beyond pool accepted")
+	}
+	bad := &cluster.Profile{Name: "broken"}
+	if _, err := OnboardingStudy(s, bad, nil, nil, 10); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestTaskSecondsExposedBySched(t *testing.T) {
+	// Observations feed from sched.Result.TaskSeconds; sanity-check the
+	// plumbing end to end via a platform run.
+	cfg := tinyCfg(MethodTSM)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rounds {
+		for j := range r.TaskIdx {
+			if r.Execution.TaskSeconds[j] <= 0 {
+				t.Fatalf("round %d task %d has no duration", r.Round, j)
+			}
+		}
+	}
+	_ = taskgraph.NumFamilies
+}
+
+func TestDriftChangesOutcomes(t *testing.T) {
+	base := tinyCfg(MethodTSM)
+	base.Rounds = 8
+	still, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := base
+	drifted.Drift = cluster.DefaultDrifts(3)
+	moving, err := Run(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if still.TotalBusySeconds == moving.TotalBusySeconds {
+		t.Fatal("drift had no effect on execution accounting")
+	}
+	// Drift factors scale TaskSeconds consistently with Busy.
+	for k, r := range moving.Rounds {
+		sum := 0.0
+		for _, d := range r.Execution.TaskSeconds {
+			sum += d
+		}
+		busy := 0.0
+		for _, b := range r.Execution.Busy {
+			busy += b
+		}
+		if sum <= 0 || busy <= 0 {
+			t.Fatalf("round %d lost time accounting", k)
+		}
+	}
+}
+
+func TestOnlineUnderDriftRuns(t *testing.T) {
+	cfg := OnlineConfig{Config: tinyCfg(MethodTSM), RefitEvery: 3, RefitEpochs: 5}
+	cfg.Rounds = 9
+	cfg.Drift = cluster.DefaultDrifts(3)
+	rep, err := RunOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Refits != 3 {
+		t.Fatalf("refits %d", rep.Refits)
+	}
+}

@@ -1,0 +1,262 @@
+// Package platform simulates the computing resource exchange platform
+// end-to-end: profile third-party clusters, train a prediction method,
+// then run allocation rounds — sample incoming tasks, predict, match,
+// execute on the (simulated) fleet with real failure draws — while
+// accounting regret, utilization, and task success.
+//
+// This is the system the paper's introduction motivates; the experiment
+// harness measures methods in isolation, while this package strings the
+// whole loop together the way an operator would run it.
+package platform
+
+import (
+	"fmt"
+
+	"mfcp/internal/baselines"
+	"mfcp/internal/cluster"
+	"mfcp/internal/core"
+	"mfcp/internal/mat"
+	"mfcp/internal/metrics"
+	"mfcp/internal/sched"
+	"mfcp/internal/taskgraph"
+	"mfcp/internal/workload"
+)
+
+// Predictor is the prediction interface the platform drives (satisfied by
+// every baseline and MFCP trainer).
+type Predictor interface {
+	Name() string
+	Predict(round []int) (T, A *mat.Dense)
+}
+
+// MethodName selects the prediction method for a platform run.
+type MethodName string
+
+// Supported methods.
+const (
+	MethodTAM    MethodName = "tam"
+	MethodTSM    MethodName = "tsm"
+	MethodUCB    MethodName = "ucb"
+	MethodMFCPAD MethodName = "mfcp-ad"
+	MethodMFCPFG MethodName = "mfcp-fg"
+)
+
+// Config parameterizes a platform simulation.
+type Config struct {
+	// Scenario builds the fleet, pool, and measurements.
+	Scenario workload.Config
+	// Method selects the predictor (default mfcp-fg).
+	Method MethodName
+	// Match configures the matcher.
+	Match core.MatchConfig
+	// Rounds is the number of allocation rounds to simulate (default 50).
+	Rounds int
+	// RoundSize is tasks per round (default 5).
+	RoundSize int
+	// Parallel selects the resource-sharing scheduler of §3.4.
+	Parallel bool
+	// Drift optionally assigns each cluster a slow performance drift over
+	// rounds (len = fleet size); execution times and the per-round ground
+	// truth both scale by the drift factor. nil = static clusters.
+	Drift []cluster.Drift
+	// TrainFrac splits profiling tasks from live-traffic tasks (default 0.75).
+	TrainFrac float64
+	// PretrainEpochs and RegretEpochs budget training (defaults 200, 120).
+	PretrainEpochs int
+	RegretEpochs   int
+	// Hidden is the predictor architecture (default [16]).
+	Hidden []int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Method == "" {
+		c.Method = MethodMFCPFG
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 50
+	}
+	if c.RoundSize == 0 {
+		c.RoundSize = 5
+	}
+	if c.TrainFrac == 0 {
+		c.TrainFrac = 0.75
+	}
+	if c.PretrainEpochs == 0 {
+		c.PretrainEpochs = 200
+	}
+	if c.RegretEpochs == 0 {
+		c.RegretEpochs = 120
+	}
+	if c.Hidden == nil {
+		c.Hidden = []int{16}
+	}
+	c.Match.FillDefaults()
+}
+
+// RoundReport records one executed allocation round.
+type RoundReport struct {
+	Round      int
+	TaskIdx    []int
+	Assignment []int
+	// Regret, Reliability, Utilization score the matching against the
+	// ground-truth cost matrices (normalized units).
+	Eval metrics.Eval
+	// Execution is the simulated run: wall-clock seconds, failures.
+	Execution sched.Result
+}
+
+// Report aggregates a full simulation.
+type Report struct {
+	Method string
+	Rounds []RoundReport
+	// Means across rounds.
+	MeanRegret      float64
+	MeanReliability float64
+	MeanUtilization float64
+	MeanSuccessRate float64
+	// TotalBusySeconds and TotalMakespanSeconds aggregate simulated time.
+	TotalBusySeconds     float64
+	TotalMakespanSeconds float64
+}
+
+// Run executes a full platform simulation.
+func Run(cfg Config) (*Report, error) {
+	cfg.fillDefaults()
+	s, err := workload.New(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	train, live := s.Split(cfg.TrainFrac)
+
+	method, err := buildMethod(cfg, s, train)
+	if err != nil {
+		return nil, err
+	}
+	mc := cfg.Match
+	if cfg.Parallel && mc.Speedups == nil {
+		for _, p := range s.Fleet {
+			mc.Speedups = append(mc.Speedups, p.Speedup)
+		}
+	}
+
+	mode := sched.Sequential
+	if cfg.Parallel {
+		mode = sched.Parallel
+	}
+	roundStream := s.Stream("platform-rounds")
+	execStream := s.Stream("platform-exec")
+	rep := &Report{Method: method.Name()}
+	for k := 0; k < cfg.Rounds; k++ {
+		round := s.SampleRound(live, cfg.RoundSize, roundStream)
+		That, Ahat := method.Predict(round)
+		assign := mc.Solve(That, Ahat)
+
+		trueT, trueA := s.TrueMatrices(round)
+		applyDrift(trueT, cfg.Drift, k)
+		trueProb := mc.Problem(trueT, trueA)
+		oracle := mc.Solve(trueT, trueA)
+		ev := metrics.Evaluate(trueProb, assign, oracle)
+		exec := sched.Execute(s.Fleet, gatherTasks(s, round), assign, mode, execStream.SplitIndexed("round", k))
+		scaleExecution(&exec, assign, cfg.Drift, k)
+
+		rep.Rounds = append(rep.Rounds, RoundReport{
+			Round: k, TaskIdx: round, Assignment: assign, Eval: ev, Execution: exec,
+		})
+		rep.MeanRegret += ev.Regret
+		rep.MeanReliability += ev.Reliability
+		rep.MeanUtilization += ev.Utilization
+		rep.MeanSuccessRate += exec.SuccessRate
+		for _, b := range exec.Busy {
+			rep.TotalBusySeconds += b
+		}
+		rep.TotalMakespanSeconds += exec.Makespan
+	}
+	n := float64(cfg.Rounds)
+	rep.MeanRegret /= n
+	rep.MeanReliability /= n
+	rep.MeanUtilization /= n
+	rep.MeanSuccessRate /= n
+	return rep, nil
+}
+
+// buildMethod constructs the requested predictor.
+func buildMethod(cfg Config, s *workload.Scenario, train []int) (Predictor, error) {
+	switch cfg.Method {
+	case MethodTAM:
+		return baselines.NewTAM(s, train), nil
+	case MethodTSM:
+		return baselines.NewTSM(s, train, cfg.Hidden, cfg.PretrainEpochs), nil
+	case MethodUCB:
+		return baselines.NewUCB(s, train, baselines.UCBConfig{Hidden: cfg.Hidden, Epochs: cfg.PretrainEpochs}), nil
+	case MethodMFCPAD, MethodMFCPFG:
+		kind := core.AD
+		if cfg.Method == MethodMFCPFG {
+			kind = core.FG
+		}
+		mc := cfg.Match
+		if cfg.Parallel {
+			for _, p := range s.Fleet {
+				mc.Speedups = append(mc.Speedups, p.Speedup)
+			}
+			if kind == core.AD {
+				return nil, fmt.Errorf("platform: MFCP-AD requires the sequential (convex) setting; use mfcp-fg with -parallel")
+			}
+		}
+		return core.Train(s, train, core.Config{
+			Kind: kind, Hidden: cfg.Hidden,
+			PretrainEpochs: cfg.PretrainEpochs, Epochs: cfg.RegretEpochs,
+			RoundSize: cfg.RoundSize, Match: mc,
+		}), nil
+	default:
+		return nil, fmt.Errorf("platform: unknown method %q", cfg.Method)
+	}
+}
+
+// applyDrift scales row i of the true time matrix by cluster i's drift
+// factor at the given round. nil drift is the identity.
+func applyDrift(T *mat.Dense, drift []cluster.Drift, round int) {
+	if drift == nil {
+		return
+	}
+	for i := 0; i < T.Rows && i < len(drift); i++ {
+		if f := drift[i].Factor(round); f != 1 {
+			T.Row(i).Scale(f)
+		}
+	}
+}
+
+// scaleExecution applies the drift factors to a realized execution: busy
+// times, per-task durations, and the derived makespan/utilization.
+func scaleExecution(exec *sched.Result, assign []int, drift []cluster.Drift, round int) {
+	if drift == nil {
+		return
+	}
+	for j, i := range assign {
+		if i < len(drift) {
+			exec.TaskSeconds[j] *= drift[i].Factor(round)
+		}
+	}
+	exec.Makespan = 0
+	sum := 0.0
+	for i := range exec.Busy {
+		if i < len(drift) {
+			exec.Busy[i] *= drift[i].Factor(round)
+		}
+		if exec.Busy[i] > exec.Makespan {
+			exec.Makespan = exec.Busy[i]
+		}
+		sum += exec.Busy[i]
+	}
+	if exec.Makespan > 0 {
+		exec.Utilization = sum / (float64(len(exec.Busy)) * exec.Makespan)
+	}
+}
+
+// gatherTasks resolves pool indices to their tasks.
+func gatherTasks(s *workload.Scenario, round []int) []*taskgraph.Task {
+	out := make([]*taskgraph.Task, len(round))
+	for i, j := range round {
+		out[i] = s.Pool[j]
+	}
+	return out
+}

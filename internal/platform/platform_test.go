@@ -1,0 +1,95 @@
+package platform
+
+import (
+	"testing"
+
+	"mfcp/internal/workload"
+)
+
+func tinyCfg(method MethodName) Config {
+	return Config{
+		Scenario:       workload.Config{PoolSize: 48, FeatureDim: 12, Seed: 11},
+		Method:         method,
+		Rounds:         6,
+		RoundSize:      4,
+		PretrainEpochs: 40,
+		RegretEpochs:   4,
+		Hidden:         []int{8},
+	}
+}
+
+func TestRunTSM(t *testing.T) {
+	rep, err := Run(tinyCfg(MethodTSM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != "TSM" || len(rep.Rounds) != 6 {
+		t.Fatalf("report: method=%s rounds=%d", rep.Method, len(rep.Rounds))
+	}
+	for _, r := range rep.Rounds {
+		if len(r.Assignment) != 4 || len(r.TaskIdx) != 4 {
+			t.Fatalf("round %d shapes", r.Round)
+		}
+		if r.Execution.Makespan <= 0 {
+			t.Fatalf("round %d zero makespan", r.Round)
+		}
+	}
+	if rep.MeanUtilization <= 0 || rep.MeanUtilization > 1 {
+		t.Fatalf("utilization %v", rep.MeanUtilization)
+	}
+	if rep.MeanSuccessRate <= 0 || rep.MeanSuccessRate > 1 {
+		t.Fatalf("success rate %v", rep.MeanSuccessRate)
+	}
+	if rep.TotalBusySeconds <= 0 || rep.TotalMakespanSeconds <= 0 {
+		t.Fatal("no simulated time accounted")
+	}
+}
+
+func TestRunMFCPFGParallel(t *testing.T) {
+	cfg := tinyCfg(MethodMFCPFG)
+	cfg.Parallel = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != "MFCP-FG" {
+		t.Fatalf("method %s", rep.Method)
+	}
+}
+
+func TestRunADRejectsParallel(t *testing.T) {
+	cfg := tinyCfg(MethodMFCPAD)
+	cfg.Parallel = true
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("MFCP-AD accepted the non-convex setting")
+	}
+}
+
+func TestRunUnknownMethod(t *testing.T) {
+	cfg := tinyCfg("bogus")
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(tinyCfg(MethodTAM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinyCfg(MethodTAM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanRegret != b.MeanRegret || a.TotalBusySeconds != b.TotalBusySeconds {
+		t.Fatal("platform run not deterministic")
+	}
+}
+
+func TestAllMethodsRun(t *testing.T) {
+	for _, m := range []MethodName{MethodTAM, MethodTSM, MethodUCB, MethodMFCPAD, MethodMFCPFG} {
+		if _, err := Run(tinyCfg(m)); err != nil {
+			t.Fatalf("method %s: %v", m, err)
+		}
+	}
+}

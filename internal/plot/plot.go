@@ -1,0 +1,149 @@
+// Package plot renders small ASCII charts — line plots for figure-style
+// series (regret vs N) and horizontal bar charts for method comparisons —
+// so the experiment harness can emit figures, not just tables, on a plain
+// terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line in a line plot.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// seriesMarks are the glyphs assigned to successive series.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%'}
+
+// Line renders series over shared x values as an ASCII chart of the given
+// plot-area size (sensible minimums enforced). Points are marked per
+// series; a legend and axis ranges are printed around the grid.
+func Line(title string, x []float64, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(x) == 0 || len(series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	// Ranges.
+	xmin, xmax := minMax(x)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		lo, hi := minMax(s.Y)
+		ymin = math.Min(ymin, lo)
+		ymax = math.Max(ymax, hi)
+	}
+	if math.IsInf(ymin, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i, xv := range x {
+			if i >= len(s.Y) {
+				break
+			}
+			yv := s.Y[i]
+			if math.IsNaN(yv) || math.IsInf(yv, 0) {
+				continue
+			}
+			col := int(math.Round((xv - xmin) / (xmax - xmin) * float64(width-1)))
+			row := height - 1 - int(math.Round((yv-ymin)/(ymax-ymin)*float64(height-1)))
+			if grid[row][col] == ' ' || grid[row][col] == mark {
+				grid[row][col] = mark
+			} else {
+				grid[row][col] = '&' // overlapping series
+			}
+		}
+	}
+	yLabelW := 9
+	for r, rowBytes := range grid {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%*.3f |%s|\n", yLabelW, yv, string(rowBytes))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", yLabelW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.3g%*.3g\n", strings.Repeat(" ", yLabelW), width/2, xmin, width-width/2, xmax)
+	// Legend.
+	b.WriteString(strings.Repeat(" ", yLabelW+2))
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString("   ")
+		}
+		fmt.Fprintf(&b, "%c %s", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	b.WriteString("  (& = overlap)\n")
+	return b.String()
+}
+
+// HBar renders labeled values as a horizontal bar chart scaled to width.
+// Negative values extend left of the baseline.
+func HBar(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(labels) != len(values) || len(labels) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	labelW := 0
+	maxAbs := 0.0
+	for i, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+		if a := math.Abs(values[i]); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	for i, l := range labels {
+		n := int(math.Round(math.Abs(values[i]) / maxAbs * float64(width)))
+		bar := strings.Repeat("█", n)
+		if values[i] < 0 {
+			fmt.Fprintf(&b, "%-*s %8.3f -%s\n", labelW, l, values[i], bar)
+		} else {
+			fmt.Fprintf(&b, "%-*s %8.3f |%s\n", labelW, l, values[i], bar)
+		}
+	}
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}

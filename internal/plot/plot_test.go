@@ -1,0 +1,87 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineBasics(t *testing.T) {
+	out := Line("demo", []float64{1, 2, 3}, []Series{
+		{Name: "a", Y: []float64{0, 1, 2}},
+		{Name: "b", Y: []float64{2, 1, 0}},
+	}, 30, 8)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("missing data marks")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestLineEmpty(t *testing.T) {
+	if out := Line("x", nil, nil, 30, 8); !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty plot: %s", out)
+	}
+}
+
+func TestLineConstantSeries(t *testing.T) {
+	out := Line("flat", []float64{0, 1}, []Series{{Name: "c", Y: []float64{5, 5}}}, 25, 6)
+	if !strings.Contains(out, "c") {
+		t.Fatal("flat series dropped")
+	}
+}
+
+func TestLineOverlapMarked(t *testing.T) {
+	out := Line("", []float64{0, 1}, []Series{
+		{Name: "a", Y: []float64{1, 2}},
+		{Name: "b", Y: []float64{1, 3}},
+	}, 30, 8)
+	if !strings.Contains(out, "&") {
+		t.Fatalf("overlapping points not flagged:\n%s", out)
+	}
+}
+
+func TestHBar(t *testing.T) {
+	out := HBar("bars", []string{"TAM", "MFCP"}, []float64{0.4, 0.1}, 20)
+	if !strings.Contains(out, "TAM") || !strings.Contains(out, "MFCP") {
+		t.Fatal("labels missing")
+	}
+	// TAM's bar must be longer than MFCP's.
+	var tamLen, mfcpLen int
+	for _, line := range strings.Split(out, "\n") {
+		n := strings.Count(line, "█")
+		if strings.HasPrefix(line, "TAM") {
+			tamLen = n
+		}
+		if strings.HasPrefix(line, "MFCP") {
+			mfcpLen = n
+		}
+	}
+	if tamLen <= mfcpLen {
+		t.Fatalf("bar lengths: TAM=%d MFCP=%d\n%s", tamLen, mfcpLen, out)
+	}
+}
+
+func TestHBarNegative(t *testing.T) {
+	out := HBar("", []string{"neg"}, []float64{-0.5}, 10)
+	if !strings.Contains(out, "-█") {
+		t.Fatalf("negative bar direction missing:\n%s", out)
+	}
+}
+
+func TestHBarDegenerate(t *testing.T) {
+	if out := HBar("t", []string{"a"}, nil, 10); !strings.Contains(out, "(no data)") {
+		t.Fatal("mismatched input accepted")
+	}
+	out := HBar("t", []string{"a"}, []float64{0}, 10)
+	if !strings.Contains(out, "a") {
+		t.Fatal("all-zero bars crashed")
+	}
+}

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/rng"
+	"mfcp/internal/taskgraph"
+)
+
+func fixture() ([]*cluster.Profile, []*taskgraph.Task) {
+	fleet := cluster.MustFleet(cluster.SettingA)
+	tasks := taskgraph.GenerateMix(6, nil, rng.New(1))
+	return fleet, tasks
+}
+
+func TestExecuteAccounting(t *testing.T) {
+	fleet, tasks := fixture()
+	assign := []int{0, 1, 2, 0, 1, 2}
+	res := Execute(fleet, tasks, assign, Sequential, rng.New(2))
+	if len(res.Busy) != 3 || len(res.Success) != 6 {
+		t.Fatalf("shapes: busy=%d success=%d", len(res.Busy), len(res.Success))
+	}
+	maxBusy := 0.0
+	sum := 0.0
+	for _, b := range res.Busy {
+		if b < 0 {
+			t.Fatalf("negative busy time %v", b)
+		}
+		if b > maxBusy {
+			maxBusy = b
+		}
+		sum += b
+	}
+	if res.Makespan != maxBusy {
+		t.Fatalf("makespan %v != max busy %v", res.Makespan, maxBusy)
+	}
+	if want := sum / (3 * maxBusy); math.Abs(res.Utilization-want) > 1e-12 {
+		t.Fatalf("utilization %v want %v", res.Utilization, want)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization out of range: %v", res.Utilization)
+	}
+}
+
+func TestExecuteDeterministicPerStream(t *testing.T) {
+	fleet, tasks := fixture()
+	assign := []int{0, 0, 1, 1, 2, 2}
+	a := Execute(fleet, tasks, assign, Sequential, rng.New(7))
+	b := Execute(fleet, tasks, assign, Sequential, rng.New(7))
+	for i := range a.Busy {
+		if a.Busy[i] != b.Busy[i] {
+			t.Fatal("execution not deterministic")
+		}
+	}
+}
+
+func TestParallelModeAppliesSpeedup(t *testing.T) {
+	fleet, tasks := fixture()
+	// Everything on cluster 0 — parallel mode must shrink busy time by ζ(6).
+	assign := []int{0, 0, 0, 0, 0, 0}
+	seq := Execute(fleet, tasks, assign, Sequential, rng.New(9))
+	par := Execute(fleet, tasks, assign, Parallel, rng.New(9))
+	want := seq.Busy[0] * fleet[0].Speedup.Zeta(6)
+	if math.Abs(par.Busy[0]-want) > 1e-9*want {
+		t.Fatalf("parallel busy %v want %v", par.Busy[0], want)
+	}
+	if par.Busy[0] >= seq.Busy[0] {
+		t.Fatal("parallel execution not faster")
+	}
+}
+
+func TestSuccessRateTracksReliability(t *testing.T) {
+	fleet, tasks := fixture()
+	// Put everything on the most reliable cluster and average over many
+	// seeds: the success rate must approximate the mean true reliability.
+	assign := []int{0, 0, 0, 0, 0, 0}
+	wantMean := 0.0
+	for _, task := range tasks {
+		wantMean += fleet[0].TrueReliability(task)
+	}
+	wantMean /= float64(len(tasks))
+	r := rng.New(11)
+	acc := 0.0
+	const reps = 400
+	for k := 0; k < reps; k++ {
+		acc += Execute(fleet, tasks, assign, Sequential, r.SplitIndexed("rep", k)).SuccessRate
+	}
+	got := acc / reps
+	if math.Abs(got-wantMean) > 0.03 {
+		t.Fatalf("success rate %v, want ≈%v", got, wantMean)
+	}
+}
+
+func TestExecutePanicsOnBadAssign(t *testing.T) {
+	fleet, tasks := fixture()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range cluster")
+		}
+	}()
+	Execute(fleet, tasks, []int{0, 0, 0, 0, 0, 5}, Sequential, rng.New(1))
+}
+
+func TestExecutePanicsOnLengthMismatch(t *testing.T) {
+	fleet, tasks := fixture()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Execute(fleet, tasks, []int{0}, Sequential, rng.New(1))
+}

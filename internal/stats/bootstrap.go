@@ -1,0 +1,65 @@
+package stats
+
+import "mfcp/internal/rng"
+
+// PairedComparison summarizes a paired difference between two methods
+// measured on the same replicates (e.g. regret of TSM vs MFCP on identical
+// scenarios and evaluation rounds).
+type PairedComparison struct {
+	// MeanDiff is mean(a − b); negative means a is better when lower is
+	// better.
+	MeanDiff float64
+	// CILow and CIHigh bound the bootstrap 95% confidence interval of the
+	// mean difference.
+	CILow, CIHigh float64
+	// PBetter is the bootstrap probability that mean(a) < mean(b).
+	PBetter float64
+	// N is the number of pairs.
+	N int
+}
+
+// Significant reports whether the 95% interval excludes zero.
+func (c PairedComparison) Significant() bool {
+	return c.CILow > 0 || c.CIHigh < 0
+}
+
+// PairedBootstrap compares paired samples a and b (equal length) with B
+// bootstrap resamples (B <= 0 uses 10000). It is the significance test the
+// experiment write-up uses: replicates are paired by construction, so
+// resampling pairs preserves the correlation structure.
+func PairedBootstrap(a, b []float64, B int, r *rng.Source) PairedComparison {
+	if len(a) != len(b) {
+		panic("stats: PairedBootstrap length mismatch")
+	}
+	n := len(a)
+	out := PairedComparison{N: n}
+	if n == 0 {
+		return out
+	}
+	if B <= 0 {
+		B = 10000
+	}
+	diffs := make([]float64, n)
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+	}
+	out.MeanDiff = Mean(diffs)
+
+	means := make([]float64, B)
+	better := 0
+	for rep := 0; rep < B; rep++ {
+		sum := 0.0
+		for k := 0; k < n; k++ {
+			sum += diffs[r.Intn(n)]
+		}
+		m := sum / float64(n)
+		means[rep] = m
+		if m < 0 {
+			better++
+		}
+	}
+	out.CILow = Percentile(means, 2.5)
+	out.CIHigh = Percentile(means, 97.5)
+	out.PBetter = float64(better) / float64(B)
+	return out
+}

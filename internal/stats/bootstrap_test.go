@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"testing"
+
+	"mfcp/internal/rng"
+)
+
+func TestPairedBootstrapClearDifference(t *testing.T) {
+	r := rng.New(1)
+	n := 40
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := r.Normal(1, 0.5)
+		a[i] = base - 0.4 + r.Normal(0, 0.05) // a clearly lower
+		b[i] = base + r.Normal(0, 0.05)
+	}
+	c := PairedBootstrap(a, b, 4000, r)
+	if !c.Significant() || c.CIHigh >= 0 {
+		t.Fatalf("clear difference not significant: %+v", c)
+	}
+	if c.PBetter < 0.99 {
+		t.Fatalf("PBetter=%v", c.PBetter)
+	}
+	if c.N != n {
+		t.Fatalf("N=%d", c.N)
+	}
+}
+
+func TestPairedBootstrapNoDifference(t *testing.T) {
+	r := rng.New(2)
+	n := 30
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = r.Normal(0, 1)
+		b[i] = r.Normal(0, 1)
+	}
+	c := PairedBootstrap(a, b, 4000, r)
+	if c.Significant() && (c.CILow > 0.3 || c.CIHigh < -0.3) {
+		t.Fatalf("null case strongly significant: %+v", c)
+	}
+	if c.CILow > c.CIHigh {
+		t.Fatal("inverted interval")
+	}
+}
+
+func TestPairedBootstrapPairingMatters(t *testing.T) {
+	// Massive shared variance, tiny consistent difference: only a PAIRED
+	// test can detect it.
+	r := rng.New(3)
+	n := 25
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := r.Normal(0, 10)
+		a[i] = base - 0.2
+		b[i] = base
+	}
+	c := PairedBootstrap(a, b, 4000, r)
+	if !c.Significant() {
+		t.Fatalf("paired structure not exploited: %+v", c)
+	}
+}
+
+func TestPairedBootstrapEmptyAndMismatch(t *testing.T) {
+	r := rng.New(4)
+	c := PairedBootstrap(nil, nil, 100, r)
+	if c.N != 0 || c.Significant() {
+		t.Fatalf("empty comparison: %+v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	PairedBootstrap([]float64{1}, []float64{1, 2}, 100, r)
+}

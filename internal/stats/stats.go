@@ -1,0 +1,195 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: numerically stable accumulators (Welford), mean/std/stderr
+// summaries, percentiles, and the "mean ± std" cells the paper reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator is a numerically stable online mean/variance accumulator
+// (Welford's algorithm). The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddAll folds every observation in xs.
+func (a *Accumulator) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// Merge folds another accumulator into a (Chan et al. parallel variant),
+// allowing per-worker accumulators to combine without locks.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += delta * float64(b.n) / float64(n)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n = n
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Var returns the unbiased sample variance (0 for fewer than 2 samples).
+func (a *Accumulator) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the unbiased sample standard deviation.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.Std() / math.Sqrt(float64(a.n))
+}
+
+// Min returns the smallest observation (0 for an empty accumulator).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 for an empty accumulator).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Summary is an immutable snapshot of a sample's statistics.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	StdErr float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	var a Accumulator
+	a.AddAll(xs)
+	return Summary{N: a.N(), Mean: a.Mean(), Std: a.Std(), StdErr: a.StdErr(), Min: a.Min(), Max: a.Max()}
+}
+
+// String renders the paper-style "mean ± std" cell.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean, s.Std)
+}
+
+// CI95 returns the half-width of a ~95%% confidence interval on the mean,
+// using the normal approximation (1.96 · stderr).
+func (s Summary) CI95() float64 { return 1.96 * s.StdErr }
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the unbiased standard deviation of xs.
+func Std(xs []float64) float64 { return Summarize(xs).Std }
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram bins xs into n equal-width bins over [min, max] and returns the
+// bin edges (n+1 values) and counts (n values). Degenerate ranges collapse
+// to a single bin.
+func Histogram(xs []float64, n int) (edges []float64, counts []int) {
+	if n < 1 {
+		n = 1
+	}
+	s := Summarize(xs)
+	lo, hi := s.Min, s.Max
+	if len(xs) == 0 || lo == hi {
+		return []float64{lo, hi}, []int{len(xs)}
+	}
+	edges = make([]float64, n+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	counts = make([]int, n)
+	width := (hi - lo) / float64(n)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= n {
+			b = n - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return edges, counts
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	a.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if a.N() != 8 {
+		t.Fatalf("N=%d", a.N())
+	}
+	if !almost(a.Mean(), 5, 1e-12) {
+		t.Fatalf("mean=%v", a.Mean())
+	}
+	// population variance is 4; unbiased sample variance is 32/7.
+	if !almost(a.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("var=%v", a.Var())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min=%v max=%v", a.Min(), a.Max())
+	}
+}
+
+func TestEmptyAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Var() != 0 || a.Std() != 0 || a.StdErr() != 0 {
+		t.Fatal("empty accumulator must report zeros")
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	check := func(xs, ys []float64) bool {
+		for _, v := range append(append([]float64{}, xs...), ys...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e8 {
+				return true // skip pathological inputs
+			}
+		}
+		var seq Accumulator
+		seq.AddAll(xs)
+		seq.AddAll(ys)
+		var a, b Accumulator
+		a.AddAll(xs)
+		b.AddAll(ys)
+		a.Merge(b)
+		if a.N() != seq.N() {
+			return false
+		}
+		if seq.N() == 0 {
+			return true
+		}
+		scale := 1e-9 * (1 + math.Abs(seq.Mean()))
+		return almost(a.Mean(), seq.Mean(), scale) && almost(a.Var(), seq.Var(), 1e-6*(1+seq.Var()))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	var a, b Accumulator
+	b.AddAll([]float64{1, 2, 3})
+	a.Merge(b)
+	if a.N() != 3 || !almost(a.Mean(), 2, 1e-12) {
+		t.Fatalf("merge into empty failed: n=%d mean=%v", a.N(), a.Mean())
+	}
+	var c Accumulator
+	a.Merge(c)
+	if a.N() != 3 {
+		t.Fatal("merging empty changed N")
+	}
+}
+
+func TestSummarizeString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.String() != "2.000 ± 1.000" {
+		t.Fatalf("String()=%q", s.String())
+	}
+}
+
+func TestCI95(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	want := 1.96 * s.StdErr
+	if !almost(s.CI95(), want, 1e-12) {
+		t.Fatalf("CI95=%v want %v", s.CI95(), want)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 3}), 2, 1e-12) {
+		t.Fatal("Mean wrong")
+	}
+	if !almost(Std([]float64{1, 3}), math.Sqrt2, 1e-12) {
+		t.Fatal("Std wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("extreme percentiles wrong")
+	}
+	if !almost(Percentile(xs, 50), 3, 1e-12) {
+		t.Fatalf("median=%v", Percentile(xs, 50))
+	}
+	if !almost(Percentile(xs, 25), 2, 1e-12) {
+		t.Fatalf("p25=%v", Percentile(xs, 25))
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestPercentilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty slice")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	check := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.5, 0.9, 1.0}
+	edges, counts := Histogram(xs, 2)
+	if len(edges) != 3 || len(counts) != 2 {
+		t.Fatalf("edges=%v counts=%v", edges, counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram lost samples: %v", counts)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	_, counts := Histogram([]float64{3, 3, 3}, 4)
+	if len(counts) != 1 || counts[0] != 3 {
+		t.Fatalf("degenerate histogram: %v", counts)
+	}
+	_, counts = Histogram(nil, 4)
+	if counts[0] != 0 {
+		t.Fatalf("empty histogram: %v", counts)
+	}
+}

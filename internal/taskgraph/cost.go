@@ -1,0 +1,141 @@
+package taskgraph
+
+// Per-operator cost estimators. The numbers follow the standard analytic
+// models used by Paleo-style performance predictors: multiply-accumulate
+// counts for dense ops, element counts for vector ops, and bytes moved for
+// memory-bound ops. Absolute accuracy is unimportant — what matters is that
+// costs scale correctly with hyperparameters so clusters with different
+// per-class throughputs induce genuinely different task orderings.
+
+// FLOPs returns the forward-pass floating point operations of the node for
+// one step over its Batch.
+func (n Node) FLOPs() float64 {
+	b := float64(max(n.Batch, 1))
+	switch n.Kind {
+	case OpConv2D:
+		// 2 * H*W * K^2 * Cin * Cout MACs per sample.
+		hw := float64(n.Spatial * n.Spatial)
+		return 2 * b * hw * float64(n.Kernel*n.Kernel) * float64(n.In) * float64(n.Out)
+	case OpDense, OpMatMul:
+		seq := float64(max(n.Seq, 1))
+		return 2 * b * seq * float64(n.In) * float64(n.Out)
+	case OpAttention:
+		// QKV projections + attention matrix + value aggregation + output proj.
+		s := float64(n.Seq)
+		d := float64(n.Out)
+		proj := 4 * 2 * b * s * d * d
+		attn := 2 * 2 * b * s * s * d
+		return proj + attn
+	case OpRecurrent:
+		// LSTM-style: 4 gates, each (In+Out)*Out MACs, per timestep.
+		s := float64(n.Seq)
+		return 2 * 4 * b * s * float64(n.In+n.Out) * float64(n.Out)
+	case OpEmbedding:
+		// Lookup is memory bound; count one op per fetched element.
+		return b * float64(max(n.Seq, 1)) * float64(n.Out)
+	case OpBatchNorm, OpLayerNorm:
+		return 5 * b * n.elements()
+	case OpReLU, OpDropout, OpAdd:
+		return b * n.elements()
+	case OpGELU, OpTanh, OpSoftmax:
+		return 4 * b * n.elements()
+	case OpPool:
+		return b * float64(n.Spatial*n.Spatial) * float64(max(n.In, 1))
+	case OpConcat:
+		return b * n.elements()
+	case OpLoss:
+		return 3 * b * n.elements()
+	default: // OpInput
+		return 0
+	}
+}
+
+// elements returns the per-sample output element count used by vector ops.
+func (n Node) elements() float64 {
+	e := 1.0
+	if n.Spatial > 0 {
+		e *= float64(n.Spatial * n.Spatial)
+	}
+	if n.Seq > 0 {
+		e *= float64(n.Seq)
+	}
+	if n.Out > 0 {
+		e *= float64(n.Out)
+	} else if n.In > 0 {
+		e *= float64(n.In)
+	}
+	return e
+}
+
+// Params returns the number of trainable parameters of the node.
+func (n Node) Params() float64 {
+	switch n.Kind {
+	case OpConv2D:
+		return float64(n.Kernel*n.Kernel)*float64(n.In)*float64(n.Out) + float64(n.Out)
+	case OpDense, OpMatMul:
+		return float64(n.In)*float64(n.Out) + float64(n.Out)
+	case OpAttention:
+		return 4 * float64(n.Out) * float64(n.Out)
+	case OpRecurrent:
+		return 4 * float64(n.In+n.Out+1) * float64(n.Out)
+	case OpEmbedding:
+		return float64(n.Vocab) * float64(n.Out)
+	case OpBatchNorm, OpLayerNorm:
+		d := float64(n.Out)
+		if d == 0 {
+			d = float64(n.In)
+		}
+		return 2 * d
+	default:
+		return 0
+	}
+}
+
+// ActivationBytes returns the bytes of activation memory the node produces
+// per step (float32 storage assumed).
+func (n Node) ActivationBytes() float64 {
+	return 4 * float64(max(n.Batch, 1)) * n.elements()
+}
+
+// GraphCost aggregates a graph's static cost profile.
+type GraphCost struct {
+	// FLOPsByClass[c] is the total forward FLOPs of ops in ComputeClass c.
+	FLOPsByClass [NumComputeClasses]float64
+	// TotalFLOPs is the sum over classes.
+	TotalFLOPs float64
+	// Params is the total trainable parameter count.
+	Params float64
+	// ActivationBytes is the total activation footprint per step.
+	ActivationBytes float64
+	// Depth is the longest path length, a proxy for non-overlappable
+	// sequential dependencies (kernel-launch/serialization overhead).
+	Depth int
+	// Nodes is the operator count, a proxy for per-kernel overheads.
+	Nodes int
+}
+
+// Cost computes the static cost profile of the graph.
+func (g *Graph) Cost() GraphCost {
+	var c GraphCost
+	for _, n := range g.Nodes {
+		f := n.FLOPs()
+		c.FLOPsByClass[n.Kind.Class()] += f
+		c.TotalFLOPs += f
+		c.Params += n.Params()
+		c.ActivationBytes += n.ActivationBytes()
+	}
+	c.Depth = g.Depth()
+	c.Nodes = g.Len()
+	return c
+}
+
+// TrainFLOPsMultiplier converts forward FLOPs to training FLOPs
+// (forward + backward ≈ 3× forward, the standard rule of thumb).
+const TrainFLOPsMultiplier = 3.0
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,398 @@
+package taskgraph
+
+import (
+	"fmt"
+
+	"mfcp/internal/rng"
+)
+
+// Family identifies a deep-learning task family. The mix mirrors the
+// paper's dataset: CV models on CIFAR-10/ImageNet (CNNs) and NLP models on
+// Europarl (Transformers/RNNs), plus small MLP jobs that every shared
+// cluster sees in practice.
+type Family int
+
+const (
+	FamilyCNN Family = iota
+	FamilyTransformer
+	FamilyRNN
+	FamilyMLP
+	FamilyUNet
+	FamilyGNN
+	numFamilies
+)
+
+// NumFamilies is the number of task families.
+const NumFamilies = int(numFamilies)
+
+var familyNames = [...]string{"CNN", "Transformer", "RNN", "MLP", "UNet", "GNN"}
+
+// String returns the family name.
+func (f Family) String() string {
+	if f < 0 || int(f) >= len(familyNames) {
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+	return familyNames[f]
+}
+
+// Task is one deep-learning training job: a computation graph plus the
+// training-loop hyperparameters that determine total work per epoch.
+type Task struct {
+	Name   string
+	Family Family
+	Graph  *Graph
+
+	// BatchSize is the per-step minibatch size.
+	BatchSize int
+	// StepsPerEpoch is dataset-size / batch-size; together with the graph it
+	// fixes the per-epoch compute (the quantity the paper's t measures).
+	StepsPerEpoch int
+	// Epochs is the number of training epochs the job runs for. Full-job
+	// duration (epochs × epoch time) is what the reliability model sees:
+	// longer jobs accumulate more failure opportunities.
+	Epochs int
+	// DatasetMB is the dataset's on-disk size, which drives I/O and the
+	// memory-pressure component of reliability.
+	DatasetMB float64
+}
+
+// Cost returns the task graph's static cost profile.
+func (t *Task) Cost() GraphCost { return t.Graph.Cost() }
+
+// EpochFLOPs returns total training FLOPs per epoch.
+func (t *Task) EpochFLOPs() float64 {
+	return t.Graph.Cost().TotalFLOPs * TrainFLOPsMultiplier * float64(t.StepsPerEpoch)
+}
+
+// TotalFLOPs returns training FLOPs for the whole job.
+func (t *Task) TotalFLOPs() float64 {
+	return t.EpochFLOPs() * float64(max(t.Epochs, 1))
+}
+
+// Generate samples a random task of the given family.
+func Generate(family Family, r *rng.Source) *Task {
+	switch family {
+	case FamilyCNN:
+		return generateCNN(r)
+	case FamilyTransformer:
+		return generateTransformer(r)
+	case FamilyRNN:
+		return generateRNN(r)
+	case FamilyMLP:
+		return generateMLP(r)
+	case FamilyUNet:
+		return generateUNet(r)
+	case FamilyGNN:
+		return generateGNN(r)
+	default:
+		panic(fmt.Sprintf("taskgraph: unknown family %d", int(family)))
+	}
+}
+
+// GenerateMix samples n tasks with family proportions weights (indexed by
+// Family; nil means uniform).
+func GenerateMix(n int, weights []float64, r *rng.Source) []*Task {
+	if weights == nil {
+		weights = make([]float64, NumFamilies)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != NumFamilies {
+		panic("taskgraph: GenerateMix weights length")
+	}
+	tasks := make([]*Task, n)
+	for i := range tasks {
+		tasks[i] = Generate(Family(r.Choice(weights)), r)
+	}
+	return tasks
+}
+
+// choice picks one of the given ints uniformly.
+func choice(r *rng.Source, xs ...int) int { return xs[r.Intn(len(xs))] }
+
+// generateCNN builds a ResNet-style CNN: conv stem, S stages of residual
+// blocks with downsampling between stages, then pool + classifier head.
+func generateCNN(r *rng.Source) *Task {
+	g := NewGraph()
+	batch := choice(r, 32, 64, 128, 256)
+	// CIFAR-like (32px) or ImageNet-like (224px → modeled at reduced stem
+	// resolution since the stem halves it immediately).
+	imagenet := r.Bernoulli(0.4)
+	spatial := 32
+	steps := 50000 / batch // CIFAR-10 train split
+	datasetMB := 170.0
+	if imagenet {
+		spatial = 56
+		steps = 1281167 / batch / 10 // profile on a 10% shard, as is common
+		datasetMB = 150000 / 10
+	}
+	width := choice(r, 16, 32, 64)
+	stages := 2 + r.Intn(3)      // 2..4
+	blocksPer := 1 + r.Intn(3)   // 1..3
+	kernel := choice(r, 3, 3, 5) // mostly 3x3
+
+	in := g.AddNode(Node{Kind: OpInput, Batch: batch, Spatial: spatial, Out: 3})
+	prev := g.AddNode(Node{Kind: OpConv2D, Batch: batch, Spatial: spatial, In: 3, Out: width, Kernel: kernel})
+	g.AddEdge(in, prev)
+	chans := width
+	for s := 0; s < stages; s++ {
+		for b := 0; b < blocksPer; b++ {
+			// residual block: conv-bn-relu-conv-bn + skip add
+			c1 := g.AddNode(Node{Kind: OpConv2D, Batch: batch, Spatial: spatial, In: chans, Out: chans, Kernel: kernel})
+			g.AddEdge(prev, c1)
+			bn1 := g.AddNode(Node{Kind: OpBatchNorm, Batch: batch, Spatial: spatial, Out: chans})
+			g.AddEdge(c1, bn1)
+			a1 := g.AddNode(Node{Kind: OpReLU, Batch: batch, Spatial: spatial, Out: chans})
+			g.AddEdge(bn1, a1)
+			c2 := g.AddNode(Node{Kind: OpConv2D, Batch: batch, Spatial: spatial, In: chans, Out: chans, Kernel: kernel})
+			g.AddEdge(a1, c2)
+			bn2 := g.AddNode(Node{Kind: OpBatchNorm, Batch: batch, Spatial: spatial, Out: chans})
+			g.AddEdge(c2, bn2)
+			add := g.AddNode(Node{Kind: OpAdd, Batch: batch, Spatial: spatial, Out: chans})
+			g.AddEdge(bn2, add)
+			g.AddEdge(prev, add) // skip connection
+			prev = add
+		}
+		if s < stages-1 {
+			pool := g.AddNode(Node{Kind: OpPool, Batch: batch, Spatial: spatial, In: chans})
+			g.AddEdge(prev, pool)
+			spatial /= 2
+			chans *= 2
+			up := g.AddNode(Node{Kind: OpConv2D, Batch: batch, Spatial: spatial, In: chans / 2, Out: chans, Kernel: 1})
+			g.AddEdge(pool, up)
+			prev = up
+		}
+	}
+	pool := g.AddNode(Node{Kind: OpPool, Batch: batch, Spatial: spatial, In: chans})
+	g.AddEdge(prev, pool)
+	classes := 10
+	if imagenet {
+		classes = 1000
+	}
+	head := g.AddNode(Node{Kind: OpDense, Batch: batch, In: chans, Out: classes})
+	g.AddEdge(pool, head)
+	loss := g.AddNode(Node{Kind: OpLoss, Batch: batch, Out: classes})
+	g.AddEdge(head, loss)
+
+	name := fmt.Sprintf("cnn-w%d-s%dx%d-b%d", width, stages, blocksPer, batch)
+	return &Task{Name: name, Family: FamilyCNN, Graph: g, BatchSize: batch, StepsPerEpoch: steps, Epochs: choice(r, 30, 60, 90, 120), DatasetMB: datasetMB}
+}
+
+// generateTransformer builds an encoder-style Transformer (Europarl MT
+// workloads): embedding, L blocks of attention + FFN with layer norms and
+// residuals, projection to vocabulary.
+func generateTransformer(r *rng.Source) *Task {
+	g := NewGraph()
+	batch := choice(r, 16, 32, 64)
+	seq := choice(r, 64, 128, 256)
+	dModel := choice(r, 128, 256, 512)
+	heads := choice(r, 4, 8)
+	layers := 2 + r.Intn(5) // 2..6
+	vocab := choice(r, 8000, 16000, 32000)
+	steps := 1900000 / (batch * 8) // Europarl ≈1.9M sentence pairs, chunked
+
+	in := g.AddNode(Node{Kind: OpInput, Batch: batch, Seq: seq, Out: 1})
+	emb := g.AddNode(Node{Kind: OpEmbedding, Batch: batch, Seq: seq, Vocab: vocab, Out: dModel})
+	g.AddEdge(in, emb)
+	prev := emb
+	for l := 0; l < layers; l++ {
+		ln1 := g.AddNode(Node{Kind: OpLayerNorm, Batch: batch, Seq: seq, Out: dModel})
+		g.AddEdge(prev, ln1)
+		attn := g.AddNode(Node{Kind: OpAttention, Batch: batch, Seq: seq, Out: dModel, Heads: heads})
+		g.AddEdge(ln1, attn)
+		add1 := g.AddNode(Node{Kind: OpAdd, Batch: batch, Seq: seq, Out: dModel})
+		g.AddEdge(attn, add1)
+		g.AddEdge(prev, add1)
+		ln2 := g.AddNode(Node{Kind: OpLayerNorm, Batch: batch, Seq: seq, Out: dModel})
+		g.AddEdge(add1, ln2)
+		ff1 := g.AddNode(Node{Kind: OpDense, Batch: batch, Seq: seq, In: dModel, Out: 4 * dModel})
+		g.AddEdge(ln2, ff1)
+		act := g.AddNode(Node{Kind: OpGELU, Batch: batch, Seq: seq, Out: 4 * dModel})
+		g.AddEdge(ff1, act)
+		ff2 := g.AddNode(Node{Kind: OpDense, Batch: batch, Seq: seq, In: 4 * dModel, Out: dModel})
+		g.AddEdge(act, ff2)
+		add2 := g.AddNode(Node{Kind: OpAdd, Batch: batch, Seq: seq, Out: dModel})
+		g.AddEdge(ff2, add2)
+		g.AddEdge(add1, add2)
+		prev = add2
+	}
+	proj := g.AddNode(Node{Kind: OpDense, Batch: batch, Seq: seq, In: dModel, Out: vocab})
+	g.AddEdge(prev, proj)
+	sm := g.AddNode(Node{Kind: OpSoftmax, Batch: batch, Seq: seq, Out: vocab})
+	g.AddEdge(proj, sm)
+	loss := g.AddNode(Node{Kind: OpLoss, Batch: batch, Seq: seq, Out: vocab})
+	g.AddEdge(sm, loss)
+
+	name := fmt.Sprintf("xfmr-d%d-l%d-s%d-b%d", dModel, layers, seq, batch)
+	return &Task{Name: name, Family: FamilyTransformer, Graph: g, BatchSize: batch, StepsPerEpoch: steps, Epochs: choice(r, 10, 20, 30), DatasetMB: 620}
+}
+
+// generateRNN builds a stacked LSTM sequence model.
+func generateRNN(r *rng.Source) *Task {
+	g := NewGraph()
+	batch := choice(r, 20, 32, 64)
+	seq := choice(r, 35, 70, 128)
+	hidden := choice(r, 200, 400, 650)
+	layers := 1 + r.Intn(3) // 1..3
+	vocab := choice(r, 10000, 20000)
+	steps := 930000 / (batch * seq) * 10 // PTB-scale token count
+
+	in := g.AddNode(Node{Kind: OpInput, Batch: batch, Seq: seq, Out: 1})
+	emb := g.AddNode(Node{Kind: OpEmbedding, Batch: batch, Seq: seq, Vocab: vocab, Out: hidden})
+	g.AddEdge(in, emb)
+	prev := emb
+	for l := 0; l < layers; l++ {
+		rec := g.AddNode(Node{Kind: OpRecurrent, Batch: batch, Seq: seq, In: hidden, Out: hidden})
+		g.AddEdge(prev, rec)
+		drop := g.AddNode(Node{Kind: OpDropout, Batch: batch, Seq: seq, Out: hidden})
+		g.AddEdge(rec, drop)
+		prev = drop
+	}
+	proj := g.AddNode(Node{Kind: OpDense, Batch: batch, Seq: seq, In: hidden, Out: vocab})
+	g.AddEdge(prev, proj)
+	loss := g.AddNode(Node{Kind: OpLoss, Batch: batch, Seq: seq, Out: vocab})
+	g.AddEdge(proj, loss)
+
+	name := fmt.Sprintf("lstm-h%d-l%d-s%d-b%d", hidden, layers, seq, batch)
+	return &Task{Name: name, Family: FamilyRNN, Graph: g, BatchSize: batch, StepsPerEpoch: steps, Epochs: choice(r, 20, 40, 60), DatasetMB: 50}
+}
+
+// generateMLP builds a plain fully connected network (tabular/recsys jobs).
+func generateMLP(r *rng.Source) *Task {
+	g := NewGraph()
+	batch := choice(r, 128, 256, 512, 1024)
+	inDim := choice(r, 64, 256, 1024)
+	width := choice(r, 256, 512, 1024, 2048)
+	layers := 2 + r.Intn(5) // 2..6
+	steps := choice(r, 200, 1000, 5000)
+
+	in := g.AddNode(Node{Kind: OpInput, Batch: batch, Out: inDim})
+	prev := in
+	cur := inDim
+	for l := 0; l < layers; l++ {
+		d := g.AddNode(Node{Kind: OpDense, Batch: batch, In: cur, Out: width})
+		g.AddEdge(prev, d)
+		a := g.AddNode(Node{Kind: OpReLU, Batch: batch, Out: width})
+		g.AddEdge(d, a)
+		prev = a
+		cur = width
+	}
+	head := g.AddNode(Node{Kind: OpDense, Batch: batch, In: cur, Out: 1})
+	g.AddEdge(prev, head)
+	loss := g.AddNode(Node{Kind: OpLoss, Batch: batch, Out: 1})
+	g.AddEdge(head, loss)
+
+	name := fmt.Sprintf("mlp-w%d-l%d-b%d", width, layers, batch)
+	return &Task{Name: name, Family: FamilyMLP, Graph: g, BatchSize: batch, StepsPerEpoch: steps, Epochs: choice(r, 20, 50, 100), DatasetMB: float64(choice(r, 1, 10, 100))}
+}
+
+// generateUNet builds a U-Net (diffusion-model training): a conv
+// encoder–decoder with skip connections between matching resolutions and
+// attention at the bottleneck. Conv-dominated like CNNs but with a much
+// larger activation footprint (every resolution's features are kept alive
+// for the skip path), which stresses memory-constrained clusters.
+func generateUNet(r *rng.Source) *Task {
+	g := NewGraph()
+	batch := choice(r, 8, 16, 32)
+	spatial := choice(r, 32, 64)
+	width := choice(r, 32, 64)
+	levels := 2 + r.Intn(2) // 2..3 down/up levels
+	kernel := 3
+	steps := choice(r, 1000, 3000, 5000)
+
+	in := g.AddNode(Node{Kind: OpInput, Batch: batch, Spatial: spatial, Out: 3})
+	prev := g.AddNode(Node{Kind: OpConv2D, Batch: batch, Spatial: spatial, In: 3, Out: width, Kernel: kernel})
+	g.AddEdge(in, prev)
+
+	// Encoder: conv + norm per level, halving resolution, doubling width.
+	type levelState struct {
+		node    int
+		spatial int
+		chans   int
+	}
+	var skips []levelState
+	chans := width
+	sp := spatial
+	for l := 0; l < levels; l++ {
+		c := g.AddNode(Node{Kind: OpConv2D, Batch: batch, Spatial: sp, In: chans, Out: chans, Kernel: kernel})
+		g.AddEdge(prev, c)
+		nrm := g.AddNode(Node{Kind: OpBatchNorm, Batch: batch, Spatial: sp, Out: chans})
+		g.AddEdge(c, nrm)
+		act := g.AddNode(Node{Kind: OpReLU, Batch: batch, Spatial: sp, Out: chans})
+		g.AddEdge(nrm, act)
+		skips = append(skips, levelState{node: act, spatial: sp, chans: chans})
+		pool := g.AddNode(Node{Kind: OpPool, Batch: batch, Spatial: sp, In: chans})
+		g.AddEdge(act, pool)
+		sp /= 2
+		down := g.AddNode(Node{Kind: OpConv2D, Batch: batch, Spatial: sp, In: chans, Out: 2 * chans, Kernel: 1})
+		g.AddEdge(pool, down)
+		chans *= 2
+		prev = down
+	}
+	// Bottleneck self-attention over the flattened feature map.
+	attn := g.AddNode(Node{Kind: OpAttention, Batch: batch, Seq: sp * sp, Out: chans, Heads: 4})
+	g.AddEdge(prev, attn)
+	prev = attn
+	// Decoder: upsample (modeled as conv), concat skip, conv.
+	for l := levels - 1; l >= 0; l-- {
+		s := skips[l]
+		sp *= 2
+		up := g.AddNode(Node{Kind: OpConv2D, Batch: batch, Spatial: sp, In: chans, Out: s.chans, Kernel: 1})
+		g.AddEdge(prev, up)
+		cat := g.AddNode(Node{Kind: OpConcat, Batch: batch, Spatial: sp, Out: 2 * s.chans})
+		g.AddEdge(up, cat)
+		g.AddEdge(s.node, cat) // skip connection
+		c := g.AddNode(Node{Kind: OpConv2D, Batch: batch, Spatial: sp, In: 2 * s.chans, Out: s.chans, Kernel: kernel})
+		g.AddEdge(cat, c)
+		chans = s.chans
+		prev = c
+	}
+	head := g.AddNode(Node{Kind: OpConv2D, Batch: batch, Spatial: sp, In: chans, Out: 3, Kernel: 1})
+	g.AddEdge(prev, head)
+	loss := g.AddNode(Node{Kind: OpLoss, Batch: batch, Spatial: sp, Out: 3})
+	g.AddEdge(head, loss)
+
+	name := fmt.Sprintf("unet-w%d-l%d-s%d-b%d", width, levels, spatial, batch)
+	return &Task{Name: name, Family: FamilyUNet, Graph: g, BatchSize: batch, StepsPerEpoch: steps, Epochs: choice(r, 20, 40, 80), DatasetMB: float64(choice(r, 500, 3000, 12000))}
+}
+
+// generateGNN builds a graph-neural-network training job: embedding lookups
+// over a large node table (memory-bound gather), L message-passing layers
+// (dense transforms of aggregated neighbour features), and a readout head.
+// Its cost profile is unusually memory-class heavy, which splits clusters
+// along an axis the other families barely exercise.
+func generateGNN(r *rng.Source) *Task {
+	g := NewGraph()
+	batch := choice(r, 256, 512, 1024) // sampled subgraph nodes per step
+	numNodes := choice(r, 100000, 1000000)
+	hidden := choice(r, 64, 128, 256)
+	layers := 2 + r.Intn(3) // 2..4
+	steps := numNodes / batch
+
+	in := g.AddNode(Node{Kind: OpInput, Batch: batch, Out: 1})
+	// Node-feature gather, modeled as an embedding over the node table.
+	emb := g.AddNode(Node{Kind: OpEmbedding, Batch: batch, Vocab: numNodes, Out: hidden})
+	g.AddEdge(in, emb)
+	prev := emb
+	for l := 0; l < layers; l++ {
+		// Neighbour aggregation: a memory-bound concat of gathered
+		// neighbour states followed by the dense update.
+		agg := g.AddNode(Node{Kind: OpConcat, Batch: batch, Out: 2 * hidden})
+		g.AddEdge(prev, agg)
+		upd := g.AddNode(Node{Kind: OpDense, Batch: batch, In: 2 * hidden, Out: hidden})
+		g.AddEdge(agg, upd)
+		nrm := g.AddNode(Node{Kind: OpLayerNorm, Batch: batch, Out: hidden})
+		g.AddEdge(upd, nrm)
+		act := g.AddNode(Node{Kind: OpReLU, Batch: batch, Out: hidden})
+		g.AddEdge(nrm, act)
+		prev = act
+	}
+	head := g.AddNode(Node{Kind: OpDense, Batch: batch, In: hidden, Out: choice(r, 2, 40)})
+	g.AddEdge(prev, head)
+	loss := g.AddNode(Node{Kind: OpLoss, Batch: batch, Out: 1})
+	g.AddEdge(head, loss)
+
+	name := fmt.Sprintf("gnn-h%d-l%d-n%dk-b%d", hidden, layers, numNodes/1000, batch)
+	return &Task{Name: name, Family: FamilyGNN, Graph: g, BatchSize: batch, StepsPerEpoch: steps, Epochs: choice(r, 10, 30, 50), DatasetMB: float64(numNodes) / 1000}
+}

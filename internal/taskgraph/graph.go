@@ -1,0 +1,267 @@
+// Package taskgraph models deep-learning tasks as operator DAGs.
+//
+// The paper's platform predicts how long a training task runs on a cluster
+// and how reliably it completes. Its authors profile real CV/NLP jobs on the
+// Xirang platform and embed them with a GNN; we cannot access that data, so
+// this package is the synthetic stand-in: it generates computation graphs
+// for four task families (CNN, Transformer, RNN, MLP) with realistic
+// hyperparameter ranges, and exposes per-operator FLOP / parameter / memory
+// estimators. Ground-truth cluster performance (internal/cluster) and the
+// feature embedding (internal/embed) are both pure functions of these
+// graphs, so everything downstream exercises the same code paths the real
+// platform would.
+package taskgraph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OpKind identifies an operator type in a computation graph.
+type OpKind int
+
+// The operator vocabulary. It intentionally covers the op classes that
+// dominate training-time on real accelerators: dense linear algebra
+// (Conv2D, Dense, MatMul, Attention, Recurrent), normalization, elementwise
+// activations, and data movement (Pool, Embedding, Concat).
+const (
+	OpInput OpKind = iota
+	OpConv2D
+	OpDense
+	OpMatMul
+	OpAttention
+	OpRecurrent
+	OpEmbedding
+	OpBatchNorm
+	OpLayerNorm
+	OpReLU
+	OpGELU
+	OpTanh
+	OpSoftmax
+	OpPool
+	OpAdd
+	OpConcat
+	OpDropout
+	OpLoss
+	numOpKinds
+)
+
+// NumOpKinds is the size of the operator vocabulary; embeddings one-hot over it.
+const NumOpKinds = int(numOpKinds)
+
+var opNames = [...]string{
+	"Input", "Conv2D", "Dense", "MatMul", "Attention", "Recurrent",
+	"Embedding", "BatchNorm", "LayerNorm", "ReLU", "GELU", "Tanh",
+	"Softmax", "Pool", "Add", "Concat", "Dropout", "Loss",
+}
+
+// String returns the operator name.
+func (k OpKind) String() string {
+	if k < 0 || int(k) >= len(opNames) {
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+	return opNames[k]
+}
+
+// ComputeClass partitions operators by which hardware resource dominates
+// their runtime. Cluster profiles price each class separately, which is what
+// creates the per-architecture affinities (Fig. 2 of the paper).
+type ComputeClass int
+
+const (
+	// ClassTensor: dense-math ops served by matrix engines (conv, matmul, attention).
+	ClassTensor ComputeClass = iota
+	// ClassVector: elementwise / normalization ops bound by vector throughput.
+	ClassVector
+	// ClassMemory: data-movement-bound ops (pool, embedding lookups, concat).
+	ClassMemory
+	numComputeClasses
+)
+
+// NumComputeClasses is the number of compute classes.
+const NumComputeClasses = int(numComputeClasses)
+
+// Class returns the compute class of the operator.
+func (k OpKind) Class() ComputeClass {
+	switch k {
+	case OpConv2D, OpDense, OpMatMul, OpAttention, OpRecurrent:
+		return ClassTensor
+	case OpBatchNorm, OpLayerNorm, OpReLU, OpGELU, OpTanh, OpSoftmax, OpDropout, OpAdd, OpLoss:
+		return ClassVector
+	default:
+		return ClassMemory
+	}
+}
+
+// Node is one operator instance. Dimension fields are interpreted per Kind;
+// unused fields stay zero. Cost methods (flops.go) read only these fields.
+type Node struct {
+	ID   int
+	Kind OpKind
+
+	// Batch is the per-step batch size; Spatial the feature-map side length
+	// (CNN); Seq the sequence length (NLP); In/Out channel or feature widths;
+	// Kernel the convolution kernel side; Heads the attention head count;
+	// Vocab the embedding vocabulary size.
+	Batch, Spatial, Seq, In, Out, Kernel, Heads, Vocab int
+}
+
+// Graph is a directed acyclic computation graph. Edges[i] lists the IDs of
+// the consumers of node i's output. Node IDs equal their index in Nodes.
+type Graph struct {
+	Nodes []Node
+	Edges [][]int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddNode appends a node, assigns its ID, and returns the ID.
+func (g *Graph) AddNode(n Node) int {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	g.Edges = append(g.Edges, nil)
+	return n.ID
+}
+
+// AddEdge adds a directed edge from -> to. It panics on out-of-range IDs.
+func (g *Graph) AddEdge(from, to int) {
+	if from < 0 || from >= len(g.Nodes) || to < 0 || to >= len(g.Nodes) {
+		panic(fmt.Sprintf("taskgraph: edge (%d,%d) out of range (n=%d)", from, to, len(g.Nodes)))
+	}
+	g.Edges[from] = append(g.Edges[from], to)
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.Nodes) }
+
+// InDegrees returns the in-degree of every node.
+func (g *Graph) InDegrees() []int {
+	deg := make([]int, len(g.Nodes))
+	for _, outs := range g.Edges {
+		for _, to := range outs {
+			deg[to]++
+		}
+	}
+	return deg
+}
+
+// ErrCyclic is returned by TopoSort and Validate for cyclic graphs.
+var ErrCyclic = errors.New("taskgraph: graph contains a cycle")
+
+// TopoSort returns node IDs in a topological order (Kahn's algorithm), or
+// ErrCyclic.
+func (g *Graph) TopoSort() ([]int, error) {
+	deg := g.InDegrees()
+	queue := make([]int, 0, len(g.Nodes))
+	for id, d := range deg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	order := make([]int, 0, len(g.Nodes))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, to := range g.Edges[id] {
+			deg[to]--
+			if deg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, ErrCyclic
+	}
+	return order, nil
+}
+
+// Depth returns the length (in nodes) of the longest path.
+func (g *Graph) Depth() int {
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0
+	}
+	depth := make([]int, len(g.Nodes))
+	maxDepth := 0
+	for _, id := range order {
+		if depth[id] == 0 {
+			depth[id] = 1
+		}
+		if depth[id] > maxDepth {
+			maxDepth = depth[id]
+		}
+		for _, to := range g.Edges[id] {
+			if depth[id]+1 > depth[to] {
+				depth[to] = depth[id] + 1
+			}
+		}
+	}
+	return maxDepth
+}
+
+// Validate checks structural invariants: acyclicity, a single connected
+// component reachable from inputs, and per-kind dimension sanity.
+func (g *Graph) Validate() error {
+	if len(g.Nodes) == 0 {
+		return errors.New("taskgraph: empty graph")
+	}
+	for id, n := range g.Nodes {
+		if n.ID != id {
+			return fmt.Errorf("taskgraph: node %d has ID %d", id, n.ID)
+		}
+		if err := n.validateDims(); err != nil {
+			return fmt.Errorf("taskgraph: node %d (%s): %w", id, n.Kind, err)
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	// Every non-input node must consume something.
+	deg := g.InDegrees()
+	for id, n := range g.Nodes {
+		if n.Kind != OpInput && deg[id] == 0 {
+			return fmt.Errorf("taskgraph: non-input node %d (%s) has no producers", id, n.Kind)
+		}
+	}
+	return nil
+}
+
+func (n Node) validateDims() error {
+	if n.Batch < 0 || n.In < 0 || n.Out < 0 {
+		return errors.New("negative dimension")
+	}
+	switch n.Kind {
+	case OpConv2D:
+		if n.In == 0 || n.Out == 0 || n.Kernel == 0 || n.Spatial == 0 {
+			return errors.New("conv requires In, Out, Kernel, Spatial")
+		}
+	case OpDense, OpMatMul:
+		if n.In == 0 || n.Out == 0 {
+			return errors.New("dense/matmul requires In and Out")
+		}
+	case OpAttention:
+		if n.Seq == 0 || n.Out == 0 || n.Heads == 0 {
+			return errors.New("attention requires Seq, Out, Heads")
+		}
+	case OpRecurrent:
+		if n.Seq == 0 || n.In == 0 || n.Out == 0 {
+			return errors.New("recurrent requires Seq, In, Out")
+		}
+	case OpEmbedding:
+		if n.Vocab == 0 || n.Out == 0 {
+			return errors.New("embedding requires Vocab and Out")
+		}
+	}
+	return nil
+}
+
+// CountKinds returns a histogram of operator kinds, indexed by OpKind.
+func (g *Graph) CountKinds() []int {
+	counts := make([]int, NumOpKinds)
+	for _, n := range g.Nodes {
+		counts[n.Kind]++
+	}
+	return counts
+}

@@ -1,0 +1,245 @@
+package taskgraph
+
+import (
+	"testing"
+
+	"mfcp/internal/rng"
+)
+
+func diamond() *Graph {
+	g := NewGraph()
+	a := g.AddNode(Node{Kind: OpInput, Batch: 1, Out: 4})
+	b := g.AddNode(Node{Kind: OpDense, Batch: 1, In: 4, Out: 4})
+	c := g.AddNode(Node{Kind: OpDense, Batch: 1, In: 4, Out: 4})
+	d := g.AddNode(Node{Kind: OpAdd, Batch: 1, Out: 4})
+	g.AddEdge(a, b)
+	g.AddEdge(a, c)
+	g.AddEdge(b, d)
+	g.AddEdge(c, d)
+	return g
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	g := diamond()
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, g.Len())
+	for p, id := range order {
+		pos[id] = p
+	}
+	for from, outs := range g.Edges {
+		for _, to := range outs {
+			if pos[from] >= pos[to] {
+				t.Fatalf("edge %d->%d violates topo order", from, to)
+			}
+		}
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	g := diamond()
+	g.AddEdge(3, 0)
+	if _, err := g.TopoSort(); err != ErrCyclic {
+		t.Fatalf("want ErrCyclic, got %v", err)
+	}
+	if err := g.Validate(); err != ErrCyclic {
+		t.Fatalf("Validate: want ErrCyclic, got %v", err)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	g := diamond()
+	if d := g.Depth(); d != 3 {
+		t.Fatalf("diamond depth=%d, want 3", d)
+	}
+}
+
+func TestValidateCatchesOrphan(t *testing.T) {
+	g := NewGraph()
+	g.AddNode(Node{Kind: OpInput, Batch: 1, Out: 4})
+	g.AddNode(Node{Kind: OpDense, Batch: 1, In: 4, Out: 4}) // no incoming edge
+	if err := g.Validate(); err == nil {
+		t.Fatal("orphan dense node passed validation")
+	}
+}
+
+func TestValidateCatchesBadDims(t *testing.T) {
+	g := NewGraph()
+	in := g.AddNode(Node{Kind: OpInput, Batch: 1, Out: 4})
+	bad := g.AddNode(Node{Kind: OpConv2D, Batch: 1, In: 4}) // missing Out/Kernel/Spatial
+	g.AddEdge(in, bad)
+	if err := g.Validate(); err == nil {
+		t.Fatal("underdimensioned conv passed validation")
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	if err := NewGraph().Validate(); err == nil {
+		t.Fatal("empty graph passed validation")
+	}
+}
+
+func TestAddEdgeBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGraph().AddEdge(0, 1)
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if OpConv2D.String() != "Conv2D" || OpAttention.String() != "Attention" {
+		t.Fatal("op names wrong")
+	}
+	if OpKind(99).String() == "" {
+		t.Fatal("out-of-range OpKind produced empty string")
+	}
+}
+
+func TestComputeClassPartition(t *testing.T) {
+	if OpConv2D.Class() != ClassTensor || OpAttention.Class() != ClassTensor {
+		t.Fatal("tensor ops misclassified")
+	}
+	if OpReLU.Class() != ClassVector || OpLayerNorm.Class() != ClassVector {
+		t.Fatal("vector ops misclassified")
+	}
+	if OpPool.Class() != ClassMemory || OpEmbedding.Class() != ClassMemory {
+		t.Fatal("memory ops misclassified")
+	}
+}
+
+func TestFLOPsScaleWithDims(t *testing.T) {
+	small := Node{Kind: OpConv2D, Batch: 32, Spatial: 16, In: 16, Out: 16, Kernel: 3}
+	big := small
+	big.Out = 32
+	if big.FLOPs() != 2*small.FLOPs() {
+		t.Fatalf("conv FLOPs not linear in Cout: %v vs %v", big.FLOPs(), small.FLOPs())
+	}
+	attn := Node{Kind: OpAttention, Batch: 8, Seq: 64, Out: 128, Heads: 8}
+	attn2 := attn
+	attn2.Seq = 128
+	// attention has an O(S^2) term, so doubling seq must more than double FLOPs
+	if attn2.FLOPs() <= 2*attn.FLOPs() {
+		t.Fatal("attention FLOPs missing quadratic seq term")
+	}
+}
+
+func TestParamsIndependentOfBatch(t *testing.T) {
+	n := Node{Kind: OpDense, Batch: 32, In: 100, Out: 50}
+	m := n
+	m.Batch = 1024
+	if n.Params() != m.Params() {
+		t.Fatal("Params depends on batch size")
+	}
+	if n.Params() != 100*50+50 {
+		t.Fatalf("dense params=%v", n.Params())
+	}
+}
+
+func TestGraphCostAggregates(t *testing.T) {
+	g := diamond()
+	c := g.Cost()
+	if c.Nodes != 4 || c.Depth != 3 {
+		t.Fatalf("cost nodes/depth: %+v", c)
+	}
+	sum := 0.0
+	for _, f := range c.FLOPsByClass {
+		sum += f
+	}
+	if sum != c.TotalFLOPs || c.TotalFLOPs <= 0 {
+		t.Fatalf("class FLOPs don't sum to total: %+v", c)
+	}
+}
+
+func TestGenerateAllFamiliesValid(t *testing.T) {
+	r := rng.New(99)
+	for f := Family(0); int(f) < NumFamilies; f++ {
+		for i := 0; i < 25; i++ {
+			task := Generate(f, r)
+			if task.Family != f {
+				t.Fatalf("family mismatch: %v", task.Family)
+			}
+			if err := task.Graph.Validate(); err != nil {
+				t.Fatalf("%s task %d invalid: %v", f, i, err)
+			}
+			if task.EpochFLOPs() <= 0 {
+				t.Fatalf("%s task has non-positive epoch FLOPs", f)
+			}
+			if task.BatchSize <= 0 || task.StepsPerEpoch <= 0 {
+				t.Fatalf("%s task has bad loop params: %+v", f, task)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(FamilyTransformer, rng.New(5))
+	b := Generate(FamilyTransformer, rng.New(5))
+	if a.Name != b.Name || a.Graph.Len() != b.Graph.Len() {
+		t.Fatalf("generation not deterministic: %s vs %s", a.Name, b.Name)
+	}
+}
+
+func TestGenerateMixProportions(t *testing.T) {
+	r := rng.New(123)
+	weights := make([]float64, NumFamilies)
+	weights[FamilyCNN] = 1
+	weights[FamilyMLP] = 1
+	tasks := GenerateMix(400, weights, r)
+	var counts [NumFamilies]int
+	for _, task := range tasks {
+		counts[task.Family]++
+	}
+	if counts[FamilyTransformer] != 0 || counts[FamilyRNN] != 0 {
+		t.Fatalf("zero-weight families generated: %v", counts)
+	}
+	if counts[FamilyCNN] < 120 || counts[FamilyMLP] < 120 {
+		t.Fatalf("mix far from weights: %v", counts)
+	}
+}
+
+func TestFamilyCostsDiffer(t *testing.T) {
+	// Transformers must be tensor-heavy relative to their vector load in a
+	// different proportion than CNNs — that heterogeneity is what the
+	// clusters' class-specific throughputs act on.
+	r := rng.New(7)
+	cnn := Generate(FamilyCNN, r).Cost()
+	xf := Generate(FamilyTransformer, r).Cost()
+	if cnn.TotalFLOPs == 0 || xf.TotalFLOPs == 0 {
+		t.Fatal("zero-cost graphs")
+	}
+	cnnTensorShare := cnn.FLOPsByClass[ClassTensor] / cnn.TotalFLOPs
+	xfMemShare := xf.FLOPsByClass[ClassMemory] / xf.TotalFLOPs
+	if cnnTensorShare < 0.5 {
+		t.Fatalf("CNN should be tensor-dominated, share=%v", cnnTensorShare)
+	}
+	if xfMemShare <= 0 {
+		t.Fatal("transformer has no memory-class work (embedding missing?)")
+	}
+}
+
+func TestCountKinds(t *testing.T) {
+	g := diamond()
+	counts := g.CountKinds()
+	if counts[OpInput] != 1 || counts[OpDense] != 2 || counts[OpAdd] != 1 {
+		t.Fatalf("CountKinds=%v", counts)
+	}
+}
+
+func BenchmarkGenerateCNN(b *testing.B) {
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		Generate(FamilyCNN, r)
+	}
+}
+
+func BenchmarkGraphCost(b *testing.B) {
+	task := Generate(FamilyTransformer, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task.Graph.Cost()
+	}
+}

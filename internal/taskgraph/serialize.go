@@ -1,0 +1,174 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// jsonGraph is the wire form of a Graph.
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges [][2]int   `json:"edges"`
+}
+
+type jsonNode struct {
+	Kind    string `json:"kind"`
+	Batch   int    `json:"batch,omitempty"`
+	Spatial int    `json:"spatial,omitempty"`
+	Seq     int    `json:"seq,omitempty"`
+	In      int    `json:"in,omitempty"`
+	Out     int    `json:"out,omitempty"`
+	Kernel  int    `json:"kernel,omitempty"`
+	Heads   int    `json:"heads,omitempty"`
+	Vocab   int    `json:"vocab,omitempty"`
+}
+
+// jsonTask is the wire form of a Task.
+type jsonTask struct {
+	Name          string    `json:"name"`
+	Family        string    `json:"family"`
+	BatchSize     int       `json:"batch_size"`
+	StepsPerEpoch int       `json:"steps_per_epoch"`
+	Epochs        int       `json:"epochs"`
+	DatasetMB     float64   `json:"dataset_mb"`
+	Graph         jsonGraph `json:"graph"`
+}
+
+// kindByName maps operator names back to kinds for decoding.
+var kindByName = func() map[string]OpKind {
+	m := make(map[string]OpKind, NumOpKinds)
+	for k := OpKind(0); int(k) < NumOpKinds; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// familyByName maps family names back for decoding.
+var familyByName = func() map[string]Family {
+	m := make(map[string]Family, NumFamilies)
+	for f := Family(0); int(f) < NumFamilies; f++ {
+		m[f.String()] = f
+	}
+	return m
+}()
+
+// MarshalJSON implements json.Marshaler for Task.
+func (t *Task) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Nodes: make([]jsonNode, t.Graph.Len())}
+	for i, n := range t.Graph.Nodes {
+		jg.Nodes[i] = jsonNode{
+			Kind: n.Kind.String(), Batch: n.Batch, Spatial: n.Spatial, Seq: n.Seq,
+			In: n.In, Out: n.Out, Kernel: n.Kernel, Heads: n.Heads, Vocab: n.Vocab,
+		}
+	}
+	for from, outs := range t.Graph.Edges {
+		for _, to := range outs {
+			jg.Edges = append(jg.Edges, [2]int{from, to})
+		}
+	}
+	return json.Marshal(jsonTask{
+		Name: t.Name, Family: t.Family.String(), BatchSize: t.BatchSize,
+		StepsPerEpoch: t.StepsPerEpoch, Epochs: t.Epochs, DatasetMB: t.DatasetMB,
+		Graph: jg,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Task, validating the decoded
+// graph.
+func (t *Task) UnmarshalJSON(data []byte) error {
+	var jt jsonTask
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return err
+	}
+	fam, ok := familyByName[jt.Family]
+	if !ok {
+		return fmt.Errorf("taskgraph: unknown family %q", jt.Family)
+	}
+	g := NewGraph()
+	for _, jn := range jt.Graph.Nodes {
+		kind, ok := kindByName[jn.Kind]
+		if !ok {
+			return fmt.Errorf("taskgraph: unknown op kind %q", jn.Kind)
+		}
+		g.AddNode(Node{
+			Kind: kind, Batch: jn.Batch, Spatial: jn.Spatial, Seq: jn.Seq,
+			In: jn.In, Out: jn.Out, Kernel: jn.Kernel, Heads: jn.Heads, Vocab: jn.Vocab,
+		})
+	}
+	for _, e := range jt.Graph.Edges {
+		if e[0] < 0 || e[0] >= g.Len() || e[1] < 0 || e[1] >= g.Len() {
+			return fmt.Errorf("taskgraph: edge %v out of range", e)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	decoded := Task{
+		Name: jt.Name, Family: fam, Graph: g, BatchSize: jt.BatchSize,
+		StepsPerEpoch: jt.StepsPerEpoch, Epochs: jt.Epochs, DatasetMB: jt.DatasetMB,
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("taskgraph: decoded task %q invalid: %w", jt.Name, err)
+	}
+	*t = decoded
+	return nil
+}
+
+// DOT renders the graph in Graphviz dot syntax, with nodes labeled by
+// operator and principal dimensions and colored by compute class.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, style=filled];\n", sanitizeDOT(name))
+	colors := map[ComputeClass]string{
+		ClassTensor: "#e8f0fe",
+		ClassVector: "#e6f4ea",
+		ClassMemory: "#fef7e0",
+	}
+	for _, n := range g.Nodes {
+		label := n.Kind.String()
+		var dims []string
+		if n.Out > 0 {
+			dims = append(dims, fmt.Sprintf("out=%d", n.Out))
+		}
+		if n.Seq > 0 {
+			dims = append(dims, fmt.Sprintf("seq=%d", n.Seq))
+		}
+		if n.Spatial > 0 {
+			dims = append(dims, fmt.Sprintf("hw=%d", n.Spatial))
+		}
+		if len(dims) > 0 {
+			label += "\\n" + strings.Join(dims, " ")
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", fillcolor=\"%s\"];\n", n.ID, label, colors[n.Kind.Class()])
+	}
+	// Deterministic edge order for stable output.
+	type edge struct{ from, to int }
+	var edges []edge
+	for from, outs := range g.Edges {
+		for _, to := range outs {
+			edges = append(edges, edge{from, to})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].from != edges[b].from {
+			return edges[a].from < edges[b].from
+		}
+		return edges[a].to < edges[b].to
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e.from, e.to)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitizeDOT(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

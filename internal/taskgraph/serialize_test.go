@@ -1,0 +1,130 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mfcp/internal/rng"
+)
+
+func TestTaskJSONRoundTrip(t *testing.T) {
+	r := rng.New(51)
+	for f := Family(0); int(f) < NumFamilies; f++ {
+		orig := Generate(f, r)
+		data, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", f, err)
+		}
+		var back Task
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", f, err)
+		}
+		if back.Name != orig.Name || back.Family != orig.Family ||
+			back.BatchSize != orig.BatchSize || back.Epochs != orig.Epochs ||
+			back.StepsPerEpoch != orig.StepsPerEpoch || back.DatasetMB != orig.DatasetMB {
+			t.Fatalf("%s: metadata mismatch: %+v vs %+v", f, back, orig)
+		}
+		if back.Graph.Len() != orig.Graph.Len() {
+			t.Fatalf("%s: node count %d vs %d", f, back.Graph.Len(), orig.Graph.Len())
+		}
+		// Costs are a pure function of the graph: identical costs imply the
+		// structure survived.
+		if back.Cost() != orig.Cost() {
+			t.Fatalf("%s: cost changed over round trip", f)
+		}
+		for i, n := range orig.Graph.Nodes {
+			if back.Graph.Nodes[i] != n {
+				t.Fatalf("%s: node %d differs: %+v vs %+v", f, i, back.Graph.Nodes[i], n)
+			}
+		}
+	}
+}
+
+func TestTaskUnmarshalRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad family": `{"name":"x","family":"Quantum","graph":{"nodes":[],"edges":[]}}`,
+		"bad kind":   `{"name":"x","family":"CNN","graph":{"nodes":[{"kind":"Teleport"}],"edges":[]}}`,
+		"bad edge":   `{"name":"x","family":"CNN","graph":{"nodes":[{"kind":"Input","batch":1,"out":3}],"edges":[[0,5]]}}`,
+		"cyclic": `{"name":"x","family":"CNN","graph":{"nodes":[{"kind":"Input","batch":1,"out":3},
+			{"kind":"Dense","batch":1,"in":3,"out":3}],"edges":[[0,1],[1,0]]}}`,
+	}
+	for label, payload := range cases {
+		var task Task
+		if err := json.Unmarshal([]byte(payload), &task); err == nil {
+			t.Fatalf("%s accepted", label)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	r := rng.New(52)
+	task := Generate(FamilyUNet, r)
+	dot := task.Graph.DOT(task.Name)
+	if !strings.HasPrefix(dot, "digraph") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("malformed dot:\n%s", dot)
+	}
+	if !strings.Contains(dot, "Conv2D") || !strings.Contains(dot, "->") {
+		t.Fatal("dot missing nodes or edges")
+	}
+	// Every edge endpoint must be a declared node.
+	for _, n := range task.Graph.Nodes {
+		_ = n
+	}
+	if strings.Count(dot, "->") != countEdges(task.Graph) {
+		t.Fatalf("edge count mismatch")
+	}
+	// Deterministic output.
+	if dot != task.Graph.DOT(task.Name) {
+		t.Fatal("DOT not deterministic")
+	}
+}
+
+func countEdges(g *Graph) int {
+	n := 0
+	for _, outs := range g.Edges {
+		n += len(outs)
+	}
+	return n
+}
+
+func TestUNetProperties(t *testing.T) {
+	r := rng.New(53)
+	for i := 0; i < 20; i++ {
+		task := Generate(FamilyUNet, r)
+		if err := task.Graph.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		c := task.Cost()
+		// Skip connections: at least one node has in-degree 2.
+		deg := task.Graph.InDegrees()
+		hasSkip := false
+		for _, d := range deg {
+			if d >= 2 {
+				hasSkip = true
+			}
+		}
+		if !hasSkip {
+			t.Fatal("UNet lacks skip connections")
+		}
+		if c.FLOPsByClass[ClassTensor] < c.FLOPsByClass[ClassMemory] {
+			t.Fatal("UNet should be tensor-dominated")
+		}
+	}
+}
+
+func TestGNNMemoryHeavy(t *testing.T) {
+	r := rng.New(54)
+	// GNN jobs must carry a larger memory-class share than MLPs: that axis
+	// of heterogeneity is their purpose.
+	var gnnShare, mlpShare float64
+	for i := 0; i < 20; i++ {
+		g := Generate(FamilyGNN, r).Cost()
+		m := Generate(FamilyMLP, r).Cost()
+		gnnShare += g.FLOPsByClass[ClassMemory] / g.TotalFLOPs
+		mlpShare += m.FLOPsByClass[ClassMemory] / m.TotalFLOPs
+	}
+	if gnnShare <= mlpShare {
+		t.Fatalf("GNN memory share %v not above MLP %v", gnnShare/20, mlpShare/20)
+	}
+}

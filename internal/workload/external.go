@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+)
+
+// FromData builds a matrices-only Scenario from externally supplied
+// measurements — the adoption path for operators with real profiling data
+// instead of the simulator. features is N×d (one row per task), measT and
+// measA are M×N measured execution times (any consistent unit) and
+// reliabilities.
+//
+// Times are normalized to mean 1 internally (TimeScale returns to the
+// original unit). Since no simulator stands behind the data, the hidden
+// "ground truth" is taken to BE the measurements: evaluation against
+// TrueMatrices then measures decision quality w.r.t. the best available
+// knowledge. Fleet and Pool are nil — simulator-backed features
+// (platform runs, onboarding, drift) are unavailable on external data.
+func FromData(features, measT, measA *mat.Dense, seed uint64) (*Scenario, error) {
+	if measT.Rows != measA.Rows || measT.Cols != measA.Cols {
+		return nil, fmt.Errorf("workload: T is %dx%d but A is %dx%d", measT.Rows, measT.Cols, measA.Rows, measA.Cols)
+	}
+	if features.Rows != measT.Cols {
+		return nil, fmt.Errorf("workload: %d feature rows for %d tasks", features.Rows, measT.Cols)
+	}
+	total := 0.0
+	for _, v := range measT.Data {
+		if v <= 0 {
+			return nil, fmt.Errorf("workload: non-positive measured time %v", v)
+		}
+		total += v
+	}
+	for _, v := range measA.Data {
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("workload: reliability %v outside [0,1]", v)
+		}
+	}
+	scale := total / float64(len(measT.Data))
+	s := &Scenario{
+		Features:  features.Clone(),
+		TimeScale: scale,
+		MeasT:     measT.Clone().Scale(1 / scale),
+		MeasA:     measA.Clone(),
+		root:      rng.New(seed),
+	}
+	s.TrueT = s.MeasT.Clone()
+	s.TrueA = s.MeasA.Clone()
+	return s, nil
+}
+
+// LoadCSV reads a dataset in cmd/datagen's layout — features.csv and
+// performance.csv under dir — and builds a matrices-only Scenario via
+// FromData. It uses the measured columns; the true_* columns, when the
+// data came from the simulator, are ignored (an external dataset would not
+// have them).
+func LoadCSV(dir string, seed uint64) (*Scenario, error) {
+	features, err := loadFeaturesCSV(filepath.Join(dir, "features.csv"))
+	if err != nil {
+		return nil, err
+	}
+	measT, measA, err := loadPerformanceCSV(filepath.Join(dir, "performance.csv"), features.Rows)
+	if err != nil {
+		return nil, err
+	}
+	return FromData(features, measT, measA, seed)
+}
+
+// loadFeaturesCSV parses "task,f0,f1,..." rows.
+func loadFeaturesCSV(path string) (*mat.Dense, error) {
+	rows, err := readCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("workload: %s has no data rows", path)
+	}
+	dim := len(rows[0]) - 1
+	out := mat.NewDense(len(rows)-1, dim)
+	for i, row := range rows[1:] {
+		if len(row) != dim+1 {
+			return nil, fmt.Errorf("workload: %s row %d has %d fields, want %d", path, i+1, len(row), dim+1)
+		}
+		idx, err := strconv.Atoi(row[0])
+		if err != nil || idx < 0 || idx >= out.Rows {
+			return nil, fmt.Errorf("workload: %s row %d has bad task index %q", path, i+1, row[0])
+		}
+		for d := 0; d < dim; d++ {
+			v, err := strconv.ParseFloat(row[d+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: %s row %d field %d: %w", path, i+1, d+1, err)
+			}
+			out.Set(idx, d, v)
+		}
+	}
+	return out, nil
+}
+
+// loadPerformanceCSV parses datagen's per-(cluster,task) rows, returning
+// M×N measured time and reliability matrices.
+func loadPerformanceCSV(path string, numTasks int) (T, A *mat.Dense, err error) {
+	rows, err := readCSV(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rows) < 2 {
+		return nil, nil, fmt.Errorf("workload: %s has no data rows", path)
+	}
+	header := rows[0]
+	col := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		return -1
+	}
+	cCluster, cTask := col("cluster"), col("task")
+	cT, cA := col("meas_time_norm"), col("meas_reliability")
+	if cCluster < 0 || cTask < 0 || cT < 0 || cA < 0 {
+		return nil, nil, fmt.Errorf("workload: %s missing required columns", path)
+	}
+	maxCluster := -1
+	type cell struct{ t, a float64 }
+	entries := map[[2]int]cell{}
+	for i, row := range rows[1:] {
+		ci, err1 := strconv.Atoi(row[cCluster])
+		tj, err2 := strconv.Atoi(row[cTask])
+		tv, err3 := strconv.ParseFloat(row[cT], 64)
+		av, err4 := strconv.ParseFloat(row[cA], 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, nil, fmt.Errorf("workload: %s row %d unparseable", path, i+1)
+		}
+		if tj < 0 || tj >= numTasks {
+			return nil, nil, fmt.Errorf("workload: %s row %d task %d out of range", path, i+1, tj)
+		}
+		if ci > maxCluster {
+			maxCluster = ci
+		}
+		entries[[2]int{ci, tj}] = cell{tv, av}
+	}
+	m := maxCluster + 1
+	if m <= 0 {
+		return nil, nil, fmt.Errorf("workload: %s has no clusters", path)
+	}
+	T = mat.NewDense(m, numTasks)
+	A = mat.NewDense(m, numTasks)
+	for i := 0; i < m; i++ {
+		for j := 0; j < numTasks; j++ {
+			c, ok := entries[[2]int{i, j}]
+			if !ok {
+				return nil, nil, fmt.Errorf("workload: %s missing cluster %d task %d", path, i, j)
+			}
+			T.Set(i, j, c.t)
+			A.Set(i, j, c.a)
+		}
+	}
+	return T, A, nil
+}
+
+// readCSV reads a simple comma-separated file (no quoting — datagen emits
+// none) into rows of fields.
+func readCSV(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows [][]string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		rows = append(rows, strings.Split(line, ","))
+	}
+	return rows, sc.Err()
+}

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mfcp/internal/mat"
+)
+
+func tinyData() (*mat.Dense, *mat.Dense, *mat.Dense) {
+	features := mat.FromRows([][]float64{
+		{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}, {0.7, 0.8},
+	})
+	measT := mat.FromRows([][]float64{
+		{10, 20, 30, 40},
+		{40, 30, 20, 10},
+	})
+	measA := mat.FromRows([][]float64{
+		{0.9, 0.8, 0.95, 0.85},
+		{0.7, 0.99, 0.88, 0.92},
+	})
+	return features, measT, measA
+}
+
+func TestFromDataNormalizes(t *testing.T) {
+	features, measT, measA := tinyData()
+	s, err := FromData(features, measT, measA, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M() != 2 {
+		t.Fatalf("M=%d", s.M())
+	}
+	if math.Abs(s.TimeScale-25) > 1e-12 {
+		t.Fatalf("TimeScale=%v want 25", s.TimeScale)
+	}
+	// Normalized times mean 1; truth == measurements for external data.
+	sum := 0.0
+	for _, v := range s.MeasT.Data {
+		sum += v
+	}
+	if math.Abs(sum/8-1) > 1e-12 {
+		t.Fatalf("normalized mean %v", sum/8)
+	}
+	if !s.TrueT.Equal(s.MeasT, 0) || !s.TrueA.Equal(s.MeasA, 0) {
+		t.Fatal("external truth must equal measurements")
+	}
+	// Inputs must not be aliased: mutating the scenario leaves them intact.
+	s.MeasT.Set(0, 0, 999)
+	if measT.At(0, 0) != 10 {
+		t.Fatal("FromData aliased its input")
+	}
+}
+
+func TestFromDataValidates(t *testing.T) {
+	features, measT, measA := tinyData()
+	if _, err := FromData(features, measT, mat.NewDense(3, 4).Fill(0.5), 1); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := FromData(mat.NewDense(3, 2), measT, measA, 1); err == nil {
+		t.Fatal("feature-count mismatch accepted")
+	}
+	bad := measT.Clone()
+	bad.Set(0, 0, -1)
+	if _, err := FromData(features, bad, measA, 1); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	badA := measA.Clone()
+	badA.Set(0, 0, 1.5)
+	if _, err := FromData(features, measT, badA, 1); err == nil {
+		t.Fatal("reliability > 1 accepted")
+	}
+}
+
+func TestFromDataSupportsTrainingFlow(t *testing.T) {
+	features, measT, measA := tinyData()
+	s, err := FromData(features, measT, measA, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := s.Split(0.5)
+	if len(train)+len(test) != 4 {
+		t.Fatal("split broken on external data")
+	}
+	X := s.FeaturesOf(train)
+	if X.Cols != 2 {
+		t.Fatal("features misread")
+	}
+	tv, av := s.LabelVectors(1, train)
+	if len(tv) != len(train) || len(av) != len(train) {
+		t.Fatal("labels misread")
+	}
+}
+
+func TestLoadCSVRoundTrip(t *testing.T) {
+	// Write a dataset in datagen's format and load it back.
+	dir := t.TempDir()
+	featuresCSV := "task,f0,f1\n0,0.1,0.2\n1,0.3,0.4\n2,0.5,0.6\n"
+	perfCSV := "cluster,cluster_name,task,true_time_norm,meas_time_norm,true_reliability,meas_reliability\n" +
+		"0,alpha,0,1.0,1.1,0.9,0.88\n0,alpha,1,2.0,2.2,0.9,0.91\n0,alpha,2,3.0,2.9,0.9,0.90\n" +
+		"1,beta,0,3.0,3.1,0.8,0.79\n1,beta,1,2.0,1.9,0.8,0.81\n1,beta,2,1.0,1.2,0.8,0.80\n"
+	if err := os.WriteFile(filepath.Join(dir, "features.csv"), []byte(featuresCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "performance.csv"), []byte(perfCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadCSV(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M() != 2 || s.PoolLen() != 3 || s.Features.Rows != 3 {
+		t.Fatalf("loaded shapes: M=%d features=%d", s.M(), s.Features.Rows)
+	}
+	// Normalization preserves ratios: cluster 0 task 1 has twice the time
+	// of task 0.
+	if math.Abs(s.MeasT.At(0, 1)/s.MeasT.At(0, 0)-2) > 1e-9 {
+		t.Fatalf("ratio lost: %v vs %v", s.MeasT.At(0, 1), s.MeasT.At(0, 0))
+	}
+	if s.MeasA.At(1, 2) != 0.80 {
+		t.Fatalf("reliability misloaded: %v", s.MeasA.At(1, 2))
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCSV(dir, 1); err == nil {
+		t.Fatal("missing files accepted")
+	}
+	os.WriteFile(filepath.Join(dir, "features.csv"), []byte("task,f0\n0,0.5\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "performance.csv"), []byte("cluster,task\n0,0\n"), 0o644)
+	if _, err := LoadCSV(dir, 1); err == nil {
+		t.Fatal("missing columns accepted")
+	}
+	// Missing (cluster, task) cell.
+	os.WriteFile(filepath.Join(dir, "performance.csv"),
+		[]byte("cluster,cluster_name,task,true_time_norm,meas_time_norm,true_reliability,meas_reliability\n0,a,0,1,1,0.9,0.9\n1,b,0,1,1,0.9,0.9\n0,a,1,1,1,0.9,0.9\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "features.csv"), []byte("task,f0\n0,0.5\n1,0.6\n"), 0o644)
+	if _, err := LoadCSV(dir, 1); err == nil {
+		t.Fatal("incomplete matrix accepted")
+	}
+}
+
+func TestDatagenLoadCSVEndToEnd(t *testing.T) {
+	// Build a simulated scenario, export it exactly as cmd/datagen does,
+	// re-load it as external data, and check the measured matrices agree.
+	src := MustNew(Config{PoolSize: 12, FeatureDim: 6, Seed: 31})
+	dir := t.TempDir()
+	var fb, pb []byte
+	{
+		var b []byte
+		b = append(b, []byte("task")...)
+		for d := 0; d < src.Features.Cols; d++ {
+			b = append(b, []byte(fmt.Sprintf(",f%d", d))...)
+		}
+		b = append(b, '\n')
+		for j := 0; j < src.Features.Rows; j++ {
+			b = append(b, []byte(fmt.Sprintf("%d", j))...)
+			for _, v := range src.Features.Row(j) {
+				b = append(b, []byte(fmt.Sprintf(",%.6f", v))...)
+			}
+			b = append(b, '\n')
+		}
+		fb = b
+	}
+	{
+		b := []byte("cluster,cluster_name,task,true_time_norm,meas_time_norm,true_reliability,meas_reliability\n")
+		for i, p := range src.Fleet {
+			for j := 0; j < src.PoolLen(); j++ {
+				b = append(b, []byte(fmt.Sprintf("%d,%s,%d,%.6f,%.6f,%.4f,%.4f\n",
+					i, p.Name, j, src.TrueT.At(i, j), src.MeasT.At(i, j), src.TrueA.At(i, j), src.MeasA.At(i, j)))...)
+			}
+		}
+		pb = b
+	}
+	os.WriteFile(filepath.Join(dir, "features.csv"), fb, 0o644)
+	os.WriteFile(filepath.Join(dir, "performance.csv"), pb, 0o644)
+	loaded, err := LoadCSV(dir, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loader renormalizes, so compare shape and ratio structure.
+	if loaded.M() != src.M() || loaded.Features.Rows != src.PoolLen() {
+		t.Fatal("round-trip shapes differ")
+	}
+	// %.6f truncation bounds the achievable precision; compare ratios with
+	// a relative tolerance.
+	r0 := src.MeasT.At(0, 1) / src.MeasT.At(0, 0)
+	r1 := loaded.MeasT.At(0, 1) / loaded.MeasT.At(0, 0)
+	if math.Abs(r0-r1) > 1e-2*math.Abs(r0) {
+		t.Fatalf("time ratios differ after round trip: %v vs %v", r0, r1)
+	}
+}

@@ -1,0 +1,258 @@
+// Package workload assembles the learning problem the platform faces: a
+// pool of deep-learning tasks, their feature embeddings, and per-cluster
+// performance measurements (noisy profiling runs) alongside the hidden
+// ground truth used for evaluation.
+//
+// A Scenario is the single source of truth for one experimental setup —
+// fleet, task pool, features, and the time normalization scale. All
+// downstream components (predictors, matchers, baselines, the experiment
+// harness) consume matrices produced here, never the cluster internals.
+package workload
+
+import (
+	"fmt"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/embed"
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+	"mfcp/internal/taskgraph"
+)
+
+// Config parameterizes scenario construction.
+type Config struct {
+	// Setting selects the cluster fleet (A, B, or C).
+	Setting cluster.Setting
+	// PoolSize is the number of tasks in the pool (default 160).
+	PoolSize int
+	// FeatureDim is the embedding dimension (default 16).
+	FeatureDim int
+	// FamilyWeights biases the task family mix (nil = uniform).
+	FamilyWeights []float64
+	// MeasureTrials is the number of profiling repetitions behind each
+	// reliability observation (default 20).
+	MeasureTrials int
+	// NoiseScale multiplies every cluster's run-to-run noise sigma
+	// (0 or 1 = unchanged); the noise-sensitivity study sweeps it.
+	NoiseScale float64
+	// StatsEmbedder replaces the message-passing embedder with the
+	// structure-blind global-statistics embedder (the embedding-ablation
+	// study's weak baseline).
+	StatsEmbedder bool
+	// Seed drives every random choice in the scenario.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Setting == "" {
+		c.Setting = cluster.SettingA
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 160
+	}
+	if c.FeatureDim == 0 {
+		c.FeatureDim = 16
+	}
+	if c.MeasureTrials == 0 {
+		c.MeasureTrials = 20
+	}
+}
+
+// TaskEmbedder maps tasks to fixed-length feature vectors; both the
+// message-passing embedder and the stats-only baseline satisfy it.
+type TaskEmbedder interface {
+	Embed(t *taskgraph.Task) mat.Vec
+	EmbedAll(tasks []*taskgraph.Task) *mat.Dense
+}
+
+// Scenario is one fully materialized experimental environment.
+type Scenario struct {
+	Fleet    []*cluster.Profile
+	Embedder TaskEmbedder
+	Pool     []*taskgraph.Task
+	// Features holds one embedding row per pool task (PoolSize × FeatureDim).
+	Features *mat.Dense
+	// TimeScale normalizes raw seconds so matching costs are O(1); it is
+	// the mean true execution time over (pool × fleet).
+	TimeScale float64
+	// TrueT and TrueA are the hidden ground truth: TrueT.At(i, j) is the
+	// normalized true time of pool task j on fleet cluster i, TrueA the
+	// true reliability. Only the evaluator may read these.
+	TrueT *mat.Dense
+	TrueA *mat.Dense
+	// MeasT and MeasA are the platform's noisy profiling observations with
+	// the same layout; predictors train on these.
+	MeasT *mat.Dense
+	MeasA *mat.Dense
+
+	root *rng.Source
+}
+
+// New builds a Scenario from the config. Construction is deterministic in
+// cfg.Seed.
+func New(cfg Config) (*Scenario, error) {
+	cfg.fillDefaults()
+	fleet, err := cluster.Fleet(cfg.Setting)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NoiseScale > 0 && cfg.NoiseScale != 1 {
+		for _, p := range fleet {
+			p.NoiseSigma *= cfg.NoiseScale
+		}
+	}
+	root := rng.New(cfg.Seed)
+	s := &Scenario{Fleet: fleet, root: root}
+	if cfg.StatsEmbedder {
+		s.Embedder = embed.NewStats(cfg.FeatureDim)
+	} else {
+		s.Embedder = embed.New(cfg.FeatureDim, root.Split("embedder").Uint64())
+	}
+	s.Pool = taskgraph.GenerateMix(cfg.PoolSize, cfg.FamilyWeights, root.Split("pool"))
+	s.Features = s.Embedder.EmbedAll(s.Pool)
+
+	m, n := len(fleet), len(s.Pool)
+	s.TrueT = mat.NewDense(m, n)
+	s.TrueA = mat.NewDense(m, n)
+	s.MeasT = mat.NewDense(m, n)
+	s.MeasA = mat.NewDense(m, n)
+	measRng := root.Split("measure")
+	total := 0.0
+	for i, p := range fleet {
+		cr := measRng.SplitIndexed("cluster", i)
+		for j, task := range s.Pool {
+			tt := p.TrueTime(task)
+			s.TrueT.Set(i, j, tt)
+			s.TrueA.Set(i, j, p.TrueReliability(task))
+			mt, ma := p.Measure(task, cfg.MeasureTrials, cr)
+			s.MeasT.Set(i, j, mt)
+			s.MeasA.Set(i, j, ma)
+			total += tt
+		}
+	}
+	s.TimeScale = total / float64(m*n)
+	if s.TimeScale <= 0 {
+		return nil, fmt.Errorf("workload: degenerate time scale %v", s.TimeScale)
+	}
+	s.TrueT.Scale(1 / s.TimeScale)
+	s.MeasT.Scale(1 / s.TimeScale)
+	return s, nil
+}
+
+// MustNew is New but panics on error; for tests and examples.
+func MustNew(cfg Config) *Scenario {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// M returns the cluster count: the fleet size for simulated scenarios, the
+// measurement-matrix height for external (FromData/LoadCSV) ones.
+func (s *Scenario) M() int {
+	if len(s.Fleet) > 0 {
+		return len(s.Fleet)
+	}
+	if s.MeasT != nil {
+		return s.MeasT.Rows
+	}
+	return 0
+}
+
+// PoolLen returns the task count: the pool size for simulated scenarios,
+// the feature-matrix height for external ones.
+func (s *Scenario) PoolLen() int {
+	if len(s.Pool) > 0 {
+		return len(s.Pool)
+	}
+	if s.Features != nil {
+		return s.Features.Rows
+	}
+	return 0
+}
+
+// Split partitions the pool into train and test index sets. frac is the
+// training fraction; the shuffle is drawn from the scenario's "split"
+// stream so it is reproducible.
+func (s *Scenario) Split(frac float64) (train, test []int) {
+	if frac <= 0 || frac >= 1 {
+		panic("workload: Split fraction must be in (0,1)")
+	}
+	perm := s.root.Split("split").Perm(s.PoolLen())
+	cut := int(frac * float64(len(perm)))
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= len(perm) {
+		cut = len(perm) - 1
+	}
+	return perm[:cut], perm[cut:]
+}
+
+// SampleRound draws n pool indices (with replacement across rounds, without
+// within a round) from the given index set, simulating one allocation
+// round's incoming task batch. r may be any stream; experiments use
+// per-replicate streams.
+func (s *Scenario) SampleRound(from []int, n int, r *rng.Source) []int {
+	if n > len(from) {
+		panic(fmt.Sprintf("workload: round of %d from %d candidates", n, len(from)))
+	}
+	perm := r.Perm(len(from))
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = from[perm[i]]
+	}
+	return out
+}
+
+// FeaturesOf gathers the feature rows of the given pool indices into an
+// len(idx)×FeatureDim matrix.
+func (s *Scenario) FeaturesOf(idx []int) *mat.Dense {
+	out := mat.NewDense(len(idx), s.Features.Cols)
+	for k, j := range idx {
+		copy(out.Row(k), s.Features.Row(j))
+	}
+	return out
+}
+
+// gather copies columns idx of src (M × pool) into an M × len(idx) matrix.
+func (s *Scenario) gather(src *mat.Dense, idx []int) *mat.Dense {
+	out := mat.NewDense(src.Rows, len(idx))
+	for i := 0; i < src.Rows; i++ {
+		row := src.Row(i)
+		orow := out.Row(i)
+		for k, j := range idx {
+			orow[k] = row[j]
+		}
+	}
+	return out
+}
+
+// TrueMatrices returns the ground-truth (T, A) for the given pool indices,
+// shaped M × len(idx) as the matcher expects.
+func (s *Scenario) TrueMatrices(idx []int) (T, A *mat.Dense) {
+	return s.gather(s.TrueT, idx), s.gather(s.TrueA, idx)
+}
+
+// MeasuredMatrices returns the noisy profiling observations (T, A) for the
+// given pool indices, shaped M × len(idx).
+func (s *Scenario) MeasuredMatrices(idx []int) (T, A *mat.Dense) {
+	return s.gather(s.MeasT, idx), s.gather(s.MeasA, idx)
+}
+
+// LabelVectors returns cluster i's measured labels over the given pool
+// indices: times (normalized) and reliabilities, as prediction targets.
+func (s *Scenario) LabelVectors(i int, idx []int) (t, a mat.Vec) {
+	t = mat.NewVec(len(idx))
+	a = mat.NewVec(len(idx))
+	for k, j := range idx {
+		t[k] = s.MeasT.At(i, j)
+		a[k] = s.MeasA.At(i, j)
+	}
+	return t, a
+}
+
+// Stream derives a named random stream from the scenario seed, for
+// components (trainers, evaluators) that need reproducible randomness.
+func (s *Scenario) Stream(name string) *rng.Source { return s.root.Split(name) }

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/cluster"
+)
+
+func small(seed uint64) *Scenario {
+	return MustNew(Config{Setting: cluster.SettingA, PoolSize: 40, FeatureDim: 12, Seed: seed})
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	a := small(5)
+	b := small(5)
+	if !a.TrueT.Equal(b.TrueT, 0) || !a.MeasT.Equal(b.MeasT, 0) || !a.Features.Equal(b.Features, 0) {
+		t.Fatal("same-seed scenarios differ")
+	}
+	if a.TimeScale != b.TimeScale {
+		t.Fatal("time scale differs")
+	}
+}
+
+func TestScenarioSeedMatters(t *testing.T) {
+	a := small(5)
+	b := small(6)
+	if a.MeasT.Equal(b.MeasT, 1e-12) {
+		t.Fatal("different seeds produced identical measurements")
+	}
+}
+
+func TestShapesAndNormalization(t *testing.T) {
+	s := small(7)
+	if s.M() != 3 || s.PoolLen() != 40 {
+		t.Fatalf("M=%d pool=%d", s.M(), s.PoolLen())
+	}
+	if s.TrueT.Rows != 3 || s.TrueT.Cols != 40 {
+		t.Fatalf("TrueT shape %dx%d", s.TrueT.Rows, s.TrueT.Cols)
+	}
+	// Normalized true times must average to 1 by construction.
+	sum := 0.0
+	for _, v := range s.TrueT.Data {
+		if v <= 0 {
+			t.Fatalf("non-positive normalized time %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(len(s.TrueT.Data)); math.Abs(mean-1) > 1e-9 {
+		t.Fatalf("normalized mean %v, want 1", mean)
+	}
+	for _, v := range s.TrueA.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("reliability %v out of range", v)
+		}
+	}
+}
+
+func TestMeasurementsNoisyButCorrelated(t *testing.T) {
+	s := small(9)
+	// Measured and true times should differ (noise) but correlate strongly.
+	var sumTrue, sumMeas, sumTT, sumMM, sumTM float64
+	n := float64(len(s.TrueT.Data))
+	identical := true
+	for k := range s.TrueT.Data {
+		tv, mv := math.Log(s.TrueT.Data[k]), math.Log(s.MeasT.Data[k])
+		if tv != mv {
+			identical = false
+		}
+		sumTrue += tv
+		sumMeas += mv
+		sumTT += tv * tv
+		sumMM += mv * mv
+		sumTM += tv * mv
+	}
+	if identical {
+		t.Fatal("measurements carry no noise")
+	}
+	cov := sumTM/n - sumTrue*sumMeas/n/n
+	vt := sumTT/n - sumTrue*sumTrue/n/n
+	vm := sumMM/n - sumMeas*sumMeas/n/n
+	if corr := cov / math.Sqrt(vt*vm); corr < 0.95 {
+		t.Fatalf("log-time correlation %v too low", corr)
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	s := small(11)
+	train, test := s.Split(0.75)
+	if len(train)+len(test) != s.PoolLen() {
+		t.Fatalf("split sizes %d+%d != %d", len(train), len(test), s.PoolLen())
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, train...), test...) {
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+	}
+	// Same seed → same split.
+	train2, _ := small(11).Split(0.75)
+	for k := range train {
+		if train[k] != train2[k] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestSplitPanicsOnBadFrac(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	small(1).Split(1.5)
+}
+
+func TestSampleRound(t *testing.T) {
+	s := small(13)
+	train, _ := s.Split(0.75)
+	r := s.Stream("round")
+	idx := s.SampleRound(train, 5, r)
+	if len(idx) != 5 {
+		t.Fatalf("round size %d", len(idx))
+	}
+	inTrain := map[int]bool{}
+	for _, i := range train {
+		inTrain[i] = true
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if !inTrain[i] {
+			t.Fatalf("round drew index %d outside candidate set", i)
+		}
+		if seen[i] {
+			t.Fatalf("duplicate index %d within round", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestGatherConsistency(t *testing.T) {
+	s := small(15)
+	idx := []int{3, 0, 7}
+	T, A := s.TrueMatrices(idx)
+	for k, j := range idx {
+		for i := 0; i < s.M(); i++ {
+			if T.At(i, k) != s.TrueT.At(i, j) || A.At(i, k) != s.TrueA.At(i, j) {
+				t.Fatal("gather misaligned")
+			}
+		}
+	}
+	X := s.FeaturesOf(idx)
+	if X.Rows != 3 || !X.Row(1).Equal(s.Features.Row(0), 0) {
+		t.Fatal("FeaturesOf misaligned")
+	}
+	tv, av := s.LabelVectors(1, idx)
+	MT, MA := s.MeasuredMatrices(idx)
+	for k := range idx {
+		if tv[k] != MT.At(1, k) || av[k] != MA.At(1, k) {
+			t.Fatal("LabelVectors disagree with MeasuredMatrices")
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := MustNew(Config{Seed: 1})
+	if s.PoolLen() != 160 || s.Features.Cols != 16 || s.M() != 3 {
+		t.Fatalf("defaults not applied: pool=%d dim=%d M=%d", s.PoolLen(), s.Features.Cols, s.M())
+	}
+}

@@ -1,0 +1,293 @@
+// Package mfcp is a from-scratch Go implementation of "Joint Prediction and
+// Matching for Computing Resource Exchange Platforms" (ICPP 2025): the MFCP
+// framework that trains cluster performance predictors end-to-end through
+// the downstream cluster–task matching optimization, minimizing decision
+// regret instead of prediction error.
+//
+// The package is a thin, stable facade over the internal implementation:
+//
+//   - NewScenario builds a simulated exchange-platform environment — a
+//     heterogeneous cluster fleet, a pool of deep-learning tasks modeled as
+//     operator DAGs, frozen GNN-style feature embeddings, and noisy
+//     profiling measurements alongside hidden ground truth.
+//   - Train fits MFCP predictors (analytical-differentiation or
+//     zeroth-order variant); NewTAM / NewTSM / NewUCB build the paper's
+//     baselines on the same data.
+//   - Match solves the cluster–task matching problem (smoothed makespan
+//     objective with a log-barrier reliability constraint) for any
+//     predicted cost matrices; Evaluate scores an assignment against the
+//     hidden ground truth with the paper's three metrics.
+//   - Table1 / Figure4 / Figure5 / Table2 regenerate the paper's
+//     evaluation; RunPlatform simulates the full allocation loop.
+//
+// See README.md for a quickstart and DESIGN.md for the system inventory.
+package mfcp
+
+import (
+	"mfcp/internal/baselines"
+	"mfcp/internal/cluster"
+	"mfcp/internal/core"
+	"mfcp/internal/experiments"
+	"mfcp/internal/mat"
+	"mfcp/internal/matching"
+	"mfcp/internal/metrics"
+	"mfcp/internal/platform"
+	"mfcp/internal/workload"
+)
+
+// Re-exported building blocks. Aliases keep one canonical definition while
+// giving users a single import.
+type (
+	// Scenario is a fully materialized experimental environment: fleet,
+	// task pool, features, measurements, and hidden ground truth.
+	Scenario = workload.Scenario
+	// ScenarioConfig parameterizes scenario construction.
+	ScenarioConfig = workload.Config
+	// Setting selects one of the paper's cluster fleets (A, B, C).
+	Setting = cluster.Setting
+	// MatchConfig bundles the matching hyperparameters (γ, β, λ, ...).
+	MatchConfig = core.MatchConfig
+	// TrainerConfig parameterizes MFCP training.
+	TrainerConfig = core.Config
+	// Trainer is a trained MFCP model.
+	Trainer = core.Trainer
+	// PredictorSet holds per-cluster time and reliability networks.
+	PredictorSet = core.PredictorSet
+	// Matrix is the dense matrix type used for cost matrices (M×N).
+	Matrix = mat.Dense
+	// Eval is one assignment's ground-truth scorecard (regret,
+	// reliability, utilization).
+	Eval = metrics.Eval
+	// Table is a rendered experiment result.
+	Table = experiments.Table
+	// ExperimentConfig holds the experiment harness knobs.
+	ExperimentConfig = experiments.Config
+	// MethodResult aggregates one method's metrics across replicates.
+	MethodResult = experiments.MethodResult
+	// PlatformConfig parameterizes an end-to-end platform simulation.
+	PlatformConfig = platform.Config
+	// PlatformReport aggregates a platform simulation.
+	PlatformReport = platform.Report
+)
+
+// Fleet settings of the paper's evaluation (§4.3).
+const (
+	SettingA = cluster.SettingA
+	SettingB = cluster.SettingB
+	SettingC = cluster.SettingC
+)
+
+// Trainer kinds (§3.3–3.4).
+const (
+	// KindAD is MFCP with analytical KKT differentiation (convex setting).
+	KindAD = core.AD
+	// KindFG is MFCP with zeroth-order forward gradients (Algorithm 2).
+	KindFG = core.FG
+	// KindUR is MFCP with unrolled differentiation (backprop through the
+	// solver iterations) — an extension beyond the paper's two variants.
+	KindUR = core.UR
+)
+
+// Method is anything that predicts performance matrices (T̂, Â) for a round
+// of task indices: MFCP trainers, baselines, or user implementations.
+type Method = experiments.Method
+
+// NewScenario builds a simulation environment. Construction is
+// deterministic in cfg.Seed.
+func NewScenario(cfg ScenarioConfig) (*Scenario, error) { return workload.New(cfg) }
+
+// ScenarioFromData builds a matrices-only Scenario from externally supplied
+// measurements — the path for operators with real profiling data. features
+// is tasks×dim, measT and measA are clusters×tasks. Simulator-backed
+// features (platform runs, onboarding, drift) are unavailable.
+func ScenarioFromData(features, measT, measA *Matrix, seed uint64) (*Scenario, error) {
+	return workload.FromData(features, measT, measA, seed)
+}
+
+// LoadScenarioCSV loads a dataset in cmd/datagen's CSV layout
+// (features.csv + performance.csv under dir) as an external Scenario.
+func LoadScenarioCSV(dir string, seed uint64) (*Scenario, error) {
+	return workload.LoadCSV(dir, seed)
+}
+
+// Train fits MFCP on the scenario's training task indices.
+func Train(s *Scenario, train []int, cfg TrainerConfig) *Trainer {
+	return core.Train(s, train, cfg)
+}
+
+// NewTAM builds the task-agnostic matching baseline.
+func NewTAM(s *Scenario, train []int) Method { return baselines.NewTAM(s, train) }
+
+// NewTSM builds the two-stage (MSE predict-then-match) baseline.
+func NewTSM(s *Scenario, train []int, hidden []int, epochs int) Method {
+	return baselines.NewTSM(s, train, hidden, epochs)
+}
+
+// PretrainPredictors trains a predictor set by plain MSE (equation 1) —
+// the two-stage baseline's entire learning. Hand the result to NewTSMFrom
+// and to TrainerConfig.Warm to give TSM and MFCP the identical starting
+// point, so their comparison isolates the regret-descent phase.
+func PretrainPredictors(s *Scenario, train []int, hidden []int, epochs int) *PredictorSet {
+	stream := s.Stream("shared-pretrain")
+	set := core.NewPredictorSet(s.M(), s.Features.Cols, hidden, stream.Split("init"))
+	core.PretrainMSE(set, s, train, epochs, stream.Split("train"))
+	return set
+}
+
+// NewTSMFrom wraps an existing predictor set as the two-stage baseline.
+func NewTSMFrom(s *Scenario, set *PredictorSet) Method {
+	return baselines.NewTSMFromSet(s, set)
+}
+
+// NewUCB builds the confidence-bound baseline with default ensembles.
+func NewUCB(s *Scenario, train []int) Method {
+	return baselines.NewUCB(s, train, baselines.UCBConfig{})
+}
+
+// NewOracle returns a method that predicts the hidden ground truth exactly
+// (diagnostic upper bound, not a paper baseline).
+func NewOracle(s *Scenario) Method { return baselines.NewOracle(s) }
+
+// Match solves the cluster–task matching problem for predicted matrices
+// (T̂, Â), returning the cluster index assigned to each task. All methods
+// in the paper share this pipeline: continuous relaxation (Algorithm 1
+// family), rounding, and greedy feasibility repair.
+func Match(mc MatchConfig, T, A *Matrix) []int {
+	mc.FillDefaults()
+	return mc.Solve(T, A)
+}
+
+// Evaluate scores an assignment on a round of pool indices against the
+// scenario's hidden ground truth, using the same-pipeline oracle of
+// equation (6).
+func Evaluate(s *Scenario, mc MatchConfig, round, assign []int) Eval {
+	mc.FillDefaults()
+	trueT, trueA := s.TrueMatrices(round)
+	trueProb := mc.Problem(trueT, trueA)
+	oracle := mc.Solve(trueT, trueA)
+	return metrics.Evaluate(trueProb, assign, oracle)
+}
+
+// ExactMatch solves a small instance to optimality by branch and bound,
+// returning the assignment, its cost, and reliability feasibility.
+func ExactMatch(mc MatchConfig, T, A *Matrix) (assign []int, cost float64, feasible bool) {
+	mc.FillDefaults()
+	return matching.SolveExact(mc.Problem(T, A))
+}
+
+// Table1 regenerates the paper's ablation study (Table 1).
+func Table1(cfg ExperimentConfig) *Table { return experiments.Ablation(cfg) }
+
+// Figure4 regenerates the overall comparison (Fig. 4): one table per
+// cluster setting.
+func Figure4(cfg ExperimentConfig) []*Table { return experiments.Overall(cfg) }
+
+// Figure5 regenerates the scalability study (Fig. 5): regret and
+// utilization versus round size.
+func Figure5(cfg ExperimentConfig, sizes []int) (regret, utilization *Table) {
+	return experiments.Scaling(cfg, sizes)
+}
+
+// Table2 regenerates the parallel-execution comparison (Table 2).
+func Table2(cfg ExperimentConfig) *Table { return experiments.ParallelExecution(cfg) }
+
+// ExtensionTable runs one extension study by its DESIGN.md identifier:
+// X1 (Theorem 1 smoothing check), X2 (Theorem 3 zeroth-order error),
+// X3 (Theorems 4/5 solver convergence), X4 (barrier weight sweep),
+// X5 (gradient-route comparison incl. unrolled differentiation),
+// X6 (sample efficiency with paired significance), X7 (measurement-noise
+// sensitivity), X8 (reliability-threshold sweep), X9 (adaptation under
+// cluster performance drift with online refitting), X10 (matching solver
+// comparison vs the exact branch-and-bound optimum), X11 (embedding
+// front-end ablation).
+// It returns nil for unknown keys.
+func ExtensionTable(cfg ExperimentConfig, key string) *Table {
+	switch key {
+	case "X1":
+		return experiments.SweepBeta(cfg)
+	case "X2":
+		return experiments.SweepPerturbation(cfg)
+	case "X3":
+		return experiments.Convergence(cfg)
+	case "X4":
+		return experiments.SweepBarrier(cfg)
+	case "X5":
+		return experiments.GradientRoutes(cfg)
+	case "X6":
+		return experiments.SampleEfficiency(cfg, nil)
+	case "X7":
+		return experiments.NoiseSensitivity(cfg, nil)
+	case "X8":
+		return experiments.GammaSweep(cfg, nil)
+	case "X9":
+		return experiments.AdaptationStudy(cfg)
+	case "X10":
+		return experiments.SolverStudy(cfg)
+	case "X11":
+		return experiments.EmbeddingStudy(cfg)
+	default:
+		return nil
+	}
+}
+
+// ExtensionTables runs all extension studies, keyed by identifier.
+func ExtensionTables(cfg ExperimentConfig) map[string]*Table {
+	out := map[string]*Table{}
+	for _, key := range []string{"X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11"} {
+		out[key] = ExtensionTable(cfg, key)
+	}
+	return out
+}
+
+// CompareMethods trains and evaluates the paper's five methods (§4.1.2)
+// under cfg; includeAD=false drops MFCP-AD for non-convex settings.
+func CompareMethods(cfg ExperimentConfig, includeAD bool) []MethodResult {
+	return experiments.RunMethods(cfg, experiments.StandardSpecs(cfg, includeAD))
+}
+
+// RunPlatform executes an end-to-end exchange-platform simulation.
+func RunPlatform(cfg PlatformConfig) (*PlatformReport, error) { return platform.Run(cfg) }
+
+// OnlineConfig parameterizes a platform simulation with in-the-loop
+// predictor refitting; OnlineReport adds the learning curve.
+type (
+	OnlineConfig = platform.OnlineConfig
+	OnlineReport = platform.OnlineReport
+	// OnboardingPoint is one (budget, prediction quality) point from a
+	// cluster-onboarding study.
+	OnboardingPoint = platform.OnboardingPoint
+	// ClusterProfile describes one cluster's hardware and operational
+	// characteristics.
+	ClusterProfile = cluster.Profile
+)
+
+// RunPlatformOnline simulates the platform with periodic predictor
+// refitting from realized executions (partial feedback).
+func RunPlatformOnline(cfg OnlineConfig) (*OnlineReport, error) { return platform.RunOnline(cfg) }
+
+// OnboardingStudy profiles a newly joined cluster on growing task budgets
+// and reports how quickly its predictors become matching-grade.
+func OnboardingStudy(s *Scenario, newcomer *ClusterProfile, sampleSizes []int) ([]OnboardingPoint, error) {
+	return platform.OnboardingStudy(s, newcomer, sampleSizes, nil, 0)
+}
+
+// ClusterInventory returns the full nine-profile cluster inventory the
+// preset fleets draw from.
+func ClusterInventory() []*ClusterProfile { return cluster.Inventory() }
+
+// RegretChart renders a method comparison's regret means as an ASCII bar
+// chart (a Fig. 4 panel).
+func RegretChart(title string, results []MethodResult) string {
+	return experiments.RegretChart(title, results)
+}
+
+// UtilizationChart renders utilization means as an ASCII bar chart.
+func UtilizationChart(title string, results []MethodResult) string {
+	return experiments.UtilizationChart(title, results)
+}
+
+// Figure5Charts computes Fig. 5 and renders it as two ASCII line charts.
+func Figure5Charts(cfg ExperimentConfig, sizes []int) (regret, utilization string) {
+	sz, results := experiments.ScalingResults(cfg, sizes)
+	return experiments.ScalingCharts(sz, results)
+}

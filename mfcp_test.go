@@ -1,0 +1,94 @@
+package mfcp
+
+import (
+	"testing"
+)
+
+func tinyScenario(t *testing.T) *Scenario {
+	t.Helper()
+	s, err := NewScenario(ScenarioConfig{PoolSize: 48, FeatureDim: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	s := tinyScenario(t)
+	train, test := s.Split(0.75)
+
+	tr := Train(s, train, TrainerConfig{Kind: KindAD, Hidden: []int{8}, PretrainEpochs: 40, Epochs: 6, RoundSize: 4})
+	round := s.SampleRound(test, 4, s.Stream("demo"))
+	That, Ahat := tr.Predict(round)
+
+	var mc MatchConfig
+	assign := Match(mc, That, Ahat)
+	if len(assign) != 4 {
+		t.Fatalf("assignment %v", assign)
+	}
+	ev := Evaluate(s, mc, round, assign)
+	if ev.Reliability <= 0 || ev.Reliability > 1 {
+		t.Fatalf("eval %+v", ev)
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	s := tinyScenario(t)
+	train, test := s.Split(0.75)
+	round := s.SampleRound(test, 4, s.Stream("b"))
+	for _, m := range []Method{NewTAM(s, train), NewTSM(s, train, []int{8}, 30), NewOracle(s)} {
+		T, A := m.Predict(round)
+		if T.Rows != s.M() || A.Cols != 4 {
+			t.Fatalf("%s prediction shapes", m.Name())
+		}
+	}
+}
+
+func TestExactMatchPublic(t *testing.T) {
+	s := tinyScenario(t)
+	round := []int{0, 1, 2, 3}
+	T, A := s.TrueMatrices(round)
+	var mc MatchConfig
+	assign, cost, _ := ExactMatch(mc, T, A)
+	if len(assign) != 4 || cost <= 0 {
+		t.Fatalf("exact: %v %v", assign, cost)
+	}
+}
+
+func TestSettingsExported(t *testing.T) {
+	for _, set := range []Setting{SettingA, SettingB, SettingC} {
+		if _, err := NewScenario(ScenarioConfig{Setting: set, PoolSize: 16, FeatureDim: 8, Seed: 1}); err != nil {
+			t.Fatalf("setting %s: %v", set, err)
+		}
+	}
+}
+
+func TestRunPlatformPublic(t *testing.T) {
+	rep, err := RunPlatform(PlatformConfig{
+		Scenario:       ScenarioConfig{PoolSize: 40, FeatureDim: 10, Seed: 5},
+		Method:         "tsm",
+		Rounds:         3,
+		RoundSize:      4,
+		PretrainEpochs: 30,
+		Hidden:         []int{8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 3 {
+		t.Fatalf("rounds %d", len(rep.Rounds))
+	}
+}
+
+func TestExtensionTablesKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension sweeps are slow")
+	}
+	cfg := ExperimentConfig{Replicates: 2, Rounds: 3, RoundSize: 4, PoolSize: 40, FeatureDim: 10, PretrainEpochs: 20, RegretEpochs: 2, Hidden: []int{8}}
+	tables := ExtensionTables(cfg)
+	for _, key := range []string{"X1", "X2", "X3", "X4"} {
+		if tables[key] == nil || len(tables[key].Rows) == 0 {
+			t.Fatalf("extension %s missing or empty", key)
+		}
+	}
+}
