@@ -1,0 +1,28 @@
+# Developer entry points. `make ci` is what a CI job runs: vet + the full
+# test suite under the race detector (the zeroth-order estimators and the
+# parallel arenas share pooled workspaces across workers, so -race is not
+# optional here).
+
+GO ?= go
+
+.PHONY: ci vet test race bench bench-matching
+
+ci: vet race
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Matching-kernel micro-benchmarks; BENCH_matching.json records the
+# before/after numbers for the allocation-free workspace rewrite.
+bench-matching:
+	$(GO) test ./internal/matching -run '^$$' -bench 'SolveRelaxed|Repair' -benchmem
+	$(GO) test ./internal/diffopt -run '^$$' -bench 'BenchmarkRowVJP$$|BenchmarkFullVJP$$' -benchmem
+
+bench:
+	$(GO) test . -run '^$$' -bench . -benchmem

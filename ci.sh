@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gate: static checks plus the full test suite under the race detector.
+# The pooled solver workspaces (internal/parallel.Arena, internal/diffopt's
+# per-worker shadows) are shared across goroutines, so -race must stay in
+# the gate. Equivalent to `make ci`.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...

@@ -267,6 +267,13 @@ type Trainer struct {
 	ValRegret float64
 
 	name string
+	// ws and wsOracle are the reusable matching workspaces for the
+	// per-epoch relaxed solves (prediction-driven and oracle/row-wise
+	// respectively — two, because the prediction optimum X lives in ws
+	// while the oracle solve runs). The round dimensions repeat every
+	// epoch, so the buffers are allocated once per training run.
+	ws       *matching.Workspace
+	wsOracle *matching.Workspace
 }
 
 // Name identifies the method in experiment tables.
@@ -431,12 +438,18 @@ func (tr *Trainer) validationRegret(valRounds [][]int) float64 {
 func (tr *Trainer) matchingGrads(trueProb *matching.Problem, That, Ahat, Tm, Am *mat.Dense, r *rng.Source) (dT, dA *mat.Dense, trainRegret float64, err error) {
 	cfg := tr.Cfg
 	invN := 1 / float64(That.Cols)
+	if tr.ws == nil {
+		tr.ws = matching.NewWorkspace(That.Rows, That.Cols)
+		tr.wsOracle = matching.NewWorkspace(That.Rows, That.Cols)
+	}
 
 	// Prediction-driven optimum with the entropy regularizer active so the
-	// argmin is differentiable (see matching.Problem.Entropy).
+	// argmin is differentiable (see matching.Problem.Entropy). X lives in
+	// tr.ws until the end of this call; the oracle and row-wise solves
+	// below use tr.wsOracle so they cannot clobber it.
 	predProb := cfg.Match.Problem(That, Ahat)
 	predProb.Entropy = cfg.Match.Entropy
-	X := matching.SolveRelaxed(predProb, matching.SolveOptions{Iters: cfg.Match.SolveIters})
+	X := matching.SolveRelaxedWS(predProb, matching.SolveOptions{Iters: cfg.Match.SolveIters}, tr.ws)
 
 	// Loss gradient w.r.t. the matching: (1/N)·∇_X F under true values.
 	w := trueProb.GradX(X, nil)
@@ -445,7 +458,8 @@ func (tr *Trainer) matchingGrads(trueProb *matching.Problem, That, Ahat, Tm, Am 
 	// Training regret for the history curve (discrete, vs measured truth),
 	// with the oracle produced by the same matching pipeline (eq. 6).
 	predAssign := matching.Repair(predProb, matching.Round(X))
-	_, oracle := matching.Solve(trueProb, matching.SolveOptions{Iters: cfg.Match.SolveIters})
+	Xo := matching.SolveRelaxedWS(trueProb, matching.SolveOptions{Iters: cfg.Match.SolveIters}, tr.wsOracle)
+	oracle := matching.Repair(trueProb, matching.Round(Xo))
 	trainRegret = (trueProb.DiscreteCost(predAssign) - trueProb.DiscreteCost(oracle)) * invN
 
 	switch cfg.Kind {
@@ -483,7 +497,7 @@ func (tr *Trainer) matchingGrads(trueProb *matching.Problem, That, Ahat, Tm, Am 
 				copy(Amix.Row(i), Ahat.Row(i))
 				rowProb := cfg.Match.Problem(Tmix, Amix)
 				rowProb.Entropy = cfg.Match.Entropy
-				Xi := matching.SolveRelaxed(rowProb, matching.SolveOptions{Iters: cfg.Match.SolveIters})
+				Xi := matching.SolveRelaxedWS(rowProb, matching.SolveOptions{Iters: cfg.Match.SolveIters}, tr.wsOracle)
 				wi := trueProb.GradX(Xi, nil)
 				wi.Scale(invN)
 				dTi, dAi := diffopt.RowVJP(rowProb, Xi, wi, i, cfg.ZO, r.SplitIndexed("row", i))

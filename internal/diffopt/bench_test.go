@@ -1,0 +1,45 @@
+package diffopt
+
+import (
+	"testing"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+)
+
+// Micro-benchmarks for the zeroth-order gradient estimators. Every sample
+// pays two full relaxed matching solves, so these inherit the solver's
+// allocation behavior; BENCH_matching.json records before/after numbers for
+// the workspace rewrite. Reproduce with
+//
+//	go test ./internal/diffopt -run '^$' -bench 'RowVJP|FullVJP' -benchmem
+
+// BenchmarkRowVJP measures Algorithm 2's per-row estimator (S=8 samples,
+// 2·S inner solves) on a 3×10 instance.
+func BenchmarkRowVJP(b *testing.B) {
+	r := rng.New(3)
+	p := testProblem(r, 3, 10)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(3, 10).Fill(1)
+	cfg := ZeroOrderConfig{Samples: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RowVJP(p, X, w, 0, cfg, r.SplitIndexed("bench", i))
+	}
+}
+
+// BenchmarkFullVJP measures the batched full-matrix estimator the default
+// (RowWise=false) trainer uses.
+func BenchmarkFullVJP(b *testing.B) {
+	r := rng.New(3)
+	p := testProblem(r, 3, 10)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(3, 10).Fill(1)
+	cfg := ZeroOrderConfig{Samples: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FullVJP(p, X, w, cfg, r.SplitIndexed("bench", i))
+	}
+}

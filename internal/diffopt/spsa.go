@@ -20,48 +20,58 @@ import (
 // for gradients of BOTH matrices — half of Algorithm 2's 4S(+) budget.
 //
 // Provided as an alternative estimator for the gradient-route studies; the
-// trainers default to the paper's Algorithm 2.
+// trainers default to the paper's Algorithm 2. Like RowVJP/FullVJP it
+// perturbs into pooled per-worker shadow matrices, solves in pooled
+// workspaces, and reduces sample contributions in sample order.
 func SPSAVJP(p *matching.Problem, X, w *mat.Dense, cfg ZeroOrderConfig, r *rng.Source) (dT, dA *mat.Dense) {
 	cfg.fillDefaults()
 	m, n := p.M(), p.N()
-	type sample struct{ dT, dA *mat.Dense }
-	grads := parallel.Map(cfg.Samples, func(s int) sample {
-		sr := r.SplitIndexed("spsa", s)
-		dirT := rademacher(sr, m, n)
-		dirA := rademacher(sr, m, n)
+	dirT := mat.NewDense(cfg.Samples, m*n)
+	dirA := mat.NewDense(cfg.Samples, m*n)
+	g := make([]float64, cfg.Samples)
+	parallel.ForChunked(cfg.Samples, 1, func(lo, hi int) {
+		zw := zoArena.Get()
+		defer zoArena.Put(zw)
+		for s := lo; s < hi; s++ {
+			sr := r.SplitIndexed("spsa", s)
+			vT := rademacherVec(sr, dirT.Row(s))
+			vA := rademacherVec(sr, dirA.Row(s))
+			zw.ws.Reset(m, n)
 
-		plus := p.WithPrediction(
-			p.T.Clone().AddScaled(cfg.Delta, dirT),
-			perturbedA(p.A, dirA, cfg.Delta),
-		)
-		minus := p.WithPrediction(
-			p.T.Clone().AddScaled(-cfg.Delta, dirT),
-			perturbedA(p.A, dirA, -cfg.Delta),
-		)
-		Xp := cfg.Solve(plus, X)
-		Xm := cfg.Solve(minus, X)
-		g := (dot(w, Xp) - dot(w, Xm)) / (2 * cfg.Delta)
-		return sample{dT: dirT.Scale(g), dA: dirA.Scale(g)}
+			stage := func(delta float64) *matching.Problem {
+				zw.ws.TShadow.CopyFrom(p.T)
+				mat.Vec(zw.ws.TShadow.Data).AddScaled(delta, vT)
+				zw.ws.AShadow.CopyFrom(p.A)
+				mat.Vec(zw.ws.AShadow.Data).AddScaled(delta, vA)
+				clampUnit(zw.ws.AShadow.Data)
+				zw.probT = *p
+				zw.probT.T = zw.ws.TShadow
+				zw.probT.A = zw.ws.AShadow
+				return &zw.probT
+			}
+			lp := dot(w, cfg.SolveWS(stage(cfg.Delta), X, zw.ws))
+			lm := dot(w, cfg.SolveWS(stage(-cfg.Delta), X, zw.ws))
+			g[s] = (lp - lm) / (2 * cfg.Delta)
+		}
 	})
 	dT = mat.NewDense(m, n)
 	dA = mat.NewDense(m, n)
 	inv := 1 / float64(cfg.Samples)
-	for _, g := range grads {
-		dT.AddScaled(inv, g.dT)
-		dA.AddScaled(inv, g.dA)
+	for s := 0; s < cfg.Samples; s++ {
+		mat.Vec(dT.Data).AddScaled(inv, dirT.Row(s).Scale(g[s]))
+		mat.Vec(dA.Data).AddScaled(inv, dirA.Row(s).Scale(g[s]))
 	}
 	return dT, dA
 }
 
-// rademacher fills a matrix with independent ±1 entries.
-func rademacher(r *rng.Source, m, n int) *mat.Dense {
-	out := mat.NewDense(m, n)
-	for k := range out.Data {
+// rademacherVec fills dst with independent ±1 entries and returns it.
+func rademacherVec(r *rng.Source, dst mat.Vec) mat.Vec {
+	for k := range dst {
 		if r.Bernoulli(0.5) {
-			out.Data[k] = 1
+			dst[k] = 1
 		} else {
-			out.Data[k] = -1
+			dst[k] = -1
 		}
 	}
-	return out
+	return dst
 }

@@ -55,9 +55,9 @@ func TestSPSAFiniteOnNonConvex(t *testing.T) {
 
 func TestRademacherEntries(t *testing.T) {
 	r := rng.New(73)
-	d := rademacher(r, 8, 8)
+	d := rademacherVec(r, mat.NewVec(64))
 	plus, minus := 0, 0
-	for _, v := range d.Data {
+	for _, v := range d {
 		switch v {
 		case 1:
 			plus++

@@ -51,17 +51,19 @@ func UnrolledGradsFunc(p *matching.Problem, wAt func(X *mat.Dense) *mat.Dense, c
 	}
 	m, n := p.M(), p.N()
 
-	// Forward pass, storing every iterate.
+	// Forward pass, storing every iterate. One workspace supplies the
+	// gradient scratch for all K steps.
 	Y := mat.NewDense(m, n) // zero logits = uniform columns
 	iterates := make([]*mat.Dense, cfg.Iters+1)
 	grad := mat.NewDense(m, n)
+	ws := matching.NewWorkspace(m, n)
 	for k := 0; k <= cfg.Iters; k++ {
 		Xk := colSoftmax(Y, nil)
 		iterates[k] = Xk
 		if k == cfg.Iters {
 			break
 		}
-		p.GradX(Xk, grad)
+		p.GradXWS(Xk, grad, ws)
 		Y.AddScaled(-cfg.LR, grad)
 	}
 	X = iterates[cfg.Iters]

@@ -13,10 +13,22 @@ import (
 // warm-started from init (which implementations must not mutate).
 type SolveFn func(p *matching.Problem, init *mat.Dense) *mat.Dense
 
+// SolveWSFn is SolveFn with a caller-supplied solver workspace; the result
+// may alias ws and is only valid until the workspace's next use. The
+// estimators below call it once per zeroth-order sample, immediately
+// contract the result, and discard it — exactly the lifetime the workspace
+// contract requires.
+type SolveWSFn func(p *matching.Problem, init *mat.Dense, ws *matching.Workspace) *mat.Dense
+
 // DefaultSolve is the standard inner solver used during gradient
 // estimation: mirror descent with a warm start and a moderate budget.
 func DefaultSolve(p *matching.Problem, init *mat.Dense) *mat.Dense {
 	return matching.SolveRelaxed(p, matching.SolveOptions{Iters: 150, Init: init})
+}
+
+// DefaultSolveWS is DefaultSolve running allocation-free in ws.
+func DefaultSolveWS(p *matching.Problem, init *mat.Dense, ws *matching.Workspace) *mat.Dense {
+	return matching.SolveRelaxedWS(p, matching.SolveOptions{Iters: 150, Init: init}, ws)
 }
 
 // ZeroOrderConfig parameterizes Algorithm 2's estimator.
@@ -25,8 +37,13 @@ type ZeroOrderConfig struct {
 	Delta float64
 	// Samples is the sampling count S (default 8).
 	Samples int
-	// Solve is the inner solver (default DefaultSolve).
+	// Solve is the inner solver (default DefaultSolve). Prefer SolveWS:
+	// a plain Solve cannot use the per-worker workspace and costs the
+	// solver's full allocation overhead per sample.
 	Solve SolveFn
+	// SolveWS is the workspace-aware inner solver (default DefaultSolveWS,
+	// or a wrapper around Solve when only Solve is set).
+	SolveWS SolveWSFn
 }
 
 func (c *ZeroOrderConfig) fillDefaults() {
@@ -35,6 +52,18 @@ func (c *ZeroOrderConfig) fillDefaults() {
 	}
 	if c.Samples == 0 {
 		c.Samples = 8
+	}
+	if c.SolveWS == nil {
+		if c.Solve != nil {
+			// A custom plain solver wins over the workspace default so
+			// existing call sites keep their exact solver behavior.
+			solve := c.Solve
+			c.SolveWS = func(p *matching.Problem, init *mat.Dense, _ *matching.Workspace) *mat.Dense {
+				return solve(p, init)
+			}
+		} else {
+			c.SolveWS = DefaultSolveWS
+		}
 	}
 	if c.Solve == nil {
 		c.Solve = DefaultSolve
@@ -51,105 +80,133 @@ func OptimalDelta(sigmaF, beta float64, samples int) float64 {
 	return math.Sqrt(math.Sqrt(v))
 }
 
+// zoWorkspace is the per-worker scratch one zeroth-order sample needs: a
+// solver workspace (whose TShadow/AShadow double as the perturbed-matrix
+// staging buffers) plus Problem shells whose cost matrices point at the
+// shadows. Workers check these out of zoArena, so buffers are reused
+// across samples and across estimator calls instead of being cloned per
+// sample.
+type zoWorkspace struct {
+	ws    *matching.Workspace
+	probT matching.Problem
+	probA matching.Problem
+}
+
+var zoArena = parallel.NewArena(func() *zoWorkspace {
+	return &zoWorkspace{ws: matching.NewWorkspace(0, 0)}
+})
+
+// perturbedT stages p with its T matrix replaced by T + delta·(row-sparse
+// or dense) perturbation already written into zw.ws.TShadow.
+func (zw *zoWorkspace) problemWithShadows(p *matching.Problem, timeSide bool) *matching.Problem {
+	if timeSide {
+		zw.probT = *p
+		zw.probT.T = zw.ws.TShadow
+		return &zw.probT
+	}
+	zw.probA = *p
+	zw.probA.A = zw.ws.AShadow
+	return &zw.probA
+}
+
 // RowVJP estimates dL/dt̂_i and dL/dâ_i for one cluster row i by the
 // forward-gradient method of Algorithm 2: S Gaussian directions, each
 // requiring two extra matching solves (perturbed T̂ row, perturbed Â row).
 //
 // p carries the predicted matrices (T̂, Â); X is the unperturbed relaxed
 // optimum X*(T̂, Â); w = ∂L/∂X*. Samples run in parallel with streams split
-// deterministically from r.
+// deterministically from r; each worker solves in a pooled workspace and
+// perturbs into its shadow matrices, so no T/A clones or solver buffers are
+// allocated per sample. Sample contributions are reduced serially in sample
+// order, keeping the estimate bit-deterministic for a given r.
 func RowVJP(p *matching.Problem, X, w *mat.Dense, row int, cfg ZeroOrderConfig, r *rng.Source) (dTi, dAi mat.Vec) {
 	cfg.fillDefaults()
-	n := p.N()
-	type sampleGrad struct{ dT, dA mat.Vec }
+	m, n := p.M(), p.N()
 	// Base inner product ⟨w, X⟩ cancels in the difference; precompute the
 	// perturbed-minus-base contraction per sample.
 	base := dot(w, X)
-	grads := parallel.Map(cfg.Samples, func(s int) sampleGrad {
-		sr := r.SplitIndexed("zo", s)
-		vT := mat.Vec(sr.NormVec(make([]float64, n)))
-		vA := mat.Vec(sr.NormVec(make([]float64, n)))
+	// Per-sample direction rows and scalar contractions, filled by the
+	// workers into disjoint slots.
+	dirT := mat.NewDense(cfg.Samples, n)
+	dirA := mat.NewDense(cfg.Samples, n)
+	gT := make([]float64, cfg.Samples)
+	gA := make([]float64, cfg.Samples)
+	parallel.ForChunked(cfg.Samples, 1, func(lo, hi int) {
+		zw := zoArena.Get()
+		defer zoArena.Put(zw)
+		for s := lo; s < hi; s++ {
+			sr := r.SplitIndexed("zo", s)
+			vT := mat.Vec(sr.NormVec(dirT.Row(s)))
+			vA := mat.Vec(sr.NormVec(dirA.Row(s)))
+			zw.ws.Reset(m, n)
 
-		// Perturb the time row.
-		pT := perturbRow(p, row, vT, cfg.Delta, true)
-		XT := cfg.Solve(pT, X)
-		gT := (dot(w, XT) - base) / cfg.Delta
+			// Perturb the time row in the shadow.
+			zw.ws.TShadow.CopyFrom(p.T)
+			zw.ws.TShadow.Row(row).AddScaled(cfg.Delta, vT)
+			XT := cfg.SolveWS(zw.problemWithShadows(p, true), X, zw.ws)
+			gT[s] = (dot(w, XT) - base) / cfg.Delta
 
-		// Perturb the reliability row.
-		pA := perturbRow(p, row, vA, cfg.Delta, false)
-		XA := cfg.Solve(pA, X)
-		gA := (dot(w, XA) - base) / cfg.Delta
-
-		out := sampleGrad{dT: mat.NewVec(n), dA: mat.NewVec(n)}
-		out.dT.AddScaled(gT, vT)
-		out.dA.AddScaled(gA, vA)
-		return out
+			// Perturb the reliability row in the shadow.
+			zw.ws.AShadow.CopyFrom(p.A)
+			zw.ws.AShadow.Row(row).AddScaled(cfg.Delta, vA)
+			clampUnit(zw.ws.AShadow.Row(row))
+			XA := cfg.SolveWS(zw.problemWithShadows(p, false), X, zw.ws)
+			gA[s] = (dot(w, XA) - base) / cfg.Delta
+		}
 	})
 	dTi = mat.NewVec(n)
 	dAi = mat.NewVec(n)
 	inv := 1 / float64(cfg.Samples)
-	for _, g := range grads {
-		dTi.AddScaled(inv, g.dT)
-		dAi.AddScaled(inv, g.dA)
+	for s := 0; s < cfg.Samples; s++ {
+		dTi.AddScaled(inv, dirT.Row(s).Scale(gT[s]))
+		dAi.AddScaled(inv, dirA.Row(s).Scale(gA[s]))
 	}
 	return dTi, dAi
 }
 
 // FullVJP estimates dL/dT̂ and dL/dÂ for the entire matrices by perturbing
 // all entries at once (the natural extension of Algorithm 2 when every
-// cluster's predictor trains simultaneously).
+// cluster's predictor trains simultaneously). Like RowVJP it perturbs into
+// pooled per-worker shadows, solves in pooled workspaces, and reduces in
+// sample order.
 func FullVJP(p *matching.Problem, X, w *mat.Dense, cfg ZeroOrderConfig, r *rng.Source) (dT, dA *mat.Dense) {
 	cfg.fillDefaults()
 	m, n := p.M(), p.N()
 	base := dot(w, X)
-	type sampleGrad struct{ dT, dA *mat.Dense }
-	grads := parallel.Map(cfg.Samples, func(s int) sampleGrad {
-		sr := r.SplitIndexed("zofull", s)
-		vT := mat.NewDense(m, n)
-		vA := mat.NewDense(m, n)
-		sr.NormVec(vT.Data)
-		sr.NormVec(vA.Data)
+	// One direction row of length m·n per sample and side.
+	dirT := mat.NewDense(cfg.Samples, m*n)
+	dirA := mat.NewDense(cfg.Samples, m*n)
+	gT := make([]float64, cfg.Samples)
+	gA := make([]float64, cfg.Samples)
+	parallel.ForChunked(cfg.Samples, 1, func(lo, hi int) {
+		zw := zoArena.Get()
+		defer zoArena.Put(zw)
+		for s := lo; s < hi; s++ {
+			sr := r.SplitIndexed("zofull", s)
+			vT := mat.Vec(sr.NormVec(dirT.Row(s)))
+			vA := mat.Vec(sr.NormVec(dirA.Row(s)))
+			zw.ws.Reset(m, n)
 
-		pT := p.WithPrediction(p.T.Clone().AddScaled(cfg.Delta, vT), nil)
-		XT := cfg.Solve(pT, X)
-		gT := (dot(w, XT) - base) / cfg.Delta
+			zw.ws.TShadow.CopyFrom(p.T)
+			mat.Vec(zw.ws.TShadow.Data).AddScaled(cfg.Delta, vT)
+			XT := cfg.SolveWS(zw.problemWithShadows(p, true), X, zw.ws)
+			gT[s] = (dot(w, XT) - base) / cfg.Delta
 
-		pA := p.WithPrediction(nil, perturbedA(p.A, vA, cfg.Delta))
-		XA := cfg.Solve(pA, X)
-		gA := (dot(w, XA) - base) / cfg.Delta
-
-		return sampleGrad{dT: vT.Scale(gT), dA: vA.Scale(gA)}
+			zw.ws.AShadow.CopyFrom(p.A)
+			mat.Vec(zw.ws.AShadow.Data).AddScaled(cfg.Delta, vA)
+			clampUnit(zw.ws.AShadow.Data)
+			XA := cfg.SolveWS(zw.problemWithShadows(p, false), X, zw.ws)
+			gA[s] = (dot(w, XA) - base) / cfg.Delta
+		}
 	})
 	dT = mat.NewDense(m, n)
 	dA = mat.NewDense(m, n)
 	inv := 1 / float64(cfg.Samples)
-	for _, g := range grads {
-		dT.AddScaled(inv, g.dT)
-		dA.AddScaled(inv, g.dA)
+	for s := 0; s < cfg.Samples; s++ {
+		mat.Vec(dT.Data).AddScaled(inv, dirT.Row(s).Scale(gT[s]))
+		mat.Vec(dA.Data).AddScaled(inv, dirA.Row(s).Scale(gA[s]))
 	}
 	return dT, dA
-}
-
-// perturbRow returns a problem whose T (isTime) or A row is p's plus
-// delta·v, leaving the other matrix shared.
-func perturbRow(p *matching.Problem, row int, v mat.Vec, delta float64, isTime bool) *matching.Problem {
-	if isTime {
-		T := p.T.Clone()
-		T.Row(row).AddScaled(delta, v)
-		return p.WithPrediction(T, nil)
-	}
-	A := p.A.Clone()
-	A.Row(row).AddScaled(delta, v)
-	clampUnit(A.Row(row))
-	return p.WithPrediction(nil, A)
-}
-
-// perturbedA returns A + delta·V with entries clamped to [0, 1]; negative
-// or >1 reliabilities would put the barrier outside its domain.
-func perturbedA(A, V *mat.Dense, delta float64) *mat.Dense {
-	out := A.Clone().AddScaled(delta, V)
-	clampUnit(out.Data)
-	return out
 }
 
 func clampUnit(xs []float64) {

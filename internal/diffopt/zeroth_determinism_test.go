@@ -1,0 +1,58 @@
+package diffopt
+
+import (
+	"testing"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+)
+
+// TestZeroOrderEstimatorsDeterministic re-runs each estimator with an
+// identical rng source and requires bit-identical gradients. This pins two
+// properties of the workspace rewrite: per-worker pooled buffers never leak
+// state between samples, and the sample reduction happens in a fixed order
+// regardless of worker scheduling.
+func TestZeroOrderEstimatorsDeterministic(t *testing.T) {
+	r := rng.New(99)
+	p := testProblem(r, 3, 8)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(3, 8)
+	r.NormVec(w.Data)
+	cfg := ZeroOrderConfig{Samples: 12}
+
+	dT1, dA1 := RowVJP(p, X, w, 1, cfg, r.Split("det"))
+	dT2, dA2 := RowVJP(p, X, w, 1, cfg, r.Split("det"))
+	if !dT1.Equal(dT2, 0) || !dA1.Equal(dA2, 0) {
+		t.Fatal("RowVJP is not deterministic for a fixed rng source")
+	}
+
+	fT1, fA1 := FullVJP(p, X, w, cfg, r.Split("detfull"))
+	fT2, fA2 := FullVJP(p, X, w, cfg, r.Split("detfull"))
+	if !fT1.Equal(fT2, 0) || !fA1.Equal(fA2, 0) {
+		t.Fatal("FullVJP is not deterministic for a fixed rng source")
+	}
+
+	sT1, sA1 := SPSAVJP(p, X, w, cfg, r.Split("detspsa"))
+	sT2, sA2 := SPSAVJP(p, X, w, cfg, r.Split("detspsa"))
+	if !sT1.Equal(sT2, 0) || !sA1.Equal(sA2, 0) {
+		t.Fatal("SPSAVJP is not deterministic for a fixed rng source")
+	}
+}
+
+// TestPerturbationLeavesProblemUntouched guards the in-place shadow
+// perturbation: the caller's T and A matrices must be bit-identical after
+// an estimator runs.
+func TestPerturbationLeavesProblemUntouched(t *testing.T) {
+	r := rng.New(123)
+	p := testProblem(r, 4, 6)
+	X := preciseSolve(p, nil)
+	w := mat.NewDense(4, 6).Fill(1)
+	Tcopy := p.T.Clone()
+	Acopy := p.A.Clone()
+	RowVJP(p, X, w, 2, ZeroOrderConfig{Samples: 6}, r.Split("a"))
+	FullVJP(p, X, w, ZeroOrderConfig{Samples: 6}, r.Split("b"))
+	SPSAVJP(p, X, w, ZeroOrderConfig{Samples: 6}, r.Split("c"))
+	if !p.T.Equal(Tcopy, 0) || !p.A.Equal(Acopy, 0) {
+		t.Fatal("estimator mutated the caller's cost matrices")
+	}
+}

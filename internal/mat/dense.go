@@ -101,6 +101,23 @@ func (m *Dense) SetCol(j int, v Vec) {
 	}
 }
 
+// Reshape reconfigures m in place to rows×cols, reusing the backing array
+// when it has capacity and reallocating otherwise. It returns m. Element
+// values are preserved only when the total size is unchanged; otherwise the
+// contents are unspecified and callers must overwrite them. Workspaces use
+// this to recycle scratch matrices across differently sized problems.
+func (m *Dense) Reshape(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("mat: Reshape with negative dimension")
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	return m
+}
+
 // Clone returns a deep copy.
 func (m *Dense) Clone() *Dense {
 	out := NewDense(m.Rows, m.Cols)

@@ -189,7 +189,18 @@ func (p *Problem) TimeCost(X *mat.Dense) float64 {
 // SmoothTimeCost evaluates the smoothed objective f̃ (equation 8 / 17), or
 // the linear sum which needs no smoothing.
 func (p *Problem) SmoothTimeCost(X *mat.Dense) float64 {
-	loads := p.Loads(X, nil)
+	return p.SmoothTimeCostWS(X, nil)
+}
+
+// SmoothTimeCostWS is SmoothTimeCost with the loads scratch taken from ws
+// (allocation-free when ws is non-nil and sized for p; nil falls back to
+// allocating).
+func (p *Problem) SmoothTimeCostWS(X *mat.Dense, ws *Workspace) float64 {
+	var loads mat.Vec
+	if ws != nil {
+		loads = ws.Loads
+	}
+	loads = p.Loads(X, loads)
 	if p.Objective == LinearSum {
 		return loads.Sum()
 	}
@@ -274,7 +285,13 @@ const entropyFloor = 1e-12
 // F evaluates the full relaxed objective F(X, T, A) of equation (9), plus
 // the optional entropy regularizer.
 func (p *Problem) F(X *mat.Dense) float64 {
-	v := p.SmoothTimeCost(X) + p.barrierValue(p.ReliabilityMargin(X))
+	return p.FWS(X, nil)
+}
+
+// FWS is F with scratch taken from ws (allocation-free when ws is non-nil
+// and sized for p).
+func (p *Problem) FWS(X *mat.Dense, ws *Workspace) float64 {
+	v := p.SmoothTimeCostWS(X, ws) + p.barrierValue(p.ReliabilityMargin(X))
 	if p.Entropy > 0 {
 		for _, x := range X.Data {
 			if x > entropyFloor {
@@ -294,16 +311,29 @@ func (p *Problem) F(X *mat.Dense) float64 {
 // where p = softmax(β·s) are the log-sum-exp weights. The barrier adds
 // barrierGradU(u) · c · a_ij.
 func (p *Problem) GradX(X *mat.Dense, dst *mat.Dense) *mat.Dense {
+	return p.GradXWS(X, dst, nil)
+}
+
+// GradXWS is GradX with the loads/weights scratch taken from ws, so the
+// call is allocation-free when both dst and ws are supplied (ws must be
+// sized for p, e.g. via ResetFor). A nil ws falls back to allocating.
+func (p *Problem) GradXWS(X, dst *mat.Dense, ws *Workspace) *mat.Dense {
 	p.checkX(X)
 	if dst == nil {
 		dst = mat.NewDense(p.M(), p.N())
 	}
-	loads := p.Loads(X, nil)
-	var weights mat.Vec
+	var loads, weights mat.Vec
+	if ws != nil {
+		loads, weights = ws.Loads, ws.Weights
+	}
+	loads = p.Loads(X, loads)
 	if p.Objective == LinearSum {
-		weights = mat.NewVec(p.M()).Fill(1)
+		if weights == nil {
+			weights = mat.NewVec(p.M())
+		}
+		weights.Fill(1)
 	} else {
-		weights = mat.SoftmaxWeights(loads, p.Beta, nil)
+		weights = mat.SoftmaxWeights(loads, p.Beta, weights)
 	}
 	u := p.ReliabilityMargin(X)
 	bg := p.barrierGradU(u) * p.normConst()

@@ -1,0 +1,227 @@
+package matching
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/rng"
+)
+
+// repairReference is the seed (pre-incremental) Repair implementation,
+// kept verbatim as the ground truth for the equivalence tests: it rescores
+// every candidate with a from-scratch DiscreteCost/DiscreteReliability.
+func repairReference(p *Problem, assign []int) []int {
+	out := append([]int(nil), assign...)
+	n := len(out)
+	for iter := 0; iter < 2*n; iter++ {
+		if p.DiscreteReliability(out) >= p.Gamma {
+			break
+		}
+		bestJ, bestI, bestScore := -1, -1, 0.0
+		baseCost := p.DiscreteCost(out)
+		for j := 0; j < n; j++ {
+			cur := out[j]
+			for i := 0; i < p.M(); i++ {
+				if i == cur {
+					continue
+				}
+				dRel := p.A.At(i, j) - p.A.At(cur, j)
+				if dRel <= 0 {
+					continue
+				}
+				out[j] = i
+				dCost := p.DiscreteCost(out) - baseCost
+				out[j] = cur
+				score := dRel / (1 + math.Max(dCost, 0))
+				if score > bestScore {
+					bestScore, bestJ, bestI = score, j, i
+				}
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		out[bestJ] = bestI
+	}
+	improved := true
+	for pass := 0; improved && pass < 3*n; pass++ {
+		improved = false
+		baseCost := p.DiscreteCost(out)
+		feasible := p.DiscreteReliability(out) >= p.Gamma
+		accept := func(newCost float64, newFeasible bool) bool {
+			return newCost < baseCost-1e-12 && (newFeasible || !feasible)
+		}
+		for j := 0; j < n; j++ {
+			cur := out[j]
+			for i := 0; i < p.M(); i++ {
+				if i == cur {
+					continue
+				}
+				out[j] = i
+				newCost := p.DiscreteCost(out)
+				if accept(newCost, p.DiscreteReliability(out) >= p.Gamma) {
+					baseCost = newCost
+					feasible = p.DiscreteReliability(out) >= p.Gamma
+					cur = i
+					improved = true
+				} else {
+					out[j] = cur
+				}
+			}
+		}
+		for j1 := 0; j1 < n; j1++ {
+			for j2 := j1 + 1; j2 < n; j2++ {
+				if out[j1] == out[j2] {
+					continue
+				}
+				out[j1], out[j2] = out[j2], out[j1]
+				newCost := p.DiscreteCost(out)
+				if accept(newCost, p.DiscreteReliability(out) >= p.Gamma) {
+					baseCost = newCost
+					feasible = p.DiscreteReliability(out) >= p.Gamma
+					improved = true
+				} else {
+					out[j1], out[j2] = out[j2], out[j1]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// repairInstance draws one randomized repair scenario: problem, objective
+// variant, optional speedup curves, reliability threshold, and a starting
+// assignment ranging from uniform-random to adversarially clustered.
+func repairInstance(s *rng.Source) (*Problem, []int) {
+	m := 2 + s.Intn(5)
+	n := 3 + s.Intn(12)
+	p := randomProblem(s, m, n)
+	switch s.Intn(3) {
+	case 1:
+		p.Objective = LinearSum
+	case 2:
+		sp := make([]cluster.SpeedupCurve, m)
+		for i := range sp {
+			sp[i] = cluster.SpeedupCurve{Floor: s.Uniform(0.4, 0.9), Rate: s.Uniform(0.1, 1)}
+		}
+		p.Speedups = sp
+	}
+	// Mix easy and hard thresholds so both repair phases get exercised.
+	p.Gamma = s.Uniform(0.75, 0.95)
+	start := make([]int, n)
+	if s.Bernoulli(0.3) {
+		cram := s.Intn(m)
+		for j := range start {
+			start[j] = cram // worst case: everything on one cluster
+		}
+	} else {
+		for j := range start {
+			start[j] = s.Intn(m)
+		}
+	}
+	return p, start
+}
+
+// TestRepairMatchesReference runs the incremental Repair against the seed
+// recompute-everything implementation on 150 seeded random instances and
+// requires the identical final assignment — i.e. the identical sequence of
+// accepted moves — on every one.
+func TestRepairMatchesReference(t *testing.T) {
+	r := rng.New(424242)
+	for k := 0; k < 150; k++ {
+		s := r.SplitIndexed("inst", k)
+		p, start := repairInstance(s)
+		want := repairReference(p, start)
+		got := Repair(p, start)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("instance %d (%dx%d, obj=%v, γ=%.3f): assignment diverged at task %d: got %v want %v",
+					k, p.M(), p.N(), p.Objective, p.Gamma, j, got, want)
+			}
+		}
+	}
+}
+
+// TestRepairStateStaysInSync is the invariant property test: after long
+// random sequences of incremental moves and swaps, the maintained loads,
+// counts, and reliability sum must agree with a from-scratch recomputation.
+func TestRepairStateStaysInSync(t *testing.T) {
+	r := rng.New(77)
+	for k := 0; k < 30; k++ {
+		s := r.SplitIndexed("sync", k)
+		p, start := repairInstance(s)
+		m, n := p.M(), p.N()
+		st := newRepairState(p, start)
+		for step := 0; step < 500; step++ {
+			if s.Bernoulli(0.5) {
+				j := s.Intn(n)
+				i := s.Intn(m)
+				if i == st.assign[j] {
+					continue
+				}
+				st.applyMove(j, i)
+			} else {
+				j1, j2 := s.Intn(n), s.Intn(n)
+				if j1 == j2 || st.assign[j1] == st.assign[j2] {
+					continue
+				}
+				st.applySwap(j1, j2)
+			}
+		}
+		fresh := newRepairState(p, st.assign)
+		const tol = 1e-9
+		for i := 0; i < m; i++ {
+			if st.counts[i] != fresh.counts[i] {
+				t.Fatalf("instance %d: counts[%d] drifted: %d vs %d", k, i, st.counts[i], fresh.counts[i])
+			}
+			if math.Abs(st.raw[i]-fresh.raw[i]) > tol {
+				t.Fatalf("instance %d: raw[%d] drifted by %g", k, i, st.raw[i]-fresh.raw[i])
+			}
+			if math.Abs(st.scaled[i]-fresh.scaled[i]) > tol {
+				t.Fatalf("instance %d: scaled[%d] drifted by %g", k, i, st.scaled[i]-fresh.scaled[i])
+			}
+		}
+		if math.Abs(st.relSum-fresh.relSum) > tol {
+			t.Fatalf("instance %d: relSum drifted by %g", k, st.relSum-fresh.relSum)
+		}
+		if math.Abs(st.cost()-p.DiscreteCost(st.assign)) > tol {
+			t.Fatalf("instance %d: incremental cost drifted from DiscreteCost", k)
+		}
+	}
+}
+
+// TestRepairDeltaMatchesRecompute checks candidate scoring directly: every
+// moveDelta/swapDelta must equal the cost and reliability of mutating a
+// copy and recomputing from scratch.
+func TestRepairDeltaMatchesRecompute(t *testing.T) {
+	r := rng.New(31)
+	for k := 0; k < 40; k++ {
+		s := r.SplitIndexed("delta", k)
+		p, start := repairInstance(s)
+		m, n := p.M(), p.N()
+		st := newRepairState(p, start)
+		const tol = 1e-10
+		for trial := 0; trial < 50; trial++ {
+			j := s.Intn(n)
+			i := s.Intn(m)
+			if i != st.assign[j] {
+				cost, rel := st.moveDelta(j, i)
+				mut := append([]int(nil), start...)
+				mut[j] = i
+				if math.Abs(cost-p.DiscreteCost(mut)) > tol || math.Abs(rel-p.DiscreteReliability(mut)) > tol {
+					t.Fatalf("instance %d: moveDelta(%d,%d) mismatch", k, j, i)
+				}
+			}
+			j2 := s.Intn(n)
+			if j != j2 && st.assign[j] != st.assign[j2] {
+				cost, rel := st.swapDelta(j, j2)
+				mut := append([]int(nil), start...)
+				mut[j], mut[j2] = mut[j2], mut[j]
+				if math.Abs(cost-p.DiscreteCost(mut)) > tol || math.Abs(rel-p.DiscreteReliability(mut)) > tol {
+					t.Fatalf("instance %d: swapDelta(%d,%d) mismatch", k, j, j2)
+				}
+			}
+		}
+	}
+}

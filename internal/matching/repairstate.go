@@ -1,0 +1,157 @@
+package matching
+
+import (
+	"math"
+
+	"mfcp/internal/mat"
+)
+
+// repairState maintains the per-cluster quantities Repair's local search
+// scores candidates against, so a candidate move or swap is evaluated in
+// O(1) deltas plus one O(M) scan instead of recomputing DiscreteCost and
+// DiscreteReliability from scratch. Invariants (see the Repair doc comment
+// and TestRepairStateStaysInSync):
+//
+//	raw[i]    = Σ_{j: assign[j]=i} T[i][j]
+//	counts[i] = |{j: assign[j]=i}|
+//	scaled[i] = ζ_i(counts[i]) · raw[i]
+//	relSum    = Σ_j A[assign[j]][j]
+//
+// The state aliases the assignment slice it was built over: applyMove and
+// applySwap mutate it in place and update the invariants incrementally.
+type repairState struct {
+	p      *Problem
+	assign []int
+	raw    mat.Vec
+	scaled mat.Vec
+	counts []int
+	relSum float64
+}
+
+// newRepairState builds the state for assign (which it aliases, not copies).
+func newRepairState(p *Problem, assign []int) *repairState {
+	st := &repairState{
+		p:      p,
+		assign: assign,
+		raw:    mat.NewVec(p.M()),
+		scaled: mat.NewVec(p.M()),
+		counts: make([]int, p.M()),
+	}
+	st.recompute()
+	return st
+}
+
+// recompute rebuilds every maintained quantity from the assignment, summing
+// in ascending task order exactly like DiscreteLoads/DiscreteReliability.
+func (st *repairState) recompute() {
+	st.raw.Fill(0)
+	for i := range st.counts {
+		st.counts[i] = 0
+	}
+	st.relSum = 0
+	for j, i := range st.assign {
+		st.raw[i] += st.p.T.At(i, j)
+		st.counts[i]++
+		st.relSum += st.p.A.At(i, j)
+	}
+	for i := range st.scaled {
+		st.scaled[i] = st.p.zeta(i, float64(st.counts[i])) * st.raw[i]
+	}
+}
+
+// cost returns the discrete objective of the current assignment: the max
+// (or sum, for LinearSum) of the speedup-adjusted loads.
+func (st *repairState) cost() float64 {
+	if st.p.Objective == LinearSum {
+		return st.scaled.Sum()
+	}
+	m, _ := st.scaled.Max()
+	return m
+}
+
+// feasible reports whether the mean reliability meets γ.
+func (st *repairState) feasible() bool {
+	return st.relSum/float64(len(st.assign)) >= st.p.Gamma
+}
+
+// costWith evaluates the objective with clusters i1 and i2 overridden to
+// loads v1 and v2 — the O(M) scan shared by move and swap scoring. Pass
+// i1 == i2 to override a single cluster (v2 is then ignored).
+func (st *repairState) costWith(i1 int, v1 float64, i2 int, v2 float64) float64 {
+	if st.p.Objective == LinearSum {
+		s := 0.0
+		for k, v := range st.scaled {
+			if k == i1 {
+				v = v1
+			} else if k == i2 {
+				v = v2
+			}
+			s += v
+		}
+		return s
+	}
+	m := math.Inf(-1)
+	for k, v := range st.scaled {
+		if k == i1 {
+			v = v1
+		} else if k == i2 {
+			v = v2
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// moveDelta scores reassigning task j to cluster i without mutating state,
+// returning the resulting cost and mean reliability. i must differ from the
+// task's current cluster.
+func (st *repairState) moveDelta(j, i int) (cost, rel float64) {
+	p, cur := st.p, st.assign[j]
+	newCur := p.zeta(cur, float64(st.counts[cur]-1)) * (st.raw[cur] - p.T.At(cur, j))
+	newI := p.zeta(i, float64(st.counts[i]+1)) * (st.raw[i] + p.T.At(i, j))
+	cost = st.costWith(cur, newCur, i, newI)
+	rel = (st.relSum - p.A.At(cur, j) + p.A.At(i, j)) / float64(len(st.assign))
+	return cost, rel
+}
+
+// swapDelta scores exchanging the clusters of tasks j1 and j2 without
+// mutating state. The tasks must sit on different clusters.
+func (st *repairState) swapDelta(j1, j2 int) (cost, rel float64) {
+	p := st.p
+	i1, i2 := st.assign[j1], st.assign[j2]
+	newI1 := p.zeta(i1, float64(st.counts[i1])) * (st.raw[i1] - p.T.At(i1, j1) + p.T.At(i1, j2))
+	newI2 := p.zeta(i2, float64(st.counts[i2])) * (st.raw[i2] - p.T.At(i2, j2) + p.T.At(i2, j1))
+	cost = st.costWith(i1, newI1, i2, newI2)
+	rel = (st.relSum - p.A.At(i1, j1) - p.A.At(i2, j2) + p.A.At(i2, j1) + p.A.At(i1, j2)) /
+		float64(len(st.assign))
+	return cost, rel
+}
+
+// applyMove reassigns task j to cluster i and updates the invariants
+// incrementally (only the two touched clusters change).
+func (st *repairState) applyMove(j, i int) {
+	p, cur := st.p, st.assign[j]
+	st.assign[j] = i
+	st.raw[cur] -= p.T.At(cur, j)
+	st.raw[i] += p.T.At(i, j)
+	st.counts[cur]--
+	st.counts[i]++
+	st.scaled[cur] = p.zeta(cur, float64(st.counts[cur])) * st.raw[cur]
+	st.scaled[i] = p.zeta(i, float64(st.counts[i])) * st.raw[i]
+	st.relSum += p.A.At(i, j) - p.A.At(cur, j)
+}
+
+// applySwap exchanges the clusters of tasks j1 and j2 and updates the
+// invariants incrementally. Counts are unchanged by a swap.
+func (st *repairState) applySwap(j1, j2 int) {
+	p := st.p
+	i1, i2 := st.assign[j1], st.assign[j2]
+	st.assign[j1], st.assign[j2] = i2, i1
+	st.raw[i1] += p.T.At(i1, j2) - p.T.At(i1, j1)
+	st.raw[i2] += p.T.At(i2, j1) - p.T.At(i2, j2)
+	st.scaled[i1] = p.zeta(i1, float64(st.counts[i1])) * st.raw[i1]
+	st.scaled[i2] = p.zeta(i2, float64(st.counts[i2])) * st.raw[i2]
+	st.relSum += p.A.At(i2, j1) + p.A.At(i1, j2) - p.A.At(i1, j1) - p.A.At(i2, j2)
+}

@@ -54,19 +54,39 @@ func (o *SolveOptions) fillDefaults() {
 // column simplices and returns the continuous optimum X*. The result is a
 // fresh matrix; the options' Init is not mutated.
 func SolveRelaxed(p *Problem, opts SolveOptions) *mat.Dense {
+	return SolveRelaxedWS(p, opts, nil)
+}
+
+// SolveRelaxedWS is SolveRelaxed with every scratch buffer — including the
+// iterate itself — taken from ws, making the whole call allocation-free
+// (TestSolveRelaxedZeroAllocs asserts zero heap objects per call). The
+// returned matrix is ws.X: it is valid only until the workspace's next use
+// and must be Cloned by callers needing persistence. A nil ws allocates
+// fresh buffers and behaves exactly like SolveRelaxed.
+func SolveRelaxedWS(p *Problem, opts SolveOptions, ws *Workspace) *mat.Dense {
 	opts.fillDefaults()
-	var X *mat.Dense
+	var X, grad, prev *mat.Dense
+	var col, col2 mat.Vec
+	if ws != nil {
+		ws.ResetFor(p)
+		X, grad, prev = ws.X, ws.Grad, ws.Prev
+		col, col2 = ws.Col, ws.Col2
+	} else {
+		X = mat.NewDense(p.M(), p.N())
+		grad = mat.NewDense(p.M(), p.N())
+		prev = mat.NewDense(p.M(), p.N())
+		col = mat.NewVec(p.M())
+		col2 = mat.NewVec(p.M())
+	}
 	if opts.Init != nil {
-		X = opts.Init.Clone()
+		X.CopyFrom(opts.Init)
 		normalizeColumns(X)
 	} else {
-		X = p.UniformX()
+		X.Fill(1 / float64(p.M()))
 	}
-	grad := mat.NewDense(p.M(), p.N())
-	prev := X.Clone()
-	col := mat.NewVec(p.M())
+	prev.CopyFrom(X)
 	for it := 0; it < opts.Iters; it++ {
-		p.GradX(X, grad)
+		p.GradXWS(X, grad, ws)
 		switch opts.Method {
 		case MethodPGD:
 			// Algorithm 1: X ← X − η∇F, then column softmax.
@@ -75,7 +95,7 @@ func SolveRelaxed(p *Problem, opts SolveOptions) *mat.Dense {
 				for i := 0; i < p.M(); i++ {
 					col[i] = X.At(i, j)
 				}
-				sm := col.Softmax(1, nil)
+				sm := col.Softmax(1, col2)
 				for i := 0; i < p.M(); i++ {
 					X.Set(i, j, sm[i])
 				}
@@ -211,17 +231,40 @@ func (p *Problem) DiscreteReliability(assign []int) float64 {
 // keeping mean reliability ≥ γ (under the problem's own A — callers pass
 // predicted or true values by constructing the problem accordingly).
 // It returns a new slice; assign is not mutated.
+//
+// Candidate scoring is incremental, built on repairState (see
+// repairstate.go), which maintains these invariants between moves:
+//
+//	raw[i]    = Σ_{j: assign[j]=i} T[i][j]     (unscaled cluster load)
+//	counts[i] = |{j: assign[j]=i}|
+//	scaled[i] = ζ_i(counts[i]) · raw[i]        (speedup-adjusted load)
+//	relSum    = Σ_j A[assign[j]][j]
+//
+// A candidate move or swap touches at most two clusters, so its cost is an
+// O(1) load delta plus one O(M) max/sum scan and its reliability an O(1)
+// delta — replacing the seed implementation's from-scratch DiscreteCost and
+// DiscreteReliability per candidate, and allocating nothing. Accepted moves
+// update the state incrementally; TestRepairMatchesReference checks the
+// accepted-move sequence against the recompute-everything reference, and
+// TestRepairStateStaysInSync checks the invariants over long move
+// sequences. Scoring-order and tie-breaking semantics are identical to the
+// reference: candidates are enumerated in the same order, compared against
+// the same base cost, and accepted under the same strict thresholds.
 func Repair(p *Problem, assign []int) []int {
 	out := append([]int(nil), assign...)
 	n := len(out)
+	if n == 0 {
+		return out
+	}
+	st := newRepairState(p, out)
 	// Phase 1: feasibility. While the mean reliability misses γ, apply the
 	// move with the best reliability gain per unit cost increase.
 	for iter := 0; iter < 2*n; iter++ {
-		if p.DiscreteReliability(out) >= p.Gamma {
+		if st.feasible() {
 			break
 		}
 		bestJ, bestI, bestScore := -1, -1, 0.0
-		baseCost := p.DiscreteCost(out)
+		baseCost := st.cost()
 		for j := 0; j < n; j++ {
 			cur := out[j]
 			for i := 0; i < p.M(); i++ {
@@ -232,10 +275,8 @@ func Repair(p *Problem, assign []int) []int {
 				if dRel <= 0 {
 					continue
 				}
-				out[j] = i
-				dCost := p.DiscreteCost(out) - baseCost
-				out[j] = cur
-				score := dRel / (1 + math.Max(dCost, 0))
+				newCost, _ := st.moveDelta(j, i)
+				score := dRel / (1 + math.Max(newCost-baseCost, 0))
 				if score > bestScore {
 					bestScore, bestJ, bestI = score, j, i
 				}
@@ -244,7 +285,7 @@ func Repair(p *Problem, assign []int) []int {
 		if bestJ < 0 {
 			break // no reliability-improving move exists
 		}
-		out[bestJ] = bestI
+		st.applyMove(bestJ, bestI)
 	}
 	// Phase 2: makespan local search with feasibility preserved — greedy
 	// single-task moves plus pairwise swaps (which escape the local optima
@@ -253,8 +294,8 @@ func Repair(p *Problem, assign []int) []int {
 	improved := true
 	for pass := 0; improved && pass < 3*n; pass++ {
 		improved = false
-		baseCost := p.DiscreteCost(out)
-		feasible := p.DiscreteReliability(out) >= p.Gamma
+		baseCost := st.cost()
+		feasible := st.feasible()
 		accept := func(newCost float64, newFeasible bool) bool {
 			return newCost < baseCost-1e-12 && (newFeasible || !feasible)
 		}
@@ -264,15 +305,13 @@ func Repair(p *Problem, assign []int) []int {
 				if i == cur {
 					continue
 				}
-				out[j] = i
-				newCost := p.DiscreteCost(out)
-				if accept(newCost, p.DiscreteReliability(out) >= p.Gamma) {
-					baseCost = newCost
-					feasible = p.DiscreteReliability(out) >= p.Gamma
+				newCost, newRel := st.moveDelta(j, i)
+				if accept(newCost, newRel >= p.Gamma) {
+					st.applyMove(j, i)
+					baseCost = st.cost()
+					feasible = st.feasible()
 					cur = i
 					improved = true
-				} else {
-					out[j] = cur
 				}
 			}
 		}
@@ -281,14 +320,12 @@ func Repair(p *Problem, assign []int) []int {
 				if out[j1] == out[j2] {
 					continue
 				}
-				out[j1], out[j2] = out[j2], out[j1]
-				newCost := p.DiscreteCost(out)
-				if accept(newCost, p.DiscreteReliability(out) >= p.Gamma) {
-					baseCost = newCost
-					feasible = p.DiscreteReliability(out) >= p.Gamma
+				newCost, newRel := st.swapDelta(j1, j2)
+				if accept(newCost, newRel >= p.Gamma) {
+					st.applySwap(j1, j2)
+					baseCost = st.cost()
+					feasible = st.feasible()
 					improved = true
-				} else {
-					out[j1], out[j2] = out[j2], out[j1]
 				}
 			}
 		}

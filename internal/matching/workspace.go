@@ -1,0 +1,84 @@
+package matching
+
+import "mfcp/internal/mat"
+
+// Workspace bundles every scratch buffer the matching kernel needs so the
+// hot paths — the mirror-descent/PGD inner loop, gradient evaluation, and
+// the zeroth-order perturbation solves built on top of them — run without
+// heap allocation. A Workspace is sized for an M×N problem and resized
+// lazily by Reset, reusing backing storage whenever it has capacity.
+//
+// The zero-allocation contract: once a Workspace has been Reset to a
+// problem's dimensions, SolveRelaxedWS, GradXWS, SmoothTimeCostWS, and FWS
+// perform zero heap allocations (asserted by TestSolveRelaxedZeroAllocs).
+//
+// A Workspace is NOT safe for concurrent use. Parallel samplers keep one
+// per worker (see the parallel.Arena in internal/diffopt).
+type Workspace struct {
+	// X is the solver iterate. SolveRelaxedWS returns it directly, so the
+	// result of a workspace-backed solve is valid only until the
+	// workspace's next use; callers needing persistence must Clone.
+	X *mat.Dense
+	// Grad and Prev are the gradient and convergence-check scratch.
+	Grad *mat.Dense
+	Prev *mat.Dense
+	// TShadow and AShadow are M×N staging buffers for perturbed copies of
+	// a problem's T/A matrices; internal/diffopt writes perturbations into
+	// them instead of cloning fresh matrices per zeroth-order sample.
+	TShadow *mat.Dense
+	AShadow *mat.Dense
+
+	// Col and Col2 are length-M column scratch vectors (multiplicative
+	// updates, PGD softmax re-projection).
+	Col  mat.Vec
+	Col2 mat.Vec
+	// Loads and Weights are the length-M per-cluster load and softmax
+	// weight scratch used by Loads/GradX/SmoothTimeCost.
+	Loads   mat.Vec
+	Weights mat.Vec
+}
+
+// NewWorkspace returns a Workspace sized for an m×n problem.
+func NewWorkspace(m, n int) *Workspace {
+	w := &Workspace{
+		X:       mat.NewDense(m, n),
+		Grad:    mat.NewDense(m, n),
+		Prev:    mat.NewDense(m, n),
+		TShadow: mat.NewDense(m, n),
+		AShadow: mat.NewDense(m, n),
+		Col:     mat.NewVec(m),
+		Col2:    mat.NewVec(m),
+		Loads:   mat.NewVec(m),
+		Weights: mat.NewVec(m),
+	}
+	return w
+}
+
+// Reset sizes the workspace for an m×n problem, reusing backing storage
+// when it has capacity and growing it otherwise. Buffer contents are
+// unspecified afterwards except when the dimensions are unchanged, in
+// which case they are preserved (so shadows staged before a solve survive
+// the solver's own Reset).
+func (w *Workspace) Reset(m, n int) {
+	w.X.Reshape(m, n)
+	w.Grad.Reshape(m, n)
+	w.Prev.Reshape(m, n)
+	w.TShadow.Reshape(m, n)
+	w.AShadow.Reshape(m, n)
+	w.Col = growVec(w.Col, m)
+	w.Col2 = growVec(w.Col2, m)
+	w.Loads = growVec(w.Loads, m)
+	w.Weights = growVec(w.Weights, m)
+}
+
+// ResetFor is Reset with the dimensions taken from p.
+func (w *Workspace) ResetFor(p *Problem) { w.Reset(p.M(), p.N()) }
+
+// growVec returns v resliced to length n, reallocating only when the
+// backing array is too small.
+func growVec(v mat.Vec, n int) mat.Vec {
+	if cap(v) < n {
+		return mat.NewVec(n)
+	}
+	return v[:n]
+}

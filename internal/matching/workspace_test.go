@@ -1,0 +1,104 @@
+package matching
+
+import (
+	"testing"
+
+	"mfcp/internal/rng"
+)
+
+// TestSolveRelaxedWSMatchesNoWS checks the workspace path is bit-identical
+// to the allocating path for both solver methods: same arithmetic, only the
+// buffer provenance differs.
+func TestSolveRelaxedWSMatchesNoWS(t *testing.T) {
+	r := rng.New(5)
+	for _, method := range []Method{MethodMirror, MethodPGD} {
+		for trial := 0; trial < 10; trial++ {
+			s := r.SplitIndexed("trial", int(method)*100+trial)
+			m := 2 + s.Intn(5)
+			n := 3 + s.Intn(12)
+			p := randomProblem(s, m, n)
+			if trial%3 == 1 {
+				p.Objective = LinearSum
+			}
+			if trial%3 == 2 {
+				p.Entropy = 0.05
+			}
+			opts := SolveOptions{Method: method, Iters: 120}
+			want := SolveRelaxed(p, opts)
+			ws := NewWorkspace(m, n)
+			got := SolveRelaxedWS(p, opts, ws)
+			if !want.Equal(got, 0) {
+				t.Fatalf("method %v trial %d: workspace solve diverged from allocating solve", method, trial)
+			}
+			if got != ws.X {
+				t.Fatalf("workspace solve must return ws.X")
+			}
+		}
+	}
+}
+
+// TestSolveRelaxedZeroAllocs asserts the zero-allocation contract: with a
+// workspace supplied, a full SolveRelaxedWS call — and therefore every
+// steady-state mirror-descent (and PGD) iteration inside it — allocates
+// zero heap objects.
+func TestSolveRelaxedZeroAllocs(t *testing.T) {
+	p := randomProblem(rng.New(9), 4, 12)
+	init := SolveRelaxed(p, SolveOptions{Iters: 10})
+	for _, tc := range []struct {
+		name string
+		opts SolveOptions
+	}{
+		{"mirror", SolveOptions{Iters: 50}},
+		{"mirror-warmstart", SolveOptions{Iters: 50, Init: init}},
+		{"pgd", SolveOptions{Method: MethodPGD, Iters: 50}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ws := NewWorkspace(p.M(), p.N())
+			SolveRelaxedWS(p, tc.opts, ws) // warm the workspace
+			if n := testing.AllocsPerRun(20, func() {
+				SolveRelaxedWS(p, tc.opts, ws)
+			}); n != 0 {
+				t.Fatalf("SolveRelaxedWS allocated %v objects per run, want 0", n)
+			}
+		})
+	}
+}
+
+// TestGradXZeroAllocs asserts the same contract for the gradient alone —
+// the kernel the solver iterates on.
+func TestGradXZeroAllocs(t *testing.T) {
+	p := randomProblem(rng.New(10), 3, 8)
+	X := p.UniformX()
+	ws := NewWorkspace(3, 8)
+	dst := p.GradXWS(X, nil, ws)
+	if n := testing.AllocsPerRun(50, func() {
+		p.GradXWS(X, dst, ws)
+		p.SmoothTimeCostWS(X, ws)
+		p.FWS(X, ws)
+	}); n != 0 {
+		t.Fatalf("workspace gradient/objective path allocated %v objects per run, want 0", n)
+	}
+}
+
+// TestWorkspaceResetReuse checks Reset resizes across problems without
+// losing the zero-allocation property once capacity has grown.
+func TestWorkspaceResetReuse(t *testing.T) {
+	ws := NewWorkspace(2, 3)
+	big := randomProblem(rng.New(3), 6, 20)
+	small := randomProblem(rng.New(4), 3, 7)
+	// Growing re-allocates; afterwards both sizes must be allocation-free.
+	SolveRelaxedWS(big, SolveOptions{Iters: 20}, ws)
+	for _, p := range []*Problem{big, small, big} {
+		p := p
+		if n := testing.AllocsPerRun(10, func() {
+			SolveRelaxedWS(p, SolveOptions{Iters: 20}, ws)
+		}); n != 0 {
+			t.Fatalf("%dx%d solve after warmup allocated %v objects per run", p.M(), p.N(), n)
+		}
+	}
+	// Sanity: the shrunken solve still matches the allocating path.
+	got := SolveRelaxedWS(small, SolveOptions{Iters: 20}, ws)
+	if want := SolveRelaxed(small, SolveOptions{Iters: 20}); !want.Equal(got, 0) {
+		t.Fatal("reused workspace solve diverged after resize")
+	}
+}

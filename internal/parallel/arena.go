@@ -1,0 +1,34 @@
+package parallel
+
+import "sync"
+
+// Arena is a typed wrapper over sync.Pool: a cache of per-worker scratch
+// buffers (solver workspaces, perturbation shadows, direction vectors) that
+// parallel samplers reuse across work items instead of allocating fresh
+// state per item. A worker Gets a value at the start of its chunk, owns it
+// exclusively until Put, and returns it for a later chunk — so at most
+// Workers values are ever live, regardless of how many items run.
+//
+// Like sync.Pool, the arena is safe for concurrent use and may drop cached
+// values under GC pressure; cached state must therefore be re-initializable
+// from scratch (the constructor) and never hold results a caller depends on
+// after Put.
+type Arena[T any] struct {
+	pool sync.Pool
+}
+
+// NewArena returns an Arena whose Get constructs a fresh value with newT
+// when no cached one is available.
+func NewArena[T any](newT func() T) *Arena[T] {
+	a := &Arena[T]{}
+	a.pool.New = func() any { return newT() }
+	return a
+}
+
+// Get returns a cached value or constructs a fresh one. The caller owns it
+// exclusively until Put.
+func (a *Arena[T]) Get() T { return a.pool.Get().(T) }
+
+// Put returns x to the arena for reuse by a later Get. The caller must not
+// touch x afterwards.
+func (a *Arena[T]) Put(x T) { a.pool.Put(x) }

@@ -1,0 +1,57 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestArenaReuse checks the basic contract: Put-then-Get hands a cached
+// value back instead of constructing a fresh one.
+func TestArenaReuse(t *testing.T) {
+	var built int32
+	a := NewArena(func() *[]float64 {
+		atomic.AddInt32(&built, 1)
+		buf := make([]float64, 8)
+		return &buf
+	})
+	x := a.Get()
+	a.Put(x)
+	y := a.Get()
+	if y != x {
+		t.Fatal("arena did not reuse the cached value")
+	}
+	if built != 1 {
+		t.Fatalf("constructor ran %d times, want 1", built)
+	}
+}
+
+// TestArenaConcurrent hammers Get/Put from the pool's worker fan-out so the
+// race detector can observe any unsynchronized sharing. Each checkout
+// mutates its buffer; exclusivity means no write is ever observed torn.
+func TestArenaConcurrent(t *testing.T) {
+	type scratch struct {
+		id    int64
+		stamp [64]float64
+	}
+	var next int64
+	a := NewArena(func() *scratch {
+		return &scratch{id: atomic.AddInt64(&next, 1)}
+	})
+	For(10000, func(i int) {
+		s := a.Get()
+		v := float64(i)
+		for k := range s.stamp {
+			s.stamp[k] = v
+		}
+		for k := range s.stamp {
+			if s.stamp[k] != v {
+				t.Errorf("buffer shared between workers: stamp[%d]=%v want %v", k, s.stamp[k], v)
+				break
+			}
+		}
+		a.Put(s)
+	})
+	if int(next) > Workers+1 {
+		t.Logf("note: %d scratches built for %d workers (pool churn is allowed)", next, Workers)
+	}
+}
