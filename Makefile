@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet test race bench bench-matching
+.PHONY: ci vet test race bench bench-matching bench-train bench-compare
 
 ci: vet race
 
@@ -24,5 +24,27 @@ bench-matching:
 	$(GO) test ./internal/matching -run '^$$' -bench 'SolveRelaxed|Repair' -benchmem
 	$(GO) test ./internal/diffopt -run '^$$' -bench 'BenchmarkRowVJP$$|BenchmarkFullVJP$$' -benchmem
 
+# End-to-end training benchmarks; BENCH_train.json records the before/after
+# numbers for the fast-predictor-pipeline rewrite (blocked GEMM, NN tapes,
+# embedding cache).
+bench-train:
+	$(GO) test ./cmd/mfcpbench -run '^$$' -bench 'Pretrain|TrainMFCP' -benchmem
+
+# Every benchmark in the repo, with allocation stats. Set BENCH_FLAGS to
+# pass extras, e.g. BENCH_FLAGS='-count=10' for benchstat-ready samples.
 bench:
-	$(GO) test . -run '^$$' -bench . -benchmem
+	$(GO) test ./... -run '^$$' -bench . -benchmem $(BENCH_FLAGS)
+
+# Before/after comparison recipe: capture a baseline on the old commit,
+# re-run on the new one, and diff with benchstat:
+#
+#	git stash && make bench BENCH_FLAGS='-count=10' > /tmp/old.txt
+#	git stash pop && make bench BENCH_FLAGS='-count=10' > /tmp/new.txt
+#	benchstat /tmp/old.txt /tmp/new.txt
+#
+# benchstat (golang.org/x/perf/cmd/benchstat) is not vendored; the target
+# just explains the workflow when it is absent.
+bench-compare:
+	@command -v benchstat >/dev/null 2>&1 && \
+		echo "benchstat found: run 'make bench BENCH_FLAGS=-count=10' on each commit and benchstat the outputs" || \
+		echo "install benchstat (go install golang.org/x/perf/cmd/benchstat@latest) to compare bench outputs; see Makefile comment for the recipe"

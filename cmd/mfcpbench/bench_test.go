@@ -1,0 +1,24 @@
+// End-to-end training benchmarks. These exercise the full prediction hot
+// path — scenario features through MLP forward/backward into the optimizer
+// (BenchmarkPretrain) and additionally through the matching layer and the
+// zeroth-order gradients (BenchmarkTrainMFCP). BENCH_train.json records the
+// before/after numbers for the fast-predictor-pipeline rewrite; reproduce
+// with `make bench-train`,
+//
+//	go test ./cmd/mfcpbench -run '^$' -bench 'Pretrain|TrainMFCP' -benchmem
+//
+// or, without the test harness, `mfcpbench -bench 'Pretrain|TrainMFCP'`.
+// The bodies live in benchmarks.go so the binary's -bench flag runs the
+// exact same code.
+package main
+
+import "testing"
+
+// BenchmarkPretrain measures the MSE warm start — the entirety of the
+// two-stage baseline's learning: 2M networks fitting measured labels.
+func BenchmarkPretrain(b *testing.B) { benchPretrain(b) }
+
+// BenchmarkTrainMFCP measures the full MFCP-FG pipeline on a reduced budget:
+// MSE warm start plus the end-to-end regret phase (per-epoch relaxed solves,
+// zeroth-order gradients, per-cluster backprop, validation rounds).
+func BenchmarkTrainMFCP(b *testing.B) { benchTrainMFCP(b) }

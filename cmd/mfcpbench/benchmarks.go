@@ -1,0 +1,101 @@
+// In-binary benchmark runner. The same benchmark bodies back the standard
+// `go test -bench` entry points (bench_test.go) and the binary's -bench
+// flag, so numbers from either path are directly comparable:
+//
+//	mfcpbench -bench 'Pretrain|TrainMFCP'        # no test harness needed
+//	mfcpbench -bench . -count 5                  # benchstat-ready samples
+package main
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"testing"
+
+	"mfcp/internal/core"
+	"mfcp/internal/workload"
+)
+
+// trainBenchmarks is the registry the -bench flag matches against.
+var trainBenchmarks = []struct {
+	Name string
+	F    func(b *testing.B)
+}{
+	{"Pretrain", benchPretrain},
+	{"TrainMFCP", benchTrainMFCP},
+}
+
+// trainBenchScenario builds the small fixed workload shared by the training
+// benchmarks: setting A (M=3 clusters), 60 tasks, 16-d features.
+func trainBenchScenario() (*workload.Scenario, []int) {
+	s := workload.MustNew(workload.Config{PoolSize: 60, FeatureDim: 16, Seed: 42})
+	train, _ := s.Split(0.75)
+	return s, train
+}
+
+// benchPretrain measures the MSE warm start — the entirety of the two-stage
+// baseline's learning: 2M networks fitting measured labels.
+func benchPretrain(b *testing.B) {
+	s, train := trainBenchScenario()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream := s.Stream("bench-pretrain")
+		set := core.NewPredictorSet(s.M(), s.Features.Cols, []int{16}, stream.Split("init"))
+		core.PretrainMSE(set, s, train, 60, stream.Split("train"))
+	}
+}
+
+// benchTrainMFCP measures the full MFCP-FG pipeline on a reduced budget:
+// MSE warm start plus the end-to-end regret phase (per-epoch relaxed solves,
+// zeroth-order gradients, per-cluster backprop, validation rounds).
+func benchTrainMFCP(b *testing.B) {
+	s, train := trainBenchScenario()
+	cfg := core.Config{
+		Kind:           core.FG,
+		PretrainEpochs: 30,
+		Epochs:         20,
+		RoundSize:      5,
+	}
+	cfg.Match.SolveIters = 80
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Train(s, train, cfg)
+	}
+}
+
+// runBenchmarks executes every registered benchmark matching the pattern,
+// count times each, printing one benchstat-compatible line per run. It
+// returns an exit code (2 on a bad pattern or no matches).
+func runBenchmarks(pattern string, count int) int {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-bench: bad pattern %q: %v\n", pattern, err)
+		return 2
+	}
+	if count < 1 {
+		count = 1
+	}
+	matched := 0
+	for _, bm := range trainBenchmarks {
+		if !re.MatchString(bm.Name) {
+			continue
+		}
+		matched++
+		for c := 0; c < count; c++ {
+			r := testing.Benchmark(bm.F)
+			fmt.Printf("Benchmark%s\t%8d\t%12.0f ns/op\t%8d B/op\t%8d allocs/op\n",
+				bm.Name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "-bench: no benchmark matches %q (have:", pattern)
+		for _, bm := range trainBenchmarks {
+			fmt.Fprintf(os.Stderr, " %s", bm.Name)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+		return 2
+	}
+	return 0
+}

@@ -5,9 +5,12 @@
 //	mfcpbench -exp all                    # every table and figure
 //	mfcpbench -exp fig4 -replicates 10    # overall comparison, more reps
 //	mfcpbench -exp table2 -csv            # parallel setting, CSV output
+//	mfcpbench -bench 'Pretrain' -count 5  # training benchmarks, no test harness
 //
 // Experiments: table1, fig4, fig5, table2, beta (X1), zo (X2), conv (X3),
-// lambda (X4), all.
+// lambda (X4), all. The -bench flag instead runs the end-to-end training
+// benchmarks (see benchmarks.go) matching the given regexp, -count times
+// each, and exits; output is benchstat-compatible.
 package main
 
 import (
@@ -34,8 +37,14 @@ func main() {
 		plotOut    = flag.Bool("plot", false, "also render ASCII charts for fig4 and fig5")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+		bench      = flag.String("bench", "", "run training benchmarks matching this regexp instead of experiments")
+		count      = flag.Int("count", 1, "repetitions per benchmark (with -bench)")
 	)
 	flag.Parse()
+
+	if *bench != "" {
+		os.Exit(runBenchmarks(*bench, *count))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mfcp/internal/cluster"
+	"mfcp/internal/mat"
 	"mfcp/internal/matching"
 	"mfcp/internal/nn"
 	"mfcp/internal/rng"
@@ -45,9 +46,16 @@ func TestForwardMatchesPredict(t *testing.T) {
 	s := testScenario(4)
 	Z := s.FeaturesOf([]int{1, 5, 9})
 	T1, A1 := set.Predict(Z)
-	_, T2, A2 := set.forward(Z)
+	var tp tapes
+	T2, A2 := new(mat.Dense), new(mat.Dense)
+	set.forward(Z, &tp, T2, A2)
 	if !T1.Equal(T2, 1e-12) || !A1.Equal(A2, 1e-12) {
 		t.Fatal("forward and Predict disagree")
+	}
+	// A second pass through the same workspace must reproduce the result.
+	set.forward(Z, &tp, T2, A2)
+	if !T1.Equal(T2, 0) {
+		t.Fatal("forward not stable across workspace reuse")
 	}
 }
 
@@ -60,7 +68,7 @@ func TestPretrainReducesMSE(t *testing.T) {
 		total := 0.0
 		for i := 0; i < s.M(); i++ {
 			tv, _ := s.LabelVectors(i, train)
-			total += nn.MSE(set.Preds[i].Time.PredictBatch(Z), tv)
+			total += nn.MSE(set.Preds[i].Time.PredictBatch(Z, nil), tv)
 		}
 		return total
 	}

@@ -60,8 +60,8 @@ func (ps *PredictorSet) Predict(Z *mat.Dense) (That, Ahat *mat.Dense) {
 	Ahat = mat.NewDense(m, n)
 	parallel.ForChunked(m, 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			tOut := ps.Preds[i].Time.PredictBatch(Z)
-			aOut := ps.Preds[i].Rel.PredictBatch(Z)
+			tOut := ps.Preds[i].Time.PredictBatch(Z, nil)
+			aOut := ps.Preds[i].Rel.PredictBatch(Z, nil)
 			for j := 0; j < n; j++ {
 				That.Set(i, j, tOut.At(j, 0))
 				Ahat.Set(i, j, aOut.At(j, 0))
@@ -72,21 +72,38 @@ func (ps *PredictorSet) Predict(Z *mat.Dense) (That, Ahat *mat.Dense) {
 }
 
 // tapes holds per-cluster forward tapes for one round, ready for backprop.
+// A tapes value is a reusable workspace: ensure sizes it once and forward
+// recycles the per-cluster nn.Tape buffers across epochs.
 type tapes struct {
 	time []*nn.Tape
 	rel  []*nn.Tape
 }
 
-// forward runs all predictors over Z keeping tapes, and assembles T̂, Â.
-func (ps *PredictorSet) forward(Z *mat.Dense) (tp tapes, That, Ahat *mat.Dense) {
+// ensure allocates the per-cluster tape slots on first use.
+func (tp *tapes) ensure(m int) {
+	if len(tp.time) == m {
+		return
+	}
+	tp.time = make([]*nn.Tape, m)
+	tp.rel = make([]*nn.Tape, m)
+	for i := 0; i < m; i++ {
+		tp.time[i] = nn.NewTape()
+		tp.rel[i] = nn.NewTape()
+	}
+}
+
+// forward runs all predictors over Z, recording intermediates on tp's tapes
+// and assembling T̂, Â into That/Ahat (both reshaped in place, so a caller
+// that keeps the workspace pays no steady-state allocations).
+func (ps *PredictorSet) forward(Z *mat.Dense, tp *tapes, That, Ahat *mat.Dense) {
 	m, n := ps.M(), Z.Rows
-	tp = tapes{time: make([]*nn.Tape, m), rel: make([]*nn.Tape, m)}
-	That = mat.NewDense(m, n)
-	Ahat = mat.NewDense(m, n)
+	tp.ensure(m)
+	That.Reshape(m, n)
+	Ahat.Reshape(m, n)
 	parallel.ForChunked(m, 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			tp.time[i] = ps.Preds[i].Time.Forward(Z)
-			tp.rel[i] = ps.Preds[i].Rel.Forward(Z)
+			ps.Preds[i].Time.ForwardTape(Z, tp.time[i])
+			ps.Preds[i].Rel.ForwardTape(Z, tp.rel[i])
 			tOut := tp.time[i].Out()
 			aOut := tp.rel[i].Out()
 			for j := 0; j < n; j++ {
@@ -95,7 +112,6 @@ func (ps *PredictorSet) forward(Z *mat.Dense) (tp tapes, That, Ahat *mat.Dense) 
 			}
 		}
 	})
-	return tp, That, Ahat
 }
 
 // Clone deep-copies the set (used to snapshot the pretrained state).

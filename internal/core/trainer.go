@@ -274,6 +274,21 @@ type Trainer struct {
 	// epoch, so the buffers are allocated once per training run.
 	ws       *matching.Workspace
 	wsOracle *matching.Workspace
+	// NN workspaces for the regret phase, mirroring the matching ones: the
+	// per-cluster forward tapes, predicted matrices, per-cluster backprop
+	// state, and the MSE-anchor scratch are all allocated once and reshaped
+	// per epoch.
+	tp               tapes
+	that, ahat       *mat.Dense
+	dOut             []*mat.Dense
+	gTime, gRel      []*nn.Grads
+	anchorT, anchorA *mat.Dense
+	// wBuf and wiBuf hold ∂L/∂X gradients (the loss seed for the implicit
+	// differentiation); one for the prediction-driven optimum, one reused
+	// across the row-wise solves. tmix and amix stage the measured-with-one-
+	// predicted-row matrices Algorithm 2's row-wise estimator solves against.
+	wBuf, wiBuf *mat.Dense
+	tmix, amix  *mat.Dense
 }
 
 // Name identifies the method in experiment tables.
@@ -309,6 +324,19 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 	}
 	roundStream := stream.Split("rounds")
 	gradStream := stream.Split("grads")
+
+	// Per-cluster regret-phase workspaces (tapes live in tr.tp, sized on
+	// first forward; the backprop state is sized here).
+	tr.that, tr.ahat = new(mat.Dense), new(mat.Dense)
+	tr.anchorT, tr.anchorA = new(mat.Dense), new(mat.Dense)
+	tr.dOut = make([]*mat.Dense, s.M())
+	tr.gTime = make([]*nn.Grads, s.M())
+	tr.gRel = make([]*nn.Grads, s.M())
+	for i := 0; i < s.M(); i++ {
+		tr.dOut[i] = new(mat.Dense)
+		tr.gTime[i] = tr.Set.Preds[i].Time.NewGrads()
+		tr.gRel[i] = tr.Set.Preds[i].Rel.NewGrads()
+	}
 
 	// Early stopping: validation rounds drawn from a task subset the
 	// regret descent never trains on; the best-scoring snapshot wins.
@@ -346,7 +374,8 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 		Tm, Am := s.MeasuredMatrices(round)
 		trueProb := cfg.Match.Problem(Tm, Am)
 
-		tp, That, Ahat := tr.Set.forward(Z)
+		tr.Set.forward(Z, &tr.tp, tr.that, tr.ahat)
+		That, Ahat := tr.that, tr.ahat
 		dT, dA, trainRegret, err := tr.matchingGrads(trueProb, That, Ahat, Tm, Am, gradStream.SplitIndexed("epoch", epoch))
 		tr.History = append(tr.History, trainRegret)
 		if err != nil {
@@ -355,11 +384,14 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 		}
 		if cfg.MSEAnchor > 0 {
 			// Auxiliary MSE gradient keeps predictions anchored to the
-			// measurements while the regret term reweights them.
+			// measurements while the regret term reweights them. The
+			// residuals build in reusable scratch instead of cloning.
 			n := float64(len(round))
 			scale := cfg.MSEAnchor * 2 / n
-			dT.AddScaled(scale, That.Clone().AddScaled(-1, Tm))
-			dA.AddScaled(scale, Ahat.Clone().AddScaled(-1, Am))
+			tr.anchorT.Reshape(That.Rows, That.Cols).CopyFrom(That)
+			dT.AddScaled(scale, tr.anchorT.AddScaled(-1, Tm))
+			tr.anchorA.Reshape(Ahat.Rows, Ahat.Cols).CopyFrom(Ahat)
+			dA.AddScaled(scale, tr.anchorA.AddScaled(-1, Am))
 		}
 
 		updateTime := true
@@ -371,21 +403,24 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 		n := len(round)
 		parallel.ForChunked(s.M(), 1, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
+				dOut := tr.dOut[i].Reshape(n, 1)
 				if updateTime {
-					dOut := mat.NewDense(n, 1)
 					for j := 0; j < n; j++ {
 						dOut.Set(j, 0, dT.At(i, j))
 					}
-					g := tr.Set.Preds[i].Time.Backward(tp.time[i], dOut, nil)
+					g := tr.gTime[i]
+					g.Zero()
+					tr.Set.Preds[i].Time.Backward(tr.tp.time[i], dOut, g)
 					nn.ClipGrads(g, cfg.GradClip)
 					timeOpts[i].Step(tr.Set.Preds[i].Time, g)
 				}
 				if updateRel {
-					dOut := mat.NewDense(n, 1)
 					for j := 0; j < n; j++ {
 						dOut.Set(j, 0, dA.At(i, j))
 					}
-					g := tr.Set.Preds[i].Rel.Backward(tp.rel[i], dOut, nil)
+					g := tr.gRel[i]
+					g.Zero()
+					tr.Set.Preds[i].Rel.Backward(tr.tp.rel[i], dOut, g)
 					nn.ClipGrads(g, cfg.GradClip)
 					relOpts[i].Step(tr.Set.Preds[i].Rel, g)
 				}
@@ -412,20 +447,27 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 }
 
 // validationRegret scores the current predictors on the held-out rounds:
-// mean discrete regret against the measured ground truth.
+// mean discrete regret against the measured ground truth. Rounds are
+// independent (each builds its own problems and workspaces), so they
+// evaluate in parallel; the final reduction sums in round order, keeping the
+// result deterministic regardless of worker count.
 func (tr *Trainer) validationRegret(valRounds [][]int) float64 {
 	if len(valRounds) == 0 {
 		return 0
 	}
-	total := 0.0
-	for _, round := range valRounds {
+	perRound := parallel.Map(len(valRounds), func(k int) float64 {
+		round := valRounds[k]
 		Z := tr.Scen.FeaturesOf(round)
 		Tm, Am := tr.Scen.MeasuredMatrices(round)
 		trueProb := tr.Cfg.Match.Problem(Tm, Am)
 		That, Ahat := tr.Set.Predict(Z)
 		assign := tr.Cfg.Match.Solve(That, Ahat)
 		_, oracle := matching.Solve(trueProb, matching.SolveOptions{Iters: tr.Cfg.Match.SolveIters})
-		total += (trueProb.DiscreteCost(assign) - trueProb.DiscreteCost(oracle)) / float64(len(round))
+		return (trueProb.DiscreteCost(assign) - trueProb.DiscreteCost(oracle)) / float64(len(round))
+	})
+	total := 0.0
+	for _, v := range perRound {
+		total += v
 	}
 	return total / float64(len(valRounds))
 }
@@ -441,6 +483,10 @@ func (tr *Trainer) matchingGrads(trueProb *matching.Problem, That, Ahat, Tm, Am 
 	if tr.ws == nil {
 		tr.ws = matching.NewWorkspace(That.Rows, That.Cols)
 		tr.wsOracle = matching.NewWorkspace(That.Rows, That.Cols)
+		tr.wBuf = new(mat.Dense)
+		tr.wiBuf = new(mat.Dense)
+		tr.tmix = new(mat.Dense)
+		tr.amix = new(mat.Dense)
 	}
 
 	// Prediction-driven optimum with the entropy regularizer active so the
@@ -452,7 +498,9 @@ func (tr *Trainer) matchingGrads(trueProb *matching.Problem, That, Ahat, Tm, Am 
 	X := matching.SolveRelaxedWS(predProb, matching.SolveOptions{Iters: cfg.Match.SolveIters}, tr.ws)
 
 	// Loss gradient w.r.t. the matching: (1/N)·∇_X F under true values.
-	w := trueProb.GradX(X, nil)
+	// tr.ws was just reset by the solve above, so its loads/weights scratch
+	// is sized for the round and free to reuse here.
+	w := trueProb.GradXWS(X, tr.wBuf.Reshape(That.Rows, That.Cols), tr.ws)
 	w.Scale(invN)
 
 	// Training regret for the history curve (discrete, vs measured truth),
@@ -490,15 +538,17 @@ func (tr *Trainer) matchingGrads(trueProb *matching.Problem, That, Ahat, Tm, Am 
 			m, n := That.Rows, That.Cols
 			dT = mat.NewDense(m, n)
 			dA = mat.NewDense(m, n)
+			Tmix := tr.tmix.Reshape(m, n)
+			Amix := tr.amix.Reshape(m, n)
 			for i := 0; i < m; i++ {
-				Tmix := Tm.Clone()
+				Tmix.CopyFrom(Tm)
 				copy(Tmix.Row(i), That.Row(i))
-				Amix := Am.Clone()
+				Amix.CopyFrom(Am)
 				copy(Amix.Row(i), Ahat.Row(i))
 				rowProb := cfg.Match.Problem(Tmix, Amix)
 				rowProb.Entropy = cfg.Match.Entropy
 				Xi := matching.SolveRelaxedWS(rowProb, matching.SolveOptions{Iters: cfg.Match.SolveIters}, tr.wsOracle)
-				wi := trueProb.GradX(Xi, nil)
+				wi := trueProb.GradXWS(Xi, tr.wiBuf.Reshape(m, n), tr.wsOracle)
 				wi.Scale(invN)
 				dTi, dAi := diffopt.RowVJP(rowProb, Xi, wi, i, cfg.ZO, r.SplitIndexed("row", i))
 				copy(dT.Row(i), dTi)

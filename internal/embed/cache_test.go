@@ -1,0 +1,102 @@
+package embed
+
+import (
+	"testing"
+
+	"mfcp/internal/rng"
+	"mfcp/internal/taskgraph"
+)
+
+// regen builds a content-identical copy of a task pool by replaying the
+// generator stream — the same thing scenario rebuilds and experiment
+// replicates do.
+func regen(n int, seed uint64) []*taskgraph.Task {
+	return taskgraph.GenerateMix(n, nil, rng.New(seed))
+}
+
+func TestCacheHitsOnContentIdenticalTasks(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	e := New(12, 7)
+	first := e.EmbedAll(regen(6, 3))
+	h0, m0 := CacheStats()
+	if h0 != 0 || m0 != 6 {
+		t.Fatalf("cold pass: hits=%d misses=%d, want 0/6", h0, m0)
+	}
+	// Distinct *Task pointers, identical content: everything must hit.
+	second := e.EmbedAll(regen(6, 3))
+	h1, m1 := CacheStats()
+	if h1 != 6 || m1 != 6 {
+		t.Fatalf("warm pass: hits=%d misses=%d, want 6/6", h1, m1)
+	}
+	if !first.Equal(second, 0) {
+		t.Fatal("cached embeddings differ from computed ones")
+	}
+}
+
+func TestCacheKeySeparatesSeedAndDim(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	task := taskgraph.Generate(taskgraph.FamilyCNN, rng.New(1))
+	a := New(12, 7).Embed(task)
+	b := New(12, 8).Embed(task) // different weight seed
+	c := New(10, 7).Embed(task) // different output dim
+	if _, misses := CacheStats(); misses != 3 {
+		t.Fatalf("expected 3 misses across distinct keys, got %d", misses)
+	}
+	if a.Equal(b, 1e-12) {
+		t.Fatal("different seeds produced equal embeddings (key collision?)")
+	}
+	if len(c) != 10 {
+		t.Fatalf("dim-10 embedder returned %d values", len(c))
+	}
+}
+
+func TestCachedVectorsAreIsolated(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	e := New(12, 7)
+	task := taskgraph.Generate(taskgraph.FamilyMLP, rng.New(2))
+	v1 := e.Embed(task)
+	v1[0] = 1e9 // caller mutates its copy
+	v2 := e.Embed(task)
+	if v2[0] == 1e9 {
+		t.Fatal("cache handed out shared storage: caller mutation leaked")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := taskgraph.Generate(taskgraph.FamilyTransformer, rng.New(4))
+	same := taskgraph.Generate(taskgraph.FamilyTransformer, rng.New(4))
+	if base.Fingerprint() != same.Fingerprint() {
+		t.Fatal("content-identical tasks fingerprint differently")
+	}
+	mutants := []func(c *taskgraph.Task){
+		func(c *taskgraph.Task) { c.BatchSize++ },
+		func(c *taskgraph.Task) { c.StepsPerEpoch++ },
+		func(c *taskgraph.Task) { c.Epochs++ },
+		func(c *taskgraph.Task) { c.DatasetMB += 0.5 },
+		func(c *taskgraph.Task) { c.Name += "x" },
+		func(c *taskgraph.Task) { c.Graph.Nodes[1].Out++ },
+	}
+	for i, mutate := range mutants {
+		c := taskgraph.Generate(taskgraph.FamilyTransformer, rng.New(4))
+		mutate(c)
+		if c.Fingerprint() == base.Fingerprint() {
+			t.Fatalf("mutation %d did not change the fingerprint", i)
+		}
+	}
+}
+
+func BenchmarkEmbedCacheHit(b *testing.B) {
+	ResetCache()
+	defer ResetCache()
+	e := New(16, 1)
+	task := taskgraph.Generate(taskgraph.FamilyTransformer, rng.New(1))
+	e.Embed(task) // populate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Embed(task)
+	}
+}

@@ -35,6 +35,7 @@ type Embedder struct {
 	Rounds int // number of propagation rounds
 	Dim    int // output feature dimension
 
+	seed  uint64     // weight seed; part of the cache key (cache.go)
 	wIn   *mat.Dense // nodeFeatDim -> Hidden
 	wSelf *mat.Dense // Hidden -> Hidden
 	wAgg  *mat.Dense // Hidden -> Hidden
@@ -51,6 +52,7 @@ func New(dim int, seed uint64) *Embedder {
 		Hidden: hidden,
 		Rounds: rounds,
 		Dim:    dim,
+		seed:   seed,
 		wIn:    randomWeights(r.Split("in"), hidden, nodeFeatDim),
 		wSelf:  randomWeights(r.Split("self"), hidden, hidden),
 		wAgg:   randomWeights(r.Split("agg"), hidden, hidden),
@@ -86,8 +88,25 @@ func nodeFeatures(n taskgraph.Node, dst mat.Vec) {
 }
 
 // Embed maps the task to its feature vector. The same task always maps to
-// the same features.
+// the same features. Results are memoized process-wide by (seed, dim, task
+// fingerprint) — see cache.go — so re-embedding a content-identical task
+// costs a hash plus a map lookup instead of the full message passing.
 func (e *Embedder) Embed(t *taskgraph.Task) mat.Vec {
+	out := mat.NewVec(e.Dim)
+	k := e.key(t)
+	if cacheLookup(k, out) {
+		recordHit()
+		return out
+	}
+	recordMiss()
+	e.embedInto(t, out)
+	cacheStore(k, out)
+	return out
+}
+
+// embedInto runs the fixed-weight message passing for t, writing the feature
+// vector into out.
+func (e *Embedder) embedInto(t *taskgraph.Task, out mat.Vec) {
 	g := t.Graph
 	n := g.Len()
 	// h holds the current node states; hNext the next round's.
@@ -152,7 +171,7 @@ func (e *Embedder) Embed(t *taskgraph.Task) mat.Vec {
 	globals[7] = log1p(float64(t.StepsPerEpoch)) / 12
 	globals[8] = log1p(t.DatasetMB) / 15
 
-	out := e.wOut.MulVec(readout, nil)
+	e.wOut.MulVec(readout, out)
 	tanhInPlace(out)
 	// Reserve the last two output slots for undistorted global cost signal:
 	// the predictors downstream are deliberately small, and the paper's
@@ -161,14 +180,23 @@ func (e *Embedder) Embed(t *taskgraph.Task) mat.Vec {
 		out[e.Dim-2] = log1p(t.EpochFLOPs()) / 35
 		out[e.Dim-1] = globals[3]
 	}
-	return out
 }
 
-// EmbedAll maps a slice of tasks to a len(tasks)×Dim feature matrix.
+// EmbedAll maps a slice of tasks to a len(tasks)×Dim feature matrix,
+// embedding straight into the rows (cache hits are a copy, misses run the
+// message passing once and populate the cache).
 func (e *Embedder) EmbedAll(tasks []*taskgraph.Task) *mat.Dense {
 	out := mat.NewDense(len(tasks), e.Dim)
 	for i, t := range tasks {
-		copy(out.Row(i), e.Embed(t))
+		row := out.Row(i)
+		k := e.key(t)
+		if cacheLookup(k, row) {
+			recordHit()
+			continue
+		}
+		recordMiss()
+		e.embedInto(t, row)
+		cacheStore(k, row)
 	}
 	return out
 }

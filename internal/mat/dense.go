@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 	"strings"
-
-	"mfcp/internal/parallel"
 )
 
 // Dense is a row-major dense matrix.
@@ -248,51 +246,6 @@ func (m *Dense) MulVecT(x Vec, dst Vec) Vec {
 		for j, v := range row {
 			dst[j] += xi * v
 		}
-	}
-	return dst
-}
-
-// parallelGemmThreshold is the flop count above which Mul fans out across
-// goroutines; below it the spawn cost dominates.
-const parallelGemmThreshold = 64 * 64 * 64
-
-// Mul computes dst = a · b. dst is allocated when nil; it must not alias a
-// or b. Large products are computed in parallel over row blocks with an
-// ikj loop order for cache-friendly streaming of b.
-func Mul(a, b, dst *Dense) *Dense {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("mat: Mul dim mismatch %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	if dst == nil {
-		dst = NewDense(a.Rows, b.Cols)
-	}
-	if dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic("mat: Mul dst shape mismatch")
-	}
-	if dst == a || dst == b {
-		panic("mat: Mul dst must not alias an operand")
-	}
-	mulRange := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			drow := dst.Row(i)
-			drow.Fill(0)
-			arow := a.Row(i)
-			for k, aik := range arow {
-				if aik == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, bkj := range brow {
-					drow[j] += aik * bkj
-				}
-			}
-		}
-	}
-	if a.Rows*a.Cols*b.Cols >= parallelGemmThreshold && a.Rows > 1 {
-		grain := 1
-		parallel.ForChunked(a.Rows, grain, mulRange)
-	} else {
-		mulRange(0, a.Rows)
 	}
 	return dst
 }

@@ -1,0 +1,487 @@
+package mat
+
+import (
+	"fmt"
+	"sync"
+
+	"mfcp/internal/parallel"
+)
+
+// This file implements the dense matrix-product kernels. All entry points
+// share one contract:
+//
+//   - dst is allocated when nil and returned; otherwise its shape must match
+//     and it must not alias an operand (checked, panics).
+//   - Accumulation over the contraction index runs in increasing order for
+//     every output element, in every path (scalar, blocked, parallel), so
+//     results are bit-identical across paths and matrix sizes.
+//
+// Small products use a branch-free scalar kernel with register accumulators
+// (one store per output element — no zero-fill-then-accumulate pass). Large
+// products go through a BLIS-style blocked GEMM: panels of a and b are
+// packed into contiguous, zero-padded buffers and consumed by a 4×2
+// register-tile micro-kernel. (A 4×4 tile needs 16 accumulators plus operand
+// temps — more than the 16 vector registers — and the resulting spills cost
+// more than the extra reuse buys; 4×2 keeps every accumulator in a register.) Packing buffers are pooled, so steady-state
+// calls do not allocate. The row-block loop fans out via internal/parallel
+// with whole row blocks as the grain (the previous kernel dispatched one
+// closure per row).
+
+const (
+	// gemmMR×gemmNR is the micro-kernel register tile.
+	gemmMR = 4
+	gemmNR = 2
+	// gemmKC and gemmNC bound the packed panel of b (gemmKC×gemmNC ≈ 256 KiB,
+	// sized for L2); gemmMC bounds the packed block of a (gemmMC×gemmKC).
+	gemmKC = 256
+	gemmNC = 128
+	gemmMC = 128
+	// smallGemmFlops is the multiply-accumulate count below which packing
+	// overhead beats its cache benefit and the scalar kernel wins.
+	smallGemmFlops = 24 * 24 * 24
+	// parallelGemmThreshold is the multiply-accumulate count above which the
+	// row-block loop fans out across goroutines.
+	parallelGemmThreshold = 128 * 128 * 128
+)
+
+// gemmBuf holds the packing scratch for one in-flight blocked GEMM.
+type gemmBuf struct{ a, b []float64 }
+
+var gemmPool = sync.Pool{New: func() any { return new(gemmBuf) }}
+
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func checkMulDst(a, b, dst *Dense, rows, cols int, name string) *Dense {
+	if dst == nil {
+		dst = NewDense(rows, cols)
+	}
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("mat: %s dst shape %dx%d, want %dx%d", name, dst.Rows, dst.Cols, rows, cols))
+	}
+	if dst == a || dst == b {
+		panic(fmt.Sprintf("mat: %s dst must not alias an operand", name))
+	}
+	return dst
+}
+
+// Mul computes dst = a · b. dst is allocated when nil; it must not alias a
+// or b.
+func Mul(a, b, dst *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dim mismatch %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst = checkMulDst(a, b, dst, a.Rows, b.Cols, "Mul")
+	gemmNN(a, b, dst, false)
+	return dst
+}
+
+// MulAdd computes dst += a · b. dst must be preallocated (it carries the
+// accumulator) and must not alias a or b.
+func MulAdd(a, b, dst *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulAdd dim mismatch %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst == nil {
+		panic("mat: MulAdd needs a preallocated dst")
+	}
+	dst = checkMulDst(a, b, dst, a.Rows, b.Cols, "MulAdd")
+	gemmNN(a, b, dst, true)
+	return dst
+}
+
+// MulT computes dst = a · bᵀ without materializing the transpose: dst(i,j)
+// is the dot product of row i of a and row j of b. It is the forward-pass
+// kernel (X · Wᵀ). dst is allocated when nil.
+func MulT(a, b, dst *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulT dim mismatch %dx%d by (%dx%d)^T", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst = checkMulDst(a, b, dst, a.Rows, b.Rows, "MulT")
+	gemmNT(a, b, dst, false)
+	return dst
+}
+
+// MulTAdd computes dst += a · bᵀ. dst must be preallocated.
+func MulTAdd(a, b, dst *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTAdd dim mismatch %dx%d by (%dx%d)^T", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst == nil {
+		panic("mat: MulTAdd needs a preallocated dst")
+	}
+	dst = checkMulDst(a, b, dst, a.Rows, b.Rows, "MulTAdd")
+	gemmNT(a, b, dst, true)
+	return dst
+}
+
+// MulAT computes dst = aᵀ · b without materializing the transpose: dst(i,j)
+// = Σ_p a(p,i)·b(p,j). dst is allocated when nil.
+func MulAT(a, b, dst *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulAT dim mismatch (%dx%d)^T by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst = checkMulDst(a, b, dst, a.Cols, b.Cols, "MulAT")
+	dst.Fill(0)
+	gemmTN(a, b, dst)
+	return dst
+}
+
+// MulATAdd computes dst += aᵀ · b — the backward-pass weight-gradient
+// kernel (deltaᵀ · input accumulated into dW). dst must be preallocated.
+func MulATAdd(a, b, dst *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulATAdd dim mismatch (%dx%d)^T by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst == nil {
+		panic("mat: MulATAdd needs a preallocated dst")
+	}
+	dst = checkMulDst(a, b, dst, a.Cols, b.Cols, "MulATAdd")
+	gemmTN(a, b, dst)
+	return dst
+}
+
+// gemmNN dispatches dst (+)= a·b between the scalar and blocked paths.
+func gemmNN(a, b, dst *Dense, add bool) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		if !add {
+			dst.Fill(0)
+		}
+		return
+	}
+	work := m * k * n
+	if work < smallGemmFlops {
+		gemmSmallNN(a, b, dst, add, 0, m)
+		return
+	}
+	if work >= parallelGemmThreshold && m >= 2*gemmMR && parallel.Workers > 1 {
+		// Whole row blocks are the parallel grain: each task packs its own
+		// block of a and runs the full panel loop over it, so no goroutine
+		// ever touches another's output rows and the per-task work is
+		// thousands of fused loop iterations, not one row.
+		grain := gemmMC
+		for m/grain > parallel.Workers*4 {
+			grain *= 2
+		}
+		parallel.ForChunked(m, grain, func(lo, hi int) {
+			gemmBlockedNN(a, b, dst, add, lo, hi)
+		})
+		return
+	}
+	gemmBlockedNN(a, b, dst, add, 0, m)
+}
+
+// gemmSmallNN is the scalar fallback: register accumulators, one store per
+// output element, no zero test on a's elements, k accumulated in order.
+func gemmSmallNN(a, b, dst *Dense, add bool, i0, i1 int) {
+	k, n := a.Cols, b.Cols
+	bd := b.Data
+	for i := i0; i < i1; i++ {
+		arow := a.Data[i*k : i*k+k]
+		drow := dst.Data[i*n : i*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			var s0, s1, s2, s3 float64
+			bi := j
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				s0 += av * bd[bi]
+				s1 += av * bd[bi+1]
+				s2 += av * bd[bi+2]
+				s3 += av * bd[bi+3]
+				bi += n
+			}
+			if add {
+				drow[j] += s0
+				drow[j+1] += s1
+				drow[j+2] += s2
+				drow[j+3] += s3
+			} else {
+				drow[j] = s0
+				drow[j+1] = s1
+				drow[j+2] = s2
+				drow[j+3] = s3
+			}
+		}
+		for ; j < n; j++ {
+			var s float64
+			bi := j
+			for p := 0; p < k; p++ {
+				s += arow[p] * bd[bi]
+				bi += n
+			}
+			if add {
+				drow[j] += s
+			} else {
+				drow[j] = s
+			}
+		}
+	}
+}
+
+// gemmBlockedNN runs the packed blocked GEMM over dst rows [i0, i1).
+func gemmBlockedNN(a, b, dst *Dense, add bool, i0, i1 int) {
+	k, n := a.Cols, b.Cols
+	buf := gemmPool.Get().(*gemmBuf)
+	defer gemmPool.Put(buf)
+
+	for jc := 0; jc < n; jc += gemmNC {
+		ncb := min(gemmNC, n-jc)
+		jGroups := (ncb + gemmNR - 1) / gemmNR
+		for pc := 0; pc < k; pc += gemmKC {
+			kcb := min(gemmKC, k-pc)
+			// First k-block initializes dst (unless accumulating); later
+			// blocks always accumulate, preserving k order per element.
+			acc := add || pc > 0
+			buf.b = grow(buf.b, jGroups*gemmNR*kcb)
+			packB(b, pc, kcb, jc, ncb, buf.b)
+			for ic := i0; ic < i1; ic += gemmMC {
+				mcb := min(gemmMC, i1-ic)
+				iGroups := (mcb + gemmMR - 1) / gemmMR
+				buf.a = grow(buf.a, iGroups*gemmMR*kcb)
+				packA(a, ic, mcb, pc, kcb, buf.a)
+				for jg := 0; jg < jGroups; jg++ {
+					bp := buf.b[jg*gemmNR*kcb : (jg+1)*gemmNR*kcb]
+					nrem := min(gemmNR, ncb-jg*gemmNR)
+					for ig := 0; ig < iGroups; ig++ {
+						ap := buf.a[ig*gemmMR*kcb : (ig+1)*gemmMR*kcb]
+						mrem := min(gemmMR, mcb-ig*gemmMR)
+						kernel4x2(kcb, ap, bp, dst, ic+ig*gemmMR, jc+jg*gemmNR, mrem, nrem, acc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// packA copies the block a[ic:ic+mcb, pc:pc+kcb] into ap, grouped in strips
+// of gemmMR rows stored column-major within the strip (ap[g][p*MR+r]), with
+// zero padding for partial strips.
+func packA(a *Dense, ic, mcb, pc, kcb int, ap []float64) {
+	k := a.Cols
+	for g := 0; g*gemmMR < mcb; g++ {
+		dstOff := g * gemmMR * kcb
+		rows := min(gemmMR, mcb-g*gemmMR)
+		for r := 0; r < rows; r++ {
+			src := a.Data[(ic+g*gemmMR+r)*k+pc:]
+			for p := 0; p < kcb; p++ {
+				ap[dstOff+p*gemmMR+r] = src[p]
+			}
+		}
+		for r := rows; r < gemmMR; r++ {
+			for p := 0; p < kcb; p++ {
+				ap[dstOff+p*gemmMR+r] = 0
+			}
+		}
+	}
+}
+
+// packB copies the panel b[pc:pc+kcb, jc:jc+ncb] into bp, grouped in strips
+// of gemmNR columns stored row-major within the strip (bp[g][p*NR+c]), with
+// zero padding for partial strips.
+func packB(b *Dense, pc, kcb, jc, ncb int, bp []float64) {
+	n := b.Cols
+	for g := 0; g*gemmNR < ncb; g++ {
+		dstOff := g * gemmNR * kcb
+		cols := min(gemmNR, ncb-g*gemmNR)
+		for p := 0; p < kcb; p++ {
+			src := b.Data[(pc+p)*n+jc+g*gemmNR:]
+			off := dstOff + p*gemmNR
+			for c := 0; c < cols; c++ {
+				bp[off+c] = src[c]
+			}
+			for c := cols; c < gemmNR; c++ {
+				bp[off+c] = 0
+			}
+		}
+	}
+}
+
+// kernel4x2 computes the (mrem×nrem ≤ 4×2) tile of dst at (i0, j0),
+// accumulating ap·bp over kc packed terms in 8 register accumulators and
+// touching dst once per element (one load when accumulating, one store).
+// The 8 accumulators plus the 6 operand temps stay inside the 16 vector
+// registers, so the hot loop runs spill-free.
+//
+// When add is set the accumulators are seeded FROM dst rather than summed
+// into it afterwards: fl(...fl(dst + a·b) + a·b...) continues the same
+// rounding chain a single unblocked pass would produce, so splitting k into
+// panels (pc loop) leaves results bit-identical to the scalar kernel instead
+// of merely close.
+func kernel4x2(kc int, ap, bp []float64, dst *Dense, i0, j0, mrem, nrem int, add bool) {
+	var tile [gemmMR][gemmNR]float64
+	ld := dst.Cols
+	if add {
+		for r := 0; r < mrem; r++ {
+			drow := dst.Data[(i0+r)*ld+j0 : (i0+r)*ld+j0+nrem]
+			for c := range drow {
+				tile[r][c] = drow[c]
+			}
+		}
+	}
+	c00, c01 := tile[0][0], tile[0][1]
+	c10, c11 := tile[1][0], tile[1][1]
+	c20, c21 := tile[2][0], tile[2][1]
+	c30, c31 := tile[3][0], tile[3][1]
+	ap = ap[:gemmMR*kc]
+	bp = bp[:gemmNR*kc]
+	// Slice-advance iteration: the loop condition doubles as the bounds
+	// check for the constant indices, so the body runs check-free. Plain
+	// mul-add, not math.FMA: under the baseline GOAMD64 level each FMA
+	// carries a hardware-feature branch with a function-call fallback, and
+	// that potential call makes the compiler spill every accumulator around
+	// every FMA. Separate mul+add also keeps the rounding — and therefore
+	// the results — bit-identical to the scalar fallback and to the
+	// pre-blocked kernel.
+	for len(ap) >= 4 && len(bp) >= 2 {
+		b0, b1 := bp[0], bp[1]
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		ap = ap[4:]
+		bp = bp[2:]
+	}
+	tile[0] = [gemmNR]float64{c00, c01}
+	tile[1] = [gemmNR]float64{c10, c11}
+	tile[2] = [gemmNR]float64{c20, c21}
+	tile[3] = [gemmNR]float64{c30, c31}
+	for r := 0; r < mrem; r++ {
+		drow := dst.Data[(i0+r)*ld+j0 : (i0+r)*ld+j0+nrem]
+		for c := range drow {
+			drow[c] = tile[r][c]
+		}
+	}
+}
+
+// gemmNT computes dst (+)= a·bᵀ. Both operands stream contiguously over the
+// contraction index, so no packing is needed: a 2×2 register tile of dot
+// products is enough to saturate the load ports.
+func gemmNT(a, b, dst *Dense, add bool) {
+	m, k, n := a.Rows, a.Cols, b.Rows
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		if !add {
+			dst.Fill(0)
+		}
+		return
+	}
+	if m*k*n >= parallelGemmThreshold && m >= 4 && parallel.Workers > 1 {
+		grain := max(gemmMC, m/(parallel.Workers*4))
+		parallel.ForChunked(m, grain, func(lo, hi int) {
+			gemmNTRange(a, b, dst, add, lo, hi)
+		})
+		return
+	}
+	gemmNTRange(a, b, dst, add, 0, m)
+}
+
+func gemmNTRange(a, b, dst *Dense, add bool, i0, i1 int) {
+	k, n := a.Cols, b.Rows
+	ld := dst.Cols
+	i := i0
+	for ; i+2 <= i1; i += 2 {
+		arow0 := a.Data[i*k : i*k+k]
+		arow1 := a.Data[(i+1)*k : (i+1)*k+k]
+		drow0 := dst.Data[i*ld : i*ld+n]
+		drow1 := dst.Data[(i+1)*ld : (i+1)*ld+n]
+		j := 0
+		for ; j+2 <= n; j += 2 {
+			brow0 := b.Data[j*k : j*k+k]
+			brow1 := b.Data[(j+1)*k : (j+1)*k+k]
+			var s00, s01, s10, s11 float64
+			for p := 0; p < k; p++ {
+				a0, a1 := arow0[p], arow1[p]
+				b0, b1 := brow0[p], brow1[p]
+				s00 += a0 * b0
+				s01 += a0 * b1
+				s10 += a1 * b0
+				s11 += a1 * b1
+			}
+			if add {
+				drow0[j] += s00
+				drow0[j+1] += s01
+				drow1[j] += s10
+				drow1[j+1] += s11
+			} else {
+				drow0[j] = s00
+				drow0[j+1] = s01
+				drow1[j] = s10
+				drow1[j+1] = s11
+			}
+		}
+		for ; j < n; j++ {
+			brow := b.Data[j*k : j*k+k]
+			var s0, s1 float64
+			for p := 0; p < k; p++ {
+				bv := brow[p]
+				s0 += arow0[p] * bv
+				s1 += arow1[p] * bv
+			}
+			if add {
+				drow0[j] += s0
+				drow1[j] += s1
+			} else {
+				drow0[j] = s0
+				drow1[j] = s1
+			}
+		}
+	}
+	for ; i < i1; i++ {
+		arow := a.Data[i*k : i*k+k]
+		drow := dst.Data[i*ld : i*ld+n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : j*k+k]
+			var s float64
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			if add {
+				drow[j] += s
+			} else {
+				drow[j] = s
+			}
+		}
+	}
+}
+
+// gemmTN accumulates dst += aᵀ·b by streaming rank-1 updates: for each row p
+// of a and b, dst.Row(i) += a(p,i)·b.Row(p). The contraction index p runs in
+// increasing order for every element. Callers zero dst first for the
+// non-accumulating form. The backward weight gradient (deltaᵀ·input) is
+// dominated by this kernel; its matrices are small, so it stays serial.
+func gemmTN(a, b, dst *Dense) {
+	k, m, n := a.Rows, a.Cols, b.Cols
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : p*m+m]
+		brow := b.Data[p*n : p*n+n]
+		for i, av := range arow {
+			drow := dst.Data[i*n : i*n+n]
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				drow[j] += av * brow[j]
+				drow[j+1] += av * brow[j+1]
+				drow[j+2] += av * brow[j+2]
+				drow[j+3] += av * brow[j+3]
+			}
+			for ; j < n; j++ {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}

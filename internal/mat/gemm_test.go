@@ -1,0 +1,252 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"mfcp/internal/rng"
+)
+
+// naiveMul is the reference product: plain triple loop, contraction index in
+// increasing order, no blocking, no skips. Every Mul* variant is checked
+// against it.
+func naiveMul(a, b *Dense) *Dense {
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for p := 0; p < a.Cols; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func maxAbsDiff(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	var d float64
+	for i := range a.Data {
+		d = math.Max(d, math.Abs(a.Data[i]-b.Data[i]))
+	}
+	return d
+}
+
+// TestGemmPropertyRandomShapes drives the full dispatcher — scalar fallback,
+// blocked kernel with partial edge tiles, and the k-panel accumulation — over
+// random shapes and checks every variant against the naive reference at
+// 1e-12. Shapes are drawn to straddle smallGemmFlops so both paths run.
+func TestGemmPropertyRandomShapes(t *testing.T) {
+	r := rng.New(99)
+	const cases = 60
+	const tol = 1e-12
+	for c := 0; c < cases; c++ {
+		m := 1 + r.Intn(70)
+		k := 1 + r.Intn(70)
+		n := 1 + r.Intn(70)
+		a := randomDense(r, m, k)
+		b := randomDense(r, k, n)
+		want := naiveMul(a, b)
+
+		if d := maxAbsDiff(Mul(a, b, nil), want); d > tol {
+			t.Fatalf("case %d (%dx%dx%d): Mul off by %g", c, m, k, n, d)
+		}
+
+		// MulAdd seeded with a known base.
+		base := randomDense(r, m, n)
+		got := base.Clone()
+		MulAdd(a, b, got)
+		wantAdd := base.Clone()
+		wantAdd.AddScaled(1, want)
+		if d := maxAbsDiff(got, wantAdd); d > tol {
+			t.Fatalf("case %d (%dx%dx%d): MulAdd off by %g", c, m, k, n, d)
+		}
+
+		// MulT against reference built from the explicit transpose.
+		bt := b.T() // n×k; MulT(a, bt) must equal a·b
+		if d := maxAbsDiff(MulT(a, bt, nil), want); d > tol {
+			t.Fatalf("case %d (%dx%dx%d): MulT off by %g", c, m, k, n, d)
+		}
+		got = base.Clone()
+		MulTAdd(a, bt, got)
+		if d := maxAbsDiff(got, wantAdd); d > tol {
+			t.Fatalf("case %d (%dx%dx%d): MulTAdd off by %g", c, m, k, n, d)
+		}
+
+		// MulAT against reference built from the explicit transpose.
+		at := a.T() // k×m; MulAT(at, b) must equal a·b
+		if d := maxAbsDiff(MulAT(at, b, nil), want); d > tol {
+			t.Fatalf("case %d (%dx%dx%d): MulAT off by %g", c, m, k, n, d)
+		}
+		got = base.Clone()
+		MulATAdd(at, b, got)
+		if d := maxAbsDiff(got, wantAdd); d > tol {
+			t.Fatalf("case %d (%dx%dx%d): MulATAdd off by %g", c, m, k, n, d)
+		}
+	}
+}
+
+// TestGemmBlockedBitIdenticalToScalar pins the stronger property the blocked
+// kernel is designed for: because every path accumulates the contraction
+// index in increasing order with plain mul-add, blocked and scalar results
+// are bit-identical, not merely close.
+func TestGemmBlockedBitIdenticalToScalar(t *testing.T) {
+	r := rng.New(7)
+	for _, dims := range [][3]int{{64, 64, 64}, {37, 129, 65}, {130, 257, 3}, {5, 300, 67}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randomDense(r, m, k)
+		b := randomDense(r, k, n)
+		blocked := NewDense(m, n)
+		gemmBlockedNN(a, b, blocked, false, 0, m)
+		scalar := NewDense(m, n)
+		gemmSmallNN(a, b, scalar, false, 0, m)
+		for i := range blocked.Data {
+			if blocked.Data[i] != scalar.Data[i] {
+				t.Fatalf("%dx%dx%d: blocked differs from scalar at flat index %d: %v vs %v",
+					m, k, n, i, blocked.Data[i], scalar.Data[i])
+			}
+		}
+	}
+}
+
+// TestGemmKernelPadding hits shapes that leave partial MR/NR strips in the
+// packed panels, where zero padding must not leak into the output.
+func TestGemmKernelPadding(t *testing.T) {
+	r := rng.New(21)
+	for _, dims := range [][3]int{{25, 25, 25}, {26, 31, 29}, {129, 5, 131}, {4, 26, 1}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randomDense(r, m, k)
+		b := randomDense(r, k, n)
+		if d := maxAbsDiff(Mul(a, b, nil), naiveMul(a, b)); d > 1e-12 {
+			t.Fatalf("%dx%dx%d: padding leak, off by %g", m, k, n, d)
+		}
+	}
+}
+
+func TestGemmZeroDimensions(t *testing.T) {
+	for _, dims := range [][3]int{{0, 3, 4}, {3, 0, 4}, {3, 4, 0}, {0, 0, 0}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := NewDense(m, k)
+		b := NewDense(k, n)
+		got := Mul(a, b, nil)
+		if got.Rows != m || got.Cols != n {
+			t.Fatalf("Mul %dx%dx%d: got shape %dx%d", m, k, n, got.Rows, got.Cols)
+		}
+		for _, v := range got.Data {
+			if v != 0 {
+				t.Fatalf("Mul %dx%dx%d: nonzero output", m, k, n)
+			}
+		}
+		// k == 0 must zero a non-nil dst (empty sum), not leave stale data.
+		dst := NewDense(m, n).Fill(7)
+		Mul(a, b, dst)
+		for _, v := range dst.Data {
+			if v != 0 {
+				t.Fatalf("Mul %dx%dx%d: stale dst not zeroed", m, k, n)
+			}
+		}
+		// ...while MulAdd must leave dst untouched (+= empty sum).
+		dst.Fill(7)
+		MulAdd(a, b, dst)
+		for _, v := range dst.Data {
+			if v != 7 {
+				t.Fatalf("MulAdd %dx%dx%d: dst disturbed", m, k, n)
+			}
+		}
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestGemmPanics(t *testing.T) {
+	a := NewDense(4, 5)
+	b := NewDense(5, 6)
+	sq := NewDense(4, 4)
+	mustPanic(t, "Mul dim mismatch", func() { Mul(a, sq, nil) })
+	mustPanic(t, "Mul dst shape", func() { Mul(a, b, NewDense(4, 5)) })
+	mustPanic(t, "Mul dst aliases a", func() { Mul(sq, sq.Clone(), sq) })
+	mustPanic(t, "MulAdd nil dst", func() { MulAdd(a, b, nil) })
+	mustPanic(t, "MulTAdd nil dst", func() { MulTAdd(a, NewDense(6, 5), nil) })
+	mustPanic(t, "MulATAdd nil dst", func() { MulATAdd(NewDense(5, 4), b, nil) })
+	mustPanic(t, "MulT dim mismatch", func() { MulT(a, b, nil) })
+	mustPanic(t, "MulAT dim mismatch", func() { MulAT(a, NewDense(4, 6), NewDense(5, 5)) })
+	mustPanic(t, "MulT dst aliases b", func() {
+		c := NewDense(4, 5)
+		MulT(a, c, c)
+	})
+}
+
+// TestMulVecAgainstReference checks MulVec/MulVecT on random sizes against a
+// plain scalar loop.
+func TestMulVecAgainstReference(t *testing.T) {
+	r := rng.New(31)
+	for c := 0; c < 20; c++ {
+		rows := 1 + r.Intn(40)
+		cols := 1 + r.Intn(40)
+		m := randomDense(r, rows, cols)
+		x := Vec(r.NormVec(make([]float64, cols)))
+		y := Vec(r.NormVec(make([]float64, rows)))
+
+		want := make(Vec, rows)
+		for i := 0; i < rows; i++ {
+			var s float64
+			for j := 0; j < cols; j++ {
+				s += m.At(i, j) * x[j]
+			}
+			want[i] = s
+		}
+		if !m.MulVec(x, nil).Equal(want, 1e-12) {
+			t.Fatalf("case %d: MulVec mismatch", c)
+		}
+
+		wantT := make(Vec, cols)
+		for j := 0; j < cols; j++ {
+			var s float64
+			for i := 0; i < rows; i++ {
+				s += m.At(i, j) * y[i]
+			}
+			wantT[j] = s
+		}
+		if !m.MulVecT(y, nil).Equal(wantT, 1e-12) {
+			t.Fatalf("case %d: MulVecT mismatch", c)
+		}
+	}
+}
+
+// BenchmarkMulSmall16 exercises the scalar fallback on the MLP-sized tiny
+// product (16×16×16) that dominates per-sample predictor evaluation.
+func BenchmarkMulSmall16(b *testing.B) {
+	r := rng.New(1)
+	x := randomDense(r, 16, 16)
+	y := randomDense(r, 16, 16)
+	dst := NewDense(16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y, dst)
+	}
+}
+
+// BenchmarkMulT64 measures the transpose-free forward kernel (X · Wᵀ).
+func BenchmarkMulT64(b *testing.B) {
+	r := rng.New(1)
+	x := randomDense(r, 64, 64)
+	y := randomDense(r, 64, 64)
+	dst := NewDense(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulT(x, y, dst)
+	}
+}

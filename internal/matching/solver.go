@@ -65,19 +65,16 @@ func SolveRelaxed(p *Problem, opts SolveOptions) *mat.Dense {
 // fresh buffers and behaves exactly like SolveRelaxed.
 func SolveRelaxedWS(p *Problem, opts SolveOptions, ws *Workspace) *mat.Dense {
 	opts.fillDefaults()
-	var X, grad, prev *mat.Dense
-	var col, col2 mat.Vec
-	if ws != nil {
-		ws.ResetFor(p)
-		X, grad, prev = ws.X, ws.Grad, ws.Prev
-		col, col2 = ws.Col, ws.Col2
+	if ws == nil {
+		// One fresh workspace beats allocating gradient/loads/weights scratch
+		// inside every solver iteration (GradXWS allocates per call when it
+		// has no workspace to draw from).
+		ws = NewWorkspace(p.M(), p.N())
 	} else {
-		X = mat.NewDense(p.M(), p.N())
-		grad = mat.NewDense(p.M(), p.N())
-		prev = mat.NewDense(p.M(), p.N())
-		col = mat.NewVec(p.M())
-		col2 = mat.NewVec(p.M())
+		ws.ResetFor(p)
 	}
+	X, grad, prev := ws.X, ws.Grad, ws.Prev
+	col, col2 := ws.Col, ws.Col2
 	if opts.Init != nil {
 		X.CopyFrom(opts.Init)
 		normalizeColumns(X)
@@ -102,23 +99,40 @@ func SolveRelaxedWS(p *Problem, opts SolveOptions, ws *Workspace) *mat.Dense {
 			}
 		default:
 			// Exponentiated gradient: multiplicative update + renormalize.
-			for j := 0; j < p.N(); j++ {
-				sum := 0.0
-				for i := 0; i < p.M(); i++ {
-					v := X.At(i, j) * math.Exp(-opts.LR*grad.At(i, j))
-					col[i] = v
-					sum += v
+			// Three row-major passes over the backing arrays (update, column
+			// sums, normalize) instead of a column-major accessor loop: the
+			// memory walks are sequential and the bounds checks hoist. Column
+			// sums still accumulate over i in increasing order, so the result
+			// is bit-identical to the per-column formulation.
+			m, n := p.M(), p.N()
+			xd, gd := X.Data[:m*n], grad.Data[:m*n]
+			for k := range xd {
+				xd[k] *= math.Exp(-opts.LR * gd[k])
+			}
+			// The gradient is fully rewritten at the top of every iteration,
+			// so its first row doubles as the column-sum scratch here.
+			colSum := gd[:n]
+			for j := range colSum {
+				colSum[j] = 0
+			}
+			for i := 0; i < m; i++ {
+				row := xd[i*n : (i+1)*n]
+				for j, v := range row {
+					colSum[j] += v
 				}
+			}
+			uniform := 1 / float64(m)
+			for j, sum := range colSum {
 				if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
 					// A wildly scaled gradient blew the exponent up; reset
 					// the column to uniform rather than propagating NaNs.
-					for i := 0; i < p.M(); i++ {
-						X.Set(i, j, 1/float64(p.M()))
+					for i := 0; i < m; i++ {
+						xd[i*n+j] = uniform
 					}
 					continue
 				}
-				for i := 0; i < p.M(); i++ {
-					X.Set(i, j, col[i]/sum)
+				for i := 0; i < m; i++ {
+					xd[i*n+j] /= sum
 				}
 			}
 		}

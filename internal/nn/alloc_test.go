@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"testing"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+)
+
+// These tests pin the workspace contract from the fast-predictor-pipeline
+// rewrite: once a Tape (and Grads) has warmed to the batch shape,
+// ForwardTape, Backward, PredictBatch, PredictInto, and the TrainMSE epoch
+// loop must not allocate at all.
+
+func allocFixture() (*MLP, *mat.Dense, *mat.Dense, *Tape, *Grads) {
+	r := rng.New(41)
+	net := NewMLP([]int{16, 32, 32, 1}, ReLU, Softplus, r)
+	X := mat.NewDense(64, 16)
+	for i := range X.Data {
+		X.Data[i] = r.Norm()
+	}
+	dOut := mat.NewDense(64, 1)
+	dOut.Fill(1)
+	tape := NewTape()
+	g := net.NewGrads()
+	// Warm-up: first pass sizes the tape and backward scratch.
+	net.ForwardTape(X, tape)
+	net.Backward(tape, dOut, g)
+	return net, X, dOut, tape, g
+}
+
+func TestForwardTapeZeroAllocs(t *testing.T) {
+	net, X, _, tape, _ := allocFixture()
+	if a := testing.AllocsPerRun(100, func() { net.ForwardTape(X, tape) }); a != 0 {
+		t.Fatalf("ForwardTape allocates %.1f per run on a warm tape", a)
+	}
+}
+
+func TestBackwardZeroAllocs(t *testing.T) {
+	net, X, dOut, tape, g := allocFixture()
+	net.ForwardTape(X, tape)
+	if a := testing.AllocsPerRun(100, func() {
+		g.Zero()
+		net.Backward(tape, dOut, g)
+	}); a != 0 {
+		t.Fatalf("Backward allocates %.1f per run on a warm tape", a)
+	}
+}
+
+func TestPredictBatchZeroAllocs(t *testing.T) {
+	net, X, _, tape, _ := allocFixture()
+	if a := testing.AllocsPerRun(100, func() { net.PredictBatch(X, tape) }); a != 0 {
+		t.Fatalf("PredictBatch allocates %.1f per run on a warm tape", a)
+	}
+}
+
+func TestPredictIntoZeroAllocs(t *testing.T) {
+	net, _, _, _, _ := allocFixture()
+	r := rng.New(5)
+	x := mat.Vec(r.NormVec(make([]float64, 16)))
+	tape := NewTape()
+	dst := mat.NewVec(1)
+	net.PredictInto(x, tape, dst) // warm
+	if a := testing.AllocsPerRun(100, func() { net.PredictInto(x, tape, dst) }); a != 0 {
+		t.Fatalf("PredictInto allocates %.1f per run on a warm tape", a)
+	}
+}
+
+// TestTapeReshapesAcrossBatchSizes checks a single tape survives alternating
+// batch shapes (the TrainMSE tail-batch pattern) and still yields correct,
+// independent outputs.
+func TestTapeReshapesAcrossBatchSizes(t *testing.T) {
+	r := rng.New(42)
+	net := NewMLP([]int{4, 8, 2}, Tanh, Identity, r)
+	tape := NewTape()
+	for _, n := range []int{16, 3, 16, 1, 7} {
+		X := mat.NewDense(n, 4)
+		for i := range X.Data {
+			X.Data[i] = r.Norm()
+		}
+		got := net.PredictBatch(X, tape)
+		want := net.Forward(X).Out()
+		if !got.Equal(want, 0) {
+			t.Fatalf("batch %d: tape-reused output differs from fresh forward", n)
+		}
+	}
+}

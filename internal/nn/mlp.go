@@ -74,49 +74,89 @@ func (m *MLP) NumParams() int {
 	return n
 }
 
-// Tape holds the forward-pass intermediates needed for backprop: the input
-// and, per layer, pre-activations and post-activations for every sample.
+// Tape is the reusable forward/backward workspace for one network (the NN
+// counterpart of matching.Workspace): the input reference and, per layer,
+// pre-activations and post-activations for every sample, plus the backward
+// pass's delta scratch. A zero Tape is ready to use; ForwardTape sizes it on
+// first touch and Reshape recycles the backing arrays across batches, so
+// steady-state passes allocate nothing. A Tape serves one (network, goroutine)
+// pair at a time; distinct tapes make concurrent evaluations of a shared
+// network safe.
 type Tape struct {
-	X    *mat.Dense   // input batch (n × Dims[0])
-	Pre  []*mat.Dense // Pre[l]: n × Dims[l+1], pre-activation
+	X    *mat.Dense   // input batch (n × Dims[0]); referenced, not copied
+	Pre  []*mat.Dense // Pre[l]: n × Dims[l+1], pre-activation (with bias)
 	Post []*mat.Dense // Post[l]: n × Dims[l+1], post-activation
+	// delta ping-pong buffers for Backward.
+	d0, d1 *mat.Dense
+	// xbuf backs single-sample Predict calls routed through the tape.
+	xbuf *mat.Dense
 }
+
+// NewTape returns an empty workspace; ForwardTape sizes it lazily.
+func NewTape() *Tape { return &Tape{} }
 
 // Out returns the network output recorded on the tape (n × Dims[last]).
 func (t *Tape) Out() *mat.Dense { return t.Post[len(t.Post)-1] }
 
-// Forward runs the batch X (n × Dims[0]) through the network, returning the
-// tape. The input matrix is referenced, not copied; do not mutate it before
-// the corresponding Backward.
-func (m *MLP) Forward(X *mat.Dense) *Tape {
+// ensure sizes the tape for a batch of n samples through m, reusing backing
+// arrays whenever they have capacity.
+func (t *Tape) ensure(m *MLP, n int) {
+	L := len(m.W)
+	if cap(t.Pre) < L {
+		t.Pre = make([]*mat.Dense, L)
+		t.Post = make([]*mat.Dense, L)
+	} else {
+		t.Pre = t.Pre[:L]
+		t.Post = t.Post[:L]
+	}
+	for l := 0; l < L; l++ {
+		if t.Pre[l] == nil {
+			t.Pre[l] = new(mat.Dense)
+			t.Post[l] = new(mat.Dense)
+		}
+		t.Pre[l].Reshape(n, m.Dims[l+1])
+		t.Post[l].Reshape(n, m.Dims[l+1])
+	}
+}
+
+// ForwardTape runs the batch X (n × Dims[0]) through the network, recording
+// intermediates on t (allocated when nil) and returning it. After the tape
+// has warmed to the batch shape the pass performs zero allocations. The input
+// matrix is referenced, not copied; do not mutate it before the
+// corresponding Backward.
+func (m *MLP) ForwardTape(X *mat.Dense, t *Tape) *Tape {
 	if X.Cols != m.Dims[0] {
 		panic(fmt.Sprintf("nn: Forward input dim %d, want %d", X.Cols, m.Dims[0]))
 	}
-	L := len(m.W)
-	t := &Tape{X: X, Pre: make([]*mat.Dense, L), Post: make([]*mat.Dense, L)}
+	if t == nil {
+		t = NewTape()
+	}
+	t.X = X
+	t.ensure(m, X.Rows)
 	cur := X
-	for l := 0; l < L; l++ {
-		n := cur.Rows
-		pre := mat.NewDense(n, m.Dims[l+1])
-		// pre = cur · W[l]ᵀ + b
-		for i := 0; i < n; i++ {
-			row := cur.Row(i)
-			prow := pre.Row(i)
-			for j := 0; j < m.Dims[l+1]; j++ {
-				prow[j] = m.W[l].Row(j).Dot(row) + m.B[l][j]
+	for l := range m.W {
+		pre, post := t.Pre[l], t.Post[l]
+		// pre = cur · W[l]ᵀ + b, without materializing the transpose.
+		mat.MulT(cur, m.W[l], pre)
+		b := m.B[l]
+		for i := 0; i < pre.Rows; i++ {
+			row := pre.Row(i)
+			for j := range row {
+				row[j] += b[j]
 			}
 		}
-		post := mat.NewDense(n, m.Dims[l+1])
 		act := m.Acts[l]
 		for k, z := range pre.Data {
 			post.Data[k] = act.apply(z)
 		}
-		t.Pre[l] = pre
-		t.Post[l] = post
 		cur = post
 	}
 	return t
 }
+
+// Forward is ForwardTape with a freshly allocated tape, for callers that
+// keep no workspace.
+func (m *MLP) Forward(X *mat.Dense) *Tape { return m.ForwardTape(X, nil) }
 
 // Predict is Forward for a single feature vector, returning the output
 // vector (allocating).
@@ -126,8 +166,30 @@ func (m *MLP) Predict(x mat.Vec) mat.Vec {
 	return m.Forward(X).Out().Row(0).Clone()
 }
 
-// PredictBatch runs the batch and returns only the output matrix.
-func (m *MLP) PredictBatch(X *mat.Dense) *mat.Dense { return m.Forward(X).Out() }
+// PredictInto evaluates a single feature vector through tape t, writing the
+// outputs into dst (allocated when nil) and returning it. Zero allocations
+// once t is warm and dst is provided.
+func (m *MLP) PredictInto(x mat.Vec, t *Tape, dst mat.Vec) mat.Vec {
+	if t.xbuf == nil {
+		t.xbuf = new(mat.Dense)
+	}
+	X := t.xbuf.Reshape(1, len(x))
+	copy(X.Row(0), x)
+	m.ForwardTape(X, t)
+	out := t.Out().Row(0)
+	if dst == nil {
+		dst = mat.NewVec(len(out))
+	}
+	copy(dst, out)
+	return dst
+}
+
+// PredictBatch runs the batch through tape t (allocated when nil) and
+// returns the output matrix, which aliases the tape. Passing a reused tape
+// makes the call allocation-free after warm-up.
+func (m *MLP) PredictBatch(X *mat.Dense, t *Tape) *mat.Dense {
+	return m.ForwardTape(X, t).Out()
+}
 
 // Grads holds parameter gradients with the same shapes as the network.
 type Grads struct {
@@ -178,7 +240,9 @@ func (g *Grads) MaxAbs() float64 {
 // Backward computes parameter gradients for the batch recorded on tape,
 // given dOut = ∂L/∂output (n × Dims[last]). It accumulates into g
 // (allocating when nil) and returns it. Gradients are summed over the
-// batch; divide dOut by n upstream for means.
+// batch; divide dOut by n upstream for means. The delta scratch lives on
+// the tape, so a warm tape makes the pass allocation-free; dOut itself is
+// never mutated.
 func (m *MLP) Backward(tape *Tape, dOut *mat.Dense, g *Grads) *Grads {
 	if g == nil {
 		g = m.NewGrads()
@@ -188,8 +252,13 @@ func (m *MLP) Backward(tape *Tape, dOut *mat.Dense, g *Grads) *Grads {
 	if dOut.Rows != n || dOut.Cols != m.Dims[L] {
 		panic("nn: Backward dOut shape mismatch")
 	}
-	// delta starts as dL/dPost[L-1]; walk layers backwards.
-	delta := dOut.Clone()
+	if tape.d0 == nil {
+		tape.d0, tape.d1 = new(mat.Dense), new(mat.Dense)
+	}
+	// delta starts as dL/dPost[L-1]; walk layers backwards, ping-ponging
+	// between the two tape scratch buffers.
+	delta, next := tape.d0, tape.d1
+	delta.Reshape(n, m.Dims[L]).CopyFrom(dOut)
 	for l := L - 1; l >= 0; l-- {
 		// dL/dPre[l] = delta ⊙ act'(Pre[l])
 		act := m.Acts[l]
@@ -198,44 +267,23 @@ func (m *MLP) Backward(tape *Tape, dOut *mat.Dense, g *Grads) *Grads {
 			delta.Data[k] *= act.deriv(pre.Data[k])
 		}
 		// input to layer l
-		var in *mat.Dense
-		if l == 0 {
-			in = tape.X
-		} else {
+		in := tape.X
+		if l > 0 {
 			in = tape.Post[l-1]
 		}
-		// dW[l] += deltaᵀ · in ; dB[l] += column sums of delta
+		// dW[l] += deltaᵀ · in, without materializing the transpose;
+		// dB[l] += column sums of delta.
+		mat.MulATAdd(delta, in, g.W[l])
+		gb := g.B[l]
 		for i := 0; i < n; i++ {
-			drow := delta.Row(i)
-			irow := in.Row(i)
-			for j, dj := range drow {
-				if dj == 0 {
-					continue
-				}
-				grow := g.W[l].Row(j)
-				for c, ic := range irow {
-					grow[c] += dj * ic
-				}
-				g.B[l][j] += dj
+			for j, dj := range delta.Row(i) {
+				gb[j] += dj
 			}
 		}
 		if l > 0 {
 			// propagate: dL/dPost[l-1] = delta · W[l]
-			next := mat.NewDense(n, m.Dims[l])
-			for i := 0; i < n; i++ {
-				drow := delta.Row(i)
-				nrow := next.Row(i)
-				for j, dj := range drow {
-					if dj == 0 {
-						continue
-					}
-					wrow := m.W[l].Row(j)
-					for c, wc := range wrow {
-						nrow[c] += dj * wc
-					}
-				}
-			}
-			delta = next
+			mat.Mul(delta, m.W[l], next.Reshape(n, m.Dims[l]))
+			delta, next = next, delta
 		}
 	}
 	return g
@@ -243,32 +291,17 @@ func (m *MLP) Backward(tape *Tape, dOut *mat.Dense, g *Grads) *Grads {
 
 // InputGradient returns ∂(sum of outputs weighted by dOut)/∂X for the batch
 // on tape — the Jacobian-vector product through the network with respect to
-// its inputs. Needed by tests and by sensitivity analyses.
+// its inputs. Needed by tests and by sensitivity analyses; not a hot path,
+// so it allocates its own delta chain.
 func (m *MLP) InputGradient(tape *Tape, dOut *mat.Dense) *mat.Dense {
-	L := len(m.W)
-	n := tape.X.Rows
 	delta := dOut.Clone()
-	for l := L - 1; l >= 0; l-- {
+	for l := len(m.W) - 1; l >= 0; l-- {
 		act := m.Acts[l]
 		pre := tape.Pre[l]
 		for k := range delta.Data {
 			delta.Data[k] *= act.deriv(pre.Data[k])
 		}
-		next := mat.NewDense(n, m.Dims[l])
-		for i := 0; i < n; i++ {
-			drow := delta.Row(i)
-			nrow := next.Row(i)
-			for j, dj := range drow {
-				if dj == 0 {
-					continue
-				}
-				wrow := m.W[l].Row(j)
-				for c, wc := range wrow {
-					nrow[c] += dj * wc
-				}
-			}
-		}
-		delta = next
+		delta = mat.Mul(delta, m.W[l], nil)
 	}
 	return delta
 }

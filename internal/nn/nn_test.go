@@ -55,7 +55,7 @@ func TestPredictMatchesForward(t *testing.T) {
 	single := net.Predict(x)
 	X := mat.NewDense(1, 4)
 	copy(X.Row(0), x)
-	batch := net.PredictBatch(X).Row(0)
+	batch := net.PredictBatch(X, nil).Row(0)
 	if !single.Equal(batch, 1e-12) {
 		t.Fatal("Predict and PredictBatch disagree")
 	}
@@ -66,7 +66,7 @@ func TestPredictMatchesForward(t *testing.T) {
 func numericalParamGrad(net *MLP, X, dOut *mat.Dense) *Grads {
 	g := net.NewGrads()
 	loss := func() float64 {
-		out := net.PredictBatch(X)
+		out := net.PredictBatch(X, nil)
 		s := 0.0
 		for k := range out.Data {
 			s += out.Data[k] * dOut.Data[k]
@@ -157,7 +157,7 @@ func TestInputGradientMatchesFiniteDiff(t *testing.T) {
 	}
 	analytic := net.InputGradient(net.Forward(X), dOut)
 	loss := func() float64 {
-		out := net.PredictBatch(X)
+		out := net.PredictBatch(X, nil)
 		s := 0.0
 		for k := range out.Data {
 			s += out.Data[k] * dOut.Data[k]
@@ -221,14 +221,14 @@ func TestSGDReducesQuadratic(t *testing.T) {
 	X.Set(0, 0, 1)
 	y := mat.Vec{3}
 	opt := NewSGD(0.1, 0.0)
-	lossBefore := MSE(net.PredictBatch(X), y)
+	lossBefore := MSE(net.PredictBatch(X, nil), y)
 	for i := 0; i < 100; i++ {
 		tape := net.Forward(X)
 		dOut := mat.NewDense(1, 1)
 		dOut.Set(0, 0, 2*(tape.Out().At(0, 0)-y[0]))
 		opt.Step(net, net.Backward(tape, dOut, nil))
 	}
-	lossAfter := MSE(net.PredictBatch(X), y)
+	lossAfter := MSE(net.PredictBatch(X, nil), y)
 	if lossAfter > lossBefore/100 {
 		t.Fatalf("SGD barely reduced loss: %v -> %v", lossBefore, lossAfter)
 	}
@@ -379,9 +379,11 @@ func BenchmarkForwardBatch64(b *testing.B) {
 	for i := range X.Data {
 		X.Data[i] = r.Norm()
 	}
+	tape := NewTape()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.Forward(X)
+		net.ForwardTape(X, tape)
 	}
 }
 
@@ -395,10 +397,12 @@ func BenchmarkBackwardBatch64(b *testing.B) {
 	dOut := mat.NewDense(64, 1)
 	dOut.Fill(1)
 	g := net.NewGrads()
+	tape := NewTape()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Zero()
-		net.Backward(net.Forward(X), dOut, g)
+		net.Backward(net.ForwardTape(X, tape), dOut, g)
 	}
 }
 

@@ -54,8 +54,14 @@ func TrainMSE(net *MLP, X *mat.Dense, y mat.Vec, cfg TrainMSEConfig, r *rng.Sour
 	for i := range idx {
 		idx[i] = i
 	}
+	// All minibatch state is hoisted out of the loop: the batch copy, the
+	// loss gradient, the forward tape, and the parameter gradients are
+	// reshaped in place each step, so the epoch loop runs allocation-free.
 	bx := mat.NewDense(cfg.BatchSize, X.Cols)
 	by := mat.NewVec(cfg.BatchSize)
+	dOut := mat.NewDense(cfg.BatchSize, 1)
+	tape := NewTape()
+	g := net.NewGrads()
 	for e := 0; e < cfg.Epochs; e++ {
 		r.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for off := 0; off < n; off += cfg.BatchSize {
@@ -63,27 +69,24 @@ func TrainMSE(net *MLP, X *mat.Dense, y mat.Vec, cfg TrainMSEConfig, r *rng.Sour
 			if off+b > n {
 				b = n - off
 			}
-			XB := bx
-			YB := by
-			if b != cfg.BatchSize {
-				XB = mat.NewDense(b, X.Cols)
-				YB = mat.NewVec(b)
-			}
+			XB := bx.Reshape(b, X.Cols)
+			YB := by[:b]
+			DB := dOut.Reshape(b, 1)
 			for k := 0; k < b; k++ {
 				copy(XB.Row(k), X.Row(idx[off+k]))
 				YB[k] = y[idx[off+k]]
 			}
-			tape := net.Forward(XB)
+			net.ForwardTape(XB, tape)
 			out := tape.Out()
-			dOut := mat.NewDense(b, 1)
 			for k := 0; k < b; k++ {
-				dOut.Set(k, 0, 2*(out.At(k, 0)-YB[k])/float64(b))
+				DB.Set(k, 0, 2*(out.At(k, 0)-YB[k])/float64(b))
 			}
-			g := net.Backward(tape, dOut, nil)
+			g.Zero()
+			net.Backward(tape, DB, g)
 			cfg.Optimizer.Step(net, g)
 		}
 	}
-	return MSE(net.PredictBatch(X), y)
+	return MSE(net.PredictBatch(X, tape), y)
 }
 
 // Ensemble is a bag of networks trained on bootstrap resamples; its spread
@@ -127,7 +130,7 @@ func (e *Ensemble) Predict(X *mat.Dense) (mean, std mat.Vec) {
 	preds := make([]*mat.Dense, len(e.Members))
 	parallel.ForChunked(len(e.Members), 1, func(lo, hi int) {
 		for m := lo; m < hi; m++ {
-			preds[m] = e.Members[m].PredictBatch(X)
+			preds[m] = e.Members[m].PredictBatch(X, nil)
 		}
 	})
 	for i := 0; i < n; i++ {

@@ -98,8 +98,8 @@ func OnboardingStudy(s *workload.Scenario, newcomer *cluster.Profile, sampleSize
 		cfg.Optimizer = nil
 		nn.TrainMSE(relNet, X, measA[:budget], nn.TrainMSEConfig{Epochs: epochs, BatchSize: 8}, trainStream.Split("rtrain"))
 
-		predT := timeNet.PredictBatch(Xhold)
-		predA := relNet.PredictBatch(Xhold)
+		predT := timeNet.PredictBatch(Xhold, nil)
+		predA := relNet.PredictBatch(Xhold, nil)
 		var sse, absErr float64
 		correct := 0
 		for k := range holdout {

@@ -1,0 +1,57 @@
+package taskgraph
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a 128-bit FNV-1a digest of the task's full content:
+// name, family, training-loop hyperparameters, and the graph's nodes (kind
+// plus every dimension field) and edges. Two tasks have equal fingerprints
+// exactly when a content-equal task would embed identically, so the digest
+// serves as the identity key for the embedding cache (internal/embed):
+// regenerating a pool from the same scenario seed yields distinct *Task
+// pointers but identical fingerprints.
+func (t *Task) Fingerprint() [16]byte {
+	h := fnv.New128a()
+	var buf [8]byte
+	wInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wFloat := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(t.Name))
+	h.Write([]byte{0}) // terminate the variable-length name
+	wInt(int(t.Family))
+	wInt(t.BatchSize)
+	wInt(t.StepsPerEpoch)
+	wInt(t.Epochs)
+	wFloat(t.DatasetMB)
+	g := t.Graph
+	wInt(g.Len())
+	for _, n := range g.Nodes {
+		wInt(int(n.Kind))
+		wInt(n.Batch)
+		wInt(n.Spatial)
+		wInt(n.Seq)
+		wInt(n.In)
+		wInt(n.Out)
+		wInt(n.Kernel)
+		wInt(n.Heads)
+		wInt(n.Vocab)
+	}
+	for from, outs := range g.Edges {
+		wInt(from)
+		wInt(len(outs))
+		for _, to := range outs {
+			wInt(to)
+		}
+	}
+	var fp [16]byte
+	copy(fp[:], h.Sum(nil))
+	return fp
+}
