@@ -5,9 +5,15 @@
 
 GO ?= go
 
-.PHONY: ci vet test race bench bench-matching bench-train bench-compare
+.PHONY: ci vet test race race-serving bench bench-matching bench-train bench-platform bench-compare
 
 ci: vet race
+
+# Focused race gate for the concurrent serving engine: predictor snapshots,
+# the sharded round pipeline, and the lock-free observation ring. Part of
+# `race` too; this target is the fast inner loop while editing those files.
+race-serving:
+	$(GO) test -race ./internal/platform ./internal/parallel
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +35,12 @@ bench-matching:
 # embedding cache).
 bench-train:
 	$(GO) test ./cmd/mfcpbench -run '^$$' -bench 'Pretrain|TrainMFCP' -benchmem
+
+# Serving-engine throughput sweep (rounds/sec, tasks/sec at 1/2/4/8
+# workers); BENCH_platform.json records the curve for the concurrent
+# serving engine.
+bench-platform:
+	$(GO) test ./cmd/mfcpbench -run '^$$' -bench 'PlatformThroughput' -benchmem
 
 # Every benchmark in the repo, with allocation stats. Set BENCH_FLAGS to
 # pass extras, e.g. BENCH_FLAGS='-count=10' for benchstat-ready samples.

@@ -7,4 +7,7 @@ set -eux
 
 go vet ./...
 go build ./...
+# Serving-engine race gate first: the snapshot/ring/shard machinery is the
+# likeliest source of new races, so fail fast on it before the full sweep.
+go test -race ./internal/platform ./internal/parallel
 go test -race ./...

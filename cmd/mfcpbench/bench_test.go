@@ -12,7 +12,10 @@
 // exact same code.
 package main
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkPretrain measures the MSE warm start — the entirety of the
 // two-stage baseline's learning: 2M networks fitting measured labels.
@@ -22,3 +25,15 @@ func BenchmarkPretrain(b *testing.B) { benchPretrain(b) }
 // MSE warm start plus the end-to-end regret phase (per-epoch relaxed solves,
 // zeroth-order gradients, per-cluster backprop, validation rounds).
 func BenchmarkTrainMFCP(b *testing.B) { benchTrainMFCP(b) }
+
+// BenchmarkPlatformThroughput sweeps the concurrent serving engine over
+// worker counts, reporting rounds/sec and tasks/sec (BENCH_platform.json
+// records the curve; reproduce with `make bench-platform`). The engine is
+// built once — the sweep measures serving, not training.
+func BenchmarkPlatformThroughput(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchPlatformThroughput(b, w)
+		})
+	}
+}

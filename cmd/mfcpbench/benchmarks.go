@@ -10,9 +10,13 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sync"
 	"testing"
 
 	"mfcp/internal/core"
+	"mfcp/internal/embed"
+	"mfcp/internal/parallel"
+	"mfcp/internal/platform"
 	"mfcp/internal/workload"
 )
 
@@ -23,6 +27,10 @@ var trainBenchmarks = []struct {
 }{
 	{"Pretrain", benchPretrain},
 	{"TrainMFCP", benchTrainMFCP},
+	{"PlatformThroughput/workers=1", func(b *testing.B) { benchPlatformThroughput(b, 1) }},
+	{"PlatformThroughput/workers=2", func(b *testing.B) { benchPlatformThroughput(b, 2) }},
+	{"PlatformThroughput/workers=4", func(b *testing.B) { benchPlatformThroughput(b, 4) }},
+	{"PlatformThroughput/workers=8", func(b *testing.B) { benchPlatformThroughput(b, 8) }},
 }
 
 // trainBenchScenario builds the small fixed workload shared by the training
@@ -65,6 +73,52 @@ func benchTrainMFCP(b *testing.B) {
 	}
 }
 
+// platformBenchEngine builds the shared serving engine once: the throughput
+// sweep measures serving, not scenario construction or method training.
+var (
+	platformEngOnce sync.Once
+	platformEng     *platform.Engine
+)
+
+func platformBenchEngine() *platform.Engine {
+	platformEngOnce.Do(func() {
+		en, err := platform.NewEngine(platform.Config{
+			Scenario:       workload.Config{PoolSize: 120, FeatureDim: 16, Seed: 42},
+			Method:         platform.MethodTSM,
+			RoundSize:      6,
+			PretrainEpochs: 40,
+			Hidden:         []int{16},
+		})
+		if err != nil {
+			panic(err)
+		}
+		platformEng = en
+	})
+	return platformEng
+}
+
+// benchServeRounds is the number of allocation rounds per benchmark op.
+const benchServeRounds = 32
+
+// benchPlatformThroughput measures the serving engine end to end — round
+// sampling, NN prediction, relaxed matching, oracle scoring, simulated
+// execution — at a pinned worker count, reporting rounds/sec and tasks/sec.
+func benchPlatformThroughput(b *testing.B, workers int) {
+	en := platformBenchEngine()
+	defer parallel.SetWorkers(parallel.SetWorkers(workers))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.ServeRounds(benchServeRounds)
+	}
+	rounds := float64(b.N) * benchServeRounds
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(rounds/secs, "rounds/sec")
+		b.ReportMetric(rounds*float64(en.RoundSize())/secs, "tasks/sec")
+	}
+}
+
 // runBenchmarks executes every registered benchmark matching the pattern,
 // count times each, printing one benchstat-compatible line per run. It
 // returns an exit code (2 on a bad pattern or no matches).
@@ -85,8 +139,14 @@ func runBenchmarks(pattern string, count int) int {
 		matched++
 		for c := 0; c < count; c++ {
 			r := testing.Benchmark(bm.F)
-			fmt.Printf("Benchmark%s\t%8d\t%12.0f ns/op\t%8d B/op\t%8d allocs/op\n",
+			fmt.Printf("Benchmark%s\t%8d\t%12.0f ns/op\t%8d B/op\t%8d allocs/op",
 				bm.Name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+			for _, unit := range []string{"rounds/sec", "tasks/sec"} {
+				if v, ok := r.Extra[unit]; ok {
+					fmt.Printf("\t%12.1f %s", v, unit)
+				}
+			}
+			fmt.Println()
 		}
 	}
 	if matched == 0 {
@@ -97,5 +157,8 @@ func runBenchmarks(pattern string, count int) int {
 		fmt.Fprintln(os.Stderr, ")")
 		return 2
 	}
+	st := embed.CacheStatsFull()
+	fmt.Fprintf(os.Stderr, "[embed cache: %d hits, %d misses, %d evictions, %d entries]\n",
+		st.Hits, st.Misses, st.Evictions, st.Size)
 	return 0
 }

@@ -122,3 +122,43 @@ func (ps *PredictorSet) Clone() *PredictorSet {
 	}
 	return out
 }
+
+// Snapshot deep-copies the set into the provided target, reusing its weight
+// buffers, and returns it; a nil target allocates a fresh clone. This is
+// the cheap serving-side snapshot primitive: the platform engine keeps a
+// spare set per refit slot and snapshots into it instead of cloning 2M
+// networks every time. The target must have been built with the same
+// architecture (any prior Clone/Snapshot of this set qualifies).
+func (ps *PredictorSet) Snapshot(into *PredictorSet) *PredictorSet {
+	if into == nil {
+		return ps.Clone()
+	}
+	if len(into.Preds) != len(ps.Preds) {
+		panic("core: Snapshot into a set of different fleet size")
+	}
+	for i, p := range ps.Preds {
+		into.Preds[i].Time.CopyFrom(p.Time)
+		into.Preds[i].Rel.CopyFrom(p.Rel)
+	}
+	return into
+}
+
+// PredictWorkspace owns the per-goroutine forward state for PredictInto:
+// one tape per (cluster, head) network. Distinct workspaces make concurrent
+// predictions over one shared (immutable) PredictorSet safe; the platform's
+// round shards each hold one.
+type PredictWorkspace struct {
+	tp tapes
+}
+
+// PredictInto is Predict with caller-owned scratch: it runs every
+// predictor over Z through w's tapes and assembles T̂, Â into That/Ahat
+// (reshaped in place). After the workspace has warmed to the batch shape
+// the call performs no steady-state allocations. Safe concurrently with
+// other PredictInto/Predict calls on the same set as long as each caller
+// owns its workspace and destination matrices and nobody is training the
+// set (serving always predicts on a published snapshot, never the training
+// copy).
+func (ps *PredictorSet) PredictInto(Z *mat.Dense, w *PredictWorkspace, That, Ahat *mat.Dense) {
+	ps.forward(Z, &w.tp, That, Ahat)
+}

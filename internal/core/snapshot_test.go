@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+)
+
+func TestSnapshotIndependence(t *testing.T) {
+	r := rng.New(11)
+	set := NewPredictorSet(3, 12, []int{8}, r)
+	s := testScenario(12)
+	Z := s.FeaturesOf([]int{0, 1, 2, 3})
+
+	snap := set.Snapshot(nil)
+	t1, a1 := set.Predict(Z)
+	t2, a2 := snap.Predict(Z)
+	if !t1.Equal(t2, 0) || !a1.Equal(a2, 0) {
+		t.Fatal("snapshot predicts differently from its source")
+	}
+
+	// Mutate the source as a refit would; the snapshot must be unaffected.
+	for _, p := range set.Preds {
+		p.Time.W[0].Scale(2)
+		p.Rel.B[0][0] += 1
+	}
+	t3, _ := snap.Predict(Z)
+	if !t2.Equal(t3, 0) {
+		t.Fatal("mutating the source changed the snapshot")
+	}
+
+	// Snapshot into a reused target re-syncs it with zero fresh networks.
+	set.Snapshot(snap)
+	t4, _ := snap.Predict(Z)
+	t5, _ := set.Predict(Z)
+	if !t4.Equal(t5, 0) {
+		t.Fatal("Snapshot(into) did not re-sync the target")
+	}
+}
+
+func TestSnapshotIntoRejectsMismatch(t *testing.T) {
+	r := rng.New(13)
+	set := NewPredictorSet(3, 12, []int{8}, r.Split("a"))
+	other := NewPredictorSet(2, 12, []int{8}, r.Split("b"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Snapshot accepted a target with a different fleet size")
+		}
+	}()
+	set.Snapshot(other)
+}
+
+func TestPredictIntoMatchesPredictConcurrently(t *testing.T) {
+	r := rng.New(14)
+	set := NewPredictorSet(3, 12, []int{8}, r)
+	s := testScenario(15)
+	Z := s.FeaturesOf([]int{2, 4, 6, 8, 10})
+	wantT, wantA := set.Predict(Z)
+
+	// Many goroutines predicting over one shared immutable set, each with
+	// its own workspace, must all reproduce Predict bit-for-bit (this is
+	// the serving engine's shard access pattern; run under -race it also
+	// proves the sharing is sound).
+	const shards = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, shards)
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var pw PredictWorkspace
+			That, Ahat := new(mat.Dense), new(mat.Dense)
+			for rep := 0; rep < 20; rep++ {
+				set.PredictInto(Z, &pw, That, Ahat)
+				if !That.Equal(wantT, 0) || !Ahat.Equal(wantA, 0) {
+					errs <- "PredictInto diverged from Predict"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

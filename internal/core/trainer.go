@@ -102,9 +102,19 @@ func (mc MatchConfig) Problem(T, A *mat.Dense) *matching.Problem {
 // Solve runs the standard pipeline on a problem built from (T, A): relaxed
 // solve, round, repair. All methods in the evaluation share this matcher.
 func (mc MatchConfig) Solve(T, A *mat.Dense) []int {
+	return mc.SolveWS(T, A, nil)
+}
+
+// SolveWS is Solve with a caller-owned matching workspace, so a serving
+// loop that keeps one workspace per shard pays no solver allocations per
+// round. The returned assignment is freshly allocated (it outlives the
+// workspace); the relaxed iterate stays in ws and is invalidated by the
+// workspace's next use. A nil ws allocates fresh buffers, exactly like
+// Solve.
+func (mc MatchConfig) SolveWS(T, A *mat.Dense, ws *matching.Workspace) []int {
 	p := mc.Problem(T, A)
-	_, assign := matching.Solve(p, matching.SolveOptions{Iters: mc.SolveIters})
-	return assign
+	X := matching.SolveRelaxedWS(p, matching.SolveOptions{Iters: mc.SolveIters}, ws)
+	return matching.Repair(p, matching.Round(X))
 }
 
 // Config parameterizes MFCP training.

@@ -19,9 +19,10 @@ import (
 //     graph and hyperparameters, so equal tasks hit regardless of identity;
 //   - cached vectors are immutable: lookups copy into the caller's
 //     destination, never hand out the stored slice;
-//   - bounded: at most embedCacheMax entries are retained; beyond that,
-//     embeds still compute correctly, they just stop populating the cache.
-const embedCacheMax = 1 << 15
+//   - bounded: at most embedCacheMax entries are retained; inserting beyond
+//     that evicts the oldest entry (FIFO), so long multi-scenario processes
+//     keep caching fresh pools instead of freezing on the first one.
+var embedCacheMax = 1 << 15 // var, not const: eviction tests shrink it
 
 type embedKey struct {
 	seed uint64
@@ -30,10 +31,13 @@ type embedKey struct {
 }
 
 var (
-	embedMu     sync.RWMutex
-	embedCache  = make(map[embedKey][]float64)
-	embedHits   uint64
-	embedMisses uint64
+	embedMu    sync.RWMutex
+	embedCache = make(map[embedKey][]float64)
+	// embedOrder tracks insertion order for FIFO eviction.
+	embedOrder     []embedKey
+	embedHits      uint64
+	embedMisses    uint64
+	embedEvictions uint64
 )
 
 // cacheLookup copies the cached embedding for k into dst and reports whether
@@ -50,24 +54,49 @@ func cacheLookup(k embedKey, dst mat.Vec) bool {
 
 func cacheStore(k embedKey, v mat.Vec) {
 	embedMu.Lock()
-	if len(embedCache) < embedCacheMax {
-		embedCache[k] = append([]float64(nil), v...)
+	defer embedMu.Unlock()
+	if _, dup := embedCache[k]; dup {
+		return // a concurrent embed of the same task got here first
 	}
-	embedMu.Unlock()
+	if len(embedCache) >= embedCacheMax {
+		old := embedOrder[0]
+		embedOrder = embedOrder[1:]
+		delete(embedCache, old)
+		embedEvictions++
+	}
+	embedCache[k] = append([]float64(nil), v...)
+	embedOrder = append(embedOrder, k)
+}
+
+// Stats is a point-in-time snapshot of the embedding cache counters.
+type Stats struct {
+	// Hits and Misses count lookups since process start (or ResetCache).
+	Hits, Misses uint64
+	// Evictions counts FIFO evictions after the cache filled.
+	Evictions uint64
+	// Size is the current number of cached embeddings.
+	Size int
+}
+
+// CacheStatsFull returns the full embedding cache counter snapshot.
+func CacheStatsFull() Stats {
+	embedMu.RLock()
+	defer embedMu.RUnlock()
+	return Stats{Hits: embedHits, Misses: embedMisses, Evictions: embedEvictions, Size: len(embedCache)}
 }
 
 // CacheStats returns the process-wide embedding cache hit/miss counters.
 func CacheStats() (hits, misses uint64) {
-	embedMu.RLock()
-	defer embedMu.RUnlock()
-	return embedHits, embedMisses
+	s := CacheStatsFull()
+	return s.Hits, s.Misses
 }
 
 // ResetCache clears the embedding cache and its counters (tests only).
 func ResetCache() {
 	embedMu.Lock()
 	embedCache = make(map[embedKey][]float64)
-	embedHits, embedMisses = 0, 0
+	embedOrder = nil
+	embedHits, embedMisses, embedEvictions = 0, 0, 0
 	embedMu.Unlock()
 }
 

@@ -88,6 +88,34 @@ func TestFingerprintSensitivity(t *testing.T) {
 	}
 }
 
+func TestCacheEvictsOldestWhenFull(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	oldMax := embedCacheMax
+	embedCacheMax = 4
+	defer func() { embedCacheMax = oldMax }()
+
+	e := New(12, 7)
+	tasks := regen(6, 9)
+	for _, task := range tasks {
+		e.Embed(task)
+	}
+	st := CacheStatsFull()
+	if st.Misses != 6 || st.Evictions != 2 || st.Size != 4 {
+		t.Fatalf("after overfilling: %+v, want 6 misses, 2 evictions, size 4", st)
+	}
+
+	// The four newest survive; the two oldest were evicted FIFO.
+	e.Embed(tasks[5])
+	if st = CacheStatsFull(); st.Hits != 1 {
+		t.Fatalf("recent entry did not hit: %+v", st)
+	}
+	e.Embed(tasks[0])
+	if st = CacheStatsFull(); st.Misses != 7 || st.Evictions != 3 || st.Size != 4 {
+		t.Fatalf("evicted entry did not miss and re-insert: %+v", st)
+	}
+}
+
 func BenchmarkEmbedCacheHit(b *testing.B) {
 	ResetCache()
 	defer ResetCache()

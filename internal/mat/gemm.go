@@ -162,13 +162,13 @@ func gemmNN(a, b, dst *Dense, add bool) {
 		gemmSmallNN(a, b, dst, add, 0, m)
 		return
 	}
-	if work >= parallelGemmThreshold && m >= 2*gemmMR && parallel.Workers > 1 {
+	if work >= parallelGemmThreshold && m >= 2*gemmMR && parallel.Workers() > 1 {
 		// Whole row blocks are the parallel grain: each task packs its own
 		// block of a and runs the full panel loop over it, so no goroutine
 		// ever touches another's output rows and the per-task work is
 		// thousands of fused loop iterations, not one row.
 		grain := gemmMC
-		for m/grain > parallel.Workers*4 {
+		for m/grain > parallel.Workers()*4 {
 			grain *= 2
 		}
 		parallel.ForChunked(m, grain, func(lo, hi int) {
@@ -381,8 +381,8 @@ func gemmNT(a, b, dst *Dense, add bool) {
 		}
 		return
 	}
-	if m*k*n >= parallelGemmThreshold && m >= 4 && parallel.Workers > 1 {
-		grain := max(gemmMC, m/(parallel.Workers*4))
+	if m*k*n >= parallelGemmThreshold && m >= 4 && parallel.Workers() > 1 {
+		grain := max(gemmMC, m/(parallel.Workers()*4))
 		parallel.ForChunked(m, grain, func(lo, hi int) {
 			gemmNTRange(a, b, dst, add, lo, hi)
 		})

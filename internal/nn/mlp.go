@@ -65,6 +65,29 @@ func (m *MLP) Clone() *MLP {
 	return out
 }
 
+// CopyFrom copies src's weights and biases into m in place. The two
+// networks must share an architecture (dims and activations); the method
+// panics otherwise. Unlike Clone it allocates nothing, which makes
+// repeated snapshotting of a serving network cheap: keep one spare clone
+// and CopyFrom into it before each refit.
+func (m *MLP) CopyFrom(src *MLP) {
+	if len(m.Dims) != len(src.Dims) {
+		panic("nn: CopyFrom across different architectures")
+	}
+	for l, d := range m.Dims {
+		if src.Dims[l] != d {
+			panic("nn: CopyFrom across different architectures")
+		}
+	}
+	for l := range m.W {
+		if m.Acts[l] != src.Acts[l] {
+			panic("nn: CopyFrom across different activations")
+		}
+		copy(m.W[l].Data, src.W[l].Data)
+		copy(m.B[l], src.B[l])
+	}
+}
+
 // NumParams returns the total parameter count.
 func (m *MLP) NumParams() int {
 	n := 0

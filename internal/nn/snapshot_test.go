@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"testing"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/rng"
+)
+
+func TestCopyFromMatchesClone(t *testing.T) {
+	r := rng.New(7)
+	src := NewMLP([]int{6, 8, 1}, ReLU, Softplus, r.Split("src"))
+	dst := NewMLP([]int{6, 8, 1}, ReLU, Softplus, r.Split("dst"))
+	dst.CopyFrom(src)
+	for l := range src.W {
+		if !dst.W[l].Equal(src.W[l], 0) {
+			t.Fatalf("layer %d weights differ after CopyFrom", l)
+		}
+		for j := range src.B[l] {
+			if dst.B[l][j] != src.B[l][j] {
+				t.Fatalf("layer %d bias %d differs", l, j)
+			}
+		}
+	}
+	// The copy must be deep: training-style mutation of src must not leak.
+	src.W[0].Set(0, 0, 1234.5)
+	if dst.W[0].At(0, 0) == 1234.5 {
+		t.Fatal("CopyFrom aliased weight storage")
+	}
+
+	X := mat.NewDense(3, 6)
+	for i := range X.Data {
+		X.Data[i] = float64(i%5) - 2
+	}
+	src.W[0].Set(0, 0, dst.W[0].At(0, 0)) // undo the probe
+	a := src.Forward(X).Out()
+	b := dst.Forward(X).Out()
+	if !a.Equal(b, 0) {
+		t.Fatal("outputs differ after CopyFrom")
+	}
+}
+
+func TestCopyFromAllocationFree(t *testing.T) {
+	r := rng.New(8)
+	src := NewMLP([]int{6, 8, 1}, ReLU, Softplus, r.Split("src"))
+	dst := src.Clone()
+	if n := testing.AllocsPerRun(50, func() { dst.CopyFrom(src) }); n != 0 {
+		t.Fatalf("CopyFrom allocated %v objects per run", n)
+	}
+}
+
+func TestCopyFromRejectsShapeMismatch(t *testing.T) {
+	r := rng.New(9)
+	src := NewMLP([]int{6, 8, 1}, ReLU, Softplus, r.Split("a"))
+	for _, bad := range []*MLP{
+		NewMLP([]int{6, 4, 1}, ReLU, Softplus, r.Split("b")),
+		NewMLP([]int{6, 8, 2, 1}, ReLU, Softplus, r.Split("c")),
+		NewMLP([]int{6, 8, 1}, Tanh, Softplus, r.Split("d")),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("CopyFrom accepted mismatched network %v", bad.Dims)
+				}
+			}()
+			bad.CopyFrom(src)
+		}()
+	}
+}

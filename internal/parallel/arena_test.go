@@ -51,7 +51,7 @@ func TestArenaConcurrent(t *testing.T) {
 		}
 		a.Put(s)
 	})
-	if int(next) > Workers+1 {
-		t.Logf("note: %d scratches built for %d workers (pool churn is allowed)", next, Workers)
+	if int(next) > Workers()+1 {
+		t.Logf("note: %d scratches built for %d workers (pool churn is allowed)", next, Workers())
 	}
 }

@@ -15,9 +15,36 @@ import (
 	"sync/atomic"
 )
 
-// Workers is the default degree of parallelism. It is a variable so tests
-// and benchmarks can pin it.
-var Workers = runtime.GOMAXPROCS(0)
+// workersOverride, when positive, pins the worker count. Tests and
+// benchmarks set it through SetWorkers; zero means "track the runtime".
+var workersOverride atomic.Int64
+
+// Workers returns the current degree of parallelism: the SetWorkers
+// override when one is pinned, otherwise runtime.GOMAXPROCS(0) read at call
+// time — so GOMAXPROCS changes (and `go test -cpu` sweeps) take effect
+// immediately instead of being frozen at package init. The result is always
+// at least 1.
+func Workers() int {
+	if n := workersOverride.Load(); n > 0 {
+		return int(n)
+	}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// SetWorkers pins the worker count to n (when n > 0) or restores GOMAXPROCS
+// tracking (when n <= 0). It returns the previous override (0 = unpinned) so
+// callers can restore it:
+//
+//	defer parallel.SetWorkers(parallel.SetWorkers(1))
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(workersOverride.Swap(int64(n)))
+}
 
 // minChunk is the smallest index range worth shipping to a worker; below it
 // the scheduling overhead dominates and we run serially.
@@ -45,10 +72,7 @@ func ForChunked(n, grain int, body func(lo, hi int)) {
 	if grain < 1 {
 		grain = 1
 	}
-	workers := Workers
-	if workers < 1 {
-		workers = 1
-	}
+	workers := Workers()
 	if workers == 1 || n <= grain {
 		body(0, n)
 		return

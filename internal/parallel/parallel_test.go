@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -65,9 +66,7 @@ func TestDoRunsAll(t *testing.T) {
 }
 
 func TestSingleWorkerFallback(t *testing.T) {
-	old := Workers
-	defer func() { Workers = old }()
-	Workers = 1
+	defer SetWorkers(SetWorkers(1))
 	sum := 0
 	// With one worker the body runs serially, so unsynchronized writes are safe.
 	For(1000, func(i int) { sum += i })
@@ -83,6 +82,39 @@ func TestZeroAndNegativeN(t *testing.T) {
 	ForChunked(-1, 4, func(lo, hi int) { called = true })
 	if called {
 		t.Fatal("body called for non-positive n")
+	}
+}
+
+// TestWorkersTracksGOMAXPROCS pins the satellite fix for Workers being
+// captured once at package init: the count must follow runtime.GOMAXPROCS
+// changes at call time, honor SetWorkers overrides, and never drop below 1.
+func TestWorkersTracksGOMAXPROCS(t *testing.T) {
+	defer SetWorkers(SetWorkers(0)) // make sure no override leaks in or out
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers()=%d after GOMAXPROCS(3)", got)
+	}
+	runtime.GOMAXPROCS(1)
+	if got := Workers(); got != 1 {
+		t.Fatalf("Workers()=%d after GOMAXPROCS(1)", got)
+	}
+
+	if prev := SetWorkers(7); prev != 0 {
+		t.Fatalf("previous override %d, want 0", prev)
+	}
+	if got := Workers(); got != 7 {
+		t.Fatalf("Workers()=%d with override 7", got)
+	}
+	// Negative pins are clamped away: the override is cleared, and the
+	// GOMAXPROCS fallback is itself clamped to >= 1.
+	if prev := SetWorkers(-4); prev != 7 {
+		t.Fatalf("previous override %d, want 7", prev)
+	}
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers()=%d, must be >= 1", got)
 	}
 }
 

@@ -1,0 +1,122 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Ring is a fixed-capacity multi-producer / single-consumer ring buffer
+// with oldest-drop semantics: Push never fails and never takes a lock —
+// when the ring is full the oldest unconsumed entry is overwritten. It is
+// the ingest side of the platform's observation pipeline: many matching
+// shards record observations concurrently, and a single consumer (the
+// refit loop) drains them in one pass at a quiescent point.
+//
+// Implementation: a Vyukov-style sequenced ring. Producers claim a ticket
+// with one atomic fetch-add on head; ticket t owns slot t mod capacity and
+// publishes by storing seq = t+1 into the slot's sequence word. A producer
+// that laps the ring (t >= capacity) first waits for the slot's previous
+// writer (ticket t-capacity) to publish, so writes to one slot are ordered
+// by the seq acquire/release chain and never race. The consumer owns tail
+// and the drop accounting.
+//
+// Concurrency contract:
+//   - Push is safe from any number of goroutines and is lock-free (the
+//     only wait is the same-slot handoff when a producer laps a producer
+//     that claimed the covering ticket exactly capacity pushes earlier).
+//   - Drain/Len/Dropped are consumer-side: one goroutine at a time, and
+//     the caller must establish happens-before with completed producers
+//     (e.g. drain after a sync.WaitGroup join or a round barrier). The
+//     platform drains at refit boundaries, where all shards have joined.
+type Ring[T any] struct {
+	capacity uint64
+	head     atomic.Uint64 // next ticket to claim (producers)
+	tail     uint64        // next ticket to consume (consumer-owned)
+	dropped  uint64        // overwritten-entry count (consumer-owned)
+	slots    []ringSlot[T]
+}
+
+type ringSlot[T any] struct {
+	seq atomic.Uint64 // ticket+1 of the last published write; 0 = empty
+	val T
+}
+
+// NewRing returns a ring holding at most capacity entries (min 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{capacity: uint64(capacity), slots: make([]ringSlot[T], capacity)}
+}
+
+// Cap returns the fixed capacity.
+func (r *Ring[T]) Cap() int { return int(r.capacity) }
+
+// Push records v, overwriting the oldest unconsumed entry when the ring is
+// full. Safe for concurrent producers; never blocks on the consumer.
+func (r *Ring[T]) Push(v T) {
+	t := r.head.Add(1) - 1
+	s := &r.slots[t%r.capacity]
+	if t >= r.capacity {
+		// Lap handoff: ticket t-capacity wrote this slot last; its release
+		// store of seq orders that write before ours. Until it lands we
+		// spin — the owner is mid-Push, so the wait is bounded by one
+		// descheduling, not by consumer progress.
+		prev := t - r.capacity + 1
+		for s.seq.Load() < prev {
+			runtime.Gosched()
+		}
+	}
+	s.val = v
+	s.seq.Store(t + 1)
+}
+
+// Pushed returns the total number of Push calls so far (including entries
+// since overwritten). Safe from any goroutine.
+func (r *Ring[T]) Pushed() uint64 { return r.head.Load() }
+
+// Len returns the number of entries a Drain would yield now. Consumer-side.
+func (r *Ring[T]) Len() int {
+	h := r.head.Load()
+	if n := h - r.tail; n < r.capacity {
+		return int(n)
+	}
+	return int(r.capacity)
+}
+
+// Dropped returns the total number of entries lost to overwriting so far,
+// counting entries currently pending overwrite accounting. Consumer-side.
+func (r *Ring[T]) Dropped() uint64 {
+	d := r.dropped
+	if h := r.head.Load(); h > r.capacity && r.tail < h-r.capacity {
+		d += (h - r.capacity) - r.tail
+	}
+	return d
+}
+
+// Drain appends every live entry to dst in push order (oldest first),
+// consumes them, and returns dst. Entries overwritten since the last drain
+// are counted in Dropped. Consumer-side: the caller must have joined all
+// producers whose entries it expects to observe.
+func (r *Ring[T]) Drain(dst []T) []T {
+	h := r.head.Load()
+	lo := r.tail
+	if h > r.capacity && lo < h-r.capacity {
+		r.dropped += (h - r.capacity) - lo
+		lo = h - r.capacity
+	}
+	for p := lo; p < h; p++ {
+		s := &r.slots[p%r.capacity]
+		if s.seq.Load() != p+1 {
+			// Defensive: under the quiescent-drain contract every ticket in
+			// [h-capacity, h) owns a distinct published slot, so this skip
+			// only fires if a producer raced the drain; the overwriting
+			// entry then surfaces on the next drain under its own ticket.
+			r.dropped++
+			continue
+		}
+		dst = append(dst, s.val)
+	}
+	r.tail = h
+	return dst
+}

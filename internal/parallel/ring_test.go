@@ -1,0 +1,191 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// ringModel is the reference implementation the property test compares
+// against: a plain slice that keeps the last cap un-drained entries.
+type ringModel struct {
+	cap     int
+	pending []int
+	dropped uint64
+}
+
+func (m *ringModel) push(v int) {
+	m.pending = append(m.pending, v)
+	if len(m.pending) > m.cap {
+		m.dropped += uint64(len(m.pending) - m.cap)
+		m.pending = m.pending[len(m.pending)-m.cap:]
+	}
+}
+
+func (m *ringModel) drain() []int {
+	out := append([]int(nil), m.pending...)
+	m.pending = m.pending[:0]
+	return out
+}
+
+// TestRingMatchesModel drives a ring and the reference model through the
+// same randomized push/drain schedule (single producer, so order is exact)
+// across a spread of capacities, including heavy wraparound, and asserts
+// identical drained sequences and drop counts at every step.
+func TestRingMatchesModel(t *testing.T) {
+	check := func(capRaw uint8, ops []uint16) bool {
+		capacity := int(capRaw)%13 + 1
+		ring := NewRing[int](capacity)
+		model := &ringModel{cap: capacity}
+		next := 0
+		var got []int
+		for _, op := range ops {
+			if op%7 == 0 {
+				got = ring.Drain(got[:0])
+				want := model.drain()
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+				continue
+			}
+			// Push a burst, often long enough to lap the ring repeatedly.
+			burst := int(op % 37)
+			for b := 0; b < burst; b++ {
+				ring.Push(next)
+				model.push(next)
+				next++
+			}
+		}
+		got = ring.Drain(got[:0])
+		want := model.drain()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return ring.Dropped() == model.dropped
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingWraparoundKeepsNewest(t *testing.T) {
+	const capacity = 8
+	r := NewRing[int](capacity)
+	for i := 0; i < 3*capacity+5; i++ {
+		r.Push(i)
+	}
+	if r.Len() != capacity {
+		t.Fatalf("Len=%d want %d", r.Len(), capacity)
+	}
+	out := r.Drain(nil)
+	if len(out) != capacity {
+		t.Fatalf("drained %d entries, want %d", len(out), capacity)
+	}
+	for k, v := range out {
+		if want := 3*capacity + 5 - capacity + k; v != want {
+			t.Fatalf("out[%d]=%d want %d (oldest-drop violated)", k, v, want)
+		}
+	}
+	if r.Dropped() != uint64(2*capacity+5) {
+		t.Fatalf("Dropped=%d want %d", r.Dropped(), 2*capacity+5)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after drain = %d", r.Len())
+	}
+}
+
+// TestRingConcurrentProducers hammers Push from many goroutines with
+// capacity large enough to hold everything, then drains after the join and
+// checks every item arrived exactly once. Run under -race this also proves
+// the producer path needs no mutex.
+func TestRingConcurrentProducers(t *testing.T) {
+	const producers, each = 8, 500
+	r := NewRing[int](producers * each)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Push(p*each + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	out := r.Drain(nil)
+	if len(out) != producers*each {
+		t.Fatalf("drained %d, want %d", len(out), producers*each)
+	}
+	seen := make(map[int]bool, len(out))
+	for _, v := range out {
+		if seen[v] {
+			t.Fatalf("item %d drained twice", v)
+		}
+		seen[v] = true
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped %d with sufficient capacity", r.Dropped())
+	}
+}
+
+// TestRingConcurrentOverflow overflows a small ring from many goroutines —
+// exercising the lap-handoff spin — and checks the survivors are exactly
+// capacity distinct pushed values with consistent drop accounting.
+func TestRingConcurrentOverflow(t *testing.T) {
+	const producers, each, capacity = 8, 400, 64
+	r := NewRing[int](capacity)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Push(p*each + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	out := r.Drain(nil)
+	if len(out) != capacity {
+		t.Fatalf("drained %d, want %d", len(out), capacity)
+	}
+	seen := make(map[int]bool, len(out))
+	for _, v := range out {
+		if v < 0 || v >= producers*each {
+			t.Fatalf("drained value %d was never pushed", v)
+		}
+		if seen[v] {
+			t.Fatalf("item %d drained twice", v)
+		}
+		seen[v] = true
+	}
+	if got, want := r.Dropped(), uint64(producers*each-capacity); got != want {
+		t.Fatalf("Dropped=%d want %d", got, want)
+	}
+	if r.Pushed() != producers*each {
+		t.Fatalf("Pushed=%d want %d", r.Pushed(), producers*each)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing[string](0)
+	if r.Cap() != 1 {
+		t.Fatalf("Cap=%d want 1", r.Cap())
+	}
+	r.Push("a")
+	r.Push("b")
+	out := r.Drain(nil)
+	if len(out) != 1 || out[0] != "b" {
+		t.Fatalf("out=%v want [b]", out)
+	}
+}

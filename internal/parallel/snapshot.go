@@ -1,0 +1,40 @@
+package parallel
+
+import "sync/atomic"
+
+// Snapshot is an atomic publication point for immutable values: a writer
+// prepares a fresh value off to the side (a deep clone it then mutates
+// freely) and Publishes it in one atomic store; readers Load whichever
+// version is current and keep using it for as long as they like. This is
+// the classic read-copy-update shape serving systems use to swap models
+// under live traffic — readers never block on a writer, and every reader
+// sees exactly one consistent version, never a half-updated one.
+//
+// The contract that makes it safe: once a value has been Published it is
+// immutable. The writer must stop mutating a value at Publish time and
+// prepare the next version on a different object (platform refits train on
+// a private PredictorSet clone and publish it when training converges).
+type Snapshot[T any] struct {
+	p atomic.Pointer[T]
+}
+
+// NewSnapshot returns a holder whose current version is v (which may be
+// nil; readers must then cope with a nil Load until the first Publish).
+func NewSnapshot[T any](v *T) *Snapshot[T] {
+	s := &Snapshot[T]{}
+	s.p.Store(v)
+	return s
+}
+
+// Load returns the currently published version.
+func (s *Snapshot[T]) Load() *T { return s.p.Load() }
+
+// Publish atomically replaces the current version with v. v must not be
+// mutated afterwards.
+func (s *Snapshot[T]) Publish(v *T) { s.p.Store(v) }
+
+// Swap publishes v and returns the previously published version. The
+// caller may recycle the returned value as the next writer-side scratch
+// ONLY once no reader can still hold it (e.g. after a barrier that joins
+// every in-flight reader).
+func (s *Snapshot[T]) Swap(v *T) *T { return s.p.Swap(v) }

@@ -1,0 +1,269 @@
+// The concurrent serving engine. The platform loop of §5 (Xirang) serves
+// continuously: sample a task batch, predict, match, execute, learn. This
+// file turns that loop into the snapshot-and-shard structure production
+// inference stacks use:
+//
+//   - Rounds are pre-sampled serially (the round stream is consumed in
+//     round order, so the batch compositions are identical at any worker
+//     count), then evaluated across parallel.Workers() shards. Every
+//     per-round random draw comes from a stream split by round index, and
+//     every shard works out of its own arena-pooled scratch, so a round's
+//     result is a pure function of (round index, predictor version).
+//   - The reduction runs serially in round order, which makes the full
+//     trajectory — assignments, regret series, refit outcomes — bit-
+//     identical to the serial path regardless of worker count
+//     (TestRunOnlineWorkerCountInvariance).
+//   - Predictors are served through a parallel.Snapshot holder: refits
+//     train a private deep-copy and publish it atomically, so matching
+//     never blocks on training and a round always sees one consistent
+//     predictor version (engine_test.go interleaves a slow refit with live
+//     rounds to pin this down).
+package platform
+
+import (
+	"mfcp/internal/core"
+	"mfcp/internal/matching"
+	"mfcp/internal/mat"
+	"mfcp/internal/metrics"
+	"mfcp/internal/parallel"
+	"mfcp/internal/rng"
+	"mfcp/internal/sched"
+	"mfcp/internal/taskgraph"
+	"mfcp/internal/workload"
+)
+
+// engine is the serving core shared by Run, RunOnline, and the exported
+// Engine. It owns the trained method, the predictor snapshot holder, and
+// the round/execution random streams.
+type engine struct {
+	cfg    Config
+	s      *workload.Scenario
+	train  []int
+	live   []int
+	method Predictor
+	// snap publishes the predictor version rounds serve against; nil for
+	// methods without a refittable PredictorSet (tam, ucb, oracle), which
+	// serve through method.Predict instead.
+	snap *parallel.Snapshot[core.PredictorSet]
+	// obs, when non-nil, receives one Observation per executed (cluster,
+	// task) pair — pushed lock-free by the shards, drained by the refit
+	// loop. Nil outside online serving.
+	obs  *parallel.Ring[Observation]
+	mc   core.MatchConfig
+	mode sched.Mode
+
+	roundStream *rng.Source
+	execStream  *rng.Source
+}
+
+// newEngine builds the scenario, trains the configured method, and wires
+// the serving state. cfg must already have defaults filled.
+func newEngine(cfg Config) (*engine, error) {
+	s, err := workload.New(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	train, live := s.Split(cfg.TrainFrac)
+	method, err := buildMethod(cfg, s, train)
+	if err != nil {
+		return nil, err
+	}
+	mc := cfg.Match
+	if cfg.Parallel && mc.Speedups == nil {
+		for _, p := range s.Fleet {
+			mc.Speedups = append(mc.Speedups, p.Speedup)
+		}
+	}
+	mode := sched.Sequential
+	if cfg.Parallel {
+		mode = sched.Parallel
+	}
+	e := &engine{
+		cfg: cfg, s: s, train: train, live: live, method: method,
+		mc: mc, mode: mode,
+		roundStream: s.Stream("platform-rounds"),
+		execStream:  s.Stream("platform-exec"),
+	}
+	if set := predictorSetOf(method); set != nil {
+		e.snap = parallel.NewSnapshot(set)
+	}
+	return e, nil
+}
+
+// currentSet returns the predictor version rounds should serve against, or
+// nil for methods without one.
+func (e *engine) currentSet() *core.PredictorSet {
+	if e.snap == nil {
+		return nil
+	}
+	return e.snap.Load()
+}
+
+// sampleRounds draws the next n round compositions from the round stream,
+// serially and in round order — the only stream consumed sequentially, so
+// it must stay out of the shards.
+func (e *engine) sampleRounds(n int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = e.s.SampleRound(e.live, e.cfg.RoundSize, e.roundStream)
+	}
+	return out
+}
+
+// shardScratch is one shard's private workspace: NN forward tapes, the
+// predicted and ground-truth matrices, the matching solver workspace, and
+// the task-pointer gather buffer. Shards draw it from the arena at the
+// start of a chunk and return it after, so at most Workers() live at once.
+type shardScratch struct {
+	pw           core.PredictWorkspace
+	z            *mat.Dense
+	that, ahat   *mat.Dense
+	trueT, trueA *mat.Dense
+	ws           *matching.Workspace
+	tasks        []*taskgraph.Task
+}
+
+var scratchArena = parallel.NewArena(func() *shardScratch {
+	return &shardScratch{
+		z:    new(mat.Dense),
+		that: new(mat.Dense), ahat: new(mat.Dense),
+		trueT: new(mat.Dense), trueA: new(mat.Dense),
+	}
+})
+
+// evalRound evaluates allocation round k: predict with the given snapshot
+// (or the method's own path when set is nil), match, score against ground
+// truth, and execute on the simulated fleet. All randomness comes from
+// streams split by k, and all scratch is shard-private, so the result does
+// not depend on which shard runs it or when.
+func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shardScratch) RoundReport {
+	var That, Ahat *mat.Dense
+	if set != nil {
+		Z := e.s.FeaturesInto(round, sc.z)
+		set.PredictInto(Z, &sc.pw, sc.that, sc.ahat)
+		That, Ahat = sc.that, sc.ahat
+	} else {
+		That, Ahat = e.method.Predict(round)
+	}
+	if sc.ws == nil {
+		sc.ws = matching.NewWorkspace(That.Rows, That.Cols)
+	}
+	assign := e.mc.SolveWS(That, Ahat, sc.ws)
+
+	e.s.TrueMatricesInto(round, sc.trueT, sc.trueA)
+	applyDrift(sc.trueT, e.cfg.Drift, k)
+	trueProb := e.mc.Problem(sc.trueT, sc.trueA)
+	oracle := e.mc.SolveWS(sc.trueT, sc.trueA, sc.ws)
+	ev := metrics.Evaluate(trueProb, assign, oracle)
+
+	if cap(sc.tasks) < len(round) {
+		sc.tasks = make([]*taskgraph.Task, len(round))
+	}
+	tasks := sc.tasks[:len(round)]
+	for i, j := range round {
+		tasks[i] = e.s.Pool[j]
+	}
+	exec := sched.Execute(e.s.Fleet, tasks, assign, e.mode, e.execStream.SplitIndexed("round", k))
+	scaleExecution(&exec, assign, e.cfg.Drift, k)
+
+	if e.obs != nil {
+		// Partial feedback: the realized standalone duration of each
+		// (assigned cluster, task) pair, normalized like training labels.
+		// Shards push concurrently; the drain re-sorts by (Round, Slot) so
+		// training order is independent of shard completion order.
+		for j, i := range assign {
+			e.obs.Push(Observation{
+				Cluster: i, TaskIdx: round[j], Round: k, Slot: j,
+				TimeNorm:  exec.TaskSeconds[j] / e.s.TimeScale,
+				Succeeded: exec.Success[j],
+			})
+		}
+	}
+	return RoundReport{
+		Round: k, TaskIdx: round, Assignment: assign, Eval: ev, Execution: exec,
+	}
+}
+
+// sweep evaluates rounds k0, k0+1, ... against one predictor snapshot
+// across parallel.Workers() shards. Results land in out by round offset —
+// the deterministic in-order reduction happens at the caller.
+func (e *engine) sweep(k0 int, rounds [][]int, set *core.PredictorSet, out []RoundReport) {
+	parallel.ForChunked(len(rounds), 1, func(lo, hi int) {
+		sc := scratchArena.Get()
+		defer scratchArena.Put(sc)
+		for i := lo; i < hi; i++ {
+			out[i] = e.evalRound(k0+i, rounds[i], set, sc)
+		}
+	})
+}
+
+// reduce folds one round into the report. Called serially in round order.
+func reduce(rep *Report, rr *RoundReport) {
+	rep.Rounds = append(rep.Rounds, *rr)
+	rep.MeanRegret += rr.Eval.Regret
+	rep.MeanReliability += rr.Eval.Reliability
+	rep.MeanUtilization += rr.Eval.Utilization
+	rep.MeanSuccessRate += rr.Execution.SuccessRate
+	for _, b := range rr.Execution.Busy {
+		rep.TotalBusySeconds += b
+	}
+	rep.TotalMakespanSeconds += rr.Execution.Makespan
+}
+
+// finalize converts the reduction's running sums into means over n rounds.
+func finalize(rep *Report, n int) {
+	if n == 0 {
+		return
+	}
+	f := float64(n)
+	rep.MeanRegret /= f
+	rep.MeanReliability /= f
+	rep.MeanUtilization /= f
+	rep.MeanSuccessRate /= f
+}
+
+// serve runs one batch of rounds starting at round index k0 and folds them
+// into rep (means not yet normalized).
+func (e *engine) serve(rep *Report, k0, n int) {
+	rounds := e.sampleRounds(n)
+	results := make([]RoundReport, n)
+	e.sweep(k0, rounds, e.currentSet(), results)
+	for i := range results {
+		reduce(rep, &results[i])
+	}
+}
+
+// Engine is the reusable serving loop, exported for throughput benchmarks
+// and long-running drivers: construction pays for scenario build and
+// method training once; each ServeRounds call then streams fresh rounds
+// through the sharded pipeline. Not safe for concurrent ServeRounds calls
+// — the engine shards internally.
+type Engine struct {
+	e      *engine
+	served int
+}
+
+// NewEngine builds a scenario and trains the configured method, returning
+// an engine ready to serve rounds.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg.fillDefaults()
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: e}, nil
+}
+
+// RoundSize returns the number of tasks per served round.
+func (en *Engine) RoundSize() int { return en.e.cfg.RoundSize }
+
+// ServeRounds serves the next n allocation rounds and returns their
+// aggregated report. Round indices continue across calls, so repeated
+// calls consume fresh traffic from the same streams.
+func (en *Engine) ServeRounds(n int) *Report {
+	rep := &Report{Method: en.e.method.Name()}
+	en.e.serve(rep, en.served, n)
+	en.served += n
+	finalize(rep, n)
+	return rep
+}

@@ -1,0 +1,196 @@
+package platform
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mfcp/internal/parallel"
+)
+
+func onlineTiny(method MethodName) OnlineConfig {
+	cfg := OnlineConfig{Config: tinyCfg(method), RefitEvery: 3, RefitEpochs: 5}
+	cfg.Rounds = 9
+	return cfg
+}
+
+// mustRunOnlineAt runs RunOnline pinned to w workers.
+func mustRunOnlineAt(t *testing.T, cfg OnlineConfig, w int) *OnlineReport {
+	t.Helper()
+	defer parallel.SetWorkers(parallel.SetWorkers(w))
+	rep, err := RunOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// sameTrajectory asserts two reports are bit-identical: every round's task
+// batch, assignment, evaluation, and execution, plus all aggregates.
+func sameTrajectory(t *testing.T, label string, a, b *Report) {
+	t.Helper()
+	if len(a.Rounds) != len(b.Rounds) {
+		t.Fatalf("%s: round counts %d vs %d", label, len(a.Rounds), len(b.Rounds))
+	}
+	for k := range a.Rounds {
+		if !reflect.DeepEqual(a.Rounds[k], b.Rounds[k]) {
+			t.Fatalf("%s: round %d diverged:\n%+v\nvs\n%+v", label, k, a.Rounds[k], b.Rounds[k])
+		}
+	}
+	if a.MeanRegret != b.MeanRegret || a.MeanReliability != b.MeanReliability ||
+		a.MeanUtilization != b.MeanUtilization || a.MeanSuccessRate != b.MeanSuccessRate ||
+		a.TotalBusySeconds != b.TotalBusySeconds || a.TotalMakespanSeconds != b.TotalMakespanSeconds {
+		t.Fatalf("%s: aggregate means diverged", label)
+	}
+}
+
+func TestRunWorkerCountInvariance(t *testing.T) {
+	cfg := tinyCfg(MethodTSM)
+	cfg.Rounds = 8
+	base := mustRunAt(t, cfg, 1)
+	for _, w := range []int{2, 8} {
+		sameTrajectory(t, "workers=8/2 vs 1", base, mustRunAt(t, cfg, w))
+	}
+}
+
+func mustRunAt(t *testing.T, cfg Config, w int) *Report {
+	t.Helper()
+	defer parallel.SetWorkers(parallel.SetWorkers(w))
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestRunOnlineWorkerCountInvariance pins the engine's core promise: the
+// full online trajectory — assignments, regret series, refit outcomes — is
+// bit-identical at 1, 2, and 8 workers, and across repeated runs at the
+// same seed.
+func TestRunOnlineWorkerCountInvariance(t *testing.T) {
+	cfg := onlineTiny(MethodTSM)
+	base := mustRunOnlineAt(t, cfg, 1)
+	again := mustRunOnlineAt(t, cfg, 1)
+	sameTrajectory(t, "serial repeat", &base.Report, &again.Report)
+
+	for _, w := range []int{2, 8} {
+		rep := mustRunOnlineAt(t, cfg, w)
+		sameTrajectory(t, "sharded vs serial", &base.Report, &rep.Report)
+		if rep.Refits != base.Refits {
+			t.Fatalf("workers=%d: refits %d vs %d", w, rep.Refits, base.Refits)
+		}
+		if !reflect.DeepEqual(rep.WindowRegret, base.WindowRegret) {
+			t.Fatalf("workers=%d: learning curve diverged: %v vs %v", w, rep.WindowRegret, base.WindowRegret)
+		}
+	}
+}
+
+// TestAsyncRefitDoesNotBlockServing holds the first refit open on its
+// background goroutine and asserts the next window of rounds is served
+// while the refit is still in flight (against the old predictor snapshot,
+// which by construction is the only version published at that point).
+func TestAsyncRefitDoesNotBlockServing(t *testing.T) {
+	cfg := onlineTiny(MethodTSM)
+	cfg.AsyncRefit = true
+
+	firstRefitEntered := make(chan struct{})
+	refitRelease := make(chan struct{})
+	var once sync.Once
+	testRefitHook = func() {
+		once.Do(func() {
+			close(firstRefitEntered)
+			<-refitRelease
+		})
+	}
+	windowServed := make(chan int, 8)
+	testWindowHook = func(k0 int) { windowServed <- k0 }
+	defer func() { testRefitHook, testWindowHook = nil, nil }()
+
+	done := make(chan *OnlineReport, 1)
+	go func() {
+		rep, err := RunOnline(cfg)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+
+	waitFor := func(what string, ch <-chan int) int {
+		select {
+		case v := <-ch:
+			return v
+		case <-time.After(30 * time.Second):
+			t.Fatalf("timed out waiting for %s", what)
+			return -1
+		}
+	}
+	if k0 := waitFor("first window", windowServed); k0 != 0 {
+		t.Fatalf("first window at k0=%d", k0)
+	}
+	select {
+	case <-firstRefitEntered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("first refit never started")
+	}
+	// The refit is now held open. Serving must not block on it: the second
+	// window has to complete while the refit goroutine is still inside the
+	// hook.
+	if k0 := waitFor("second window during open refit", windowServed); k0 != cfg.RefitEvery {
+		t.Fatalf("second window at k0=%d, want %d", k0, cfg.RefitEvery)
+	}
+	close(refitRelease)
+
+	var rep *OnlineReport
+	select {
+	case rep = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("run never finished after releasing the refit")
+	}
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if rep.Refits != 3 || len(rep.Rounds) != cfg.Rounds {
+		t.Fatalf("refits=%d rounds=%d", rep.Refits, len(rep.Rounds))
+	}
+}
+
+// TestAsyncRefitStructure checks async mode end to end without hooks: every
+// refit lands, and the learning curve has one entry per full window.
+func TestAsyncRefitStructure(t *testing.T) {
+	cfg := onlineTiny(MethodTSM)
+	cfg.AsyncRefit = true
+	rep, err := RunOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Refits != 3 || len(rep.WindowRegret) != 3 || len(rep.Rounds) != 9 {
+		t.Fatalf("refits=%d windows=%d rounds=%d", rep.Refits, len(rep.WindowRegret), len(rep.Rounds))
+	}
+}
+
+func TestEngineServeRoundsMatchesRun(t *testing.T) {
+	cfg := tinyCfg(MethodTSM)
+	cfg.Rounds = 6
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if en.RoundSize() != cfg.RoundSize {
+		t.Fatalf("round size %d", en.RoundSize())
+	}
+	// Two ServeRounds calls must continue the same streams: concatenated
+	// they reproduce one six-round Run exactly.
+	a := en.ServeRounds(2)
+	b := en.ServeRounds(4)
+	got := append(append([]RoundReport{}, a.Rounds...), b.Rounds...)
+	for k := range want.Rounds {
+		if !reflect.DeepEqual(want.Rounds[k], got[k]) {
+			t.Fatalf("round %d diverged between Run and ServeRounds", k)
+		}
+	}
+}

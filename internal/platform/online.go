@@ -2,14 +2,15 @@ package platform
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"mfcp/internal/baselines"
 	"mfcp/internal/core"
 	"mfcp/internal/mat"
-	"mfcp/internal/metrics"
 	"mfcp/internal/nn"
+	"mfcp/internal/parallel"
 	"mfcp/internal/rng"
-	"mfcp/internal/sched"
 	"mfcp/internal/workload"
 )
 
@@ -20,6 +21,12 @@ import (
 type Observation struct {
 	Cluster int
 	TaskIdx int
+	// Round and Slot locate the observation in the trajectory: the
+	// allocation round that produced it and its task position within that
+	// round. Shards publish observations concurrently, so the refit drain
+	// sorts by (Round, Slot) to restore the canonical serial order.
+	Round int
+	Slot  int
 	// TimeNorm is the realized execution time in the scenario's normalized
 	// units.
 	TimeNorm float64
@@ -38,6 +45,12 @@ type OnlineConfig struct {
 	// BufferCap bounds the observation buffer; oldest observations are
 	// dropped first (default 512).
 	BufferCap int
+	// AsyncRefit trains each refit on a background goroutine against a
+	// private predictor copy and publishes it atomically when done; serving
+	// rounds keep matching against the previous snapshot in the meantime.
+	// The default (false) joins each refit before the next window, which
+	// reproduces the serial trajectory bit-for-bit.
+	AsyncRefit bool
 }
 
 func (c *OnlineConfig) fillDefaults() {
@@ -63,96 +76,124 @@ type OnlineReport struct {
 	WindowRegret []float64
 }
 
+// testRefitHook, when non-nil, runs at the start of every refit (before
+// training) on the refit's goroutine. Tests use it to hold a refit open and
+// observe rounds serving against the old snapshot. testWindowHook, when
+// non-nil, runs after each window of rounds has been served and reduced.
+var (
+	testRefitHook  func()
+	testWindowHook func(k0 int)
+)
+
 // RunOnline simulates the platform with in-the-loop learning: each executed
 // round contributes (feature, realized time, success) observations for the
 // pairs it actually ran, and every RefitEvery rounds the predictors
 // fine-tune on the buffered observations. Only predictor-backed methods
 // (tsm, mfcp-*) support refitting; others return an error.
+//
+// The loop runs window-at-a-time on the sharded engine: each RefitEvery
+// window of rounds is evaluated concurrently against one predictor
+// snapshot, shards push observations into a lock-free ring, and the refit
+// at the window boundary drains the ring, trains a private copy of the
+// predictors, and publishes it atomically (inline by default, in the
+// background with AsyncRefit). The synchronous trajectory is bit-identical
+// at any worker count.
 func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 	cfg.fillDefaults()
-	s, err := workload.New(cfg.Scenario)
+	e, err := newEngine(cfg.Config)
 	if err != nil {
 		return nil, err
 	}
-	train, live := s.Split(cfg.TrainFrac)
-	method, err := buildMethod(cfg.Config, s, train)
-	if err != nil {
-		return nil, err
-	}
-	set := predictorSetOf(method)
-	if set == nil {
+	if e.snap == nil {
 		return nil, fmt.Errorf("platform: method %q has no refittable predictors", cfg.Method)
 	}
-	mc := cfg.Match
-	if cfg.Parallel && mc.Speedups == nil {
-		for _, p := range s.Fleet {
-			mc.Speedups = append(mc.Speedups, p.Speedup)
-		}
+	// Size the ring so one window's observations always fit: drops inside a
+	// window would depend on shard timing and break determinism. The
+	// BufferCap trim below keeps the documented oldest-drop semantics.
+	ringCap := cfg.BufferCap
+	if w := cfg.RefitEvery * cfg.RoundSize; w > ringCap {
+		ringCap = w
 	}
-	mode := sched.Sequential
-	if cfg.Parallel {
-		mode = sched.Parallel
-	}
+	e.obs = parallel.NewRing[Observation](ringCap)
 
-	roundStream := s.Stream("platform-rounds")
-	execStream := s.Stream("platform-exec")
-	refitStream := s.Stream("platform-refit")
-	rep := &OnlineReport{Report: Report{Method: method.Name() + "+online"}}
-	var buffer []Observation
+	refitStream := e.s.Stream("platform-refit")
+	rep := &OnlineReport{Report: Report{Method: e.method.Name() + "+online"}}
+
+	// Two predictor versions double-buffer across refits: the published one
+	// serves rounds while `spare` is the next refit's trainee. The swap is
+	// safe because refits are serialized (refitWG) and a superseded version
+	// is only reused after the windows that served it have fully reduced.
+	spare := e.snap.Load().Snapshot(nil)
+	var refitWG sync.WaitGroup
+
+	var buffer, drained []Observation
+	results := make([]RoundReport, cfg.RefitEvery)
 	windowSum, windowN := 0.0, 0
 
-	for k := 0; k < cfg.Rounds; k++ {
-		round := s.SampleRound(live, cfg.RoundSize, roundStream)
-		That, Ahat := set.Predict(s.FeaturesOf(round))
-		assign := mc.Solve(That, Ahat)
-
-		trueT, trueA := s.TrueMatrices(round)
-		applyDrift(trueT, cfg.Drift, k)
-		trueProb := mc.Problem(trueT, trueA)
-		oracle := mc.Solve(trueT, trueA)
-		ev := metrics.Evaluate(trueProb, assign, oracle)
-		exec := sched.Execute(s.Fleet, gatherTasks(s, round), assign, mode, execStream.SplitIndexed("round", k))
-		scaleExecution(&exec, assign, cfg.Drift, k)
-
-		// Collect partial-feedback observations: the realized standalone
-		// duration of each (assigned cluster, task) pair, normalized like
-		// the training labels.
-		for j, i := range assign {
-			buffer = append(buffer, Observation{
-				Cluster:   i,
-				TaskIdx:   round[j],
-				TimeNorm:  exec.TaskSeconds[j] / s.TimeScale,
-				Succeeded: exec.Success[j],
-			})
+	for k0 := 0; k0 < cfg.Rounds; k0 += cfg.RefitEvery {
+		n := cfg.RefitEvery
+		if k0+n > cfg.Rounds {
+			n = cfg.Rounds - k0
 		}
+		rounds := e.sampleRounds(n)
+		window := results[:n]
+		e.sweep(k0, rounds, e.currentSet(), window)
+		for i := range window {
+			reduce(&rep.Report, &window[i])
+			windowSum += window[i].Eval.Regret
+			windowN++
+		}
+		if h := testWindowHook; h != nil {
+			h(k0)
+		}
+		if n < cfg.RefitEvery {
+			break // tail shorter than a window never triggered a refit
+		}
+
+		// Window boundary: join the in-flight refit (if any) so predictor
+		// versions and the replay buffer are ours to touch again.
+		refitWG.Wait()
+		drained = e.obs.Drain(drained[:0])
+		sort.Slice(drained, func(a, b int) bool {
+			if drained[a].Round != drained[b].Round {
+				return drained[a].Round < drained[b].Round
+			}
+			return drained[a].Slot < drained[b].Slot
+		})
+		buffer = append(buffer, drained...)
 		if len(buffer) > cfg.BufferCap {
 			buffer = buffer[len(buffer)-cfg.BufferCap:]
 		}
 
-		rep.Rounds = append(rep.Rounds, RoundReport{Round: k, TaskIdx: round, Assignment: assign, Eval: ev, Execution: exec})
-		rep.MeanRegret += ev.Regret
-		rep.MeanReliability += ev.Reliability
-		rep.MeanUtilization += ev.Utilization
-		rep.MeanSuccessRate += exec.SuccessRate
-		for _, b := range exec.Busy {
-			rep.TotalBusySeconds += b
+		cur := e.snap.Load()
+		trainee := spare
+		stream := refitStream.SplitIndexed("refit", rep.Refits)
+		replay := buffer // immutable until the next refitWG.Wait()
+		doRefit := func() {
+			cur.Snapshot(trainee)
+			if h := testRefitHook; h != nil {
+				h()
+			}
+			refit(trainee, e.s, e.train, replay, cfg.RefitEpochs, stream)
+			e.snap.Swap(trainee)
 		}
-		rep.TotalMakespanSeconds += exec.Makespan
-		windowSum += ev.Regret
-		windowN++
+		if cfg.AsyncRefit {
+			refitWG.Add(1)
+			go func() {
+				defer refitWG.Done()
+				doRefit()
+			}()
+		} else {
+			doRefit()
+		}
+		spare = cur
 
-		if (k+1)%cfg.RefitEvery == 0 {
-			refit(set, s, train, buffer, cfg.RefitEpochs, refitStream.SplitIndexed("refit", rep.Refits))
-			rep.Refits++
-			rep.WindowRegret = append(rep.WindowRegret, windowSum/float64(windowN))
-			windowSum, windowN = 0, 0
-		}
+		rep.Refits++
+		rep.WindowRegret = append(rep.WindowRegret, windowSum/float64(windowN))
+		windowSum, windowN = 0, 0
 	}
-	n := float64(cfg.Rounds)
-	rep.MeanRegret /= n
-	rep.MeanReliability /= n
-	rep.MeanUtilization /= n
-	rep.MeanSuccessRate /= n
+	refitWG.Wait()
+	finalize(&rep.Report, cfg.Rounds)
 	return rep, nil
 }
 
@@ -177,6 +218,10 @@ func predictorSetOf(m Predictor) *core.PredictorSet {
 // exists. Time targets are realized normalized durations; reliability
 // targets the 0/1 completion indicator (whose MSE minimizer is the
 // Bernoulli mean).
+//
+// Clusters are independent given their rng streams (SplitIndexed by cluster
+// index), so the per-cluster fine-tunes run across parallel.Workers()
+// shards without changing the result.
 func refit(set *core.PredictorSet, s *workload.Scenario, train []int, buffer []Observation, epochs int, r *rng.Source) {
 	m := set.M()
 	perCluster := make([][]Observation, m)
@@ -184,53 +229,59 @@ func refit(set *core.PredictorSet, s *workload.Scenario, train []int, buffer []O
 		perCluster[ob.Cluster] = append(perCluster[ob.Cluster], ob)
 	}
 	const liveWeight = 3 // each live observation counts as this many rows
-	for i := 0; i < m; i++ {
-		obs := perCluster[i]
-		if len(obs) < 4 {
-			continue // too little signal to fine-tune on
+	parallel.ForChunked(m, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			refitCluster(set, s, train, perCluster[i], i, liveWeight, epochs, r)
 		}
-		// Estimate the cluster's current speed factor from paired
-		// live-vs-profiled durations of the same tasks (recent half of the
-		// buffer). Replay targets are rescaled by it, so the anchor tracks
-		// regime changes instead of fighting them.
-		fHat := 0.0
-		cnt := 0
-		for _, ob := range obs[len(obs)/2:] {
-			if base := s.MeasT.At(i, ob.TaskIdx); base > 1e-9 {
-				fHat += ob.TimeNorm / base
-				cnt++
-			}
-		}
-		if cnt > 0 {
-			fHat /= float64(cnt)
-		} else {
-			fHat = 1
-		}
-		rows := len(train) + liveWeight*len(obs)
-		X := mat.NewDense(rows, s.Features.Cols)
-		tTargets := mat.NewVec(rows)
-		aTargets := mat.NewVec(rows)
-		// Replay: the original profiling measurements, drift-corrected.
-		for k, j := range train {
-			copy(X.Row(k), s.Features.Row(j))
-			tTargets[k] = s.MeasT.At(i, j) * fHat
-			aTargets[k] = s.MeasA.At(i, j)
-		}
-		// Live observations, duplicated for weight.
-		at := len(train)
-		for _, ob := range obs {
-			for d := 0; d < liveWeight; d++ {
-				copy(X.Row(at), s.Features.Row(ob.TaskIdx))
-				tTargets[at] = ob.TimeNorm
-				if ob.Succeeded {
-					aTargets[at] = 1
-				}
-				at++
-			}
-		}
-		timeCfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16, Optimizer: nn.NewAdam(5e-4)}
-		nn.TrainMSE(set.Preds[i].Time, X, tTargets, timeCfg, r.SplitIndexed("time", i))
-		relCfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16, Optimizer: nn.NewAdam(5e-4)}
-		nn.TrainMSE(set.Preds[i].Rel, X, aTargets, relCfg, r.SplitIndexed("rel", i))
+	})
+}
+
+// refitCluster fine-tunes cluster i's time and reliability networks.
+func refitCluster(set *core.PredictorSet, s *workload.Scenario, train []int, obs []Observation, i, liveWeight, epochs int, r *rng.Source) {
+	if len(obs) < 4 {
+		return // too little signal to fine-tune on
 	}
+	// Estimate the cluster's current speed factor from paired
+	// live-vs-profiled durations of the same tasks (recent half of the
+	// buffer). Replay targets are rescaled by it, so the anchor tracks
+	// regime changes instead of fighting them.
+	fHat := 0.0
+	cnt := 0
+	for _, ob := range obs[len(obs)/2:] {
+		if base := s.MeasT.At(i, ob.TaskIdx); base > 1e-9 {
+			fHat += ob.TimeNorm / base
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		fHat /= float64(cnt)
+	} else {
+		fHat = 1
+	}
+	rows := len(train) + liveWeight*len(obs)
+	X := mat.NewDense(rows, s.Features.Cols)
+	tTargets := mat.NewVec(rows)
+	aTargets := mat.NewVec(rows)
+	// Replay: the original profiling measurements, drift-corrected.
+	for k, j := range train {
+		copy(X.Row(k), s.Features.Row(j))
+		tTargets[k] = s.MeasT.At(i, j) * fHat
+		aTargets[k] = s.MeasA.At(i, j)
+	}
+	// Live observations, duplicated for weight.
+	at := len(train)
+	for _, ob := range obs {
+		for d := 0; d < liveWeight; d++ {
+			copy(X.Row(at), s.Features.Row(ob.TaskIdx))
+			tTargets[at] = ob.TimeNorm
+			if ob.Succeeded {
+				aTargets[at] = 1
+			}
+			at++
+		}
+	}
+	timeCfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16, Optimizer: nn.NewAdam(5e-4)}
+	nn.TrainMSE(set.Preds[i].Time, X, tTargets, timeCfg, r.SplitIndexed("time", i))
+	relCfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16, Optimizer: nn.NewAdam(5e-4)}
+	nn.TrainMSE(set.Preds[i].Rel, X, aTargets, relCfg, r.SplitIndexed("rel", i))
 }

@@ -18,7 +18,6 @@ import (
 	"mfcp/internal/mat"
 	"mfcp/internal/metrics"
 	"mfcp/internal/sched"
-	"mfcp/internal/taskgraph"
 	"mfcp/internal/workload"
 )
 
@@ -119,63 +118,19 @@ type Report struct {
 	TotalMakespanSeconds float64
 }
 
-// Run executes a full platform simulation.
+// Run executes a full platform simulation on the sharded serving engine
+// (engine.go): rounds are sampled serially, evaluated across
+// parallel.Workers() shards, and reduced in round order, so the report is
+// bit-identical at any worker count.
 func Run(cfg Config) (*Report, error) {
 	cfg.fillDefaults()
-	s, err := workload.New(cfg.Scenario)
+	e, err := newEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	train, live := s.Split(cfg.TrainFrac)
-
-	method, err := buildMethod(cfg, s, train)
-	if err != nil {
-		return nil, err
-	}
-	mc := cfg.Match
-	if cfg.Parallel && mc.Speedups == nil {
-		for _, p := range s.Fleet {
-			mc.Speedups = append(mc.Speedups, p.Speedup)
-		}
-	}
-
-	mode := sched.Sequential
-	if cfg.Parallel {
-		mode = sched.Parallel
-	}
-	roundStream := s.Stream("platform-rounds")
-	execStream := s.Stream("platform-exec")
-	rep := &Report{Method: method.Name()}
-	for k := 0; k < cfg.Rounds; k++ {
-		round := s.SampleRound(live, cfg.RoundSize, roundStream)
-		That, Ahat := method.Predict(round)
-		assign := mc.Solve(That, Ahat)
-
-		trueT, trueA := s.TrueMatrices(round)
-		applyDrift(trueT, cfg.Drift, k)
-		trueProb := mc.Problem(trueT, trueA)
-		oracle := mc.Solve(trueT, trueA)
-		ev := metrics.Evaluate(trueProb, assign, oracle)
-		exec := sched.Execute(s.Fleet, gatherTasks(s, round), assign, mode, execStream.SplitIndexed("round", k))
-		scaleExecution(&exec, assign, cfg.Drift, k)
-
-		rep.Rounds = append(rep.Rounds, RoundReport{
-			Round: k, TaskIdx: round, Assignment: assign, Eval: ev, Execution: exec,
-		})
-		rep.MeanRegret += ev.Regret
-		rep.MeanReliability += ev.Reliability
-		rep.MeanUtilization += ev.Utilization
-		rep.MeanSuccessRate += exec.SuccessRate
-		for _, b := range exec.Busy {
-			rep.TotalBusySeconds += b
-		}
-		rep.TotalMakespanSeconds += exec.Makespan
-	}
-	n := float64(cfg.Rounds)
-	rep.MeanRegret /= n
-	rep.MeanReliability /= n
-	rep.MeanUtilization /= n
-	rep.MeanSuccessRate /= n
+	rep := &Report{Method: e.method.Name()}
+	e.serve(rep, 0, cfg.Rounds)
+	finalize(rep, cfg.Rounds)
 	return rep, nil
 }
 
@@ -250,13 +205,4 @@ func scaleExecution(exec *sched.Result, assign []int, drift []cluster.Drift, rou
 	if exec.Makespan > 0 {
 		exec.Utilization = sum / (float64(len(exec.Busy)) * exec.Makespan)
 	}
-}
-
-// gatherTasks resolves pool indices to their tasks.
-func gatherTasks(s *workload.Scenario, round []int) []*taskgraph.Task {
-	out := make([]*taskgraph.Task, len(round))
-	for i, j := range round {
-		out[i] = s.Pool[j]
-	}
-	return out
 }

@@ -216,6 +216,17 @@ func (s *Scenario) FeaturesOf(idx []int) *mat.Dense {
 	return out
 }
 
+// FeaturesInto is FeaturesOf with a caller-owned destination (reshaped in
+// place and returned), so per-round serving shards gather features without
+// allocating. dst must not alias s.Features.
+func (s *Scenario) FeaturesInto(idx []int, dst *mat.Dense) *mat.Dense {
+	dst.Reshape(len(idx), s.Features.Cols)
+	for k, j := range idx {
+		copy(dst.Row(k), s.Features.Row(j))
+	}
+	return dst
+}
+
 // gather copies columns idx of src (M × pool) into an M × len(idx) matrix.
 func (s *Scenario) gather(src *mat.Dense, idx []int) *mat.Dense {
 	out := mat.NewDense(src.Rows, len(idx))
@@ -233,6 +244,28 @@ func (s *Scenario) gather(src *mat.Dense, idx []int) *mat.Dense {
 // shaped M × len(idx) as the matcher expects.
 func (s *Scenario) TrueMatrices(idx []int) (T, A *mat.Dense) {
 	return s.gather(s.TrueT, idx), s.gather(s.TrueA, idx)
+}
+
+// TrueMatricesInto is TrueMatrices into caller-owned destinations (reshaped
+// in place). Serving shards reuse the same two matrices every round; the
+// copies are theirs to mutate (e.g. drift application) without touching the
+// scenario's ground truth.
+func (s *Scenario) TrueMatricesInto(idx []int, T, A *mat.Dense) {
+	s.gatherInto(s.TrueT, idx, T)
+	s.gatherInto(s.TrueA, idx, A)
+}
+
+// gatherInto copies columns idx of src (M × pool) into dst, reshaped to
+// M × len(idx).
+func (s *Scenario) gatherInto(src *mat.Dense, idx []int, dst *mat.Dense) {
+	dst.Reshape(src.Rows, len(idx))
+	for i := 0; i < src.Rows; i++ {
+		row := src.Row(i)
+		orow := dst.Row(i)
+		for k, j := range idx {
+			orow[k] = row[j]
+		}
+	}
 }
 
 // MeasuredMatrices returns the noisy profiling observations (T, A) for the
