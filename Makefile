@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet test race race-serving bench bench-matching bench-train bench-platform bench-compare
+.PHONY: ci vet test race race-serving bench bench-matching bench-train bench-platform bench-compare obs-demo
 
 ci: vet race
 
@@ -23,6 +23,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Live-telemetry demo: an online platform run that keeps its /metrics,
+# expvar, and pprof endpoints up after the simulation finishes. Point a
+# browser or `curl -s localhost:9090/metrics | grep mfcp_` at it.
+obs-demo:
+	$(GO) run ./cmd/platformsim -method tsm -online -rounds 60 -pool 48 -n 4 \
+		-refit-every 5 -metrics-addr 127.0.0.1:9090 -hold
 
 # Matching-kernel micro-benchmarks; BENCH_matching.json records the
 # before/after numbers for the allocation-free workspace rewrite.

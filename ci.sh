@@ -11,3 +11,37 @@ go build ./...
 # likeliest source of new races, so fail fast on it before the full sweep.
 go test -race ./internal/platform ./internal/parallel
 go test -race ./...
+
+# Telemetry endpoint smoke test: run an online simulation with a live
+# /metrics endpoint, then assert the key series families are served.
+BIN=$(mktemp -d)/platformsim
+go build -o "$BIN" ./cmd/platformsim
+ADDR=127.0.0.1:19309
+"$BIN" -method tsm -online -rounds 60 -pool 48 -n 4 -refit-every 5 \
+	-metrics-addr "$ADDR" -hold >/dev/null 2>&1 &
+SIM_PID=$!
+trap 'kill "$SIM_PID" 2>/dev/null || true' EXIT
+# Poll until at least one refit has been published (the run is live).
+for i in $(seq 1 120); do
+	if curl -sf "http://$ADDR/metrics" 2>/dev/null | grep -q '^mfcp_refits_total [1-9]'; then
+		break
+	fi
+	sleep 0.5
+done
+METRICS=$(curl -sf "http://$ADDR/metrics")
+echo "$METRICS" | grep -q '^mfcp_refits_total [1-9]'
+for series in \
+	mfcp_ring_dropped_total \
+	mfcp_refit_seconds_count \
+	mfcp_snapshot_version \
+	mfcp_phase_sample_seconds_count \
+	mfcp_phase_predict_seconds_count \
+	mfcp_phase_solve_seconds_count \
+	mfcp_embed_cache_hits_total \
+	mfcp_embed_cache_misses_total \
+	mfcp_rolling_regret; do
+	echo "$METRICS" | grep -q "^$series"
+done
+kill "$SIM_PID" 2>/dev/null || true
+trap - EXIT
+echo "telemetry smoke test passed"

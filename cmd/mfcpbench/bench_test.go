@@ -27,13 +27,19 @@ func BenchmarkPretrain(b *testing.B) { benchPretrain(b) }
 func BenchmarkTrainMFCP(b *testing.B) { benchTrainMFCP(b) }
 
 // BenchmarkPlatformThroughput sweeps the concurrent serving engine over
-// worker counts, reporting rounds/sec and tasks/sec (BENCH_platform.json
-// records the curve; reproduce with `make bench-platform`). The engine is
-// built once — the sweep measures serving, not training.
+// worker counts, bare and with a live metrics registry attached, reporting
+// rounds/sec and tasks/sec (BENCH_platform.json records the curve and the
+// instrumentation overhead; reproduce with `make bench-platform`). The
+// engines are built once — the sweep measures serving, not training.
 func BenchmarkPlatformThroughput(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			benchPlatformThroughput(b, w)
+			benchPlatformThroughput(b, w, false)
+		})
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d/telemetry", w), func(b *testing.B) {
+			benchPlatformThroughput(b, w, true)
 		})
 	}
 }

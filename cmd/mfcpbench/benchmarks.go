@@ -15,6 +15,7 @@ import (
 
 	"mfcp/internal/core"
 	"mfcp/internal/embed"
+	"mfcp/internal/obs"
 	"mfcp/internal/parallel"
 	"mfcp/internal/platform"
 	"mfcp/internal/workload"
@@ -27,10 +28,14 @@ var trainBenchmarks = []struct {
 }{
 	{"Pretrain", benchPretrain},
 	{"TrainMFCP", benchTrainMFCP},
-	{"PlatformThroughput/workers=1", func(b *testing.B) { benchPlatformThroughput(b, 1) }},
-	{"PlatformThroughput/workers=2", func(b *testing.B) { benchPlatformThroughput(b, 2) }},
-	{"PlatformThroughput/workers=4", func(b *testing.B) { benchPlatformThroughput(b, 4) }},
-	{"PlatformThroughput/workers=8", func(b *testing.B) { benchPlatformThroughput(b, 8) }},
+	{"PlatformThroughput/workers=1", func(b *testing.B) { benchPlatformThroughput(b, 1, false) }},
+	{"PlatformThroughput/workers=2", func(b *testing.B) { benchPlatformThroughput(b, 2, false) }},
+	{"PlatformThroughput/workers=4", func(b *testing.B) { benchPlatformThroughput(b, 4, false) }},
+	{"PlatformThroughput/workers=8", func(b *testing.B) { benchPlatformThroughput(b, 8, false) }},
+	{"PlatformThroughput/workers=1/telemetry", func(b *testing.B) { benchPlatformThroughput(b, 1, true) }},
+	{"PlatformThroughput/workers=2/telemetry", func(b *testing.B) { benchPlatformThroughput(b, 2, true) }},
+	{"PlatformThroughput/workers=4/telemetry", func(b *testing.B) { benchPlatformThroughput(b, 4, true) }},
+	{"PlatformThroughput/workers=8/telemetry", func(b *testing.B) { benchPlatformThroughput(b, 8, true) }},
 }
 
 // trainBenchScenario builds the small fixed workload shared by the training
@@ -73,28 +78,38 @@ func benchTrainMFCP(b *testing.B) {
 	}
 }
 
-// platformBenchEngine builds the shared serving engine once: the throughput
-// sweep measures serving, not scenario construction or method training.
+// platformBenchEngine builds the shared serving engines once (one bare, one
+// with a live metrics registry attached): the throughput sweep measures
+// serving, not scenario construction or method training. The telemetry
+// variant quantifies instrumentation overhead against the same workload.
 var (
-	platformEngOnce sync.Once
-	platformEng     *platform.Engine
+	platformEngOnce [2]sync.Once
+	platformEngs    [2]*platform.Engine
 )
 
-func platformBenchEngine() *platform.Engine {
-	platformEngOnce.Do(func() {
-		en, err := platform.NewEngine(platform.Config{
+func platformBenchEngine(telemetry bool) *platform.Engine {
+	idx := 0
+	if telemetry {
+		idx = 1
+	}
+	platformEngOnce[idx].Do(func() {
+		cfg := platform.Config{
 			Scenario:       workload.Config{PoolSize: 120, FeatureDim: 16, Seed: 42},
 			Method:         platform.MethodTSM,
 			RoundSize:      6,
 			PretrainEpochs: 40,
 			Hidden:         []int{16},
-		})
+		}
+		if telemetry {
+			cfg.Telemetry = obs.NewRegistry()
+		}
+		en, err := platform.NewEngine(cfg)
 		if err != nil {
 			panic(err)
 		}
-		platformEng = en
+		platformEngs[idx] = en
 	})
-	return platformEng
+	return platformEngs[idx]
 }
 
 // benchServeRounds is the number of allocation rounds per benchmark op.
@@ -103,8 +118,10 @@ const benchServeRounds = 32
 // benchPlatformThroughput measures the serving engine end to end — round
 // sampling, NN prediction, relaxed matching, oracle scoring, simulated
 // execution — at a pinned worker count, reporting rounds/sec and tasks/sec.
-func benchPlatformThroughput(b *testing.B, workers int) {
-	en := platformBenchEngine()
+// With telemetry, every round additionally records its phase spans, solver
+// convergence, and rolling-quality gauges into a live registry.
+func benchPlatformThroughput(b *testing.B, workers int, telemetry bool) {
+	en := platformBenchEngine(telemetry)
 	defer parallel.SetWorkers(parallel.SetWorkers(workers))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -157,8 +174,12 @@ func runBenchmarks(pattern string, count int) int {
 		fmt.Fprintln(os.Stderr, ")")
 		return 2
 	}
-	st := embed.CacheStatsFull()
-	fmt.Fprintf(os.Stderr, "[embed cache: %d hits, %d misses, %d evictions, %d entries]\n",
-		st.Hits, st.Misses, st.Evictions, st.Size)
+	// One-shot telemetry digest: process-wide instruments (currently the
+	// embedding cache) snapshotted through the metrics registry, replacing
+	// the old hand-rolled cache print.
+	reg := obs.NewRegistry()
+	embed.RegisterMetrics(reg)
+	fmt.Fprintln(os.Stderr, "--- telemetry ---")
+	_ = reg.WriteSummary(os.Stderr)
 	return 0
 }

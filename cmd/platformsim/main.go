@@ -1,38 +1,71 @@
 // Command platformsim runs the computing resource exchange platform
 // end-to-end: profiling, predictor training, then live allocation rounds
-// with simulated execution and failures.
+// with simulated execution and failures. With -online the predictors also
+// refit periodically from realized executions; with -metrics-addr the run
+// exposes live Prometheus-text /metrics, expvar, and pprof endpoints.
 //
 // Usage:
 //
 //	platformsim -method mfcp-fg -rounds 100
 //	platformsim -method tsm -setting C -parallel -v
+//	platformsim -method tsm -online -metrics-addr 127.0.0.1:9090 -hold
+//	curl -s http://127.0.0.1:9090/metrics | grep mfcp_
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mfcp"
+	"mfcp/internal/embed"
+	"mfcp/internal/obs"
 	"mfcp/internal/platform"
 	"mfcp/internal/workload"
 )
 
 func main() {
 	var (
-		method    = flag.String("method", "mfcp-fg", "tam|tsm|ucb|mfcp-ad|mfcp-fg")
-		setting   = flag.String("setting", "A", "cluster setting A|B|C")
-		seed      = flag.Uint64("seed", 1, "scenario seed")
-		pool      = flag.Int("pool", 160, "task pool size")
-		rounds    = flag.Int("rounds", 50, "allocation rounds to simulate")
-		roundSize = flag.Int("n", 5, "tasks per round")
-		parallel  = flag.Bool("parallel", false, "parallel task execution (§3.4)")
-		verbose   = flag.Bool("v", false, "print every round")
+		method      = flag.String("method", "mfcp-fg", "tam|tsm|ucb|mfcp-ad|mfcp-fg")
+		setting     = flag.String("setting", "A", "cluster setting A|B|C")
+		seed        = flag.Uint64("seed", 1, "scenario seed")
+		pool        = flag.Int("pool", 160, "task pool size")
+		rounds      = flag.Int("rounds", 50, "allocation rounds to simulate")
+		roundSize   = flag.Int("n", 5, "tasks per round")
+		parallel    = flag.Bool("parallel", false, "parallel task execution (§3.4)")
+		verbose     = flag.Bool("v", false, "print every round")
+		online      = flag.Bool("online", false, "refit predictors from live observations (tsm/mfcp-* only)")
+		refitEvery  = flag.Int("refit-every", 10, "rounds per refit window (with -online)")
+		asyncRefit  = flag.Bool("async-refit", false, "train refits in the background (with -online)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
+		hold        = flag.Bool("hold", false, "keep serving the metrics endpoint after the run until interrupted")
 	)
 	flag.Parse()
 
-	rep, err := mfcp.RunPlatform(platform.Config{
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Telemetry is always collected (it is allocation-free and does not
+	// perturb the trajectory); -metrics-addr additionally serves it live.
+	reg := obs.NewRegistry()
+	embed.RegisterMetrics(reg)
+	var srv *obs.Server
+	if *metricsAddr != "" {
+		var err error
+		srv, err = obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "[metrics on http://%s/metrics, pprof on /debug/pprof/]\n", srv.Addr())
+	}
+
+	cfg := platform.Config{
 		Scenario: workload.Config{
 			Setting:  mfcp.Setting(strings.ToUpper(*setting)),
 			PoolSize: *pool,
@@ -42,10 +75,28 @@ func main() {
 		Rounds:    *rounds,
 		RoundSize: *roundSize,
 		Parallel:  *parallel,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		Telemetry: reg,
+	}
+
+	var rep *mfcp.PlatformReport
+	var orep *mfcp.OnlineReport
+	if *online {
+		var err error
+		orep, err = mfcp.RunPlatformOnline(mfcp.OnlineConfig{
+			Config:     cfg,
+			RefitEvery: *refitEvery,
+			AsyncRefit: *asyncRefit,
+		})
+		if err != nil {
+			fail(err)
+		}
+		rep = &orep.Report
+	} else {
+		var err error
+		rep, err = mfcp.RunPlatform(cfg)
+		if err != nil {
+			fail(err)
+		}
 	}
 
 	if *verbose {
@@ -55,12 +106,28 @@ func main() {
 				r.Execution.Makespan, 100*r.Execution.SuccessRate)
 		}
 	}
-	fmt.Printf("platform simulation: method=%s setting=%s rounds=%d N=%d parallel=%v\n",
-		rep.Method, strings.ToUpper(*setting), *rounds, *roundSize, *parallel)
+	fmt.Printf("platform simulation: method=%s setting=%s rounds=%d N=%d parallel=%v online=%v\n",
+		rep.Method, strings.ToUpper(*setting), *rounds, *roundSize, *parallel, *online)
 	fmt.Printf("  mean regret        %.4f\n", rep.MeanRegret)
 	fmt.Printf("  mean reliability   %.4f\n", rep.MeanReliability)
 	fmt.Printf("  mean utilization   %.4f\n", rep.MeanUtilization)
 	fmt.Printf("  task success rate  %.1f%%\n", 100*rep.MeanSuccessRate)
 	fmt.Printf("  simulated compute  %.1f cluster-hours over %.1f wall-clock hours\n",
 		rep.TotalBusySeconds/3600, rep.TotalMakespanSeconds/3600)
+	if orep != nil {
+		fmt.Printf("  refits             %d (ring drops %d)\n", orep.Refits, orep.RingDropped)
+	}
+
+	// One-shot telemetry digest on exit, endpoint or not.
+	fmt.Println("--- telemetry ---")
+	if err := reg.WriteSummary(os.Stdout); err != nil {
+		fail(err)
+	}
+
+	if *hold && srv != nil {
+		fmt.Fprintf(os.Stderr, "[holding metrics endpoint on %s; interrupt to exit]\n", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
 }

@@ -1,0 +1,34 @@
+package core
+
+import "mfcp/internal/obs"
+
+// trainerMetrics are the training-loop instruments, pre-bound at the start
+// of Train so the per-epoch recording cost is a handful of atomic ops. With
+// no registry configured every field is nil and recording is a no-op (the
+// obs package's nil-instrument contract), so the training loop carries the
+// instrumentation unconditionally.
+type trainerMetrics struct {
+	pretrain *obs.Timer
+	epoch    *obs.Timer
+
+	epochs      *obs.Counter
+	skipped     *obs.Counter
+	trainRegret *obs.Gauge
+	valRegret   *obs.Gauge
+}
+
+func newTrainerMetrics(reg *obs.Registry) trainerMetrics {
+	tr := obs.NewTracer(reg, "mfcp_train")
+	return trainerMetrics{
+		pretrain: tr.Phase("pretrain"),
+		epoch:    tr.Phase("epoch"),
+		epochs: reg.Counter("mfcp_train_epochs_total",
+			"end-to-end regret-descent epochs completed"),
+		skipped: reg.Counter("mfcp_train_skipped_epochs_total",
+			"epochs skipped because the matching gradient was unavailable"),
+		trainRegret: reg.Gauge("mfcp_train_regret",
+			"discrete training regret of the most recent epoch's round"),
+		valRegret: reg.Gauge("mfcp_train_val_regret",
+			"best held-out validation regret seen so far"),
+	}
+}

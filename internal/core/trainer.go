@@ -6,6 +6,7 @@ import (
 	"mfcp/internal/mat"
 	"mfcp/internal/matching"
 	"mfcp/internal/nn"
+	"mfcp/internal/obs"
 	"mfcp/internal/parallel"
 	"mfcp/internal/rng"
 	"mfcp/internal/workload"
@@ -112,9 +113,17 @@ func (mc MatchConfig) Solve(T, A *mat.Dense) []int {
 // workspace's next use. A nil ws allocates fresh buffers, exactly like
 // Solve.
 func (mc MatchConfig) SolveWS(T, A *mat.Dense, ws *matching.Workspace) []int {
+	assign, _ := mc.SolveWSInfo(T, A, ws)
+	return assign
+}
+
+// SolveWSInfo is SolveWS plus the repair telemetry record. The relaxed
+// solver's own convergence record lands in ws.Info (when ws is non-nil);
+// read both before the workspace's next solve.
+func (mc MatchConfig) SolveWSInfo(T, A *mat.Dense, ws *matching.Workspace) ([]int, matching.RepairInfo) {
 	p := mc.Problem(T, A)
 	X := matching.SolveRelaxedWS(p, matching.SolveOptions{Iters: mc.SolveIters}, ws)
-	return matching.Repair(p, matching.Round(X))
+	return matching.RepairWithInfo(p, matching.Round(X))
 }
 
 // Config parameterizes MFCP training.
@@ -172,6 +181,10 @@ type Config struct {
 	// start MFCP from exactly the two-stage baseline's weights so the
 	// comparison isolates the regret-descent phase.
 	Warm *PredictorSet
+	// Telemetry optionally receives training instruments (phase timers,
+	// epoch counters, rolling regret gauges). Nil disables recording; the
+	// training trajectory is identical either way.
+	Telemetry *obs.Registry
 }
 
 func boolPtr(b bool) *bool { return &b }
@@ -315,6 +328,7 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 	cfg.fillDefaults()
 	tr := &Trainer{Cfg: cfg, Scen: s, name: cfg.Kind.String()}
 	stream := s.Stream("mfcp-" + cfg.Kind.String())
+	met := newTrainerMetrics(cfg.Telemetry)
 
 	// Phase 1: MSE warm start (identical to the two-stage baseline), or a
 	// caller-provided warm set.
@@ -322,7 +336,9 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 		tr.Set = cfg.Warm.Clone()
 	} else {
 		tr.Set = NewPredictorSet(s.M(), s.Features.Cols, cfg.Hidden, stream.Split("init"))
+		sp := met.pretrain.Start()
 		PretrainMSE(tr.Set, s, train, cfg.PretrainEpochs, stream.Split("pretrain"))
+		sp.End()
 	}
 
 	// Phase 2: end-to-end regret descent.
@@ -379,6 +395,7 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 	bestSet := tr.Set.Clone()
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		sp := met.epoch.Start()
 		round := s.SampleRound(fitIdx, cfg.RoundSize, roundStream)
 		Z := s.FeaturesOf(round)
 		Tm, Am := s.MeasuredMatrices(round)
@@ -388,8 +405,12 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 		That, Ahat := tr.that, tr.ahat
 		dT, dA, trainRegret, err := tr.matchingGrads(trueProb, That, Ahat, Tm, Am, gradStream.SplitIndexed("epoch", epoch))
 		tr.History = append(tr.History, trainRegret)
+		met.epochs.Inc()
+		met.trainRegret.Set(trainRegret)
 		if err != nil {
 			tr.SkippedEpochs++
+			met.skipped.Inc()
+			sp.End()
 			continue
 		}
 		if cfg.MSEAnchor > 0 {
@@ -442,7 +463,9 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 				bestVal = v
 				bestSet = tr.Set.Clone()
 			}
+			met.valRegret.Set(bestVal)
 		}
+		sp.End()
 	}
 	if len(valRounds) > 0 {
 		// Final check, then restore the best snapshot seen.
@@ -452,6 +475,7 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 		}
 		tr.Set = bestSet
 		tr.ValRegret = bestVal
+		met.valRegret.Set(bestVal)
 	}
 	return tr
 }

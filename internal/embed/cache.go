@@ -2,6 +2,7 @@ package embed
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"mfcp/internal/mat"
 	"mfcp/internal/taskgraph"
@@ -34,10 +35,13 @@ var (
 	embedMu    sync.RWMutex
 	embedCache = make(map[embedKey][]float64)
 	// embedOrder tracks insertion order for FIFO eviction.
-	embedOrder     []embedKey
-	embedHits      uint64
-	embedMisses    uint64
-	embedEvictions uint64
+	embedOrder []embedKey
+	// Hit/miss/eviction counters are atomics, not mutex-guarded: lookups on
+	// the embedding hot path record them lock-free, and the telemetry
+	// registry reads them live (RegisterMetrics).
+	embedHits      atomic.Uint64
+	embedMisses    atomic.Uint64
+	embedEvictions atomic.Uint64
 )
 
 // cacheLookup copies the cached embedding for k into dst and reports whether
@@ -62,7 +66,7 @@ func cacheStore(k embedKey, v mat.Vec) {
 		old := embedOrder[0]
 		embedOrder = embedOrder[1:]
 		delete(embedCache, old)
-		embedEvictions++
+		embedEvictions.Add(1)
 	}
 	embedCache[k] = append([]float64(nil), v...)
 	embedOrder = append(embedOrder, k)
@@ -81,8 +85,9 @@ type Stats struct {
 // CacheStatsFull returns the full embedding cache counter snapshot.
 func CacheStatsFull() Stats {
 	embedMu.RLock()
-	defer embedMu.RUnlock()
-	return Stats{Hits: embedHits, Misses: embedMisses, Evictions: embedEvictions, Size: len(embedCache)}
+	size := len(embedCache)
+	embedMu.RUnlock()
+	return Stats{Hits: embedHits.Load(), Misses: embedMisses.Load(), Evictions: embedEvictions.Load(), Size: size}
 }
 
 // CacheStats returns the process-wide embedding cache hit/miss counters.
@@ -96,22 +101,15 @@ func ResetCache() {
 	embedMu.Lock()
 	embedCache = make(map[embedKey][]float64)
 	embedOrder = nil
-	embedHits, embedMisses, embedEvictions = 0, 0, 0
 	embedMu.Unlock()
+	embedHits.Store(0)
+	embedMisses.Store(0)
+	embedEvictions.Store(0)
 }
 
 func (e *Embedder) key(t *taskgraph.Task) embedKey {
 	return embedKey{seed: e.seed, dim: e.Dim, fp: t.Fingerprint()}
 }
 
-func recordHit() {
-	embedMu.Lock()
-	embedHits++
-	embedMu.Unlock()
-}
-
-func recordMiss() {
-	embedMu.Lock()
-	embedMisses++
-	embedMu.Unlock()
-}
+func recordHit()  { embedHits.Add(1) }
+func recordMiss() { embedMisses.Add(1) }

@@ -1,0 +1,26 @@
+package embed
+
+import "mfcp/internal/obs"
+
+// RegisterMetrics exposes the process-wide embedding cache counters on reg.
+// The instruments are read-through (CounterFunc/GaugeFunc): exports read the
+// live atomics, so registration costs nothing on the embedding hot path.
+// Safe to call more than once per registry and a no-op when reg is nil.
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("mfcp_embed_cache_hits_total",
+		"embedding cache lookups served from cache", embedHits.Load)
+	reg.CounterFunc("mfcp_embed_cache_misses_total",
+		"embedding cache lookups that recomputed the embedding", embedMisses.Load)
+	reg.CounterFunc("mfcp_embed_cache_evictions_total",
+		"embedding cache FIFO evictions after the cache filled", embedEvictions.Load)
+	reg.GaugeFunc("mfcp_embed_cache_size",
+		"current number of cached embeddings", func() float64 {
+			embedMu.RLock()
+			n := len(embedCache)
+			embedMu.RUnlock()
+			return float64(n)
+		})
+}

@@ -57,6 +57,20 @@ func SolveRelaxed(p *Problem, opts SolveOptions) *mat.Dense {
 	return SolveRelaxedWS(p, opts, nil)
 }
 
+// SolveInfo is the convergence record of one relaxed solve, written into
+// the workspace (Workspace.Info) so serving loops can surface
+// iterations-to-convergence without timing hooks inside the solver. Plain
+// field writes — recording it keeps the solve allocation-free.
+type SolveInfo struct {
+	// Iters is the number of gradient iterations executed.
+	Iters int
+	// Converged reports an early stop on Tol (false = ran to the cap).
+	Converged bool
+	// FinalDelta is the last measured ‖X_{k+1} − X_k‖∞ (0 until the first
+	// convergence check at iteration 5).
+	FinalDelta float64
+}
+
 // SolveRelaxedWS is SolveRelaxed with every scratch buffer — including the
 // iterate itself — taken from ws, making the whole call allocation-free
 // (TestSolveRelaxedZeroAllocs asserts zero heap objects per call). The
@@ -82,6 +96,7 @@ func SolveRelaxedWS(p *Problem, opts SolveOptions, ws *Workspace) *mat.Dense {
 		X.Fill(1 / float64(p.M()))
 	}
 	prev.CopyFrom(X)
+	ws.Info = SolveInfo{Iters: opts.Iters}
 	for it := 0; it < opts.Iters; it++ {
 		p.GradXWS(X, grad, ws)
 		switch opts.Method {
@@ -145,7 +160,10 @@ func SolveRelaxedWS(p *Problem, opts SolveOptions, ws *Workspace) *mat.Dense {
 					maxDelta = d
 				}
 			}
+			ws.Info.FinalDelta = maxDelta
 			if maxDelta < opts.Tol {
+				ws.Info.Iters = it + 1
+				ws.Info.Converged = true
 				break
 			}
 			prev.CopyFrom(X)
@@ -265,12 +283,38 @@ func (p *Problem) DiscreteReliability(assign []int) float64 {
 // reference: candidates are enumerated in the same order, compared against
 // the same base cost, and accepted under the same strict thresholds.
 func Repair(p *Problem, assign []int) []int {
+	out, _ := RepairWithInfo(p, assign)
+	return out
+}
+
+// RepairInfo accounts one Repair call: how far the local search moved the
+// assignment and what it bought. Serving telemetry feeds these into the
+// repair-delta histograms; CostBefore − CostAfter is the makespan the
+// repair recovered on top of the rounded relaxation.
+type RepairInfo struct {
+	// FeasMoves counts phase-1 reliability-restoring moves.
+	FeasMoves int
+	// Moves and Swaps count accepted phase-2 improvement steps.
+	Moves, Swaps int
+	// CostBefore/CostAfter bracket the discrete objective across the call.
+	CostBefore, CostAfter float64
+	// RelBefore/RelAfter bracket the mean reliability across the call.
+	RelBefore, RelAfter float64
+}
+
+// RepairWithInfo is Repair plus the move/delta accounting above. Identical
+// accepted-move sequence to Repair (it IS Repair; the counters are pure
+// observation).
+func RepairWithInfo(p *Problem, assign []int) ([]int, RepairInfo) {
+	var info RepairInfo
 	out := append([]int(nil), assign...)
 	n := len(out)
 	if n == 0 {
-		return out
+		return out, info
 	}
 	st := newRepairState(p, out)
+	info.CostBefore = st.cost()
+	info.RelBefore = st.relSum / float64(n)
 	// Phase 1: feasibility. While the mean reliability misses γ, apply the
 	// move with the best reliability gain per unit cost increase.
 	for iter := 0; iter < 2*n; iter++ {
@@ -300,6 +344,7 @@ func Repair(p *Problem, assign []int) []int {
 			break // no reliability-improving move exists
 		}
 		st.applyMove(bestJ, bestI)
+		info.FeasMoves++
 	}
 	// Phase 2: makespan local search with feasibility preserved — greedy
 	// single-task moves plus pairwise swaps (which escape the local optima
@@ -326,6 +371,7 @@ func Repair(p *Problem, assign []int) []int {
 					feasible = st.feasible()
 					cur = i
 					improved = true
+					info.Moves++
 				}
 			}
 		}
@@ -340,11 +386,14 @@ func Repair(p *Problem, assign []int) []int {
 					baseCost = st.cost()
 					feasible = st.feasible()
 					improved = true
+					info.Swaps++
 				}
 			}
 		}
 	}
-	return out
+	info.CostAfter = st.cost()
+	info.RelAfter = st.relSum / float64(n)
+	return out, info
 }
 
 // Solve runs the full pipeline: relax → optimize → round → repair. It

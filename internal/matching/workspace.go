@@ -36,6 +36,11 @@ type Workspace struct {
 	// weight scratch used by Loads/GradX/SmoothTimeCost.
 	Loads   mat.Vec
 	Weights mat.Vec
+
+	// Info is the convergence record of the last SolveRelaxedWS run against
+	// this workspace — read it before the workspace's next solve. Serving
+	// telemetry turns it into iterations-to-convergence histograms.
+	Info SolveInfo
 }
 
 // NewWorkspace returns a Workspace sized for an m×n problem.

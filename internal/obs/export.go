@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus writes every registered instrument in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers, plain samples for
+// counters and gauges, and the cumulative _bucket/_sum/_count triplet for
+// histograms. Writers are never blocked — values are read atomically.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, in := range r.instruments() {
+		if in.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", in.name, in.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", in.name, in.kind); err != nil {
+			return err
+		}
+		var err error
+		switch in.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", in.name, in.counter.Value())
+		case kindCounterFunc:
+			_, err = fmt.Fprintf(w, "%s %d\n", in.name, in.cfn())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", in.name, fmtFloat(in.gauge.Value()))
+		case kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "%s %s\n", in.name, fmtFloat(in.gfn()))
+		case kindHistogram:
+			err = writeHistogram(w, in.name, in.hist.View())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, v HistView) error {
+	cum := uint64(0)
+	for i, bound := range v.Bounds {
+		cum += v.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += v.Counts[len(v.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(v.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, v.Count)
+	return err
+}
+
+func fmtFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// WriteSummary writes a one-shot human-readable digest: counters and gauges
+// with their values, histograms with count, mean, and p50/p90/p99 quantile
+// estimates. This is what platformsim prints on exit and what mfcpbench
+// reports after a benchmark run.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	for _, in := range r.instruments() {
+		var err error
+		switch in.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "  %-44s %d\n", in.name, in.counter.Value())
+		case kindCounterFunc:
+			_, err = fmt.Fprintf(w, "  %-44s %d\n", in.name, in.cfn())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "  %-44s %s\n", in.name, fmtFloat(in.gauge.Value()))
+		case kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "  %-44s %s\n", in.name, fmtFloat(in.gfn()))
+		case kindHistogram:
+			v := in.hist.View()
+			if v.Count == 0 {
+				_, err = fmt.Fprintf(w, "  %-44s count=0\n", in.name)
+				break
+			}
+			_, err = fmt.Fprintf(w, "  %-44s count=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g\n",
+				in.name, v.Count, v.Mean(), v.Quantile(0.5), v.Quantile(0.9), v.Quantile(0.99))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

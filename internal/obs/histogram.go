@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets with inclusive upper
+// bounds (Prometheus `le` semantics) plus an implicit +Inf overflow bucket,
+// and tracks the running sum and count. Observe is lock-free: one inlined
+// binary search plus three atomic updates, zero allocations
+// (TestInstrumentsZeroAllocs). Quantiles are estimated from the bucket
+// counts at export time — see HistView.Quantile for the accuracy contract.
+type Histogram struct {
+	bounds []float64       // immutable, strictly increasing upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// newHistogram builds a histogram over the given bucket upper bounds, which
+// must be strictly increasing and non-empty.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records v. Safe from any goroutine; no-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v; the search is written out
+	// inline so the hot path cannot allocate a closure.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// HistView is a point-in-time copy of a histogram's buckets, used for
+// quantile estimation and export. Counts[i] covers (Bounds[i-1], Bounds[i]];
+// the final entry is the +Inf overflow bucket.
+type HistView struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// View snapshots the histogram without blocking writers. Bucket counts are
+// read individually, so a view taken under concurrent writes may be off by
+// in-flight observations; it is never torn within one counter.
+func (h *Histogram) View() HistView {
+	if h == nil {
+		return HistView{}
+	}
+	v := HistView{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		v.Counts[i] = h.counts[i].Load()
+	}
+	return v
+}
+
+// Mean returns the mean observed value (NaN when empty).
+func (v *HistView) Mean() float64 {
+	if v.Count == 0 {
+		return math.NaN()
+	}
+	return v.Sum / float64(v.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket containing the target rank, assuming values spread
+// uniformly inside a bucket. The estimate is therefore within one bucket
+// width of the true sample quantile for non-negative data
+// (TestHistogramQuantileAccuracy pins this against sorted references). A
+// rank landing in the +Inf overflow bucket returns the largest finite
+// bound; an empty view returns NaN.
+func (v *HistView) Quantile(q float64) float64 {
+	if v.Count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(v.Count)
+	cum := 0.0
+	for i, c := range v.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(v.Bounds) {
+			return v.Bounds[len(v.Bounds)-1]
+		}
+		upper := v.Bounds[i]
+		lower := 0.0
+		if i > 0 {
+			lower = v.Bounds[i-1]
+		} else if upper <= 0 {
+			// Bucket 0 with a non-positive bound has no natural lower
+			// edge; report the bound itself rather than inventing one.
+			return upper
+		}
+		return lower + (rank-prev)/float64(c)*(upper-lower)
+	}
+	return v.Bounds[len(v.Bounds)-1]
+}
+
+// ExpBuckets returns n bucket bounds growing geometrically from start by
+// factor: start, start·factor, start·factor², …
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bucket bounds from start in steps of width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("obs: LinearBuckets needs width > 0, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// LatencyBuckets spans 1µs to ~8.4s in powers of two — wide enough for
+// everything from a single mirror-descent solve to a full refit.
+var LatencyBuckets = ExpBuckets(1e-6, 2, 24)

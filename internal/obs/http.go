@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler exposing the live telemetry surface:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/debug/vars     expvar JSON (includes runtime memstats)
+//	/debug/pprof/*  the standard pprof profiles (heap, profile, trace, …)
+//
+// The pprof routes are wired explicitly onto a private mux, so serving this
+// handler does not depend on http.DefaultServeMux.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "mfcp telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running telemetry endpoint.
+type Server struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// Serve binds addr (host:port; port 0 picks a free one) and serves the
+// telemetry handler on a background goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{srv: &http.Server{Handler: Handler(reg)}, lis: lis}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close shuts the endpoint down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

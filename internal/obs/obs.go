@@ -1,0 +1,87 @@
+// Package obs is the platform's telemetry substrate: a metrics registry of
+// atomic counters, gauges, and fixed-bucket histograms, lightweight span
+// tracing for phase timings, and text exporters (Prometheus exposition
+// format plus a human-readable summary). It is stdlib-only and designed
+// around one contract:
+//
+//	recording on a hot path is a few atomic operations and ZERO heap
+//	allocations; snapshotting/exporting never locks writers out.
+//
+// The registry's mutex guards only the instrument *list* (registration and
+// export iterate it); the instruments themselves are plain atomics that
+// writers hit lock-free. Exports therefore read values that are each
+// individually consistent but not collectively a point-in-time cut — the
+// standard trade metrics systems make.
+//
+// Optional telemetry gates through nil instruments rather than branches at
+// every call site: every recording method is a no-op on a nil receiver, and
+// a nil *Registry hands out nil instruments. A subsystem can thus pre-bind
+// its instruments once at construction ("registering" against a possibly
+// nil registry) and record unconditionally; with telemetry disabled each
+// record call costs one predictable nil check.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments the counter by n. Safe from any goroutine; no-op on nil.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down, stored as atomic bits. The
+// zero value is ready to use; a nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. Safe from any goroutine; no-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds d to the gauge (CAS loop; lock-free).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"mfcp/internal/parallel"
+	"mfcp/internal/rng"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d", c.Value())
+	}
+	if again := reg.Counter("c_total", "a counter"); again != c {
+		t.Fatal("re-registration must return the same counter")
+	}
+	g := reg.Gauge("g", "a gauge")
+	g.Set(-2.5)
+	g.Add(1.25)
+	if g.Value() != -1.25 {
+		t.Fatalf("gauge %v", g.Value())
+	}
+	// Nil instruments and a nil registry are silent no-ops.
+	var nilReg *Registry
+	nilReg.Counter("x", "").Add(3)
+	nilReg.Gauge("y", "").Set(1)
+	nilReg.Histogram("z", "", LatencyBuckets).Observe(1)
+	NewTracer(nilReg, "p").Phase("q").Start().End()
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind clash")
+		}
+	}()
+	reg.Gauge("m", "")
+}
+
+// bucketWidth returns the width of the bucket that holds v.
+func bucketWidth(bounds []float64, v float64) float64 {
+	i := sort.SearchFloat64s(bounds, v)
+	if i >= len(bounds) {
+		i = len(bounds) - 1
+	}
+	lower := 0.0
+	if i > 0 {
+		lower = bounds[i-1]
+	}
+	return bounds[i] - lower
+}
+
+// TestHistogramQuantileAccuracy pins the interpolation estimate against the
+// exact sample quantile of a sorted reference on several random
+// distributions: the error must stay within one bucket width.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	r := rng.New(7)
+	cases := []struct {
+		name   string
+		gen    func() float64
+		bounds []float64
+	}{
+		{"uniform", func() float64 { return r.Float64() }, LinearBuckets(0.05, 0.05, 20)},
+		{"exponential", func() float64 { return r.Exp(3) }, ExpBuckets(0.001, 1.5, 28)},
+		{"lognormal-latency", func() float64 { return r.LogNormal(-6, 1) }, LatencyBuckets},
+	}
+	const n = 20000
+	for _, tc := range cases {
+		h := newHistogram(tc.bounds)
+		samples := make([]float64, n)
+		for i := range samples {
+			v := tc.gen()
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Float64s(samples)
+		v := h.View()
+		if v.Count != n {
+			t.Fatalf("%s: count %d", tc.name, v.Count)
+		}
+		if math.Abs(v.Sum-sum(samples)) > 1e-9*math.Abs(sum(samples)) {
+			t.Fatalf("%s: sum %v vs %v", tc.name, v.Sum, sum(samples))
+		}
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			ref := samples[int(q*float64(n-1))]
+			est := v.Quantile(q)
+			tol := bucketWidth(tc.bounds, ref) + 1e-12
+			if math.Abs(est-ref) > tol {
+				t.Errorf("%s: q=%.2f est=%v ref=%v (tol %v)", tc.name, q, est, ref, tol)
+			}
+		}
+	}
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	var empty HistView = h.View()
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	h.Observe(100) // overflow bucket
+	h.Observe(0.5)
+	v := h.View()
+	if v.Counts[0] != 1 || v.Counts[3] != 1 {
+		t.Fatalf("bucket placement: %v", v.Counts)
+	}
+	if got := v.Quantile(1); got != 4 {
+		t.Fatalf("overflow quantile clamps to top bound, got %v", got)
+	}
+}
+
+// TestRegistryConcurrentHammer drives counters, gauges, and histograms from
+// parallel.Workers() goroutines while a snapshot loop exports continuously;
+// run under -race (ci.sh does) this pins the lock-free recording contract.
+// Values are 1.0 so the float sum is exact regardless of accumulation order.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hammer_total", "")
+	g := reg.Gauge("hammer_gauge", "")
+	h := reg.Histogram("hammer_seconds", "", LatencyBuckets)
+
+	workers := parallel.Workers()
+	if workers < 4 {
+		workers = 4
+	}
+	const perG = 20000
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = reg.WritePrometheus(io.Discard)
+				_ = reg.WriteSummary(io.Discard)
+				v := h.View()
+				_ = v.Quantile(0.9)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(1.0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	want := uint64(workers * perG)
+	if c.Value() != want {
+		t.Fatalf("counter %d, want %d", c.Value(), want)
+	}
+	v := h.View()
+	if v.Count != want || v.Sum != float64(want) {
+		t.Fatalf("histogram count=%d sum=%v, want %d", v.Count, v.Sum, want)
+	}
+}
+
+// TestInstrumentsZeroAllocs pins the hot-path contract: recording into any
+// instrument — including opening and closing a span — allocates nothing.
+func TestInstrumentsZeroAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("alloc_total", "")
+	g := reg.Gauge("alloc_gauge", "")
+	h := reg.Histogram("alloc_seconds", "", LatencyBuckets)
+	tm := NewTimer(h)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		g.Add(0.25)
+		h.Observe(0.003)
+		sp := tm.Start()
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("recording allocated %v objects/op, want 0", n)
+	}
+	// Disabled telemetry (nil instruments) must also stay allocation-free.
+	var nc *Counter
+	var nt *Timer
+	if n := testing.AllocsPerRun(1000, func() {
+		nc.Inc()
+		sp := nt.Start()
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("disabled recording allocated %v objects/op, want 0", n)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("req_total", "requests").Add(7)
+	reg.Gauge("temp", "temperature").Set(36.6)
+	reg.Histogram("lat_seconds", "latency", []float64{0.1, 1}).Observe(0.5)
+	reg.CounterFunc("fn_total", "from func", func() uint64 { return 9 })
+	reg.GaugeFunc("fn_gauge", "from func", func() float64 { return 2.5 })
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE req_total counter", "req_total 7",
+		"# TYPE temp gauge", "temp 36.6",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 0`,
+		`lat_seconds_bucket{le="1"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 1`,
+		"lat_seconds_sum 0.5", "lat_seconds_count 1",
+		"fn_total 9", "fn_gauge 2.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := reg.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "req_total") || !strings.Contains(buf.String(), "count=1") {
+		t.Errorf("summary malformed:\n%s", buf.String())
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("smoke_total", "").Add(3)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "smoke_total 3") {
+		t.Fatalf("/metrics missing series:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Fatal("/debug/vars missing memstats")
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Fatal("/debug/pprof/ index malformed")
+	}
+}

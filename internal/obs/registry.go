@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// instrument is one registered metric: exactly one of the typed fields is
+// set according to kind.
+type instrument struct {
+	name, help string
+	kind       kind
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+	cfn        func() uint64
+	gfn        func() float64
+}
+
+// Registry holds named instruments in registration order. Registration is
+// idempotent — asking for an existing name returns the existing instrument,
+// so subsystems constructed repeatedly (tests, benchmark engines) can bind
+// against a shared registry without bookkeeping. Asking for an existing
+// name with a different instrument kind panics: that is a wiring bug, not a
+// runtime condition.
+//
+// A nil *Registry is valid everywhere and hands out nil instruments, whose
+// recording methods are no-ops — the mechanism by which telemetry is
+// disabled without branching at call sites.
+type Registry struct {
+	mu     sync.Mutex
+	order  []*instrument
+	byName map[string]*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*instrument)}
+}
+
+// register returns the existing instrument for name (checking the kind) or
+// records and returns the given one.
+func (r *Registry) register(in *instrument) *instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[in.name]; ok {
+		if prev.kind != in.kind {
+			panic(fmt.Sprintf("obs: %q registered as %s, requested as %s", in.name, prev.kind, in.kind))
+		}
+		return prev
+	}
+	r.byName[in.name] = in
+	r.order = append(r.order, in)
+	return in
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(&instrument{name: name, help: help, kind: kindCounter, counter: &Counter{}}).counter
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(&instrument{name: name, help: help, kind: kindGauge, gauge: &Gauge{}}).gauge
+}
+
+// Histogram registers (or returns the existing) histogram under name with
+// the given bucket upper bounds. Bounds are fixed at first registration;
+// later calls with the same name reuse the original buckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(&instrument{name: name, help: help, kind: kindHistogram, hist: newHistogram(bounds)}).hist
+}
+
+// CounterFunc registers a counter whose value is computed by f at export
+// time — for mirroring counters maintained elsewhere (e.g. the embedding
+// cache's process-wide atomics). f must be safe to call from any goroutine.
+func (r *Registry) CounterFunc(name, help string, f func() uint64) {
+	if r == nil {
+		return
+	}
+	r.register(&instrument{name: name, help: help, kind: kindCounterFunc, cfn: f})
+}
+
+// GaugeFunc registers a gauge computed by f at export time. f must be safe
+// to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&instrument{name: name, help: help, kind: kindGaugeFunc, gfn: f})
+}
+
+// instruments copies the instrument list so export can iterate without
+// holding the registration lock (instrument values are read atomically).
+func (r *Registry) instruments() []*instrument {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*instrument(nil), r.order...)
+}

@@ -1,0 +1,63 @@
+package obs
+
+import "time"
+
+// Tracer mints per-phase timers under a common metric prefix: Phase("solve")
+// on a tracer with prefix "mfcp_phase" backs spans with the histogram
+// "mfcp_phase_solve_seconds". Serving code builds its tracer once at
+// construction and keeps the returned *Timer values pre-bound, so opening a
+// span on the hot path is a time.Now call and closing it one histogram
+// observation — no lookups, no allocations.
+type Tracer struct {
+	reg    *Registry
+	prefix string
+}
+
+// NewTracer returns a tracer registering phase histograms on reg under
+// prefix. A nil reg yields nil timers (spans become no-ops).
+func NewTracer(reg *Registry, prefix string) *Tracer {
+	return &Tracer{reg: reg, prefix: prefix}
+}
+
+// Phase registers (or rebinds) the timer for one named phase.
+func (t *Tracer) Phase(name string) *Timer {
+	return NewTimer(t.reg.Histogram(t.prefix+"_"+name+"_seconds",
+		"duration of the "+name+" phase in seconds", LatencyBuckets))
+}
+
+// Timer records durations into a histogram of seconds. A nil *Timer is a
+// no-op whose Start does not even read the clock.
+type Timer struct {
+	h *Histogram
+}
+
+// NewTimer wraps h; a nil histogram yields a nil (no-op) timer.
+func NewTimer(h *Histogram) *Timer {
+	if h == nil {
+		return nil
+	}
+	return &Timer{h: h}
+}
+
+// Start opens a span. The returned Span is a value — it lives on the
+// caller's stack, so span tracing allocates nothing.
+func (t *Timer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{h: t.h, start: time.Now()}
+}
+
+// Span is one in-flight timed section. The zero Span is a no-op.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// End closes the span, recording the elapsed seconds.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.start).Seconds())
+}

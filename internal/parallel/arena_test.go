@@ -6,7 +6,10 @@ import (
 )
 
 // TestArenaReuse checks the basic contract: Put-then-Get hands a cached
-// value back instead of constructing a fresh one.
+// value back instead of constructing a fresh one. Under -race sync.Pool
+// deliberately drops a fraction of Puts to shake out lifetime bugs, so one
+// Put-then-Get cycle is nondeterministic there; reuse must instead show up
+// within a bounded number of cycles.
 func TestArenaReuse(t *testing.T) {
 	var built int32
 	a := NewArena(func() *[]float64 {
@@ -15,14 +18,15 @@ func TestArenaReuse(t *testing.T) {
 		return &buf
 	})
 	x := a.Get()
-	a.Put(x)
-	y := a.Get()
-	if y != x {
-		t.Fatal("arena did not reuse the cached value")
+	for i := 0; i < 50; i++ {
+		a.Put(x)
+		y := a.Get()
+		if y == x {
+			return
+		}
+		x = y
 	}
-	if built != 1 {
-		t.Fatalf("constructor ran %d times, want 1", built)
-	}
+	t.Fatalf("arena never reused a cached value in 50 Put/Get cycles (%d built)", built)
 }
 
 // TestArenaConcurrent hammers Get/Put from the pool's worker fan-out so the

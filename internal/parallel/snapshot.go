@@ -16,6 +16,7 @@ import "sync/atomic"
 // a private PredictorSet clone and publish it when training converges).
 type Snapshot[T any] struct {
 	p atomic.Pointer[T]
+	v atomic.Uint64
 }
 
 // NewSnapshot returns a holder whose current version is v (which may be
@@ -31,10 +32,23 @@ func (s *Snapshot[T]) Load() *T { return s.p.Load() }
 
 // Publish atomically replaces the current version with v. v must not be
 // mutated afterwards.
-func (s *Snapshot[T]) Publish(v *T) { s.p.Store(v) }
+func (s *Snapshot[T]) Publish(v *T) {
+	s.p.Store(v)
+	s.v.Add(1)
+}
 
 // Swap publishes v and returns the previously published version. The
 // caller may recycle the returned value as the next writer-side scratch
 // ONLY once no reader can still hold it (e.g. after a barrier that joins
 // every in-flight reader).
-func (s *Snapshot[T]) Swap(v *T) *T { return s.p.Swap(v) }
+func (s *Snapshot[T]) Swap(v *T) *T {
+	old := s.p.Swap(v)
+	s.v.Add(1)
+	return old
+}
+
+// Version counts publishes since construction (the initial value is
+// version 0). Monotonic and safe from any goroutine; serving telemetry
+// diffs it across a round window to report how many predictor versions a
+// window was served behind.
+func (s *Snapshot[T]) Version() uint64 { return s.v.Load() }

@@ -51,6 +51,9 @@ type engine struct {
 	obs  *parallel.Ring[Observation]
 	mc   core.MatchConfig
 	mode sched.Mode
+	// met holds the pre-bound serving instruments (all nil — and therefore
+	// no-ops — when cfg.Telemetry is nil).
+	met engineMetrics
 
 	roundStream *rng.Source
 	execStream  *rng.Source
@@ -81,6 +84,7 @@ func newEngine(cfg Config) (*engine, error) {
 	e := &engine{
 		cfg: cfg, s: s, train: train, live: live, method: method,
 		mc: mc, mode: mode,
+		met:         newEngineMetrics(cfg.Telemetry),
 		roundStream: s.Stream("platform-rounds"),
 		execStream:  s.Stream("platform-exec"),
 	}
@@ -137,6 +141,8 @@ var scratchArena = parallel.NewArena(func() *shardScratch {
 // streams split by k, and all scratch is shard-private, so the result does
 // not depend on which shard runs it or when.
 func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shardScratch) RoundReport {
+	rsp := e.met.round.Start()
+	psp := e.met.predict.Start()
 	var That, Ahat *mat.Dense
 	if set != nil {
 		Z := e.s.FeaturesInto(round, sc.z)
@@ -145,15 +151,22 @@ func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shard
 	} else {
 		That, Ahat = e.method.Predict(round)
 	}
+	psp.End()
 	if sc.ws == nil {
 		sc.ws = matching.NewWorkspace(That.Rows, That.Cols)
 	}
-	assign := e.mc.SolveWS(That, Ahat, sc.ws)
+	ssp := e.met.solve.Start()
+	assign, repInfo := e.mc.SolveWSInfo(That, Ahat, sc.ws)
+	// The oracle solve below reuses sc.ws, so capture the predictive solve's
+	// convergence record before it is clobbered.
+	solveInfo := sc.ws.Info
 
 	e.s.TrueMatricesInto(round, sc.trueT, sc.trueA)
 	applyDrift(sc.trueT, e.cfg.Drift, k)
 	trueProb := e.mc.Problem(sc.trueT, sc.trueA)
 	oracle := e.mc.SolveWS(sc.trueT, sc.trueA, sc.ws)
+	ssp.End()
+	e.met.observeSolve(solveInfo, repInfo)
 	ev := metrics.Evaluate(trueProb, assign, oracle)
 
 	if cap(sc.tasks) < len(round) {
@@ -163,14 +176,17 @@ func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shard
 	for i, j := range round {
 		tasks[i] = e.s.Pool[j]
 	}
+	xsp := e.met.exec.Start()
 	exec := sched.Execute(e.s.Fleet, tasks, assign, e.mode, e.execStream.SplitIndexed("round", k))
 	scaleExecution(&exec, assign, e.cfg.Drift, k)
+	xsp.End()
 
 	if e.obs != nil {
 		// Partial feedback: the realized standalone duration of each
 		// (assigned cluster, task) pair, normalized like training labels.
 		// Shards push concurrently; the drain re-sorts by (Round, Slot) so
 		// training order is independent of shard completion order.
+		isp := e.met.ingest.Start()
 		for j, i := range assign {
 			e.obs.Push(Observation{
 				Cluster: i, TaskIdx: round[j], Round: k, Slot: j,
@@ -178,7 +194,9 @@ func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shard
 				Succeeded: exec.Success[j],
 			})
 		}
+		isp.End()
 	}
+	rsp.End()
 	return RoundReport{
 		Round: k, TaskIdx: round, Assignment: assign, Eval: ev, Execution: exec,
 	}
@@ -225,12 +243,24 @@ func finalize(rep *Report, n int) {
 // serve runs one batch of rounds starting at round index k0 and folds them
 // into rep (means not yet normalized).
 func (e *engine) serve(rep *Report, k0, n int) {
+	ssp := e.met.sample.Start()
 	rounds := e.sampleRounds(n)
+	ssp.End()
 	results := make([]RoundReport, n)
+	var v0 uint64
+	if e.snap != nil {
+		v0 = e.snap.Version()
+	}
 	e.sweep(k0, rounds, e.currentSet(), results)
+	if e.snap != nil {
+		e.met.observeSnapshot(v0, e.snap.Version())
+	}
+	rsp := e.met.reduce.Start()
 	for i := range results {
 		reduce(rep, &results[i])
+		e.met.observeReduced(&results[i])
 	}
+	rsp.End()
 }
 
 // Engine is the reusable serving loop, exported for throughput benchmarks

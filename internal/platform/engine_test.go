@@ -104,7 +104,7 @@ func TestAsyncRefitDoesNotBlockServing(t *testing.T) {
 		})
 	}
 	windowServed := make(chan int, 8)
-	testWindowHook = func(k0 int) { windowServed <- k0 }
+	testWindowHook = func(_ *engine, k0 int) { windowServed <- k0 }
 	defer func() { testRefitHook, testWindowHook = nil, nil }()
 
 	done := make(chan *OnlineReport, 1)

@@ -74,15 +74,22 @@ type OnlineReport struct {
 	// WindowRegret holds the mean regret of each RefitEvery-round window,
 	// the platform's learning curve.
 	WindowRegret []float64
+	// RingDropped counts observations the ingest ring rejected because it
+	// was full — learning signal the refits never saw. The ring is sized so
+	// this stays 0 in a healthy run (see the ringCap sizing in RunOnline);
+	// nonzero means ingest outpaced the refit drain.
+	RingDropped uint64
 }
 
 // testRefitHook, when non-nil, runs at the start of every refit (before
 // training) on the refit's goroutine. Tests use it to hold a refit open and
 // observe rounds serving against the old snapshot. testWindowHook, when
-// non-nil, runs after each window of rounds has been served and reduced.
+// non-nil, runs after each window of rounds has been served and reduced; it
+// receives the engine so overflow tests can inject synthetic observations
+// into the ingest ring.
 var (
 	testRefitHook  func()
-	testWindowHook func(k0 int)
+	testWindowHook func(e *engine, k0 int)
 )
 
 // RunOnline simulates the platform with in-the-loop learning: each executed
@@ -129,31 +136,46 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 	var buffer, drained []Observation
 	results := make([]RoundReport, cfg.RefitEvery)
 	windowSum, windowN := 0.0, 0
+	var lastDropped uint64
 
 	for k0 := 0; k0 < cfg.Rounds; k0 += cfg.RefitEvery {
 		n := cfg.RefitEvery
 		if k0+n > cfg.Rounds {
 			n = cfg.Rounds - k0
 		}
+		ssp := e.met.sample.Start()
 		rounds := e.sampleRounds(n)
+		ssp.End()
 		window := results[:n]
+		v0 := e.snap.Version()
 		e.sweep(k0, rounds, e.currentSet(), window)
+		e.met.observeSnapshot(v0, e.snap.Version())
+		rsp := e.met.reduce.Start()
 		for i := range window {
 			reduce(&rep.Report, &window[i])
+			e.met.observeReduced(&window[i])
 			windowSum += window[i].Eval.Regret
 			windowN++
 		}
+		rsp.End()
 		if h := testWindowHook; h != nil {
-			h(k0)
+			h(e, k0)
 		}
 		if n < cfg.RefitEvery {
 			break // tail shorter than a window never triggered a refit
 		}
 
 		// Window boundary: join the in-flight refit (if any) so predictor
-		// versions and the replay buffer are ours to touch again.
+		// versions and the replay buffer are ours to touch again. Ring
+		// accounting happens here because Len/Dropped are consumer-owned.
 		refitWG.Wait()
+		e.met.ringDepth.Set(float64(e.obs.Len()))
 		drained = e.obs.Drain(drained[:0])
+		e.met.ringIngested.Add(uint64(len(drained)))
+		if d := e.obs.Dropped(); d != lastDropped {
+			e.met.ringDropped.Add(d - lastDropped)
+			lastDropped = d
+		}
 		sort.Slice(drained, func(a, b int) bool {
 			if drained[a].Round != drained[b].Round {
 				return drained[a].Round < drained[b].Round
@@ -169,13 +191,19 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		trainee := spare
 		stream := refitStream.SplitIndexed("refit", rep.Refits)
 		replay := buffer // immutable until the next refitWG.Wait()
+		e.met.refitPending.Set(1)
 		doRefit := func() {
+			sp := e.met.refit.Start()
 			cur.Snapshot(trainee)
 			if h := testRefitHook; h != nil {
 				h()
 			}
 			refit(trainee, e.s, e.train, replay, cfg.RefitEpochs, stream)
 			e.snap.Swap(trainee)
+			sp.End()
+			e.met.refits.Inc()
+			e.met.snapVersion.Set(float64(e.snap.Version()))
+			e.met.refitPending.Set(0)
 		}
 		if cfg.AsyncRefit {
 			refitWG.Add(1)
@@ -193,6 +221,12 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		windowSum, windowN = 0, 0
 	}
 	refitWG.Wait()
+	// Final drain accounting: the tail window's observations never met a
+	// refit, but their ring drops still belong in the report.
+	if d := e.obs.Dropped(); d != lastDropped {
+		e.met.ringDropped.Add(d - lastDropped)
+	}
+	rep.RingDropped = e.obs.Dropped()
 	finalize(&rep.Report, cfg.Rounds)
 	return rep, nil
 }

@@ -17,6 +17,7 @@ import (
 	"mfcp/internal/core"
 	"mfcp/internal/mat"
 	"mfcp/internal/metrics"
+	"mfcp/internal/obs"
 	"mfcp/internal/sched"
 	"mfcp/internal/workload"
 )
@@ -65,6 +66,11 @@ type Config struct {
 	RegretEpochs   int
 	// Hidden is the predictor architecture (default [16]).
 	Hidden []int
+	// Telemetry optionally receives the run's instruments: per-phase round
+	// timings, solver convergence, ring/refit health, rolling quality (see
+	// DESIGN.md "Observability"). Nil disables recording; the served
+	// trajectory is bit-identical either way.
+	Telemetry *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -161,6 +167,7 @@ func buildMethod(cfg Config, s *workload.Scenario, train []int) (Predictor, erro
 			Kind: kind, Hidden: cfg.Hidden,
 			PretrainEpochs: cfg.PretrainEpochs, Epochs: cfg.RegretEpochs,
 			RoundSize: cfg.RoundSize, Match: mc,
+			Telemetry: cfg.Telemetry,
 		}), nil
 	default:
 		return nil, fmt.Errorf("platform: unknown method %q", cfg.Method)

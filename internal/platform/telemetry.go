@@ -1,0 +1,144 @@
+package platform
+
+import (
+	"mfcp/internal/embed"
+	"mfcp/internal/matching"
+	"mfcp/internal/obs"
+)
+
+// engineMetrics are the serving engine's pre-bound instruments. They are
+// bound once at engine construction so per-round recording is a handful of
+// atomic ops; with no registry configured every instrument is nil and
+// recording is a no-op (the obs package's nil-instrument contract), which
+// keeps the engine code unconditional.
+//
+// Everything recorded here is pure observation — no instrument feeds back
+// into sampling, matching, or training — so the served trajectory is
+// bit-identical with telemetry on or off, at any worker count
+// (TestTelemetryDoesNotPerturbTrajectory).
+type engineMetrics struct {
+	// Round throughput and per-round latency (recorded on the shards).
+	rounds *obs.Counter
+	tasks  *obs.Counter
+	round  *obs.Timer
+
+	// Per-phase spans through the serving loop. sample and reduce run
+	// serially; predict/solve/exec/ingest run on the shards.
+	sample  *obs.Timer
+	predict *obs.Timer
+	solve   *obs.Timer
+	exec    *obs.Timer
+	ingest  *obs.Timer
+	reduce  *obs.Timer
+	refit   *obs.Timer
+
+	// Matching solver convergence (the serving-side predictive solve only;
+	// the oracle solve is evaluation bookkeeping, not serving work).
+	solverIters     *obs.Histogram
+	solverSolves    *obs.Counter
+	solverConverged *obs.Counter
+	repairMoves     *obs.Histogram
+	repairDelta     *obs.Histogram
+
+	// Observation ring health, recorded at the window boundary by the
+	// consumer (ring Dropped/Len are consumer-owned).
+	ringDropped  *obs.Counter
+	ringIngested *obs.Counter
+	ringDepth    *obs.Gauge
+
+	// Refit accounting: completions, in-flight count (0 or 1 — refits are
+	// serialized), and the published-version watermark plus how many
+	// versions behind the just-swept window served.
+	refits       *obs.Counter
+	refitPending *obs.Gauge
+	snapVersion  *obs.Gauge
+	snapLag      *obs.Gauge
+
+	// Rolling serving quality, EWMA over the serial reduce path.
+	rollRegret      *obs.Gauge
+	rollReliability *obs.Gauge
+	emaRegret       float64
+	emaRel          float64
+	emaInit         bool
+}
+
+// ewmaAlpha is the rolling-quality smoothing weight: ~20-round memory.
+const ewmaAlpha = 0.05
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	embed.RegisterMetrics(reg)
+	tr := obs.NewTracer(reg, "mfcp_phase")
+	return engineMetrics{
+		rounds: reg.Counter("mfcp_rounds_served_total", "allocation rounds served"),
+		tasks:  reg.Counter("mfcp_tasks_served_total", "tasks allocated across all rounds"),
+		round: obs.NewTimer(reg.Histogram("mfcp_round_seconds",
+			"end-to-end latency of one allocation round on its shard", obs.LatencyBuckets)),
+
+		sample:  tr.Phase("sample"),
+		predict: tr.Phase("predict"),
+		solve:   tr.Phase("solve"),
+		exec:    tr.Phase("exec"),
+		ingest:  tr.Phase("ingest"),
+		reduce:  tr.Phase("reduce"),
+		refit: obs.NewTimer(reg.Histogram("mfcp_refit_seconds",
+			"latency of one predictor refit (drain excluded)", obs.LatencyBuckets)),
+
+		solverIters: reg.Histogram("mfcp_solver_iterations",
+			"mirror-descent iterations to convergence per predictive solve",
+			obs.ExpBuckets(1, 2, 10)),
+		solverSolves:    reg.Counter("mfcp_solver_solves_total", "predictive relaxed solves"),
+		solverConverged: reg.Counter("mfcp_solver_converged_total", "predictive solves that hit tolerance before the iteration budget"),
+		repairMoves: reg.Histogram("mfcp_repair_moves",
+			"feasibility + improvement moves per repair pass", obs.LinearBuckets(0, 2, 12)),
+		repairDelta: reg.Histogram("mfcp_repair_cost_delta",
+			"cost improvement achieved by the repair pass", obs.ExpBuckets(1e-3, 4, 10)),
+
+		ringDropped:  reg.Counter("mfcp_ring_dropped_total", "observations dropped by the full ingest ring"),
+		ringIngested: reg.Counter("mfcp_ring_ingested_total", "observations drained into the replay buffer"),
+		ringDepth:    reg.Gauge("mfcp_ring_depth", "observations pending in the ingest ring at the last window boundary"),
+
+		refits:       reg.Counter("mfcp_refits_total", "predictor refits published"),
+		refitPending: reg.Gauge("mfcp_refit_inflight", "refits currently training (0 or 1)"),
+		snapVersion:  reg.Gauge("mfcp_snapshot_version", "published predictor snapshot version"),
+		snapLag:      reg.Gauge("mfcp_snapshot_lag", "predictor versions published while the last window was being served"),
+
+		rollRegret:      reg.Gauge("mfcp_rolling_regret", "EWMA of per-round regret"),
+		rollReliability: reg.Gauge("mfcp_rolling_reliability", "EWMA of per-round reliability"),
+	}
+}
+
+// observeSolve records one predictive solve's convergence and repair work.
+// Called concurrently from the shards; every instrument op is atomic.
+func (m *engineMetrics) observeSolve(si matching.SolveInfo, ri matching.RepairInfo) {
+	m.solverSolves.Inc()
+	if si.Converged {
+		m.solverConverged.Inc()
+	}
+	m.solverIters.Observe(float64(si.Iters))
+	m.repairMoves.Observe(float64(ri.FeasMoves + ri.Moves + ri.Swaps))
+	m.repairDelta.Observe(ri.CostBefore - ri.CostAfter)
+}
+
+// observeReduced folds one round into the throughput counters and rolling
+// quality gauges. Called serially, in round order, from the reduce path.
+func (m *engineMetrics) observeReduced(rr *RoundReport) {
+	m.rounds.Inc()
+	m.tasks.Add(uint64(len(rr.TaskIdx)))
+	if !m.emaInit {
+		m.emaRegret, m.emaRel = rr.Eval.Regret, rr.Eval.Reliability
+		m.emaInit = true
+	} else {
+		m.emaRegret += ewmaAlpha * (rr.Eval.Regret - m.emaRegret)
+		m.emaRel += ewmaAlpha * (rr.Eval.Reliability - m.emaRel)
+	}
+	m.rollRegret.Set(m.emaRegret)
+	m.rollReliability.Set(m.emaRel)
+}
+
+// observeSnapshot records the published-version watermark after a sweep and
+// how many versions were published while that sweep was in flight (v0 is
+// the version read when the sweep's serving set was loaded).
+func (m *engineMetrics) observeSnapshot(v0, v1 uint64) {
+	m.snapVersion.Set(float64(v1))
+	m.snapLag.Set(float64(v1 - v0))
+}

@@ -1,0 +1,168 @@
+package platform
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mfcp/internal/matching"
+	"mfcp/internal/metrics"
+	"mfcp/internal/obs"
+)
+
+// TestTelemetryDoesNotPerturbTrajectory pins the observability contract:
+// attaching a registry changes nothing about the served trajectory, at any
+// worker count.
+func TestTelemetryDoesNotPerturbTrajectory(t *testing.T) {
+	base := mustRunOnlineAt(t, onlineTiny(MethodTSM), 1)
+	for _, w := range []int{1, 2, 8} {
+		cfg := onlineTiny(MethodTSM)
+		cfg.Telemetry = obs.NewRegistry()
+		rep := mustRunOnlineAt(t, cfg, w)
+		sameTrajectory(t, "telemetry on vs off", &base.Report, &rep.Report)
+	}
+}
+
+// TestRingOverflowSurfaced injects more observations than the ingest ring
+// holds and asserts the overflow reaches both the report and the registry —
+// the bug this PR fixes was Dropped() having no consumer at all.
+func TestRingOverflowSurfaced(t *testing.T) {
+	cfg := onlineTiny(MethodTSM)
+	cfg.Telemetry = obs.NewRegistry()
+	testWindowHook = func(e *engine, k0 int) {
+		if k0 != 0 {
+			return
+		}
+		// Overfill the ring with synthetic late-round observations; the real
+		// window's pushes already consumed part of the capacity.
+		for i := 0; i < e.obs.Cap()+7; i++ {
+			e.obs.Push(Observation{Cluster: 0, TaskIdx: 0, Round: 1000 + i, TimeNorm: 0.5, Succeeded: true})
+		}
+	}
+	defer func() { testWindowHook = nil }()
+
+	rep, err := RunOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RingDropped == 0 {
+		t.Fatal("OnlineReport.RingDropped = 0 after overfilling the ring")
+	}
+	var buf bytes.Buffer
+	if err := cfg.Telemetry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mfcp_ring_dropped_total") ||
+		strings.Contains(buf.String(), "mfcp_ring_dropped_total 0\n") {
+		t.Fatalf("registry did not surface the drops:\n%s", buf.String())
+	}
+}
+
+// TestEngineExportsSeries runs a small online simulation with telemetry and
+// asserts every advertised series family shows up in the export.
+func TestEngineExportsSeries(t *testing.T) {
+	cfg := onlineTiny(MethodTSM)
+	cfg.Telemetry = obs.NewRegistry()
+	rep, err := RunOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Refits == 0 {
+		t.Fatal("no refits; the telemetry run is not exercising the loop")
+	}
+	var buf bytes.Buffer
+	if err := cfg.Telemetry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"mfcp_rounds_served_total 9",
+		"mfcp_tasks_served_total 36",
+		"mfcp_round_seconds_count 9",
+		"mfcp_phase_sample_seconds_count",
+		"mfcp_phase_predict_seconds_count 9",
+		"mfcp_phase_solve_seconds_count 9",
+		"mfcp_phase_exec_seconds_count 9",
+		"mfcp_phase_ingest_seconds_count 9",
+		"mfcp_phase_reduce_seconds_count",
+		"mfcp_refit_seconds_count 3",
+		"mfcp_refits_total 3",
+		"mfcp_solver_solves_total 9",
+		"mfcp_solver_iterations_count 9",
+		"mfcp_repair_moves_count 9",
+		"mfcp_repair_cost_delta_count 9",
+		"mfcp_ring_dropped_total 0",
+		"mfcp_ring_ingested_total",
+		"mfcp_ring_depth",
+		"mfcp_snapshot_version 3",
+		"mfcp_snapshot_lag",
+		"mfcp_rolling_regret",
+		"mfcp_rolling_reliability",
+		"mfcp_embed_cache_hits_total",
+		"mfcp_embed_cache_misses_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full export:\n%s", out)
+	}
+}
+
+// TestTrainerExportsSeries checks the training-side instruments land when a
+// regret-trained method runs with telemetry attached.
+func TestTrainerExportsSeries(t *testing.T) {
+	cfg := tinyCfg(MethodMFCPFG)
+	cfg.Telemetry = obs.NewRegistry()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cfg.Telemetry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"mfcp_train_pretrain_seconds_count 1",
+		"mfcp_train_epoch_seconds_count 4",
+		"mfcp_train_epochs_total 4",
+		"mfcp_train_regret",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestTelemetryRecordingZeroAllocs pins the hot-path contract at the engine
+// layer: everything evalRound and the reduce path record per round stays off
+// the heap.
+func TestTelemetryRecordingZeroAllocs(t *testing.T) {
+	met := newEngineMetrics(obs.NewRegistry())
+	si := matching.SolveInfo{Iters: 40, Converged: true, FinalDelta: 1e-7}
+	ri := matching.RepairInfo{FeasMoves: 1, Moves: 2, Swaps: 1, CostBefore: 3, CostAfter: 2.5}
+	rr := RoundReport{TaskIdx: []int{1, 2, 3}, Eval: metrics.Eval{Regret: 0.1, Reliability: 0.9}}
+	if n := testing.AllocsPerRun(1000, func() {
+		rsp := met.round.Start()
+		psp := met.predict.Start()
+		psp.End()
+		met.observeSolve(si, ri)
+		met.observeReduced(&rr)
+		met.observeSnapshot(1, 2)
+		rsp.End()
+	}); n != 0 {
+		t.Fatalf("telemetry recording allocated %v objects/op, want 0", n)
+	}
+
+	// Disabled telemetry must be equally silent.
+	off := newEngineMetrics(nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		rsp := off.round.Start()
+		off.observeSolve(si, ri)
+		off.observeReduced(&rr)
+		rsp.End()
+	}); n != 0 {
+		t.Fatalf("disabled telemetry allocated %v objects/op, want 0", n)
+	}
+}
