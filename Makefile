@@ -5,9 +5,25 @@
 
 GO ?= go
 
-.PHONY: ci vet test race race-serving bench bench-matching bench-train bench-platform bench-compare obs-demo
+.PHONY: ci vet test race race-serving fmt-check lint-panic smoke-checkpoint bench bench-matching bench-train bench-platform bench-compare obs-demo
 
-ci: vet race
+ci: fmt-check lint-panic vet race smoke-checkpoint
+
+# Formatting gate: fails listing any tracked file gofmt would rewrite.
+fmt-check:
+	@unformatted=$$(gofmt -l $$(git ls-files '*.go')); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# Error-taxonomy gate (DESIGN.md §7): panic() only in allowlisted files,
+# and only with an adjacent "// invariant:" comment.
+lint-panic:
+	sh scripts/panic_lint.sh
+
+# SIGINT/checkpoint/resume smoke test over the real platformsim binary.
+smoke-checkpoint:
+	sh scripts/checkpoint_smoke.sh
 
 # Focused race gate for the concurrent serving engine: predictor snapshots,
 # the sharded round pipeline, and the lock-free observation ring. Part of

@@ -5,6 +5,16 @@
 # the gate. Equivalent to `make ci`.
 set -eux
 
+# Static gates first: formatting drift and the panic/error-taxonomy contract
+# (DESIGN.md §7) fail fast before any compilation.
+UNFORMATTED=$(gofmt -l $(git ls-files '*.go'))
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
+sh scripts/panic_lint.sh
+
 go vet ./...
 go build ./...
 # Serving-engine race gate first: the snapshot/ring/shard machinery is the
@@ -45,3 +55,7 @@ done
 kill "$SIM_PID" 2>/dev/null || true
 trap - EXIT
 echo "telemetry smoke test passed"
+
+# Lifecycle smoke test: SIGINT an online run mid-flight, require exit 130
+# plus an on-cancel checkpoint, and resume from it (reuses the binary).
+sh scripts/checkpoint_smoke.sh "$BIN"

@@ -105,6 +105,7 @@ func platformBenchEngine(telemetry bool) *platform.Engine {
 		}
 		en, err := platform.NewEngine(cfg)
 		if err != nil {
+			// invariant: benchmark fixtures use known-good configs.
 			panic(err)
 		}
 		platformEngs[idx] = en

@@ -1,19 +1,32 @@
 // Command mfcptrain trains one prediction method on a generated scenario
 // and reports its test metrics and (for MFCP) the training-regret curve.
 //
+// SIGINT/SIGTERM interrupt training cooperatively at the next phase
+// boundary; the partially trained predictors are still saved with
+// -checkpoint, and the process exits 130. -resume warm-starts a
+// predictor-backed method (tsm, mfcp-*) from a saved checkpoint's weights,
+// skipping the MSE pretrain.
+//
 // Usage:
 //
 //	mfcptrain -method mfcp-ad -setting A -seed 42
 //	mfcptrain -method tsm -pool 200 -rounds 40
+//	mfcptrain -method mfcp-fg -checkpoint w.ckpt     # ^C-safe
+//	mfcptrain -method mfcp-fg -resume w.ckpt -epochs 40
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mfcp"
+	"mfcp/internal/baselines"
 	"mfcp/internal/core"
 	"mfcp/internal/experiments"
 	"mfcp/internal/workload"
@@ -21,18 +34,36 @@ import (
 
 func main() {
 	var (
-		method    = flag.String("method", "mfcp-fg", "tam|tsm|ucb|mfcp-ad|mfcp-fg")
-		setting   = flag.String("setting", "A", "cluster setting A|B|C")
-		seed      = flag.Uint64("seed", 1, "scenario seed")
-		pool      = flag.Int("pool", 120, "task pool size")
-		rounds    = flag.Int("rounds", 30, "evaluation rounds")
-		roundSize = flag.Int("n", 5, "tasks per round")
-		pretrain  = flag.Int("pretrain", 200, "MSE pretrain epochs")
-		regret    = flag.Int("epochs", 120, "end-to-end regret epochs (MFCP only)")
-		parallel  = flag.Bool("parallel", false, "parallel task execution setting (§3.4)")
-		history   = flag.Bool("history", false, "print the MFCP training-regret curve")
+		method     = flag.String("method", "mfcp-fg", "tam|tsm|ucb|mfcp-ad|mfcp-fg")
+		setting    = flag.String("setting", "A", "cluster setting A|B|C")
+		seed       = flag.Uint64("seed", 1, "scenario seed")
+		pool       = flag.Int("pool", 120, "task pool size")
+		rounds     = flag.Int("rounds", 30, "evaluation rounds")
+		roundSize  = flag.Int("n", 5, "tasks per round")
+		pretrain   = flag.Int("pretrain", 200, "MSE pretrain epochs")
+		regret     = flag.Int("epochs", 120, "end-to-end regret epochs (MFCP only)")
+		parallel   = flag.Bool("parallel", false, "parallel task execution setting (§3.4)")
+		history    = flag.Bool("history", false, "print the MFCP training-regret curve")
+		checkpoint = flag.String("checkpoint", "", "save trained predictor weights here (tsm/mfcp-* only; also on interrupt)")
+		resume     = flag.String("resume", "", "warm-start from weights saved by -checkpoint (tsm/mfcp-* only)")
 	)
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	predictorBacked := *method == "tsm" || *method == "mfcp-ad" || *method == "mfcp-fg"
+	if (*checkpoint != "" || *resume != "") && !predictorBacked {
+		fail(fmt.Errorf("-checkpoint/-resume need a predictor-backed method (tsm, mfcp-*), not %q", *method))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // restore default handling so a second signal kills at once
+	}()
 
 	s, err := mfcp.NewScenario(workload.Config{
 		Setting:  mfcp.Setting(strings.ToUpper(*setting)),
@@ -40,10 +71,25 @@ func main() {
 		Seed:     *seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	train, test := s.Split(0.75)
+
+	var warm *mfcp.PredictorSet
+	if *resume != "" {
+		ck, err := mfcp.LoadCheckpoint(*resume)
+		if err != nil {
+			fail(fmt.Errorf("resume: %w", err))
+		}
+		if ck.Set == nil {
+			fail(fmt.Errorf("resume: checkpoint %s carries no predictor set", *resume))
+		}
+		if err := ck.Set.Validate(s.M(), s.Features.Cols); err != nil {
+			fail(fmt.Errorf("resume: %w", err))
+		}
+		warm = ck.Set
+		fmt.Fprintf(os.Stderr, "[warm-starting from %s]\n", *resume)
+	}
 
 	var mc core.MatchConfig
 	mc.FillDefaults()
@@ -53,13 +99,33 @@ func main() {
 		}
 	}
 
+	saveSet := func(set *mfcp.PredictorSet) {
+		if *checkpoint == "" || set == nil {
+			return
+		}
+		if err := mfcp.SaveCheckpoint(*checkpoint, &mfcp.Checkpoint{Set: set}); err != nil {
+			fail(fmt.Errorf("checkpoint: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "[weights saved to %s]\n", *checkpoint)
+	}
+
 	var m mfcp.Method
 	var tr *mfcp.Trainer
+	var trainErr error
 	switch *method {
 	case "tam":
 		m = mfcp.NewTAM(s, train)
 	case "tsm":
-		m = mfcp.NewTSM(s, train, []int{16}, *pretrain)
+		if warm != nil {
+			m = mfcp.NewTSMFrom(s, warm)
+		} else {
+			tsm, err := baselines.NewTSMCtx(ctx, s, train, []int{16}, *pretrain)
+			trainErr = err
+			m = tsm
+			if trainErr == nil {
+				defer saveSet(tsm.PredictorSet())
+			}
+		}
 	case "ucb":
 		m = mfcp.NewUCB(s, train)
 	case "mfcp-ad", "mfcp-fg":
@@ -67,14 +133,34 @@ func main() {
 		if *method == "mfcp-fg" {
 			kind = mfcp.KindFG
 		}
-		tr = mfcp.Train(s, train, core.Config{
+		tr, trainErr = mfcp.TrainCtx(ctx, s, train, core.Config{
 			Kind: kind, PretrainEpochs: *pretrain, Epochs: *regret,
-			RoundSize: *roundSize, Match: mc,
+			RoundSize: *roundSize, Match: mc, Warm: warm,
 		})
 		m = tr
+		if trainErr == nil {
+			defer saveSet(tr.Set)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
 		os.Exit(2)
+	}
+	if trainErr != nil {
+		if !errors.Is(trainErr, mfcp.ErrCanceled) {
+			fail(trainErr)
+		}
+		// Interrupted: persist whatever was learned, skip evaluation.
+		phase := ""
+		if tr != nil {
+			phase = tr.Stopped
+			saveSet(tr.Set)
+		} else if ts, ok := m.(interface{ PredictorSet() *mfcp.PredictorSet }); ok {
+			phase = "pretrain"
+			saveSet(ts.PredictorSet())
+		}
+		fmt.Fprintf(os.Stderr, "interrupted during %s; partial weights %s\n",
+			phase, savedWord(*checkpoint))
+		os.Exit(130)
 	}
 
 	agg := experiments.EvaluateMethod(s, m, test, mc, *rounds, *roundSize, s.Stream("cli-eval"))
@@ -94,4 +180,11 @@ func main() {
 			}
 		}
 	}
+}
+
+func savedWord(path string) string {
+	if path == "" {
+		return "discarded (no -checkpoint)"
+	}
+	return "saved"
 }

@@ -4,21 +4,31 @@
 // refit periodically from realized executions; with -metrics-addr the run
 // exposes live Prometheus-text /metrics, expvar, and pprof endpoints.
 //
+// SIGINT/SIGTERM interrupt the run cooperatively: the in-flight window
+// drains, a final checkpoint is saved (with -checkpoint), the partial
+// report and telemetry digest print, and the process exits 130. A second
+// signal kills it immediately.
+//
 // Usage:
 //
 //	platformsim -method mfcp-fg -rounds 100
 //	platformsim -method tsm -setting C -parallel -v
 //	platformsim -method tsm -online -metrics-addr 127.0.0.1:9090 -hold
+//	platformsim -method tsm -online -checkpoint run.ckpt   # ^C, then:
+//	platformsim -method tsm -online -checkpoint run.ckpt -resume run.ckpt
 //	curl -s http://127.0.0.1:9090/metrics | grep mfcp_
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"mfcp"
 	"mfcp/internal/embed"
@@ -40,6 +50,9 @@ func main() {
 		online      = flag.Bool("online", false, "refit predictors from live observations (tsm/mfcp-* only)")
 		refitEvery  = flag.Int("refit-every", 10, "rounds per refit window (with -online)")
 		asyncRefit  = flag.Bool("async-refit", false, "train refits in the background (with -online)")
+		checkpoint  = flag.String("checkpoint", "", "save a resumable checkpoint here periodically and on interrupt (with -online)")
+		ckEvery     = flag.Int("checkpoint-every", 1, "refit windows between periodic checkpoint saves")
+		resume      = flag.String("resume", "", "resume from a checkpoint file saved by -checkpoint (with -online)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 		hold        = flag.Bool("hold", false, "keep serving the metrics endpoint after the run until interrupted")
 	)
@@ -49,6 +62,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if (*checkpoint != "" || *resume != "") && !*online {
+		fail(errors.New("-checkpoint and -resume require -online (only the online loop has resumable state)"))
+	}
+
+	// First SIGINT/SIGTERM cancels the run cooperatively; a second one
+	// restores default handling, so it kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // restore default handling so a second signal kills at once
+	}()
 
 	// Telemetry is always collected (it is allocation-free and does not
 	// perturb the trajectory); -metrics-addr additionally serves it live.
@@ -61,9 +86,18 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "[metrics on http://%s/metrics, pprof on /debug/pprof/]\n", srv.Addr())
 	}
+	closeServer := func() {
+		if srv == nil {
+			return
+		}
+		sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = srv.Shutdown(sctx)
+		scancel()
+		srv = nil
+	}
+	defer closeServer()
 
 	cfg := platform.Config{
 		Scenario: workload.Config{
@@ -80,23 +114,39 @@ func main() {
 
 	var rep *mfcp.PlatformReport
 	var orep *mfcp.OnlineReport
+	var runErr error
 	if *online {
-		var err error
-		orep, err = mfcp.RunPlatformOnline(mfcp.OnlineConfig{
-			Config:     cfg,
-			RefitEvery: *refitEvery,
-			AsyncRefit: *asyncRefit,
-		})
-		if err != nil {
-			fail(err)
+		ocfg := mfcp.OnlineConfig{
+			Config:          cfg,
+			RefitEvery:      *refitEvery,
+			AsyncRefit:      *asyncRefit,
+			CheckpointPath:  *checkpoint,
+			CheckpointEvery: *ckEvery,
 		}
-		rep = &orep.Report
+		if *resume != "" {
+			ck, err := mfcp.LoadCheckpoint(*resume)
+			if err != nil {
+				fail(fmt.Errorf("resume: %w", err))
+			}
+			ocfg.Resume = ck
+			fmt.Fprintf(os.Stderr, "[resuming at round %d (%d refits done)]\n", ck.Round, ck.Refits)
+		}
+		orep, runErr = mfcp.RunPlatformOnlineCtx(ctx, ocfg)
+		if orep != nil {
+			rep = &orep.Report
+		}
 	} else {
-		var err error
-		rep, err = mfcp.RunPlatform(cfg)
-		if err != nil {
-			fail(err)
-		}
+		rep, runErr = mfcp.RunPlatformCtx(ctx, cfg)
+	}
+	interrupted := errors.Is(runErr, mfcp.ErrCanceled)
+	if runErr != nil && !interrupted {
+		fail(runErr)
+	}
+	if runErr != nil && rep == nil {
+		// Canceled before anything was served (e.g. during training).
+		fmt.Fprintln(os.Stderr, "interrupted before serving; nothing to report")
+		closeServer()
+		os.Exit(130)
 	}
 
 	if *verbose {
@@ -108,6 +158,12 @@ func main() {
 	}
 	fmt.Printf("platform simulation: method=%s setting=%s rounds=%d N=%d parallel=%v online=%v\n",
 		rep.Method, strings.ToUpper(*setting), *rounds, *roundSize, *parallel, *online)
+	if interrupted {
+		fmt.Printf("  INTERRUPTED after %d rounds (means cover the served prefix)\n", len(rep.Rounds))
+	}
+	if orep != nil && orep.ResumedAt > 0 {
+		fmt.Printf("  resumed at round   %d\n", orep.ResumedAt)
+	}
 	fmt.Printf("  mean regret        %.4f\n", rep.MeanRegret)
 	fmt.Printf("  mean reliability   %.4f\n", rep.MeanReliability)
 	fmt.Printf("  mean utilization   %.4f\n", rep.MeanUtilization)
@@ -117,6 +173,9 @@ func main() {
 	if orep != nil {
 		fmt.Printf("  refits             %d (ring drops %d)\n", orep.Refits, orep.RingDropped)
 	}
+	if interrupted && *checkpoint != "" {
+		fmt.Printf("  checkpoint saved   %s (resume with -resume %s)\n", *checkpoint, *checkpoint)
+	}
 
 	// One-shot telemetry digest on exit, endpoint or not.
 	fmt.Println("--- telemetry ---")
@@ -124,10 +183,13 @@ func main() {
 		fail(err)
 	}
 
+	if interrupted {
+		closeServer()
+		os.Exit(130)
+	}
+
 	if *hold && srv != nil {
 		fmt.Fprintf(os.Stderr, "[holding metrics endpoint on %s; interrupt to exit]\n", srv.Addr())
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
+		<-ctx.Done()
 	}
 }

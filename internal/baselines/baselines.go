@@ -15,6 +15,8 @@
 package baselines
 
 import (
+	"context"
+
 	"mfcp/internal/core"
 	"mfcp/internal/mat"
 	"mfcp/internal/nn"
@@ -67,10 +69,23 @@ type TSM struct {
 // NewTSM trains the two-stage baseline. hidden and epochs match the MFCP
 // pretrain so the comparison isolates the training objective.
 func NewTSM(s *workload.Scenario, train []int, hidden []int, epochs int) *TSM {
+	b, err := NewTSMCtx(context.Background(), s, train, hidden, epochs)
+	if err != nil {
+		// invariant: a background context never cancels, and the MSE
+		// pretrain has no other failure mode.
+		panic(err)
+	}
+	return b
+}
+
+// NewTSMCtx is NewTSM with cooperative cancellation of the MSE pretrain.
+// On cancellation the partially trained baseline is returned alongside an
+// mfcperr.ErrCanceled-wrapped error.
+func NewTSMCtx(ctx context.Context, s *workload.Scenario, train []int, hidden []int, epochs int) (*TSM, error) {
 	stream := s.Stream("tsm")
 	set := core.NewPredictorSet(s.M(), s.Features.Cols, hidden, stream.Split("init"))
-	core.PretrainMSE(set, s, train, epochs, stream.Split("train"))
-	return &TSM{s: s, set: set}
+	err := core.PretrainMSECtx(ctx, set, s, train, epochs, stream.Split("train"))
+	return &TSM{s: s, set: set}, err
 }
 
 // NewTSMFromSet wraps an already-trained predictor set as the two-stage

@@ -1,0 +1,168 @@
+// Package binenc is the little-endian, length-prefixed binary codec the
+// checkpoint layer is built on (stdlib-only, in the spirit of
+// taskgraph/serialize.go's hand-rolled wire forms). Writers are plain
+// append-style functions so encoders compose without intermediate buffers;
+// the Reader carries a sticky error so decoders read a whole record and
+// check once at the end — a truncated or oversized field surfaces as an
+// mfcperr.ErrCorruptCheckpoint-wrapped error, never a panic or a silent
+// garbage value.
+package binenc
+
+import (
+	"encoding/binary"
+	"math"
+
+	"mfcp/internal/mfcperr"
+)
+
+// maxLen bounds any single length prefix a Reader will accept (1 GiB of
+// float64s is far beyond any real checkpoint); it converts a corrupt
+// length field into a clean decode error instead of an OOM attempt.
+const maxLen = 1 << 27
+
+// AppendU8 appends one byte.
+func AppendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+// AppendU32 appends a little-endian uint32.
+func AppendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+// AppendU64 appends a little-endian uint64.
+func AppendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// AppendI64 appends an int64 as its two's-complement uint64 image.
+func AppendI64(b []byte, v int64) []byte { return AppendU64(b, uint64(v)) }
+
+// AppendF64 appends a float64 as its IEEE-754 bit image.
+func AppendF64(b []byte, v float64) []byte { return AppendU64(b, math.Float64bits(v)) }
+
+// AppendBytes appends a u32 length prefix followed by the raw bytes.
+func AppendBytes(b, p []byte) []byte {
+	b = AppendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// AppendString appends a u32 length prefix followed by the string bytes.
+func AppendString(b []byte, s string) []byte {
+	b = AppendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// AppendF64s appends a u32 count prefix followed by the raw float64 images.
+func AppendF64s(b []byte, v []float64) []byte {
+	b = AppendU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = AppendF64(b, x)
+	}
+	return b
+}
+
+// Reader decodes a byte slice written with the Append functions. The first
+// failure (underflow, oversized length prefix) sticks: every subsequent
+// read returns the zero value and Err reports the failure, so decoders can
+// read an entire record linearly and validate once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps buf for decoding. The Reader does not copy buf; byte
+// slices returned by Bytes alias it.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decode failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "truncated %s at offset %d", what, r.off)
+	}
+}
+
+func (r *Reader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.buf)-r.off {
+		r.fail(what)
+		return nil
+	}
+	p := r.buf[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	p := r.take(1, "u8")
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	p := r.take(4, "u32")
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	p := r.take(8, "u64")
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// length reads and bounds-checks a u32 length prefix.
+func (r *Reader) length(what string) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if n > maxLen || n > r.Len() {
+		r.fail(what + " length")
+		return 0
+	}
+	return n
+}
+
+// Bytes reads a u32-length-prefixed byte slice (aliasing the input buffer).
+func (r *Reader) Bytes() []byte {
+	n := r.length("bytes")
+	return r.take(n, "bytes")
+}
+
+// String reads a u32-length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// F64s reads a u32-count-prefixed float64 slice.
+func (r *Reader) F64s() []float64 {
+	n := int(r.U32())
+	if r.err != nil {
+		return nil
+	}
+	if n > maxLen/8 || n*8 > r.Len() {
+		r.fail("f64s length")
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}

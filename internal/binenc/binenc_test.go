@@ -1,0 +1,88 @@
+package binenc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mfcp/internal/mfcperr"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendU8(b, 7)
+	b = AppendU32(b, 0xDEADBEEF)
+	b = AppendU64(b, 1<<63|42)
+	b = AppendI64(b, -17)
+	b = AppendF64(b, math.Pi)
+	b = AppendF64(b, math.Inf(-1))
+	b = AppendString(b, "platform-rounds")
+	b = AppendBytes(b, []byte{1, 2, 3})
+	b = AppendF64s(b, []float64{0, -0.5, math.MaxFloat64})
+
+	r := NewReader(b)
+	if v := r.U8(); v != 7 {
+		t.Fatalf("u8 %d", v)
+	}
+	if v := r.U32(); v != 0xDEADBEEF {
+		t.Fatalf("u32 %x", v)
+	}
+	if v := r.U64(); v != 1<<63|42 {
+		t.Fatalf("u64 %x", v)
+	}
+	if v := r.I64(); v != -17 {
+		t.Fatalf("i64 %d", v)
+	}
+	if v := r.F64(); v != math.Pi {
+		t.Fatalf("f64 %v", v)
+	}
+	if v := r.F64(); !math.IsInf(v, -1) {
+		t.Fatalf("f64 inf %v", v)
+	}
+	if v := r.String(); v != "platform-rounds" {
+		t.Fatalf("string %q", v)
+	}
+	if v := r.Bytes(); len(v) != 3 || v[2] != 3 {
+		t.Fatalf("bytes %v", v)
+	}
+	fs := r.F64s()
+	if len(fs) != 3 || fs[1] != -0.5 || fs[2] != math.MaxFloat64 {
+		t.Fatalf("f64s %v", fs)
+	}
+	if r.Err() != nil || r.Len() != 0 {
+		t.Fatalf("err=%v remaining=%d", r.Err(), r.Len())
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	b := AppendU64(nil, 99)
+	r := NewReader(b[:5])
+	_ = r.U64()
+	if !errors.Is(r.Err(), mfcperr.ErrCorruptCheckpoint) {
+		t.Fatalf("truncated read err = %v", r.Err())
+	}
+	// Sticky: later reads keep failing and return zero values.
+	if v := r.U32(); v != 0 {
+		t.Fatalf("read after failure returned %d", v)
+	}
+}
+
+func TestOversizedLength(t *testing.T) {
+	// A length prefix claiming more data than exists must fail cleanly.
+	b := AppendU32(nil, 1<<30)
+	r := NewReader(b)
+	if s := r.String(); s != "" {
+		t.Fatalf("oversized string %q", s)
+	}
+	if !errors.Is(r.Err(), mfcperr.ErrCorruptCheckpoint) {
+		t.Fatalf("err = %v", r.Err())
+	}
+
+	r = NewReader(AppendU32(nil, 1<<30))
+	if fs := r.F64s(); fs != nil {
+		t.Fatalf("oversized f64s %v", fs)
+	}
+	if !errors.Is(r.Err(), mfcperr.ErrCorruptCheckpoint) {
+		t.Fatalf("err = %v", r.Err())
+	}
+}

@@ -169,6 +169,7 @@ func Fleet(s Setting) ([]*Profile, error) {
 func MustFleet(s Setting) []*Profile {
 	f, err := Fleet(s)
 	if err != nil {
+		// invariant: MustFleet serves the three literal settings in tests and examples.
 		panic(err)
 	}
 	return f

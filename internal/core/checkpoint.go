@@ -1,0 +1,285 @@
+package core
+
+import (
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"mfcp/internal/binenc"
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/nn"
+)
+
+// Checkpoint file layout (DESIGN.md §7):
+//
+//	magic "MFCPCKPT" | u8 version | u32 crc32(payload) | u64 len(payload) | payload
+//
+// The payload is a binenc record: round/refit counters, the config
+// fingerprint, named RNG stream states, named float gauges, the published
+// predictor set, and an owner-defined Extra blob (the platform layer stores
+// its replay buffer and report accumulators there). Everything is
+// little-endian and length-prefixed, so a truncated or bit-flipped file
+// surfaces as mfcperr.ErrCorruptCheckpoint at load, never as a bad resume.
+const (
+	checkpointMagic   = "MFCPCKPT"
+	checkpointVersion = 1
+)
+
+// maxCheckpointEntries bounds the named-collection counts a decoder will
+// accept; past it the length field is corruption, not data.
+const maxCheckpointEntries = 1 << 16
+
+// StreamState is one named RNG stream's xoshiro256** state.
+type StreamState struct {
+	Name  string
+	State [4]uint64
+}
+
+// GaugeState is one named float gauge (EWMA telemetry, drift trackers, ...)
+// carried across a resume so monitoring curves stay continuous.
+type GaugeState struct {
+	Name  string
+	Value float64
+}
+
+// Checkpoint is a resumable snapshot of a run: where it was (Round, Refits),
+// what it was configured as (ConfigHash, checked on resume), the exact RNG
+// positions and predictor weights needed to continue bit-identically, and an
+// owner-defined Extra payload.
+type Checkpoint struct {
+	// Round is the next round index to serve (online) or 0 for a pure
+	// training checkpoint.
+	Round int
+	// Refits counts completed predictor refits at checkpoint time.
+	Refits int
+	// ConfigHash fingerprints the generating configuration; LoadCheckpoint
+	// callers compare it against their own config's hash before resuming.
+	ConfigHash uint64
+	// Streams holds the live RNG stream states by name.
+	Streams []StreamState
+	// Gauges holds named float state (EWMA telemetry etc.) by name.
+	Gauges []GaugeState
+	// Set is the published predictor set (nil for methods without one).
+	Set *PredictorSet
+	// Extra is an owner-defined binary payload (the platform engine stores
+	// its replay buffer, report accumulators, and window state here).
+	Extra []byte
+}
+
+// Stream returns the named stream state, if present.
+func (c *Checkpoint) Stream(name string) ([4]uint64, bool) {
+	for _, s := range c.Streams {
+		if s.Name == name {
+			return s.State, true
+		}
+	}
+	return [4]uint64{}, false
+}
+
+// Gauge returns the named gauge value, if present.
+func (c *Checkpoint) Gauge(name string) (float64, bool) {
+	for _, g := range c.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Validate checks the set fits a scenario with m clusters and
+// inDim-dimensional features; checkpoint resume calls it before serving
+// restored weights against a freshly built scenario.
+func (ps *PredictorSet) Validate(m, inDim int) error {
+	if len(ps.Preds) != m {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "core: predictor set covers %d clusters, scenario has %d", len(ps.Preds), m)
+	}
+	for i, p := range ps.Preds {
+		if p == nil || p.Time == nil || p.Rel == nil {
+			return mfcperr.Wrap(mfcperr.ErrBadShape, "core: predictor %d is incomplete", i)
+		}
+		if p.Time.Dims[0] != inDim || p.Rel.Dims[0] != inDim {
+			return mfcperr.Wrap(mfcperr.ErrBadShape, "core: predictor %d expects %d/%d-dim features, scenario has %d", i, p.Time.Dims[0], p.Rel.Dims[0], inDim)
+		}
+	}
+	return nil
+}
+
+// AppendBinary appends the set's binary encoding to buf: the cluster count,
+// then each predictor's Time and Rel networks via the nn codec.
+func (ps *PredictorSet) AppendBinary(buf []byte) []byte {
+	buf = binenc.AppendU32(buf, uint32(len(ps.Preds)))
+	for _, p := range ps.Preds {
+		buf = p.Time.AppendBinary(buf)
+		buf = p.Rel.AppendBinary(buf)
+	}
+	return buf
+}
+
+// ReadPredictorSet decodes a PredictorSet written by AppendBinary. The
+// decoded set predicts bit-identically to the encoded one.
+func ReadPredictorSet(r *binenc.Reader) (*PredictorSet, error) {
+	m := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if m < 0 || m > maxCheckpointEntries {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: predictor set with %d clusters", m)
+	}
+	set := &PredictorSet{Preds: make([]*Predictor, m)}
+	for i := 0; i < m; i++ {
+		tm, err := nn.ReadMLP(r)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := nn.ReadMLP(r)
+		if err != nil {
+			return nil, err
+		}
+		set.Preds[i] = &Predictor{Time: tm, Rel: rel}
+	}
+	return set, nil
+}
+
+// EncodeCheckpoint serializes c into the framed file format described above.
+func EncodeCheckpoint(c *Checkpoint) []byte {
+	var p []byte
+	p = binenc.AppendI64(p, int64(c.Round))
+	p = binenc.AppendI64(p, int64(c.Refits))
+	p = binenc.AppendU64(p, c.ConfigHash)
+	p = binenc.AppendU32(p, uint32(len(c.Streams)))
+	for _, s := range c.Streams {
+		p = binenc.AppendString(p, s.Name)
+		for _, w := range s.State {
+			p = binenc.AppendU64(p, w)
+		}
+	}
+	p = binenc.AppendU32(p, uint32(len(c.Gauges)))
+	for _, g := range c.Gauges {
+		p = binenc.AppendString(p, g.Name)
+		p = binenc.AppendF64(p, g.Value)
+	}
+	if c.Set != nil {
+		p = binenc.AppendU8(p, 1)
+		p = c.Set.AppendBinary(p)
+	} else {
+		p = binenc.AppendU8(p, 0)
+	}
+	p = binenc.AppendBytes(p, c.Extra)
+
+	buf := make([]byte, 0, len(checkpointMagic)+1+4+8+len(p))
+	buf = append(buf, checkpointMagic...)
+	buf = binenc.AppendU8(buf, checkpointVersion)
+	buf = binenc.AppendU32(buf, crc32.ChecksumIEEE(p))
+	buf = binenc.AppendU64(buf, uint64(len(p)))
+	return append(buf, p...)
+}
+
+// DecodeCheckpoint parses a framed checkpoint, validating magic, version,
+// length, and CRC before touching the payload. Any violation returns an
+// mfcperr.ErrCorruptCheckpoint-wrapped error.
+func DecodeCheckpoint(buf []byte) (*Checkpoint, error) {
+	head := len(checkpointMagic) + 1 + 4 + 8
+	if len(buf) < head {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: checkpoint shorter than header (%d bytes)", len(buf))
+	}
+	if string(buf[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: bad checkpoint magic %q", buf[:len(checkpointMagic)])
+	}
+	hr := binenc.NewReader(buf[len(checkpointMagic):])
+	ver := hr.U8()
+	sum := hr.U32()
+	plen := hr.U64()
+	if ver != checkpointVersion {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: checkpoint version %d, want %d", ver, checkpointVersion)
+	}
+	payload := buf[head:]
+	if uint64(len(payload)) != plen {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: checkpoint payload %d bytes, header says %d", len(payload), plen)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: checkpoint CRC %08x, want %08x", got, sum)
+	}
+
+	r := binenc.NewReader(payload)
+	c := &Checkpoint{
+		Round:      int(r.I64()),
+		Refits:     int(r.I64()),
+		ConfigHash: r.U64(),
+	}
+	ns := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if ns < 0 || ns > maxCheckpointEntries {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: checkpoint with %d streams", ns)
+	}
+	c.Streams = make([]StreamState, ns)
+	for i := range c.Streams {
+		c.Streams[i].Name = r.String()
+		for w := range c.Streams[i].State {
+			c.Streams[i].State[w] = r.U64()
+		}
+	}
+	ng := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if ng < 0 || ng > maxCheckpointEntries {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: checkpoint with %d gauges", ng)
+	}
+	c.Gauges = make([]GaugeState, ng)
+	for i := range c.Gauges {
+		c.Gauges[i].Name = r.String()
+		c.Gauges[i].Value = r.F64()
+	}
+	if hasSet := r.U8(); r.Err() == nil && hasSet != 0 {
+		set, err := ReadPredictorSet(r)
+		if err != nil {
+			return nil, err
+		}
+		c.Set = set
+	}
+	// Extra aliases payload; copy so the checkpoint owns its memory.
+	c.Extra = append([]byte(nil), r.Bytes()...)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return c, nil
+}
+
+// SaveCheckpoint atomically writes c to path: the bytes land in a temp file
+// in the same directory which is then renamed over path, so a crash or
+// signal mid-write never leaves a torn checkpoint behind.
+func SaveCheckpoint(path string, c *Checkpoint) error {
+	buf := EncodeCheckpoint(c)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file written by
+// SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCheckpoint(buf)
+}

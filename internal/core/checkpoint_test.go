@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/rng"
+)
+
+func sampleCheckpoint(t *testing.T) *Checkpoint {
+	t.Helper()
+	set := NewPredictorSet(3, 12, []int{8, 4}, rng.New(77))
+	return &Checkpoint{
+		Round:      42,
+		Refits:     7,
+		ConfigHash: 0xdeadbeefcafe,
+		Streams: []StreamState{
+			{Name: "rounds", State: [4]uint64{1, 2, 3, 4}},
+			{Name: "exec", State: [4]uint64{5, 6, 7, 8}},
+		},
+		Gauges: []GaugeState{
+			{Name: "ema_regret", Value: 0.125},
+			{Name: "ema_init", Value: 1},
+		},
+		Set:   set,
+		Extra: []byte{9, 8, 7, 6, 5},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := sampleCheckpoint(t)
+	got, err := DecodeCheckpoint(EncodeCheckpoint(ck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != ck.Round || got.Refits != ck.Refits || got.ConfigHash != ck.ConfigHash {
+		t.Fatalf("counters: %+v", got)
+	}
+	if len(got.Streams) != 2 || got.Streams[0] != ck.Streams[0] || got.Streams[1] != ck.Streams[1] {
+		t.Fatalf("streams: %+v", got.Streams)
+	}
+	if len(got.Gauges) != 2 || got.Gauges[0] != ck.Gauges[0] || got.Gauges[1] != ck.Gauges[1] {
+		t.Fatalf("gauges: %+v", got.Gauges)
+	}
+	if string(got.Extra) != string(ck.Extra) {
+		t.Fatalf("extra: %v", got.Extra)
+	}
+
+	// The decoded predictor set must predict bit-identically, both through
+	// Predict and through the workspace path the serving engine uses.
+	s := testScenario(78)
+	Z := s.FeaturesOf([]int{0, 3, 7, 11})
+	wantT, wantA := ck.Set.Predict(Z)
+	gotT, gotA := got.Set.Predict(Z)
+	if !wantT.Equal(gotT, 0) || !wantA.Equal(gotA, 0) {
+		t.Fatal("decoded set predicts differently")
+	}
+	var ws PredictWorkspace
+	wsT, wsA := new(mat.Dense), new(mat.Dense)
+	got.Set.PredictInto(Z, &ws, wsT, wsA)
+	if !wantT.Equal(wsT, 0) || !wantA.Equal(wsA, 0) {
+		t.Fatal("decoded set's PredictInto diverges")
+	}
+}
+
+func TestCheckpointNilSet(t *testing.T) {
+	ck := &Checkpoint{Round: 1}
+	got, err := DecodeCheckpoint(EncodeCheckpoint(ck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Set != nil {
+		t.Fatal("nil set round-tripped as non-nil")
+	}
+}
+
+func TestCheckpointLookups(t *testing.T) {
+	ck := sampleCheckpoint(t)
+	if st, ok := ck.Stream("exec"); !ok || st != [4]uint64{5, 6, 7, 8} {
+		t.Fatalf("stream lookup: %v %v", st, ok)
+	}
+	if _, ok := ck.Stream("missing"); ok {
+		t.Fatal("missing stream found")
+	}
+	if v, ok := ck.Gauge("ema_regret"); !ok || v != 0.125 {
+		t.Fatalf("gauge lookup: %v %v", v, ok)
+	}
+	if _, ok := ck.Gauge("missing"); ok {
+		t.Fatal("missing gauge found")
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	buf := EncodeCheckpoint(sampleCheckpoint(t))
+
+	// Bad magic.
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xff
+	if _, err := DecodeCheckpoint(bad); !errors.Is(err, mfcperr.ErrCorruptCheckpoint) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	// Unknown version.
+	bad = append([]byte(nil), buf...)
+	bad[len(checkpointMagic)] = 99
+	if _, err := DecodeCheckpoint(bad); !errors.Is(err, mfcperr.ErrCorruptCheckpoint) {
+		t.Fatalf("bad version: %v", err)
+	}
+	// A flipped payload bit must fail the CRC.
+	bad = append([]byte(nil), buf...)
+	bad[len(bad)/2] ^= 0x10
+	if _, err := DecodeCheckpoint(bad); !errors.Is(err, mfcperr.ErrCorruptCheckpoint) {
+		t.Fatalf("flipped payload byte: %v", err)
+	}
+	// Truncations at every boundary class: inside the header, inside the
+	// payload, and just one byte short.
+	for _, cut := range []int{0, 5, len(buf) / 3, len(buf) - 1} {
+		if _, err := DecodeCheckpoint(buf[:cut]); !errors.Is(err, mfcperr.ErrCorruptCheckpoint) {
+			t.Fatalf("truncation at %d: %v", cut, err)
+		}
+	}
+}
+
+func TestSaveLoadCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	ck := sampleCheckpoint(t)
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	// The write is atomic via temp+rename: no stray temp files remain.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "run.ckpt" {
+		t.Fatalf("directory entries: %v", entries)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != ck.Round || got.ConfigHash != ck.ConfigHash {
+		t.Fatalf("loaded checkpoint: %+v", got)
+	}
+	// Overwriting an existing checkpoint must succeed (periodic saves reuse
+	// one path).
+	ck.Round = 43
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadCheckpoint(path)
+	if err != nil || got.Round != 43 {
+		t.Fatalf("overwrite: %v round=%d", err, got.Round)
+	}
+}
+
+func TestPredictorSetValidate(t *testing.T) {
+	set := NewPredictorSet(3, 12, []int{8}, rng.New(5))
+	if err := set.Validate(3, 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Validate(4, 12); !errors.Is(err, mfcperr.ErrBadShape) {
+		t.Fatalf("cluster mismatch: %v", err)
+	}
+	if err := set.Validate(3, 10); !errors.Is(err, mfcperr.ErrBadShape) {
+		t.Fatalf("feature mismatch: %v", err)
+	}
+	set.Preds[1] = nil
+	if err := set.Validate(3, 12); !errors.Is(err, mfcperr.ErrBadShape) {
+		t.Fatalf("nil predictor: %v", err)
+	}
+}

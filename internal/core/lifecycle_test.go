@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mfcp/internal/diffopt"
+	"mfcp/internal/mfcperr"
+)
+
+func TestTrainCtxBackgroundMatchesTrain(t *testing.T) {
+	cfg := Config{Kind: AD, PretrainEpochs: 40, Epochs: 6, RoundSize: 4}
+	s := testScenario(31)
+	train, _ := s.Split(0.75)
+	want := Train(s, train, cfg)
+	got, err := TrainCtx(context.Background(), s, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stopped != "" {
+		t.Fatalf("uncanceled run stopped in %q", got.Stopped)
+	}
+	for i := range want.History {
+		if want.History[i] != got.History[i] {
+			t.Fatalf("history diverged at epoch %d", i)
+		}
+	}
+}
+
+func TestTrainCtxCanceledDuringPretrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := testScenario(32)
+	train, _ := s.Split(0.75)
+	tr, err := TrainCtx(ctx, s, train, Config{Kind: AD, PretrainEpochs: 40, Epochs: 4, RoundSize: 4})
+	if !errors.Is(err, mfcperr.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if tr == nil || tr.Set == nil {
+		t.Fatal("canceled train returned no partial trainer")
+	}
+	if tr.Stopped != "pretrain" {
+		t.Fatalf("stopped phase %q", tr.Stopped)
+	}
+	// The partial trainer must still predict (initialized networks).
+	T, A := tr.Predict([]int{0, 1, 2})
+	if T.Rows != s.M() || A.Cols != 3 {
+		t.Fatal("partial trainer cannot predict")
+	}
+}
+
+func TestTrainCtxCanceledDuringRegret(t *testing.T) {
+	// A warm start skips the pretrain phase, so a pre-canceled context lands
+	// deterministically on the first regret epoch's boundary check.
+	s := testScenario(33)
+	train, _ := s.Split(0.75)
+	warm := NewPredictorSet(s.M(), s.Features.Cols, []int{8}, s.Stream("warm"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr, err := TrainCtx(ctx, s, train, Config{Kind: AD, Epochs: 10, RoundSize: 4, Warm: warm})
+	if !errors.Is(err, mfcperr.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if tr.Stopped != "regret" {
+		t.Fatalf("stopped phase %q", tr.Stopped)
+	}
+	if len(tr.History) != 0 {
+		t.Fatalf("canceled before any epoch but history has %d entries", len(tr.History))
+	}
+	if tr.Set == nil {
+		t.Fatal("no partial weights")
+	}
+}
+
+func TestTrainCtxValidatesConfig(t *testing.T) {
+	s := testScenario(34)
+	train, _ := s.Split(0.75)
+	bad := []Config{
+		{Kind: AD, Hidden: []int{0}},
+		{Kind: AD, Epochs: -1},
+		{Kind: AD, PretrainEpochs: -1},
+		{Kind: AD, LR: -0.1},
+		{Kind: AD, GradClip: -1},
+		{Kind: AD, Match: MatchConfig{Gamma: 2}},
+		{Kind: AD, Match: MatchConfig{Beta: -3}},
+		{Kind: FG, ZO: diffopt.ZeroOrderConfig{Delta: -1}},
+		{Kind: FG, ZO: diffopt.ZeroOrderConfig{Samples: -2}},
+	}
+	for i, cfg := range bad {
+		if _, err := TrainCtx(context.Background(), s, train, cfg); !errors.Is(err, mfcperr.ErrBadConfig) {
+			t.Fatalf("config %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestTrainCtxInfeasibleRound(t *testing.T) {
+	s := testScenario(35)
+	if _, err := TrainCtx(context.Background(), s, []int{0, 1}, Config{Kind: AD, RoundSize: 5}); !errors.Is(err, mfcperr.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestPretrainMSECtxCanceled(t *testing.T) {
+	s := testScenario(36)
+	train, _ := s.Split(0.75)
+	set := NewPredictorSet(s.M(), s.Features.Cols, []int{8}, s.Stream("init"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := PretrainMSECtx(ctx, set, s, train, 50, s.Stream("pre"))
+	if !errors.Is(err, mfcperr.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}

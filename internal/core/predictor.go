@@ -134,6 +134,7 @@ func (ps *PredictorSet) Snapshot(into *PredictorSet) *PredictorSet {
 		return ps.Clone()
 	}
 	if len(into.Preds) != len(ps.Preds) {
+		// invariant: snapshot targets are prior Clones of this set.
 		panic("core: Snapshot into a set of different fleet size")
 	}
 	for i, p := range ps.Preds {

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+
 	"mfcp/internal/cluster"
 	"mfcp/internal/diffopt"
 	"mfcp/internal/mat"
 	"mfcp/internal/matching"
+	"mfcp/internal/mfcperr"
 	"mfcp/internal/nn"
 	"mfcp/internal/obs"
 	"mfcp/internal/parallel"
@@ -84,6 +87,27 @@ func (mc *MatchConfig) FillDefaults() {
 	if mc.SolveIters == 0 {
 		mc.SolveIters = 200
 	}
+}
+
+// Validate rejects hyperparameters outside their admissible ranges. It runs
+// after FillDefaults, so zero values for defaulted fields never reach it.
+func (mc *MatchConfig) Validate() error {
+	if mc.Gamma <= 0 || mc.Gamma > 1 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Gamma %g outside (0,1]", mc.Gamma)
+	}
+	if mc.Beta <= 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Beta %g must be positive", mc.Beta)
+	}
+	if mc.Lambda < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Lambda %g must be non-negative", mc.Lambda)
+	}
+	if mc.Entropy < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Entropy %g must be non-negative", mc.Entropy)
+	}
+	if mc.SolveIters < 1 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: SolveIters %d must be at least 1", mc.SolveIters)
+	}
+	return nil
 }
 
 // Problem builds a matching problem over (T, A) with this configuration.
@@ -273,6 +297,39 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// Validate rejects configurations outside their admissible ranges. Like
+// MatchConfig.Validate it runs after fillDefaults; TrainCtx calls both, so
+// any bad value reaches the caller as an mfcperr.ErrBadConfig error instead
+// of corrupting a run.
+func (c *Config) Validate() error {
+	for _, h := range c.Hidden {
+		if h < 1 {
+			return mfcperr.Wrap(mfcperr.ErrBadConfig, "core: hidden layer width %d must be at least 1", h)
+		}
+	}
+	if c.PretrainEpochs < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "core: PretrainEpochs %d must be non-negative", c.PretrainEpochs)
+	}
+	if c.Epochs < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "core: Epochs %d must be non-negative", c.Epochs)
+	}
+	if c.RoundSize < 1 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "core: RoundSize %d must be at least 1", c.RoundSize)
+	}
+	if c.LR <= 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "core: LR %g must be positive", c.LR)
+	}
+	if c.GradClip <= 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "core: GradClip %g must be positive", c.GradClip)
+	}
+	if c.Kind == FG {
+		if err := c.ZO.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.Match.Validate()
+}
+
 // Trainer is a trained MFCP model: per-cluster predictors plus the matching
 // configuration they were optimized against.
 type Trainer struct {
@@ -288,6 +345,11 @@ type Trainer struct {
 	// ValRegret is the best validation regret achieved (when early
 	// stopping is enabled).
 	ValRegret float64
+	// Stopped names the phase a canceled TrainCtx run was interrupted in
+	// ("pretrain" or "regret"); empty for runs that completed normally.
+	// A stopped trainer is still valid: its Set holds the best weights
+	// reached before cancellation.
+	Stopped string
 
 	name string
 	// ws and wsOracle are the reusable matching workspaces for the
@@ -323,9 +385,41 @@ func (tr *Trainer) Predict(round []int) (T, A *mat.Dense) {
 }
 
 // Train runs the full MFCP pipeline on the scenario's training indices and
-// returns the trained model.
+// returns the trained model. It is TrainCtx without cancellation; use
+// TrainCtx to get error returns instead of panics on a bad configuration.
 func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
+	tr, err := TrainCtx(context.Background(), s, train, cfg)
+	if err != nil {
+		// invariant: a background context never cancels, so the only errors
+		// here are configuration mistakes by internal callers.
+		panic(err)
+	}
+	return tr
+}
+
+// NewTrainerFromSet wraps an existing predictor set (cloned, never mutated)
+// as a ready-to-serve Trainer without running any training. Checkpoint
+// resume uses it to restore MFCP methods from saved weights.
+func NewTrainerFromSet(s *workload.Scenario, set *PredictorSet, cfg Config) *Trainer {
 	cfg.fillDefaults()
+	return &Trainer{Cfg: cfg, Set: set.Clone(), Scen: s, name: cfg.Kind.String()}
+}
+
+// TrainCtx is Train with validation and cooperative cancellation. The
+// context is checked at phase boundaries: per network during the MSE warm
+// start and per epoch during regret descent, so cancellation never tears a
+// half-applied optimizer step. On cancellation it still runs the normal
+// validation-restore finalization and returns the partial trainer — with
+// Stopped naming the interrupted phase — alongside an
+// mfcperr.ErrCanceled-wrapped error.
+func TrainCtx(ctx context.Context, s *workload.Scenario, train []int, cfg Config) (*Trainer, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(train) < cfg.RoundSize {
+		return nil, mfcperr.Wrap(mfcperr.ErrInfeasible, "core: %d training tasks cannot fill a round of %d", len(train), cfg.RoundSize)
+	}
 	tr := &Trainer{Cfg: cfg, Scen: s, name: cfg.Kind.String()}
 	stream := s.Stream("mfcp-" + cfg.Kind.String())
 	met := newTrainerMetrics(cfg.Telemetry)
@@ -337,8 +431,12 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 	} else {
 		tr.Set = NewPredictorSet(s.M(), s.Features.Cols, cfg.Hidden, stream.Split("init"))
 		sp := met.pretrain.Start()
-		PretrainMSE(tr.Set, s, train, cfg.PretrainEpochs, stream.Split("pretrain"))
+		err := PretrainMSECtx(ctx, tr.Set, s, train, cfg.PretrainEpochs, stream.Split("pretrain"))
 		sp.End()
+		if err != nil {
+			tr.Stopped = "pretrain"
+			return tr, err
+		}
 	}
 
 	// Phase 2: end-to-end regret descent.
@@ -394,7 +492,12 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 	bestVal := tr.validationRegret(valRounds)
 	bestSet := tr.Set.Clone()
 
+	canceled := false
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if ctx.Err() != nil {
+			canceled = true
+			break
+		}
 		sp := met.epoch.Start()
 		round := s.SampleRound(fitIdx, cfg.RoundSize, roundStream)
 		Z := s.FeaturesOf(round)
@@ -468,7 +571,9 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 		sp.End()
 	}
 	if len(valRounds) > 0 {
-		// Final check, then restore the best snapshot seen.
+		// Final check, then restore the best snapshot seen. This runs on
+		// cancellation too, so a canceled run still hands back its best
+		// validated weights rather than whatever epoch it stopped in.
 		if v := tr.validationRegret(valRounds); v < bestVal {
 			bestVal = v
 			bestSet = tr.Set.Clone()
@@ -477,7 +582,11 @@ func Train(s *workload.Scenario, train []int, cfg Config) *Trainer {
 		tr.ValRegret = bestVal
 		met.valRegret.Set(bestVal)
 	}
-	return tr
+	if canceled {
+		tr.Stopped = "regret"
+		return tr, mfcperr.Canceled("core.Train", context.Cause(ctx))
+	}
+	return tr, nil
 }
 
 // validationRegret scores the current predictors on the held-out rounds:
@@ -599,13 +708,26 @@ func (tr *Trainer) matchingGrads(trueProb *matching.Problem, That, Ahat, Tm, Am 
 // the training indices by plain MSE — equation (1), the entirety of the
 // two-stage baseline's learning. All 2M networks train in parallel.
 func PretrainMSE(set *PredictorSet, s *workload.Scenario, train []int, epochs int, r *rng.Source) {
+	// A background context never cancels, so the error is always nil.
+	_ = PretrainMSECtx(context.Background(), set, s, train, epochs, r)
+}
+
+// PretrainMSECtx is PretrainMSE with cooperative cancellation, checked
+// between networks: each of the 2M networks either trains fully or not at
+// all, so a canceled warm start leaves no half-trained network behind.
+// Untrained networks keep their initialization. Returns an
+// mfcperr.ErrCanceled-wrapped error when interrupted.
+func PretrainMSECtx(ctx context.Context, set *PredictorSet, s *workload.Scenario, train []int, epochs int, r *rng.Source) error {
 	if epochs <= 0 {
-		return
+		return nil
 	}
 	Z := s.FeaturesOf(train)
 	m := set.M()
 	parallel.ForChunked(2*m, 1, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
+			if ctx.Err() != nil {
+				return
+			}
 			i := k / 2
 			tv, av := s.LabelVectors(i, train)
 			cfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16}
@@ -616,4 +738,8 @@ func PretrainMSE(set *PredictorSet, s *workload.Scenario, train []int, epochs in
 			}
 		}
 	})
+	if ctx.Err() != nil {
+		return mfcperr.Canceled("core.PretrainMSE", context.Cause(ctx))
+	}
+	return nil
 }

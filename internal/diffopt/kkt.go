@@ -24,16 +24,20 @@ import (
 
 	"mfcp/internal/mat"
 	"mfcp/internal/matching"
+	"mfcp/internal/mfcperr"
 )
 
 // ErrNotConvex is returned when analytical differentiation is requested for
 // a problem outside its domain (parallel speedups, linear-sum objective, or
-// hard penalty).
-var ErrNotConvex = errors.New("diffopt: analytical differentiation requires the convex sequential setting with a log barrier")
+// hard penalty). It wraps mfcperr.ErrBadConfig: the request, not the math,
+// is at fault.
+var ErrNotConvex = fmt.Errorf("diffopt: analytical differentiation requires the convex sequential setting with a log barrier: %w", mfcperr.ErrBadConfig)
 
 // ErrBoundary is returned when the optimum sits too close to the constraint
-// boundary for the implicit function theorem to apply.
-var ErrBoundary = errors.New("diffopt: optimum too close to reliability boundary for implicit differentiation")
+// boundary for the implicit function theorem to apply. It wraps
+// mfcperr.ErrNotConverged: trainers treat it like any other skipped-epoch
+// gradient failure.
+var ErrBoundary = fmt.Errorf("diffopt: optimum too close to reliability boundary for implicit differentiation: %w", mfcperr.ErrNotConverged)
 
 // adCompatible checks the problem is in MFCP-AD's domain.
 func adCompatible(p *matching.Problem) error {
@@ -149,11 +153,11 @@ func AdjointGrads(p *matching.Problem, X, w *mat.Dense) (dT, dA *mat.Dense, err 
 	copy(rhs[:mn], w.Data)
 	f, err := mat.Factorize(K)
 	if err != nil {
-		return nil, nil, fmt.Errorf("diffopt: KKT factorization: %w", err)
+		return nil, nil, fmt.Errorf("diffopt: KKT factorization: %v: %w", err, mfcperr.ErrNotConverged)
 	}
 	yFull, err := f.Solve(rhs, nil)
 	if err != nil {
-		return nil, nil, fmt.Errorf("diffopt: KKT solve: %w", err)
+		return nil, nil, fmt.Errorf("diffopt: KKT solve: %v: %w", err, mfcperr.ErrNotConverged)
 	}
 	y := mat.NewDense(st.m, st.n)
 	copy(y.Data, yFull[:mn])

@@ -3,6 +3,7 @@ package diffopt
 import (
 	"mfcp/internal/mat"
 	"mfcp/internal/matching"
+	"mfcp/internal/mfcperr"
 )
 
 // UnrollConfig parameterizes backpropagation through the solver.
@@ -20,6 +21,18 @@ func (c *UnrollConfig) fillDefaults() {
 	if c.LR == 0 {
 		c.LR = 0.5
 	}
+}
+
+// Validate rejects unroll parameters outside their admissible ranges (it
+// accepts the zero values fillDefaults later replaces).
+func (c *UnrollConfig) Validate() error {
+	if c.Iters < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "diffopt: unroll Iters %d must be non-negative", c.Iters)
+	}
+	if c.LR < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "diffopt: unroll LR %g must be non-negative", c.LR)
+	}
+	return nil
 }
 
 // UnrolledGrads computes dL/dT̂ and dL/dÂ by differentiating through the

@@ -5,6 +5,7 @@ import (
 
 	"mfcp/internal/mat"
 	"mfcp/internal/matching"
+	"mfcp/internal/mfcperr"
 	"mfcp/internal/parallel"
 	"mfcp/internal/rng"
 )
@@ -68,6 +69,18 @@ func (c *ZeroOrderConfig) fillDefaults() {
 	if c.Solve == nil {
 		c.Solve = DefaultSolve
 	}
+}
+
+// Validate rejects estimator parameters outside their admissible ranges
+// (it accepts the zero values fillDefaults later replaces).
+func (c *ZeroOrderConfig) Validate() error {
+	if c.Delta < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "diffopt: zeroth-order Delta %g must be non-negative", c.Delta)
+	}
+	if c.Samples < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "diffopt: zeroth-order Samples %d must be non-negative", c.Samples)
+	}
+	return nil
 }
 
 // OptimalDelta returns the bias/variance-balancing perturbation size of

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"mfcp/internal/mfcperr"
 )
 
 // Dense is a row-major dense matrix.
@@ -15,25 +17,48 @@ type Dense struct {
 // NewDense returns a zeroed Rows×Cols matrix.
 func NewDense(rows, cols int) *Dense {
 	if rows < 0 || cols < 0 {
+		// invariant: internal callers size matrices from validated shapes;
+		// external inputs go through NewDenseChecked.
 		panic("mat: NewDense with negative dimension")
 	}
 	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
+// NewDenseChecked is NewDense for externally supplied dimensions: it returns
+// an mfcperr.ErrBadShape-wrapped error instead of panicking.
+func NewDenseChecked(rows, cols int) (*Dense, error) {
+	if rows < 0 || cols < 0 {
+		return nil, mfcperr.Wrap(mfcperr.ErrBadShape, "mat: NewDense %dx%d", rows, cols)
+	}
+	return NewDense(rows, cols), nil
+}
+
 // FromRows builds a matrix from row slices (which are copied). All rows must
 // have equal length.
 func FromRows(rows [][]float64) *Dense {
+	m, err := FromRowsChecked(rows)
+	if err != nil {
+		// invariant: internal callers construct from rectangular literals;
+		// external data goes through FromRowsChecked.
+		panic(err)
+	}
+	return m
+}
+
+// FromRowsChecked is FromRows for externally supplied data: ragged rows
+// return an mfcperr.ErrBadShape-wrapped error instead of panicking.
+func FromRowsChecked(rows [][]float64) (*Dense, error) {
 	if len(rows) == 0 {
-		return NewDense(0, 0)
+		return NewDense(0, 0), nil
 	}
 	m := NewDense(len(rows), len(rows[0]))
 	for i, r := range rows {
 		if len(r) != m.Cols {
-			panic("mat: FromRows with ragged rows")
+			return nil, mfcperr.Wrap(mfcperr.ErrBadShape, "mat: FromRows row %d has %d columns, want %d", i, len(r), m.Cols)
 		}
 		copy(m.Row(i), r)
 	}
-	return m
+	return m, nil
 }
 
 // Eye returns the n×n identity matrix.
@@ -65,6 +90,7 @@ func (m *Dense) Add(i, j int, v float64) {
 
 func (m *Dense) check(i, j int) {
 	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		// invariant: indices are produced by loops over this matrix's own dims.
 		panic(fmt.Sprintf("mat: index (%d,%d) out of bounds for %dx%d", i, j, m.Rows, m.Cols))
 	}
 }
@@ -72,6 +98,7 @@ func (m *Dense) check(i, j int) {
 // Row returns row i as a Vec sharing the matrix's storage.
 func (m *Dense) Row(i int) Vec {
 	if i < 0 || i >= m.Rows {
+		// invariant: indices are produced by loops over this matrix's own dims.
 		panic(fmt.Sprintf("mat: row %d out of bounds for %dx%d", i, m.Rows, m.Cols))
 	}
 	return Vec(m.Data[i*m.Cols : (i+1)*m.Cols])
@@ -80,6 +107,7 @@ func (m *Dense) Row(i int) Vec {
 // Col copies column j into a new Vec.
 func (m *Dense) Col(j int) Vec {
 	if j < 0 || j >= m.Cols {
+		// invariant: indices are produced by loops over this matrix's own dims.
 		panic(fmt.Sprintf("mat: col %d out of bounds for %dx%d", j, m.Rows, m.Cols))
 	}
 	out := NewVec(m.Rows)
@@ -92,6 +120,7 @@ func (m *Dense) Col(j int) Vec {
 // SetCol writes v into column j.
 func (m *Dense) SetCol(j int, v Vec) {
 	if len(v) != m.Rows {
+		// invariant: column vectors are sized from this matrix's dims.
 		panic("mat: SetCol length mismatch")
 	}
 	for i := 0; i < m.Rows; i++ {
@@ -106,6 +135,7 @@ func (m *Dense) SetCol(j int, v Vec) {
 // this to recycle scratch matrices across differently sized problems.
 func (m *Dense) Reshape(rows, cols int) *Dense {
 	if rows < 0 || cols < 0 {
+		// invariant: reshape targets come from validated shapes.
 		panic("mat: Reshape with negative dimension")
 	}
 	n := rows * cols
@@ -126,6 +156,7 @@ func (m *Dense) Clone() *Dense {
 // CopyFrom copies src's contents into m. Shapes must match.
 func (m *Dense) CopyFrom(src *Dense) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
+		// invariant: copies occur between same-shape clones.
 		panic("mat: CopyFrom shape mismatch")
 	}
 	copy(m.Data, src.Data)
@@ -150,6 +181,7 @@ func (m *Dense) Scale(alpha float64) *Dense {
 // AddScaled computes m += alpha*b in place. Shapes must match.
 func (m *Dense) AddScaled(alpha float64, b *Dense) *Dense {
 	if m.Rows != b.Rows || m.Cols != b.Cols {
+		// invariant: accumulation pairs are allocated with one shape.
 		panic("mat: AddScaled shape mismatch")
 	}
 	for i := range m.Data {
@@ -211,12 +243,14 @@ func (m *Dense) String() string {
 // MulVec computes dst = m · x (allocating dst when nil) and returns dst.
 func (m *Dense) MulVec(x Vec, dst Vec) Vec {
 	if len(x) != m.Cols {
+		// invariant: vector lengths are sized from this matrix's dims.
 		panic(fmt.Sprintf("mat: MulVec dim mismatch: %dx%d by %d", m.Rows, m.Cols, len(x)))
 	}
 	if dst == nil {
 		dst = NewVec(m.Rows)
 	}
 	if len(dst) != m.Rows {
+		// invariant: vector lengths are sized from this matrix's dims.
 		panic("mat: MulVec dst length mismatch")
 	}
 	for i := 0; i < m.Rows; i++ {
@@ -228,12 +262,14 @@ func (m *Dense) MulVec(x Vec, dst Vec) Vec {
 // MulVecT computes dst = mᵀ · x (allocating dst when nil) and returns dst.
 func (m *Dense) MulVecT(x Vec, dst Vec) Vec {
 	if len(x) != m.Rows {
+		// invariant: vector lengths are sized from this matrix's dims.
 		panic(fmt.Sprintf("mat: MulVecT dim mismatch: %dx%d^T by %d", m.Rows, m.Cols, len(x)))
 	}
 	if dst == nil {
 		dst = NewVec(m.Cols)
 	}
 	if len(dst) != m.Cols {
+		// invariant: vector lengths are sized from this matrix's dims.
 		panic("mat: MulVecT dst length mismatch")
 	}
 	dst.Fill(0)
@@ -256,6 +292,7 @@ func OuterProduct(alpha float64, u, v Vec, dst *Dense) *Dense {
 		dst = NewDense(len(u), len(v))
 	}
 	if dst.Rows != len(u) || dst.Cols != len(v) {
+		// invariant: factors are sized by the caller from matching dims.
 		panic("mat: OuterProduct shape mismatch")
 	}
 	for i, ui := range u {

@@ -61,6 +61,7 @@ func checkMulDst(a, b, dst *Dense, rows, cols int, name string) *Dense {
 		dst = NewDense(rows, cols)
 	}
 	if dst.Rows != rows || dst.Cols != cols {
+		// invariant: kernels size dst from the operands via workspaces.
 		panic(fmt.Sprintf("mat: %s dst shape %dx%d, want %dx%d", name, dst.Rows, dst.Cols, rows, cols))
 	}
 	if dst == a || dst == b {
@@ -73,6 +74,7 @@ func checkMulDst(a, b, dst *Dense, rows, cols int, name string) *Dense {
 // or b.
 func Mul(a, b, dst *Dense) *Dense {
 	if a.Cols != b.Rows {
+		// invariant: operand shapes are fixed by the network/solver wiring.
 		panic(fmt.Sprintf("mat: Mul dim mismatch %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	dst = checkMulDst(a, b, dst, a.Rows, b.Cols, "Mul")
@@ -84,6 +86,7 @@ func Mul(a, b, dst *Dense) *Dense {
 // accumulator) and must not alias a or b.
 func MulAdd(a, b, dst *Dense) *Dense {
 	if a.Cols != b.Rows {
+		// invariant: operand shapes are fixed by the network/solver wiring.
 		panic(fmt.Sprintf("mat: MulAdd dim mismatch %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if dst == nil {
@@ -99,6 +102,7 @@ func MulAdd(a, b, dst *Dense) *Dense {
 // kernel (X · Wᵀ). dst is allocated when nil.
 func MulT(a, b, dst *Dense) *Dense {
 	if a.Cols != b.Cols {
+		// invariant: operand shapes are fixed by the network/solver wiring.
 		panic(fmt.Sprintf("mat: MulT dim mismatch %dx%d by (%dx%d)^T", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	dst = checkMulDst(a, b, dst, a.Rows, b.Rows, "MulT")
@@ -109,6 +113,7 @@ func MulT(a, b, dst *Dense) *Dense {
 // MulTAdd computes dst += a · bᵀ. dst must be preallocated.
 func MulTAdd(a, b, dst *Dense) *Dense {
 	if a.Cols != b.Cols {
+		// invariant: operand shapes are fixed by the network/solver wiring.
 		panic(fmt.Sprintf("mat: MulTAdd dim mismatch %dx%d by (%dx%d)^T", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if dst == nil {
@@ -123,6 +128,7 @@ func MulTAdd(a, b, dst *Dense) *Dense {
 // = Σ_p a(p,i)·b(p,j). dst is allocated when nil.
 func MulAT(a, b, dst *Dense) *Dense {
 	if a.Rows != b.Rows {
+		// invariant: operand shapes are fixed by the network/solver wiring.
 		panic(fmt.Sprintf("mat: MulAT dim mismatch (%dx%d)^T by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	dst = checkMulDst(a, b, dst, a.Cols, b.Cols, "MulAT")
@@ -135,6 +141,7 @@ func MulAT(a, b, dst *Dense) *Dense {
 // kernel (deltaᵀ · input accumulated into dW). dst must be preallocated.
 func MulATAdd(a, b, dst *Dense) *Dense {
 	if a.Rows != b.Rows {
+		// invariant: operand shapes are fixed by the network/solver wiring.
 		panic(fmt.Sprintf("mat: MulATAdd dim mismatch (%dx%d)^T by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if dst == nil {

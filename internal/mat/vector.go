@@ -37,6 +37,7 @@ func (v Vec) Fill(c float64) Vec {
 // Dot returns the inner product of v and w. It panics on length mismatch.
 func (v Vec) Dot(w Vec) float64 {
 	if len(v) != len(w) {
+		// invariant: vectors in a pair are allocated together.
 		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(v), len(w)))
 	}
 	sum := 0.0
@@ -49,6 +50,7 @@ func (v Vec) Dot(w Vec) float64 {
 // AddScaled computes v += alpha*w in place (BLAS axpy) and returns v.
 func (v Vec) AddScaled(alpha float64, w Vec) Vec {
 	if len(v) != len(w) {
+		// invariant: vectors in a pair are allocated together.
 		panic(fmt.Sprintf("mat: AddScaled length mismatch %d vs %d", len(v), len(w)))
 	}
 	for i := range v {
@@ -108,6 +110,7 @@ func (v Vec) NormInf() float64 {
 // Max returns the maximum element and its index. It panics on an empty vector.
 func (v Vec) Max() (float64, int) {
 	if len(v) == 0 {
+		// invariant: callers reduce non-empty slices.
 		panic("mat: Max of empty vector")
 	}
 	best, at := v[0], 0
@@ -122,6 +125,7 @@ func (v Vec) Max() (float64, int) {
 // Min returns the minimum element and its index. It panics on an empty vector.
 func (v Vec) Min() (float64, int) {
 	if len(v) == 0 {
+		// invariant: callers reduce non-empty slices.
 		panic("mat: Min of empty vector")
 	}
 	best, at := v[0], 0
@@ -150,12 +154,14 @@ func (v Vec) Equal(w Vec, tol float64) bool {
 // returns it. It is numerically stable (subtracts the max). temp must be > 0.
 func (v Vec) Softmax(temp float64, dst Vec) Vec {
 	if temp <= 0 {
+		// invariant: temperatures are positive solver constants.
 		panic("mat: Softmax with non-positive temperature")
 	}
 	if dst == nil {
 		dst = NewVec(len(v))
 	}
 	if len(dst) != len(v) {
+		// invariant: dst is allocated to match the input.
 		panic("mat: Softmax dst length mismatch")
 	}
 	if len(v) == 0 {
@@ -179,6 +185,7 @@ func (v Vec) Softmax(temp float64, dst Vec) Vec {
 // As beta grows it converges to max(v) from above.
 func LogSumExp(v Vec, beta float64) float64 {
 	if len(v) == 0 {
+		// invariant: callers reduce non-empty slices.
 		panic("mat: LogSumExp of empty vector")
 	}
 	if beta <= 0 {

@@ -17,6 +17,7 @@ import (
 
 	"mfcp/internal/cluster"
 	"mfcp/internal/mat"
+	"mfcp/internal/mfcperr"
 )
 
 // ObjectiveKind selects the time cost function f(X, T).
@@ -92,9 +93,52 @@ type Problem struct {
 // hyperparameters: β=10, λ=0.05, γ=0.8, per-task normalization.
 func NewProblem(T, A *mat.Dense) *Problem {
 	if T.Rows != A.Rows || T.Cols != A.Cols {
+		// invariant: internal callers derive T and A from the same round, so
+		// their shapes agree by construction; external matrices go through
+		// NewProblemChecked.
 		panic("matching: T and A shapes differ")
 	}
 	return &Problem{T: T, A: A, Gamma: 0.8, Beta: 10, Lambda: 0.05}
+}
+
+// NewProblemChecked is NewProblem for externally supplied matrices: a shape
+// mismatch returns an mfcperr.ErrBadShape-wrapped error instead of
+// panicking.
+func NewProblemChecked(T, A *mat.Dense) (*Problem, error) {
+	if T.Rows != A.Rows || T.Cols != A.Cols {
+		return nil, mfcperr.Wrap(mfcperr.ErrBadShape, "matching: T is %dx%d but A is %dx%d", T.Rows, T.Cols, A.Rows, A.Cols)
+	}
+	return NewProblem(T, A), nil
+}
+
+// Validate rejects a problem whose hyperparameters or matrices are outside
+// their admissible ranges; the solvers assume a validated problem.
+func (p *Problem) Validate() error {
+	if p.T == nil || p.A == nil {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "matching: problem with nil cost matrices")
+	}
+	if p.T.Rows != p.A.Rows || p.T.Cols != p.A.Cols {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "matching: T is %dx%d but A is %dx%d", p.T.Rows, p.T.Cols, p.A.Rows, p.A.Cols)
+	}
+	if p.M() < 1 || p.N() < 1 {
+		return mfcperr.Wrap(mfcperr.ErrInfeasible, "matching: empty problem %dx%d", p.M(), p.N())
+	}
+	if p.Gamma <= 0 || p.Gamma > 1 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Gamma %g outside (0,1]", p.Gamma)
+	}
+	if p.Beta <= 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Beta %g must be positive", p.Beta)
+	}
+	if p.Lambda < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Lambda %g must be non-negative", p.Lambda)
+	}
+	if p.Entropy < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Entropy %g must be non-negative", p.Entropy)
+	}
+	if p.Speedups != nil && len(p.Speedups) != p.M() {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "matching: %d speedup curves for %d clusters", len(p.Speedups), p.M())
+	}
+	return nil
 }
 
 // M returns the cluster count.
@@ -115,6 +159,8 @@ func (p *Problem) WithPrediction(T, A *mat.Dense) *Problem {
 		q.A = A
 	}
 	if q.T.Rows != q.A.Rows || q.T.Cols != q.A.Cols {
+		// invariant: predictions are produced for exactly the instance's
+		// round, so the shapes agree by construction.
 		panic("matching: WithPrediction shape mismatch")
 	}
 	return &q
@@ -364,6 +410,8 @@ func (p *Problem) GradXWS(X, dst *mat.Dense, ws *Workspace) *mat.Dense {
 // checkX panics when X is not an M×N matrix.
 func (p *Problem) checkX(X *mat.Dense) {
 	if X.Rows != p.M() || X.Cols != p.N() {
+		// invariant: every iterate originates from this problem's solver or
+		// UniformX, so its shape matches by construction.
 		panic(fmt.Sprintf("matching: X is %dx%d, want %dx%d", X.Rows, X.Cols, p.M(), p.N()))
 	}
 }

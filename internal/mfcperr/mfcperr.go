@@ -1,0 +1,69 @@
+// Package mfcperr defines the repository's error taxonomy: a small set of
+// sentinel errors that every layer wraps with context via fmt.Errorf and %w,
+// so callers branch on errors.Is instead of string matching.
+//
+// The division of labor with panic (see DESIGN.md §7): anything reachable
+// from user-supplied input — configs, external matrices, checkpoint files,
+// CLI flags, context cancellation — returns one of these wrapped sentinels.
+// panic() is reserved for internal invariants (hot-path shape checks between
+// components that size buffers for each other, impossible enum values) and
+// every remaining panic site is marked with an `// invariant:` comment and
+// allowlisted by the CI panic lint.
+package mfcperr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. Wrap them with Wrap (or fmt.Errorf + %w) at the point of
+// detection; test with errors.Is at the point of handling.
+var (
+	// ErrBadShape reports externally supplied matrices or vectors whose
+	// dimensions do not fit together (ragged rows, T/A mismatch, feature
+	// rows vs task count).
+	ErrBadShape = errors.New("bad shape")
+
+	// ErrBadConfig reports a configuration field outside its valid domain
+	// (a reliability threshold outside (0,1], a non-positive pool size, a
+	// split fraction outside (0,1), a resume checkpoint written by a
+	// different configuration).
+	ErrBadConfig = errors.New("bad config")
+
+	// ErrInfeasible reports a well-formed problem that cannot be served:
+	// a round size larger than the candidate pool, a matching instance
+	// whose reliability constraint no assignment satisfies.
+	ErrInfeasible = errors.New("infeasible")
+
+	// ErrNotConverged reports an iterative procedure that exhausted its
+	// budget or hit a singular system: KKT factorization failure at a
+	// boundary optimum, a solver that never reached tolerance when the
+	// caller demanded convergence.
+	ErrNotConverged = errors.New("not converged")
+
+	// ErrCanceled reports cooperative shutdown through a context. Partial
+	// results returned alongside an ErrCanceled-wrapped error are valid:
+	// a canceled trainer holds the last consistent weights, a canceled
+	// platform run holds the trajectory prefix it served.
+	ErrCanceled = errors.New("canceled")
+
+	// ErrCorruptCheckpoint reports a checkpoint file that failed decoding:
+	// bad magic, unsupported version, CRC mismatch, truncation, or values
+	// outside their domain (an unknown activation, a zero layer width).
+	ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
+)
+
+// Wrap annotates a sentinel with formatted detail while keeping it visible
+// to errors.Is: Wrap(ErrBadShape, "T is %dx%d but A is %dx%d", ...).
+func Wrap(sentinel error, format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), sentinel)
+}
+
+// Canceled wraps ErrCanceled with the operation that was interrupted and
+// the context cause (context.Cause(ctx)), when one is available.
+func Canceled(op string, cause error) error {
+	if cause == nil {
+		return fmt.Errorf("%s: %w", op, ErrCanceled)
+	}
+	return fmt.Errorf("%s: %w: %v", op, ErrCanceled, cause)
+}

@@ -1,0 +1,47 @@
+package mfcperr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWrapPreservesSentinel(t *testing.T) {
+	err := Wrap(ErrBadShape, "T is %dx%d but A is %dx%d", 3, 4, 3, 5)
+	if !errors.Is(err, ErrBadShape) {
+		t.Fatalf("wrapped error lost its sentinel: %v", err)
+	}
+	if errors.Is(err, ErrBadConfig) {
+		t.Fatalf("wrapped error matches the wrong sentinel: %v", err)
+	}
+	if !strings.Contains(err.Error(), "3x4") {
+		t.Fatalf("detail lost: %v", err)
+	}
+}
+
+func TestCanceled(t *testing.T) {
+	err := Canceled("core: train", nil)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Canceled lost ErrCanceled: %v", err)
+	}
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(errors.New("operator hit ctrl-c"))
+	err = Canceled("platform: serve", context.Cause(ctx))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Canceled with cause lost ErrCanceled: %v", err)
+	}
+	if !strings.Contains(err.Error(), "ctrl-c") {
+		t.Fatalf("cause lost: %v", err)
+	}
+}
+
+func TestDoubleWrap(t *testing.T) {
+	inner := Wrap(ErrCorruptCheckpoint, "crc mismatch")
+	outer := fmt.Errorf("loading %q: %w", "run.ckpt", inner)
+	if !errors.Is(outer, ErrCorruptCheckpoint) {
+		t.Fatalf("double wrap lost sentinel: %v", outer)
+	}
+}

@@ -22,6 +22,7 @@ type MLP struct {
 // and output activation, with He/Xavier-style initialization drawn from r.
 func NewMLP(dims []int, hidden, out Activation, r *rng.Source) *MLP {
 	if len(dims) < 2 {
+		// invariant: architectures are literals chosen by trainers, never user input.
 		panic("nn: MLP needs at least input and output dims")
 	}
 	L := len(dims) - 1
@@ -72,15 +73,18 @@ func (m *MLP) Clone() *MLP {
 // and CopyFrom into it before each refit.
 func (m *MLP) CopyFrom(src *MLP) {
 	if len(m.Dims) != len(src.Dims) {
+		// invariant: CopyFrom targets are prior Clones of this network.
 		panic("nn: CopyFrom across different architectures")
 	}
 	for l, d := range m.Dims {
 		if src.Dims[l] != d {
+			// invariant: CopyFrom targets are prior Clones of this network.
 			panic("nn: CopyFrom across different architectures")
 		}
 	}
 	for l := range m.W {
 		if m.Acts[l] != src.Acts[l] {
+			// invariant: CopyFrom targets are prior Clones of this network.
 			panic("nn: CopyFrom across different activations")
 		}
 		copy(m.W[l].Data, src.W[l].Data)
@@ -149,6 +153,7 @@ func (t *Tape) ensure(m *MLP, n int) {
 // corresponding Backward.
 func (m *MLP) ForwardTape(X *mat.Dense, t *Tape) *Tape {
 	if X.Cols != m.Dims[0] {
+		// invariant: the input width is pinned by the scenario's feature matrix.
 		panic(fmt.Sprintf("nn: Forward input dim %d, want %d", X.Cols, m.Dims[0]))
 	}
 	if t == nil {
@@ -273,6 +278,7 @@ func (m *MLP) Backward(tape *Tape, dOut *mat.Dense, g *Grads) *Grads {
 	L := len(m.W)
 	n := tape.X.Rows
 	if dOut.Rows != n || dOut.Cols != m.Dims[L] {
+		// invariant: dOut mirrors the forward output recorded on the tape.
 		panic("nn: Backward dOut shape mismatch")
 	}
 	if tape.d0 == nil {

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"mfcp/internal/binenc"
+	"mfcp/internal/mat"
+	"mfcp/internal/mfcperr"
+)
+
+// mlpCodecVersion is the wire version of the MLP encoding below. Bump it on
+// any layout change; ReadMLP rejects versions it does not know.
+const mlpCodecVersion = 1
+
+// mlpMaxDim bounds decoded layer widths: anything past it is a corrupt
+// length field, not a real network (the largest predictor in the repo is
+// two orders of magnitude smaller).
+const mlpMaxDim = 1 << 20
+
+// AppendBinary appends a versioned binary encoding of the network to buf
+// and returns the extended slice: version byte, layer widths, per-layer
+// activations, then each layer's weight matrix and bias vector as raw
+// float64 images. The encoding captures exactly the state CopyFrom copies,
+// so decode(encode(m)) predicts bit-identically to m.
+func (m *MLP) AppendBinary(buf []byte) []byte {
+	buf = binenc.AppendU8(buf, mlpCodecVersion)
+	buf = binenc.AppendU32(buf, uint32(len(m.Dims)))
+	for _, d := range m.Dims {
+		buf = binenc.AppendU32(buf, uint32(d))
+	}
+	for _, a := range m.Acts {
+		buf = binenc.AppendU8(buf, uint8(a))
+	}
+	for l := range m.W {
+		buf = binenc.AppendF64s(buf, m.W[l].Data)
+		buf = binenc.AppendF64s(buf, m.B[l])
+	}
+	return buf
+}
+
+// ReadMLP decodes one network from r, validating every structural field
+// (version, widths, activations, weight lengths) before building it; any
+// violation returns an mfcperr.ErrCorruptCheckpoint-wrapped error.
+func ReadMLP(r *binenc.Reader) (*MLP, error) {
+	if v := r.U8(); r.Err() == nil && v != mlpCodecVersion {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "nn: MLP codec version %d, want %d", v, mlpCodecVersion)
+	}
+	nd := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if nd < 2 || nd > 1024 {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "nn: MLP with %d dims", nd)
+	}
+	dims := make([]int, nd)
+	for i := range dims {
+		dims[i] = int(r.U32())
+		if r.Err() == nil && (dims[i] < 1 || dims[i] > mlpMaxDim) {
+			return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "nn: MLP layer width %d", dims[i])
+		}
+	}
+	L := nd - 1
+	m := &MLP{
+		Dims: dims,
+		Acts: make([]Activation, L),
+		W:    make([]*mat.Dense, L),
+		B:    make([]mat.Vec, L),
+	}
+	for l := 0; l < L; l++ {
+		a := Activation(r.U8())
+		if r.Err() == nil && (a < Identity || a > Softplus) {
+			return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "nn: unknown activation %d", int(a))
+		}
+		m.Acts[l] = a
+	}
+	for l := 0; l < L; l++ {
+		w := r.F64s()
+		b := r.F64s()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		rows, cols := dims[l+1], dims[l]
+		if len(w) != rows*cols || len(b) != rows {
+			return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint,
+				"nn: layer %d has %d weights and %d biases, want %dx%d and %d", l, len(w), len(b), rows, cols, rows)
+		}
+		m.W[l] = &mat.Dense{Rows: rows, Cols: cols, Data: w}
+		m.B[l] = mat.Vec(b)
+	}
+	return m, r.Err()
+}

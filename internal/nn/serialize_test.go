@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"errors"
+	"testing"
+
+	"mfcp/internal/binenc"
+	"mfcp/internal/mat"
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/rng"
+)
+
+func TestMLPCodecRoundTrip(t *testing.T) {
+	r := rng.New(61)
+	cases := []*MLP{
+		NewMLP([]int{6, 8, 1}, ReLU, Softplus, r.Split("a")),
+		NewMLP([]int{12, 16, 8, 1}, Tanh, Sigmoid, r.Split("b")),
+		NewMLP([]int{3, 1}, ReLU, Identity, r.Split("c")),
+	}
+	for ci, m := range cases {
+		got, err := ReadMLP(binenc.NewReader(m.AppendBinary(nil)))
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if len(got.Dims) != len(m.Dims) {
+			t.Fatalf("case %d dims: %v", ci, got.Dims)
+		}
+		for l := range m.Dims {
+			if got.Dims[l] != m.Dims[l] {
+				t.Fatalf("case %d dim %d: %d != %d", ci, l, got.Dims[l], m.Dims[l])
+			}
+		}
+		for l := range m.Acts {
+			if got.Acts[l] != m.Acts[l] {
+				t.Fatalf("case %d activation %d differs", ci, l)
+			}
+		}
+		X := mat.NewDense(4, m.Dims[0])
+		for i := range X.Data {
+			X.Data[i] = float64(i%7)*0.3 - 1
+		}
+		want := m.Forward(X).Out()
+		back := got.Forward(X).Out()
+		if !want.Equal(back, 0) {
+			t.Fatalf("case %d: decoded network predicts differently", ci)
+		}
+	}
+}
+
+func TestMLPCodecMultipleInOneBuffer(t *testing.T) {
+	r := rng.New(62)
+	a := NewMLP([]int{5, 4, 1}, ReLU, Softplus, r.Split("a"))
+	b := NewMLP([]int{5, 6, 1}, ReLU, Sigmoid, r.Split("b"))
+	buf := b.AppendBinary(a.AppendBinary(nil))
+	rd := binenc.NewReader(buf)
+	ga, err := ReadMLP(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := ReadMLP(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Len() != 0 {
+		t.Fatalf("%d bytes left over", rd.Len())
+	}
+	if ga.Dims[1] != 4 || gb.Dims[1] != 6 {
+		t.Fatal("networks decoded out of order")
+	}
+}
+
+func TestMLPCodecRejectsCorruption(t *testing.T) {
+	r := rng.New(63)
+	m := NewMLP([]int{6, 8, 1}, ReLU, Softplus, r.Split("x"))
+	buf := m.AppendBinary(nil)
+
+	// Bad version byte.
+	bad := append([]byte(nil), buf...)
+	bad[0] = 200
+	if _, err := ReadMLP(binenc.NewReader(bad)); !errors.Is(err, mfcperr.ErrCorruptCheckpoint) {
+		t.Fatalf("bad version: %v", err)
+	}
+	// Truncation anywhere must surface as corruption, never a panic.
+	for cut := 0; cut < len(buf); cut += 13 {
+		if _, err := ReadMLP(binenc.NewReader(buf[:cut])); !errors.Is(err, mfcperr.ErrCorruptCheckpoint) {
+			t.Fatalf("truncation at %d: %v", cut, err)
+		}
+	}
+	// An absurd layer width is corruption, not an allocation request.
+	bad = append([]byte(nil), buf...)
+	bad[5] = 0xff // high byte of the first layer width
+	bad[6] = 0xff
+	bad[7] = 0xff
+	if _, err := ReadMLP(binenc.NewReader(bad)); !errors.Is(err, mfcperr.ErrCorruptCheckpoint) {
+		t.Fatalf("huge width: %v", err)
+	}
+}

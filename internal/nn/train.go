@@ -12,6 +12,7 @@ import (
 // targets.
 func MSE(pred *mat.Dense, y mat.Vec) float64 {
 	if pred.Rows != len(y) || pred.Cols != 1 {
+		// invariant: pred and target come from the same forward pass, so shapes agree by construction.
 		panic("nn: MSE shape mismatch")
 	}
 	s := 0.0
@@ -48,6 +49,7 @@ func TrainMSE(net *MLP, X *mat.Dense, y mat.Vec, cfg TrainMSEConfig, r *rng.Sour
 	cfg.fillDefaults()
 	n := X.Rows
 	if n != len(y) {
+		// invariant: X and Y are rows of one dataset split, built together.
 		panic("nn: TrainMSE sample count mismatch")
 	}
 	idx := make([]int, n)

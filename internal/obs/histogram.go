@@ -22,10 +22,12 @@ type Histogram struct {
 // must be strictly increasing and non-empty.
 func newHistogram(bounds []float64) *Histogram {
 	if len(bounds) == 0 {
+		// invariant: bucket bounds are package-level literals, fixed at startup.
 		panic("obs: histogram needs at least one bucket bound")
 	}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
+			// invariant: bucket bounds are package-level literals, fixed at startup.
 			panic("obs: histogram bounds must be strictly increasing")
 		}
 	}
@@ -157,6 +159,7 @@ func (v *HistView) Quantile(q float64) float64 {
 // factor: start, start·factor, start·factor², …
 func ExpBuckets(start, factor float64, n int) []float64 {
 	if start <= 0 || factor <= 1 || n < 1 {
+		// invariant: bucket-shape arguments are literals at every call site.
 		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
 	}
 	out := make([]float64, n)
@@ -171,6 +174,7 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 // LinearBuckets returns n bucket bounds from start in steps of width.
 func LinearBuckets(start, width float64, n int) []float64 {
 	if width <= 0 || n < 1 {
+		// invariant: bucket-shape arguments are literals at every call site.
 		panic("obs: LinearBuckets needs width > 0, n >= 1")
 	}
 	out := make([]float64, n)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -61,3 +62,9 @@ func (s *Server) Addr() string { return s.lis.Addr().String() }
 
 // Close shuts the endpoint down immediately.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown drains in-flight scrapes before closing: the listener stops
+// accepting at once, active requests run to completion (or until ctx
+// expires), then the server closes. Signal handlers use it so a final
+// /metrics scrape racing the shutdown still gets a complete response.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

@@ -66,6 +66,7 @@ func (r *Registry) register(in *instrument) *instrument {
 	defer r.mu.Unlock()
 	if prev, ok := r.byName[in.name]; ok {
 		if prev.kind != in.kind {
+			// invariant: a metric name keeps one kind for the process lifetime.
 			panic(fmt.Sprintf("obs: %q registered as %s, requested as %s", in.name, prev.kind, in.kind))
 		}
 		return prev

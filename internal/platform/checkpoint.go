@@ -1,0 +1,187 @@
+// Checkpoint/resume for the online serving loop. A checkpoint is captured
+// at a window boundary — after the window's refit has published and the
+// ingest ring has drained — which is the one program point where the whole
+// online state is reachable from a handful of values: the round stream
+// position, the published predictor weights, the replay buffer, and the
+// report accumulators. Restoring exactly those values and re-entering the
+// window loop reproduces the uninterrupted trajectory bit for bit
+// (TestRunOnlineResumeBitIdentical).
+package platform
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"mfcp/internal/binenc"
+	"mfcp/internal/core"
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/rng"
+)
+
+// Stream and gauge names used in platform checkpoints.
+const (
+	ckStreamRounds = "platform-rounds"
+	ckStreamExec   = "platform-exec"
+	ckStreamRefit  = "platform-refit"
+	ckGaugeEMAReg  = "ema_regret"
+	ckGaugeEMARel  = "ema_reliability"
+	ckGaugeEMAInit = "ema_init"
+)
+
+// onlineExtraVersion versions the platform-owned Extra payload inside a
+// core.Checkpoint (report accumulators, learning curve, replay buffer).
+const onlineExtraVersion = 1
+
+// maxExtraEntries bounds decoded collection counts in the Extra payload.
+const maxExtraEntries = 1 << 24
+
+// onlineFingerprint hashes every configuration field that shapes the online
+// trajectory. Rounds is deliberately excluded so a resume may extend the
+// horizon; everything else must match for a checkpoint to be resumable.
+// Called after fillDefaults, so explicit defaults and zero values hash
+// identically.
+func onlineFingerprint(cfg *OnlineConfig) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "scenario=%v/%d/%d/%v/%d/%g/%t/%d",
+		cfg.Scenario.Setting, cfg.Scenario.PoolSize, cfg.Scenario.FeatureDim,
+		cfg.Scenario.FamilyWeights, cfg.Scenario.MeasureTrials, cfg.Scenario.NoiseScale,
+		cfg.Scenario.StatsEmbedder, cfg.Scenario.Seed)
+	fmt.Fprintf(h, "|method=%s|roundsize=%d|parallel=%t|drift=%v|trainfrac=%g|pretrain=%d|regret=%d|hidden=%v",
+		cfg.Method, cfg.RoundSize, cfg.Parallel, cfg.Drift, cfg.TrainFrac,
+		cfg.PretrainEpochs, cfg.RegretEpochs, cfg.Hidden)
+	fmt.Fprintf(h, "|match=%g/%g/%g/%g/%d/%d/%d/%d",
+		cfg.Match.Gamma, cfg.Match.Beta, cfg.Match.Lambda, cfg.Match.Entropy,
+		cfg.Match.Norm, cfg.Match.Objective, cfg.Match.Barrier, cfg.Match.SolveIters)
+	fmt.Fprintf(h, "|refitevery=%d|refitepochs=%d|buffercap=%d|async=%t",
+		cfg.RefitEvery, cfg.RefitEpochs, cfg.BufferCap, cfg.AsyncRefit)
+	return h.Sum64()
+}
+
+// appendOnlineExtra encodes the platform-owned resume state: the report's
+// running sums, the learning curve, the ring-drop base, and the replay
+// buffer in canonical (Round, Slot) order.
+func appendOnlineExtra(buf []byte, rep *OnlineReport, buffer []Observation, droppedBase uint64) []byte {
+	buf = binenc.AppendU8(buf, onlineExtraVersion)
+	buf = binenc.AppendF64(buf, rep.MeanRegret)
+	buf = binenc.AppendF64(buf, rep.MeanReliability)
+	buf = binenc.AppendF64(buf, rep.MeanUtilization)
+	buf = binenc.AppendF64(buf, rep.MeanSuccessRate)
+	buf = binenc.AppendF64(buf, rep.TotalBusySeconds)
+	buf = binenc.AppendF64(buf, rep.TotalMakespanSeconds)
+	buf = binenc.AppendF64s(buf, rep.WindowRegret)
+	buf = binenc.AppendU64(buf, droppedBase)
+	buf = binenc.AppendU32(buf, uint32(len(buffer)))
+	for _, ob := range buffer {
+		buf = binenc.AppendI64(buf, int64(ob.Cluster))
+		buf = binenc.AppendI64(buf, int64(ob.TaskIdx))
+		buf = binenc.AppendI64(buf, int64(ob.Round))
+		buf = binenc.AppendI64(buf, int64(ob.Slot))
+		buf = binenc.AppendF64(buf, ob.TimeNorm)
+		if ob.Succeeded {
+			buf = binenc.AppendU8(buf, 1)
+		} else {
+			buf = binenc.AppendU8(buf, 0)
+		}
+	}
+	return buf
+}
+
+// parseOnlineExtra decodes appendOnlineExtra's payload into rep (sums and
+// learning curve) and returns the replay buffer and ring-drop base.
+func parseOnlineExtra(extra []byte, rep *OnlineReport) (buffer []Observation, droppedBase uint64, err error) {
+	r := binenc.NewReader(extra)
+	if v := r.U8(); r.Err() == nil && v != onlineExtraVersion {
+		return nil, 0, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "platform: online extra version %d, want %d", v, onlineExtraVersion)
+	}
+	rep.MeanRegret = r.F64()
+	rep.MeanReliability = r.F64()
+	rep.MeanUtilization = r.F64()
+	rep.MeanSuccessRate = r.F64()
+	rep.TotalBusySeconds = r.F64()
+	rep.TotalMakespanSeconds = r.F64()
+	rep.WindowRegret = r.F64s()
+	droppedBase = r.U64()
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil, 0, r.Err()
+	}
+	if n < 0 || n > maxExtraEntries {
+		return nil, 0, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "platform: replay buffer of %d observations", n)
+	}
+	buffer = make([]Observation, n)
+	for i := range buffer {
+		buffer[i].Cluster = int(r.I64())
+		buffer[i].TaskIdx = int(r.I64())
+		buffer[i].Round = int(r.I64())
+		buffer[i].Slot = int(r.I64())
+		buffer[i].TimeNorm = r.F64()
+		buffer[i].Succeeded = r.U8() != 0
+	}
+	return buffer, droppedBase, r.Err()
+}
+
+// captureCheckpoint assembles the resumable state at a window boundary.
+// nextRound is the first round index the resumed run will serve. The
+// caller must have joined any in-flight refit: the published snapshot is
+// read here and becomes the resumed run's serving set.
+func captureCheckpoint(e *engine, refitStream *rng.Source, rep *OnlineReport, nextRound int, configHash uint64, buffer []Observation, droppedBase uint64) *core.Checkpoint {
+	ck := &core.Checkpoint{
+		Round:      nextRound,
+		Refits:     rep.Refits,
+		ConfigHash: configHash,
+		Streams: []core.StreamState{
+			{Name: ckStreamRounds, State: e.roundStream.State()},
+			{Name: ckStreamExec, State: e.execStream.State()},
+			{Name: ckStreamRefit, State: refitStream.State()},
+		},
+		Gauges: []core.GaugeState{
+			{Name: ckGaugeEMAReg, Value: e.met.emaRegret},
+			{Name: ckGaugeEMARel, Value: e.met.emaRel},
+			{Name: ckGaugeEMAInit, Value: b2f(e.met.emaInit)},
+		},
+		Set: e.snap.Load().Clone(),
+	}
+	ck.Extra = appendOnlineExtra(nil, rep, buffer, droppedBase)
+	return ck
+}
+
+// restoreCheckpoint applies a loaded checkpoint to a freshly built engine
+// and report, returning the replay buffer and ring-drop base. The engine
+// must have been constructed with cfg.WarmStart = ck.Set so the published
+// snapshot already holds the saved weights.
+func restoreCheckpoint(e *engine, refitStream *rng.Source, rep *OnlineReport, ck *core.Checkpoint) (buffer []Observation, droppedBase uint64, err error) {
+	if st, ok := ck.Stream(ckStreamRounds); ok {
+		e.roundStream.SetState(st)
+	} else {
+		return nil, 0, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "platform: checkpoint lacks the %s stream", ckStreamRounds)
+	}
+	if st, ok := ck.Stream(ckStreamExec); ok {
+		e.execStream.SetState(st)
+	}
+	if st, ok := ck.Stream(ckStreamRefit); ok {
+		refitStream.SetState(st)
+	}
+	if v, ok := ck.Gauge(ckGaugeEMAReg); ok {
+		e.met.emaRegret = v
+	}
+	if v, ok := ck.Gauge(ckGaugeEMARel); ok {
+		e.met.emaRel = v
+	}
+	if v, ok := ck.Gauge(ckGaugeEMAInit); ok {
+		e.met.emaInit = v != 0
+	}
+	rep.Refits = ck.Refits
+	rep.ResumedAt = ck.Round
+	buffer, droppedBase, err = parseOnlineExtra(ck.Extra, rep)
+	if err != nil {
+		return nil, 0, err
+	}
+	return buffer, droppedBase, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

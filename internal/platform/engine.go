@@ -21,10 +21,13 @@
 package platform
 
 import (
+	"context"
+
 	"mfcp/internal/core"
-	"mfcp/internal/matching"
 	"mfcp/internal/mat"
+	"mfcp/internal/matching"
 	"mfcp/internal/metrics"
+	"mfcp/internal/mfcperr"
 	"mfcp/internal/parallel"
 	"mfcp/internal/rng"
 	"mfcp/internal/sched"
@@ -60,14 +63,22 @@ type engine struct {
 }
 
 // newEngine builds the scenario, trains the configured method, and wires
-// the serving state. cfg must already have defaults filled.
-func newEngine(cfg Config) (*engine, error) {
+// the serving state. cfg must already have defaults filled. The context
+// governs method training: canceling it aborts a long pretrain/regret phase
+// and surfaces as an mfcperr.ErrCanceled-wrapped error.
+func newEngine(ctx context.Context, cfg Config) (*engine, error) {
 	s, err := workload.New(cfg.Scenario)
 	if err != nil {
 		return nil, err
 	}
-	train, live := s.Split(cfg.TrainFrac)
-	method, err := buildMethod(cfg, s, train)
+	train, live, err := s.SplitChecked(cfg.TrainFrac)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RoundSize > len(live) {
+		return nil, mfcperr.Wrap(mfcperr.ErrInfeasible, "platform: round size %d exceeds the %d live-traffic tasks", cfg.RoundSize, len(live))
+	}
+	method, err := buildMethod(ctx, cfg, s, train)
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +251,31 @@ func finalize(rep *Report, n int) {
 	rep.MeanSuccessRate /= f
 }
 
+// serveCtx serves n rounds starting at k0 with cooperative cancellation: it
+// slices the run into batches of a few rounds per worker, checks the context
+// between batches, and returns the number of rounds actually served. A batch
+// in flight always drains completely — shards finish and reduce in round
+// order — so the partial report is a valid prefix of the full trajectory.
+func (e *engine) serveCtx(ctx context.Context, rep *Report, k0, n int) (int, error) {
+	batch := 4 * parallel.Workers()
+	if batch < 8 {
+		batch = 8
+	}
+	done := 0
+	for done < n {
+		if ctx.Err() != nil {
+			return done, mfcperr.Canceled("platform.serve", context.Cause(ctx))
+		}
+		b := batch
+		if done+b > n {
+			b = n - done
+		}
+		e.serve(rep, k0+done, b)
+		done += b
+	}
+	return done, nil
+}
+
 // serve runs one batch of rounds starting at round index k0 and folds them
 // into rep (means not yet normalized).
 func (e *engine) serve(rep *Report, k0, n int) {
@@ -277,7 +313,7 @@ type Engine struct {
 // an engine ready to serve rounds.
 func NewEngine(cfg Config) (*Engine, error) {
 	cfg.fillDefaults()
-	e, err := newEngine(cfg)
+	e, err := newEngine(context.Background(), cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,218 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"mfcp/internal/core"
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/parallel"
+)
+
+func onlineCkCfg(path string) OnlineConfig {
+	cfg := OnlineConfig{Config: tinyCfg(MethodTSM), RefitEvery: 3, RefitEpochs: 5}
+	cfg.Rounds = 12
+	cfg.CheckpointPath = path
+	return cfg
+}
+
+// TestRunOnlineResumeBitIdentical is the acceptance test for checkpoint
+// resume: a run canceled at a window boundary and resumed from its
+// checkpoint must retrace the uninterrupted run's trajectory bit for bit —
+// per-round assignments, executions, learning curve, and final aggregates —
+// at several worker counts.
+func TestRunOnlineResumeBitIdentical(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			defer parallel.SetWorkers(parallel.SetWorkers(w))
+			path := filepath.Join(t.TempDir(), "online.ckpt")
+
+			full, err := RunOnline(onlineCkCfg(""))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Interrupt after the window starting at round 3 completes: the
+			// loop observes the cancellation at the next boundary, so the
+			// partial run covers rounds 0..5 and two refits.
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			testWindowHook = func(e *engine, k0 int) {
+				if k0 == 3 {
+					cancel()
+				}
+			}
+			partial, err := RunOnlineCtx(ctx, onlineCkCfg(path))
+			testWindowHook = nil
+			if !errors.Is(err, mfcperr.ErrCanceled) {
+				t.Fatalf("want ErrCanceled, got %v", err)
+			}
+			if partial == nil || partial.Stopped != "canceled" {
+				t.Fatalf("partial report: %+v", partial)
+			}
+			if len(partial.Rounds) != 6 || partial.Refits != 2 {
+				t.Fatalf("partial served %d rounds, %d refits", len(partial.Rounds), partial.Refits)
+			}
+			if !reflect.DeepEqual(partial.Rounds, full.Rounds[:6]) {
+				t.Fatal("partial trajectory is not a prefix of the full one")
+			}
+
+			ck, err := core.LoadCheckpoint(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ck.Round != 6 || ck.Refits != 2 {
+				t.Fatalf("checkpoint at round %d, %d refits", ck.Round, ck.Refits)
+			}
+
+			rcfg := onlineCkCfg("")
+			rcfg.Resume = ck
+			resumed, err := RunOnline(rcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.ResumedAt != 6 {
+				t.Fatalf("ResumedAt %d", resumed.ResumedAt)
+			}
+			if len(resumed.Rounds) != 6 {
+				t.Fatalf("resumed served %d rounds", len(resumed.Rounds))
+			}
+			if !reflect.DeepEqual(resumed.Rounds, full.Rounds[6:]) {
+				t.Fatal("resumed trajectory diverged from the uninterrupted run")
+			}
+			if !reflect.DeepEqual(resumed.WindowRegret, full.WindowRegret) {
+				t.Fatalf("learning curves differ: %v vs %v", resumed.WindowRegret, full.WindowRegret)
+			}
+			if resumed.Refits != full.Refits {
+				t.Fatalf("refits %d vs %d", resumed.Refits, full.Refits)
+			}
+			if resumed.MeanRegret != full.MeanRegret ||
+				resumed.MeanReliability != full.MeanReliability ||
+				resumed.MeanUtilization != full.MeanUtilization ||
+				resumed.MeanSuccessRate != full.MeanSuccessRate ||
+				resumed.TotalBusySeconds != full.TotalBusySeconds ||
+				resumed.TotalMakespanSeconds != full.TotalMakespanSeconds {
+				t.Fatal("aggregate metrics diverged across the resume")
+			}
+		})
+	}
+}
+
+func TestRunOnlineResumeExtendsHorizon(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "online.ckpt")
+	cfg := onlineCkCfg(path)
+	cfg.Rounds = 3 // one full window, checkpointed at round 3
+	if _, err := RunOnline(cfg); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := core.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Round != 3 {
+		t.Fatalf("checkpoint round %d", ck.Round)
+	}
+	// Rounds is excluded from the fingerprint, so the resume may extend it.
+	ext := onlineCkCfg("")
+	ext.Rounds = 9
+	ext.Resume = ck
+	rep, err := RunOnline(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 6 || rep.ResumedAt != 3 {
+		t.Fatalf("extended run served %d rounds from %d", len(rep.Rounds), rep.ResumedAt)
+	}
+}
+
+func TestRunOnlineResumeRejectsMismatchedConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "online.ckpt")
+	cfg := onlineCkCfg(path)
+	cfg.Rounds = 3
+	if _, err := RunOnline(cfg); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := core.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := onlineCkCfg("")
+	bad.RefitEpochs = 7 // trajectory-shaping field differs
+	bad.Resume = ck
+	if _, err := RunOnline(bad); !errors.Is(err, mfcperr.ErrBadConfig) {
+		t.Fatalf("mismatched config accepted: %v", err)
+	}
+	// A checkpoint stripped of its predictor set is corrupt, not resumable.
+	ck.Set = nil
+	good := onlineCkCfg("")
+	good.Resume = ck
+	if _, err := RunOnline(good); !errors.Is(err, mfcperr.ErrCorruptCheckpoint) {
+		t.Fatalf("set-less checkpoint accepted: %v", err)
+	}
+}
+
+// TestRunOnlineCancelAsyncNoLeak cancels a run with background refits and
+// checks the async refit goroutine is joined before RunOnlineCtx returns
+// (run under -race, this also exercises the snapshot handoff).
+func TestRunOnlineCancelAsyncNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := OnlineConfig{Config: tinyCfg(MethodTSM), RefitEvery: 2, RefitEpochs: 5, AsyncRefit: true}
+	cfg.Rounds = 10
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	testWindowHook = func(e *engine, k0 int) {
+		if k0 == 4 {
+			cancel()
+		}
+	}
+	defer func() { testWindowHook = nil }()
+	rep, err := RunOnlineCtx(ctx, cfg)
+	if !errors.Is(err, mfcperr.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if rep.Stopped != "canceled" || len(rep.Rounds) != 6 {
+		t.Fatalf("partial report: stopped=%q rounds=%d", rep.Stopped, len(rep.Rounds))
+	}
+	// The worker pool's transient goroutines drain on their own; the refit
+	// goroutine must already be gone. Poll briefly to let the scheduler
+	// retire finished goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+	}
+}
+
+func TestRunCtxCanceledDuringTraining(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, tinyCfg(MethodTSM)); !errors.Is(err, mfcperr.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestRunOnlinePeriodicCheckpointCadence(t *testing.T) {
+	// CheckpointEvery=2 over 4 windows saves after refits 2 and 4, so the
+	// file left on disk is the round-12 snapshot.
+	path := filepath.Join(t.TempDir(), "online.ckpt")
+	cfg := onlineCkCfg(path)
+	cfg.CheckpointEvery = 2
+	if _, err := RunOnline(cfg); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := core.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Round != 12 || ck.Refits != 4 {
+		t.Fatalf("last periodic checkpoint at round %d, %d refits", ck.Round, ck.Refits)
+	}
+}

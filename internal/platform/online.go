@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"mfcp/internal/baselines"
 	"mfcp/internal/core"
 	"mfcp/internal/mat"
+	"mfcp/internal/mfcperr"
 	"mfcp/internal/nn"
 	"mfcp/internal/parallel"
 	"mfcp/internal/rng"
@@ -51,6 +53,23 @@ type OnlineConfig struct {
 	// The default (false) joins each refit before the next window, which
 	// reproduces the serial trajectory bit-for-bit.
 	AsyncRefit bool
+	// CheckpointPath, when non-empty, periodically saves a resumable
+	// checkpoint there (atomically, via temp file + rename): every
+	// CheckpointEvery windows and again when the run is canceled.
+	CheckpointPath string
+	// CheckpointEvery is the periodic-save cadence in refit windows
+	// (default 1 — after every refit). Ignored without CheckpointPath.
+	// Saving joins an in-flight async refit so the checkpoint always holds
+	// a post-refit snapshot.
+	CheckpointEvery int
+	// Resume, when non-nil, restores a previous run's state (round
+	// position, RNG streams, predictor weights, replay buffer, report
+	// accumulators) and continues serving from Checkpoint.Round. The
+	// configuration must fingerprint-match the run that saved it (Rounds
+	// may differ, so a resume can extend the horizon). Callers normally
+	// also leave WarmStart nil: RunOnline wires the checkpoint's predictor
+	// set in itself.
+	Resume *core.Checkpoint
 }
 
 func (c *OnlineConfig) fillDefaults() {
@@ -63,6 +82,9 @@ func (c *OnlineConfig) fillDefaults() {
 	}
 	if c.BufferCap == 0 {
 		c.BufferCap = 512
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1
 	}
 }
 
@@ -77,8 +99,13 @@ type OnlineReport struct {
 	// RingDropped counts observations the ingest ring rejected because it
 	// was full — learning signal the refits never saw. The ring is sized so
 	// this stays 0 in a healthy run (see the ringCap sizing in RunOnline);
-	// nonzero means ingest outpaced the refit drain.
+	// nonzero means ingest outpaced the refit drain. Resumed runs carry the
+	// saved run's drop count forward.
 	RingDropped uint64
+	// ResumedAt is the round index this run restarted from (0 for a fresh
+	// run). Rounds holds only the post-resume trajectory; the aggregate
+	// means cover the whole run, restored sums included.
+	ResumedAt int
 }
 
 // testRefitHook, when non-nil, runs at the start of every refit (before
@@ -106,8 +133,35 @@ var (
 // background with AsyncRefit). The synchronous trajectory is bit-identical
 // at any worker count.
 func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
+	return RunOnlineCtx(context.Background(), cfg)
+}
+
+// RunOnlineCtx is RunOnline with cooperative cancellation and
+// checkpoint/resume. Cancellation is observed at window boundaries: the
+// in-flight window's shards drain in round order, the pending refit is
+// joined so the last consistent snapshot is published, a final checkpoint
+// is saved (when CheckpointPath is set), and the partial report — every
+// round served so far, means normalized over that prefix, Stopped =
+// "canceled" — returns alongside an mfcperr.ErrCanceled-wrapped error.
+func RunOnlineCtx(ctx context.Context, cfg OnlineConfig) (*OnlineReport, error) {
 	cfg.fillDefaults()
-	e, err := newEngine(cfg.Config)
+	configHash := onlineFingerprint(&cfg)
+	start := 0
+	if ck := cfg.Resume; ck != nil {
+		if ck.ConfigHash != configHash {
+			return nil, mfcperr.Wrap(mfcperr.ErrBadConfig, "platform: checkpoint fingerprint %016x does not match this configuration (%016x)", ck.ConfigHash, configHash)
+		}
+		if ck.Set == nil {
+			return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "platform: checkpoint carries no predictor set")
+		}
+		if cfg.RefitEvery > 0 && ck.Round%cfg.RefitEvery != 0 {
+			return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "platform: checkpoint round %d is not a window boundary (RefitEvery %d)", ck.Round, cfg.RefitEvery)
+		}
+		// Serve from the saved weights without re-running training.
+		cfg.WarmStart = ck.Set
+		start = ck.Round
+	}
+	e, err := newEngine(ctx, cfg.Config)
 	if err != nil {
 		return nil, err
 	}
@@ -126,6 +180,15 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 	refitStream := e.s.Stream("platform-refit")
 	rep := &OnlineReport{Report: Report{Method: e.method.Name() + "+online"}}
 
+	var buffer, drained []Observation
+	var droppedBase uint64
+	if cfg.Resume != nil {
+		buffer, droppedBase, err = restoreCheckpoint(e, refitStream, rep, cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	// Two predictor versions double-buffer across refits: the published one
 	// serves rounds while `spare` is the next refit's trainee. The swap is
 	// safe because refits are serialized (refitWG) and a superseded version
@@ -133,12 +196,29 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 	spare := e.snap.Load().Snapshot(nil)
 	var refitWG sync.WaitGroup
 
-	var buffer, drained []Observation
 	results := make([]RoundReport, cfg.RefitEvery)
 	windowSum, windowN := 0.0, 0
 	var lastDropped uint64
+	served := start
+	canceled := false
 
-	for k0 := 0; k0 < cfg.Rounds; k0 += cfg.RefitEvery {
+	saveCheckpoint := func(nextRound int) error {
+		if cfg.CheckpointPath == "" {
+			return nil
+		}
+		// Join an in-flight async refit so the checkpoint holds the
+		// post-refit snapshot the resumed run must serve against.
+		refitWG.Wait()
+		drops := droppedBase + e.obs.Dropped()
+		ck := captureCheckpoint(e, refitStream, rep, nextRound, configHash, buffer, drops)
+		return core.SaveCheckpoint(cfg.CheckpointPath, ck)
+	}
+
+	for k0 := start; k0 < cfg.Rounds; k0 += cfg.RefitEvery {
+		if ctx.Err() != nil {
+			canceled = true
+			break
+		}
 		n := cfg.RefitEvery
 		if k0+n > cfg.Rounds {
 			n = cfg.Rounds - k0
@@ -158,6 +238,7 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 			windowN++
 		}
 		rsp.End()
+		served = k0 + n
 		if h := testWindowHook; h != nil {
 			h(e, k0)
 		}
@@ -219,6 +300,14 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 		rep.Refits++
 		rep.WindowRegret = append(rep.WindowRegret, windowSum/float64(windowN))
 		windowSum, windowN = 0, 0
+
+		if rep.Refits%cfg.CheckpointEvery == 0 {
+			if err := saveCheckpoint(served); err != nil {
+				rep.RingDropped = droppedBase + e.obs.Dropped()
+				finalize(&rep.Report, served)
+				return rep, fmt.Errorf("platform: checkpoint save: %w", err)
+			}
+		}
 	}
 	refitWG.Wait()
 	// Final drain accounting: the tail window's observations never met a
@@ -226,8 +315,21 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 	if d := e.obs.Dropped(); d != lastDropped {
 		e.met.ringDropped.Add(d - lastDropped)
 	}
-	rep.RingDropped = e.obs.Dropped()
-	finalize(&rep.Report, cfg.Rounds)
+	rep.RingDropped = droppedBase + e.obs.Dropped()
+	if canceled {
+		// The last completed window is a valid resume point; persist it (with
+		// the report's raw running sums, before finalize turns them into
+		// means) so a signal-interrupted run loses at most the in-flight
+		// window.
+		saveErr := saveCheckpoint(served)
+		finalize(&rep.Report, served)
+		rep.Stopped = "canceled"
+		if saveErr != nil {
+			return rep, fmt.Errorf("platform: final checkpoint: %w", saveErr)
+		}
+		return rep, mfcperr.Canceled("platform.RunOnline", context.Cause(ctx))
+	}
+	finalize(&rep.Report, served)
 	return rep, nil
 }
 

@@ -10,6 +10,7 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 
 	"mfcp/internal/baselines"
@@ -17,6 +18,7 @@ import (
 	"mfcp/internal/core"
 	"mfcp/internal/mat"
 	"mfcp/internal/metrics"
+	"mfcp/internal/mfcperr"
 	"mfcp/internal/obs"
 	"mfcp/internal/sched"
 	"mfcp/internal/workload"
@@ -66,6 +68,11 @@ type Config struct {
 	RegretEpochs   int
 	// Hidden is the predictor architecture (default [16]).
 	Hidden []int
+	// WarmStart, when non-nil, skips method training entirely and serves
+	// from a clone of the given predictor set (checkpoint resume uses this
+	// to restore saved weights without re-running pretrain/regret descent).
+	// Only predictor-backed methods (tsm, mfcp-*) support it.
+	WarmStart *core.PredictorSet
 	// Telemetry optionally receives the run's instruments: per-phase round
 	// timings, solver convergence, ring/refit health, rolling quality (see
 	// DESIGN.md "Observability"). Nil disables recording; the served
@@ -122,6 +129,10 @@ type Report struct {
 	// TotalBusySeconds and TotalMakespanSeconds aggregate simulated time.
 	TotalBusySeconds     float64
 	TotalMakespanSeconds float64
+	// Stopped is non-empty ("canceled") when the run was interrupted; the
+	// report then covers only the rounds served before the interruption,
+	// with means normalized over that prefix.
+	Stopped string
 }
 
 // Run executes a full platform simulation on the sharded serving engine
@@ -129,24 +140,65 @@ type Report struct {
 // parallel.Workers() shards, and reduced in round order, so the report is
 // bit-identical at any worker count.
 func Run(cfg Config) (*Report, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cooperative cancellation. Canceling the context aborts
+// method training at its next phase boundary, or — once serving — drains
+// the in-flight batch of rounds in round order and returns the partial
+// report (Stopped = "canceled", means normalized over the served prefix)
+// alongside an mfcperr.ErrCanceled-wrapped error.
+func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 	cfg.fillDefaults()
-	e, err := newEngine(cfg)
+	e, err := newEngine(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{Method: e.method.Name()}
-	e.serve(rep, 0, cfg.Rounds)
-	finalize(rep, cfg.Rounds)
+	served, err := e.serveCtx(ctx, rep, 0, cfg.Rounds)
+	finalize(rep, served)
+	if err != nil {
+		rep.Stopped = "canceled"
+		return rep, err
+	}
 	return rep, nil
 }
 
-// buildMethod constructs the requested predictor.
-func buildMethod(cfg Config, s *workload.Scenario, train []int) (Predictor, error) {
+// buildMethod constructs the requested predictor. The context bounds
+// training; a WarmStart set skips training entirely.
+func buildMethod(ctx context.Context, cfg Config, s *workload.Scenario, train []int) (Predictor, error) {
+	mc := cfg.Match
+	if cfg.Parallel {
+		for _, p := range s.Fleet {
+			mc.Speedups = append(mc.Speedups, p.Speedup)
+		}
+	}
+	if cfg.WarmStart != nil {
+		if err := cfg.WarmStart.Validate(s.M(), s.Features.Cols); err != nil {
+			return nil, err
+		}
+		switch cfg.Method {
+		case MethodTSM:
+			return baselines.NewTSMFromSet(s, cfg.WarmStart.Clone()), nil
+		case MethodMFCPAD, MethodMFCPFG:
+			kind := core.AD
+			if cfg.Method == MethodMFCPFG {
+				kind = core.FG
+			}
+			return core.NewTrainerFromSet(s, cfg.WarmStart, core.Config{
+				Kind: kind, Hidden: cfg.Hidden,
+				RoundSize: cfg.RoundSize, Match: mc,
+				Telemetry: cfg.Telemetry,
+			}), nil
+		default:
+			return nil, mfcperr.Wrap(mfcperr.ErrBadConfig, "platform: method %q cannot warm-start from a predictor set", cfg.Method)
+		}
+	}
 	switch cfg.Method {
 	case MethodTAM:
 		return baselines.NewTAM(s, train), nil
 	case MethodTSM:
-		return baselines.NewTSM(s, train, cfg.Hidden, cfg.PretrainEpochs), nil
+		return baselines.NewTSMCtx(ctx, s, train, cfg.Hidden, cfg.PretrainEpochs)
 	case MethodUCB:
 		return baselines.NewUCB(s, train, baselines.UCBConfig{Hidden: cfg.Hidden, Epochs: cfg.PretrainEpochs}), nil
 	case MethodMFCPAD, MethodMFCPFG:
@@ -154,21 +206,15 @@ func buildMethod(cfg Config, s *workload.Scenario, train []int) (Predictor, erro
 		if cfg.Method == MethodMFCPFG {
 			kind = core.FG
 		}
-		mc := cfg.Match
-		if cfg.Parallel {
-			for _, p := range s.Fleet {
-				mc.Speedups = append(mc.Speedups, p.Speedup)
-			}
-			if kind == core.AD {
-				return nil, fmt.Errorf("platform: MFCP-AD requires the sequential (convex) setting; use mfcp-fg with -parallel")
-			}
+		if cfg.Parallel && kind == core.AD {
+			return nil, fmt.Errorf("platform: MFCP-AD requires the sequential (convex) setting; use mfcp-fg with -parallel")
 		}
-		return core.Train(s, train, core.Config{
+		return core.TrainCtx(ctx, s, train, core.Config{
 			Kind: kind, Hidden: cfg.Hidden,
 			PretrainEpochs: cfg.PretrainEpochs, Epochs: cfg.RegretEpochs,
 			RoundSize: cfg.RoundSize, Match: mc,
 			Telemetry: cfg.Telemetry,
-		}), nil
+		})
 	default:
 		return nil, fmt.Errorf("platform: unknown method %q", cfg.Method)
 	}

@@ -56,6 +56,21 @@ func New(seed uint64) *Source {
 	return &src
 }
 
+// State returns the stream's internal xoshiro256** state, for checkpointing.
+// Restoring it with SetState resumes the stream at exactly the same point.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously captured with State. The all-zero
+// state is invalid for xoshiro (the generator would emit zeros forever), so
+// a corrupt restore falls back to the canonical non-zero seed word rather
+// than wedging the stream.
+func (r *Source) SetState(st [4]uint64) {
+	r.s = st
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9E3779B97F4A7C15
+	}
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.
@@ -124,6 +139,7 @@ func (r *Source) Float64() float64 {
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {
+		// invariant: draw bounds are sized by callers from non-empty collections.
 		panic("rng: Intn with non-positive n")
 	}
 	// Lemire's nearly-divisionless bounded generation would be faster, but
@@ -191,6 +207,7 @@ func (r *Source) LogNormal(mu, sigma float64) float64 {
 // Exp returns an exponential variate with the given rate (mean 1/rate).
 func (r *Source) Exp(rate float64) float64 {
 	if rate <= 0 {
+		// invariant: rates come from validated workload configs.
 		panic("rng: Exp with non-positive rate")
 	}
 	return -math.Log(1-r.Float64()) / rate
@@ -211,6 +228,7 @@ func (r *Source) Bernoulli(p float64) bool {
 // squeeze method, with Ahrens-Dieter boosting for shape < 1.
 func (r *Source) Gamma(shape, scale float64) float64 {
 	if shape <= 0 || scale <= 0 {
+		// invariant: shape/rate come from validated workload configs.
 		panic("rng: Gamma with non-positive parameter")
 	}
 	if shape < 1 {
@@ -268,6 +286,7 @@ func (r *Source) Choice(w []float64) int {
 		}
 	}
 	if total <= 0 {
+		// invariant: weight vectors are validated at workload construction.
 		panic("rng: Choice with no positive weights")
 	}
 	target := r.Float64() * total

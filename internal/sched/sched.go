@@ -50,6 +50,7 @@ type Result struct {
 // failures are Bernoulli draws from the ground-truth reliability.
 func Execute(fleet []*cluster.Profile, tasks []*taskgraph.Task, assign []int, mode Mode, r *rng.Source) Result {
 	if len(tasks) != len(assign) {
+		// invariant: the matcher emits exactly one assignment per task.
 		panic(fmt.Sprintf("sched: %d tasks but %d assignments", len(tasks), len(assign)))
 	}
 	m := len(fleet)
@@ -61,6 +62,7 @@ func Execute(fleet []*cluster.Profile, tasks []*taskgraph.Task, assign []int, mo
 	counts := make([]int, m)
 	for j, i := range assign {
 		if i < 0 || i >= m {
+			// invariant: rounding maps every task to an in-range fleet index.
 			panic(fmt.Sprintf("sched: task %d assigned to cluster %d of %d", j, i, m))
 		}
 		p := fleet[i]

@@ -29,6 +29,7 @@ func (c PairedComparison) Significant() bool {
 // resampling pairs preserves the correlation structure.
 func PairedBootstrap(a, b []float64, B int, r *rng.Source) PairedComparison {
 	if len(a) != len(b) {
+		// invariant: paired samples come from the same evaluation loop.
 		panic("stats: PairedBootstrap length mismatch")
 	}
 	n := len(a)

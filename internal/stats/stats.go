@@ -143,6 +143,7 @@ func Std(xs []float64) float64 { return Summarize(xs).Std }
 // interpolation between closest ranks. It panics on an empty slice.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
+		// invariant: aggregation runs only after at least one round is recorded.
 		panic("stats: Percentile of empty slice")
 	}
 	sorted := append([]float64(nil), xs...)

@@ -85,6 +85,7 @@ func Generate(family Family, r *rng.Source) *Task {
 	case FamilyGNN:
 		return generateGNN(r)
 	default:
+		// invariant: the Family enum is closed; generators never invent new values.
 		panic(fmt.Sprintf("taskgraph: unknown family %d", int(family)))
 	}
 }
@@ -99,6 +100,7 @@ func GenerateMix(n int, weights []float64, r *rng.Source) []*Task {
 		}
 	}
 	if len(weights) != NumFamilies {
+		// invariant: callers pass one weight per Family constant.
 		panic("taskgraph: GenerateMix weights length")
 	}
 	tasks := make([]*Task, n)

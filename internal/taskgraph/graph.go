@@ -127,6 +127,7 @@ func (g *Graph) AddNode(n Node) int {
 // AddEdge adds a directed edge from -> to. It panics on out-of-range IDs.
 func (g *Graph) AddEdge(from, to int) {
 	if from < 0 || from >= len(g.Nodes) || to < 0 || to >= len(g.Nodes) {
+		// invariant: generators connect only nodes they created.
 		panic(fmt.Sprintf("taskgraph: edge (%d,%d) out of range (n=%d)", from, to, len(g.Nodes)))
 	}
 	g.Edges[from] = append(g.Edges[from], to)

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"mfcp/internal/mat"
+	"mfcp/internal/mfcperr"
 	"mfcp/internal/rng"
 )
 
@@ -26,21 +27,21 @@ import (
 // (platform runs, onboarding, drift) are unavailable on external data.
 func FromData(features, measT, measA *mat.Dense, seed uint64) (*Scenario, error) {
 	if measT.Rows != measA.Rows || measT.Cols != measA.Cols {
-		return nil, fmt.Errorf("workload: T is %dx%d but A is %dx%d", measT.Rows, measT.Cols, measA.Rows, measA.Cols)
+		return nil, mfcperr.Wrap(mfcperr.ErrBadShape, "workload: T is %dx%d but A is %dx%d", measT.Rows, measT.Cols, measA.Rows, measA.Cols)
 	}
 	if features.Rows != measT.Cols {
-		return nil, fmt.Errorf("workload: %d feature rows for %d tasks", features.Rows, measT.Cols)
+		return nil, mfcperr.Wrap(mfcperr.ErrBadShape, "workload: %d feature rows for %d tasks", features.Rows, measT.Cols)
 	}
 	total := 0.0
 	for _, v := range measT.Data {
 		if v <= 0 {
-			return nil, fmt.Errorf("workload: non-positive measured time %v", v)
+			return nil, mfcperr.Wrap(mfcperr.ErrBadShape, "workload: non-positive measured time %v", v)
 		}
 		total += v
 	}
 	for _, v := range measA.Data {
 		if v < 0 || v > 1 {
-			return nil, fmt.Errorf("workload: reliability %v outside [0,1]", v)
+			return nil, mfcperr.Wrap(mfcperr.ErrBadShape, "workload: reliability %v outside [0,1]", v)
 		}
 	}
 	scale := total / float64(len(measT.Data))

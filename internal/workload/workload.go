@@ -15,6 +15,7 @@ import (
 	"mfcp/internal/cluster"
 	"mfcp/internal/embed"
 	"mfcp/internal/mat"
+	"mfcp/internal/mfcperr"
 	"mfcp/internal/rng"
 	"mfcp/internal/taskgraph"
 )
@@ -58,6 +59,43 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// Validate rejects configurations outside their admissible ranges. New
+// calls it after fillDefaults, so scenario construction fails fast with an
+// mfcperr.ErrBadConfig-wrapped error instead of generating a degenerate
+// pool.
+func (c *Config) Validate() error {
+	if c.PoolSize < 1 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "workload: PoolSize %d must be at least 1", c.PoolSize)
+	}
+	if c.FeatureDim < 1 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "workload: FeatureDim %d must be at least 1", c.FeatureDim)
+	}
+	if c.MeasureTrials < 1 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "workload: MeasureTrials %d must be at least 1", c.MeasureTrials)
+	}
+	if c.NoiseScale < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "workload: NoiseScale %g must be non-negative", c.NoiseScale)
+	}
+	if c.FamilyWeights != nil {
+		if len(c.FamilyWeights) != taskgraph.NumFamilies {
+			return mfcperr.Wrap(mfcperr.ErrBadConfig, "workload: %d family weights for %d families", len(c.FamilyWeights), taskgraph.NumFamilies)
+		}
+		pos := false
+		for _, w := range c.FamilyWeights {
+			if w < 0 {
+				return mfcperr.Wrap(mfcperr.ErrBadConfig, "workload: negative family weight %g", w)
+			}
+			if w > 0 {
+				pos = true
+			}
+		}
+		if !pos {
+			return mfcperr.Wrap(mfcperr.ErrBadConfig, "workload: family weights are all zero")
+		}
+	}
+	return nil
+}
+
 // TaskEmbedder maps tasks to fixed-length feature vectors; both the
 // message-passing embedder and the stats-only baseline satisfy it.
 type TaskEmbedder interface {
@@ -92,6 +130,9 @@ type Scenario struct {
 // cfg.Seed.
 func New(cfg Config) (*Scenario, error) {
 	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	fleet, err := cluster.Fleet(cfg.Setting)
 	if err != nil {
 		return nil, err
@@ -143,6 +184,7 @@ func New(cfg Config) (*Scenario, error) {
 func MustNew(cfg Config) *Scenario {
 	s, err := New(cfg)
 	if err != nil {
+		// invariant: Must helpers serve literal configs in tests and examples.
 		panic(err)
 	}
 	return s
@@ -176,8 +218,20 @@ func (s *Scenario) PoolLen() int {
 // training fraction; the shuffle is drawn from the scenario's "split"
 // stream so it is reproducible.
 func (s *Scenario) Split(frac float64) (train, test []int) {
+	train, test, err := s.SplitChecked(frac)
+	if err != nil {
+		// invariant: internal callers pass validated fractions; external
+		// fractions go through SplitChecked.
+		panic(err)
+	}
+	return train, test
+}
+
+// SplitChecked is Split for externally supplied fractions: anything outside
+// (0,1) returns an mfcperr.ErrBadConfig-wrapped error instead of panicking.
+func (s *Scenario) SplitChecked(frac float64) (train, test []int, err error) {
 	if frac <= 0 || frac >= 1 {
-		panic("workload: Split fraction must be in (0,1)")
+		return nil, nil, mfcperr.Wrap(mfcperr.ErrBadConfig, "workload: split fraction %g outside (0,1)", frac)
 	}
 	perm := s.root.Split("split").Perm(s.PoolLen())
 	cut := int(frac * float64(len(perm)))
@@ -187,7 +241,7 @@ func (s *Scenario) Split(frac float64) (train, test []int) {
 	if cut >= len(perm) {
 		cut = len(perm) - 1
 	}
-	return perm[:cut], perm[cut:]
+	return perm[:cut], perm[cut:], nil
 }
 
 // SampleRound draws n pool indices (with replacement across rounds, without
@@ -196,6 +250,9 @@ func (s *Scenario) Split(frac float64) (train, test []int) {
 // per-replicate streams.
 func (s *Scenario) SampleRound(from []int, n int, r *rng.Source) []int {
 	if n > len(from) {
+		// invariant: trainers and the serving engine validate round size
+		// against the candidate set before sampling (ErrInfeasible at the
+		// boundary), so an oversized round here is an internal bug.
 		panic(fmt.Sprintf("workload: round of %d from %d candidates", n, len(from)))
 	}
 	perm := r.Perm(len(from))

@@ -24,6 +24,8 @@
 package mfcp
 
 import (
+	"context"
+
 	"mfcp/internal/baselines"
 	"mfcp/internal/cluster"
 	"mfcp/internal/core"
@@ -31,6 +33,7 @@ import (
 	"mfcp/internal/mat"
 	"mfcp/internal/matching"
 	"mfcp/internal/metrics"
+	"mfcp/internal/mfcperr"
 	"mfcp/internal/platform"
 	"mfcp/internal/workload"
 )
@@ -114,6 +117,43 @@ func LoadScenarioCSV(dir string, seed uint64) (*Scenario, error) {
 func Train(s *Scenario, train []int, cfg TrainerConfig) *Trainer {
 	return core.Train(s, train, cfg)
 }
+
+// TrainCtx is Train with configuration validation and cooperative
+// cancellation: a bad configuration returns an ErrBadConfig-wrapped error
+// instead of panicking, and canceling the context returns the partial
+// trainer (Trainer.Stopped names the interrupted phase) alongside an
+// ErrCanceled-wrapped error.
+func TrainCtx(ctx context.Context, s *Scenario, train []int, cfg TrainerConfig) (*Trainer, error) {
+	return core.TrainCtx(ctx, s, train, cfg)
+}
+
+// Sentinel errors of the run lifecycle, for errors.Is dispatch. Every error
+// the facade's fallible functions return wraps one of these.
+var (
+	// ErrBadShape reports matrix dimensionality that cannot form a valid problem.
+	ErrBadShape = mfcperr.ErrBadShape
+	// ErrBadConfig reports a hyperparameter outside its admissible range.
+	ErrBadConfig = mfcperr.ErrBadConfig
+	// ErrInfeasible reports an instance no configuration could satisfy.
+	ErrInfeasible = mfcperr.ErrInfeasible
+	// ErrNotConverged reports an optimizer that exhausted its budget.
+	ErrNotConverged = mfcperr.ErrNotConverged
+	// ErrCanceled reports cooperative cancellation; partial results returned
+	// alongside it are valid prefixes.
+	ErrCanceled = mfcperr.ErrCanceled
+	// ErrCorruptCheckpoint reports a checkpoint file that failed validation.
+	ErrCorruptCheckpoint = mfcperr.ErrCorruptCheckpoint
+)
+
+// Checkpoint is a resumable snapshot of a training or serving run.
+type Checkpoint = core.Checkpoint
+
+// SaveCheckpoint atomically writes a checkpoint file (temp file + rename).
+func SaveCheckpoint(path string, c *Checkpoint) error { return core.SaveCheckpoint(path, c) }
+
+// LoadCheckpoint reads and validates a checkpoint file; corruption returns
+// an ErrCorruptCheckpoint-wrapped error.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return core.LoadCheckpoint(path) }
 
 // NewTAM builds the task-agnostic matching baseline.
 func NewTAM(s *Scenario, train []int) Method { return baselines.NewTAM(s, train) }
@@ -248,6 +288,13 @@ func CompareMethods(cfg ExperimentConfig, includeAD bool) []MethodResult {
 // RunPlatform executes an end-to-end exchange-platform simulation.
 func RunPlatform(cfg PlatformConfig) (*PlatformReport, error) { return platform.Run(cfg) }
 
+// RunPlatformCtx is RunPlatform with cooperative cancellation: the partial
+// report (served prefix, Stopped = "canceled") returns alongside an
+// ErrCanceled-wrapped error.
+func RunPlatformCtx(ctx context.Context, cfg PlatformConfig) (*PlatformReport, error) {
+	return platform.RunCtx(ctx, cfg)
+}
+
 // OnlineConfig parameterizes a platform simulation with in-the-loop
 // predictor refitting; OnlineReport adds the learning curve.
 type (
@@ -264,6 +311,14 @@ type (
 // RunPlatformOnline simulates the platform with periodic predictor
 // refitting from realized executions (partial feedback).
 func RunPlatformOnline(cfg OnlineConfig) (*OnlineReport, error) { return platform.RunOnline(cfg) }
+
+// RunPlatformOnlineCtx is RunPlatformOnline with cooperative cancellation
+// and checkpoint/resume: set OnlineConfig.CheckpointPath to save resumable
+// state periodically and on cancellation, and OnlineConfig.Resume (a loaded
+// Checkpoint) to continue a previous run bit-identically.
+func RunPlatformOnlineCtx(ctx context.Context, cfg OnlineConfig) (*OnlineReport, error) {
+	return platform.RunOnlineCtx(ctx, cfg)
+}
 
 // OnboardingStudy profiles a newly joined cluster on growing task budgets
 // and reports how quickly its predictors become matching-grade.

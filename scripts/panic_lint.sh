@@ -1,0 +1,52 @@
+#!/bin/sh
+# panic_lint.sh — enforce the error-handling contract from DESIGN.md §7.
+#
+# Two rules over tracked, non-test .go files:
+#
+#  1. A file containing a panic() call must be listed in
+#     scripts/panic_allowlist.txt. New failure surfaces belong in
+#     internal/mfcperr's typed-error taxonomy, not in new panics.
+#  2. Outside examples/, every panic site must carry an "// invariant:"
+#     comment on the same line or within the four lines above it, naming
+#     the internal invariant that makes the branch unreachable from input.
+#
+# Run from the repository root. Exits non-zero listing every violation.
+set -eu
+
+allowlist=scripts/panic_allowlist.txt
+fail=0
+
+files=$(git ls-files '*.go' | grep -v '_test\.go$')
+
+for f in $files; do
+	# Strip line comments before matching so prose about panic() in doc
+	# comments does not count as a call site.
+	if ! sed 's|//.*||' "$f" | grep -qE '(^|[^a-zA-Z_])panic\(' 2>/dev/null; then
+		continue
+	fi
+	if ! grep -qx "$f" "$allowlist"; then
+		echo "panic-lint: $f calls panic() but is not in $allowlist" >&2
+		echo "            convert it to an mfcperr typed error, or allowlist it" >&2
+		fail=1
+	fi
+	case $f in examples/*) continue ;; esac
+	bad=$(awk '
+		{ code = $0; sub(/\/\/.*/, "", code) }
+		code ~ /(^|[^a-zA-Z_])panic\(/ {
+			ok = ($0 ~ /invariant:/)
+			for (i = 1; i <= 4; i++) if (prev[i] ~ /invariant:/) ok = 1
+			if (!ok) print FILENAME ":" FNR
+		}
+		{ for (i = 4; i > 1; i--) prev[i] = prev[i-1]; prev[1] = $0 }
+	' "$f")
+	if [ -n "$bad" ]; then
+		echo "panic-lint: panic() without a nearby \"// invariant:\" comment at:" >&2
+		echo "$bad" | sed 's/^/            /' >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "panic-lint: ok"
