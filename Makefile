@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet test race race-serving fmt-check lint-panic smoke-checkpoint bench bench-matching bench-train bench-platform bench-compare obs-demo
+.PHONY: ci vet test race race-serving fmt-check lint-panic smoke-checkpoint bench bench-matching bench-train bench-platform bench-scale bench-compare obs-demo
 
 ci: fmt-check lint-panic vet race smoke-checkpoint
 
@@ -64,6 +64,12 @@ bench-train:
 # serving engine.
 bench-platform:
 	$(GO) test ./cmd/mfcpbench -run '^$$' -bench 'PlatformThroughput' -benchmem
+
+# Production-dimension matching sweep (screen → cell solve → reconcile →
+# repair at up to 1000 clusters × 100k tasks, plus the worker sweep);
+# records the latency + rounds/sec curve into BENCH_scale.json.
+bench-scale:
+	sh scripts/bench_scale.sh
 
 # Every benchmark in the repo, with allocation stats. Set BENCH_FLAGS to
 # pass extras, e.g. BENCH_FLAGS='-count=10' for benchstat-ready samples.

@@ -22,6 +22,11 @@ go build ./...
 go test -race ./internal/platform ./internal/parallel
 go test -race ./...
 
+# Scale-path smoke test: one production-dimension round (64 clusters ×
+# 2000 tasks) through screen → cell solve → reconcile → repair; fails on
+# any structural violation (uncovered task, infeasible reconcile).
+go run ./cmd/mfcpbench -scale smoke
+
 # Telemetry endpoint smoke test: run an online simulation with a live
 # /metrics endpoint, then assert the key series families are served.
 BIN=$(mktemp -d)/platformsim

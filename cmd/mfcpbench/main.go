@@ -39,11 +39,16 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 		bench      = flag.String("bench", "", "run training benchmarks matching this regexp instead of experiments")
 		count      = flag.Int("count", 1, "repetitions per benchmark (with -bench)")
+		scale      = flag.String("scale", "", "run the production-dimension matching sweep: smoke|all|<point name> (see scale.go)")
+		scaleJSON  = flag.String("scale-json", "", "with -scale: also write the results as JSON to this path")
 	)
 	flag.Parse()
 
 	if *bench != "" {
 		os.Exit(runBenchmarks(*bench, *count))
+	}
+	if *scale != "" {
+		os.Exit(runScale(*scale, *scaleJSON))
 	}
 
 	if *cpuprofile != "" {

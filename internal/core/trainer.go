@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 
 	"mfcp/internal/cluster"
 	"mfcp/internal/diffopt"
@@ -68,6 +69,31 @@ type MatchConfig struct {
 	Speedups []cluster.SpeedupCurve
 	// SolveIters budgets the inner solver (default 200).
 	SolveIters int
+	// SolveTol is the relaxed solver's early-stop tolerance on
+	// ‖X_{k+1} − X_k‖∞ (default 0 = the solver's own 1e-7). Serving loops
+	// loosen it so convergence — and therefore the warm-start iteration
+	// savings — lands inside the SolveIters budget.
+	SolveTol float64
+
+	// TopK enables the production-dimension sparse matching path when
+	// positive: predictor screening keeps each task's TopK
+	// fastest-predicted clusters (plus its best-reliability cluster) and
+	// the solve walks candidate lists instead of dense rows. Zero keeps
+	// the dense path. TopK ≥ M degenerates to the dense solution exactly
+	// (bit-for-bit; see matching.PruneTopK).
+	TopK int
+	// Cells partitions clusters into that many cells solved in parallel
+	// with cross-cell capacity reconciliation (hierarchical solve;
+	// meaningful with TopK > 0). Zero or one solves the pruned problem in
+	// one piece.
+	Cells int
+	// WarmStart makes the serving engine carry each round's relaxed
+	// solution into the next round's solve as the initial iterate. Online
+	// assignments drift slowly, so warm solves converge in measurably
+	// fewer iterations (surfaced via Workspace.Info and the
+	// mfcp_solver_iters_warm gauge). Training and one-shot solves ignore
+	// it.
+	WarmStart bool
 }
 
 // FillDefaults populates zero fields with the defaults above.
@@ -107,8 +133,23 @@ func (mc *MatchConfig) Validate() error {
 	if mc.SolveIters < 1 {
 		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: SolveIters %d must be at least 1", mc.SolveIters)
 	}
+	if mc.SolveTol < 0 || math.IsInf(mc.SolveTol, 0) || math.IsNaN(mc.SolveTol) {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: SolveTol %g must be finite and non-negative", mc.SolveTol)
+	}
+	if mc.TopK < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: TopK %d must be non-negative", mc.TopK)
+	}
+	if mc.Cells < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Cells %d must be non-negative", mc.Cells)
+	}
+	if mc.Cells > 1 && mc.TopK == 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Cells %d requires the sparse path (TopK > 0)", mc.Cells)
+	}
 	return nil
 }
+
+// Sparse reports whether the production-dimension sparse path is enabled.
+func (mc MatchConfig) Sparse() bool { return mc.TopK > 0 }
 
 // Problem builds a matching problem over (T, A) with this configuration.
 // Entropy is NOT applied here; trainers opt in explicitly.
@@ -145,9 +186,72 @@ func (mc MatchConfig) SolveWS(T, A *mat.Dense, ws *matching.Workspace) []int {
 // solver's own convergence record lands in ws.Info (when ws is non-nil);
 // read both before the workspace's next solve.
 func (mc MatchConfig) SolveWSInfo(T, A *mat.Dense, ws *matching.Workspace) ([]int, matching.RepairInfo) {
+	return mc.SolveWSInfoInit(T, A, ws, nil)
+}
+
+// SolveWSInfoInit is SolveWSInfo with an optional warm-start iterate: a
+// non-nil init (e.g. the previous round's relaxed solution) seeds the
+// solver instead of the uniform start. The engine's warm-start path; a nil
+// init is exactly SolveWSInfo.
+func (mc MatchConfig) SolveWSInfoInit(T, A *mat.Dense, ws *matching.Workspace, init *mat.Dense) ([]int, matching.RepairInfo) {
 	p := mc.Problem(T, A)
-	X := matching.SolveRelaxedWS(p, matching.SolveOptions{Iters: mc.SolveIters}, ws)
+	X := matching.SolveRelaxedWS(p, matching.SolveOptions{Iters: mc.SolveIters, Tol: mc.SolveTol, Init: init}, ws)
 	return matching.RepairWithInfo(p, matching.Round(X))
+}
+
+// ProblemChecked is Problem for externally supplied matrices: shape
+// mismatches return an mfcperr.ErrBadShape-wrapped error instead of
+// panicking. The facade's input-reachable entry points route through it.
+func (mc MatchConfig) ProblemChecked(T, A *mat.Dense) (*matching.Problem, error) {
+	p, err := matching.NewProblemChecked(T, A)
+	if err != nil {
+		return nil, err
+	}
+	p.Gamma = mc.Gamma
+	p.Beta = mc.Beta
+	p.Lambda = mc.Lambda
+	p.Norm = mc.Norm
+	p.Objective = mc.Objective
+	p.Barrier = mc.Barrier
+	p.Speedups = mc.Speedups
+	return p, nil
+}
+
+// Screen prunes predicted matrices (T̂, Â) — typically filled by
+// PredictorSet.PredictInto — down to the TopK candidate clusters per task,
+// the screening stage of the production-dimension pipeline. The predictors
+// themselves are the ranking function: screening costs one pass over the
+// already-computed predictions, no extra inference.
+func (mc MatchConfig) Screen(T, A *mat.Dense) (*matching.SparseProblem, error) {
+	if mc.TopK < 1 {
+		return nil, mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Screen requires TopK > 0, have %d", mc.TopK)
+	}
+	p, err := mc.ProblemChecked(T, A)
+	if err != nil {
+		return nil, err
+	}
+	return matching.PruneTopKChecked(p, mc.TopK)
+}
+
+// SolveSparseWS runs the production-dimension pipeline on predicted
+// matrices: screen → (hierarchical) cell solve → capacity reconcile →
+// bounded sparse repair. init optionally warm-starts the relaxed solve in
+// the sparse problem's CSR entry order (see matching.SolveHierarchical);
+// hw carries the per-cell workspaces across rounds. The HierResult exposes
+// the relaxed iterate (the next round's warm-start carrier), convergence
+// info, and reconcile/repair accounting.
+func (mc MatchConfig) SolveSparseWS(T, A *mat.Dense, hw *matching.HierWorkspace, init []float64) (*matching.SparseProblem, matching.HierResult, error) {
+	sp, err := mc.Screen(T, A)
+	if err != nil {
+		return nil, matching.HierResult{}, err
+	}
+	res := matching.SolveHierarchical(sp, matching.HierOptions{
+		Cells:  mc.Cells,
+		Solve:  matching.SolveOptions{Iters: mc.SolveIters, Tol: mc.SolveTol},
+		Init:   init,
+		Repair: true,
+	}, hw)
+	return sp, res, nil
 }
 
 // Config parameterizes MFCP training.

@@ -1,0 +1,385 @@
+package matching
+
+import (
+	"math"
+
+	"mfcp/internal/parallel"
+)
+
+// HierOptions configures SolveHierarchical.
+type HierOptions struct {
+	// Cells is the number of cluster cells solved independently (default 1
+	// = plain sparse solve, which is bit-identical to SolveRelaxedSparseWS).
+	Cells int
+	// Solve configures the per-cell relaxed solves.
+	Solve SolveOptions
+	// Init optionally warm-starts the solve in CSR entry order of the full
+	// problem (cells slice the relevant entries out).
+	Init []float64
+	// Repair enables the bounded sparse repair pass after reconciliation.
+	Repair bool
+}
+
+// HierResult is the outcome of one hierarchical solve.
+type HierResult struct {
+	// Assign is the final discrete assignment (global cluster indices).
+	Assign []int
+	// X is the relaxed iterate in CSR entry order of the full problem —
+	// the warm-start carrier for the next round. With Cells > 1 it is the
+	// concatenation of the cell solutions (entries outside the routed cell
+	// stay at their init/uniform values). Aliases workspace storage: valid
+	// until the workspace's next use.
+	X []float64
+	// Info aggregates solver convergence: Iters is the max cell iteration
+	// count (the critical path), Converged requires every cell to converge.
+	Info SolveInfo
+	// Cells is the number of cells actually used (≤ requested when M is
+	// small).
+	Cells int
+	// Reconcile reports the capacity-reconciliation pass.
+	Reconcile ReconcileInfo
+	// RepairInfo reports the bounded sparse repair pass (zero when
+	// disabled).
+	RepairInfo RepairInfo
+}
+
+// ReconcileInfo accounts the capacity-reconciliation pass.
+type ReconcileInfo struct {
+	// Moved is the number of task reassignments applied (including
+	// intermediate hops of multi-step chains).
+	Moved int
+	// Chains is the number of overflow units resolved.
+	Chains int
+	// Feasible reports whether every cluster ended within capacity. False
+	// only when the candidate structure itself makes the overflow
+	// unresolvable (a Hall-condition violation over the reachable set).
+	Feasible bool
+}
+
+// HierWorkspace caches the per-cell solver workspaces and routing scratch
+// across rounds. The per-cell sub-problems are rebuilt each call (their
+// values change every round) but the mirror-descent inner loops draw from
+// the cached workspaces, so the solve hot path stays allocation-free.
+type HierWorkspace struct {
+	cells []SparseWorkspace
+	route []int32 // task → cell
+	x     []float64
+}
+
+// NewHierWorkspace returns an empty workspace; it sizes itself on first
+// use.
+func NewHierWorkspace() *HierWorkspace { return &HierWorkspace{} }
+
+// SolveHierarchical runs the scalable three-stage solve on a (typically
+// pruned) sparse problem: partition clusters into contiguous cells, route
+// each task to the cell holding its fastest candidate, solve the cells
+// independently in parallel across parallel.Workers() goroutines, then
+// reconcile capacity overflow across cell boundaries and (optionally)
+// repair. With Cells ≤ 1 the solve degenerates to a single
+// SolveRelaxedSparseWS over the whole problem — the regime the equivalence
+// property test pins to the dense solver.
+//
+// A nil hw allocates fresh buffers.
+func SolveHierarchical(sp *SparseProblem, o HierOptions, hw *HierWorkspace) HierResult {
+	if hw == nil {
+		hw = NewHierWorkspace()
+	}
+	cells := o.Cells
+	if cells < 1 {
+		cells = 1
+	}
+	if cells > sp.Mdim {
+		cells = sp.Mdim
+	}
+	res := HierResult{Cells: cells, Reconcile: ReconcileInfo{Feasible: true}}
+	if cells == 1 {
+		if len(hw.cells) == 0 {
+			hw.cells = make([]SparseWorkspace, 1)
+		}
+		ws := &hw.cells[0]
+		x := SolveRelaxedSparseWS(sp, o.Solve, ws, o.Init)
+		res.X = x
+		res.Info = ws.Info
+		res.Assign = RoundSparse(sp, x)
+	} else {
+		res.Assign, res.X, res.Info = solveCells(sp, o, hw, cells)
+	}
+	if sp.Cap != nil {
+		res.Reconcile = ReconcileCapacities(sp, res.Assign)
+	}
+	if o.Repair {
+		res.Assign, res.RepairInfo = RepairSparse(sp, res.Assign)
+	}
+	return res
+}
+
+// solveCells partitions clusters into contiguous cells, routes tasks,
+// builds the per-cell sub-problems, and solves them on the worker pool.
+func solveCells(sp *SparseProblem, o HierOptions, hw *HierWorkspace, cells int) ([]int, []float64, SolveInfo) {
+	m, n := sp.Mdim, sp.Ndim
+	// Cell c owns clusters [bounds[c], bounds[c+1]).
+	bounds := make([]int, cells+1)
+	for c := 0; c <= cells; c++ {
+		bounds[c] = c * m / cells
+	}
+	cellOf := make([]int32, m)
+	for c := 0; c < cells; c++ {
+		for i := bounds[c]; i < bounds[c+1]; i++ {
+			cellOf[i] = int32(c)
+		}
+	}
+	// Route each task to the cell of its fastest candidate (lowest cluster
+	// index on ties, matching the solver's tie-break direction).
+	if cap(hw.route) < n {
+		hw.route = make([]int32, n)
+	}
+	route := hw.route[:n]
+	for j := 0; j < n; j++ {
+		lo, hi := int(sp.ColStart[j]), int(sp.ColStart[j+1])
+		bestT, bestI := math.Inf(1), int32(0)
+		for c := lo; c < hi; c++ {
+			e := sp.ColEntry[c]
+			if t := sp.T[e]; t < bestT {
+				bestT, bestI = t, sp.ColRow[c]
+			}
+		}
+		route[j] = cellOf[bestI]
+	}
+	// Build the per-cell sub-problems: local cluster indices are offsets
+	// into the cell's range; candidate lists are the intersection of the
+	// task's candidates with the cell (non-empty by routing).
+	subs := make([]*SparseProblem, cells)
+	taskOf := make([][]int32, cells) // local task → global task
+	for c := 0; c < cells; c++ {
+		subs[c] = &SparseProblem{
+			Gamma: sp.Gamma, Beta: sp.Beta, Lambda: sp.Lambda,
+			Objective: sp.Objective, Barrier: sp.Barrier, Norm: sp.Norm,
+			Entropy: sp.Entropy,
+		}
+		if sp.Speedups != nil {
+			subs[c].Speedups = sp.Speedups[bounds[c]:bounds[c+1]]
+		}
+	}
+	for j := 0; j < n; j++ {
+		taskOf[route[j]] = append(taskOf[route[j]], int32(j))
+	}
+	if len(hw.cells) < cells {
+		hw.cells = make([]SparseWorkspace, cells)
+	}
+	hw.x = growFloats(hw.x, sp.NNZ())
+	x := hw.x
+	if o.Init != nil {
+		copy(x, o.Init[:sp.NNZ()])
+	} else {
+		for e := range x {
+			x[e] = 0
+		}
+	}
+	assign := make([]int, n)
+	var infos = make([]SolveInfo, cells)
+	parallel.ForChunked(cells, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			sub := subs[c]
+			entMap := buildCell(sp, sub, taskOf[c], bounds[c], bounds[c+1])
+			if sub.Ndim == 0 {
+				continue
+			}
+			var init []float64
+			if o.Init != nil {
+				init = make([]float64, len(entMap))
+				for le, ge := range entMap {
+					init[le] = o.Init[ge]
+				}
+			}
+			xs := SolveRelaxedSparseWS(sub, o.Solve, &hw.cells[c], init)
+			infos[c] = hw.cells[c].Info
+			// Scatter the relaxed entries back to global coordinates (cells
+			// write disjoint entry sets, so no synchronization is needed),
+			// then round each routed task locally.
+			for le, ge := range entMap {
+				x[ge] = xs[le]
+			}
+			for lj, gj := range taskOf[c] {
+				llo, lhi := int(sub.ColStart[lj]), int(sub.ColStart[lj+1])
+				best, bi := math.Inf(-1), 0
+				for lc := llo; lc < lhi; lc++ {
+					if v := xs[sub.ColEntry[lc]]; v > best {
+						best, bi = v, bounds[c]+int(sub.ColRow[lc])
+					}
+				}
+				assign[gj] = bi
+			}
+		}
+	})
+	agg := SolveInfo{Converged: true}
+	for c := 0; c < cells; c++ {
+		if len(taskOf[c]) == 0 {
+			continue
+		}
+		if infos[c].Iters > agg.Iters {
+			agg.Iters = infos[c].Iters
+		}
+		if infos[c].FinalDelta > agg.FinalDelta {
+			agg.FinalDelta = infos[c].FinalDelta
+		}
+		agg.Converged = agg.Converged && infos[c].Converged
+	}
+	return assign, x, agg
+}
+
+// buildCell fills sub with the restriction of sp to clusters [c0, c1) and
+// the given global tasks, returning the local→global CSR entry map.
+func buildCell(sp *SparseProblem, sub *SparseProblem, tasks []int32, c0, c1 int) []int32 {
+	mc := c1 - c0
+	sub.Mdim, sub.Ndim = mc, len(tasks)
+	sub.RowStart = make([]int32, mc+1)
+	nnz := 0
+	// Count entries per local row via each task's candidate slice.
+	rowCnt := make([]int32, mc)
+	for _, gj := range tasks {
+		lo, hi := int(sp.ColStart[gj]), int(sp.ColStart[gj+1])
+		for c := lo; c < hi; c++ {
+			gi := int(sp.ColRow[c])
+			if gi >= c0 && gi < c1 {
+				rowCnt[gi-c0]++
+				nnz++
+			}
+		}
+	}
+	for i := 0; i < mc; i++ {
+		sub.RowStart[i+1] = sub.RowStart[i] + rowCnt[i]
+	}
+	sub.ColIdx = make([]int32, nnz)
+	sub.T = make([]float64, nnz)
+	sub.A = make([]float64, nnz)
+	entMap := make([]int32, nnz)
+	next := make([]int32, mc)
+	copy(next, sub.RowStart[:mc])
+	// Local tasks in increasing order per row keeps ColIdx increasing.
+	for lj, gj := range tasks {
+		lo, hi := int(sp.ColStart[gj]), int(sp.ColStart[gj+1])
+		for c := lo; c < hi; c++ {
+			gi := int(sp.ColRow[c])
+			if gi < c0 || gi >= c1 {
+				continue
+			}
+			li := gi - c0
+			e := next[li]
+			next[li]++
+			ge := sp.ColEntry[c]
+			sub.ColIdx[e] = int32(lj)
+			sub.T[e] = sp.T[ge]
+			sub.A[e] = sp.A[ge]
+			entMap[e] = ge
+		}
+	}
+	buildCSC(sub)
+	return entMap
+}
+
+// ReconcileCapacities moves overflow tasks off over-capacity clusters via
+// shortest reassignment chains until every cluster is within sp.Cap, or
+// reports infeasibility when some overflow cannot reach slack through the
+// candidate structure (a Hall-condition violation: the set of clusters
+// reachable from the overloaded one has total capacity below its assigned
+// task count, so no assignment over these candidate lists can be
+// feasible). assign is modified in place.
+//
+// Each resolved overflow unit is one chain: the overloaded cluster sheds a
+// task to a neighbor, which (if itself full) sheds one of its own tasks
+// further, terminating at a cluster with slack. Chains are found by BFS, so
+// they are shortest; every unit strictly reduces total overflow, bounding
+// the pass at Σ overflow chains (TestReconcileTerminates).
+func ReconcileCapacities(sp *SparseProblem, assign []int) ReconcileInfo {
+	info := ReconcileInfo{Feasible: true}
+	if sp.Cap == nil {
+		return info
+	}
+	m := sp.Mdim
+	counts := make([]int, m)
+	for _, i := range assign {
+		counts[i]++
+	}
+	// tasksOn[i] lists tasks currently assigned to cluster i (indices into
+	// assign); rebuilt lazily as moves are applied.
+	tasksOn := make([][]int32, m)
+	for j, i := range assign {
+		tasksOn[i] = append(tasksOn[i], int32(j))
+	}
+	// BFS scratch.
+	parentCluster := make([]int32, m) // predecessor cluster in the chain
+	parentTask := make([]int32, m)    // task moved along the edge into this cluster
+	visited := make([]bool, m)
+	queue := make([]int32, 0, m)
+
+	for src := 0; src < m; src++ {
+		for counts[src] > sp.Cap[src] {
+			// BFS from src over "some task on u has v as a candidate" edges
+			// to the nearest cluster with slack.
+			for i := range visited {
+				visited[i] = false
+			}
+			queue = queue[:0]
+			queue = append(queue, int32(src))
+			visited[src] = true
+			dst := -1
+		bfs:
+			for qi := 0; qi < len(queue); qi++ {
+				u := int(queue[qi])
+				for _, j := range tasksOn[u] {
+					lo, hi := int(sp.ColStart[j]), int(sp.ColStart[j+1])
+					for c := lo; c < hi; c++ {
+						v := int(sp.ColRow[c])
+						if visited[v] {
+							continue
+						}
+						visited[v] = true
+						parentCluster[v] = int32(u)
+						parentTask[v] = j
+						if counts[v] < sp.Cap[v] {
+							dst = v
+							break bfs
+						}
+						queue = append(queue, int32(v))
+					}
+				}
+			}
+			if dst < 0 {
+				// No slack reachable: the visited set is saturated and src
+				// still overflows — infeasible under this candidate
+				// structure.
+				info.Feasible = false
+				return info
+			}
+			// Unwind the chain from dst back to src, moving one task across
+			// each edge. Each intermediate cluster loses and gains one task;
+			// src loses one, dst gains one.
+			for v := dst; v != src; {
+				u := int(parentCluster[v])
+				j := int(parentTask[v])
+				moveTask(sp, assign, counts, tasksOn, j, u, v)
+				info.Moved++
+				v = u
+			}
+			info.Chains++
+		}
+	}
+	return info
+}
+
+// moveTask reassigns task j from cluster u to v, maintaining counts and
+// the per-cluster task lists.
+func moveTask(sp *SparseProblem, assign []int, counts []int, tasksOn [][]int32, j, u, v int) {
+	assign[j] = v
+	counts[u]--
+	counts[v]++
+	lst := tasksOn[u]
+	for k, t := range lst {
+		if int(t) == j {
+			lst[k] = lst[len(lst)-1]
+			tasksOn[u] = lst[:len(lst)-1]
+			break
+		}
+	}
+	tasksOn[v] = append(tasksOn[v], int32(j))
+}

@@ -362,45 +362,70 @@ func (p *Problem) GradX(X *mat.Dense, dst *mat.Dense) *mat.Dense {
 
 // GradXWS is GradX with the loads/weights scratch taken from ws, so the
 // call is allocation-free when both dst and ws are supplied (ws must be
-// sized for p, e.g. via ResetFor). A nil ws falls back to allocating.
+// sized for p, e.g. via ResetFor; the per-row sum/dot caches borrow ws.Col
+// and ws.Col2, which no caller holds across a gradient evaluation). A nil
+// ws falls back to allocating.
 func (p *Problem) GradXWS(X, dst *mat.Dense, ws *Workspace) *mat.Dense {
 	p.checkX(X)
+	m, n := p.M(), p.N()
 	if dst == nil {
-		dst = mat.NewDense(p.M(), p.N())
+		dst = mat.NewDense(m, n)
 	}
-	var loads, weights mat.Vec
+	var loads, weights, rowK, rowDot mat.Vec
 	if ws != nil {
 		loads, weights = ws.Loads, ws.Weights
+		rowK, rowDot = ws.Col, ws.Col2
+	} else {
+		loads, weights = mat.NewVec(m), mat.NewVec(m)
+		rowK, rowDot = mat.NewVec(m), mat.NewVec(m)
 	}
-	loads = p.Loads(X, loads)
+	// One pass computes each row's mass and time dot product; both the
+	// loads (for the softmax weights) and the per-row gradient terms reuse
+	// them instead of re-walking the row.
+	for i := 0; i < m; i++ {
+		xi := X.Row(i)
+		k := xi.Sum()
+		dot := xi.Dot(p.T.Row(i))
+		rowK[i] = k
+		rowDot[i] = dot
+		loads[i] = p.zeta(i, k) * dot
+	}
 	if p.Objective == LinearSum {
-		if weights == nil {
-			weights = mat.NewVec(p.M())
-		}
 		weights.Fill(1)
 	} else {
 		weights = mat.SoftmaxWeights(loads, p.Beta, weights)
 	}
 	u := p.ReliabilityMargin(X)
 	bg := p.barrierGradU(u) * p.normConst()
-	for i := 0; i < p.M(); i++ {
-		xi := X.Row(i)
+	for i := 0; i < m; i++ {
 		ti := p.T.Row(i)
 		ai := p.A.Row(i)
-		k := xi.Sum()
+		k, dot := rowK[i], rowDot[i]
 		z := p.zeta(i, k)
 		dz := p.zetaDeriv(i, k)
-		dot := xi.Dot(ti)
 		drow := dst.Row(i)
 		wi := weights[i]
-		for j := 0; j < p.N(); j++ {
-			drow[j] = wi*(z*ti[j]+dz*dot) + bg*ai[j]
-			if p.Entropy > 0 {
+		switch {
+		case p.Entropy > 0:
+			xi := X.Row(i)
+			for j, t := range ti {
 				x := xi[j]
 				if x < entropyFloor {
 					x = entropyFloor
 				}
-				drow[j] += p.Entropy * (1 + math.Log(x))
+				drow[j] = wi*(z*t+dz*dot) + bg*ai[j] + p.Entropy*(1+math.Log(x))
+			}
+		case z == 1 && dz == 0:
+			// Trivial speedup curve: wi·(1·t + 0·dot) is bitwise wi·t (the
+			// 1· and +0· fold away exactly in IEEE arithmetic), so the
+			// common sequential-execution case skips two multiplies and an
+			// add per entry.
+			for j, t := range ti {
+				drow[j] = wi*t + bg*ai[j]
+			}
+		default:
+			for j, t := range ti {
+				drow[j] = wi*(z*t+dz*dot) + bg*ai[j]
 			}
 		}
 	}

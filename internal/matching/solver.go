@@ -114,40 +114,63 @@ func SolveRelaxedWS(p *Problem, opts SolveOptions, ws *Workspace) *mat.Dense {
 			}
 		default:
 			// Exponentiated gradient: multiplicative update + renormalize.
-			// Three row-major passes over the backing arrays (update, column
-			// sums, normalize) instead of a column-major accessor loop: the
-			// memory walks are sequential and the bounds checks hoist. Column
-			// sums still accumulate over i in increasing order, so the result
-			// is bit-identical to the per-column formulation.
+			// The update and the column sums fuse into one row-major pass
+			// (each updated value is accumulated into its column as it is
+			// produced), and the renormalize runs row-major too when no
+			// column degenerated — the common case. Column sums still
+			// accumulate over i in increasing order and the divisions use
+			// the same operands, so the result is bit-identical to the
+			// original three-pass per-column formulation.
 			m, n := p.M(), p.N()
 			xd, gd := X.Data[:m*n], grad.Data[:m*n]
-			for k := range xd {
-				xd[k] *= math.Exp(-opts.LR * gd[k])
-			}
+			negLR := -opts.LR
 			// The gradient is fully rewritten at the top of every iteration,
-			// so its first row doubles as the column-sum scratch here.
+			// so its first row doubles as the column-sum scratch: update row
+			// 0 reading gd[j] before overwriting it with the running sum.
 			colSum := gd[:n]
-			for j := range colSum {
-				colSum[j] = 0
+			row0 := xd[:n]
+			for j, g := range colSum {
+				v := row0[j] * math.Exp(negLR*g)
+				row0[j] = v
+				colSum[j] = v
 			}
-			for i := 0; i < m; i++ {
+			for i := 1; i < m; i++ {
 				row := xd[i*n : (i+1)*n]
-				for j, v := range row {
+				grow := gd[i*n : (i+1)*n]
+				for j, g := range grow {
+					v := row[j] * math.Exp(negLR*g)
+					row[j] = v
 					colSum[j] += v
 				}
 			}
-			uniform := 1 / float64(m)
-			for j, sum := range colSum {
+			clean := true
+			for _, sum := range colSum {
 				if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
-					// A wildly scaled gradient blew the exponent up; reset
-					// the column to uniform rather than propagating NaNs.
-					for i := 0; i < m; i++ {
-						xd[i*n+j] = uniform
-					}
-					continue
+					clean = false
+					break
 				}
+			}
+			if clean {
 				for i := 0; i < m; i++ {
-					xd[i*n+j] /= sum
+					row := xd[i*n : (i+1)*n]
+					for j, v := range row {
+						row[j] = v / colSum[j]
+					}
+				}
+			} else {
+				uniform := 1 / float64(m)
+				for j, sum := range colSum {
+					if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+						// A wildly scaled gradient blew the exponent up; reset
+						// the column to uniform rather than propagating NaNs.
+						for i := 0; i < m; i++ {
+							xd[i*n+j] = uniform
+						}
+						continue
+					}
+					for i := 0; i < m; i++ {
+						xd[i*n+j] /= sum
+					}
 				}
 			}
 		}

@@ -1,0 +1,480 @@
+package matching
+
+import (
+	"math"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/mfcperr"
+)
+
+// SparseProblem is a matching instance restricted to a per-task candidate
+// set: task j may only be assigned to the clusters screening kept for it.
+// It is the production-dimension representation — at M clusters × N tasks
+// with k candidates per task the solver walks k·N entries instead of M·N,
+// which is what makes 1k×100k rounds tractable (see DESIGN.md §8).
+//
+// Storage is CSR by cluster (row-major over candidate entries), the same
+// iteration order as the dense kernels: entry e in [RowStart[i],
+// RowStart[i+1]) is the candidate pair (cluster i, task ColIdx[e]) with
+// predicted time T[e] and reliability A[e]. Column indices are strictly
+// increasing within a row. A parallel CSC view (ColStart/ColEntry) indexes
+// the same entries by task for rounding, reconciliation, and repair.
+//
+// The row-major layout is deliberate: with k = M (every cluster a candidate
+// for every task) the solver's accumulation sequences — row sums, row dot
+// products, column sums over increasing cluster index — replay the dense
+// solver's float operations in the identical order, so SolveRelaxedSparseWS
+// is bit-for-bit equal to SolveRelaxedWS there
+// (TestSparseDenseEquivalence).
+type SparseProblem struct {
+	// Mdim and Ndim are the full problem dimensions (cluster and task
+	// counts); candidate lists index into [0, Mdim).
+	Mdim, Ndim int
+
+	// RowStart has length Mdim+1; ColIdx, T, A have length NNZ().
+	RowStart []int32
+	ColIdx   []int32
+	T        []float64
+	A        []float64
+
+	// ColStart (length Ndim+1), ColEntry, and ColRow (length NNZ) form the
+	// CSC view: ColEntry[ColStart[j]:ColStart[j+1]] lists the CSR entry
+	// indices of task j's candidates in increasing cluster order, and
+	// ColRow[c] is the cluster index of CSC slot c.
+	ColStart []int32
+	ColEntry []int32
+	ColRow   []int32
+
+	// Cap optionally bounds how many tasks each cluster may hold; the
+	// hierarchical reconciler enforces it. nil means uncapacitated.
+	Cap []int
+
+	// Hyperparameters, with the same meaning as Problem's.
+	Gamma  float64
+	Beta   float64
+	Lambda float64
+
+	Objective ObjectiveKind
+	Barrier   BarrierKind
+	Norm      NormKind
+
+	Speedups []cluster.SpeedupCurve
+
+	Entropy float64
+}
+
+// M returns the cluster count.
+func (sp *SparseProblem) M() int { return sp.Mdim }
+
+// N returns the task count.
+func (sp *SparseProblem) N() int { return sp.Ndim }
+
+// NNZ returns the number of stored candidate pairs.
+func (sp *SparseProblem) NNZ() int { return len(sp.ColIdx) }
+
+// CandCount returns the number of candidate clusters kept for task j.
+func (sp *SparseProblem) CandCount(j int) int {
+	return int(sp.ColStart[j+1] - sp.ColStart[j])
+}
+
+// row returns the CSR entry range of cluster i.
+func (sp *SparseProblem) row(i int) (lo, hi int) {
+	return int(sp.RowStart[i]), int(sp.RowStart[i+1])
+}
+
+// zeta and zetaDeriv mirror Problem's speedup accessors.
+func (sp *SparseProblem) zeta(i int, k float64) float64 {
+	if sp.Speedups == nil {
+		return 1
+	}
+	return sp.Speedups[i].Zeta(k)
+}
+
+func (sp *SparseProblem) zetaDeriv(i int, k float64) float64 {
+	if sp.Speedups == nil {
+		return 0
+	}
+	return sp.Speedups[i].ZetaDeriv(k)
+}
+
+// normConst returns the constant c in g(X,A) = c·Σ xᵀa − γ.
+func (sp *SparseProblem) normConst() float64 {
+	switch sp.Norm {
+	case NormPerClusterTask:
+		return 1 / float64(sp.Mdim*sp.Ndim)
+	default:
+		return 1 / float64(sp.Ndim)
+	}
+}
+
+// barrierGradU mirrors Problem.barrierGradU.
+func (sp *SparseProblem) barrierGradU(u float64) float64 {
+	switch sp.Barrier {
+	case HardPenalty:
+		if u < 0 {
+			return -sp.Lambda
+		}
+		return 0
+	default:
+		if u >= barrierEps {
+			return -sp.Lambda / u
+		}
+		return -sp.Lambda / barrierEps
+	}
+}
+
+// Validate rejects a sparse problem whose structure or hyperparameters are
+// outside their admissible ranges; the sparse solvers assume a validated
+// problem.
+func (sp *SparseProblem) Validate() error {
+	if sp.Mdim < 1 || sp.Ndim < 1 {
+		return mfcperr.Wrap(mfcperr.ErrInfeasible, "matching: empty sparse problem %dx%d", sp.Mdim, sp.Ndim)
+	}
+	if len(sp.RowStart) != sp.Mdim+1 || len(sp.ColStart) != sp.Ndim+1 {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "matching: sparse index arrays sized %d/%d for %dx%d", len(sp.RowStart), len(sp.ColStart), sp.Mdim, sp.Ndim)
+	}
+	nnz := sp.NNZ()
+	if len(sp.T) != nnz || len(sp.A) != nnz || len(sp.ColEntry) != nnz || len(sp.ColRow) != nnz {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "matching: sparse value arrays sized %d/%d/%d/%d for %d entries", len(sp.T), len(sp.A), len(sp.ColEntry), len(sp.ColRow), nnz)
+	}
+	for j := 0; j < sp.Ndim; j++ {
+		if sp.CandCount(j) < 1 {
+			return mfcperr.Wrap(mfcperr.ErrInfeasible, "matching: task %d has no candidate clusters", j)
+		}
+	}
+	if sp.Cap != nil {
+		if len(sp.Cap) != sp.Mdim {
+			return mfcperr.Wrap(mfcperr.ErrBadShape, "matching: %d capacities for %d clusters", len(sp.Cap), sp.Mdim)
+		}
+		total := 0
+		for i, c := range sp.Cap {
+			if c < 0 {
+				return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: negative capacity %d on cluster %d", c, i)
+			}
+			total += c
+		}
+		if total < sp.Ndim {
+			return mfcperr.Wrap(mfcperr.ErrInfeasible, "matching: total capacity %d below %d tasks", total, sp.Ndim)
+		}
+	}
+	if sp.Gamma <= 0 || sp.Gamma > 1 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Gamma %g outside (0,1]", sp.Gamma)
+	}
+	if sp.Beta <= 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Beta %g must be positive", sp.Beta)
+	}
+	if sp.Lambda < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Lambda %g must be non-negative", sp.Lambda)
+	}
+	if sp.Speedups != nil && len(sp.Speedups) != sp.Mdim {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "matching: %d speedup curves for %d clusters", len(sp.Speedups), sp.Mdim)
+	}
+	return nil
+}
+
+// SparseBuilder accumulates per-task candidate lists and finalizes them
+// into a SparseProblem without ever materializing the dense M×N matrices —
+// the construction path for production-dimension instances where the dense
+// matrices would not fit (1k×100k is 800 MB per matrix).
+//
+// Usage: AddCandidate(j, i, t, a) for every kept pair, tasks in any order,
+// then Build. Duplicate (i, j) pairs are rejected at Build.
+type SparseBuilder struct {
+	m, n  int
+	cands [][]sparseCand
+	nnz   int
+}
+
+type sparseCand struct {
+	i    int32
+	t, a float64
+}
+
+// NewSparseBuilder starts a builder for an m-cluster, n-task instance.
+func NewSparseBuilder(m, n int) *SparseBuilder {
+	return &SparseBuilder{m: m, n: n, cands: make([][]sparseCand, n)}
+}
+
+// AddCandidate records (cluster i, task j) as a kept pair with predicted
+// time t and reliability a.
+func (b *SparseBuilder) AddCandidate(j, i int, t, a float64) {
+	if j < 0 || j >= b.n || i < 0 || i >= b.m {
+		// invariant: screening loops run over the instance's own dimensions.
+		panic("matching: sparse candidate out of range")
+	}
+	b.cands[j] = append(b.cands[j], sparseCand{i: int32(i), t: t, a: a})
+	b.nnz++
+}
+
+// Build finalizes the builder into a validated SparseProblem with the
+// paper's default hyperparameters (γ=0.8, β=10, λ=0.05). Candidate lists
+// are sorted by cluster index; tasks with no candidates, duplicate pairs,
+// or non-finite values return an error.
+func (b *SparseBuilder) Build() (*SparseProblem, error) {
+	sp := &SparseProblem{
+		Mdim: b.m, Ndim: b.n,
+		Gamma: 0.8, Beta: 10, Lambda: 0.05,
+		RowStart: make([]int32, b.m+1),
+		ColIdx:   make([]int32, 0, b.nnz),
+		T:        make([]float64, 0, b.nnz),
+		A:        make([]float64, 0, b.nnz),
+		ColStart: make([]int32, b.n+1),
+		ColEntry: make([]int32, b.nnz),
+	}
+	// Count row occupancies, then emit rows in (cluster, task) order so the
+	// CSR arrays end up row-major with increasing column indices.
+	rowCnt := make([]int32, b.m)
+	for j, cs := range b.cands {
+		if len(cs) == 0 {
+			return nil, mfcperr.Wrap(mfcperr.ErrInfeasible, "matching: task %d has no candidate clusters", j)
+		}
+		seen := make(map[int32]bool, len(cs))
+		for _, c := range cs {
+			if seen[c.i] {
+				return nil, mfcperr.Wrap(mfcperr.ErrBadShape, "matching: duplicate candidate (cluster %d, task %d)", c.i, j)
+			}
+			seen[c.i] = true
+			if math.IsNaN(c.t) || math.IsInf(c.t, 0) || math.IsNaN(c.a) || math.IsInf(c.a, 0) {
+				return nil, mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: non-finite candidate values for (cluster %d, task %d)", c.i, j)
+			}
+			rowCnt[c.i]++
+		}
+	}
+	for i := 0; i < b.m; i++ {
+		sp.RowStart[i+1] = sp.RowStart[i] + rowCnt[i]
+	}
+	nnz := int(sp.RowStart[b.m])
+	sp.ColIdx = sp.ColIdx[:nnz]
+	sp.T = sp.T[:nnz]
+	sp.A = sp.A[:nnz]
+	next := make([]int32, b.m)
+	copy(next, sp.RowStart[:b.m])
+	// Tasks in increasing j per row gives strictly increasing ColIdx.
+	for j := 0; j < b.n; j++ {
+		for _, c := range b.cands[j] {
+			e := next[c.i]
+			next[c.i]++
+			sp.ColIdx[e] = int32(j)
+			sp.T[e] = c.t
+			sp.A[e] = c.a
+		}
+	}
+	buildCSC(sp)
+	return sp, nil
+}
+
+// buildCSC derives the by-task entry index from the finished CSR arrays.
+func buildCSC(sp *SparseProblem) {
+	colCnt := make([]int32, sp.Ndim)
+	for _, j := range sp.ColIdx {
+		colCnt[j]++
+	}
+	sp.ColStart = make([]int32, sp.Ndim+1)
+	for j := 0; j < sp.Ndim; j++ {
+		sp.ColStart[j+1] = sp.ColStart[j] + colCnt[j]
+	}
+	if len(sp.ColEntry) != sp.NNZ() {
+		sp.ColEntry = make([]int32, sp.NNZ())
+	}
+	sp.ColRow = make([]int32, sp.NNZ())
+	next := make([]int32, sp.Ndim)
+	copy(next, sp.ColStart[:sp.Ndim])
+	// Walking CSR rows in order fills each column's entries in increasing
+	// cluster order.
+	for i := 0; i < sp.Mdim; i++ {
+		lo, hi := sp.row(i)
+		for e := lo; e < hi; e++ {
+			j := sp.ColIdx[e]
+			c := next[j]
+			next[j]++
+			sp.ColEntry[c] = int32(e)
+			sp.ColRow[c] = int32(i)
+		}
+	}
+}
+
+// PruneTopK screens a dense problem down to a SparseProblem keeping, per
+// task, the k candidate clusters with the smallest predicted time — plus,
+// always, the task's highest-reliability cluster, so the repair phase can
+// still trade cost for reliability when the γ constraint binds (without it
+// a tight top-k could make feasibility unreachable; see the pruning
+// contract in DESIGN.md §8). k ≥ M keeps every cluster and the sparse
+// solve reproduces the dense one bit-for-bit.
+func PruneTopK(p *Problem, k int) *SparseProblem {
+	sp, err := PruneTopKChecked(p, k)
+	if err != nil {
+		// invariant: internal callers prune problems they just built from
+		// same-shape matrices with k ≥ 1.
+		panic(err)
+	}
+	return sp
+}
+
+// PruneTopKChecked is PruneTopK returning validation errors instead of
+// panicking — the path for externally supplied problems.
+func PruneTopKChecked(p *Problem, k int) (*SparseProblem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: top-k %d must be at least 1", k)
+	}
+	m, n := p.M(), p.N()
+	if k > m {
+		k = m
+	}
+	sp := &SparseProblem{
+		Mdim: m, Ndim: n,
+		Gamma: p.Gamma, Beta: p.Beta, Lambda: p.Lambda,
+		Objective: p.Objective, Barrier: p.Barrier, Norm: p.Norm,
+		Speedups: p.Speedups, Entropy: p.Entropy,
+	}
+	// Select per task: k smallest times plus the argmax-reliability cluster.
+	// keep[j] is the sorted candidate set for task j, reused across tasks.
+	keep := make([][]int32, n)
+	rowCnt := make([]int32, m)
+	idx := make([]int, m)
+	nnz := 0
+	for j := 0; j < n; j++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		// Partial selection: k smallest T(:, j). Selection sort over the
+		// first k slots is O(M·k); fine for the dense-backed path (the
+		// scale path screens through SparseBuilder instead).
+		for s := 0; s < k; s++ {
+			best := s
+			for t := s + 1; t < m; t++ {
+				ti := p.T.At(idx[t], j)
+				tb := p.T.At(idx[best], j)
+				if ti < tb || (ti == tb && idx[t] < idx[best]) {
+					best = t
+				}
+			}
+			idx[s], idx[best] = idx[best], idx[s]
+		}
+		// Highest-reliability cluster (lowest index wins ties, matching
+		// Repair's scan order).
+		relBest := 0
+		for i := 1; i < m; i++ {
+			if p.A.At(i, j) > p.A.At(relBest, j) {
+				relBest = i
+			}
+		}
+		kept := idx[:k]
+		have := false
+		for _, i := range kept {
+			if i == relBest {
+				have = true
+				break
+			}
+		}
+		cands := make([]int32, 0, k+1)
+		for _, i := range kept {
+			cands = append(cands, int32(i))
+		}
+		if !have {
+			cands = append(cands, int32(relBest))
+		}
+		sortInt32(cands)
+		keep[j] = cands
+		for _, i := range cands {
+			rowCnt[i]++
+		}
+		nnz += len(cands)
+	}
+	sp.RowStart = make([]int32, m+1)
+	for i := 0; i < m; i++ {
+		sp.RowStart[i+1] = sp.RowStart[i] + rowCnt[i]
+	}
+	sp.ColIdx = make([]int32, nnz)
+	sp.T = make([]float64, nnz)
+	sp.A = make([]float64, nnz)
+	next := make([]int32, m)
+	copy(next, sp.RowStart[:m])
+	for j := 0; j < n; j++ {
+		for _, i := range keep[j] {
+			e := next[i]
+			next[i]++
+			sp.ColIdx[e] = int32(j)
+			sp.T[e] = p.T.At(int(i), j)
+			sp.A[e] = p.A.At(int(i), j)
+		}
+	}
+	buildCSC(sp)
+	return sp, nil
+}
+
+// sortInt32 is an insertion sort: candidate lists are tiny (k+1 entries).
+func sortInt32(v []int32) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// DiscreteCostSparse returns the sparse analogue of Problem.DiscreteCost:
+// the max (or sum, for LinearSum) of speedup-adjusted cluster loads under a
+// discrete assignment. assign[j] must be a candidate of task j.
+func (sp *SparseProblem) DiscreteCostSparse(assign []int) float64 {
+	loads := make([]float64, sp.Mdim)
+	counts := make([]int, sp.Mdim)
+	for j, i := range assign {
+		e, ok := sp.entryOf(i, j)
+		if !ok {
+			// invariant: sparse assignments are produced from candidate lists.
+			panic("matching: assignment outside candidate set")
+		}
+		loads[i] += sp.T[e]
+		counts[i]++
+	}
+	if sp.Objective == LinearSum {
+		s := 0.0
+		for i, l := range loads {
+			s += sp.zeta(i, float64(counts[i])) * l
+		}
+		return s
+	}
+	max := math.Inf(-1)
+	for i, l := range loads {
+		if v := sp.zeta(i, float64(counts[i])) * l; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// DiscreteReliabilitySparse returns the mean reliability of the assigned
+// candidate pairs.
+func (sp *SparseProblem) DiscreteReliabilitySparse(assign []int) float64 {
+	s := 0.0
+	for j, i := range assign {
+		e, ok := sp.entryOf(i, j)
+		if !ok {
+			// invariant: sparse assignments are produced from candidate lists.
+			panic("matching: assignment outside candidate set")
+		}
+		s += sp.A[e]
+	}
+	return s / float64(len(assign))
+}
+
+// entryOf finds the CSR entry of pair (cluster i, task j) via binary search
+// over task j's (cluster-sorted) candidate list.
+func (sp *SparseProblem) entryOf(i, j int) (int, bool) {
+	lo, hi := int(sp.ColStart[j]), int(sp.ColStart[j+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ci := int(sp.ColRow[mid])
+		switch {
+		case ci == i:
+			return int(sp.ColEntry[mid]), true
+		case ci < i:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return -1, false
+}

@@ -1,0 +1,395 @@
+package matching
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mfcp/internal/cluster"
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/rng"
+)
+
+// sparseFromDense builds the full-sparsity representation (k = M) of p.
+func sparseFromDense(t *testing.T, p *Problem) *SparseProblem {
+	t.Helper()
+	sp, err := PruneTopKChecked(p, p.M())
+	if err != nil {
+		t.Fatalf("PruneTopKChecked: %v", err)
+	}
+	if sp.NNZ() != p.M()*p.N() {
+		t.Fatalf("full-sparsity NNZ %d, want %d", sp.NNZ(), p.M()*p.N())
+	}
+	return sp
+}
+
+// TestSparseDenseEquivalence is the tentpole proof obligation: over ≥100
+// random instances, the sparse solver at k = M (and the hierarchical
+// driver at 1 cell) reproduces the dense SolveRelaxedWS solution
+// bit-for-bit — same float bits in every coordinate, same convergence
+// record, same rounded assignment.
+func TestSparseDenseEquivalence(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 120; trial++ {
+		m := 2 + r.Intn(9)
+		n := 2 + r.Intn(24)
+		p := randomProblem(r, m, n)
+		// Exercise hyperparameter and structural variety: speedup curves
+		// (non-convex path), entropy, barrier/objective/norm variants.
+		switch trial % 5 {
+		case 1:
+			sp := make([]cluster.SpeedupCurve, m)
+			for i := range sp {
+				sp[i] = cluster.DefaultSpeedup()
+			}
+			p.Speedups = sp
+		case 2:
+			p.Entropy = 0.01
+		case 3:
+			p.Barrier = HardPenalty
+			p.Norm = NormPerClusterTask
+		case 4:
+			p.Objective = LinearSum
+		}
+		opts := SolveOptions{Iters: 60}
+		if trial%7 == 0 {
+			opts.Method = MethodPGD
+		}
+		sp := sparseFromDense(t, p)
+
+		dws := NewWorkspace(m, n)
+		X := SolveRelaxedWS(p, opts, dws)
+		sws := NewSparseWorkspace(sp)
+		xs := SolveRelaxedSparseWS(sp, opts, sws, nil)
+
+		checkSparseMatchesDense(t, trial, sp, xs, X)
+		if dws.Info != sws.Info {
+			t.Fatalf("trial %d: dense Info %+v, sparse Info %+v", trial, dws.Info, sws.Info)
+		}
+		da := Round(X)
+		sa := RoundSparse(sp, xs)
+		for j := range da {
+			if da[j] != sa[j] {
+				t.Fatalf("trial %d: assignment differs at task %d: dense %d sparse %d", trial, j, da[j], sa[j])
+			}
+		}
+
+		// The hierarchical driver with 1 cell is the same solve.
+		res := SolveHierarchical(sp, HierOptions{Cells: 1, Solve: opts}, nil)
+		checkSparseMatchesDense(t, trial, sp, res.X, X)
+		if res.Info != dws.Info {
+			t.Fatalf("trial %d: hier Info %+v, dense Info %+v", trial, res.Info, dws.Info)
+		}
+	}
+}
+
+// checkSparseMatchesDense asserts bit equality of a sparse iterate against
+// a dense matrix over every stored entry.
+func checkSparseMatchesDense(t *testing.T, trial int, sp *SparseProblem, xs []float64, X interface {
+	At(i, j int) float64
+}) {
+	t.Helper()
+	for i := 0; i < sp.Mdim; i++ {
+		lo, hi := int(sp.RowStart[i]), int(sp.RowStart[i+1])
+		for e := lo; e < hi; e++ {
+			j := int(sp.ColIdx[e])
+			dv, sv := X.At(i, j), xs[e]
+			if math.Float64bits(dv) != math.Float64bits(sv) {
+				t.Fatalf("trial %d: X[%d,%d] dense %x sparse %x (%g vs %g)",
+					trial, i, j, math.Float64bits(dv), math.Float64bits(sv), dv, sv)
+			}
+		}
+	}
+}
+
+// TestSparseWarmInitMatchesDenseInit pins the warm-start path to the dense
+// solver's Init path: seeding both with the same (unnormalized) matrix
+// must still agree bit-for-bit at k = M.
+func TestSparseWarmInitMatchesDenseInit(t *testing.T) {
+	r := rng.New(43)
+	for trial := 0; trial < 30; trial++ {
+		m, n := 2+r.Intn(6), 2+r.Intn(12)
+		p := randomProblem(r, m, n)
+		sp := sparseFromDense(t, p)
+		// A messy init: negatives and zero columns exercise the clamp and
+		// uniform-fallback branches of both normalizers.
+		init := p.UniformX()
+		for k := range init.Data {
+			init.Data[k] = r.Uniform(-0.2, 1)
+		}
+		for i := 0; i < m; i++ {
+			init.Set(i, 0, 0)
+		}
+		sInit := make([]float64, sp.NNZ())
+		for i := 0; i < m; i++ {
+			lo, hi := int(sp.RowStart[i]), int(sp.RowStart[i+1])
+			for e := lo; e < hi; e++ {
+				sInit[e] = init.At(i, int(sp.ColIdx[e]))
+			}
+		}
+		opts := SolveOptions{Iters: 40, Init: init}
+		X := SolveRelaxedWS(p, opts, nil)
+		xs := SolveRelaxedSparseWS(sp, SolveOptions{Iters: 40}, nil, sInit)
+		checkSparseMatchesDense(t, trial, sp, xs, X)
+	}
+}
+
+// TestPruneTopKStructure checks the pruning contract: per task, the k
+// smallest-time clusters survive, the best-reliability cluster always
+// survives, and candidate lists are sorted and duplicate-free.
+func TestPruneTopKStructure(t *testing.T) {
+	r := rng.New(44)
+	for trial := 0; trial < 50; trial++ {
+		m, n := 3+r.Intn(10), 2+r.Intn(15)
+		k := 1 + r.Intn(m)
+		p := randomProblem(r, m, n)
+		sp, err := PruneTopKChecked(p, k)
+		if err != nil {
+			t.Fatalf("PruneTopKChecked: %v", err)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("pruned problem invalid: %v", err)
+		}
+		for j := 0; j < n; j++ {
+			lo, hi := int(sp.ColStart[j]), int(sp.ColStart[j+1])
+			cnt := hi - lo
+			if cnt < k || cnt > k+1 {
+				t.Fatalf("task %d kept %d candidates, want %d or %d", j, cnt, k, k+1)
+			}
+			inSet := make(map[int]bool, cnt)
+			prev := int32(-1)
+			for c := lo; c < hi; c++ {
+				i := sp.ColRow[c]
+				if i <= prev {
+					t.Fatalf("task %d candidates not strictly increasing", j)
+				}
+				prev = i
+				inSet[int(i)] = true
+			}
+			// The best-reliability cluster must be a candidate.
+			relBest := 0
+			for i := 1; i < m; i++ {
+				if p.A.At(i, j) > p.A.At(relBest, j) {
+					relBest = i
+				}
+			}
+			if !inSet[relBest] {
+				t.Fatalf("task %d dropped its best-reliability cluster %d", j, relBest)
+			}
+			// Every non-candidate must be at least as slow as the slowest
+			// kept time-candidate (ignoring the reliability extra).
+			times := make([]float64, 0, m)
+			for i := 0; i < m; i++ {
+				times = append(times, p.T.At(i, j))
+			}
+			sorted := append([]float64(nil), times...)
+			insertionSort(sorted)
+			kthTime := sorted[k-1]
+			for i := 0; i < m; i++ {
+				if !inSet[i] && times[i] < kthTime {
+					t.Fatalf("task %d dropped cluster %d with t=%g below k-th time %g", j, i, times[i], kthTime)
+				}
+			}
+		}
+	}
+}
+
+func insertionSort(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// TestHierarchicalFeasible is the reconciliation proof obligation: over
+// ≥100 random capacitated instances, the hierarchical solve (cells > 1)
+// followed by reconciliation and sparse repair always lands within
+// capacity, with every task on one of its candidates.
+func TestHierarchicalFeasible(t *testing.T) {
+	r := rng.New(45)
+	for trial := 0; trial < 120; trial++ {
+		m := 4 + r.Intn(12)
+		n := 8 + r.Intn(40)
+		k := 2 + r.Intn(3)
+		p := randomProblem(r, m, n)
+		sp, err := PruneTopKChecked(p, k)
+		if err != nil {
+			t.Fatalf("PruneTopKChecked: %v", err)
+		}
+		// Loose-but-binding caps: ~1.5× the balanced load.
+		cap := (3*n)/(2*m) + 1
+		sp.Cap = make([]int, m)
+		for i := range sp.Cap {
+			sp.Cap[i] = cap
+		}
+		cells := 2 + r.Intn(3)
+		res := SolveHierarchical(sp, HierOptions{
+			Cells: cells, Solve: SolveOptions{Iters: 40}, Repair: true,
+		}, NewHierWorkspace())
+		if !res.Reconcile.Feasible {
+			t.Fatalf("trial %d: reconciler reported infeasible (m=%d n=%d k=%d cap=%d)", trial, m, n, k, cap)
+		}
+		counts := make([]int, m)
+		for j, i := range res.Assign {
+			counts[i]++
+			if _, ok := sp.entryOf(i, j); !ok {
+				t.Fatalf("trial %d: task %d assigned to non-candidate %d", trial, j, i)
+			}
+		}
+		for i, c := range counts {
+			if c > sp.Cap[i] {
+				t.Fatalf("trial %d: cluster %d holds %d tasks over cap %d", trial, i, c, sp.Cap[i])
+			}
+		}
+	}
+}
+
+// TestReconcileTerminates drives the reconciler from a maximally skewed
+// start (everything piled on one cluster) and checks it resolves within
+// the chain bound.
+func TestReconcileTerminates(t *testing.T) {
+	r := rng.New(46)
+	for trial := 0; trial < 40; trial++ {
+		m, n := 3+r.Intn(8), 5+r.Intn(30)
+		p := randomProblem(r, m, n)
+		sp := sparseFromDense(t, p)
+		cap := n/m + 1
+		sp.Cap = make([]int, m)
+		for i := range sp.Cap {
+			sp.Cap[i] = cap
+		}
+		assign := make([]int, n)
+		info := ReconcileCapacities(sp, assign)
+		if !info.Feasible {
+			t.Fatalf("trial %d: full candidate structure must be feasible", trial)
+		}
+		counts := make([]int, m)
+		for _, i := range assign {
+			counts[i]++
+		}
+		for i, c := range counts {
+			if c > sp.Cap[i] {
+				t.Fatalf("trial %d: cluster %d over cap after reconcile", trial, i)
+			}
+		}
+		if info.Chains > n {
+			t.Fatalf("trial %d: %d chains for %d tasks", trial, info.Chains, n)
+		}
+	}
+}
+
+// TestReconcileDetectsInfeasible: when a task set's candidate clusters are
+// jointly under-capacitated, the reconciler must report infeasibility
+// rather than loop or panic.
+func TestReconcileDetectsInfeasible(t *testing.T) {
+	// 2 clusters, 3 tasks, every task's only candidate is cluster 0 with
+	// cap 1: overflow can never reach cluster 1.
+	b := NewSparseBuilder(2, 3)
+	for j := 0; j < 3; j++ {
+		b.AddCandidate(j, 0, 1, 0.9)
+	}
+	sp, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sp.Cap = []int{1, 3}
+	assign := []int{0, 0, 0}
+	info := ReconcileCapacities(sp, assign)
+	if info.Feasible {
+		t.Fatal("reconciler claimed feasibility on a Hall-violating instance")
+	}
+}
+
+// TestRepairSparseReliability: whenever the candidate structure admits a
+// γ-feasible assignment (the mean of per-task best reliabilities meets γ),
+// phase 1 of the sparse repair reaches feasibility.
+func TestRepairSparseReliability(t *testing.T) {
+	r := rng.New(47)
+	for trial := 0; trial < 80; trial++ {
+		m, n := 3+r.Intn(8), 4+r.Intn(20)
+		k := 2 + r.Intn(m-1)
+		p := randomProblem(r, m, n)
+		sp, err := PruneTopKChecked(p, k)
+		if err != nil {
+			t.Fatalf("PruneTopKChecked: %v", err)
+		}
+		// Best achievable mean reliability over the candidate lists.
+		bestSum := 0.0
+		for j := 0; j < n; j++ {
+			lo, hi := int(sp.ColStart[j]), int(sp.ColStart[j+1])
+			best := 0.0
+			for c := lo; c < hi; c++ {
+				if a := sp.A[sp.ColEntry[c]]; a > best {
+					best = a
+				}
+			}
+			bestSum += best
+		}
+		achievable := bestSum/float64(n) >= sp.Gamma
+		// Start from the worst-reliability candidate per task.
+		assign := make([]int, n)
+		for j := 0; j < n; j++ {
+			lo, hi := int(sp.ColStart[j]), int(sp.ColStart[j+1])
+			worst, wi := math.Inf(1), 0
+			for c := lo; c < hi; c++ {
+				if a := sp.A[sp.ColEntry[c]]; a < worst {
+					worst, wi = a, int(sp.ColRow[c])
+				}
+			}
+			assign[j] = wi
+		}
+		out, info := RepairSparse(sp, assign)
+		if achievable && info.RelAfter < sp.Gamma-1e-12 {
+			t.Fatalf("trial %d: achievable γ=%g but repair ended at %g", trial, sp.Gamma, info.RelAfter)
+		}
+		if info.CostAfter > info.CostBefore+1e-9 && info.FeasMoves == 0 {
+			t.Fatalf("trial %d: phase-2-only repair worsened cost %g → %g", trial, info.CostBefore, info.CostAfter)
+		}
+		for j, i := range out {
+			if _, ok := sp.entryOf(i, j); !ok {
+				t.Fatalf("trial %d: repair moved task %d off its candidate list", trial, j)
+			}
+		}
+	}
+}
+
+// TestSparseBuilderRejects checks builder-level validation errors.
+func TestSparseBuilderRejects(t *testing.T) {
+	b := NewSparseBuilder(2, 2)
+	b.AddCandidate(0, 0, 1, 0.9)
+	b.AddCandidate(0, 0, 2, 0.8) // duplicate pair
+	b.AddCandidate(1, 1, 1, 0.9)
+	if _, err := b.Build(); !errors.Is(err, mfcperr.ErrBadShape) {
+		t.Fatalf("duplicate pair: got %v, want ErrBadShape", err)
+	}
+	b2 := NewSparseBuilder(2, 2)
+	b2.AddCandidate(0, 0, 1, 0.9)
+	if _, err := b2.Build(); !errors.Is(err, mfcperr.ErrInfeasible) {
+		t.Fatalf("empty task: got %v, want ErrInfeasible", err)
+	}
+	b3 := NewSparseBuilder(2, 1)
+	b3.AddCandidate(0, 0, math.NaN(), 0.9)
+	if _, err := b3.Build(); !errors.Is(err, mfcperr.ErrBadConfig) {
+		t.Fatalf("NaN value: got %v, want ErrBadConfig", err)
+	}
+}
+
+// TestSolveRelaxedSparseZeroAllocs pins the sparse zero-allocation
+// contract: after workspace warmup, a solve allocates nothing.
+func TestSolveRelaxedSparseZeroAllocs(t *testing.T) {
+	r := rng.New(48)
+	p := randomProblem(r, 8, 40)
+	sp, err := PruneTopKChecked(p, 4)
+	if err != nil {
+		t.Fatalf("PruneTopKChecked: %v", err)
+	}
+	ws := NewSparseWorkspace(sp)
+	SolveRelaxedSparseWS(sp, SolveOptions{Iters: 10}, ws, nil)
+	allocs := testing.AllocsPerRun(10, func() {
+		SolveRelaxedSparseWS(sp, SolveOptions{Iters: 10}, ws, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("sparse solve allocates %v objects per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,243 @@
+package matching
+
+import (
+	"math"
+	"sort"
+)
+
+// sparseRepairState tracks the incremental quantities the sparse repair
+// pass needs: per-cluster raw and speedup-adjusted loads, assignment
+// counts, the reliability sum, and each task's current CSR entry.
+type sparseRepairState struct {
+	sp       *SparseProblem
+	assign   []int
+	curEntry []int32 // task → CSR entry of its current assignment
+	raw      []float64
+	scaled   []float64
+	counts   []int
+	relSum   float64
+}
+
+func newSparseRepairState(sp *SparseProblem, assign []int) *sparseRepairState {
+	st := &sparseRepairState{
+		sp:       sp,
+		assign:   assign,
+		curEntry: make([]int32, sp.Ndim),
+		raw:      make([]float64, sp.Mdim),
+		scaled:   make([]float64, sp.Mdim),
+		counts:   make([]int, sp.Mdim),
+	}
+	for j, i := range assign {
+		e, ok := sp.entryOf(i, j)
+		if !ok {
+			// invariant: repair inputs come from candidate-list rounding or
+			// reconciliation, which only assign stored pairs.
+			panic("matching: repair assignment outside candidate set")
+		}
+		st.curEntry[j] = int32(e)
+		st.raw[i] += sp.T[e]
+		st.counts[i]++
+		st.relSum += sp.A[e]
+	}
+	for i := range st.scaled {
+		st.scaled[i] = sp.zeta(i, float64(st.counts[i])) * st.raw[i]
+	}
+	return st
+}
+
+// cost returns the discrete objective under the current assignment.
+func (st *sparseRepairState) cost() float64 {
+	if st.sp.Objective == LinearSum {
+		s := 0.0
+		for _, v := range st.scaled {
+			s += v
+		}
+		return s
+	}
+	max := math.Inf(-1)
+	for _, v := range st.scaled {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+func (st *sparseRepairState) rel() float64 { return st.relSum / float64(st.sp.Ndim) }
+
+// apply moves task j to cluster v via CSR entry e (a candidate of j).
+func (st *sparseRepairState) apply(j, v, e int) {
+	sp := st.sp
+	u := st.assign[j]
+	old := int(st.curEntry[j])
+	st.raw[u] -= sp.T[old]
+	st.counts[u]--
+	st.scaled[u] = sp.zeta(u, float64(st.counts[u])) * st.raw[u]
+	st.relSum += sp.A[e] - sp.A[old]
+	st.assign[j] = v
+	st.curEntry[j] = int32(e)
+	st.raw[v] += sp.T[e]
+	st.counts[v]++
+	st.scaled[v] = sp.zeta(v, float64(st.counts[v])) * st.raw[v]
+}
+
+// hasCap reports whether cluster v can take one more task.
+func (st *sparseRepairState) hasCap(v int) bool {
+	return st.sp.Cap == nil || st.counts[v] < st.sp.Cap[v]
+}
+
+// RepairSparse is the production-dimension repair: bounded single-task
+// moves over candidate lists only, never the O(M·N) scans or O(N²) swap
+// search of the dense Repair. Phase 1 restores reliability feasibility by
+// applying the highest-gain per-task moves until the γ constraint holds
+// (one move per task at most, so at worst the assignment lands on every
+// task's best-reliability candidate — which PruneTopK always retains, so
+// whenever any assignment over the candidate lists meets γ, phase 1
+// reaches it; TestRepairSparseReliability). Phase 2 is bottleneck descent
+// on the makespan: repeatedly move a task off the most-loaded cluster when
+// that strictly lowers the global maximum, up to a move budget. All moves
+// respect sp.Cap when set, so capacity feasibility established by
+// reconciliation survives repair.
+//
+// Returns a new slice; assign is not mutated.
+func RepairSparse(sp *SparseProblem, assign []int) ([]int, RepairInfo) {
+	var info RepairInfo
+	out := append([]int(nil), assign...)
+	n := sp.Ndim
+	if n == 0 {
+		return out, info
+	}
+	st := newSparseRepairState(sp, out)
+	info.CostBefore = st.cost()
+	info.RelBefore = st.rel()
+
+	// Phase 1: reliability. Rank each task's best admissible reliability
+	// gain once, then apply from the top until the mean meets γ.
+	if st.rel() < sp.Gamma {
+		type relMove struct {
+			j, v, e int
+			gain    float64
+		}
+		moves := make([]relMove, 0, n)
+		for j := 0; j < n; j++ {
+			cur := int(st.curEntry[j])
+			lo, hi := int(sp.ColStart[j]), int(sp.ColStart[j+1])
+			best := relMove{j: j, v: -1}
+			for c := lo; c < hi; c++ {
+				e := int(sp.ColEntry[c])
+				if e == cur {
+					continue
+				}
+				if g := sp.A[e] - sp.A[cur]; g > best.gain {
+					best.gain, best.v, best.e = g, int(sp.ColRow[c]), e
+				}
+			}
+			if best.v >= 0 {
+				moves = append(moves, best)
+			}
+		}
+		sort.Slice(moves, func(a, b int) bool { return moves[a].gain > moves[b].gain })
+		for _, mv := range moves {
+			if st.rel() >= sp.Gamma {
+				break
+			}
+			if !st.hasCap(mv.v) {
+				continue
+			}
+			st.apply(mv.j, mv.v, mv.e)
+			info.FeasMoves++
+		}
+	}
+
+	// Phase 2: bottleneck descent (makespan objectives only — the linear
+	// sum has no bottleneck to unload).
+	if sp.Objective != LinearSum {
+		budget := sp.Mdim
+		if budget < 64 {
+			budget = 64
+		}
+		feasible := st.rel() >= sp.Gamma
+		tasksOn := make([][]int32, sp.Mdim)
+		for j, i := range out {
+			tasksOn[i] = append(tasksOn[i], int32(j))
+		}
+		for info.Moves < budget {
+			// Current bottleneck and the two largest loads excluding it.
+			u, max1 := -1, math.Inf(-1)
+			for i, v := range st.scaled {
+				if v > max1 {
+					max1, u = v, i
+				}
+			}
+			o1, o2 := math.Inf(-1), math.Inf(-1) // largest and runner-up over i ≠ u
+			o1i := -1
+			for i, v := range st.scaled {
+				if i == u {
+					continue
+				}
+				if v > o1 {
+					o2, o1, o1i = o1, v, i
+				} else if v > o2 {
+					o2 = v
+				}
+			}
+			bestJ, bestV, bestE, bestTop := -1, -1, -1, max1
+			for _, j32 := range tasksOn[u] {
+				j := int(j32)
+				cur := int(st.curEntry[j])
+				tU := sp.T[cur]
+				newU := sp.zeta(u, float64(st.counts[u]-1)) * (st.raw[u] - tU)
+				lo, hi := int(sp.ColStart[j]), int(sp.ColStart[j+1])
+				for c := lo; c < hi; c++ {
+					v := int(sp.ColRow[c])
+					if v == u {
+						continue
+					}
+					e := int(sp.ColEntry[c])
+					if !st.hasCap(v) {
+						continue
+					}
+					dRel := sp.A[e] - sp.A[cur]
+					if feasible && st.relSum+dRel < sp.Gamma*float64(n)-1e-12 {
+						continue
+					}
+					newV := sp.zeta(v, float64(st.counts[v]+1)) * (st.raw[v] + sp.T[e])
+					other := o1
+					if v == o1i {
+						other = o2
+					}
+					top := newU
+					if newV > top {
+						top = newV
+					}
+					if other > top {
+						top = other
+					}
+					if top < bestTop-1e-12 {
+						bestTop, bestJ, bestV, bestE = top, j, v, e
+					}
+				}
+			}
+			if bestJ < 0 {
+				break
+			}
+			st.apply(bestJ, bestV, bestE)
+			feasible = st.rel() >= sp.Gamma
+			// Maintain the per-cluster task lists for the next iteration.
+			lst := tasksOn[u]
+			for k, t := range lst {
+				if int(t) == bestJ {
+					lst[k] = lst[len(lst)-1]
+					tasksOn[u] = lst[:len(lst)-1]
+					break
+				}
+			}
+			tasksOn[bestV] = append(tasksOn[bestV], int32(bestJ))
+			info.Moves++
+		}
+	}
+
+	info.CostAfter = st.cost()
+	info.RelAfter = st.rel()
+	return out, info
+}

@@ -1,0 +1,317 @@
+package matching
+
+import (
+	"math"
+
+	"mfcp/internal/mat"
+)
+
+// SparseWorkspace bundles the scratch a sparse solve needs, sized by entry
+// count rather than M×N. The iterate, gradient, and convergence scratch are
+// flat CSR-ordered entry arrays; per-column and per-row scratch are sized N
+// and M. Like Workspace, it reuses backing storage across Resets, and once
+// warmed the sparse solve paths allocate nothing
+// (TestSolveRelaxedSparseZeroAllocs).
+//
+// Not safe for concurrent use; the hierarchical solver keeps one per cell
+// shard.
+type SparseWorkspace struct {
+	// X is the iterate over CSR entries; SolveRelaxedSparseWS returns it
+	// directly, valid until the workspace's next use.
+	X []float64
+	// Grad and Prev are the gradient and convergence-check scratch.
+	Grad []float64
+	Prev []float64
+
+	// ColSum and Uniform are length-N column scratch: running column sums
+	// for renormalization and the 1/|cand(j)| fallback values.
+	ColSum  []float64
+	Uniform []float64
+
+	// Loads and Weights are length-M per-cluster scratch; Col and Col2 are
+	// the PGD softmax gather/scatter scratch (sized to the widest column).
+	Loads   mat.Vec
+	Weights mat.Vec
+	Col     mat.Vec
+	Col2    mat.Vec
+
+	// Info is the convergence record of the last solve against this
+	// workspace — the same contract as Workspace.Info.
+	Info SolveInfo
+}
+
+// NewSparseWorkspace returns a workspace sized for sp.
+func NewSparseWorkspace(sp *SparseProblem) *SparseWorkspace {
+	w := &SparseWorkspace{}
+	w.ResetFor(sp)
+	return w
+}
+
+// ResetFor sizes the workspace for sp, reusing backing storage when it has
+// capacity, and recomputes the per-column uniform fallbacks.
+func (w *SparseWorkspace) ResetFor(sp *SparseProblem) {
+	nnz, n, m := sp.NNZ(), sp.Ndim, sp.Mdim
+	w.X = growFloats(w.X, nnz)
+	w.Grad = growFloats(w.Grad, nnz)
+	w.Prev = growFloats(w.Prev, nnz)
+	w.ColSum = growFloats(w.ColSum, n)
+	w.Uniform = growFloats(w.Uniform, n)
+	w.Loads = growVec(w.Loads, m)
+	w.Weights = growVec(w.Weights, m)
+	maxCand := 0
+	for j := 0; j < n; j++ {
+		c := sp.CandCount(j)
+		w.Uniform[j] = 1 / float64(c)
+		if c > maxCand {
+			maxCand = c
+		}
+	}
+	w.Col = growVec(w.Col, maxCand)
+	w.Col2 = growVec(w.Col2, maxCand)
+}
+
+// growFloats returns v resliced to length n, reallocating only when the
+// backing array is too small.
+func growFloats(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, n)
+	}
+	return v[:n]
+}
+
+// LoadsSparse writes each cluster's speedup-adjusted load into dst
+// (allocating when nil) and returns it — the sparse analogue of
+// Problem.Loads, walking candidate entries in CSR order so the float
+// accumulation sequence matches the dense row walk when every pair is
+// stored.
+func (sp *SparseProblem) LoadsSparse(x []float64, dst mat.Vec) mat.Vec {
+	if dst == nil {
+		dst = mat.NewVec(sp.Mdim)
+	}
+	for i := 0; i < sp.Mdim; i++ {
+		lo, hi := sp.row(i)
+		sum := 0.0
+		for e := lo; e < hi; e++ {
+			sum += x[e]
+		}
+		dot := 0.0
+		for e := lo; e < hi; e++ {
+			dot += x[e] * sp.T[e]
+		}
+		dst[i] = sp.zeta(i, sum) * dot
+	}
+	return dst
+}
+
+// ReliabilityMarginSparse evaluates g(X, A) = c·Σ xᵀa − γ over the stored
+// entries, accumulating per row and then across rows in increasing cluster
+// order (Problem.ReliabilityMargin's exact sequence at full sparsity).
+func (sp *SparseProblem) ReliabilityMarginSparse(x []float64) float64 {
+	s := 0.0
+	for i := 0; i < sp.Mdim; i++ {
+		lo, hi := sp.row(i)
+		rowDot := 0.0
+		for e := lo; e < hi; e++ {
+			rowDot += x[e] * sp.A[e]
+		}
+		s += rowDot
+	}
+	return s*sp.normConst() - sp.Gamma
+}
+
+// GradSparseWS writes ∇F over the stored entries into gd, drawing scratch
+// from ws. Per-entry formula and per-row accumulation order are identical
+// to Problem.GradXWS — including computing the full wi·(ζ·t + ζ'·dot) even
+// when ζ≡1, so no float sequence diverges from the dense path.
+func (sp *SparseProblem) GradSparseWS(x, gd []float64, ws *SparseWorkspace) {
+	loads := sp.LoadsSparse(x, ws.Loads)
+	var weights mat.Vec
+	if sp.Objective == LinearSum {
+		weights = ws.Weights
+		weights.Fill(1)
+	} else {
+		weights = mat.SoftmaxWeights(loads, sp.Beta, ws.Weights)
+	}
+	u := sp.ReliabilityMarginSparse(x)
+	bg := sp.barrierGradU(u) * sp.normConst()
+	for i := 0; i < sp.Mdim; i++ {
+		lo, hi := sp.row(i)
+		k := 0.0
+		for e := lo; e < hi; e++ {
+			k += x[e]
+		}
+		z := sp.zeta(i, k)
+		dz := sp.zetaDeriv(i, k)
+		dot := 0.0
+		for e := lo; e < hi; e++ {
+			dot += x[e] * sp.T[e]
+		}
+		wi := weights[i]
+		for e := lo; e < hi; e++ {
+			gd[e] = wi*(z*sp.T[e]+dz*dot) + bg*sp.A[e]
+			if sp.Entropy > 0 {
+				xv := x[e]
+				if xv < entropyFloor {
+					xv = entropyFloor
+				}
+				gd[e] += sp.Entropy * (1 + math.Log(xv))
+			}
+		}
+	}
+}
+
+// SolveRelaxedSparse minimizes the relaxed objective over the candidate
+// entries with fresh buffers. See SolveRelaxedSparseWS.
+func SolveRelaxedSparse(sp *SparseProblem, opts SolveOptions) []float64 {
+	return SolveRelaxedSparseWS(sp, opts, nil, nil)
+}
+
+// SolveRelaxedSparseWS runs the mirror-descent (or PGD) solve over the
+// candidate entries only: per iteration it walks NNZ entries instead of
+// M·N. The returned slice is ws.X in CSR entry order — x[e] is the mass
+// task ColIdx[e] places on entry e's cluster; each task's candidate masses
+// sum to 1.
+//
+// init optionally seeds the iterate in CSR entry order (the warm-start
+// path); it is column-normalized like the dense solver's Init, with
+// negative entries clamped, and nil starts each task uniform over its
+// candidates.
+//
+// With every cluster stored as a candidate for every task (k = M) the
+// entry walks visit the same (i, j) pairs in the same order as the dense
+// kernels, so the result is bit-for-bit equal to SolveRelaxedWS
+// (TestSparseDenseEquivalence). A nil ws allocates fresh buffers.
+func SolveRelaxedSparseWS(sp *SparseProblem, opts SolveOptions, ws *SparseWorkspace, init []float64) []float64 {
+	opts.fillDefaults()
+	if ws == nil {
+		ws = NewSparseWorkspace(sp)
+	} else {
+		ws.ResetFor(sp)
+	}
+	nnz := sp.NNZ()
+	x, gd, prev := ws.X, ws.Grad, ws.Prev
+	colSum := ws.ColSum
+	if init != nil {
+		copy(x, init[:nnz])
+		normalizeSparseColumns(sp, x, ws)
+	} else {
+		for e := range x {
+			x[e] = ws.Uniform[sp.ColIdx[e]]
+		}
+	}
+	copy(prev, x)
+	ws.Info = SolveInfo{Iters: opts.Iters}
+	for it := 0; it < opts.Iters; it++ {
+		sp.GradSparseWS(x, gd, ws)
+		switch opts.Method {
+		case MethodPGD:
+			// Euclidean step, then per-column softmax over the candidates
+			// (gather → softmax → scatter through the CSC view).
+			for e := range x {
+				x[e] -= opts.LR * gd[e]
+			}
+			for j := 0; j < sp.Ndim; j++ {
+				lo, hi := int(sp.ColStart[j]), int(sp.ColStart[j+1])
+				col := ws.Col[:hi-lo]
+				for c := lo; c < hi; c++ {
+					col[c-lo] = x[sp.ColEntry[c]]
+				}
+				sm := col.Softmax(1, ws.Col2[:hi-lo])
+				for c := lo; c < hi; c++ {
+					x[sp.ColEntry[c]] = sm[c-lo]
+				}
+			}
+		default:
+			// Exponentiated gradient, fused with the column sums: entries
+			// run in CSR order, so each column's sum accumulates over
+			// increasing cluster index — the dense solver's exact sequence.
+			for j := range colSum {
+				colSum[j] = 0
+			}
+			for e := range x {
+				v := x[e] * math.Exp(-opts.LR*gd[e])
+				x[e] = v
+				colSum[sp.ColIdx[e]] += v
+			}
+			for e := range x {
+				j := sp.ColIdx[e]
+				sum := colSum[j]
+				if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+					// Blown-up exponent: reset the column to uniform over
+					// its candidates rather than propagating NaNs.
+					x[e] = ws.Uniform[j]
+				} else {
+					x[e] /= sum
+				}
+			}
+		}
+		if it%5 == 4 {
+			maxDelta := 0.0
+			for e := range x {
+				if d := math.Abs(x[e] - prev[e]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			ws.Info.FinalDelta = maxDelta
+			if maxDelta < opts.Tol {
+				ws.Info.Iters = it + 1
+				ws.Info.Converged = true
+				break
+			}
+			copy(prev, x)
+		}
+	}
+	return x
+}
+
+// normalizeSparseColumns projects each task's candidate masses onto the
+// simplex: clamp negatives, divide by the column sum, uniform fallback —
+// normalizeColumns over candidate lists (CSC order accumulates over
+// increasing cluster index, matching the dense column walk).
+func normalizeSparseColumns(sp *SparseProblem, x []float64, ws *SparseWorkspace) {
+	for j := 0; j < sp.Ndim; j++ {
+		lo, hi := int(sp.ColStart[j]), int(sp.ColStart[j+1])
+		sum := 0.0
+		for c := lo; c < hi; c++ {
+			e := sp.ColEntry[c]
+			v := x[e]
+			if v < 0 {
+				v = 0
+				x[e] = 0
+			}
+			sum += v
+		}
+		if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+			for c := lo; c < hi; c++ {
+				x[sp.ColEntry[c]] = ws.Uniform[j]
+			}
+			continue
+		}
+		for c := lo; c < hi; c++ {
+			x[sp.ColEntry[c]] /= sum
+		}
+	}
+}
+
+// RoundSparse converts a relaxed sparse solution to a discrete assignment
+// by per-task argmax over the candidate entries. Ties break toward the
+// lowest cluster index, matching Round.
+func RoundSparse(sp *SparseProblem, x []float64) []int {
+	assign := make([]int, sp.Ndim)
+	RoundSparseInto(sp, x, assign)
+	return assign
+}
+
+// RoundSparseInto is RoundSparse writing into assign (len N).
+func RoundSparseInto(sp *SparseProblem, x []float64, assign []int) {
+	for j := 0; j < sp.Ndim; j++ {
+		lo, hi := int(sp.ColStart[j]), int(sp.ColStart[j+1])
+		best, bi := math.Inf(-1), 0
+		for c := lo; c < hi; c++ {
+			if v := x[sp.ColEntry[c]]; v > best {
+				best, bi = v, int(sp.ColRow[c])
+			}
+		}
+		assign[j] = bi
+	}
+}

@@ -60,6 +60,18 @@ type engine struct {
 
 	roundStream *rng.Source
 	execStream  *rng.Source
+
+	// Warm-start state (mc.WarmStart): the shard serving a batch's last
+	// round captures its relaxed iterate into warmNext; warmPrepare swaps
+	// it into warmCur at the next batch boundary, where it seeds every
+	// solve of that batch read-only. The capture is keyed to the predictor
+	// version it was solved against (warmVer) and discarded when a refit
+	// publishes a new version — a warm iterate from stale predictions is
+	// not a useful prior for the retrained landscape.
+	warmCur, warmNext *mat.Dense
+	warmValid         bool
+	warmVer           uint64
+	warmStamp         uint64
 }
 
 // newEngine builds the scenario, trains the configured method, and wires
@@ -98,6 +110,7 @@ func newEngine(ctx context.Context, cfg Config) (*engine, error) {
 		met:         newEngineMetrics(cfg.Telemetry),
 		roundStream: s.Stream("platform-rounds"),
 		execStream:  s.Stream("platform-exec"),
+		warmCur:     new(mat.Dense), warmNext: new(mat.Dense),
 	}
 	if set := predictorSetOf(method); set != nil {
 		e.snap = parallel.NewSnapshot(set)
@@ -135,7 +148,12 @@ type shardScratch struct {
 	that, ahat   *mat.Dense
 	trueT, trueA *mat.Dense
 	ws           *matching.Workspace
-	tasks        []*taskgraph.Task
+	// hw and sparseInit serve the production-dimension path (mc.TopK > 0):
+	// the hierarchical solve's per-cell workspaces and the CSR-order
+	// warm-start gather buffer.
+	hw         *matching.HierWorkspace
+	sparseInit []float64
+	tasks      []*taskgraph.Task
 }
 
 var scratchArena = parallel.NewArena(func() *shardScratch {
@@ -151,7 +169,12 @@ var scratchArena = parallel.NewArena(func() *shardScratch {
 // truth, and execute on the simulated fleet. All randomness comes from
 // streams split by k, and all scratch is shard-private, so the result does
 // not depend on which shard runs it or when.
-func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shardScratch) RoundReport {
+//
+// warm, when non-nil, is the batch's shared warm-start iterate (dense M×N,
+// read-only during the sweep). capture marks the batch's last round: that
+// shard — and only that shard — writes its relaxed solution into
+// e.warmNext for the next batch to promote.
+func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shardScratch, warm *mat.Dense, capture bool) RoundReport {
 	rsp := e.met.round.Start()
 	psp := e.met.predict.Start()
 	var That, Ahat *mat.Dense
@@ -167,10 +190,24 @@ func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shard
 		sc.ws = matching.NewWorkspace(That.Rows, That.Cols)
 	}
 	ssp := e.met.solve.Start()
-	assign, repInfo := e.mc.SolveWSInfo(That, Ahat, sc.ws)
-	// The oracle solve below reuses sc.ws, so capture the predictive solve's
-	// convergence record before it is clobbered.
-	solveInfo := sc.ws.Info
+	var (
+		assign    []int
+		repInfo   matching.RepairInfo
+		solveInfo matching.SolveInfo
+	)
+	warmed := warm != nil
+	if e.mc.Sparse() {
+		assign, repInfo, solveInfo = e.solveSparseRound(That, Ahat, sc, warm, capture)
+	} else {
+		assign, repInfo = e.mc.SolveWSInfoInit(That, Ahat, sc.ws, warm)
+		// The oracle solve below reuses sc.ws, so capture the predictive
+		// solve's convergence record (and, on the batch's last round, the
+		// relaxed iterate itself) before it is clobbered.
+		solveInfo = sc.ws.Info
+		if capture {
+			e.warmNext.Reshape(That.Rows, That.Cols).CopyFrom(sc.ws.X)
+		}
+	}
 
 	e.s.TrueMatricesInto(round, sc.trueT, sc.trueA)
 	applyDrift(sc.trueT, e.cfg.Drift, k)
@@ -210,20 +247,119 @@ func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shard
 	rsp.End()
 	return RoundReport{
 		Round: k, TaskIdx: round, Assignment: assign, Eval: ev, Execution: exec,
+		SolveIters: solveInfo.Iters, WarmStarted: warmed,
 	}
+}
+
+// solveSparseRound runs the production-dimension pipeline for one round:
+// screen the predictions down to TopK candidates per task, solve the
+// pruned problem (hierarchically when mc.Cells > 1), and repair. A warm
+// dense iterate is gathered into the sparse problem's CSR entry order;
+// entries outside last round's candidate sets start at zero and are
+// handled by the solver's init normalization.
+func (e *engine) solveSparseRound(That, Ahat *mat.Dense, sc *shardScratch, warm *mat.Dense, capture bool) ([]int, matching.RepairInfo, matching.SolveInfo) {
+	if sc.hw == nil {
+		sc.hw = matching.NewHierWorkspace()
+	}
+	scsp := e.met.screen.Start()
+	sp, err := e.mc.Screen(That, Ahat)
+	scsp.End()
+	if err != nil {
+		// invariant: serving matrices come from PredictInto over scenario
+		// shapes and a validated MatchConfig; Screen can only fail on
+		// malformed external input.
+		panic(err)
+	}
+	var init []float64
+	if warm != nil {
+		if cap(sc.sparseInit) < sp.NNZ() {
+			sc.sparseInit = make([]float64, sp.NNZ())
+		}
+		init = sc.sparseInit[:sp.NNZ()]
+		for i := 0; i < sp.Mdim; i++ {
+			wrow := warm.Row(i)
+			for en := sp.RowStart[i]; en < sp.RowStart[i+1]; en++ {
+				init[en] = wrow[sp.ColIdx[en]]
+			}
+		}
+	}
+	csp := e.met.cellSolve.Start()
+	res := matching.SolveHierarchical(sp, matching.HierOptions{
+		Cells:  e.mc.Cells,
+		Solve:  matching.SolveOptions{Iters: e.mc.SolveIters, Tol: e.mc.SolveTol},
+		Init:   init,
+		Repair: true,
+	}, sc.hw)
+	csp.End()
+	e.met.observeSparse(sp.NNZ(), sp.M()*sp.N(), res.Reconcile)
+	if capture {
+		// Scatter the relaxed CSR iterate back to the dense warm carrier;
+		// pairs pruned this round stay zero.
+		e.warmNext.Reshape(That.Rows, That.Cols).Fill(0)
+		for i := 0; i < sp.Mdim; i++ {
+			wrow := e.warmNext.Row(i)
+			for en := sp.RowStart[i]; en < sp.RowStart[i+1]; en++ {
+				wrow[sp.ColIdx[en]] = res.X[en]
+			}
+		}
+	}
+	return res.Assign, res.RepairInfo, res.Info
 }
 
 // sweep evaluates rounds k0, k0+1, ... against one predictor snapshot
 // across parallel.Workers() shards. Results land in out by round offset —
-// the deterministic in-order reduction happens at the caller.
+// the deterministic in-order reduction happens at the caller. Batches are
+// the warm-start unit: the previous batch's captured iterate seeds this
+// one, and the shard drawing the last round captures for the next.
 func (e *engine) sweep(k0 int, rounds [][]int, set *core.PredictorSet, out []RoundReport) {
+	warm, captureIdx := e.warmPrepare(len(rounds))
 	parallel.ForChunked(len(rounds), 1, func(lo, hi int) {
 		sc := scratchArena.Get()
 		defer scratchArena.Put(sc)
 		for i := lo; i < hi; i++ {
-			out[i] = e.evalRound(k0+i, rounds[i], set, sc)
+			out[i] = e.evalRound(k0+i, rounds[i], set, sc, warm, i == captureIdx)
 		}
 	})
+	e.warmCommit(len(rounds))
+}
+
+// warmPrepare rotates the warm double-buffer at a batch boundary: the
+// previous batch's capture (warmNext) becomes this batch's read-only seed
+// (warmCur), freeing warmNext as this batch's capture target. It returns
+// the seed — nil when warm-starting is off, nothing has been captured yet,
+// or the capture predates the predictor version this batch serves — and
+// the round offset that must capture (always the batch's last round).
+// Runs serially between sweeps, so the swap never races a shard.
+func (e *engine) warmPrepare(n int) (*mat.Dense, int) {
+	if !e.mc.WarmStart || n == 0 {
+		return nil, -1
+	}
+	e.warmCur, e.warmNext = e.warmNext, e.warmCur
+	e.warmStamp = e.snapVersionNow()
+	var warm *mat.Dense
+	if e.warmValid && e.warmVer == e.warmStamp {
+		warm = e.warmCur
+	}
+	return warm, n - 1
+}
+
+// warmCommit records that the just-finished sweep captured a fresh iterate
+// into warmNext, stamped with the predictor version it was solved against.
+func (e *engine) warmCommit(n int) {
+	if !e.mc.WarmStart || n == 0 {
+		return
+	}
+	e.warmValid = true
+	e.warmVer = e.warmStamp
+}
+
+// snapVersionNow reads the published predictor version (0 for methods
+// without a snapshot holder, whose predictions never change).
+func (e *engine) snapVersionNow() uint64 {
+	if e.snap == nil {
+		return 0
+	}
+	return e.snap.Version()
 }
 
 // reduce folds one round into the report. Called serially in round order.
@@ -257,10 +393,11 @@ func finalize(rep *Report, n int) {
 // in flight always drains completely — shards finish and reduce in round
 // order — so the partial report is a valid prefix of the full trajectory.
 func (e *engine) serveCtx(ctx context.Context, rep *Report, k0, n int) (int, error) {
-	batch := 4 * parallel.Workers()
-	if batch < 8 {
-		batch = 8
-	}
+	// The batch size is a fixed constant, deliberately NOT a function of
+	// parallel.Workers(): batches are the warm-start carry unit, so their
+	// boundaries must fall at the same round indices at every worker count
+	// to keep trajectories worker-invariant.
+	const batch = 32
 	done := 0
 	for done < n {
 		if ctx.Err() != nil {

@@ -115,6 +115,12 @@ type RoundReport struct {
 	Eval metrics.Eval
 	// Execution is the simulated run: wall-clock seconds, failures.
 	Execution sched.Result
+	// SolveIters is the predictive relaxed solve's iteration count
+	// (Workspace.Info.Iters — the serving-side solve only, not the oracle).
+	SolveIters int
+	// WarmStarted reports whether that solve was seeded from a previous
+	// round's relaxed iterate (MatchConfig.WarmStart).
+	WarmStarted bool
 }
 
 // Report aggregates a full simulation.

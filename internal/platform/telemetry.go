@@ -54,6 +54,27 @@ type engineMetrics struct {
 	snapVersion  *obs.Gauge
 	snapLag      *obs.Gauge
 
+	// Production-dimension sparse path (MatchConfig.TopK > 0): screening
+	// and cell-solve spans plus pruning-survivor and reconcile accounting.
+	// Recorded on the shards; every op is atomic.
+	screen      *obs.Timer
+	cellSolve   *obs.Timer
+	pruneKept   *obs.Counter
+	pruneTotal  *obs.Counter
+	reconMoves  *obs.Histogram
+	reconInfeas *obs.Counter
+
+	// Warm-start effectiveness: how many solves were seeded, and the
+	// rolling iteration counts of warm vs cold solves (the iterations-saved
+	// signal). Updated on the serial reduce path.
+	warmRounds *obs.Counter
+	itersWarm  *obs.Gauge
+	itersCold  *obs.Gauge
+	emaItersW  float64
+	emaItersC  float64
+	emaWInit   bool
+	emaCInit   bool
+
 	// Rolling serving quality, EWMA over the serial reduce path.
 	rollRegret      *obs.Gauge
 	rollReliability *obs.Gauge
@@ -93,6 +114,24 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 		repairDelta: reg.Histogram("mfcp_repair_cost_delta",
 			"cost improvement achieved by the repair pass", obs.ExpBuckets(1e-3, 4, 10)),
 
+		screen:    tr.Phase("screen"),
+		cellSolve: tr.Phase("cellsolve"),
+		pruneKept: reg.Counter("mfcp_prune_survivors_total",
+			"(cluster, task) candidate pairs surviving top-k screening"),
+		pruneTotal: reg.Counter("mfcp_prune_candidates_total",
+			"dense (cluster, task) pairs considered by screening"),
+		reconMoves: reg.Histogram("mfcp_reconcile_moves",
+			"task reassignments per capacity-reconcile pass", obs.LinearBuckets(0, 2, 12)),
+		reconInfeas: reg.Counter("mfcp_reconcile_infeasible_total",
+			"reconcile passes that proved the overflow unresolvable (Hall violation)"),
+
+		warmRounds: reg.Counter("mfcp_warm_rounds_total",
+			"predictive solves seeded from a previous round's relaxed iterate"),
+		itersWarm: reg.Gauge("mfcp_solver_iters_warm",
+			"EWMA of solver iterations for warm-started solves"),
+		itersCold: reg.Gauge("mfcp_solver_iters_cold",
+			"EWMA of solver iterations for cold-started solves"),
+
 		ringDropped:  reg.Counter("mfcp_ring_dropped_total", "observations dropped by the full ingest ring"),
 		ringIngested: reg.Counter("mfcp_ring_ingested_total", "observations drained into the replay buffer"),
 		ringDepth:    reg.Gauge("mfcp_ring_depth", "observations pending in the ingest ring at the last window boundary"),
@@ -119,11 +158,38 @@ func (m *engineMetrics) observeSolve(si matching.SolveInfo, ri matching.RepairIn
 	m.repairDelta.Observe(ri.CostBefore - ri.CostAfter)
 }
 
+// observeSparse records one round's screening and reconcile accounting.
+// Called concurrently from the shards; every instrument op is atomic.
+func (m *engineMetrics) observeSparse(nnz, dense int, ri matching.ReconcileInfo) {
+	m.pruneKept.Add(uint64(nnz))
+	m.pruneTotal.Add(uint64(dense))
+	m.reconMoves.Observe(float64(ri.Moved))
+	if !ri.Feasible {
+		m.reconInfeas.Inc()
+	}
+}
+
 // observeReduced folds one round into the throughput counters and rolling
 // quality gauges. Called serially, in round order, from the reduce path.
 func (m *engineMetrics) observeReduced(rr *RoundReport) {
 	m.rounds.Inc()
 	m.tasks.Add(uint64(len(rr.TaskIdx)))
+	if rr.WarmStarted {
+		m.warmRounds.Inc()
+		if !m.emaWInit {
+			m.emaItersW, m.emaWInit = float64(rr.SolveIters), true
+		} else {
+			m.emaItersW += ewmaAlpha * (float64(rr.SolveIters) - m.emaItersW)
+		}
+		m.itersWarm.Set(m.emaItersW)
+	} else {
+		if !m.emaCInit {
+			m.emaItersC, m.emaCInit = float64(rr.SolveIters), true
+		} else {
+			m.emaItersC += ewmaAlpha * (float64(rr.SolveIters) - m.emaItersC)
+		}
+		m.itersCold.Set(m.emaItersC)
+	}
 	if !m.emaInit {
 		m.emaRegret, m.emaRel = rr.Eval.Regret, rr.Eval.Reliability
 		m.emaInit = true

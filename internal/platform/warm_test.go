@@ -1,0 +1,170 @@
+package platform
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mfcp/internal/obs"
+	"mfcp/internal/parallel"
+)
+
+// serveIters serves `calls` single-round batches on one engine and returns
+// (total predictive-solve iterations, warm-started round count). One round
+// per ServeRounds call makes every batch after the first eligible for a
+// warm seed when mc.WarmStart is on.
+func serveIters(t *testing.T, warm bool, calls int) (int, int) {
+	t.Helper()
+	cfg := tinyCfg(MethodTSM)
+	cfg.Match.WarmStart = warm
+	// Loosen the early-stop tolerance so cold solves converge inside the
+	// iteration budget — the savings are measured in iterations-to-
+	// convergence, which requires convergence to actually trigger.
+	cfg.Match.SolveTol = 1e-4
+	cfg.Match.SolveIters = 2000
+	en, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters, warmed := 0, 0
+	for c := 0; c < calls; c++ {
+		rep := en.ServeRounds(1)
+		for _, rr := range rep.Rounds {
+			iters += rr.SolveIters
+			if rr.WarmStarted {
+				warmed++
+			}
+		}
+	}
+	return iters, warmed
+}
+
+// TestWarmStartSavesIterations is the headline acceptance check: seeding
+// consecutive rounds' solves with the previous relaxed iterate converges
+// in measurably fewer mirror-descent iterations than cold uniform starts,
+// observed through Workspace.Info (surfaced as RoundReport.SolveIters and
+// the mfcp_solver_iters_warm gauge).
+func TestWarmStartSavesIterations(t *testing.T) {
+	const calls = 24
+	coldIters, coldWarmed := serveIters(t, false, calls)
+	warmIters, warmWarmed := serveIters(t, true, calls)
+	if coldWarmed != 0 {
+		t.Fatalf("cold run reported %d warm-started rounds", coldWarmed)
+	}
+	// Every batch after the first seeds from its predecessor's capture.
+	if want := calls - 1; warmWarmed != want {
+		t.Fatalf("warm run warm-started %d rounds, want %d", warmWarmed, want)
+	}
+	if warmIters >= coldIters {
+		t.Fatalf("warm starts did not save iterations: warm %d vs cold %d", warmIters, coldIters)
+	}
+}
+
+// TestWarmStartWorkerCountInvariance pins that the warm-start trajectory —
+// including which rounds were seeded and how fast they converged — does
+// not depend on the worker count. This is why the serveCtx batch size is a
+// fixed constant rather than a multiple of parallel.Workers().
+func TestWarmStartWorkerCountInvariance(t *testing.T) {
+	cfg := tinyCfg(MethodTSM)
+	cfg.Rounds = 40 // spans two serveCtx batches: the second is warm-seeded
+	cfg.Match.WarmStart = true
+	base := mustRunAt(t, cfg, 1)
+	warmed := 0
+	for _, rr := range base.Rounds {
+		if rr.WarmStarted {
+			warmed++
+		}
+	}
+	if warmed != 40-32 {
+		t.Fatalf("warm-started rounds = %d, want the second batch's %d", warmed, 40-32)
+	}
+	for _, w := range []int{2, 8} {
+		sameTrajectory(t, "warm workers", base, mustRunAt(t, cfg, w))
+	}
+}
+
+// TestSparseEngineWorkerCountInvariance serves through the full
+// production-dimension pipeline — screening, hierarchical cell solve,
+// sparse repair, warm starts — and asserts the trajectory is bit-identical
+// at any worker count and structurally sound.
+func TestSparseEngineWorkerCountInvariance(t *testing.T) {
+	cfg := tinyCfg(MethodTSM)
+	cfg.Rounds = 12
+	cfg.Match.TopK = 2
+	cfg.Match.Cells = 2
+	cfg.Match.WarmStart = true
+	base := mustRunAt(t, cfg, 1)
+	if len(base.Rounds) != 12 {
+		t.Fatalf("rounds %d", len(base.Rounds))
+	}
+	for _, rr := range base.Rounds {
+		if len(rr.Assignment) != cfg.RoundSize {
+			t.Fatalf("round %d assignment shape %d", rr.Round, len(rr.Assignment))
+		}
+		if rr.SolveIters <= 0 {
+			t.Fatalf("round %d recorded no solver iterations", rr.Round)
+		}
+	}
+	for _, w := range []int{2, 8} {
+		sameTrajectory(t, "sparse workers", base, mustRunAt(t, cfg, w))
+	}
+}
+
+// TestOnlineWarmInvalidatedByRefit pins the invalidation rule: a capture
+// taken against one predictor version must not seed solves against the
+// next. With RefitEvery == window == batch, every window after the first
+// starts right after a refit published a new version, so no round is ever
+// warm-started — the warm path degrades to cold rather than seeding from
+// stale predictions.
+func TestOnlineWarmInvalidatedByRefit(t *testing.T) {
+	cfg := onlineTiny(MethodTSM)
+	cfg.Match.WarmStart = true
+	rep := mustRunOnlineAt(t, cfg, 2)
+	for _, rr := range rep.Rounds {
+		if rr.WarmStarted {
+			t.Fatalf("round %d warm-started across a refit boundary", rr.Round)
+		}
+	}
+	// The trajectory must equal the non-warm online run exactly: every
+	// batch was invalidated, so WarmStart on/off is indistinguishable.
+	plain := mustRunOnlineAt(t, onlineTiny(MethodTSM), 2)
+	for k := range plain.Rounds {
+		if plain.Rounds[k].Eval != rep.Rounds[k].Eval {
+			t.Fatalf("round %d diverged from the cold trajectory", k)
+		}
+	}
+}
+
+// TestWarmGaugeExported asserts the iteration gauges and counters land in
+// the Prometheus export when warm rounds are served.
+func TestWarmGaugeExported(t *testing.T) {
+	cfg := tinyCfg(MethodTSM)
+	cfg.Rounds = 40
+	cfg.Match.WarmStart = true
+	cfg.Match.TopK = 2
+	cfg.Telemetry = obs.NewRegistry()
+	defer parallel.SetWorkers(parallel.SetWorkers(2))
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cfg.Telemetry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, series := range []string{
+		"mfcp_solver_iters_warm", "mfcp_solver_iters_cold",
+		"mfcp_warm_rounds_total", "mfcp_prune_survivors_total",
+		"mfcp_prune_candidates_total",
+	} {
+		if !strings.Contains(out, series) {
+			t.Fatalf("export missing %s:\n%s", series, out)
+		}
+	}
+	if strings.Contains(out, "mfcp_warm_rounds_total 0\n") {
+		t.Fatal("no warm rounds recorded despite WarmStart")
+	}
+	if strings.Contains(out, "mfcp_prune_survivors_total 0\n") {
+		t.Fatal("no pruning survivors recorded despite TopK")
+	}
+}

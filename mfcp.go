@@ -191,10 +191,42 @@ func NewOracle(s *Scenario) Method { return baselines.NewOracle(s) }
 // Match solves the cluster–task matching problem for predicted matrices
 // (T̂, Â), returning the cluster index assigned to each task. All methods
 // in the paper share this pipeline: continuous relaxation (Algorithm 1
-// family), rounding, and greedy feasibility repair.
+// family), rounding, and greedy feasibility repair. Mismatched matrix
+// shapes panic; external callers that cannot guarantee shapes should use
+// MatchChecked.
 func Match(mc MatchConfig, T, A *Matrix) []int {
+	assign, err := MatchChecked(mc, T, A)
+	if err != nil {
+		// invariant: the error surface of MatchChecked on same-shape
+		// matrices is empty; this preserves Match's legacy panic contract
+		// for mismatched inputs.
+		panic(err)
+	}
+	return assign
+}
+
+// MatchChecked is Match with input validation: mismatched or empty
+// matrices and bad hyperparameters return ErrBadShape / ErrBadConfig
+// wrapped errors instead of panicking. When mc.TopK is set it runs the
+// production-dimension sparse pipeline (screen → hierarchical cell solve →
+// reconcile → repair) instead of the dense solver; with TopK ≥ clusters
+// and one cell the two paths produce bit-identical relaxed solutions.
+func MatchChecked(mc MatchConfig, T, A *Matrix) ([]int, error) {
 	mc.FillDefaults()
-	return mc.Solve(T, A)
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := mc.ProblemChecked(T, A); err != nil {
+		return nil, err
+	}
+	if mc.Sparse() {
+		_, res, err := mc.SolveSparseWS(T, A, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Assign, nil
+	}
+	return mc.Solve(T, A), nil
 }
 
 // Evaluate scores an assignment on a round of pool indices against the
@@ -210,9 +242,31 @@ func Evaluate(s *Scenario, mc MatchConfig, round, assign []int) Eval {
 
 // ExactMatch solves a small instance to optimality by branch and bound,
 // returning the assignment, its cost, and reliability feasibility.
+// Mismatched matrix shapes panic; see ExactMatchChecked.
 func ExactMatch(mc MatchConfig, T, A *Matrix) (assign []int, cost float64, feasible bool) {
+	assign, cost, feasible, err := ExactMatchChecked(mc, T, A)
+	if err != nil {
+		// invariant: preserves ExactMatch's legacy panic contract for
+		// mismatched external inputs.
+		panic(err)
+	}
+	return assign, cost, feasible
+}
+
+// ExactMatchChecked is ExactMatch with input validation, returning
+// ErrBadShape / ErrBadConfig wrapped errors for invalid matrices or
+// hyperparameters instead of panicking.
+func ExactMatchChecked(mc MatchConfig, T, A *Matrix) (assign []int, cost float64, feasible bool, err error) {
 	mc.FillDefaults()
-	return matching.SolveExact(mc.Problem(T, A))
+	if err := mc.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	p, err := mc.ProblemChecked(T, A)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	assign, cost, feasible = matching.SolveExact(p)
+	return assign, cost, feasible, nil
 }
 
 // Table1 regenerates the paper's ablation study (Table 1).

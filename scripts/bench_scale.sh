@@ -1,0 +1,8 @@
+#!/bin/sh
+# Production-dimension matching sweep: runs every scale point (64x2000,
+# 256x20000, 1000x100000) plus the 1/2/4/8-worker sweep and records the
+# latency + rounds/sec curve into BENCH_scale.json at the repo root.
+# Equivalent to `make bench-scale`.
+set -eu
+cd "$(dirname "$0")/.."
+go run ./cmd/mfcpbench -scale all -scale-json BENCH_scale.json
