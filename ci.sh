@@ -17,14 +17,23 @@ sh scripts/panic_lint.sh
 
 go vet ./...
 go build ./...
-# Serving-engine race gate first: the snapshot/ring/shard machinery is the
-# likeliest source of new races, so fail fast on it before the full sweep.
+# Serving-engine race gate first: the snapshot/ring/shard machinery plus
+# the pipelined sparse round (screener goroutine overlapped with the cell
+# solvers, double-buffered screen slots) are the likeliest sources of new
+# races, so fail fast on them before the full sweep.
+go test -race -run 'Pipelined|SparseEngine|WorkerCountInvariance|Screen' ./internal/platform ./internal/matching
 go test -race ./internal/platform ./internal/parallel
 go test -race ./...
 
+# Allocation pin (no -race: the detector instruments allocations): the
+# steady-state parallel screen must stay allocation-free.
+go test -run 'TestScreenWorkspaceZeroAllocs' ./internal/matching
+
 # Scale-path smoke test: one production-dimension round (64 clusters ×
 # 2000 tasks) through screen → cell solve → reconcile → repair; fails on
-# any structural violation (uncovered task, infeasible reconcile).
+# any structural violation (uncovered task, infeasible reconcile,
+# workspace screen diverging from the builder screen, or a steady-state
+# screen allocation).
 go run ./cmd/mfcpbench -scale smoke
 
 # Telemetry endpoint smoke test: run an online simulation with a live

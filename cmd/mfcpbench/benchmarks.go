@@ -127,7 +127,10 @@ func benchPlatformThroughput(b *testing.B, workers int, telemetry bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		en.ServeRounds(benchServeRounds)
+		if _, err := en.ServeRounds(benchServeRounds); err != nil {
+			// invariant: benchmark fixtures use known-good configs.
+			panic(err)
+		}
 	}
 	rounds := float64(b.N) * benchServeRounds
 	secs := b.Elapsed().Seconds()

@@ -41,6 +41,7 @@ func main() {
 		count      = flag.Int("count", 1, "repetitions per benchmark (with -bench)")
 		scale      = flag.String("scale", "", "run the production-dimension matching sweep: smoke|all|<point name> (see scale.go)")
 		scaleJSON  = flag.String("scale-json", "", "with -scale: also write the results as JSON to this path")
+		scaleWork  = flag.String("scale-workers", "1,2,4,8", "with -scale all: comma-separated worker counts for the pipelined worker sweep")
 	)
 	flag.Parse()
 
@@ -48,7 +49,7 @@ func main() {
 		os.Exit(runBenchmarks(*bench, *count))
 	}
 	if *scale != "" {
-		os.Exit(runScale(*scale, *scaleJSON))
+		os.Exit(runScale(*scale, *scaleJSON, *scaleWork))
 	}
 
 	if *cpuprofile != "" {

@@ -94,6 +94,17 @@ type MatchConfig struct {
 	// mfcp_solver_iters_warm gauge). Training and one-shot solves ignore
 	// it.
 	WarmStart bool
+	// ScreenStaleTol enables incremental screening in the serving engine
+	// (requires TopK > 0): a round slot's candidate set is carried over
+	// from the previous screen when neither of its predicted columns moved
+	// by more than this ∞-norm tolerance since the set was selected. Zero
+	// — the default — re-screens every task exactly. The carried reference
+	// is invalidated whenever a refit publishes a new predictor version
+	// (the same rule warm starts use), and entry values are always the
+	// current predictions — only set membership tolerates staleness, so a
+	// dropped cluster can beat the worst kept one by at most 2·tol.
+	// Training ignores it.
+	ScreenStaleTol float64
 }
 
 // FillDefaults populates zero fields with the defaults above.
@@ -144,6 +155,12 @@ func (mc *MatchConfig) Validate() error {
 	}
 	if mc.Cells > 1 && mc.TopK == 0 {
 		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Cells %d requires the sparse path (TopK > 0)", mc.Cells)
+	}
+	if mc.ScreenStaleTol < 0 || math.IsInf(mc.ScreenStaleTol, 0) || math.IsNaN(mc.ScreenStaleTol) {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: ScreenStaleTol %g must be finite and non-negative", mc.ScreenStaleTol)
+	}
+	if mc.ScreenStaleTol > 0 && mc.TopK == 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: ScreenStaleTol %g requires the sparse path (TopK > 0)", mc.ScreenStaleTol)
 	}
 	return nil
 }
@@ -231,6 +248,56 @@ func (mc MatchConfig) Screen(T, A *mat.Dense) (*matching.SparseProblem, error) {
 		return nil, err
 	}
 	return matching.PruneTopKChecked(p, mc.TopK)
+}
+
+// ScreenWS is Screen through a reusable matching.ScreenWorkspace: the
+// selection shards across parallel.Workers() and allocates nothing once
+// the workspace is warmed, producing a bit-identical problem to Screen.
+// The result aliases the workspace (valid until its next use).
+func (mc MatchConfig) ScreenWS(T, A *mat.Dense, ws *matching.ScreenWorkspace) (*matching.SparseProblem, error) {
+	sp, _, err := mc.ScreenIncrementalWS(T, A, nil, ws)
+	return sp, err
+}
+
+// ScreenIncrementalWS is ScreenWS carrying the previous screen in ref:
+// with ScreenStaleTol > 0 and a valid reference, tasks whose predictions
+// stayed within the tolerance reuse their reference candidate sets
+// (revalued at the current predictions) instead of re-screening. reused
+// reports how many tasks took that path; it is 0 whenever the call
+// degrades to the exact full screen (nil or invalidated ref, or
+// ScreenStaleTol == 0). See matching.PruneTopKIncrementalWS for the
+// staleness contract.
+func (mc MatchConfig) ScreenIncrementalWS(T, A *mat.Dense, ref *matching.ScreenRef, ws *matching.ScreenWorkspace) (*matching.SparseProblem, int, error) {
+	if mc.TopK < 1 {
+		return nil, 0, mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: Screen requires TopK > 0, have %d", mc.TopK)
+	}
+	p, err := mc.ProblemChecked(T, A)
+	if err != nil {
+		return nil, 0, err
+	}
+	return matching.PruneTopKIncrementalWS(p, mc.TopK, mc.ScreenStaleTol, ref, ws)
+}
+
+// SparseAutoThreshold is the dense-pair count (M·N) above which the
+// one-shot entry points (mfcp.Match/ExactMatch) and the platform engine
+// route through the sparse screening path by default. 2^18 pairs ≈ a
+// 2 MB dense iterate — comfortably dense territory below it, and past it
+// screening costs less than the dense solve it avoids.
+const SparseAutoThreshold = 1 << 18
+
+// AutoSparseTopK returns the TopK an auto-routed sparse solve should use
+// for an m-cluster, n-task instance: 0 (stay dense) when m·n is at or
+// under SparseAutoThreshold, otherwise min(m, 32) — wide enough that
+// screening rarely bites quality, narrow enough to keep the candidate
+// lists flat.
+func AutoSparseTopK(m, n int) int {
+	if m <= 0 || n <= 0 || m*n <= SparseAutoThreshold {
+		return 0
+	}
+	if m < 32 {
+		return m
+	}
+	return 32
 }
 
 // SolveSparseWS runs the production-dimension pipeline on predicted

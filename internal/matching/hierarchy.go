@@ -2,6 +2,7 @@ package matching
 
 import (
 	"math"
+	"time"
 
 	"mfcp/internal/parallel"
 )
@@ -41,6 +42,21 @@ type HierResult struct {
 	// RepairInfo reports the bounded sparse repair pass (zero when
 	// disabled).
 	RepairInfo RepairInfo
+	// Timings breaks the call into phase wall-times. Observational only:
+	// it feeds telemetry and the scale bench, and never influences the
+	// solve itself.
+	Timings HierTimings
+}
+
+// HierTimings is the per-phase wall-clock breakdown of one hierarchical
+// solve, in nanoseconds.
+type HierTimings struct {
+	// SolveNs covers the relaxed cell solves and rounding.
+	SolveNs int64
+	// ReconcileNs covers the capacity-reconciliation pass (0 without Cap).
+	ReconcileNs int64
+	// RepairNs covers the bounded repair pass (0 when disabled).
+	RepairNs int64
 }
 
 // ReconcileInfo accounts the capacity-reconciliation pass.
@@ -92,6 +108,7 @@ func SolveHierarchical(sp *SparseProblem, o HierOptions, hw *HierWorkspace) Hier
 		cells = sp.Mdim
 	}
 	res := HierResult{Cells: cells, Reconcile: ReconcileInfo{Feasible: true}}
+	t0 := time.Now()
 	if cells == 1 {
 		if len(hw.cells) == 0 {
 			hw.cells = make([]SparseWorkspace, 1)
@@ -104,11 +121,17 @@ func SolveHierarchical(sp *SparseProblem, o HierOptions, hw *HierWorkspace) Hier
 	} else {
 		res.Assign, res.X, res.Info = solveCells(sp, o, hw, cells)
 	}
+	t1 := time.Now()
+	res.Timings.SolveNs = t1.Sub(t0).Nanoseconds()
 	if sp.Cap != nil {
 		res.Reconcile = ReconcileCapacities(sp, res.Assign)
+		t2 := time.Now()
+		res.Timings.ReconcileNs = t2.Sub(t1).Nanoseconds()
+		t1 = t2
 	}
 	if o.Repair {
 		res.Assign, res.RepairInfo = RepairSparse(sp, res.Assign)
+		res.Timings.RepairNs = time.Since(t1).Nanoseconds()
 	}
 	return res
 }

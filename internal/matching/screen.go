@@ -1,0 +1,511 @@
+package matching
+
+import (
+	"math"
+	"sync/atomic"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/parallel"
+)
+
+// screenBlockTasks is the task-block granularity of the parallel screen:
+// candidate selection, validation counts, and the CSR/CSC scatter all
+// shard on contiguous blocks of this many tasks. Large enough that the
+// per-block row-count vectors (nblocks×M int32) stay small next to the
+// candidate arrays, small enough that production task counts split into
+// enough blocks to feed every worker.
+const screenBlockTasks = 1024
+
+// ScreenWorkspace is the reusable scratch for the parallel screen: a
+// slotted candidate buffer (one fixed-stride slot per task) plus the
+// per-block counters a two-pass count/prefix-sum CSR+CSC build needs.
+// Unlike SparseBuilder it allocates nothing once warmed
+// (TestScreenWorkspaceZeroAllocs): the fork/join bodies are pre-bound
+// closures over the workspace itself, and every array reuses backing
+// storage across rounds.
+//
+// The produced *SparseProblem aliases the workspace and stays valid only
+// until the next Begin; callers that pipeline rounds keep one workspace
+// per in-flight round.
+//
+// Not safe for concurrent use by multiple screens; a single screen call
+// shards its own work across parallel.Workers().
+type ScreenWorkspace struct {
+	m, n    int
+	stride  int // slot width: max candidates per task (k+1)
+	nblocks int
+
+	// Slotted candidate buffer: task j's candidates occupy
+	// keep/keepT/keepA[j*stride : j*stride+cnt[j]], sorted by cluster.
+	keep  []int32
+	keepT []float64
+	keepA []float64
+	cnt   []int32
+
+	sel         []int32 // nblocks×m selection scratch (top-k paths only)
+	rowCnt      []int32 // nblocks×m per-block row counts
+	rowCur      []int32 // nblocks×m scatter cursors
+	blockReused []int32 // per-block reused-task counts (incremental path)
+
+	// badTask is the lowest task index that failed validation, -1 when
+	// clean; blocks race to lower it with a CAS min so diagnostics are
+	// deterministic regardless of worker count.
+	badTask int64
+
+	// Per-call parameters for the pre-bound parallel bodies. Binding the
+	// closures once (they capture only the workspace) keeps the screen
+	// allocation-free: a closure passed to ForChunked escapes, so a fresh
+	// one per round would cost a heap allocation.
+	p   *Problem
+	k   int
+	tol float64
+	ref *ScreenRef
+
+	fillFull  func(lo, hi int)
+	fillIncr  func(lo, hi int)
+	countBody func(lo, hi int)
+	scatBody  func(lo, hi int)
+
+	sp SparseProblem
+}
+
+// NewScreenWorkspace returns an empty workspace; arrays are sized lazily
+// by Begin.
+func NewScreenWorkspace() *ScreenWorkspace {
+	ws := &ScreenWorkspace{}
+	ws.fillFull = ws.runFillFull
+	ws.fillIncr = ws.runFillIncr
+	ws.countBody = ws.runCount
+	ws.scatBody = ws.runScatter
+	return ws
+}
+
+// Begin sizes the workspace for an m×n screen whose tasks commit at most
+// kmax candidates each, reusing backing storage when it has capacity.
+func (ws *ScreenWorkspace) Begin(m, n, kmax int) {
+	ws.m, ws.n, ws.stride = m, n, kmax
+	ws.nblocks = (n + screenBlockTasks - 1) / screenBlockTasks
+	ws.keep = growInt32(ws.keep, n*kmax)
+	ws.keepT = growFloats(ws.keepT, n*kmax)
+	ws.keepA = growFloats(ws.keepA, n*kmax)
+	ws.cnt = growInt32(ws.cnt, n)
+	ws.rowCnt = growInt32(ws.rowCnt, ws.nblocks*m)
+	ws.rowCur = growInt32(ws.rowCur, ws.nblocks*m)
+	ws.blockReused = growInt32(ws.blockReused, ws.nblocks)
+	for b := range ws.blockReused {
+		ws.blockReused[b] = 0
+	}
+	ws.badTask = -1
+}
+
+// Slot returns task j's candidate buffers: write up to the Begin kmax
+// (cluster, time, reliability) triples — clusters strictly increasing —
+// then Commit the count.
+func (ws *ScreenWorkspace) Slot(j int) (idx []int32, t, a []float64) {
+	lo, hi := j*ws.stride, (j+1)*ws.stride
+	return ws.keep[lo:hi], ws.keepT[lo:hi], ws.keepA[lo:hi]
+}
+
+// Commit records that task j's slot holds cnt candidates.
+func (ws *ScreenWorkspace) Commit(j, cnt int) { ws.cnt[j] = int32(cnt) }
+
+// blockRange returns block b's task interval [j0, j1).
+func (ws *ScreenWorkspace) blockRange(b int) (int, int) {
+	j0 := b * screenBlockTasks
+	j1 := j0 + screenBlockTasks
+	if j1 > ws.n {
+		j1 = ws.n
+	}
+	return j0, j1
+}
+
+// noteBad lowers the workspace's bad-task watermark to j (CAS min).
+func (ws *ScreenWorkspace) noteBad(j int) {
+	for {
+		old := atomic.LoadInt64(&ws.badTask)
+		if old >= 0 && old <= int64(j) {
+			return
+		}
+		if atomic.CompareAndSwapInt64(&ws.badTask, old, int64(j)) {
+			return
+		}
+	}
+}
+
+// runCount validates each committed slot and accumulates per-block row
+// counts. Counts of a block containing an invalid task are abandoned
+// mid-way; Finish never reads them because the bad watermark aborts the
+// build first.
+func (ws *ScreenWorkspace) runCount(lo, hi int) {
+	m := ws.m
+	for b := lo; b < hi; b++ {
+		rc := ws.rowCnt[b*m : (b+1)*m]
+		for i := range rc {
+			rc[i] = 0
+		}
+		j0, j1 := ws.blockRange(b)
+		for j := j0; j < j1; j++ {
+			c := int(ws.cnt[j])
+			if c < 1 || c > ws.stride {
+				ws.noteBad(j)
+				continue
+			}
+			base := j * ws.stride
+			prev := int32(-1)
+			for s := 0; s < c; s++ {
+				i := ws.keep[base+s]
+				t, a := ws.keepT[base+s], ws.keepA[base+s]
+				if i <= prev || int(i) >= m ||
+					math.IsNaN(t) || math.IsInf(t, 0) ||
+					math.IsNaN(a) || math.IsInf(a, 0) {
+					ws.noteBad(j)
+					break
+				}
+				prev = i
+				rc[i]++
+			}
+		}
+	}
+}
+
+// runScatter writes each block's candidates into the CSR arrays through
+// the block's row cursors and into the CSC arrays at ColStart[j]+slot —
+// both destinations are disjoint across blocks, so the pass is
+// deterministic under any partition.
+func (ws *ScreenWorkspace) runScatter(lo, hi int) {
+	m, sp := ws.m, &ws.sp
+	for b := lo; b < hi; b++ {
+		cur := ws.rowCur[b*m : (b+1)*m]
+		j0, j1 := ws.blockRange(b)
+		for j := j0; j < j1; j++ {
+			base := j * ws.stride
+			cb := int(sp.ColStart[j])
+			c := int(ws.cnt[j])
+			for s := 0; s < c; s++ {
+				i := ws.keep[base+s]
+				e := cur[i]
+				cur[i] = e + 1
+				sp.ColIdx[e] = int32(j)
+				sp.T[e] = ws.keepT[base+s]
+				sp.A[e] = ws.keepA[base+s]
+				sp.ColEntry[cb+s] = e
+				sp.ColRow[cb+s] = i
+			}
+		}
+	}
+}
+
+// Finish validates the committed slots and assembles the dual-view
+// CSR/CSC problem: parallel per-block counts, a serial prefix sum that
+// also derives per-block scatter cursors, then a parallel scatter filling
+// both views in one pass. The result carries the builder-default
+// hyperparameters (SparseBuilder's contract); callers with a source
+// Problem overwrite them.
+//
+// The returned problem aliases the workspace: it is valid until the next
+// Begin.
+func (ws *ScreenWorkspace) Finish() (*SparseProblem, error) {
+	parallel.ForChunked(ws.nblocks, 1, ws.countBody)
+	if bad := atomic.LoadInt64(&ws.badTask); bad >= 0 {
+		return nil, ws.diagnose(int(bad))
+	}
+	m, n := ws.m, ws.n
+	sp := &ws.sp
+	sp.Mdim, sp.Ndim = m, n
+	sp.Gamma, sp.Beta, sp.Lambda = 0.8, 10, 0.05
+	sp.Objective, sp.Barrier, sp.Norm = SmoothMakespan, LogBarrier, NormPerTask
+	sp.Speedups, sp.Entropy, sp.Cap = nil, 0, nil
+
+	sp.ColStart = growInt32(sp.ColStart, n+1)
+	tot := int32(0)
+	for j := 0; j < n; j++ {
+		sp.ColStart[j] = tot
+		tot += ws.cnt[j]
+	}
+	sp.ColStart[n] = tot
+	nnz := int(tot)
+
+	sp.RowStart = growInt32(sp.RowStart, m+1)
+	run := int32(0)
+	for i := 0; i < m; i++ {
+		sp.RowStart[i] = run
+		for b := 0; b < ws.nblocks; b++ {
+			ws.rowCur[b*m+i] = run
+			run += ws.rowCnt[b*m+i]
+		}
+	}
+	sp.RowStart[m] = run
+
+	sp.ColIdx = growInt32(sp.ColIdx, nnz)
+	sp.T = growFloats(sp.T, nnz)
+	sp.A = growFloats(sp.A, nnz)
+	sp.ColEntry = growInt32(sp.ColEntry, nnz)
+	sp.ColRow = growInt32(sp.ColRow, nnz)
+	parallel.ForChunked(ws.nblocks, 1, ws.scatBody)
+	return sp, nil
+}
+
+// diagnose re-walks the lowest invalid task's slot serially and returns
+// the specific typed error.
+func (ws *ScreenWorkspace) diagnose(j int) error {
+	c := int(ws.cnt[j])
+	if c < 1 {
+		return mfcperr.Wrap(mfcperr.ErrInfeasible, "matching: task %d has no candidate clusters", j)
+	}
+	if c > ws.stride {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "matching: task %d commits %d candidates over slot width %d", j, c, ws.stride)
+	}
+	base := j * ws.stride
+	prev := int32(-1)
+	for s := 0; s < c; s++ {
+		i := ws.keep[base+s]
+		if int(i) >= ws.m || i < 0 {
+			return mfcperr.Wrap(mfcperr.ErrBadShape, "matching: task %d names cluster %d outside [0,%d)", j, i, ws.m)
+		}
+		if i <= prev {
+			return mfcperr.Wrap(mfcperr.ErrBadShape, "matching: task %d candidate list not strictly increasing at slot %d", j, s)
+		}
+		prev = i
+		t, a := ws.keepT[base+s], ws.keepA[base+s]
+		if math.IsNaN(t) || math.IsInf(t, 0) || math.IsNaN(a) || math.IsInf(a, 0) {
+			return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: task %d cluster %d has non-finite screening values (%g, %g)", j, i, t, a)
+		}
+	}
+	// invariant: noteBad fires only for one of the conditions above.
+	return mfcperr.Wrap(mfcperr.ErrBadShape, "matching: task %d failed screen validation", j)
+}
+
+// selectTask runs the exact serial PruneTopKChecked selection for task j
+// using block b's scratch and writes the sorted slot; it returns the
+// candidate count. Bit-identical to the serial path: same selection-sort
+// tie-breaks, same strict argmax-reliability scan, same final sort.
+func (ws *ScreenWorkspace) selectTask(b, j int) int {
+	p, k, m := ws.p, ws.k, ws.m
+	idx := ws.sel[b*m : (b+1)*m]
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	for s := 0; s < k; s++ {
+		best := s
+		for t := s + 1; t < m; t++ {
+			ti := p.T.At(int(idx[t]), j)
+			tb := p.T.At(int(idx[best]), j)
+			if ti < tb || (ti == tb && idx[t] < idx[best]) {
+				best = t
+			}
+		}
+		idx[s], idx[best] = idx[best], idx[s]
+	}
+	relBest := 0
+	for i := 1; i < m; i++ {
+		if p.A.At(i, j) > p.A.At(relBest, j) {
+			relBest = i
+		}
+	}
+	have := false
+	for _, i := range idx[:k] {
+		if int(i) == relBest {
+			have = true
+			break
+		}
+	}
+	base := j * ws.stride
+	copy(ws.keep[base:base+k], idx[:k])
+	cnt := k
+	if !have {
+		ws.keep[base+k] = int32(relBest)
+		cnt = k + 1
+	}
+	sortInt32(ws.keep[base : base+cnt])
+	for s := 0; s < cnt; s++ {
+		i := int(ws.keep[base+s])
+		ws.keepT[base+s] = p.T.At(i, j)
+		ws.keepA[base+s] = p.A.At(i, j)
+	}
+	ws.cnt[j] = int32(cnt)
+	return cnt
+}
+
+// runFillFull screens every task in the blocks [lo, hi) from scratch.
+func (ws *ScreenWorkspace) runFillFull(lo, hi int) {
+	for b := lo; b < hi; b++ {
+		j0, j1 := ws.blockRange(b)
+		for j := j0; j < j1; j++ {
+			ws.selectTask(b, j)
+		}
+	}
+}
+
+// runFillIncr screens blocks [lo, hi) against the reference: a task whose
+// prediction columns both stayed within the ∞-norm tolerance reuses its
+// reference candidate set (revalued at the current predictions); a task
+// that moved is re-screened from scratch and its reference slot —
+// candidate set and both prediction columns — is refreshed in place.
+// Tasks are disjoint across blocks, so the reference mutation is
+// race-free and the outcome is independent of the block partition.
+func (ws *ScreenWorkspace) runFillIncr(lo, hi int) {
+	p, tol, ref, m := ws.p, ws.tol, ws.ref, ws.m
+	for b := lo; b < hi; b++ {
+		j0, j1 := ws.blockRange(b)
+		for j := j0; j < j1; j++ {
+			moved := 0.0
+			for i := 0; i < m; i++ {
+				if d := math.Abs(p.T.At(i, j) - ref.that.At(i, j)); d > moved {
+					moved = d
+				}
+				if d := math.Abs(p.A.At(i, j) - ref.ahat.At(i, j)); d > moved {
+					moved = d
+				}
+				if moved > tol {
+					break
+				}
+			}
+			base := j * ws.stride
+			rb := j * ref.stride
+			if moved <= tol {
+				c := int(ref.cnt[j])
+				copy(ws.keep[base:base+c], ref.keep[rb:rb+c])
+				for s := 0; s < c; s++ {
+					i := int(ws.keep[base+s])
+					ws.keepT[base+s] = p.T.At(i, j)
+					ws.keepA[base+s] = p.A.At(i, j)
+				}
+				ws.cnt[j] = int32(c)
+				ws.blockReused[b]++
+				continue
+			}
+			c := ws.selectTask(b, j)
+			copy(ref.keep[rb:rb+c], ws.keep[base:base+c])
+			ref.cnt[j] = int32(c)
+			for i := 0; i < m; i++ {
+				ref.that.Set(i, j, p.T.At(i, j))
+				ref.ahat.Set(i, j, p.A.At(i, j))
+			}
+		}
+	}
+}
+
+// ScreenRef carries one screen's candidate sets and the predictions they
+// were selected from, so the next round can skip re-screening tasks whose
+// predictions barely moved. Owned by a single serial screener; see
+// PruneTopKIncrementalWS for the staleness contract.
+type ScreenRef struct {
+	valid   bool
+	m, n, k int
+	stride  int
+	that    *mat.Dense
+	ahat    *mat.Dense
+	keep    []int32
+	cnt     []int32
+}
+
+// NewScreenRef returns an empty, invalid reference.
+func NewScreenRef() *ScreenRef {
+	return &ScreenRef{that: new(mat.Dense), ahat: new(mat.Dense)}
+}
+
+// Valid reports whether the reference holds a usable previous screen.
+func (r *ScreenRef) Valid() bool { return r.valid }
+
+// Invalidate drops the reference; the next screen is a full re-screen.
+// Callers invalidate whenever the predictor producing the screened
+// matrices changes version — reuse tolerates small drift within one
+// predictor, not a retrain.
+func (r *ScreenRef) Invalidate() { r.valid = false }
+
+// usable reports whether the reference matches the (m, n, k) geometry.
+func (r *ScreenRef) usable(m, n, k int) bool {
+	return r.valid && r.m == m && r.n == n && r.k == k
+}
+
+// capture snapshots the workspace's freshly screened sets and the source
+// predictions into the reference.
+func (r *ScreenRef) capture(ws *ScreenWorkspace, p *Problem, k int) {
+	r.m, r.n, r.k, r.stride = ws.m, ws.n, k, ws.stride
+	r.keep = growInt32(r.keep, ws.n*ws.stride)
+	r.cnt = growInt32(r.cnt, ws.n)
+	copy(r.keep, ws.keep[:ws.n*ws.stride])
+	copy(r.cnt, ws.cnt[:ws.n])
+	r.that.Reshape(ws.m, ws.n).CopyFrom(p.T)
+	r.ahat.Reshape(ws.m, ws.n).CopyFrom(p.A)
+	r.valid = true
+}
+
+// PruneTopKWS is PruneTopKChecked through a reusable workspace: the
+// selection shards per-task-block across parallel.Workers() and the
+// CSR/CSC build is a two-pass count/prefix-sum scatter, producing
+// bit-identical candidate sets, values, and array layouts to the serial
+// path at any worker count (TestPruneTopKWSMatchesSerial). Allocates
+// nothing once the workspace is warmed.
+func PruneTopKWS(p *Problem, k int, ws *ScreenWorkspace) (*SparseProblem, error) {
+	sp, _, err := PruneTopKIncrementalWS(p, k, 0, nil, ws)
+	return sp, err
+}
+
+// PruneTopKIncrementalWS screens p against a reference of the previous
+// screen. A task is re-screened from scratch when either of its
+// prediction columns moved by more than tol (∞-norm) since its reference
+// set was selected; otherwise its reference candidate set is reused,
+// revalued at the current predictions. reused reports how many tasks took
+// the reuse path.
+//
+// tol = 0 (or a nil/invalid reference) degrades to the exact full screen;
+// a full screen refreshes the whole reference. The staleness guarantee is
+// per task: every served candidate set was selected from predictions
+// within tol of the ones being served, so a dropped cluster can beat the
+// worst kept one by at most 2·tol. Entry values are always current —
+// only the set membership tolerates staleness.
+func PruneTopKIncrementalWS(p *Problem, k int, tol float64, ref *ScreenRef, ws *ScreenWorkspace) (*SparseProblem, int, error) {
+	if ws == nil {
+		ws = NewScreenWorkspace()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if k < 1 {
+		return nil, 0, mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: top-k %d must be at least 1", k)
+	}
+	if tol < 0 || math.IsNaN(tol) || math.IsInf(tol, 0) {
+		return nil, 0, mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: screen staleness tolerance %g must be finite and non-negative", tol)
+	}
+	m, n := p.M(), p.N()
+	if k > m {
+		k = m
+	}
+	ws.Begin(m, n, k+1)
+	ws.sel = growInt32(ws.sel, ws.nblocks*m)
+	ws.p, ws.k = p, k
+	reused := 0
+	if tol > 0 && ref != nil && ref.usable(m, n, k) {
+		ws.tol, ws.ref = tol, ref
+		parallel.ForChunked(ws.nblocks, 1, ws.fillIncr)
+		ws.ref = nil
+		for b := 0; b < ws.nblocks; b++ {
+			reused += int(ws.blockReused[b])
+		}
+	} else {
+		parallel.ForChunked(ws.nblocks, 1, ws.fillFull)
+		if tol > 0 && ref != nil {
+			ref.capture(ws, p, k)
+		}
+	}
+	sp, err := ws.Finish()
+	ws.p = nil
+	if err != nil {
+		return nil, 0, err
+	}
+	sp.Gamma, sp.Beta, sp.Lambda = p.Gamma, p.Beta, p.Lambda
+	sp.Objective, sp.Barrier, sp.Norm = p.Objective, p.Barrier, p.Norm
+	sp.Speedups, sp.Entropy = p.Speedups, p.Entropy
+	return sp, reused, nil
+}
+
+// growInt32 returns v resliced to length n, reallocating only when the
+// backing array is too small.
+func growInt32(v []int32, n int) []int32 {
+	if cap(v) < n {
+		return make([]int32, n)
+	}
+	return v[:n]
+}

@@ -1,0 +1,382 @@
+package matching
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"mfcp/internal/mat"
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/parallel"
+	"mfcp/internal/rng"
+)
+
+// sameSparse asserts two sparse problems are bit-identical in every array
+// and hyperparameter.
+func sameSparse(t *testing.T, label string, a, b *SparseProblem) {
+	t.Helper()
+	if a.Mdim != b.Mdim || a.Ndim != b.Ndim {
+		t.Fatalf("%s: dims (%d,%d) vs (%d,%d)", label, a.Mdim, a.Ndim, b.Mdim, b.Ndim)
+	}
+	pairs := []struct {
+		name string
+		x, y any
+	}{
+		{"RowStart", a.RowStart, b.RowStart},
+		{"ColIdx", a.ColIdx, b.ColIdx},
+		{"T", a.T, b.T},
+		{"A", a.A, b.A},
+		{"ColStart", a.ColStart, b.ColStart},
+		{"ColEntry", a.ColEntry, b.ColEntry},
+		{"ColRow", a.ColRow, b.ColRow},
+	}
+	for _, p := range pairs {
+		if !reflect.DeepEqual(p.x, p.y) {
+			t.Fatalf("%s: %s diverged:\n%v\nvs\n%v", label, p.name, p.x, p.y)
+		}
+	}
+	if a.Gamma != b.Gamma || a.Beta != b.Beta || a.Lambda != b.Lambda ||
+		a.Objective != b.Objective || a.Barrier != b.Barrier || a.Norm != b.Norm ||
+		a.Entropy != b.Entropy {
+		t.Fatalf("%s: hyperparameters diverged", label)
+	}
+}
+
+// cloneSparse deep-copies sp (workspace-backed problems alias scratch that
+// the next screen overwrites).
+func cloneSparse(sp *SparseProblem) *SparseProblem {
+	c := *sp
+	c.RowStart = append([]int32(nil), sp.RowStart...)
+	c.ColIdx = append([]int32(nil), sp.ColIdx...)
+	c.T = append([]float64(nil), sp.T...)
+	c.A = append([]float64(nil), sp.A...)
+	c.ColStart = append([]int32(nil), sp.ColStart...)
+	c.ColEntry = append([]int32(nil), sp.ColEntry...)
+	c.ColRow = append([]int32(nil), sp.ColRow...)
+	return &c
+}
+
+// TestPruneTopKWSMatchesSerial is the parallel-screen proof obligation:
+// over random instances — including n large enough to span several
+// screen blocks — the workspace path reproduces PruneTopKChecked
+// bit-for-bit (candidate sets, values, and both CSR/CSC layouts) at any
+// worker count.
+func TestPruneTopKWSMatchesSerial(t *testing.T) {
+	r := rng.New(51)
+	ws := NewScreenWorkspace()
+	for _, workers := range []int{1, 2, 8} {
+		defer parallel.SetWorkers(parallel.SetWorkers(workers))
+		for trial := 0; trial < 30; trial++ {
+			m := 2 + r.Intn(9)
+			n := 2 + r.Intn(40)
+			if trial%9 == 0 {
+				n = screenBlockTasks + 1 + r.Intn(screenBlockTasks) // multi-block
+			}
+			p := randomProblem(r, m, n)
+			if trial%4 == 1 {
+				p.Objective, p.Barrier, p.Norm = LinearSum, HardPenalty, NormPerClusterTask
+				p.Entropy = 0.01
+			}
+			if trial%5 == 2 {
+				// Cost ties: screening tie-breaks must match the serial path.
+				for k := range p.T.Data {
+					p.T.Data[k] = float64(1+k%3) / 2
+				}
+			}
+			k := 1 + r.Intn(m+2) // includes k = m and the clamped k > m
+			want, err := PruneTopKChecked(p, k)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			got, err := PruneTopKWS(p, k, ws)
+			if err != nil {
+				t.Fatalf("workspace: %v", err)
+			}
+			sameSparse(t, "parallel vs serial", got, want)
+		}
+	}
+}
+
+// TestPruneTopKCheckedEdgeCases pins the screening contract at its
+// corners: k=1, k≥M, exact cost ties, and uniformly unreliable rows.
+func TestPruneTopKCheckedEdgeCases(t *testing.T) {
+	t.Run("k1", func(t *testing.T) {
+		// Task 0: cluster 2 fastest, cluster 1 most reliable → both kept.
+		// Task 1: cluster 0 fastest AND most reliable → kept alone.
+		T := mat.FromRows([][]float64{{3, 1}, {2, 2}, {1, 3}})
+		A := mat.FromRows([][]float64{{0.8, 0.99}, {0.99, 0.9}, {0.9, 0.8}})
+		sp, err := PruneTopKChecked(NewProblem(T, A), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sp.CandCount(0); got != 2 {
+			t.Fatalf("task 0 candidates = %d, want fastest + most reliable", got)
+		}
+		if got := sp.CandCount(1); got != 1 {
+			t.Fatalf("task 1 candidates = %d, want the double-winner alone", got)
+		}
+	})
+	t.Run("kAtLeastM", func(t *testing.T) {
+		r := rng.New(52)
+		p := randomProblem(r, 5, 9)
+		atM, err := PruneTopKChecked(p, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		over, err := PruneTopKChecked(p, 100) // clamps to M
+		if err != nil {
+			t.Fatal(err)
+		}
+		if atM.NNZ() != 5*9 || over.NNZ() != 5*9 {
+			t.Fatalf("k≥M must keep every pair: %d, %d", atM.NNZ(), over.NNZ())
+		}
+		sameSparse(t, "k=M vs k>M", over, atM)
+	})
+	t.Run("costTies", func(t *testing.T) {
+		// All times equal: the k smallest must be the k lowest indices.
+		T := mat.NewDense(6, 4).Fill(1)
+		A := mat.NewDense(6, 4).Fill(0.9)
+		sp, err := PruneTopKChecked(NewProblem(T, A), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 4; j++ {
+			lo, hi := int(sp.ColStart[j]), int(sp.ColStart[j+1])
+			if hi-lo != 3 {
+				t.Fatalf("task %d kept %d", j, hi-lo)
+			}
+			for s := lo; s < hi; s++ {
+				if int(sp.ColRow[s]) != s-lo {
+					t.Fatalf("task %d tie-break kept cluster %d at slot %d, want lowest indices", j, sp.ColRow[s], s-lo)
+				}
+			}
+		}
+	})
+	t.Run("allUnreliable", func(t *testing.T) {
+		// Uniform (terrible) reliability: the argmax scan must settle on
+		// cluster 0, which then rides along with each task's top-k.
+		T := mat.FromRows([][]float64{{5, 5}, {4, 4}, {3, 3}, {1, 1}})
+		A := mat.NewDense(4, 2).Fill(0.01)
+		sp, err := PruneTopKChecked(NewProblem(T, A), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 2; j++ {
+			lo, hi := int(sp.ColStart[j]), int(sp.ColStart[j+1])
+			if hi-lo != 2 || int(sp.ColRow[lo]) != 0 || int(sp.ColRow[hi-1]) != 3 {
+				t.Fatalf("task %d kept %v, want {0 (reliability tie-break), 3 (fastest)}", j, sp.ColRow[lo:hi])
+			}
+		}
+	})
+}
+
+// TestScreenWorkspaceZeroAllocs pins the steady-state screen at zero
+// allocations per round. Measured at one worker, where ForChunked runs
+// the pre-bound bodies inline — the multi-worker path pays only the
+// fork/join goroutine machinery, never per-task allocations.
+func TestScreenWorkspaceZeroAllocs(t *testing.T) {
+	defer parallel.SetWorkers(parallel.SetWorkers(1))
+	r := rng.New(53)
+	p := randomProblem(r, 8, 2000)
+	ws := NewScreenWorkspace()
+	ref := NewScreenRef()
+	if _, err := PruneTopKWS(p, 3, ws); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := PruneTopKWS(p, 3, ws); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("full screen allocates %v/op after warmup, want 0", allocs)
+	}
+	if _, _, err := PruneTopKIncrementalWS(p, 3, 0.05, ref, ws); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := PruneTopKIncrementalWS(p, 3, 0.05, ref, ws); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("incremental screen allocates %v/op after warmup, want 0", allocs)
+	}
+}
+
+// TestPruneTopKIncremental pins the staleness-tolerance semantics: exact
+// reuse under tol, per-task re-screen and in-place reference refresh over
+// tol, current values on reused sets, and invalidation.
+func TestPruneTopKIncremental(t *testing.T) {
+	r := rng.New(54)
+	m, n, k := 6, 30, 2
+	p := randomProblem(r, m, n)
+	ws := NewScreenWorkspace()
+	ref := NewScreenRef()
+	const tol = 0.01
+
+	// First screen: nothing to reuse; captures the reference.
+	sp0, reused, err := PruneTopKIncrementalWS(p, k, tol, ref, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != 0 || !ref.Valid() {
+		t.Fatalf("first screen: reused=%d valid=%v", reused, ref.Valid())
+	}
+	base := cloneSparse(sp0)
+
+	// Unchanged predictions: every task reuses, problem is bit-identical.
+	sp1, reused, err := PruneTopKIncrementalWS(p, k, tol, ref, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != n {
+		t.Fatalf("unchanged predictions reused %d/%d", reused, n)
+	}
+	sameSparse(t, "full reuse", sp1, base)
+
+	// Perturb one task's column past tol: exactly that task re-screens,
+	// and its set matches a from-scratch screen of the new matrices.
+	moved := 7
+	for i := 0; i < m; i++ {
+		p.T.Set(i, moved, p.T.At(i, moved)+3*tol)
+	}
+	sp2, reused, err := PruneTopKIncrementalWS(p, k, tol, ref, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != n-1 {
+		t.Fatalf("one moved task: reused %d, want %d", reused, n-1)
+	}
+	fresh, err := PruneTopKChecked(p, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSparse(t, "re-screened task matches full screen", cloneSparse(sp2), fresh)
+
+	// Perturb within tol: sets stay (possibly stale) but values must be
+	// the CURRENT predictions — only membership tolerates staleness.
+	delta := tol / 4
+	for i := 0; i < m; i++ {
+		p.T.Set(i, 3, p.T.At(i, 3)+delta)
+	}
+	sp3, reused, err := PruneTopKIncrementalWS(p, k, tol, ref, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != n {
+		t.Fatalf("within-tol drift re-screened: reused %d/%d", reused, n)
+	}
+	for s := int(sp3.ColStart[3]); s < int(sp3.ColStart[4]); s++ {
+		i := int(sp3.ColRow[s])
+		if got := sp3.T[int(sp3.ColEntry[s])]; got != p.T.At(i, 3) {
+			t.Fatalf("reused set served stale value %g for cluster %d, want current %g", got, i, p.T.At(i, 3))
+		}
+	}
+
+	// Invalidation: the next screen is full (reused = 0) and re-captures.
+	ref.Invalidate()
+	sp4, reused, err := PruneTopKIncrementalWS(p, k, tol, ref, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != 0 || !ref.Valid() {
+		t.Fatalf("post-invalidate: reused=%d valid=%v", reused, ref.Valid())
+	}
+	sameSparse(t, "post-invalidate matches full screen", cloneSparse(sp4), fresh2(t, p, k))
+
+	// tol = 0 is the exact path and never touches the reference.
+	if _, reused, err = PruneTopKIncrementalWS(p, k, 0, ref, ws); err != nil || reused != 0 {
+		t.Fatalf("tol=0: reused=%d err=%v", reused, err)
+	}
+}
+
+func fresh2(t *testing.T, p *Problem, k int) *SparseProblem {
+	t.Helper()
+	sp, err := PruneTopKChecked(p, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestScreenWorkspaceRejectsBadValues: non-finite predictions surface as
+// typed errors (the condition the engine's old panic guarded).
+func TestScreenWorkspaceRejectsBadValues(t *testing.T) {
+	T := mat.NewDense(3, 4).Fill(1)
+	A := mat.NewDense(3, 4).Fill(0.9)
+	T.Set(1, 2, math.NaN())
+	ws := NewScreenWorkspace()
+	_, err := PruneTopKWS(NewProblem(T, A), 2, ws)
+	if err == nil {
+		t.Fatal("NaN prediction screened without error")
+	}
+	if !errors.Is(err, mfcperr.ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	if _, err := PruneTopKWS(NewProblem(T, A), 0, ws); !errors.Is(err, mfcperr.ErrBadConfig) {
+		t.Fatalf("k=0 must be ErrBadConfig, got %v", err)
+	}
+	if _, _, err := PruneTopKIncrementalWS(NewProblem(T, A), 2, math.Inf(1), nil, ws); !errors.Is(err, mfcperr.ErrBadConfig) {
+		t.Fatalf("infinite tol must be ErrBadConfig, got %v", err)
+	}
+}
+
+// TestReconcileHallCertificate exercises both exits of the BFS
+// chain-search: a multi-hop overflow chain that reaches slack through an
+// intermediate full cluster, and the certificate branch where the
+// reachable set is jointly under-capacitated while slack exists outside
+// it.
+func TestReconcileHallCertificate(t *testing.T) {
+	build := func(edges [][3]float64, m, n int) *SparseProblem {
+		b := NewSparseBuilder(m, n)
+		for _, e := range edges {
+			b.AddCandidate(int(e[0]), int(e[1]), 1, e[2])
+		}
+		sp, err := b.Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		return sp
+	}
+	t.Run("multiHopChain", func(t *testing.T) {
+		// Tasks 0,1 → {c0,c1}; task 2 → {c1,c2}. Caps 1/1/5 with everyone
+		// on c0: the overflow unit must hop c0→c1→c2 by moving task 2 out
+		// of the way.
+		sp := build([][3]float64{
+			{0, 0, .9}, {0, 1, .9},
+			{1, 0, .9}, {1, 1, .9},
+			{2, 1, .9}, {2, 2, .9},
+		}, 3, 3)
+		sp.Cap = []int{1, 1, 5}
+		assign := []int{0, 0, 1}
+		info := ReconcileCapacities(sp, assign)
+		if !info.Feasible {
+			t.Fatalf("multi-hop chain not found: %+v assign=%v", info, assign)
+		}
+		counts := make([]int, 3)
+		for _, i := range assign {
+			counts[i]++
+		}
+		for i, c := range counts {
+			if c > sp.Cap[i] {
+				t.Fatalf("cluster %d over cap: %d > %d", i, c, sp.Cap[i])
+			}
+		}
+	})
+	t.Run("certificate", func(t *testing.T) {
+		// Tasks 0,1,2 → {c0,c1} only; c2 has slack but no edges into the
+		// overflow's reachable set {c0,c1}, whose joint capacity is 2 < 3.
+		sp := build([][3]float64{
+			{0, 0, .9}, {0, 1, .9},
+			{1, 0, .9}, {1, 1, .9},
+			{2, 0, .9}, {2, 1, .9},
+			{3, 2, .9}, // c2 exists and has capacity, unreachable from the overflow
+		}, 3, 4)
+		sp.Cap = []int{1, 1, 5}
+		assign := []int{0, 0, 0, 2}
+		info := ReconcileCapacities(sp, assign)
+		if info.Feasible {
+			t.Fatal("reconciler missed the Hall violation over the reachable set")
+		}
+	})
+}

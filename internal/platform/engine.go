@@ -18,10 +18,19 @@
 //     never blocks on training and a round always sees one consistent
 //     predictor version (engine_test.go interleaves a slow refit with live
 //     rounds to pin this down).
+//   - Sparse batches (mc.TopK > 0) run as a two-stage pipeline: a serial
+//     screener predicts and screens round t+1 while the solver pool works
+//     round t's hierarchical cell solves, with a slot pool double-buffering
+//     the screen workspaces between the stages (sweepSparse). The screener
+//     is the only reader/writer of the incremental-screening reference, so
+//     reuse decisions form one serial chain and the trajectory stays
+//     bit-identical at any worker count.
 package platform
 
 import (
 	"context"
+	"fmt"
+	"sync"
 
 	"mfcp/internal/core"
 	"mfcp/internal/mat"
@@ -72,6 +81,17 @@ type engine struct {
 	warmValid         bool
 	warmVer           uint64
 	warmStamp         uint64
+
+	// Incremental-screening state (mc.ScreenStaleTol > 0): the reference
+	// carries the previous screen's candidate sets and source predictions.
+	// Only the pipeline's serial screener touches it, and screenPrepare
+	// invalidates it whenever the predictor version moves — the same
+	// version-keyed rule the warm-start capture uses. screenSlots is the
+	// pipeline's slot pool: each in-flight round owns one slot
+	// (predict scratch + screen workspace) until its solve completes.
+	screenRef   *matching.ScreenRef
+	screenVer   uint64
+	screenSlots []*screenSlot
 }
 
 // newEngine builds the scenario, trains the configured method, and wires
@@ -95,6 +115,14 @@ func newEngine(ctx context.Context, cfg Config) (*engine, error) {
 		return nil, err
 	}
 	mc := cfg.Match
+	if !mc.Sparse() {
+		// Sparse-by-default routing (ROADMAP item 2): production-dimension
+		// serving auto-selects the screened path once the dense pair count
+		// crosses the documented threshold. Explicit TopK always wins.
+		if k := core.AutoSparseTopK(s.M(), cfg.RoundSize); k > 0 {
+			mc.TopK = k
+		}
+	}
 	if cfg.Parallel && mc.Speedups == nil {
 		for _, p := range s.Fleet {
 			mc.Speedups = append(mc.Speedups, p.Speedup)
@@ -190,30 +218,32 @@ func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shard
 		sc.ws = matching.NewWorkspace(That.Rows, That.Cols)
 	}
 	ssp := e.met.solve.Start()
-	var (
-		assign    []int
-		repInfo   matching.RepairInfo
-		solveInfo matching.SolveInfo
-	)
-	warmed := warm != nil
-	if e.mc.Sparse() {
-		assign, repInfo, solveInfo = e.solveSparseRound(That, Ahat, sc, warm, capture)
-	} else {
-		assign, repInfo = e.mc.SolveWSInfoInit(That, Ahat, sc.ws, warm)
-		// The oracle solve below reuses sc.ws, so capture the predictive
-		// solve's convergence record (and, on the batch's last round, the
-		// relaxed iterate itself) before it is clobbered.
-		solveInfo = sc.ws.Info
-		if capture {
-			e.warmNext.Reshape(That.Rows, That.Cols).CopyFrom(sc.ws.X)
-		}
+	assign, repInfo := e.mc.SolveWSInfoInit(That, Ahat, sc.ws, warm)
+	// The oracle solve in finishRound reuses sc.ws, so capture the
+	// predictive solve's convergence record (and, on the batch's last
+	// round, the relaxed iterate itself) before it is clobbered.
+	solveInfo := sc.ws.Info
+	if capture {
+		e.warmNext.Reshape(That.Rows, That.Cols).CopyFrom(sc.ws.X)
 	}
+	ssp.End()
+	rr := e.finishRound(k, round, assign, repInfo, solveInfo, warm != nil, sc)
+	rsp.End()
+	return rr
+}
 
+// finishRound is the ground-truth half of a round, shared by the dense and
+// sparse paths: score the assignment against the oracle on true matrices,
+// execute on the simulated fleet, and push partial feedback. All
+// randomness comes from streams split by k, so it is shard-agnostic.
+func (e *engine) finishRound(k int, round []int, assign []int, repInfo matching.RepairInfo, solveInfo matching.SolveInfo, warmed bool, sc *shardScratch) RoundReport {
 	e.s.TrueMatricesInto(round, sc.trueT, sc.trueA)
 	applyDrift(sc.trueT, e.cfg.Drift, k)
 	trueProb := e.mc.Problem(sc.trueT, sc.trueA)
+	if sc.ws == nil {
+		sc.ws = matching.NewWorkspace(sc.trueT.Rows, sc.trueT.Cols)
+	}
 	oracle := e.mc.SolveWS(sc.trueT, sc.trueA, sc.ws)
-	ssp.End()
 	e.met.observeSolve(solveInfo, repInfo)
 	ev := metrics.Evaluate(trueProb, assign, oracle)
 
@@ -244,31 +274,92 @@ func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shard
 		}
 		isp.End()
 	}
-	rsp.End()
 	return RoundReport{
 		Round: k, TaskIdx: round, Assignment: assign, Eval: ev, Execution: exec,
 		SolveIters: solveInfo.Iters, WarmStarted: warmed,
 	}
 }
 
-// solveSparseRound runs the production-dimension pipeline for one round:
-// screen the predictions down to TopK candidates per task, solve the
-// pruned problem (hierarchically when mc.Cells > 1), and repair. A warm
-// dense iterate is gathered into the sparse problem's CSR entry order;
-// entries outside last round's candidate sets start at zero and are
-// handled by the solver's init normalization.
-func (e *engine) solveSparseRound(That, Ahat *mat.Dense, sc *shardScratch, warm *mat.Dense, capture bool) ([]int, matching.RepairInfo, matching.SolveInfo) {
-	if sc.hw == nil {
-		sc.hw = matching.NewHierWorkspace()
+// screenSlot is one in-flight sparse round's private stage-1 state: the
+// prediction scratch and the screen workspace whose arrays the screened
+// problem aliases. The slot travels with the round from the screener to a
+// solver and returns to the pool only after the solve no longer needs the
+// problem, which is what makes reusing the workspace safe while other
+// rounds are still in flight.
+type screenSlot struct {
+	pw         core.PredictWorkspace
+	z          *mat.Dense
+	that, ahat *mat.Dense
+	ws         *matching.ScreenWorkspace
+}
+
+// screenSlotAt returns (lazily building) the i-th pooled slot.
+func (e *engine) screenSlotAt(i int) *screenSlot {
+	for len(e.screenSlots) <= i {
+		e.screenSlots = append(e.screenSlots, &screenSlot{
+			z: new(mat.Dense), that: new(mat.Dense), ahat: new(mat.Dense),
+			ws: matching.NewScreenWorkspace(),
+		})
 	}
+	return e.screenSlots[i]
+}
+
+// screenPrepare rotates the incremental-screening state at a batch
+// boundary: it returns the reference the batch's screens should carry
+// (nil when ScreenStaleTol is off), invalidating it first if the
+// predictor version moved since the reference was refreshed — candidate
+// sets chosen from a retired predictor's predictions are not within-tol
+// evidence about the new one. Runs serially between sweeps.
+func (e *engine) screenPrepare() *matching.ScreenRef {
+	if e.mc.ScreenStaleTol <= 0 {
+		return nil
+	}
+	if e.screenRef == nil {
+		e.screenRef = matching.NewScreenRef()
+	}
+	if v := e.snapVersionNow(); v != e.screenVer {
+		e.screenRef.Invalidate()
+		e.screenVer = v
+	}
+	return e.screenRef
+}
+
+// screenRound is the pipeline's stage 1, run serially in round order by
+// the screener goroutine: predict round k into the slot's scratch and
+// screen the predictions down to candidate lists, incrementally against
+// ref when incremental screening is on. The returned problem aliases the
+// slot's workspace.
+func (e *engine) screenRound(k int, round []int, set *core.PredictorSet, ref *matching.ScreenRef, slot *screenSlot) (*matching.SparseProblem, int, error) {
+	psp := e.met.predict.Start()
+	var That, Ahat *mat.Dense
+	if set != nil {
+		Z := e.s.FeaturesInto(round, slot.z)
+		set.PredictInto(Z, &slot.pw, slot.that, slot.ahat)
+		That, Ahat = slot.that, slot.ahat
+	} else {
+		That, Ahat = e.method.Predict(round)
+	}
+	psp.End()
 	scsp := e.met.screen.Start()
-	sp, err := e.mc.Screen(That, Ahat)
+	sp, reused, err := e.mc.ScreenIncrementalWS(That, Ahat, ref, slot.ws)
 	scsp.End()
 	if err != nil {
-		// invariant: serving matrices come from PredictInto over scenario
-		// shapes and a validated MatchConfig; Screen can only fail on
-		// malformed external input.
-		panic(err)
+		return nil, 0, err
+	}
+	e.met.observeScreen(reused, len(round)-reused)
+	return sp, reused, nil
+}
+
+// solveScreenedRound is the pipeline's stage 2, run by the solver pool:
+// hierarchical cell solve → reconcile → repair on an already-screened
+// problem, then the shared ground-truth half. A warm dense iterate is
+// gathered into the problem's CSR entry order; entries outside last
+// round's candidate sets start at zero and are handled by the solver's
+// init normalization.
+func (e *engine) solveScreenedRound(k int, round []int, sp *matching.SparseProblem, reused int, sc *shardScratch, warm *mat.Dense, capture bool) RoundReport {
+	rsp := e.met.round.Start()
+	if sc.hw == nil {
+		sc.hw = matching.NewHierWorkspace()
 	}
 	var init []float64
 	if warm != nil {
@@ -292,10 +383,11 @@ func (e *engine) solveSparseRound(That, Ahat *mat.Dense, sc *shardScratch, warm 
 	}, sc.hw)
 	csp.End()
 	e.met.observeSparse(sp.NNZ(), sp.M()*sp.N(), res.Reconcile)
+	e.met.observeHierTimings(res.Timings)
 	if capture {
 		// Scatter the relaxed CSR iterate back to the dense warm carrier;
 		// pairs pruned this round stay zero.
-		e.warmNext.Reshape(That.Rows, That.Cols).Fill(0)
+		e.warmNext.Reshape(sp.Mdim, sp.Ndim).Fill(0)
 		for i := 0; i < sp.Mdim; i++ {
 			wrow := e.warmNext.Row(i)
 			for en := sp.RowStart[i]; en < sp.RowStart[i+1]; en++ {
@@ -303,15 +395,23 @@ func (e *engine) solveSparseRound(That, Ahat *mat.Dense, sc *shardScratch, warm 
 			}
 		}
 	}
-	return res.Assign, res.RepairInfo, res.Info
+	rr := e.finishRound(k, round, res.Assign, res.RepairInfo, res.Info, warm != nil, sc)
+	rr.ScreenReused = reused
+	rsp.End()
+	return rr
 }
 
 // sweep evaluates rounds k0, k0+1, ... against one predictor snapshot
 // across parallel.Workers() shards. Results land in out by round offset —
 // the deterministic in-order reduction happens at the caller. Batches are
 // the warm-start unit: the previous batch's captured iterate seeds this
-// one, and the shard drawing the last round captures for the next.
-func (e *engine) sweep(k0 int, rounds [][]int, set *core.PredictorSet, out []RoundReport) {
+// one, and the shard drawing the last round captures for the next. Sparse
+// configurations route through the staged pipeline (sweepSparse), whose
+// screen stage can reject malformed predictions with a typed error.
+func (e *engine) sweep(k0 int, rounds [][]int, set *core.PredictorSet, out []RoundReport) error {
+	if e.mc.Sparse() {
+		return e.sweepSparse(k0, rounds, set, out)
+	}
 	warm, captureIdx := e.warmPrepare(len(rounds))
 	parallel.ForChunked(len(rounds), 1, func(lo, hi int) {
 		sc := scratchArena.Get()
@@ -321,6 +421,78 @@ func (e *engine) sweep(k0 int, rounds [][]int, set *core.PredictorSet, out []Rou
 		}
 	})
 	e.warmCommit(len(rounds))
+	return nil
+}
+
+// sweepSparse runs one sparse batch as a two-stage pipeline. A single
+// screener goroutine predicts and screens rounds serially in round order
+// — serial so incremental-screening reuse decisions chain
+// deterministically — while parallel.Workers() solver goroutines consume
+// screened rounds and run the cell solves, ground-truth scoring, and
+// execution. Each in-flight round holds a pooled slot whose workspace
+// backs its screened problem; the solver recycles the slot once done, so
+// at most depth rounds are in flight and round t+1's screen overlaps
+// round t's solve. Results still land in out by round offset and the
+// caller reduces in round order, so the trajectory is bit-identical at
+// any worker count.
+func (e *engine) sweepSparse(k0 int, rounds [][]int, set *core.PredictorSet, out []RoundReport) error {
+	n := len(rounds)
+	if n == 0 {
+		return nil
+	}
+	warm, captureIdx := e.warmPrepare(n)
+	ref := e.screenPrepare()
+	workers := parallel.Workers()
+	depth := workers + 1
+	if depth > n {
+		depth = n
+	}
+	free := make(chan *screenSlot, depth)
+	for i := 0; i < depth; i++ {
+		free <- e.screenSlotAt(i)
+	}
+	type screened struct {
+		idx    int
+		sp     *matching.SparseProblem
+		slot   *screenSlot
+		reused int
+	}
+	ch := make(chan screened, depth)
+	var screenErr error
+	go func() {
+		// screenErr is written before close(ch); the main goroutine reads
+		// it only after the solvers' WaitGroup drains, so the channel close
+		// orders the write before the read.
+		defer close(ch)
+		for i := 0; i < n; i++ {
+			slot := <-free
+			sp, reused, err := e.screenRound(k0+i, rounds[i], set, ref, slot)
+			if err != nil {
+				screenErr = fmt.Errorf("platform: screen round %d: %w", k0+i, err)
+				return
+			}
+			ch <- screened{idx: i, sp: sp, slot: slot, reused: reused}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := scratchArena.Get()
+			defer scratchArena.Put(sc)
+			for it := range ch {
+				out[it.idx] = e.solveScreenedRound(k0+it.idx, rounds[it.idx], it.sp, it.reused, sc, warm, it.idx == captureIdx)
+				free <- it.slot
+			}
+		}()
+	}
+	wg.Wait()
+	if screenErr != nil {
+		return screenErr
+	}
+	e.warmCommit(n)
+	return nil
 }
 
 // warmPrepare rotates the warm double-buffer at a batch boundary: the
@@ -407,15 +579,19 @@ func (e *engine) serveCtx(ctx context.Context, rep *Report, k0, n int) (int, err
 		if done+b > n {
 			b = n - done
 		}
-		e.serve(rep, k0+done, b)
+		if err := e.serve(rep, k0+done, b); err != nil {
+			return done, err
+		}
 		done += b
 	}
 	return done, nil
 }
 
 // serve runs one batch of rounds starting at round index k0 and folds them
-// into rep (means not yet normalized).
-func (e *engine) serve(rep *Report, k0, n int) {
+// into rep (means not yet normalized). On a screen error the whole batch
+// is dropped — no partial rounds are reduced — and rep remains the valid
+// prefix served before this batch.
+func (e *engine) serve(rep *Report, k0, n int) error {
 	ssp := e.met.sample.Start()
 	rounds := e.sampleRounds(n)
 	ssp.End()
@@ -424,7 +600,9 @@ func (e *engine) serve(rep *Report, k0, n int) {
 	if e.snap != nil {
 		v0 = e.snap.Version()
 	}
-	e.sweep(k0, rounds, e.currentSet(), results)
+	if err := e.sweep(k0, rounds, e.currentSet(), results); err != nil {
+		return err
+	}
 	if e.snap != nil {
 		e.met.observeSnapshot(v0, e.snap.Version())
 	}
@@ -434,6 +612,7 @@ func (e *engine) serve(rep *Report, k0, n int) {
 		e.met.observeReduced(&results[i])
 	}
 	rsp.End()
+	return nil
 }
 
 // Engine is the reusable serving loop, exported for throughput benchmarks
@@ -462,11 +641,15 @@ func (en *Engine) RoundSize() int { return en.e.cfg.RoundSize }
 
 // ServeRounds serves the next n allocation rounds and returns their
 // aggregated report. Round indices continue across calls, so repeated
-// calls consume fresh traffic from the same streams.
-func (en *Engine) ServeRounds(n int) *Report {
+// calls consume fresh traffic from the same streams. A screen-stage error
+// (malformed predictions reaching the sparse path) drops the batch and
+// leaves the round cursor unadvanced.
+func (en *Engine) ServeRounds(n int) (*Report, error) {
 	rep := &Report{Method: en.e.method.Name()}
-	en.e.serve(rep, en.served, n)
+	if err := en.e.serve(rep, en.served, n); err != nil {
+		return nil, err
+	}
 	en.served += n
 	finalize(rep, n)
-	return rep
+	return rep, nil
 }

@@ -86,6 +86,48 @@ func TestRunOnlineWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// TestRunOnlinePipelinedSparseInvariance extends the invariance contract to
+// the pipelined sparse path: screening for round t+1 overlapped with round
+// t's hierarchical cell solves, incremental screening reusing candidate
+// sets across rounds, and refits invalidating the screen reference — the
+// whole trajectory must still be bit-identical at 1, 2, and 8 workers.
+func TestRunOnlinePipelinedSparseInvariance(t *testing.T) {
+	cfg := onlineTiny(MethodTSM)
+	cfg.Match.TopK = 2
+	cfg.Match.Cells = 2
+	cfg.Match.WarmStart = true
+	cfg.Match.ScreenStaleTol = 0.5 // loose: consecutive rounds mostly reuse
+
+	base := mustRunOnlineAt(t, cfg, 1)
+	reused := 0
+	for _, rr := range base.Rounds {
+		reused += rr.ScreenReused
+	}
+	if reused == 0 {
+		t.Fatal("incremental screening never reused a candidate set; the tolerance path is dead")
+	}
+	for _, w := range []int{2, 8} {
+		rep := mustRunOnlineAt(t, cfg, w)
+		sameTrajectory(t, "pipelined sparse", &base.Report, &rep.Report)
+	}
+
+	// A vanishing tolerance must reproduce the exact (tol = 0) trajectory:
+	// reused sets revalue at current predictions, so only set membership —
+	// which cannot move inside 1e-12 — distinguishes the two runs.
+	// ScreenReused differs by construction, so compare outcomes, not reports.
+	tight := cfg
+	tight.Match.ScreenStaleTol = 1e-12
+	exact := cfg
+	exact.Match.ScreenStaleTol = 0
+	a, b := mustRunOnlineAt(t, tight, 2), mustRunOnlineAt(t, exact, 2)
+	for k := range a.Rounds {
+		if a.Rounds[k].Eval != b.Rounds[k].Eval ||
+			!reflect.DeepEqual(a.Rounds[k].Assignment, b.Rounds[k].Assignment) {
+			t.Fatalf("round %d: tol=1e-12 diverged from the exact screen", k)
+		}
+	}
+}
+
 // TestAsyncRefitDoesNotBlockServing holds the first refit open on its
 // background goroutine and asserts the next window of rounds is served
 // while the refit is still in flight (against the old predictor snapshot,
@@ -185,8 +227,14 @@ func TestEngineServeRoundsMatchesRun(t *testing.T) {
 	}
 	// Two ServeRounds calls must continue the same streams: concatenated
 	// they reproduce one six-round Run exactly.
-	a := en.ServeRounds(2)
-	b := en.ServeRounds(4)
+	a, err := en.ServeRounds(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := en.ServeRounds(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got := append(append([]RoundReport{}, a.Rounds...), b.Rounds...)
 	for k := range want.Rounds {
 		if !reflect.DeepEqual(want.Rounds[k], got[k]) {

@@ -228,7 +228,15 @@ func RunOnlineCtx(ctx context.Context, cfg OnlineConfig) (*OnlineReport, error) 
 		ssp.End()
 		window := results[:n]
 		v0 := e.snap.Version()
-		e.sweep(k0, rounds, e.currentSet(), window)
+		if err := e.sweep(k0, rounds, e.currentSet(), window); err != nil {
+			// The failed window is dropped whole; the report stays the
+			// valid prefix of fully served windows.
+			refitWG.Wait()
+			rep.RingDropped = droppedBase + e.obs.Dropped()
+			finalize(&rep.Report, served)
+			rep.Stopped = "error"
+			return rep, err
+		}
 		e.met.observeSnapshot(v0, e.snap.Version())
 		rsp := e.met.reduce.Start()
 		for i := range window {

@@ -11,6 +11,7 @@ package platform
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"mfcp/internal/baselines"
@@ -121,6 +122,10 @@ type RoundReport struct {
 	// WarmStarted reports whether that solve was seeded from a previous
 	// round's relaxed iterate (MatchConfig.WarmStart).
 	WarmStarted bool
+	// ScreenReused counts tasks whose candidate sets were carried over by
+	// incremental screening (MatchConfig.ScreenStaleTol); 0 on the dense
+	// path and on full re-screens.
+	ScreenReused int
 }
 
 // Report aggregates a full simulation.
@@ -135,9 +140,11 @@ type Report struct {
 	// TotalBusySeconds and TotalMakespanSeconds aggregate simulated time.
 	TotalBusySeconds     float64
 	TotalMakespanSeconds float64
-	// Stopped is non-empty ("canceled") when the run was interrupted; the
-	// report then covers only the rounds served before the interruption,
-	// with means normalized over that prefix.
+	// Stopped is non-empty when the run ended early: "canceled" for a
+	// context cancellation, "error" for a serving-path failure (e.g. a
+	// screen-stage rejection). The report then covers only the rounds
+	// served before the interruption, with means normalized over that
+	// prefix.
 	Stopped string
 }
 
@@ -164,7 +171,11 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 	served, err := e.serveCtx(ctx, rep, 0, cfg.Rounds)
 	finalize(rep, served)
 	if err != nil {
-		rep.Stopped = "canceled"
+		if errors.Is(err, mfcperr.ErrCanceled) {
+			rep.Stopped = "canceled"
+		} else {
+			rep.Stopped = "error"
+		}
 		return rep, err
 	}
 	return rep, nil
@@ -174,6 +185,11 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 // training; a WarmStart set skips training entirely.
 func buildMethod(ctx context.Context, cfg Config, s *workload.Scenario, train []int) (Predictor, error) {
 	mc := cfg.Match
+	// Incremental screening is a serving-engine feature; training solves
+	// every instance from scratch. Stripping it here also keeps a
+	// tol-with-auto-routed-TopK serving config (TopK set by newEngine, not
+	// the user) from tripping the trainer's TopK>0 requirement.
+	mc.ScreenStaleTol = 0
 	if cfg.Parallel {
 		for _, p := range s.Fleet {
 			mc.Speedups = append(mc.Speedups, p.Speedup)

@@ -63,6 +63,15 @@ type engineMetrics struct {
 	pruneTotal  *obs.Counter
 	reconMoves  *obs.Histogram
 	reconInfeas *obs.Counter
+	// Incremental-screening accounting (recorded by the serial screener)
+	// and the hierarchical solve's reconcile/repair phase durations
+	// (recorded by the solver pool from HierResult.Timings — these phases
+	// nest inside the cellsolve span, so they get plain histograms rather
+	// than Tracer spans).
+	screenReused *obs.Counter
+	screenFresh  *obs.Counter
+	reconcileSec *obs.Histogram
+	repairSec    *obs.Histogram
 
 	// Warm-start effectiveness: how many solves were seeded, and the
 	// rolling iteration counts of warm vs cold solves (the iterations-saved
@@ -124,6 +133,14 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 			"task reassignments per capacity-reconcile pass", obs.LinearBuckets(0, 2, 12)),
 		reconInfeas: reg.Counter("mfcp_reconcile_infeasible_total",
 			"reconcile passes that proved the overflow unresolvable (Hall violation)"),
+		screenReused: reg.Counter("mfcp_screen_reused_total",
+			"tasks whose candidate sets were carried over by incremental screening"),
+		screenFresh: reg.Counter("mfcp_screen_rescreened_total",
+			"tasks screened from scratch (full top-k selection)"),
+		reconcileSec: reg.Histogram("mfcp_phase_reconcile_seconds",
+			"duration of the capacity-reconcile phase in seconds", obs.LatencyBuckets),
+		repairSec: reg.Histogram("mfcp_phase_repair_seconds",
+			"duration of the sparse repair phase in seconds", obs.LatencyBuckets),
 
 		warmRounds: reg.Counter("mfcp_warm_rounds_total",
 			"predictive solves seeded from a previous round's relaxed iterate"),
@@ -167,6 +184,20 @@ func (m *engineMetrics) observeSparse(nnz, dense int, ri matching.ReconcileInfo)
 	if !ri.Feasible {
 		m.reconInfeas.Inc()
 	}
+}
+
+// observeScreen records one round's incremental-screening split. Called
+// by the pipeline's serial screener.
+func (m *engineMetrics) observeScreen(reused, fresh int) {
+	m.screenReused.Add(uint64(reused))
+	m.screenFresh.Add(uint64(fresh))
+}
+
+// observeHierTimings records the hierarchical solve's reconcile/repair
+// phase durations. Called concurrently from the solver pool.
+func (m *engineMetrics) observeHierTimings(t matching.HierTimings) {
+	m.reconcileSec.Observe(float64(t.ReconcileNs) / 1e9)
+	m.repairSec.Observe(float64(t.RepairNs) / 1e9)
 }
 
 // observeReduced folds one round into the throughput counters and rolling

@@ -28,7 +28,10 @@ func serveIters(t *testing.T, warm bool, calls int) (int, int) {
 	}
 	iters, warmed := 0, 0
 	for c := 0; c < calls; c++ {
-		rep := en.ServeRounds(1)
+		rep, err := en.ServeRounds(1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, rr := range rep.Rounds {
 			iters += rr.SolveIters
 			if rr.WarmStarted {

@@ -211,6 +211,13 @@ func Match(mc MatchConfig, T, A *Matrix) []int {
 // production-dimension sparse pipeline (screen → hierarchical cell solve →
 // reconcile → repair) instead of the dense solver; with TopK ≥ clusters
 // and one cell the two paths produce bit-identical relaxed solutions.
+//
+// With mc.TopK unset, instances whose dense pair count M·N exceeds
+// core.SparseAutoThreshold (2^18) auto-route through the sparse pipeline
+// at TopK = min(M, 32) — production dimensions should not pay for a dense
+// iterate by default. Set TopK ≥ M explicitly to force the dense-
+// equivalent sparse solve, or keep M·N at or under the threshold for the
+// dense solver.
 func MatchChecked(mc MatchConfig, T, A *Matrix) ([]int, error) {
 	mc.FillDefaults()
 	if err := mc.Validate(); err != nil {
@@ -218,6 +225,11 @@ func MatchChecked(mc MatchConfig, T, A *Matrix) ([]int, error) {
 	}
 	if _, err := mc.ProblemChecked(T, A); err != nil {
 		return nil, err
+	}
+	if !mc.Sparse() {
+		if k := core.AutoSparseTopK(T.Rows, T.Cols); k > 0 {
+			mc.TopK = k
+		}
 	}
 	if mc.Sparse() {
 		_, res, err := mc.SolveSparseWS(T, A, nil, nil)
@@ -256,6 +268,12 @@ func ExactMatch(mc MatchConfig, T, A *Matrix) (assign []int, cost float64, feasi
 // ExactMatchChecked is ExactMatch with input validation, returning
 // ErrBadShape / ErrBadConfig wrapped errors for invalid matrices or
 // hyperparameters instead of panicking.
+//
+// Branch and bound is Ω(M^N); above core.SparseAutoThreshold dense pairs
+// (where exhaustive search is hopeless anyway) the call auto-routes
+// through the sparse relaxation pipeline instead and scores its
+// assignment discretely — the same cost and feasibility semantics, an
+// approximate rather than exact optimum.
 func ExactMatchChecked(mc MatchConfig, T, A *Matrix) (assign []int, cost float64, feasible bool, err error) {
 	mc.FillDefaults()
 	if err := mc.Validate(); err != nil {
@@ -264,6 +282,18 @@ func ExactMatchChecked(mc MatchConfig, T, A *Matrix) (assign []int, cost float64
 	p, err := mc.ProblemChecked(T, A)
 	if err != nil {
 		return nil, 0, false, err
+	}
+	if !mc.Sparse() {
+		if k := core.AutoSparseTopK(T.Rows, T.Cols); k > 0 {
+			mc.TopK = k
+			sp, res, err := mc.SolveSparseWS(T, A, nil, nil)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			cost = sp.DiscreteCostSparse(res.Assign)
+			rel := sp.DiscreteReliabilitySparse(res.Assign)
+			return res.Assign, cost, rel >= mc.Gamma, nil
+		}
 	}
 	assign, cost, feasible = matching.SolveExact(p)
 	return assign, cost, feasible, nil

@@ -1,7 +1,11 @@
 package mfcp
 
 import (
+	"reflect"
 	"testing"
+
+	"mfcp/internal/core"
+	"mfcp/internal/rng"
 )
 
 func tinyScenario(t *testing.T) *Scenario {
@@ -52,6 +56,77 @@ func TestExactMatchPublic(t *testing.T) {
 	assign, cost, _ := ExactMatch(mc, T, A)
 	if len(assign) != 4 || cost <= 0 {
 		t.Fatalf("exact: %v %v", assign, cost)
+	}
+}
+
+// TestAutoSparseRoutingBoundary pins the sparse-by-default contract: the
+// documented threshold is exact (m·n at the boundary stays on the dense
+// path, one task more routes sparse), and the auto route is observationally
+// identical to a caller spelling out mc.TopK = AutoSparseTopK themselves.
+func TestAutoSparseRoutingBoundary(t *testing.T) {
+	const m = 40
+	nDense := core.SparseAutoThreshold / m // m·n == threshold exactly
+	nSparse := nDense + 1
+
+	if k := core.AutoSparseTopK(m, nDense); k != 0 {
+		t.Fatalf("at the boundary (m·n = %d): auto TopK = %d, want dense", m*nDense, k)
+	}
+	k := core.AutoSparseTopK(m, nSparse)
+	if k != 32 { // min(m, 32) with m = 40
+		t.Fatalf("one past the boundary: auto TopK = %d, want 32", k)
+	}
+
+	r := rng.New(61)
+	T := &Matrix{Rows: m, Cols: nSparse, Data: make([]float64, m*nSparse)}
+	A := &Matrix{Rows: m, Cols: nSparse, Data: make([]float64, m*nSparse)}
+	for i := range T.Data {
+		T.Data[i] = r.Uniform(0.2, 3)
+		A.Data[i] = r.Uniform(0.7, 0.999)
+	}
+
+	auto, err := MatchChecked(MatchConfig{}, T, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := MatchChecked(MatchConfig{TopK: k}, T, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(auto, explicit) {
+		t.Fatal("auto-routed Match diverged from the explicit sparse config")
+	}
+	for _, i := range auto {
+		if i < 0 || i >= m {
+			t.Fatalf("assignment out of range: %d", i)
+		}
+	}
+
+	// ExactMatch above the threshold reroutes to the sparse relaxation
+	// (branch and bound is Ω(M^N) there) and scores discretely. Reproduce
+	// that route by hand — an explicit-TopK ExactMatch call deliberately
+	// keeps the exact solver, so the hand-built pipeline is the reference.
+	aAssign, aCost, aFeasible, err := ExactMatchChecked(MatchConfig{}, T, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := MatchConfig{TopK: k}
+	mc.FillDefaults()
+	sp, res, err := mc.SolveSparseWS(T, A, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(aAssign, res.Assign) {
+		t.Fatal("auto-routed ExactMatch diverged from the sparse pipeline")
+	}
+	if want := sp.DiscreteCostSparse(res.Assign); aCost != want {
+		t.Fatalf("exact cost %v, want the discrete sparse cost %v", aCost, want)
+	}
+	wantFeasible := sp.DiscreteReliabilitySparse(res.Assign) >= mc.Gamma
+	if aFeasible != wantFeasible {
+		t.Fatalf("feasible %v, want %v", aFeasible, wantFeasible)
+	}
+	if aCost <= 0 {
+		t.Fatalf("sparse exact cost %v", aCost)
 	}
 }
 

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Production-dimension matching sweep: runs every scale point (64x2000,
-# 256x20000, 1000x100000) plus the 1/2/4/8-worker sweep and records the
-# latency + rounds/sec curve into BENCH_scale.json at the repo root.
-# Equivalent to `make bench-scale`.
+# 256x20000, 1000x100000) — pipelined workspace screen vs the serial
+# builder baseline, per-phase latency, allocation pin — plus the
+# 1/2/4/8-worker sweep over every point, and records the results into
+# BENCH_scale.json at the repo root. Equivalent to `make bench-scale`.
 set -eu
 cd "$(dirname "$0")/.."
-go run ./cmd/mfcpbench -scale all -scale-json BENCH_scale.json
+go run ./cmd/mfcpbench -scale all -scale-workers 1,2,4,8 -scale-json BENCH_scale.json
