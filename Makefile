@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet test race race-serving fmt-check lint-panic smoke-checkpoint bench bench-matching bench-train bench-platform bench-scale bench-compare obs-demo
+.PHONY: ci vet test race race-serving fmt-check lint-panic smoke-checkpoint smoke-serve bench bench-matching bench-train bench-platform bench-scale bench-serve bench-compare obs-demo
 
-ci: fmt-check lint-panic vet race smoke-checkpoint
+ci: fmt-check lint-panic vet race smoke-checkpoint smoke-serve
 
 # Formatting gate: fails listing any tracked file gofmt would rewrite.
 fmt-check:
@@ -25,11 +25,17 @@ lint-panic:
 smoke-checkpoint:
 	sh scripts/checkpoint_smoke.sh
 
+# HTTP serving smoke test over the real mfcpserve binary: batch served,
+# metrics counters live, SIGTERM -> drain -> checkpoint -> exit 130.
+smoke-serve:
+	sh scripts/serve_smoke.sh
+
 # Focused race gate for the concurrent serving engine: predictor snapshots,
-# the sharded round pipeline, and the lock-free observation ring. Part of
+# the sharded round pipeline, the lock-free observation ring, and the HTTP
+# front-end's handler/batcher handoff under concurrent tenants. Part of
 # `race` too; this target is the fast inner loop while editing those files.
 race-serving:
-	$(GO) test -race ./internal/platform ./internal/parallel
+	$(GO) test -race ./internal/platform ./internal/parallel ./internal/server
 
 vet:
 	$(GO) vet ./...
@@ -70,6 +76,12 @@ bench-platform:
 # records the latency + rounds/sec curve into BENCH_scale.json.
 bench-scale:
 	sh scripts/bench_scale.sh
+
+# Multi-tenant HTTP serving benchmark (closed-loop tenants, per-request vs
+# micro-batched); records throughput + latency percentiles and the speedup
+# into BENCH_serve.json.
+bench-serve:
+	sh scripts/bench_serve.sh
 
 # Every benchmark in the repo, with allocation stats. Set BENCH_FLAGS to
 # pass extras, e.g. BENCH_FLAGS='-count=10' for benchstat-ready samples.

@@ -19,10 +19,11 @@ go vet ./...
 go build ./...
 # Serving-engine race gate first: the snapshot/ring/shard machinery plus
 # the pipelined sparse round (screener goroutine overlapped with the cell
-# solvers, double-buffered screen slots) are the likeliest sources of new
-# races, so fail fast on them before the full sweep.
+# solvers, double-buffered screen slots) and the HTTP front-end's
+# handler/batcher handoff are the likeliest sources of new races, so fail
+# fast on them before the full sweep.
 go test -race -run 'Pipelined|SparseEngine|WorkerCountInvariance|Screen' ./internal/platform ./internal/matching
-go test -race ./internal/platform ./internal/parallel
+go test -race ./internal/platform ./internal/parallel ./internal/server
 go test -race ./...
 
 # Allocation pin (no -race: the detector instruments allocations): the
@@ -73,3 +74,12 @@ echo "telemetry smoke test passed"
 # Lifecycle smoke test: SIGINT an online run mid-flight, require exit 130
 # plus an on-cancel checkpoint, and resume from it (reuses the binary).
 sh scripts/checkpoint_smoke.sh "$BIN"
+
+# HTTP serving smoke test: boot mfcpserve, serve a tenant batch through a
+# real listener, assert in-range assignments and nonzero request/batch
+# counters on /metrics, then SIGTERM -> drain -> checkpoint -> exit 130.
+sh scripts/serve_smoke.sh
+
+# Serving-benchmark smoke: a short per-request-vs-batched pass that fails
+# unless the micro-batcher actually coalesced concurrent tenants.
+go run ./cmd/mfcpbench -serve smoke

@@ -42,6 +42,10 @@ func main() {
 		scale      = flag.String("scale", "", "run the production-dimension matching sweep: smoke|all|<point name> (see scale.go)")
 		scaleJSON  = flag.String("scale-json", "", "with -scale: also write the results as JSON to this path")
 		scaleWork  = flag.String("scale-workers", "1,2,4,8", "with -scale all: comma-separated worker counts for the pipelined worker sweep")
+		serve      = flag.String("serve", "", "run the HTTP serving benchmark: smoke|all (see serve.go)")
+		serveJSON  = flag.String("serve-json", "", "with -serve: also write the results as JSON to this path")
+		serveTen   = flag.Int("serve-tenants", 8, "with -serve: concurrent closed-loop tenants")
+		serveSecs  = flag.Duration("serve-secs", 2*time.Second, "with -serve all: measured duration per serving mode")
 	)
 	flag.Parse()
 
@@ -50,6 +54,9 @@ func main() {
 	}
 	if *scale != "" {
 		os.Exit(runScale(*scale, *scaleJSON, *scaleWork))
+	}
+	if *serve != "" {
+		os.Exit(runServe(*serve, *serveJSON, *serveTen, *serveSecs))
 	}
 
 	if *cpuprofile != "" {

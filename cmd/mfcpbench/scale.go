@@ -67,10 +67,18 @@ type scaleEnv struct {
 	CPUs       int `json:"cpus"`
 	Gomaxprocs int `json:"gomaxprocs"`
 	Workers    int `json:"workers"`
+	// Warning flags host shapes that undermine the measurement (a
+	// single-CPU host cannot show parallel speedup — the worker sweep
+	// there measures sharding overhead only).
+	Warning string `json:"warning,omitempty"`
 }
 
 func currentEnv() scaleEnv {
-	return scaleEnv{CPUs: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0), Workers: parallel.Workers()}
+	e := scaleEnv{CPUs: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0), Workers: parallel.Workers()}
+	if e.CPUs == 1 {
+		e.Warning = "single-CPU host: worker counts above 1 measure sharding overhead, not parallel speedup"
+	}
+	return e
 }
 
 // scaleResult is one measured point of the sweep. The pipelined pass
@@ -564,6 +572,14 @@ func runScale(mode, jsonPath, workersCSV string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+	if runtime.NumCPU() == 1 {
+		for _, w := range workerList {
+			if w > 1 {
+				fmt.Fprintln(os.Stderr, "warning: -scale-workers includes counts above 1 on a single-CPU host; the sweep will measure sharding overhead, not parallel speedup (stamped into the JSON environment block)")
+				break
+			}
+		}
 	}
 	var pts []scalePoint
 	switch mode {

@@ -1,0 +1,324 @@
+// HTTP serving benchmark. The scale sweep (scale.go) measures the matching
+// pipeline at production dimensions; this one measures the multi-tenant
+// front-end (internal/server) that ROADMAP item 1 promoted the engine into:
+// concurrent tenants POST task batches to /v1/match and the deadline-aware
+// micro-batcher coalesces them into shared screen+solve rounds. The
+// benchmark runs the same closed-loop tenant load twice against fresh
+// sessions — once with coalescing disabled (window=0: every request is its
+// own round, the per-request baseline) and once with a small batching
+// window — and reports throughput and latency percentiles for both, plus
+// the speedup. Amortizing the fixed per-round cost (problem build,
+// workspace resets, oracle scoring, execution setup) across the tenants in
+// a window is the whole point, so tasks/sec is the headline number and the
+// batched p95 must not regress.
+//
+// `mfcpbench -serve all -serve-json BENCH_serve.json` records the document
+// (scripts/bench_serve.sh / `make bench-serve`); `-serve smoke` is the CI
+// gate: a short pass with structural assertions only.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mfcp/internal/platform"
+	"mfcp/internal/server"
+	"mfcp/internal/workload"
+)
+
+// serveEnv records where the numbers were measured. Throughput claims are
+// meaningless without the host shape next to them.
+type serveEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+	// Warning flags measurement conditions that undermine the comparison
+	// (e.g. a single-CPU host, where client and server contend for one core).
+	Warning string `json:"warning,omitempty"`
+}
+
+func currentServeEnv() serveEnv {
+	e := serveEnv{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+	}
+	if e.CPUs == 1 {
+		e.Warning = "single-CPU host: load generator and server share one core; latency percentiles include scheduler contention"
+	}
+	return e
+}
+
+// serveModeResult is one measured serving mode (per-request or batched).
+type serveModeResult struct {
+	Name     string  `json:"name"`
+	WindowMs float64 `json:"window_ms"`
+	// Closed-loop totals over the measured duration.
+	Requests     int     `json:"requests"`
+	TasksServed  int     `json:"tasks_served"`
+	Shed         int     `json:"shed"`
+	RoundsServed int64   `json:"rounds_served"`
+	MeanCoalesce float64 `json:"mean_coalesced"`
+	TasksPerSec  float64 `json:"tasks_per_sec"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+}
+
+// serveReport is the BENCH_serve.json document.
+type serveReport struct {
+	Description string            `json:"description"`
+	Reproduce   string            `json:"reproduce"`
+	Env         serveEnv          `json:"environment"`
+	Tenants     int               `json:"tenants"`
+	TasksPerReq int               `json:"tasks_per_request"`
+	SecsPerMode float64           `json:"seconds_per_mode"`
+	Modes       []serveModeResult `json:"modes"`
+	// Speedup is batched tasks/sec over per-request tasks/sec.
+	Speedup float64  `json:"speedup"`
+	Notes   []string `json:"notes"`
+}
+
+// serveBenchTasks is the per-request batch size. Small per-tenant batches
+// are the regime micro-batching targets: the fixed per-round cost dominates
+// a 4-task solve, so serving 8 tenants as one coalesced round amortizes it.
+const serveBenchTasks = 4
+
+// serveBenchCfg is the shared session configuration: a realistic pool with
+// a training budget small enough that each mode's fresh session boots in
+// seconds. Both modes train identical predictors (same seed), so the only
+// variable between them is the batching window.
+func serveBenchCfg() platform.OnlineConfig {
+	return platform.OnlineConfig{
+		Config: platform.Config{
+			Scenario:       workload.Config{PoolSize: 160, Seed: 7},
+			Method:         platform.MethodTSM,
+			RoundSize:      serveBenchTasks,
+			PretrainEpochs: 60,
+			RegretEpochs:   12,
+		},
+		RefitEvery: 10,
+		// Background refits, as a deployment would run them: a synchronous
+		// refit stalls every tenant sharing the window, and the batched mode
+		// crosses refit boundaries more often per second precisely because it
+		// serves more rounds per second — the tail would be charged to the
+		// optimization being measured.
+		AsyncRefit:    true,
+		MaxRoundTasks: 64,
+	}
+}
+
+// runServeMode boots a fresh session and front-end, drives tenants
+// closed-loop POSTers against it for dur, and measures.
+func runServeMode(name string, window time.Duration, tenants int, dur time.Duration) (serveModeResult, error) {
+	res := serveModeResult{Name: name, WindowMs: float64(window) / 1e6}
+	sess, err := platform.NewSession(context.Background(), serveBenchCfg())
+	if err != nil {
+		return res, fmt.Errorf("serve %s: session: %w", name, err)
+	}
+	s := server.New(sess, server.Config{
+		Window:        window,
+		MaxBatchTasks: 64,
+		QueueCap:      256,
+	})
+	ts := httptest.NewServer(s.Handler())
+
+	poolLen := sess.PoolLen()
+	type tenantStats struct {
+		lat       []time.Duration
+		tasks     int
+		shed      int
+		coalesced int
+		err       error
+	}
+	stats := make([]tenantStats, tenants)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := &stats[i]
+			client := ts.Client()
+			for j := 0; time.Now().Before(deadline); j++ {
+				tasks := make([]int, serveBenchTasks)
+				for k := range tasks {
+					tasks[k] = (i*31 + j*serveBenchTasks + k) % poolLen
+				}
+				body, _ := json.Marshal(server.MatchRequest{Tenant: fmt.Sprintf("t%d", i), Tasks: tasks})
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/match", "application/json", bytes.NewReader(body))
+				if err != nil {
+					st.err = fmt.Errorf("serve %s: tenant %d: %w", name, i, err)
+					return
+				}
+				var mr server.MatchResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&mr)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if decErr != nil {
+						st.err = fmt.Errorf("serve %s: tenant %d: decode: %w", name, i, decErr)
+						return
+					}
+					if len(mr.Assignments) != serveBenchTasks {
+						st.err = fmt.Errorf("serve %s: tenant %d: %d assignments, want %d", name, i, len(mr.Assignments), serveBenchTasks)
+						return
+					}
+					st.lat = append(st.lat, time.Since(t0))
+					st.tasks += serveBenchTasks
+					st.coalesced += mr.Coalesced
+				case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+					st.shed++
+				default:
+					st.err = fmt.Errorf("serve %s: tenant %d: status %d", name, i, resp.StatusCode)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res.RoundsServed = int64(sess.Served())
+	drainAndClose(s, ts)
+	for i := range stats {
+		if stats[i].err != nil {
+			return res, stats[i].err
+		}
+	}
+
+	var lat []time.Duration
+	coalesceSum := 0
+	for i := range stats {
+		lat = append(lat, stats[i].lat...)
+		res.Requests += len(stats[i].lat)
+		res.TasksServed += stats[i].tasks
+		res.Shed += stats[i].shed
+		coalesceSum += stats[i].coalesced
+	}
+	if res.Requests == 0 {
+		return res, fmt.Errorf("serve %s: no request succeeded", name)
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	res.MeanCoalesce = float64(coalesceSum) / float64(res.Requests)
+	res.TasksPerSec = float64(res.TasksServed) / elapsed.Seconds()
+	res.P50Ms = servePercentile(lat, 0.50)
+	res.P95Ms = servePercentile(lat, 0.95)
+	res.P99Ms = servePercentile(lat, 0.99)
+	return res, nil
+}
+
+func drainAndClose(s *server.Server, ts *httptest.Server) {
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = s.Drain(dctx)
+	ts.Close()
+}
+
+// servePercentile reads the q-quantile off a sorted latency slice, in ms.
+func servePercentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / 1e6
+}
+
+// runServe executes the serving benchmark: "smoke" (short pass, structural
+// assertions) or "all" (the full measured comparison). jsonPath, when
+// non-empty, receives the serveReport document.
+func runServe(mode, jsonPath string, tenants int, dur time.Duration) int {
+	switch mode {
+	case "smoke":
+		dur = 300 * time.Millisecond
+	case "all":
+	default:
+		fmt.Fprintf(os.Stderr, "-serve: unknown mode %q (have smoke, all)\n", mode)
+		return 2
+	}
+	if tenants < 1 {
+		fmt.Fprintln(os.Stderr, "-serve-tenants must be >= 1")
+		return 2
+	}
+
+	env := currentServeEnv()
+	if env.Warning != "" {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", env.Warning)
+	}
+	rep := serveReport{
+		Description: "Multi-tenant HTTP match-serving: closed-loop tenants POSTing task batches to /v1/match, measured per-request (window=0: one round per request, the baseline) versus micro-batched (deadline-aware coalescing into one shared screen+solve round). The speedup is amortization of the fixed per-round cost across the tenants sharing a window.",
+		Reproduce:   "scripts/bench_serve.sh  (or: go run ./cmd/mfcpbench -serve all -serve-json BENCH_serve.json)",
+		Env:         env,
+		Tenants:     tenants,
+		TasksPerReq: serveBenchTasks,
+		SecsPerMode: dur.Seconds(),
+		Notes: []string{
+			"Both modes run identical fresh sessions (same scenario seed, same trained predictors); the only variable is the batching window.",
+			"Closed-loop load: each tenant has exactly one request in flight, so per-request mode serializes the tenants behind one another's solves while batched mode coalesces them into one round per window.",
+			"mean_coalesced is the average number of requests sharing the round that answered; 1.0 means every round carried a single tenant.",
+			"Latency percentiles are client-observed; batched p95 includes the coalescing window wait and must still not regress against per-request queueing.",
+			"tasks_per_sec counts only tasks answered 200; shed requests (503/429 backpressure) are reported separately.",
+		},
+	}
+
+	modes := []struct {
+		name   string
+		window time.Duration
+	}{
+		{"per-request", 0},
+		{"batched", 2 * time.Millisecond},
+	}
+	for _, m := range modes {
+		r, err := runServeMode(m.name, m.window, tenants, dur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		rep.Modes = append(rep.Modes, r)
+		fmt.Printf("serve %-12s  window=%4.1fms  %6d req  %7d tasks  %8.0f tasks/sec  coalesce=%4.1f  p50=%6.2fms  p95=%6.2fms  p99=%6.2fms  shed=%d\n",
+			r.Name, r.WindowMs, r.Requests, r.TasksServed, r.TasksPerSec, r.MeanCoalesce, r.P50Ms, r.P95Ms, r.P99Ms, r.Shed)
+	}
+	base, batched := rep.Modes[0], rep.Modes[1]
+	rep.Speedup = batched.TasksPerSec / base.TasksPerSec
+	fmt.Printf("serve speedup: %.2fx tasks/sec (batched vs per-request), p95 %0.2fms vs %0.2fms\n",
+		rep.Speedup, batched.P95Ms, base.P95Ms)
+	if mode == "smoke" && batched.MeanCoalesce <= 1 {
+		fmt.Fprintln(os.Stderr, "serve smoke: batched mode never coalesced")
+		return 1
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return 0
+}

@@ -1,0 +1,175 @@
+// Command mfcpserve runs the exchange platform as a long-lived multi-tenant
+// HTTP service. It trains the predictors once at boot, then serves composed
+// allocation rounds from POSTed task batches: a deadline-aware micro-batcher
+// coalesces concurrent tenants' tasks into one shared screen+solve round
+// (see internal/server and DESIGN.md §10).
+//
+// Endpoints: POST /v1/match, GET /v1/stats, GET /healthz, GET /metrics
+// (Prometheus text + expvar + pprof under /debug/).
+//
+// SIGINT/SIGTERM drain cooperatively: admission stops (503), every accepted
+// request is flushed and answered, the session checkpoints (with
+// -checkpoint), and the process exits 130. A second signal kills it
+// immediately.
+//
+// Usage:
+//
+//	mfcpserve -method tsm -addr 127.0.0.1:9310 -window 2ms
+//	curl -s -X POST http://127.0.0.1:9310/v1/match \
+//	     -d '{"tenant":"a","tasks":[3,17,42]}'
+//	mfcpserve -checkpoint serve.ckpt            # ^C, then:
+//	mfcpserve -checkpoint serve.ckpt -resume serve.ckpt
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mfcp"
+	"mfcp/internal/embed"
+	"mfcp/internal/obs"
+	"mfcp/internal/platform"
+	"mfcp/internal/server"
+	"mfcp/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:9310", "listen address for the HTTP API")
+		method     = flag.String("method", "tsm", "predictor method: tam|tsm|ucb|mfcp-ad|mfcp-fg")
+		setting    = flag.String("setting", "A", "cluster setting A|B|C")
+		seed       = flag.Uint64("seed", 1, "scenario seed")
+		pool       = flag.Int("pool", 160, "task pool size")
+		roundSize  = flag.Int("n", 5, "sampled round size (training horizon unit)")
+		pretrain   = flag.Int("pretrain-epochs", 0, "pretrain epoch budget (0 = default)")
+		regret     = flag.Int("regret-epochs", 0, "regret-descent epoch budget (0 = default)")
+		refitEvery = flag.Int("refit-every", 10, "rounds per online refit window")
+		asyncRefit = flag.Bool("async-refit", false, "train refits in the background")
+		checkpoint = flag.String("checkpoint", "", "save a resumable checkpoint here periodically and on drain")
+		ckEvery    = flag.Int("checkpoint-every", 1, "refit windows between periodic checkpoint saves")
+		resume     = flag.String("resume", "", "resume from a checkpoint file saved by -checkpoint")
+		window     = flag.Duration("window", 2*time.Millisecond, "micro-batching window (0 = per-request rounds)")
+		maxBatch   = flag.Int("max-batch", 64, "max tasks per coalesced round (also the per-request cap)")
+		queueCap   = flag.Int("queue-cap", 128, "admitted-request queue depth")
+		tenantMax  = flag.Int("tenant-max-pending", 0, "per-tenant pending-task quota (0 = 4*max-batch)")
+		highWater  = flag.Float64("ring-highwater", 0.9, "observation-ring backpressure threshold (fraction of capacity)")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// First SIGINT/SIGTERM starts the drain; a second one restores default
+	// handling, so it kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	reg := obs.NewRegistry()
+	embed.RegisterMetrics(reg)
+
+	ocfg := platform.OnlineConfig{
+		Config: platform.Config{
+			Scenario: workload.Config{
+				Setting:  mfcp.Setting(strings.ToUpper(*setting)),
+				PoolSize: *pool,
+				Seed:     *seed,
+			},
+			Method:         platform.MethodName(*method),
+			RoundSize:      *roundSize,
+			PretrainEpochs: *pretrain,
+			RegretEpochs:   *regret,
+			Telemetry:      reg,
+		},
+		RefitEvery:      *refitEvery,
+		AsyncRefit:      *asyncRefit,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *ckEvery,
+		MaxRoundTasks:   *maxBatch,
+	}
+	if *resume != "" {
+		ck, err := mfcp.LoadCheckpoint(*resume)
+		if err != nil {
+			fail(fmt.Errorf("resume: %w", err))
+		}
+		ocfg.Resume = ck
+		fmt.Fprintf(os.Stderr, "[resuming at round %d (%d refits done)]\n", ck.Round, ck.Refits)
+	}
+
+	fmt.Fprintf(os.Stderr, "[training %s predictors (pool=%d, setting=%s)]\n",
+		*method, *pool, strings.ToUpper(*setting))
+	sess, err := platform.NewSession(ctx, ocfg)
+	if err != nil {
+		if errors.Is(err, mfcp.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "interrupted during training; nothing served")
+			os.Exit(130)
+		}
+		fail(err)
+	}
+
+	srv := server.New(sess, server.Config{
+		Window:           *window,
+		MaxBatchTasks:    *maxBatch,
+		QueueCap:         *queueCap,
+		TenantMaxPending: *tenantMax,
+		RingHighWater:    *highWater,
+		Telemetry:        reg,
+	})
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(lis) }()
+	fmt.Fprintf(os.Stderr, "[serving on http://%s (window=%v, max-batch=%d)]\n",
+		lis.Addr(), *window, *maxBatch)
+
+	select {
+	case err := <-serveErr:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop admission, answer everything accepted, checkpoint. Then
+	// shut the listener down — handlers have their replies by now, so
+	// Shutdown only waits for response bytes to flush.
+	fmt.Fprintln(os.Stderr, "[draining: answering accepted requests, checkpointing]")
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainWait)
+	drainErr := srv.Drain(dctx)
+	dcancel()
+	sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+	_ = httpSrv.Shutdown(sctx)
+	scancel()
+	if drainErr != nil {
+		fail(fmt.Errorf("drain: %w", drainErr))
+	}
+
+	rep := sess.Finish()
+	fmt.Printf("mfcpserve: drained cleanly\n")
+	fmt.Printf("  rounds served   %d\n", len(rep.Rounds))
+	fmt.Printf("  refits          %d (ring drops %d)\n", rep.Refits, rep.RingDropped)
+	if len(rep.Rounds) > 0 {
+		fmt.Printf("  mean regret     %.4f\n", rep.MeanRegret)
+	}
+	if *checkpoint != "" {
+		fmt.Printf("  checkpoint      %s (resume with -resume %s)\n", *checkpoint, *checkpoint)
+	}
+	os.Exit(130)
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSIGTERMDrainsAndExits130 is the shutdown acceptance criterion run
+// against the real binary: boot a small service, push concurrent tenant
+// load, SIGTERM mid-flight, and require that every request is answered
+// with an admission-contract status (200/503/429 — never a hung or torn
+// response), a checkpoint lands on disk, and the process exits 130.
+func TestSIGTERMDrainsAndExits130(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "mfcpserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	ck := filepath.Join(dir, "serve.ckpt")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-method", "tsm", "-pool", "48", "-n", "4",
+		"-pretrain-epochs", "30", "-regret-epochs", "4",
+		"-refit-every", "3", "-window", "1ms", "-max-batch", "16",
+		"-checkpoint", ck,
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := waitServing(t, stderr)
+	waitHealthy(t, base)
+
+	// Closed-loop tenant load, running past the SIGTERM so some requests
+	// are in flight when the drain begins.
+	const tenants = 8
+	var (
+		wg      sync.WaitGroup
+		ok      atomic.Int64
+		shed    atomic.Int64
+		sigSent atomic.Bool
+		badMu   sync.Mutex
+		bad     []string
+	)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for j := 0; ; j++ {
+				body := fmt.Sprintf(`{"tenant":"t%d","tasks":[%d,%d]}`, i, (i*5+j)%36, (i*7+j+1)%36)
+				resp, err := client.Post(base+"/v1/match", "application/json", strings.NewReader(body))
+				if err != nil {
+					// Connection refused is legal only once the listener is
+					// gone, which happens strictly after the signal.
+					if !sigSent.Load() {
+						badMu.Lock()
+						bad = append(bad, err.Error())
+						badMu.Unlock()
+					}
+					return
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					badMu.Lock()
+					bad = append(bad, fmt.Sprintf("status %d", resp.StatusCode))
+					badMu.Unlock()
+					return
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(300 * time.Millisecond) // let load build
+	sigSent.Store(true)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	err = cmd.Wait()
+	var exitErr *exec.ExitError
+	if err == nil {
+		t.Fatal("process exited 0; want 130 after SIGTERM")
+	} else if !asExitError(err, &exitErr) {
+		t.Fatalf("wait: %v", err)
+	}
+	if code := exitErr.ExitCode(); code != 130 {
+		t.Fatalf("exit code %d, want 130\nstdout:\n%s", code, stdout.String())
+	}
+
+	badMu.Lock()
+	defer badMu.Unlock()
+	for _, b := range bad {
+		t.Errorf("request failed outside the admission contract: %s", b)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no request succeeded before the drain")
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("drain did not leave a checkpoint: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "drained cleanly") {
+		t.Fatalf("missing drain summary in stdout:\n%s", stdout.String())
+	}
+	t.Logf("ok=%d shed=%d", ok.Load(), shed.Load())
+}
+
+func asExitError(err error, target **exec.ExitError) bool {
+	ee, ok := err.(*exec.ExitError)
+	if ok {
+		*target = ee
+	}
+	return ok
+}
+
+// waitServing scans the daemon's stderr for the serving banner and returns
+// the base URL, echoing the rest of the stream in the background so the
+// pipe never fills.
+func waitServing(t *testing.T, stderr interface{ Read([]byte) (int, error) }) string {
+	t.Helper()
+	sc := bufio.NewScanner(stderr)
+	deadline := time.After(2 * time.Minute)
+	lines := make(chan string)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for {
+		select {
+		case line, okc := <-lines:
+			if !okc {
+				t.Fatal("stderr closed before the serving banner")
+			}
+			if i := strings.Index(line, "[serving on http://"); i >= 0 {
+				addr := line[i+len("[serving on http://"):]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				go func() { // drain the rest
+					for range lines {
+					}
+				}()
+				return "http://" + addr
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for the serving banner")
+		}
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			var body map[string]string
+			err = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("service never became healthy")
+}

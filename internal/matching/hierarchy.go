@@ -1,9 +1,11 @@
 package matching
 
 import (
+	"fmt"
 	"math"
 	"time"
 
+	"mfcp/internal/mfcperr"
 	"mfcp/internal/parallel"
 )
 
@@ -70,7 +72,38 @@ type ReconcileInfo struct {
 	// only when the candidate structure itself makes the overflow
 	// unresolvable (a Hall-condition violation over the reachable set).
 	Feasible bool
+	// Hall, non-nil exactly when Feasible is false, is the structured
+	// certificate of that violation.
+	Hall *HallViolation
 }
+
+// HallViolation is a checkable certificate that a capacity overflow is
+// unresolvable under the current candidate structure: the BFS from Source
+// closed over a saturated cluster set W (Clusters) such that every
+// candidate cluster of every task assigned in W is itself in W, and those
+// tasks outnumber W's total capacity — Hall's condition fails on W. It is
+// an error wrapping mfcperr.ErrInfeasible, so it travels intact through
+// error chains up to API responses.
+type HallViolation struct {
+	// Source is the overflowing cluster the search started from.
+	Source int
+	// Clusters is the saturated reachable set W, ascending.
+	Clusters []int
+	// Demand is the number of tasks assigned within W (all of whose
+	// candidates lie in W); Capacity is W's summed capacity. Demand >
+	// Capacity is the violation.
+	Demand   int
+	Capacity int
+}
+
+func (h *HallViolation) Error() string {
+	return fmt.Sprintf("matching: Hall violation at cluster %d: %d tasks confined to %d clusters with capacity %d: %v",
+		h.Source, h.Demand, len(h.Clusters), h.Capacity, mfcperr.ErrInfeasible)
+}
+
+// Unwrap ties the certificate into the typed-error taxonomy:
+// errors.Is(h, mfcperr.ErrInfeasible) holds.
+func (h *HallViolation) Unwrap() error { return mfcperr.ErrInfeasible }
 
 // HierWorkspace caches the per-cell solver workspaces and routing scratch
 // across rounds. The per-cell sub-problems are rebuilt each call (their
@@ -370,8 +403,20 @@ func ReconcileCapacities(sp *SparseProblem, assign []int) ReconcileInfo {
 			if dst < 0 {
 				// No slack reachable: the visited set is saturated and src
 				// still overflows — infeasible under this candidate
-				// structure.
+				// structure. The visited set is the certificate: BFS closure
+				// means every candidate of every task assigned inside it
+				// stays inside it, and its assigned tasks exceed its
+				// capacity.
+				hall := &HallViolation{Source: src}
+				for v := 0; v < m; v++ {
+					if visited[v] {
+						hall.Clusters = append(hall.Clusters, v)
+						hall.Demand += counts[v]
+						hall.Capacity += sp.Cap[v]
+					}
+				}
 				info.Feasible = false
+				info.Hall = hall
 				return info
 			}
 			// Unwind the chain from dst back to src, moving one task across

@@ -299,6 +299,83 @@ func TestReconcileDetectsInfeasible(t *testing.T) {
 	if info.Feasible {
 		t.Fatal("reconciler claimed feasibility on a Hall-violating instance")
 	}
+	hall := info.Hall
+	if hall == nil {
+		t.Fatal("infeasible reconcile carried no Hall certificate")
+	}
+	// The violating set is {0} alone: every task's only candidate is
+	// cluster 0, so the BFS never reaches cluster 1.
+	if hall.Source != 0 {
+		t.Fatalf("certificate source %d, want 0", hall.Source)
+	}
+	if len(hall.Clusters) != 1 || hall.Clusters[0] != 0 {
+		t.Fatalf("certificate set %v, want [0]", hall.Clusters)
+	}
+	if hall.Demand != 3 || hall.Capacity != 1 {
+		t.Fatalf("certificate demand/capacity %d/%d, want 3/1", hall.Demand, hall.Capacity)
+	}
+	if hall.Demand <= hall.Capacity {
+		t.Fatal("certificate does not witness a violation")
+	}
+	if !errors.Is(hall, mfcperr.ErrInfeasible) {
+		t.Fatalf("certificate %v does not wrap ErrInfeasible", hall)
+	}
+}
+
+// TestHallCertificateChecks property-tests the certificate on random
+// under-capacitated instances: whenever reconciliation reports
+// infeasibility, the returned set must be a genuine Hall violation —
+// closed under candidacy for its assigned tasks and over-demanded.
+func TestHallCertificateChecks(t *testing.T) {
+	r := rng.New(93)
+	for trial := 0; trial < 60; trial++ {
+		m, n := 3+r.Intn(6), 6+r.Intn(18)
+		b := NewSparseBuilder(m, n)
+		assign := make([]int, n)
+		for j := 0; j < n; j++ {
+			// 1-2 candidates per task: sparse enough to starve regularly.
+			c0 := r.Intn(m)
+			b.AddCandidate(j, c0, 1+r.Float64(), 0.9)
+			if r.Intn(2) == 0 {
+				b.AddCandidate(j, (c0+1)%m, 1+r.Float64(), 0.9)
+			}
+			assign[j] = c0
+		}
+		sp, err := b.Build()
+		if err != nil {
+			t.Fatalf("trial %d: Build: %v", trial, err)
+		}
+		sp.Cap = make([]int, m)
+		for i := range sp.Cap {
+			sp.Cap[i] = 1 // n > m guarantees frequent overflow
+		}
+		info := ReconcileCapacities(sp, append([]int(nil), assign...))
+		if info.Feasible {
+			if info.Hall != nil {
+				t.Fatalf("trial %d: feasible reconcile carried a certificate", trial)
+			}
+			continue
+		}
+		hall := info.Hall
+		if hall == nil {
+			t.Fatalf("trial %d: infeasible without certificate", trial)
+		}
+		if hall.Demand <= hall.Capacity {
+			t.Fatalf("trial %d: demand %d ≤ capacity %d", trial, hall.Demand, hall.Capacity)
+		}
+		inSet := make([]bool, m)
+		capSum := 0
+		for _, c := range hall.Clusters {
+			inSet[c] = true
+			capSum += sp.Cap[c]
+		}
+		if capSum != hall.Capacity {
+			t.Fatalf("trial %d: capacity %d ≠ set sum %d", trial, hall.Capacity, capSum)
+		}
+		if !inSet[hall.Source] {
+			t.Fatalf("trial %d: source %d outside its own set", trial, hall.Source)
+		}
+	}
 }
 
 // TestRepairSparseReliability: whenever the candidate structure admits a

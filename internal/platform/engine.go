@@ -63,6 +63,10 @@ type engine struct {
 	obs  *parallel.Ring[Observation]
 	mc   core.MatchConfig
 	mode sched.Mode
+	// autoSparse records that mc.TopK was chosen by AutoSparseTopK rather
+	// than configured — surfaced per round (RoundReport.AutoSparse) and as a
+	// telemetry counter so operators can see the routing decision.
+	autoSparse bool
 	// met holds the pre-bound serving instruments (all nil — and therefore
 	// no-ops — when cfg.Telemetry is nil).
 	met engineMetrics
@@ -115,12 +119,14 @@ func newEngine(ctx context.Context, cfg Config) (*engine, error) {
 		return nil, err
 	}
 	mc := cfg.Match
+	autoSparse := false
 	if !mc.Sparse() {
 		// Sparse-by-default routing (ROADMAP item 2): production-dimension
 		// serving auto-selects the screened path once the dense pair count
 		// crosses the documented threshold. Explicit TopK always wins.
 		if k := core.AutoSparseTopK(s.M(), cfg.RoundSize); k > 0 {
 			mc.TopK = k
+			autoSparse = true
 		}
 	}
 	if cfg.Parallel && mc.Speedups == nil {
@@ -134,7 +140,7 @@ func newEngine(ctx context.Context, cfg Config) (*engine, error) {
 	}
 	e := &engine{
 		cfg: cfg, s: s, train: train, live: live, method: method,
-		mc: mc, mode: mode,
+		mc: mc, mode: mode, autoSparse: autoSparse,
 		met:         newEngineMetrics(cfg.Telemetry),
 		roundStream: s.Stream("platform-rounds"),
 		execStream:  s.Stream("platform-exec"),
@@ -397,6 +403,8 @@ func (e *engine) solveScreenedRound(k int, round []int, sp *matching.SparseProbl
 	}
 	rr := e.finishRound(k, round, res.Assign, res.RepairInfo, res.Info, warm != nil, sc)
 	rr.ScreenReused = reused
+	rr.Sparse = true
+	rr.AutoSparse = e.autoSparse
 	rsp.End()
 	return rr
 }

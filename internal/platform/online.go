@@ -2,9 +2,8 @@ package platform
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"sort"
-	"sync"
 
 	"mfcp/internal/baselines"
 	"mfcp/internal/core"
@@ -70,6 +69,12 @@ type OnlineConfig struct {
 	// also leave WarmStart nil: RunOnline wires the checkpoint's predictor
 	// set in itself.
 	Resume *core.Checkpoint
+	// MaxRoundTasks bounds the size of externally composed rounds
+	// (Session.ServeComposed) and sizes the observation ring so a full
+	// window of maximal rounds never drops (default RoundSize). It does not
+	// shape sampled-round trajectories and is not part of the checkpoint
+	// fingerprint.
+	MaxRoundTasks int
 }
 
 func (c *OnlineConfig) fillDefaults() {
@@ -85,6 +90,9 @@ func (c *OnlineConfig) fillDefaults() {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 1
+	}
+	if c.MaxRoundTasks == 0 {
+		c.MaxRoundTasks = c.RoundSize
 	}
 }
 
@@ -144,201 +152,52 @@ func RunOnline(cfg OnlineConfig) (*OnlineReport, error) {
 // round served so far, means normalized over that prefix, Stopped =
 // "canceled" — returns alongside an mfcperr.ErrCanceled-wrapped error.
 func RunOnlineCtx(ctx context.Context, cfg OnlineConfig) (*OnlineReport, error) {
-	cfg.fillDefaults()
-	configHash := onlineFingerprint(&cfg)
-	start := 0
-	if ck := cfg.Resume; ck != nil {
-		if ck.ConfigHash != configHash {
-			return nil, mfcperr.Wrap(mfcperr.ErrBadConfig, "platform: checkpoint fingerprint %016x does not match this configuration (%016x)", ck.ConfigHash, configHash)
-		}
-		if ck.Set == nil {
-			return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "platform: checkpoint carries no predictor set")
-		}
-		if cfg.RefitEvery > 0 && ck.Round%cfg.RefitEvery != 0 {
-			return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "platform: checkpoint round %d is not a window boundary (RefitEvery %d)", ck.Round, cfg.RefitEvery)
-		}
-		// Serve from the saved weights without re-running training.
-		cfg.WarmStart = ck.Set
-		start = ck.Round
-	}
-	e, err := newEngine(ctx, cfg.Config)
+	sess, err := NewSession(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if e.snap == nil {
-		return nil, fmt.Errorf("platform: method %q has no refittable predictors", cfg.Method)
-	}
-	// Size the ring so one window's observations always fit: drops inside a
-	// window would depend on shard timing and break determinism. The
-	// BufferCap trim below keeps the documented oldest-drop semantics.
-	ringCap := cfg.BufferCap
-	if w := cfg.RefitEvery * cfg.RoundSize; w > ringCap {
-		ringCap = w
-	}
-	e.obs = parallel.NewRing[Observation](ringCap)
+	cfg = sess.cfg // defaults filled by NewSession
 
-	refitStream := e.s.Stream("platform-refit")
-	rep := &OnlineReport{Report: Report{Method: e.method.Name() + "+online"}}
-
-	var buffer, drained []Observation
-	var droppedBase uint64
-	if cfg.Resume != nil {
-		buffer, droppedBase, err = restoreCheckpoint(e, refitStream, rep, cfg.Resume)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Two predictor versions double-buffer across refits: the published one
-	// serves rounds while `spare` is the next refit's trainee. The swap is
-	// safe because refits are serialized (refitWG) and a superseded version
-	// is only reused after the windows that served it have fully reduced.
-	spare := e.snap.Load().Snapshot(nil)
-	var refitWG sync.WaitGroup
-
-	results := make([]RoundReport, cfg.RefitEvery)
-	windowSum, windowN := 0.0, 0
-	var lastDropped uint64
-	served := start
 	canceled := false
-
-	saveCheckpoint := func(nextRound int) error {
-		if cfg.CheckpointPath == "" {
-			return nil
-		}
-		// Join an in-flight async refit so the checkpoint holds the
-		// post-refit snapshot the resumed run must serve against.
-		refitWG.Wait()
-		drops := droppedBase + e.obs.Dropped()
-		ck := captureCheckpoint(e, refitStream, rep, nextRound, configHash, buffer, drops)
-		return core.SaveCheckpoint(cfg.CheckpointPath, ck)
-	}
-
-	for k0 := start; k0 < cfg.Rounds; k0 += cfg.RefitEvery {
+	for sess.served < cfg.Rounds {
 		if ctx.Err() != nil {
 			canceled = true
 			break
 		}
-		n := cfg.RefitEvery
-		if k0+n > cfg.Rounds {
-			n = cfg.Rounds - k0
+		// One refit window at a time (a resumed mid-window session first
+		// serves the partial window up to the boundary). Session.serve runs
+		// the boundary work — drain, refit, periodic checkpoint — whenever
+		// the served count crosses a multiple of RefitEvery; a tail shorter
+		// than a window never refits.
+		n := cfg.RefitEvery - sess.served%cfg.RefitEvery
+		if sess.served+n > cfg.Rounds {
+			n = cfg.Rounds - sess.served
 		}
-		ssp := e.met.sample.Start()
-		rounds := e.sampleRounds(n)
-		ssp.End()
-		window := results[:n]
-		v0 := e.snap.Version()
-		if err := e.sweep(k0, rounds, e.currentSet(), window); err != nil {
-			// The failed window is dropped whole; the report stays the
-			// valid prefix of fully served windows.
-			refitWG.Wait()
-			rep.RingDropped = droppedBase + e.obs.Dropped()
-			finalize(&rep.Report, served)
-			rep.Stopped = "error"
+		if _, err := sess.serve(sess.sampleNext(n)); err != nil {
+			var cks *ckSaveError
+			rep := sess.Finish()
+			if !errors.As(err, &cks) {
+				// The failed window was dropped whole; the report stays the
+				// valid prefix of fully served windows.
+				rep.Stopped = "error"
+			}
 			return rep, err
 		}
-		e.met.observeSnapshot(v0, e.snap.Version())
-		rsp := e.met.reduce.Start()
-		for i := range window {
-			reduce(&rep.Report, &window[i])
-			e.met.observeReduced(&window[i])
-			windowSum += window[i].Eval.Regret
-			windowN++
-		}
-		rsp.End()
-		served = k0 + n
-		if h := testWindowHook; h != nil {
-			h(e, k0)
-		}
-		if n < cfg.RefitEvery {
-			break // tail shorter than a window never triggered a refit
-		}
-
-		// Window boundary: join the in-flight refit (if any) so predictor
-		// versions and the replay buffer are ours to touch again. Ring
-		// accounting happens here because Len/Dropped are consumer-owned.
-		refitWG.Wait()
-		e.met.ringDepth.Set(float64(e.obs.Len()))
-		drained = e.obs.Drain(drained[:0])
-		e.met.ringIngested.Add(uint64(len(drained)))
-		if d := e.obs.Dropped(); d != lastDropped {
-			e.met.ringDropped.Add(d - lastDropped)
-			lastDropped = d
-		}
-		sort.Slice(drained, func(a, b int) bool {
-			if drained[a].Round != drained[b].Round {
-				return drained[a].Round < drained[b].Round
-			}
-			return drained[a].Slot < drained[b].Slot
-		})
-		buffer = append(buffer, drained...)
-		if len(buffer) > cfg.BufferCap {
-			buffer = buffer[len(buffer)-cfg.BufferCap:]
-		}
-
-		cur := e.snap.Load()
-		trainee := spare
-		stream := refitStream.SplitIndexed("refit", rep.Refits)
-		replay := buffer // immutable until the next refitWG.Wait()
-		e.met.refitPending.Set(1)
-		doRefit := func() {
-			sp := e.met.refit.Start()
-			cur.Snapshot(trainee)
-			if h := testRefitHook; h != nil {
-				h()
-			}
-			refit(trainee, e.s, e.train, replay, cfg.RefitEpochs, stream)
-			e.snap.Swap(trainee)
-			sp.End()
-			e.met.refits.Inc()
-			e.met.snapVersion.Set(float64(e.snap.Version()))
-			e.met.refitPending.Set(0)
-		}
-		if cfg.AsyncRefit {
-			refitWG.Add(1)
-			go func() {
-				defer refitWG.Done()
-				doRefit()
-			}()
-		} else {
-			doRefit()
-		}
-		spare = cur
-
-		rep.Refits++
-		rep.WindowRegret = append(rep.WindowRegret, windowSum/float64(windowN))
-		windowSum, windowN = 0, 0
-
-		if rep.Refits%cfg.CheckpointEvery == 0 {
-			if err := saveCheckpoint(served); err != nil {
-				rep.RingDropped = droppedBase + e.obs.Dropped()
-				finalize(&rep.Report, served)
-				return rep, fmt.Errorf("platform: checkpoint save: %w", err)
-			}
-		}
 	}
-	refitWG.Wait()
-	// Final drain accounting: the tail window's observations never met a
-	// refit, but their ring drops still belong in the report.
-	if d := e.obs.Dropped(); d != lastDropped {
-		e.met.ringDropped.Add(d - lastDropped)
-	}
-	rep.RingDropped = droppedBase + e.obs.Dropped()
 	if canceled {
 		// The last completed window is a valid resume point; persist it (with
 		// the report's raw running sums, before finalize turns them into
 		// means) so a signal-interrupted run loses at most the in-flight
 		// window.
-		saveErr := saveCheckpoint(served)
-		finalize(&rep.Report, served)
+		saveErr := sess.Checkpoint()
+		rep := sess.Finish()
 		rep.Stopped = "canceled"
 		if saveErr != nil {
 			return rep, fmt.Errorf("platform: final checkpoint: %w", saveErr)
 		}
 		return rep, mfcperr.Canceled("platform.RunOnline", context.Cause(ctx))
 	}
-	finalize(&rep.Report, served)
-	return rep, nil
+	return sess.Finish(), nil
 }
 
 // predictorSetOf extracts the refittable predictor set from a method, or

@@ -126,6 +126,12 @@ type RoundReport struct {
 	// incremental screening (MatchConfig.ScreenStaleTol); 0 on the dense
 	// path and on full re-screens.
 	ScreenReused int
+	// Sparse reports which matching path solved this round: false for the
+	// dense mirror-descent solve, true for the screened sparse pipeline.
+	// AutoSparse additionally marks sparse rounds whose TopK was selected by
+	// the AutoSparseTopK routing rule rather than configured explicitly.
+	Sparse     bool
+	AutoSparse bool
 }
 
 // Report aggregates a full simulation.

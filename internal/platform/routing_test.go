@@ -1,0 +1,104 @@
+package platform
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"mfcp/internal/obs"
+)
+
+// TestRoundReportSparseRouting pins the routing visibility contract: dense
+// rounds report Sparse=false, explicitly sparse rounds report Sparse=true
+// with AutoSparse=false (the operator chose TopK), and the routing counters
+// land in the Prometheus export.
+func TestRoundReportSparseRouting(t *testing.T) {
+	dense := tinyCfg(MethodTSM)
+	dense.Telemetry = obs.NewRegistry()
+	rep, err := Run(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range rep.Rounds {
+		if rr.Sparse || rr.AutoSparse {
+			t.Fatalf("round %d on the dense path reported Sparse=%v AutoSparse=%v", rr.Round, rr.Sparse, rr.AutoSparse)
+		}
+	}
+	assertSeries(t, dense.Telemetry, map[string]string{
+		"mfcp_rounds_dense_total":      "6",
+		"mfcp_rounds_sparse_total":     "0",
+		"mfcp_rounds_autosparse_total": "0",
+	})
+
+	sparse := tinyCfg(MethodTSM)
+	sparse.Match.TopK = 2
+	sparse.Telemetry = obs.NewRegistry()
+	rep, err = Run(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range rep.Rounds {
+		if !rr.Sparse {
+			t.Fatalf("round %d with TopK=2 did not report Sparse", rr.Round)
+		}
+		if rr.AutoSparse {
+			t.Fatalf("round %d reported AutoSparse for an explicit TopK", rr.Round)
+		}
+	}
+	assertSeries(t, sparse.Telemetry, map[string]string{
+		"mfcp_rounds_dense_total":      "0",
+		"mfcp_rounds_sparse_total":     "6",
+		"mfcp_rounds_autosparse_total": "0",
+	})
+}
+
+// TestAutoSparseRoutingSurfaced pins that when the engine's auto-routing
+// picks TopK (rather than the operator), the rounds carry AutoSparse and
+// the dedicated counter moves. The stock test scenario is far below the
+// auto-routing threshold, so the test flips the engine's recorded decision
+// directly — the propagation from flag to report to counter is what's
+// under test; the threshold rule itself is pinned in core.
+func TestAutoSparseRoutingSurfaced(t *testing.T) {
+	cfg := tinyCfg(MethodTSM)
+	cfg.Match.TopK = 2
+	cfg.Telemetry = obs.NewRegistry()
+	cfg.fillDefaults()
+	e, err := newEngine(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.autoSparse {
+		t.Fatal("explicit TopK must not be recorded as auto-routed")
+	}
+	e.autoSparse = true // as if AutoSparseTopK had chosen the sparse path
+	rep := &Report{Method: e.method.Name()}
+	if err := e.serve(rep, 0, cfg.Rounds); err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range rep.Rounds {
+		if !rr.Sparse || !rr.AutoSparse {
+			t.Fatalf("round %d Sparse=%v AutoSparse=%v, want both", rr.Round, rr.Sparse, rr.AutoSparse)
+		}
+	}
+	assertSeries(t, cfg.Telemetry, map[string]string{
+		"mfcp_rounds_sparse_total":     "6",
+		"mfcp_rounds_autosparse_total": "6",
+	})
+}
+
+// assertSeries checks that each metric appears in the Prometheus export
+// with the exact expected value.
+func assertSeries(t *testing.T, reg *obs.Registry, want map[string]string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for name, val := range want {
+		line := name + " " + val
+		if !strings.Contains(buf.String(), line) {
+			t.Fatalf("export missing %q:\n%s", line, buf.String())
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Session: the resumable online-serving state machine behind RunOnline and
+// the HTTP match server (internal/server). A Session owns a serving engine
+// plus the refit-window machinery around it — the lock-free observation
+// ring, the replay buffer, the double-buffered predictor trainee, and
+// periodic checkpoints — and exposes two ways to feed it rounds:
+//
+//   - sampleNext: draw compositions from the scenario's round stream, the
+//     simulator path RunOnlineCtx drives;
+//   - ServeComposed: serve externally composed rounds (task pool indices
+//     chosen by a caller), the entry point the network serving layer uses
+//     to run coalesced multi-tenant batches through the same screen+solve
+//     machinery.
+//
+// Both paths share every byte of the window loop — sweep, in-order reduce,
+// ring drain, refit, checkpoint — so a sequential replay of the sampled
+// compositions through ServeComposed reproduces the RunOnline trajectory
+// bit for bit (internal/server's TestReplayMatchesRunOnline).
+//
+// A Session is owned by a single goroutine: every method must be called
+// from one goroutine at a time (the engine shards internally; refits may
+// train in the background via AsyncRefit but their joins stay inside the
+// session's methods).
+package platform
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mfcp/internal/core"
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/parallel"
+	"mfcp/internal/rng"
+)
+
+// Session is the online serving loop's state between rounds. Construct
+// with NewSession, feed rounds with ServeComposed (or let RunOnlineCtx
+// drive it from the scenario's round stream), and Finish to obtain the
+// aggregated report.
+type Session struct {
+	e           *engine
+	cfg         OnlineConfig
+	configHash  uint64
+	refitStream *rng.Source
+	rep         *OnlineReport
+
+	// buffer is the replay buffer refits train on; drained is the ring
+	// drain scratch reused across window boundaries.
+	buffer  []Observation
+	drained []Observation
+	// spare double-buffers predictor versions across refits: the published
+	// set serves rounds while spare is the next refit's trainee.
+	spare   *core.PredictorSet
+	refitWG sync.WaitGroup
+
+	// results is the sweep scratch (reused across calls; reduce copies
+	// rounds into the report).
+	results []RoundReport
+
+	// windowSum/windowN accumulate the in-progress window's regret for the
+	// learning curve.
+	windowSum float64
+	windowN   int
+
+	lastDropped uint64
+	droppedBase uint64
+	served      int
+	finished    bool
+}
+
+// NewSession builds the scenario, trains (or restores) the method, and
+// wires the online serving state. Only predictor-backed methods (tsm,
+// mfcp-*) can refit and therefore serve a Session. The context governs
+// method training only; serving is synchronous.
+func NewSession(ctx context.Context, cfg OnlineConfig) (*Session, error) {
+	cfg.fillDefaults()
+	configHash := onlineFingerprint(&cfg)
+	start := 0
+	if ck := cfg.Resume; ck != nil {
+		if ck.ConfigHash != configHash {
+			return nil, mfcperr.Wrap(mfcperr.ErrBadConfig, "platform: checkpoint fingerprint %016x does not match this configuration (%016x)", ck.ConfigHash, configHash)
+		}
+		if ck.Set == nil {
+			return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "platform: checkpoint carries no predictor set")
+		}
+		// Serve from the saved weights without re-running training. A
+		// mid-window checkpoint (a drained match server's) resumes with the
+		// refit cadence still anchored at multiples of RefitEvery: the next
+		// refit fires when the absolute round count reaches the boundary.
+		cfg.WarmStart = ck.Set
+		start = ck.Round
+	}
+	e, err := newEngine(ctx, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	if e.snap == nil {
+		return nil, fmt.Errorf("platform: method %q has no refittable predictors", cfg.Method)
+	}
+	// Size the ring so one window's observations always fit: drops inside a
+	// window would depend on shard timing and break determinism. Composed
+	// rounds may carry up to MaxRoundTasks tasks each, so the ring is sized
+	// for the larger of the sampled and composed regimes. The BufferCap trim
+	// at the drain keeps the documented oldest-drop semantics.
+	ringCap := cfg.BufferCap
+	maxTasks := cfg.RoundSize
+	if cfg.MaxRoundTasks > maxTasks {
+		maxTasks = cfg.MaxRoundTasks
+	}
+	if w := cfg.RefitEvery * maxTasks; w > ringCap {
+		ringCap = w
+	}
+	e.obs = parallel.NewRing[Observation](ringCap)
+
+	s := &Session{
+		e:           e,
+		cfg:         cfg,
+		configHash:  configHash,
+		refitStream: e.s.Stream("platform-refit"),
+		rep:         &OnlineReport{Report: Report{Method: e.method.Name() + "+online"}},
+		served:      start,
+	}
+	if cfg.Resume != nil {
+		s.buffer, s.droppedBase, err = restoreCheckpoint(e, s.refitStream, s.rep, cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.spare = e.snap.Load().Snapshot(nil)
+	s.results = make([]RoundReport, cfg.RefitEvery)
+	return s, nil
+}
+
+// RoundSize returns the configured tasks-per-round of the sampled path.
+func (s *Session) RoundSize() int { return s.cfg.RoundSize }
+
+// M returns the fleet size (clusters tasks can be assigned to).
+func (s *Session) M() int { return s.e.s.M() }
+
+// PoolLen returns the task pool size; composed rounds index into it.
+func (s *Session) PoolLen() int { return s.e.s.PoolLen() }
+
+// Served returns the absolute round count served so far (including rounds
+// restored from a resumed checkpoint).
+func (s *Session) Served() int { return s.served }
+
+// Refits returns the number of predictor refits published so far.
+func (s *Session) Refits() int { return s.rep.Refits }
+
+// Method returns the serving method's name.
+func (s *Session) Method() string { return s.e.method.Name() }
+
+// RingDepth returns the number of observations pending in the ingest ring.
+// Owner-goroutine only (ring length is consumer-owned).
+func (s *Session) RingDepth() int { return s.e.obs.Len() }
+
+// RingCap returns the ingest ring's capacity.
+func (s *Session) RingCap() int { return s.e.obs.Cap() }
+
+// sampleNext draws the next n round compositions from the scenario's round
+// stream (the simulator path; ServeComposed never touches the stream).
+func (s *Session) sampleNext(n int) [][]int {
+	ssp := s.e.met.sample.Start()
+	rounds := s.e.sampleRounds(n)
+	ssp.End()
+	return rounds
+}
+
+// ServeComposed serves externally composed allocation rounds: each round is
+// a non-empty slice of task pool indices (0 ≤ idx < PoolLen), and rounds
+// may differ in size (a coalesced multi-tenant batch is one large round).
+// Rounds are swept in order, reduced into the session report, and refits
+// fire at exactly the same absolute round boundaries the sampled path uses
+// — every RefitEvery-th round — so a replay of sampled compositions is
+// bit-identical to RunOnline.
+//
+// The returned reports alias the per-round state also appended to the
+// session report (treat as read-only). On error the failed sweep's rounds
+// are dropped whole — the session report stays a valid prefix, the round
+// cursor does not advance, and the session remains serviceable; partial
+// observations a failed sweep pushed are discarded so they can never leak
+// into a later refit.
+func (s *Session) ServeComposed(rounds [][]int) ([]RoundReport, error) {
+	if s.finished {
+		return nil, mfcperr.Wrap(mfcperr.ErrBadConfig, "platform: session already finished")
+	}
+	for _, round := range rounds {
+		if err := s.validateRound(round); err != nil {
+			return nil, err
+		}
+	}
+	return s.serve(rounds)
+}
+
+// validateRound checks one composed round's shape against the pool.
+func (s *Session) validateRound(round []int) error {
+	if len(round) == 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "platform: empty round")
+	}
+	if max := s.cfg.MaxRoundTasks; max > 0 && len(round) > max {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "platform: round of %d tasks exceeds MaxRoundTasks %d", len(round), max)
+	}
+	n := s.e.s.PoolLen()
+	for _, idx := range round {
+		if idx < 0 || idx >= n {
+			return mfcperr.Wrap(mfcperr.ErrBadShape, "platform: task index %d outside pool [0,%d)", idx, n)
+		}
+	}
+	return nil
+}
+
+// serve is the window loop shared by the sampled and composed paths: sweep
+// chunks that never cross a refit-window boundary, reduce in round order,
+// and run the boundary work (drain, refit, checkpoint) whenever the served
+// count reaches a multiple of RefitEvery.
+func (s *Session) serve(rounds [][]int) ([]RoundReport, error) {
+	out := make([]RoundReport, 0, len(rounds))
+	for off := 0; off < len(rounds); {
+		room := s.cfg.RefitEvery - s.served%s.cfg.RefitEvery
+		n := len(rounds) - off
+		if n > room {
+			n = room
+		}
+		chunk := rounds[off : off+n]
+		if cap(s.results) < n {
+			s.results = make([]RoundReport, n)
+		}
+		window := s.results[:n]
+		v0 := s.e.snap.Version()
+		if err := s.e.sweep(s.served, chunk, s.e.currentSet(), window); err != nil {
+			s.discardRing()
+			return out, err
+		}
+		s.e.met.observeSnapshot(v0, s.e.snap.Version())
+		rsp := s.e.met.reduce.Start()
+		for i := range window {
+			reduce(&s.rep.Report, &window[i])
+			s.e.met.observeReduced(&window[i])
+			s.windowSum += window[i].Eval.Regret
+			s.windowN++
+		}
+		rsp.End()
+		k0 := s.served
+		s.served += n
+		out = append(out, window...)
+		if h := testWindowHook; h != nil {
+			h(s.e, k0)
+		}
+		if s.served%s.cfg.RefitEvery == 0 {
+			if err := s.refitBoundary(); err != nil {
+				return out, err
+			}
+		}
+		off += n
+	}
+	return out, nil
+}
+
+// refitBoundary runs the window-boundary work: join the in-flight refit so
+// predictor versions and the replay buffer are ours to touch again, drain
+// the ring in canonical (Round, Slot) order into the replay buffer, launch
+// the next refit (inline or in the background), and save a periodic
+// checkpoint when the cadence says so.
+func (s *Session) refitBoundary() error {
+	s.refitWG.Wait()
+	e := s.e
+	s.drainIntoBuffer()
+
+	cur := e.snap.Load()
+	trainee := s.spare
+	stream := s.refitStream.SplitIndexed("refit", s.rep.Refits)
+	replay := s.buffer // immutable until the next refitWG.Wait()
+	e.met.refitPending.Set(1)
+	doRefit := func() {
+		sp := e.met.refit.Start()
+		cur.Snapshot(trainee)
+		if h := testRefitHook; h != nil {
+			h()
+		}
+		refit(trainee, e.s, e.train, replay, s.cfg.RefitEpochs, stream)
+		e.snap.Swap(trainee)
+		sp.End()
+		e.met.refits.Inc()
+		e.met.snapVersion.Set(float64(e.snap.Version()))
+		e.met.refitPending.Set(0)
+	}
+	if s.cfg.AsyncRefit {
+		s.refitWG.Add(1)
+		go func() {
+			defer s.refitWG.Done()
+			doRefit()
+		}()
+	} else {
+		doRefit()
+	}
+	s.spare = cur
+
+	s.rep.Refits++
+	s.rep.WindowRegret = append(s.rep.WindowRegret, s.windowSum/float64(s.windowN))
+	s.windowSum, s.windowN = 0, 0
+
+	if s.rep.Refits%s.cfg.CheckpointEvery == 0 {
+		if err := s.Checkpoint(); err != nil {
+			return &ckSaveError{err}
+		}
+	}
+	return nil
+}
+
+// drainIntoBuffer drains the ring in canonical (Round, Slot) order into
+// the replay buffer with the documented oldest-drop trim. Must run with no
+// refit in flight (the buffer is the refit's training set) and no sweep in
+// flight (Len/Drain are consumer-owned).
+func (s *Session) drainIntoBuffer() {
+	e := s.e
+	e.met.ringDepth.Set(float64(e.obs.Len()))
+	s.drained = e.obs.Drain(s.drained[:0])
+	e.met.ringIngested.Add(uint64(len(s.drained)))
+	if d := e.obs.Dropped(); d != s.lastDropped {
+		e.met.ringDropped.Add(d - s.lastDropped)
+		s.lastDropped = d
+	}
+	drained := s.drained
+	sort.Slice(drained, func(a, b int) bool {
+		if drained[a].Round != drained[b].Round {
+			return drained[a].Round < drained[b].Round
+		}
+		return drained[a].Slot < drained[b].Slot
+	})
+	s.buffer = append(s.buffer, drained...)
+	if len(s.buffer) > s.cfg.BufferCap {
+		s.buffer = s.buffer[len(s.buffer)-s.cfg.BufferCap:]
+	}
+}
+
+// discardRing throws away observations a failed sweep pushed for rounds
+// that were dropped whole: they belong to no served round and must never
+// reach a refit. Observations from earlier successfully served rounds that
+// happened to still be in the ring (a mid-window server session) are
+// pushed back — their rounds are in the report, so their signal belongs to
+// the next refit. The drain re-sorts, so re-push order is irrelevant.
+func (s *Session) discardRing() {
+	s.drained = s.e.obs.Drain(s.drained[:0])
+	for _, ob := range s.drained {
+		if ob.Round < s.served {
+			s.e.obs.Push(ob)
+		}
+	}
+}
+
+// Checkpoint joins any in-flight refit and atomically saves the resumable
+// state to the configured CheckpointPath (no-op when unset). A checkpoint
+// taken mid-window — a drained match server's — first drains the ring into
+// the replay buffer so no observed execution is lost; the in-progress
+// window's learning-curve accumulator is the one piece of state a
+// mid-window resume does not carry (its WindowRegret entry then covers
+// only the post-resume rounds).
+func (s *Session) Checkpoint() error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	s.refitWG.Wait()
+	if s.served%s.cfg.RefitEvery != 0 {
+		s.drainIntoBuffer()
+	}
+	drops := s.droppedBase + s.e.obs.Dropped()
+	ck := captureCheckpoint(s.e, s.refitStream, s.rep, s.served, s.configHash, s.buffer, drops)
+	return core.SaveCheckpoint(s.cfg.CheckpointPath, ck)
+}
+
+// Finish joins any in-flight refit, folds the final ring accounting into
+// the report, normalizes the aggregate means over the served prefix, and
+// returns the report. The session cannot serve afterwards; Finish is
+// idempotent.
+func (s *Session) Finish() *OnlineReport {
+	if s.finished {
+		return s.rep
+	}
+	s.finished = true
+	s.refitWG.Wait()
+	// Final drain accounting: a tail window's observations never met a
+	// refit, but their ring drops still belong in the report.
+	if d := s.e.obs.Dropped(); d != s.lastDropped {
+		s.e.met.ringDropped.Add(d - s.lastDropped)
+		s.lastDropped = d
+	}
+	s.rep.RingDropped = s.droppedBase + s.e.obs.Dropped()
+	finalize(&s.rep.Report, s.served)
+	return s.rep
+}
+
+// ckSaveError marks a checkpoint-save failure so drivers can distinguish
+// it from a serving-path failure (the report's Stopped field stays empty
+// for save failures, matching the historical RunOnline contract).
+type ckSaveError struct{ err error }
+
+func (e *ckSaveError) Error() string { return "platform: checkpoint save: " + e.err.Error() }
+func (e *ckSaveError) Unwrap() error { return e.err }

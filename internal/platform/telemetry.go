@@ -72,6 +72,12 @@ type engineMetrics struct {
 	screenFresh  *obs.Counter
 	reconcileSec *obs.Histogram
 	repairSec    *obs.Histogram
+	// Dense/sparse routing visibility: which path each round actually took,
+	// and whether the sparse path was auto-selected (AutoSparseTopK) rather
+	// than configured. Updated on the serial reduce path.
+	roundsDense  *obs.Counter
+	roundsSparse *obs.Counter
+	autoRouted   *obs.Counter
 
 	// Warm-start effectiveness: how many solves were seeded, and the
 	// rolling iteration counts of warm vs cold solves (the iterations-saved
@@ -141,6 +147,12 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 			"duration of the capacity-reconcile phase in seconds", obs.LatencyBuckets),
 		repairSec: reg.Histogram("mfcp_phase_repair_seconds",
 			"duration of the sparse repair phase in seconds", obs.LatencyBuckets),
+		roundsDense: reg.Counter("mfcp_rounds_dense_total",
+			"rounds solved on the dense matching path"),
+		roundsSparse: reg.Counter("mfcp_rounds_sparse_total",
+			"rounds solved on the screened sparse matching path"),
+		autoRouted: reg.Counter("mfcp_rounds_autosparse_total",
+			"sparse rounds whose top-k was auto-selected (AutoSparseTopK), not configured"),
 
 		warmRounds: reg.Counter("mfcp_warm_rounds_total",
 			"predictive solves seeded from a previous round's relaxed iterate"),
@@ -205,6 +217,14 @@ func (m *engineMetrics) observeHierTimings(t matching.HierTimings) {
 func (m *engineMetrics) observeReduced(rr *RoundReport) {
 	m.rounds.Inc()
 	m.tasks.Add(uint64(len(rr.TaskIdx)))
+	if rr.Sparse {
+		m.roundsSparse.Inc()
+		if rr.AutoSparse {
+			m.autoRouted.Inc()
+		}
+	} else {
+		m.roundsDense.Inc()
+	}
 	if rr.WarmStarted {
 		m.warmRounds.Inc()
 		if !m.emaWInit {

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"errors"
+	"time"
+)
+
+// errShortServe guards the one-round contract of serveBatch; it maps to
+// 500 (internal) — the session broke its own API, not the tenant.
+var errShortServe = errors.New("server: session returned no round report")
+
+// run is the batcher: the only goroutine that touches the Matcher. It
+// pulls admitted requests off the queue, coalesces them into composed
+// rounds under the deadline/size policy, serves each round through the
+// session, and fans the per-slot results back out to the waiting handlers.
+// When the queue closes (Drain), it flushes what remains, checkpoints, and
+// exits.
+func (s *Server) run() {
+	defer close(s.done)
+	var carry *request
+	for {
+		first := carry
+		carry = nil
+		if first == nil {
+			rq, ok := <-s.submit
+			if !ok {
+				break
+			}
+			first = rq
+		}
+		batch := append(make([]*request, 0, 8), first)
+		total := len(first.tasks)
+		flush := flushImmediate
+
+		// Deadline-aware coalescing: wait up to Window for more tenants,
+		// flushing early once the composed round reaches MaxBatchTasks. A
+		// request that would overflow the cap is carried into the next
+		// round — requests are never split across rounds, so every tenant's
+		// batch is placed by one predictor version in one solve.
+		if s.cfg.Window > 0 && total < s.cfg.MaxBatchTasks {
+			timer := time.NewTimer(s.cfg.Window)
+		collect:
+			for {
+				select {
+				case rq, ok := <-s.submit:
+					if !ok {
+						break collect
+					}
+					if total+len(rq.tasks) > s.cfg.MaxBatchTasks {
+						carry = rq
+						flush = flushBySize
+						break collect
+					}
+					batch = append(batch, rq)
+					total += len(rq.tasks)
+					if total >= s.cfg.MaxBatchTasks {
+						flush = flushBySize
+						break collect
+					}
+				case <-timer.C:
+					flush = flushByDeadline
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		s.serveBatch(batch, total, flush)
+	}
+	// Queue closed and fully drained: every accepted request has been
+	// answered. Persist the session so the drained state is resumable.
+	_ = s.m.Checkpoint()
+}
+
+// serveBatch composes one round from the batch, serves it, and answers
+// every request in it. On a serving error the whole batch fails with that
+// error — per-request validation already ran at admission, so a failure
+// here is the engine's, not one tenant's.
+func (s *Server) serveBatch(batch []*request, total int, flush flushReason) {
+	round := make([]int, 0, total)
+	for _, rq := range batch {
+		round = append(round, rq.tasks...)
+	}
+	reports, err := s.m.ServeComposed([][]int{round})
+	s.ringDepth.Store(int64(s.m.RingDepth()))
+	s.met.ringDepth.Set(float64(s.m.RingDepth()))
+	s.served.Store(int64(s.m.Served()))
+	if err == nil && len(reports) != 1 {
+		err = errShortServe
+	}
+	if err != nil {
+		for _, rq := range batch {
+			rq.reply <- reply{err: err}
+		}
+		return
+	}
+	rr := &reports[0]
+	s.met.observeBatch(len(batch), total, flush)
+	off := 0
+	for _, rq := range batch {
+		resp := &MatchResponse{
+			Round:      rr.Round,
+			Coalesced:  len(batch),
+			BatchTasks: total,
+			Sparse:     rr.Sparse,
+			AutoSparse: rr.AutoSparse,
+			Regret:     rr.Eval.Regret,
+		}
+		resp.Assignments = make([]TaskAssignment, len(rq.tasks))
+		for i := range rq.tasks {
+			slot := off + i
+			resp.Assignments[i] = TaskAssignment{
+				Task:    rr.TaskIdx[slot],
+				Cluster: rr.Assignment[slot],
+				Seconds: rr.Execution.TaskSeconds[slot],
+				Success: rr.Execution.Success[slot],
+			}
+		}
+		off += len(rq.tasks)
+		rq.reply <- reply{resp: resp}
+	}
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDrainUnderLoadAnswersEverythingAccepted is the shutdown contract:
+// with concurrent tenants mid-flight, Drain stops admission, flushes and
+// answers every accepted request, checkpoints the session, and leaves no
+// goroutines behind. Run under -race this also exercises the
+// handler/batcher handoff and the drain gate.
+func TestDrainUnderLoadAnswersEverythingAccepted(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	f := newFakeMatcher()
+	f.delay = time.Millisecond // keep a few requests in flight at drain time
+	s := New(f, Config{Window: 500 * time.Microsecond, MaxBatchTasks: 16})
+	ts := httptest.NewServer(s.Handler())
+
+	const tenants = 8
+	var (
+		wg       sync.WaitGroup
+		ok       atomic.Int64
+		shed     atomic.Int64
+		badCodes sync.Map
+		stop     atomic.Bool
+	)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", i)
+			for j := 0; !stop.Load(); j++ {
+				resp, _ := postMatch(t, ts, tenant, []int{i, tenants + j%10})
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					badCodes.Store(resp.StatusCode, true)
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(30 * time.Millisecond) // let load build
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain under load: %v", err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	ts.Close()
+
+	badCodes.Range(func(code, _ any) bool {
+		t.Errorf("request answered with unexpected status %v", code)
+		return true
+	})
+	if ok.Load() == 0 {
+		t.Fatal("no request succeeded before the drain")
+	}
+	// Every accepted request was answered — nothing hung or was dropped.
+	if acc, ans := s.accepted.Load(), s.answered.Load(); acc != ans {
+		t.Fatalf("accepted %d requests but answered %d", acc, ans)
+	}
+	if f.checkpoints == 0 {
+		t.Fatal("drain did not checkpoint the session")
+	}
+
+	// The batcher and every handler must be gone; poll briefly to let the
+	// scheduler retire finished goroutines (HTTP keep-alive workers close
+	// with the test server).
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+	}
+}
+
+// TestDrainIdempotentAndImmediateWhenIdle pins that Drain with nothing in
+// flight returns promptly and that calling it twice is safe.
+func TestDrainIdempotentAndImmediateWhenIdle(t *testing.T) {
+	f := newFakeMatcher()
+	s := New(f, Config{Window: time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("first drain: %v", err)
+	}
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	if f.checkpoints != 1 {
+		t.Fatalf("checkpoints %d, want exactly 1", f.checkpoints)
+	}
+}
+
+// TestDrainRejectsNewWork pins the admission side of the gate: after Drain
+// begins, /v1/match sheds with 503 and the body says so.
+func TestDrainRejectsNewWork(t *testing.T) {
+	f := newFakeMatcher()
+	s := New(f, Config{Window: 0})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	drain(t, s)
+
+	resp, raw := postMatch(t, ts, "late", []int{1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, raw)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.RetryAfter == 0 {
+		t.Fatalf("shed body %s (err %v)", raw, err)
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"mfcp/internal/matching"
+	"mfcp/internal/mfcperr"
+)
+
+// errorBody is the JSON error envelope. Kind is the stable, machine-
+// readable name of the mfcperr sentinel behind the failure; Error is the
+// human-readable chain. Hall carries the structured infeasibility
+// certificate when one exists (422 responses).
+type errorBody struct {
+	Error      string    `json:"error"`
+	Kind       string    `json:"kind"`
+	RetryAfter int       `json:"retry_after_seconds,omitempty"`
+	Hall       *hallBody `json:"hall,omitempty"`
+}
+
+// hallBody is the wire form of matching.HallViolation: the saturated
+// cluster set whose assigned tasks exceed its capacity. A client holding
+// this certificate knows the rejection is structural — retrying the same
+// candidate set cannot succeed.
+type hallBody struct {
+	Source   int   `json:"source"`
+	Clusters []int `json:"clusters"`
+	Demand   int   `json:"demand"`
+	Capacity int   `json:"capacity"`
+}
+
+// statusFor maps the mfcperr taxonomy onto HTTP status codes: caller
+// mistakes (shape, config) are 4xx, structural infeasibility is 422
+// Unprocessable Entity, shutdown is 503, everything else — including
+// ErrNotConverged and corrupt state, which the client cannot fix — is 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, mfcperr.ErrBadShape), errors.Is(err, mfcperr.ErrBadConfig):
+		return http.StatusBadRequest
+	case errors.Is(err, mfcperr.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, mfcperr.ErrCanceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// kindFor names the sentinel for the error body.
+func kindFor(err error) string {
+	switch {
+	case errors.Is(err, mfcperr.ErrBadShape):
+		return "bad_shape"
+	case errors.Is(err, mfcperr.ErrBadConfig):
+		return "bad_config"
+	case errors.Is(err, mfcperr.ErrInfeasible):
+		return "infeasible"
+	case errors.Is(err, mfcperr.ErrCanceled):
+		return "canceled"
+	case errors.Is(err, mfcperr.ErrNotConverged):
+		return "not_converged"
+	case errors.Is(err, mfcperr.ErrCorruptCheckpoint):
+		return "corrupt_checkpoint"
+	default:
+		return "internal"
+	}
+}
+
+// writeError renders err as its mapped status with the JSON envelope,
+// attaching the Hall certificate when the chain carries one.
+func writeError(w http.ResponseWriter, err error) {
+	body := errorBody{Error: err.Error(), Kind: kindFor(err)}
+	var hv *matching.HallViolation
+	if errors.As(err, &hv) {
+		body.Hall = &hallBody{
+			Source: hv.Source, Clusters: hv.Clusters,
+			Demand: hv.Demand, Capacity: hv.Capacity,
+		}
+	}
+	writeJSON(w, statusFor(err), body)
+}
+
+// writeReject renders an admission rejection (503 for load shedding, 429
+// for quota) with a Retry-After hint in both the header and the body.
+func writeReject(w http.ResponseWriter, status int, kind, msg string, retryAfter int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeJSON(w, status, errorBody{Error: msg, Kind: kind, RetryAfter: retryAfter})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mfcp/internal/matching"
+	"mfcp/internal/mfcperr"
+)
+
+// TestStatusMapping pins the mfcperr → HTTP contract: validation errors
+// are the caller's (4xx), infeasibility is 422, shutdown is 503, and
+// everything the client cannot fix is 500.
+func TestStatusMapping(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		kind   string
+	}{
+		{mfcperr.Wrap(mfcperr.ErrBadShape, "ragged"), http.StatusBadRequest, "bad_shape"},
+		{mfcperr.Wrap(mfcperr.ErrBadConfig, "bad gamma"), http.StatusBadRequest, "bad_config"},
+		{mfcperr.Wrap(mfcperr.ErrInfeasible, "starved"), http.StatusUnprocessableEntity, "infeasible"},
+		{mfcperr.Canceled("platform.serve", nil), http.StatusServiceUnavailable, "canceled"},
+		{mfcperr.Wrap(mfcperr.ErrNotConverged, "budget"), http.StatusInternalServerError, "not_converged"},
+		{mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "crc"), http.StatusInternalServerError, "corrupt_checkpoint"},
+		{errors.New("disk on fire"), http.StatusInternalServerError, "internal"},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeError(rec, tc.err)
+		if rec.Code != tc.status {
+			t.Fatalf("%v: status %d, want %d", tc.err, rec.Code, tc.status)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+			t.Fatalf("%v: body %s: %v", tc.err, rec.Body.Bytes(), err)
+		}
+		if eb.Kind != tc.kind {
+			t.Fatalf("%v: kind %q, want %q", tc.err, eb.Kind, tc.kind)
+		}
+		if eb.Error == "" {
+			t.Fatalf("%v: empty error message", tc.err)
+		}
+	}
+}
+
+// TestInfeasibleCarriesHallCertificate pins the 422 body: when the error
+// chain holds a matching.HallViolation, the response carries the full
+// structured certificate so the client can see the rejection is
+// structural.
+func TestInfeasibleCarriesHallCertificate(t *testing.T) {
+	hall := &matching.HallViolation{
+		Source: 2, Clusters: []int{0, 2, 5}, Demand: 9, Capacity: 6,
+	}
+	err := fmt.Errorf("server: batch rejected: %w", hall)
+	if !errors.Is(err, mfcperr.ErrInfeasible) {
+		t.Fatal("certificate lost ErrInfeasible through wrapping")
+	}
+	rec := httptest.NewRecorder()
+	writeError(rec, err)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", rec.Code)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Kind != "infeasible" || eb.Hall == nil {
+		t.Fatalf("body %+v lacks the certificate", eb)
+	}
+	h := eb.Hall
+	if h.Source != 2 || len(h.Clusters) != 3 || h.Demand != 9 || h.Capacity != 6 {
+		t.Fatalf("certificate %+v does not round-trip", h)
+	}
+}
+
+// TestEngineErrorFailsBatchWithMappedStatus runs an erroring matcher
+// end-to-end: a serving failure is answered to every request in the batch
+// with the mapped status, and an infeasibility failure carries its Hall
+// certificate through the HTTP layer.
+func TestEngineErrorFailsBatchWithMappedStatus(t *testing.T) {
+	f := newFakeMatcher()
+	f.serveErr = fmt.Errorf("reconcile: %w", &matching.HallViolation{
+		Source: 0, Clusters: []int{0}, Demand: 3, Capacity: 1,
+	})
+	s := New(f, Config{Window: 0})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, raw := postMatch(t, ts, "t", []int{1, 2})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, raw)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Hall == nil || eb.Hall.Demand != 3 {
+		t.Fatalf("422 body %s lost the certificate (err %v)", raw, err)
+	}
+}

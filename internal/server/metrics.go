@@ -1,0 +1,107 @@
+package server
+
+import "mfcp/internal/obs"
+
+// serverMetrics are the front-end's pre-bound instruments. Like the
+// engine's, they follow the obs nil-instrument contract: with no registry
+// configured every op is a no-op and the handler code stays unconditional.
+type serverMetrics struct {
+	// Request accounting, recorded by the handlers.
+	requests   *obs.Counter
+	okResp     *obs.Counter
+	clientErrs *obs.Counter
+	serverErrs *obs.Counter
+	latency    *obs.Timer
+
+	// Admission rejections by cause, recorded before a request is queued.
+	rejectQueue *obs.Counter
+	rejectRing  *obs.Counter
+	rejectQuota *obs.Counter
+
+	// Batch shape, recorded by the batcher (single goroutine). The
+	// coalesce-factor gauge is an EWMA of requests-per-batch — the
+	// amortization the micro-batcher is buying.
+	batches       *obs.Counter
+	batchTasks    *obs.Histogram
+	batchRequests *obs.Histogram
+	coalesce      *obs.Gauge
+	emaCoalesce   float64
+	emaInit       bool
+	flushSize     *obs.Counter
+	flushDeadline *obs.Counter
+	flushSolo     *obs.Counter
+
+	// Backpressure surfaces mirrored from the serving session.
+	ringDepth *obs.Gauge
+	draining  *obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	return serverMetrics{
+		requests:   reg.Counter("mfcp_http_requests_total", "match requests received"),
+		okResp:     reg.Counter("mfcp_http_ok_total", "match requests answered 200"),
+		clientErrs: reg.Counter("mfcp_http_client_errors_total", "match requests answered 4xx"),
+		serverErrs: reg.Counter("mfcp_http_server_errors_total", "match requests answered 5xx"),
+		latency: obs.NewTimer(reg.Histogram("mfcp_http_request_seconds",
+			"end-to-end match request latency", obs.LatencyBuckets)),
+
+		rejectQueue: reg.Counter("mfcp_admission_queue_rejected_total",
+			"requests shed because the batch queue was full"),
+		rejectRing: reg.Counter("mfcp_admission_backpressure_rejected_total",
+			"requests shed because the observation ring was deep"),
+		rejectQuota: reg.Counter("mfcp_admission_quota_rejected_total",
+			"requests shed because the tenant exceeded its pending-task quota"),
+
+		batches: reg.Counter("mfcp_batches_total", "coalesced rounds served"),
+		batchTasks: reg.Histogram("mfcp_batch_tasks",
+			"tasks per coalesced round", obs.ExpBuckets(1, 2, 12)),
+		batchRequests: reg.Histogram("mfcp_batch_requests",
+			"tenant requests per coalesced round", obs.ExpBuckets(1, 2, 8)),
+		coalesce: reg.Gauge("mfcp_batch_coalesce_factor",
+			"EWMA of requests coalesced per round"),
+		flushSize: reg.Counter("mfcp_batch_flush_size_total",
+			"batches flushed by reaching MaxTasks"),
+		flushDeadline: reg.Counter("mfcp_batch_flush_deadline_total",
+			"batches flushed by the window deadline"),
+		flushSolo: reg.Counter("mfcp_batch_flush_solo_total",
+			"batches flushed immediately (window 0 or drain)"),
+
+		ringDepth: reg.Gauge("mfcp_server_ring_depth",
+			"observation-ring depth after the last served batch"),
+		draining: reg.Gauge("mfcp_server_draining", "1 while the server is draining"),
+	}
+}
+
+// observeBatch folds one served batch into the shape instruments. Called
+// only from the batcher goroutine (the EWMA fields are unsynchronized).
+func (m *serverMetrics) observeBatch(requests, tasks int, flush flushReason) {
+	m.batches.Inc()
+	m.batchTasks.Observe(float64(tasks))
+	m.batchRequests.Observe(float64(requests))
+	if !m.emaInit {
+		m.emaCoalesce, m.emaInit = float64(requests), true
+	} else {
+		m.emaCoalesce += coalesceAlpha * (float64(requests) - m.emaCoalesce)
+	}
+	m.coalesce.Set(m.emaCoalesce)
+	switch flush {
+	case flushBySize:
+		m.flushSize.Inc()
+	case flushByDeadline:
+		m.flushDeadline.Inc()
+	default:
+		m.flushSolo.Inc()
+	}
+}
+
+// coalesceAlpha smooths the coalesce-factor gauge (~20-batch memory),
+// matching the engine's rolling-quality EWMA convention.
+const coalesceAlpha = 0.05
+
+type flushReason int
+
+const (
+	flushImmediate flushReason = iota
+	flushBySize
+	flushByDeadline
+)

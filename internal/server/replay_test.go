@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mfcp/internal/platform"
+	"mfcp/internal/workload"
+)
+
+func errorf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+func replayOnlineCfg() platform.OnlineConfig {
+	return platform.OnlineConfig{
+		Config: platform.Config{
+			Scenario:       workload.Config{PoolSize: 48, FeatureDim: 12, Seed: 11},
+			Method:         platform.MethodTSM,
+			Rounds:         12,
+			RoundSize:      4,
+			PretrainEpochs: 40,
+			RegretEpochs:   4,
+			Hidden:         []int{8},
+		},
+		RefitEvery:  3,
+		RefitEpochs: 5,
+	}
+}
+
+// TestReplayMatchesRunOnline is the determinism acceptance criterion: a
+// single tenant submitting the sampled round compositions sequentially
+// through the HTTP path reproduces the in-process RunOnline trajectory bit
+// for bit — same assignments, same realized executions, same regret —
+// because the batcher drives the identical Session machinery (sweep, ring
+// drain, refit at the same absolute round boundaries) and a round's result
+// is a pure function of (round index, predictor version).
+func TestReplayMatchesRunOnline(t *testing.T) {
+	cfg := replayOnlineCfg()
+	full, err := platform.RunOnline(cfg)
+	if err != nil {
+		t.Fatalf("reference RunOnline: %v", err)
+	}
+	if len(full.Rounds) != cfg.Rounds {
+		t.Fatalf("reference served %d rounds", len(full.Rounds))
+	}
+
+	// Recompute the compositions RunOnline sampled: the round stream is
+	// consumed serially in round order, so a fresh scenario replays it.
+	sc, err := workload.New(cfg.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, live, err := sc.SplitChecked(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := sc.Stream("platform-rounds")
+	compositions := make([][]int, cfg.Rounds)
+	for i := range compositions {
+		compositions[i] = sc.SampleRound(live, cfg.RoundSize, stream)
+	}
+
+	sess, err := platform.NewSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	s := New(sess, Config{Window: 0})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for k, tasks := range compositions {
+		resp, raw := postMatch(t, ts, "replayer", tasks)
+		if resp.StatusCode != 200 {
+			t.Fatalf("round %d: status %d: %s", k, resp.StatusCode, raw)
+		}
+		mr := decodeMatch(t, raw)
+		ref := full.Rounds[k]
+		if mr.Round != ref.Round {
+			t.Fatalf("round index %d, want %d", mr.Round, ref.Round)
+		}
+		if mr.Coalesced != 1 {
+			t.Fatalf("round %d coalesced %d-way in a sequential replay", k, mr.Coalesced)
+		}
+		if mr.Regret != ref.Eval.Regret {
+			t.Fatalf("round %d regret %v, want %v (trajectory diverged)", k, mr.Regret, ref.Eval.Regret)
+		}
+		if len(mr.Assignments) != len(ref.Assignment) {
+			t.Fatalf("round %d: %d assignments, want %d", k, len(mr.Assignments), len(ref.Assignment))
+		}
+		for j, a := range mr.Assignments {
+			if a.Task != ref.TaskIdx[j] || a.Cluster != ref.Assignment[j] {
+				t.Fatalf("round %d slot %d: (task %d, cluster %d), want (%d, %d)",
+					k, j, a.Task, a.Cluster, ref.TaskIdx[j], ref.Assignment[j])
+			}
+			if a.Seconds != ref.Execution.TaskSeconds[j] || a.Success != ref.Execution.Success[j] {
+				t.Fatalf("round %d slot %d execution diverged: (%v,%v) want (%v,%v)",
+					k, j, a.Seconds, a.Success, ref.Execution.TaskSeconds[j], ref.Execution.Success[j])
+			}
+		}
+	}
+	if got := sess.Served(); got != cfg.Rounds {
+		t.Fatalf("session served %d rounds, want %d", got, cfg.Rounds)
+	}
+	if got := sess.Refits(); got != full.Refits {
+		t.Fatalf("session refits %d, want %d", got, full.Refits)
+	}
+}
+
+// TestConcurrentTenantsRealSession pushes concurrent tenants through a
+// real Session with coalescing on — the race gate for the full HTTP →
+// batcher → engine path. Correctness here is structural (every response
+// well-formed and every task answered with a valid cluster); coalesced
+// trajectories are load-dependent by design (DESIGN.md §10).
+func TestConcurrentTenantsRealSession(t *testing.T) {
+	cfg := replayOnlineCfg()
+	cfg.Rounds = 0 // unused by the session's composed path
+	cfg.MaxRoundTasks = 16
+	sess, err := platform.NewSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sess.M()
+	s := New(sess, Config{Window: 2 * time.Millisecond, MaxBatchTasks: 16})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			for j := 0; j < 6; j++ {
+				tasks := []int{(i*7 + j) % 36, (i*11 + j + 1) % 36}
+				resp, raw := postMatch(t, ts, "t", tasks)
+				if resp.StatusCode != 200 {
+					done <- errorf("tenant %d round %d: status %d: %s", i, j, resp.StatusCode, raw)
+					return
+				}
+				mr := decodeMatch(t, raw)
+				if len(mr.Assignments) != 2 {
+					done <- errorf("tenant %d: %d assignments", i, len(mr.Assignments))
+					return
+				}
+				for _, a := range mr.Assignments {
+					if a.Cluster < 0 || a.Cluster >= m {
+						done <- errorf("tenant %d: cluster %d out of range", i, a.Cluster)
+						return
+					}
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain(t, s)
+}

@@ -1,0 +1,386 @@
+// Package server is the exchange platform's multi-tenant HTTP front-end:
+// the promotion of the internal/platform serving engine from a library
+// loop to a long-lived service (ROADMAP item 1). Tenants POST task batches
+// to /v1/match and receive assignments; a deadline-aware micro-batcher
+// coalesces concurrent tenants' tasks into one shared screen+solve round,
+// amortizing the fixed per-round cost (problem build, workspace resets,
+// oracle scoring, execution setup) across every tenant in the window.
+//
+// The serving session is single-owner: exactly one batcher goroutine calls
+// into the platform.Session, so the engine's determinism contract — a
+// round's result is a pure function of (round index, predictor version) —
+// survives the network hop. A single tenant submitting sequentially
+// replays the in-process RunOnline trajectory bit for bit.
+//
+// Admission control front-runs the queue: requests are rejected with
+// Retry-After when the batch queue is full (503), when the observation
+// ring is deep (503 — refits are falling behind ingest), or when the
+// tenant exceeds its pending-task quota (429). Validation errors map
+// through the mfcperr taxonomy (httpmap.go), so a malformed request can
+// never poison a coalesced round that carries other tenants' tasks.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/obs"
+	"mfcp/internal/platform"
+)
+
+// Matcher is the serving surface the front-end drives, implemented by
+// *platform.Session. All methods are called from the single batcher
+// goroutine.
+type Matcher interface {
+	// ServeComposed serves externally composed rounds of task pool indices.
+	ServeComposed(rounds [][]int) ([]platform.RoundReport, error)
+	// Checkpoint persists a resumable snapshot (no-op without a path).
+	Checkpoint() error
+	// PoolLen bounds valid task indices; Served is the absolute round count.
+	PoolLen() int
+	Served() int
+	// RingDepth/RingCap expose observation-ring occupancy for backpressure.
+	RingDepth() int
+	RingCap() int
+}
+
+// Config parameterizes the front-end.
+type Config struct {
+	// Window bounds how long the batcher waits for more tenants after the
+	// first request of a batch arrives. 0 disables coalescing entirely:
+	// every request is served as its own round (the per-request baseline —
+	// and the mode that preserves single-tenant replay determinism exactly).
+	Window time.Duration
+	// MaxBatchTasks flushes a batch once its composed round reaches this
+	// many tasks, and bounds a single request's size. Must not exceed the
+	// session's MaxRoundTasks (the observation ring is sized by it).
+	// Default 64.
+	MaxBatchTasks int
+	// QueueCap bounds requests queued for batching; a full queue sheds with
+	// 503 + Retry-After (default 128).
+	QueueCap int
+	// TenantMaxPending caps one tenant's queued-but-unanswered tasks; more
+	// sheds with 429 + Retry-After (default 4 * MaxBatchTasks).
+	TenantMaxPending int
+	// RingHighWater sheds new work with 503 once the observation ring is
+	// this full (fraction of capacity; default 0.9). The ring drains at
+	// refit boundaries, so depth near capacity means refits are falling
+	// behind ingest and further rounds risk dropping learning signal.
+	RingHighWater float64
+	// RetryAfterSeconds is the hint attached to 503/429 rejections
+	// (default 1).
+	RetryAfterSeconds int
+	// Telemetry, when non-nil, receives the request/batch instruments and
+	// is mounted at /metrics (with /debug/pprof) on the server's mux.
+	Telemetry *obs.Registry
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxBatchTasks == 0 {
+		c.MaxBatchTasks = 64
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 128
+	}
+	if c.TenantMaxPending == 0 {
+		c.TenantMaxPending = 4 * c.MaxBatchTasks
+	}
+	if c.RingHighWater == 0 {
+		c.RingHighWater = 0.9
+	}
+	if c.RetryAfterSeconds == 0 {
+		c.RetryAfterSeconds = 1
+	}
+}
+
+// MatchRequest is the /v1/match request body: a tenant name and the task
+// pool indices to place this round.
+type MatchRequest struct {
+	Tenant string `json:"tenant"`
+	Tasks  []int  `json:"tasks"`
+}
+
+// TaskAssignment is one task's placement and realized execution.
+type TaskAssignment struct {
+	Task    int     `json:"task"`
+	Cluster int     `json:"cluster"`
+	Seconds float64 `json:"seconds"`
+	Success bool    `json:"success"`
+}
+
+// MatchResponse is the /v1/match response body. Round is the absolute
+// round index that served this request; Coalesced and BatchTasks describe
+// the shared round (Coalesced == 1 means no other tenant rode along).
+type MatchResponse struct {
+	Round       int              `json:"round"`
+	Coalesced   int              `json:"coalesced"`
+	BatchTasks  int              `json:"batch_tasks"`
+	Sparse      bool             `json:"sparse"`
+	AutoSparse  bool             `json:"auto_sparse"`
+	Regret      float64          `json:"regret"`
+	Assignments []TaskAssignment `json:"assignments"`
+}
+
+// request is one admitted submission traveling handler → batcher.
+type request struct {
+	tenant string
+	tasks  []int
+	reply  chan reply
+}
+
+type reply struct {
+	resp *MatchResponse
+	err  error
+}
+
+// Server owns the batcher goroutine and the HTTP surface. Construct with
+// New, mount Handler, and Drain on shutdown.
+type Server struct {
+	cfg Config
+	m   Matcher
+	met serverMetrics
+	mux *http.ServeMux
+
+	submit chan *request
+
+	// mu orders handler admissions against the drain transition: enqueues
+	// register with enqueueWG under the read lock while draining is false,
+	// and Drain flips the flag under the write lock, waits the group out,
+	// and only then closes submit — so no handler can send on a closed
+	// channel.
+	mu        sync.RWMutex
+	draining  bool
+	enqueueWG sync.WaitGroup
+	drainOnce sync.Once
+	done      chan struct{}
+
+	// Owner-goroutine session state mirrored for handlers and /v1/stats.
+	ringDepth atomic.Int64
+	served    atomic.Int64
+	accepted  atomic.Int64
+	answered  atomic.Int64
+
+	quotaMu sync.Mutex
+	pending map[string]int
+}
+
+// New wires a front-end around m and starts its batcher goroutine. The
+// caller serves s.Handler() and must Drain before discarding the session.
+func New(m Matcher, cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:     cfg,
+		m:       m,
+		met:     newServerMetrics(cfg.Telemetry),
+		submit:  make(chan *request, cfg.QueueCap),
+		done:    make(chan struct{}),
+		pending: make(map[string]int),
+	}
+	s.served.Store(int64(m.Served()))
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/match", s.handleMatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.Telemetry != nil {
+		oh := obs.Handler(cfg.Telemetry)
+		s.mux.Handle("/metrics", oh)
+		s.mux.Handle("/debug/", oh)
+	}
+	go s.run()
+	return s
+}
+
+// Handler returns the server's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting new requests, flushes and answers everything
+// already accepted, checkpoints the session, and returns. Safe to call
+// more than once. The context bounds the wait; on expiry the batcher keeps
+// draining in the background.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		s.met.draining.Set(1)
+		go func() {
+			// Handlers that passed the draining check are either queued or
+			// about to be; wait them out before closing the channel.
+			s.enqueueWG.Wait()
+			close(s.submit)
+		}()
+	})
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// handleMatch validates, admits, enqueues, and waits for the batcher's
+// answer.
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	sp := s.met.latency.Start()
+	defer sp.End()
+	s.met.requests.Inc()
+
+	var req MatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.met.clientErrs.Inc()
+		writeError(w, mfcperr.Wrap(mfcperr.ErrBadShape, "server: malformed request body: %v", err))
+		return
+	}
+	if err := s.validate(&req); err != nil {
+		s.met.clientErrs.Inc()
+		writeError(w, err)
+		return
+	}
+	// Admission: backpressure first (cheapest signal of systemic overload),
+	// then the per-tenant quota, then the queue itself.
+	if cap := s.m.RingCap(); cap > 0 {
+		if float64(s.ringDepth.Load()) >= s.cfg.RingHighWater*float64(cap) {
+			s.met.rejectRing.Inc()
+			writeReject(w, http.StatusServiceUnavailable, "backpressure",
+				"server: observation ring near capacity; retry shortly", s.cfg.RetryAfterSeconds)
+			return
+		}
+	}
+	if !s.quotaAcquire(req.Tenant, len(req.Tasks)) {
+		s.met.rejectQuota.Inc()
+		writeReject(w, http.StatusTooManyRequests, "quota",
+			"server: tenant pending-task quota exceeded; retry shortly", s.cfg.RetryAfterSeconds)
+		return
+	}
+	defer s.quotaRelease(req.Tenant, len(req.Tasks))
+
+	rq := &request{tenant: req.Tenant, tasks: req.Tasks, reply: make(chan reply, 1)}
+	if !s.enqueue(rq) {
+		s.met.rejectQueue.Inc()
+		writeReject(w, http.StatusServiceUnavailable, "overloaded",
+			"server: batch queue full or draining; retry shortly", s.cfg.RetryAfterSeconds)
+		return
+	}
+	s.accepted.Add(1)
+
+	select {
+	case rep := <-rq.reply:
+		s.answered.Add(1)
+		if rep.err != nil {
+			if statusFor(rep.err) >= 500 {
+				s.met.serverErrs.Inc()
+			} else {
+				s.met.clientErrs.Inc()
+			}
+			writeError(w, rep.err)
+			return
+		}
+		s.met.okResp.Inc()
+		writeJSON(w, http.StatusOK, rep.resp)
+	case <-r.Context().Done():
+		// The client went away; the batcher's answer lands in the buffered
+		// reply channel and is dropped. The round is still served — accepted
+		// work is never abandoned server-side.
+		s.answered.Add(1)
+	}
+}
+
+// validate checks a request against the session's pool so a bad request is
+// rejected at its own door and can never fail a coalesced round carrying
+// other tenants' tasks.
+func (s *Server) validate(req *MatchRequest) error {
+	if len(req.Tasks) == 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "server: request carries no tasks")
+	}
+	if len(req.Tasks) > s.cfg.MaxBatchTasks {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "server: %d tasks exceeds the %d per-request cap", len(req.Tasks), s.cfg.MaxBatchTasks)
+	}
+	n := s.m.PoolLen()
+	for _, idx := range req.Tasks {
+		if idx < 0 || idx >= n {
+			return mfcperr.Wrap(mfcperr.ErrBadShape, "server: task index %d outside pool [0,%d)", idx, n)
+		}
+	}
+	return nil
+}
+
+// enqueue registers with the drain gate and queues the request; false
+// means draining or queue full.
+func (s *Server) enqueue(rq *request) bool {
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		return false
+	}
+	s.enqueueWG.Add(1)
+	s.mu.RUnlock()
+	defer s.enqueueWG.Done()
+	select {
+	case s.submit <- rq:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) quotaAcquire(tenant string, n int) bool {
+	s.quotaMu.Lock()
+	defer s.quotaMu.Unlock()
+	if s.pending[tenant]+n > s.cfg.TenantMaxPending {
+		return false
+	}
+	s.pending[tenant] += n
+	return true
+}
+
+func (s *Server) quotaRelease(tenant string, n int) {
+	s.quotaMu.Lock()
+	defer s.quotaMu.Unlock()
+	if s.pending[tenant] -= n; s.pending[tenant] <= 0 {
+		delete(s.pending, tenant)
+	}
+}
+
+// statsBody is the /v1/stats response.
+type statsBody struct {
+	Served    int64 `json:"rounds_served"`
+	Accepted  int64 `json:"requests_accepted"`
+	Answered  int64 `json:"requests_answered"`
+	RingDepth int64 `json:"ring_depth"`
+	RingCap   int   `json:"ring_cap"`
+	QueueLen  int   `json:"queue_len"`
+	QueueCap  int   `json:"queue_cap"`
+	Draining  bool  `json:"draining"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, statsBody{
+		Served:    s.served.Load(),
+		Accepted:  s.accepted.Load(),
+		Answered:  s.answered.Load(),
+		RingDepth: s.ringDepth.Load(),
+		RingCap:   s.m.RingCap(),
+		QueueLen:  len(s.submit),
+		QueueCap:  s.cfg.QueueCap,
+		Draining:  draining,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		writeReject(w, http.StatusServiceUnavailable, "draining", "server: draining", s.cfg.RetryAfterSeconds)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,396 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mfcp/internal/platform"
+	"mfcp/internal/sched"
+)
+
+// fakeMatcher is a deterministic in-memory Matcher: task j goes to cluster
+// j%3 and runs for float64(j) seconds. It lets the front-end tests cover
+// batching, admission, drain, and error mapping without training a model.
+type fakeMatcher struct {
+	mu          sync.Mutex
+	served      int
+	rounds      [][]int
+	serveErr    error
+	delay       time.Duration
+	checkpoints int
+	ringDepth   int
+	ringCap     int
+	poolLen     int
+}
+
+func newFakeMatcher() *fakeMatcher {
+	return &fakeMatcher{ringCap: 100, poolLen: 1000}
+}
+
+func (f *fakeMatcher) ServeComposed(rounds [][]int) ([]platform.RoundReport, error) {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.serveErr != nil {
+		return nil, f.serveErr
+	}
+	out := make([]platform.RoundReport, len(rounds))
+	for i, round := range rounds {
+		rr := platform.RoundReport{
+			Round:      f.served,
+			TaskIdx:    append([]int(nil), round...),
+			Assignment: make([]int, len(round)),
+		}
+		rr.Execution = sched.Result{
+			TaskSeconds: make([]float64, len(round)),
+			Success:     make([]bool, len(round)),
+		}
+		for j, task := range round {
+			rr.Assignment[j] = task % 3
+			rr.Execution.TaskSeconds[j] = float64(task)
+			rr.Execution.Success[j] = true
+		}
+		f.served++
+		f.rounds = append(f.rounds, append([]int(nil), round...))
+		out[i] = rr
+	}
+	return out, nil
+}
+
+func (f *fakeMatcher) Checkpoint() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.checkpoints++
+	return nil
+}
+
+func (f *fakeMatcher) PoolLen() int { return f.poolLen }
+func (f *fakeMatcher) Served() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.served
+}
+func (f *fakeMatcher) RingDepth() int { return f.ringDepth }
+func (f *fakeMatcher) RingCap() int   { return f.ringCap }
+
+func (f *fakeMatcher) servedRounds() [][]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([][]int(nil), f.rounds...)
+}
+
+func postMatch(t *testing.T, ts *httptest.Server, tenant string, tasks []int) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(MatchRequest{Tenant: tenant, Tasks: tasks})
+	resp, err := http.Post(ts.URL+"/v1/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/match: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func decodeMatch(t *testing.T, raw []byte) MatchResponse {
+	t.Helper()
+	var mr MatchResponse
+	if err := json.Unmarshal(raw, &mr); err != nil {
+		t.Fatalf("decode response %s: %v", raw, err)
+	}
+	return mr
+}
+
+// TestMatchSingleRequest pins the happy path: one request, one round, the
+// fake's deterministic placement echoed per task.
+func TestMatchSingleRequest(t *testing.T) {
+	f := newFakeMatcher()
+	s := New(f, Config{Window: 0})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, raw := postMatch(t, ts, "tenant-a", []int{7, 8, 9})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	mr := decodeMatch(t, raw)
+	if mr.Coalesced != 1 || mr.BatchTasks != 3 || len(mr.Assignments) != 3 {
+		t.Fatalf("response shape: %+v", mr)
+	}
+	for i, a := range mr.Assignments {
+		want := []int{7, 8, 9}[i]
+		if a.Task != want || a.Cluster != want%3 || a.Seconds != float64(want) || !a.Success {
+			t.Fatalf("assignment %d: %+v", i, a)
+		}
+	}
+}
+
+// TestCoalescingSharesRound pins the tentpole behavior: with a batching
+// window open, concurrent tenants land in one composed round and each gets
+// back exactly its own slice of the assignment.
+func TestCoalescingSharesRound(t *testing.T) {
+	f := newFakeMatcher()
+	// A long window with a size cap exactly matching the offered load: the
+	// batch flushes on size, so the test does not depend on timing.
+	s := New(f, Config{Window: time.Second, MaxBatchTasks: 8})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const tenants = 4
+	var wg sync.WaitGroup
+	responses := make([]MatchResponse, tenants)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, raw := postMatch(t, ts, fmt.Sprintf("tenant-%d", i), []int{2 * i, 2*i + 1})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("tenant %d: status %d: %s", i, resp.StatusCode, raw)
+				return
+			}
+			responses[i] = decodeMatch(t, raw)
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	rounds := f.servedRounds()
+	if len(rounds) != 1 {
+		t.Fatalf("served %d rounds, want 1 coalesced round: %v", len(rounds), rounds)
+	}
+	if len(rounds[0]) != 2*tenants {
+		t.Fatalf("coalesced round has %d tasks, want %d", len(rounds[0]), 2*tenants)
+	}
+	for i, mr := range responses {
+		if mr.Coalesced != tenants || mr.BatchTasks != 2*tenants {
+			t.Fatalf("tenant %d response %+v, want coalesced=%d", i, mr, tenants)
+		}
+		for j, a := range mr.Assignments {
+			want := 2*i + j
+			if a.Task != want || a.Cluster != want%3 {
+				t.Fatalf("tenant %d slot %d got task %d cluster %d", i, j, a.Task, a.Cluster)
+			}
+		}
+	}
+}
+
+// TestWindowZeroServesPerRequest pins the per-request baseline: with
+// Window == 0 coalescing is off and every request is its own round even
+// when submitted together.
+func TestWindowZeroServesPerRequest(t *testing.T) {
+	f := newFakeMatcher()
+	f.delay = 2 * time.Millisecond // let requests pile up in the queue
+	s := New(f, Config{Window: 0})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, raw := postMatch(t, ts, "t", []int{i})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, raw)
+				return
+			}
+			if mr := decodeMatch(t, raw); mr.Coalesced != 1 {
+				t.Errorf("request coalesced %d-way with window 0", mr.Coalesced)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(f.servedRounds()); got != n {
+		t.Fatalf("served %d rounds, want %d (one per request)", got, n)
+	}
+}
+
+// TestValidationRejectsBeforeQueue pins that malformed requests are
+// rejected 400 at the door — they must never reach the batcher where they
+// could fail other tenants' coalesced round.
+func TestValidationRejectsBeforeQueue(t *testing.T) {
+	f := newFakeMatcher()
+	f.poolLen = 10
+	s := New(f, Config{Window: 0, MaxBatchTasks: 4})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name  string
+		tasks []int
+	}{
+		{"empty", []int{}},
+		{"out of range", []int{3, 99}},
+		{"negative", []int{-1}},
+		{"oversize", []int{0, 1, 2, 3, 4}},
+	}
+	for _, tc := range cases {
+		resp, raw := postMatch(t, ts, "t", tc.tasks)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, raw)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(raw, &eb); err != nil || eb.Kind != "bad_shape" {
+			t.Fatalf("%s: error body %s (err %v)", tc.name, raw, err)
+		}
+	}
+	// Malformed JSON is also a 400, not a 500.
+	resp, err := http.Post(ts.URL+"/v1/match", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	if got := len(f.servedRounds()); got != 0 {
+		t.Fatalf("%d rounds reached the matcher from invalid requests", got)
+	}
+}
+
+// TestBackpressureRejectsWithRetryAfter pins the admission contract: a
+// deep observation ring sheds new work with 503 + Retry-After before it
+// reaches the queue.
+func TestBackpressureRejectsWithRetryAfter(t *testing.T) {
+	f := newFakeMatcher()
+	f.ringDepth = 95 // ≥ 0.9 × ringCap(100)
+	s := New(f, Config{Window: 0, RetryAfterSeconds: 3})
+	defer drain(t, s)
+	// Seed the published ring depth the way the batcher would.
+	s.ringDepth.Store(int64(f.ringDepth))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, raw := postMatch(t, ts, "t", []int{1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, raw)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want 3", ra)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Kind != "backpressure" || eb.RetryAfter != 3 {
+		t.Fatalf("error body %s (err %v)", raw, err)
+	}
+}
+
+// TestTenantQuotaRejects429 pins per-tenant isolation: one tenant
+// saturating its pending-task quota is shed with 429 while another tenant
+// still gets through.
+func TestTenantQuotaRejects429(t *testing.T) {
+	f := newFakeMatcher()
+	s := New(f, Config{Window: 0, TenantMaxPending: 4})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Hold the quota without involving the batcher: 4 pending tasks.
+	if !s.quotaAcquire("greedy", 4) {
+		t.Fatal("quota refused within limit")
+	}
+	resp, raw := postMatch(t, ts, "greedy", []int{1})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if resp, _ := postMatch(t, ts, "modest", []int{1}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant shed too: status %d", resp.StatusCode)
+	}
+	s.quotaRelease("greedy", 4)
+	if resp, _ := postMatch(t, ts, "greedy", []int{1}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("quota not released: status %d", resp.StatusCode)
+	}
+}
+
+// TestQueueFullSheds503 fills the batch queue behind a slow solve and
+// asserts overflow requests shed with 503 rather than blocking.
+func TestQueueFullSheds503(t *testing.T) {
+	f := newFakeMatcher()
+	f.delay = 50 * time.Millisecond
+	s := New(f, Config{Window: 0, QueueCap: 1})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// First request occupies the batcher; more fill the depth-1 queue.
+	var wg sync.WaitGroup
+	shed := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postMatch(t, ts, "t", []int{i})
+			shed <- resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	close(shed)
+	counts := map[int]int{}
+	for code := range shed {
+		counts[code]++
+	}
+	if counts[http.StatusServiceUnavailable] == 0 {
+		t.Fatalf("no request shed on a full queue: %v", counts)
+	}
+	if counts[http.StatusOK] == 0 {
+		t.Fatalf("every request shed: %v", counts)
+	}
+}
+
+// TestStatsAndHealth pins the operational surface.
+func TestStatsAndHealth(t *testing.T) {
+	f := newFakeMatcher()
+	s := New(f, Config{Window: 0})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postMatch(t, ts, "t", []int{1, 2})
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb statsBody
+	if err := json.NewDecoder(resp.Body).Decode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sb.Served != 1 || sb.Accepted != 1 || sb.Answered != 1 || sb.Draining {
+		t.Fatalf("stats %+v", sb)
+	}
+	if resp, err = http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	drain(t, s)
+	if resp, err = http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+}
+
+func drain(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

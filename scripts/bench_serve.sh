@@ -1,0 +1,9 @@
+#!/bin/sh
+# Multi-tenant HTTP serving benchmark: closed-loop tenants against
+# /v1/match, measured per-request (window=0) versus micro-batched
+# (deadline-aware coalescing), recording throughput, latency percentiles,
+# and the batched-vs-per-request speedup into BENCH_serve.json at the repo
+# root. Equivalent to `make bench-serve`.
+set -eu
+cd "$(dirname "$0")/.."
+go run ./cmd/mfcpbench -serve all -serve-tenants 8 -serve-json BENCH_serve.json
