@@ -67,6 +67,11 @@ for series in \
 	mfcp_rolling_regret; do
 	echo "$METRICS" | grep -q "^$series"
 done
+# Labeled families: the route breakdown must be served with label sets, and
+# the whole exposition must survive the format lint (DESIGN.md §6).
+echo "$METRICS" | grep -q '^mfcp_rounds_by_route_total{route="dense"} [1-9]'
+echo "$METRICS" | grep -q '^mfcp_route_round_seconds_count{route="dense"} [1-9]'
+echo "$METRICS" | sh scripts/promtext_lint.sh
 kill "$SIM_PID" 2>/dev/null || true
 trap - EXIT
 echo "telemetry smoke test passed"

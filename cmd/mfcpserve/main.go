@@ -5,7 +5,8 @@
 // (see internal/server and DESIGN.md §10).
 //
 // Endpoints: POST /v1/match, GET /v1/stats, GET /healthz, GET /metrics
-// (Prometheus text + expvar + pprof under /debug/).
+// (Prometheus text + expvar + pprof under /debug/), GET /debug/traces
+// (per-request phase-timing records, ?slow=DURATION to filter).
 //
 // SIGINT/SIGTERM drain cooperatively: admission stops (503), every accepted
 // request is flushed and answered, the session checkpoints (with
@@ -62,6 +63,7 @@ func main() {
 		queueCap   = flag.Int("queue-cap", 128, "admitted-request queue depth")
 		tenantMax  = flag.Int("tenant-max-pending", 0, "per-tenant pending-task quota (0 = 4*max-batch)")
 		highWater  = flag.Float64("ring-highwater", 0.9, "observation-ring backpressure threshold (fraction of capacity)")
+		traceCap   = flag.Int("trace-cap", 256, "request traces kept for /debug/traces")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain")
 	)
 	flag.Parse()
@@ -128,6 +130,7 @@ func main() {
 		QueueCap:         *queueCap,
 		TenantMaxPending: *tenantMax,
 		RingHighWater:    *highWater,
+		TraceCap:         *traceCap,
 		Telemetry:        reg,
 	})
 

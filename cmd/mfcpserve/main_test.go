@@ -135,6 +135,134 @@ func TestSIGTERMDrainsAndExits130(t *testing.T) {
 	t.Logf("ok=%d shed=%d", ok.Load(), shed.Load())
 }
 
+// TestDebugTracesServesPhaseTimings is the tracing acceptance criterion
+// run against the real binary: a request served through the batched HTTP
+// path must be findable at /debug/traces by its request_id, carrying
+// nonzero engine phase timings (the real session's trace hook, not a
+// fake's).
+func TestDebugTracesServesPhaseTimings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "mfcpserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-method", "tsm", "-pool", "48", "-n", "4",
+		"-pretrain-epochs", "30", "-regret-epochs", "4",
+		"-refit-every", "3", "-window", "1ms", "-max-batch", "16",
+		"-trace-cap", "32",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	base := waitServing(t, stderr)
+	waitHealthy(t, base)
+
+	resp, err := http.Post(base+"/v1/match", "application/json",
+		strings.NewReader(`{"tenant":"probe","tasks":[3,17,42]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr struct {
+		RequestID uint64 `json:"request_id"`
+		Round     int    `json:"round"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match status %d", resp.StatusCode)
+	}
+	if mr.RequestID == 0 {
+		t.Fatal("response carries no request_id")
+	}
+
+	var dump struct {
+		Capacity int `json:"capacity"`
+		Traces   []struct {
+			ID        uint64 `json:"id"`
+			Tenant    string `json:"tenant"`
+			Tasks     int    `json:"tasks"`
+			Round     int    `json:"round"`
+			QueueNs   int64  `json:"queue_ns"`
+			PredictNs int64  `json:"predict_ns"`
+			SolveNs   int64  `json:"solve_ns"`
+			ExecNs    int64  `json:"exec_ns"`
+			TotalNs   int64  `json:"total_ns"`
+			Status    string `json:"status"`
+		} `json:"traces"`
+	}
+	if resp, err = http.Get(base + "/debug/traces"); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dump.Capacity != 32 {
+		t.Fatalf("trace capacity %d, want 32 from -trace-cap", dump.Capacity)
+	}
+	found := false
+	for _, tr := range dump.Traces {
+		if tr.ID != mr.RequestID {
+			continue
+		}
+		found = true
+		if tr.Tenant != "probe" || tr.Tasks != 3 || tr.Round != mr.Round || tr.Status != "ok" {
+			t.Fatalf("trace does not describe the probe request: %+v", tr)
+		}
+		if tr.PredictNs <= 0 || tr.SolveNs <= 0 || tr.ExecNs <= 0 {
+			t.Fatalf("trace missing engine phase timings: %+v", tr)
+		}
+		if tr.QueueNs < 0 || tr.TotalNs <= tr.SolveNs {
+			t.Fatalf("trace spans inconsistent: %+v", tr)
+		}
+	}
+	if !found {
+		t.Fatalf("request %d not in /debug/traces (%d traces)", mr.RequestID, len(dump.Traces))
+	}
+
+	// The slow filter with an impossible threshold returns an empty set.
+	if resp, err = http.Get(base + "/debug/traces?slow=10m"); err != nil {
+		t.Fatal(err)
+	}
+	var filtered struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&filtered); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if filtered.Count != 0 {
+		t.Fatalf("?slow=10m kept %d traces", filtered.Count)
+	}
+
+	// Per-tenant series from the same request are live on /metrics.
+	if resp, err = http.Get(base + "/metrics"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), `mfcp_tenant_requests_total{tenant="probe"} 1`) {
+		t.Fatalf("metrics missing the probe tenant series:\n%s", buf.String())
+	}
+
+	cmd.Process.Signal(syscall.SIGTERM)
+	cmd.Wait()
+}
+
 func asExitError(err error, target **exec.ExitError) bool {
 	ee, ok := err.(*exec.ExitError)
 	if ok {

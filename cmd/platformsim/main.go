@@ -170,6 +170,12 @@ func main() {
 	fmt.Printf("  task success rate  %.1f%%\n", 100*rep.MeanSuccessRate)
 	fmt.Printf("  simulated compute  %.1f cluster-hours over %.1f wall-clock hours\n",
 		rep.TotalBusySeconds/3600, rep.TotalMakespanSeconds/3600)
+	// Route breakdown straight from the engine's labeled counters:
+	// registration is idempotent, so this lookup binds to the same children
+	// the engine incremented (the three routes are disjoint).
+	routes := reg.CounterVec("mfcp_rounds_by_route_total", "rounds served by matching route", "route")
+	fmt.Printf("  rounds by route    dense=%d sparse=%d autosparse=%d\n",
+		routes.With("dense").Value(), routes.With("sparse").Value(), routes.With("autosparse").Value())
 	if orep != nil {
 		fmt.Printf("  refits             %d (ring drops %d)\n", orep.Refits, orep.RingDropped)
 	}

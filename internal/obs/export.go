@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus writes every registered instrument in the Prometheus text
@@ -31,7 +32,31 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindGaugeFunc:
 			_, err = fmt.Fprintf(w, "%s %s\n", in.name, fmtFloat(in.gfn()))
 		case kindHistogram:
-			err = writeHistogram(w, in.name, in.hist.View())
+			err = writeHistogram(w, in.name, "", in.hist.View())
+		case kindCounterVec:
+			values, children := in.cvec.v.snapshot()
+			for i, val := range values {
+				if _, err = fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", in.name, in.label, escapeLabel(val), children[i].Value()); err != nil {
+					break
+				}
+			}
+		case kindGaugeVec:
+			values, children := in.gvec.v.snapshot()
+			for i, val := range values {
+				if _, err = fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n", in.name, in.label, escapeLabel(val), fmtFloat(children[i].Value())); err != nil {
+					break
+				}
+			}
+		case kindHistogramVec:
+			values, children := in.hvec.v.snapshot()
+			for i, val := range values {
+				// The family label leads every sample's label set, with `le`
+				// last — one consistent key order per series name, which the
+				// exposition lint (scripts/promtext_lint.sh) checks.
+				if err = writeHistogram(w, in.name, in.label+"=\""+escapeLabel(val)+"\"", children[i].View()); err != nil {
+					break
+				}
+			}
 		}
 		if err != nil {
 			return err
@@ -40,22 +65,57 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writeHistogram(w io.Writer, name string, v HistView) error {
+// escapeLabel escapes a label value for the text exposition format:
+// backslash, double quote, and newline are the three characters the format
+// defines escapes for.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// writeHistogram writes one histogram's _bucket/_sum/_count triplet.
+// labels, when non-empty, is an already-escaped `name="value"` pair that
+// prefixes each bucket's `le` and labels the sum/count series.
+func writeHistogram(w io.Writer, name, labels string, v HistView) error {
+	lsep := ""
+	if labels != "" {
+		lsep = labels + ","
+	}
 	cum := uint64(0)
 	for i, bound := range v.Bounds {
 		cum += v.Counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(bound), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, lsep, fmtFloat(bound), cum); err != nil {
 			return err
 		}
 	}
 	cum += v.Counts[len(v.Bounds)]
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, lsep, cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(v.Sum)); err != nil {
+	sumSuffix, countSuffix := "", ""
+	if labels != "" {
+		sumSuffix, countSuffix = "{"+labels+"}", "{"+labels+"}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, sumSuffix, fmtFloat(v.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, v.Count)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, countSuffix, v.Count)
 	return err
 }
 
@@ -80,17 +140,46 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 		case kindGaugeFunc:
 			_, err = fmt.Fprintf(w, "  %-44s %s\n", in.name, fmtFloat(in.gfn()))
 		case kindHistogram:
-			v := in.hist.View()
-			if v.Count == 0 {
-				_, err = fmt.Fprintf(w, "  %-44s count=0\n", in.name)
-				break
+			err = summarizeHistogram(w, in.name, in.hist.View())
+		case kindCounterVec:
+			values, children := in.cvec.v.snapshot()
+			for i, val := range values {
+				if _, err = fmt.Fprintf(w, "  %-44s %d\n", seriesName(in.name, in.label, val), children[i].Value()); err != nil {
+					break
+				}
 			}
-			_, err = fmt.Fprintf(w, "  %-44s count=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g\n",
-				in.name, v.Count, v.Mean(), v.Quantile(0.5), v.Quantile(0.9), v.Quantile(0.99))
+		case kindGaugeVec:
+			values, children := in.gvec.v.snapshot()
+			for i, val := range values {
+				if _, err = fmt.Fprintf(w, "  %-44s %s\n", seriesName(in.name, in.label, val), fmtFloat(children[i].Value())); err != nil {
+					break
+				}
+			}
+		case kindHistogramVec:
+			values, children := in.hvec.v.snapshot()
+			for i, val := range values {
+				if err = summarizeHistogram(w, seriesName(in.name, in.label, val), children[i].View()); err != nil {
+					break
+				}
+			}
 		}
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+func seriesName(name, label, value string) string {
+	return name + "{" + label + "=\"" + escapeLabel(value) + "\"}"
+}
+
+func summarizeHistogram(w io.Writer, name string, v HistView) error {
+	if v.Count == 0 {
+		_, err := fmt.Fprintf(w, "  %-44s count=0\n", name)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "  %-44s count=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g\n",
+		name, v.Count, v.Mean(), v.Quantile(0.5), v.Quantile(0.9), v.Quantile(0.99))
+	return err
 }

@@ -1,0 +1,165 @@
+// Labeled instrument families. A family is one metric name plus one label
+// dimension; With(value) returns an ordinary *Counter/*Gauge/*Histogram
+// child, so everything the flat instruments guarantee — lock-free atomic
+// recording, zero-allocation hot paths, the nil no-op contract — carries
+// over unchanged: serving code binds its children once at construction and
+// records through them exactly as it records through flat instruments.
+//
+// Cardinality is bounded per family: once a family holds MaxChildren
+// distinct label values, every unseen value maps to the shared
+// OverflowLabel child instead of minting a new series. The cap is a
+// protection against label values that arrive from the network (tenant
+// names), where an adversarial or buggy client could otherwise mint
+// unbounded series and grow the registry without limit.
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultMaxChildren is the per-family child cap: the 33rd distinct label
+// value (and every one after it) folds into the OverflowLabel child.
+const DefaultMaxChildren = 32
+
+// OverflowLabel is the label value under which past-cap values are pooled.
+const OverflowLabel = "other"
+
+// vec is the machinery shared by the three family kinds: a label-value →
+// child map under an RWMutex. The hot path (With on a known value) is one
+// read-locked map lookup — no allocation — and pre-binding the child makes
+// even that disappear from recording paths.
+type vec[T any] struct {
+	label    string
+	max      int
+	newChild func() *T
+
+	mu       sync.RWMutex
+	children map[string]*T
+}
+
+func newVec[T any](label string, newChild func() *T) *vec[T] {
+	return &vec[T]{
+		label: label, max: DefaultMaxChildren, newChild: newChild,
+		children: make(map[string]*T),
+	}
+}
+
+// with returns the child for value, minting it on first use and folding
+// past-cap values into the OverflowLabel child.
+func (v *vec[T]) with(value string) *T {
+	v.mu.RLock()
+	c, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[value]; ok {
+		return c
+	}
+	if len(v.children) >= v.max {
+		value = OverflowLabel
+		if c, ok := v.children[value]; ok {
+			return c
+		}
+	}
+	c = v.newChild()
+	v.children[value] = c
+	return c
+}
+
+// snapshot returns the children sorted by label value, for export. Taken
+// under the read lock; child values are still read atomically afterwards.
+func (v *vec[T]) snapshot() (values []string, children []*T) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	values = make([]string, 0, len(v.children))
+	for val := range v.children {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	children = make([]*T, len(values))
+	for i, val := range values {
+		children[i] = v.children[val]
+	}
+	return values, children
+}
+
+// CounterVec is a family of counters keyed by one label. A nil *CounterVec
+// hands out nil children, whose methods are no-ops — the same contract as
+// a nil Registry.
+type CounterVec struct {
+	v *vec[Counter]
+}
+
+// With returns the counter child for the given label value. Children are
+// stable: With on the same value always returns the same *Counter, so
+// callers pre-bind hot children once.
+func (c *CounterVec) With(value string) *Counter {
+	if c == nil {
+		return nil
+	}
+	return c.v.with(value)
+}
+
+// GaugeVec is a family of gauges keyed by one label; nil is a no-op.
+type GaugeVec struct {
+	v *vec[Gauge]
+}
+
+// With returns the gauge child for the given label value.
+func (g *GaugeVec) With(value string) *Gauge {
+	if g == nil {
+		return nil
+	}
+	return g.v.with(value)
+}
+
+// HistogramVec is a family of histograms keyed by one label; every child
+// shares the family's bucket bounds. nil is a no-op.
+type HistogramVec struct {
+	v      *vec[Histogram]
+	bounds []float64
+}
+
+// With returns the histogram child for the given label value.
+func (h *HistogramVec) With(value string) *Histogram {
+	if h == nil {
+		return nil
+	}
+	return h.v.with(value)
+}
+
+// CounterVec registers (or returns the existing) counter family under name
+// with the given label name. Re-registering with a different label name
+// panics — like a kind mismatch, that is a wiring bug.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	cv := &CounterVec{v: newVec(label, func() *Counter { return &Counter{} })}
+	return r.register(&instrument{name: name, help: help, kind: kindCounterVec, label: label, cvec: cv}).cvec
+}
+
+// GaugeVec registers (or returns the existing) gauge family under name.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	gv := &GaugeVec{v: newVec(label, func() *Gauge { return &Gauge{} })}
+	return r.register(&instrument{name: name, help: help, kind: kindGaugeVec, label: label, gvec: gv}).gvec
+}
+
+// HistogramVec registers (or returns the existing) histogram family under
+// name; every child observes into the given bucket bounds. Like the flat
+// Histogram, re-registering with different bounds panics.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	b := append([]float64(nil), bounds...)
+	hv := &HistogramVec{bounds: b, v: newVec(label, func() *Histogram { return newHistogram(b) })}
+	return r.register(&instrument{name: name, help: help, kind: kindHistogramVec, label: label, hvec: hv}).hvec
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabeledFamilies(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("lbl_requests_total", "requests by tenant", "tenant")
+	gv := reg.GaugeVec("lbl_pending", "pending by tenant", "tenant")
+	hv := reg.HistogramVec("lbl_seconds", "latency by tenant", "tenant", LatencyBuckets)
+
+	if cv.With("a") != cv.With("a") {
+		t.Fatal("With must return a stable child per label value")
+	}
+	cv.With("a").Add(3)
+	cv.With("b").Inc()
+	gv.With("a").Set(2.5)
+	hv.With("a").Observe(0.004)
+	if got := cv.With("a").Value(); got != 3 {
+		t.Fatalf("child value = %d, want 3", got)
+	}
+
+	// Re-registration is idempotent and returns the same family.
+	if reg.CounterVec("lbl_requests_total", "", "tenant").With("a").Value() != 3 {
+		t.Fatal("re-registration returned a different family")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lbl_requests_total counter",
+		`lbl_requests_total{tenant="a"} 3`,
+		`lbl_requests_total{tenant="b"} 1`,
+		`lbl_pending{tenant="a"} 2.5`,
+		"# TYPE lbl_seconds histogram",
+		`lbl_seconds_bucket{tenant="a",le="+Inf"} 1`,
+		`lbl_seconds_sum{tenant="a"}`,
+		`lbl_seconds_count{tenant="a"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q in:\n%s", want, out)
+		}
+	}
+	// Children export sorted by label value.
+	if strings.Index(out, `tenant="a"} 3`) > strings.Index(out, `tenant="b"} 1`) {
+		t.Error("counter children not sorted by label value")
+	}
+
+	// Nil families (disabled telemetry) hand out nil no-op children.
+	var ncv *CounterVec
+	var ngv *GaugeVec
+	var nhv *HistogramVec
+	ncv.With("x").Inc()
+	ngv.With("x").Set(1)
+	nhv.With("x").Observe(1)
+	var nilReg *Registry
+	nilReg.CounterVec("x", "", "l").With("y").Inc()
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("esc_total", "", "tenant")
+	cv.With(`we"ird\ten` + "\n" + `ant`).Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{tenant="we\"ird\\ten\nant"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaped export missing %q in:\n%s", want, sb.String())
+	}
+}
+
+// TestLabelOverflowBucket pins the cardinality cap: past DefaultMaxChildren
+// distinct values, every unseen value lands in the shared "other" child,
+// while already-minted children keep their own series.
+func TestLabelOverflowBucket(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("cap_total", "", "tenant")
+	for i := 0; i < DefaultMaxChildren; i++ {
+		cv.With(string(rune('A'+i))).Inc()
+	}
+	first := cv.With("A")
+	over1 := cv.With("zz-over-1")
+	over2 := cv.With("zz-over-2")
+	if over1 != over2 || over1 != cv.With(OverflowLabel) {
+		t.Fatal("past-cap values must share the overflow child")
+	}
+	over1.Inc()
+	over2.Inc()
+	if got := cv.With(OverflowLabel).Value(); got != 2 {
+		t.Fatalf("overflow child = %d, want 2", got)
+	}
+	first.Inc()
+	if got := cv.With("A").Value(); got != 2 {
+		t.Fatalf("pre-cap child lost its series: %d, want 2", got)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "cap_total{"); n != DefaultMaxChildren+1 {
+		t.Fatalf("family exports %d series, want cap+overflow = %d", n, DefaultMaxChildren+1)
+	}
+	if !strings.Contains(out, `cap_total{tenant="other"} 2`) {
+		t.Fatalf("overflow series missing in:\n%s", out)
+	}
+}
+
+// TestLabeledMismatchPanics: label renames and histogram bucket changes are
+// wiring bugs and must panic like kind mismatches do.
+func TestLabeledMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	reg := NewRegistry()
+	reg.CounterVec("mm_total", "", "tenant")
+	reg.Histogram("mm_seconds", "", LatencyBuckets)
+	reg.HistogramVec("mm_vec_seconds", "", "route", LatencyBuckets)
+	mustPanic("label rename", func() { reg.CounterVec("mm_total", "", "route") })
+	mustPanic("kind clash with vec", func() { reg.Counter("mm_total", "") })
+	// Satellite regression: Registry.Histogram used to silently reuse the
+	// original buckets on a bounds mismatch.
+	mustPanic("histogram bounds", func() { reg.Histogram("mm_seconds", "", ExpBuckets(1, 2, 4)) })
+	mustPanic("histogram vec bounds", func() { reg.HistogramVec("mm_vec_seconds", "", "route", ExpBuckets(1, 2, 4)) })
+	// Same bounds re-register stays idempotent.
+	if reg.Histogram("mm_seconds", "", LatencyBuckets) == nil {
+		t.Fatal("same-bounds re-registration must succeed")
+	}
+}
+
+// TestLabeledZeroAllocs pins the hot-path contract: recording through a
+// pre-bound labeled child, and even the With lookup for an existing value,
+// allocate nothing.
+func TestLabeledZeroAllocs(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("lbl_alloc_total", "", "tenant")
+	hv := reg.HistogramVec("lbl_alloc_seconds", "", "tenant", LatencyBuckets)
+	c := cv.With("hot")
+	h := hv.With("hot")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(0.002)
+	}); n != 0 {
+		t.Fatalf("pre-bound labeled recording allocated %v objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		cv.With("hot").Inc()
+	}); n != 0 {
+		t.Fatalf("With on an existing value allocated %v objects/op, want 0", n)
+	}
+	var ncv *CounterVec
+	if n := testing.AllocsPerRun(1000, func() {
+		ncv.With("hot").Inc()
+	}); n != 0 {
+		t.Fatalf("disabled labeled recording allocated %v objects/op, want 0", n)
+	}
+}
+
+// TestLabeledConcurrentHammer drives concurrent With + child recording
+// (and a concurrent exporter) under -race, then checks exact totals.
+func TestLabeledConcurrentHammer(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("hammer_total", "", "tenant")
+	hv := reg.HistogramVec("hammer_seconds", "", "tenant", LatencyBuckets)
+	tenants := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tn := tenants[(g+i)%len(tenants)]
+				cv.With(tn).Inc()
+				hv.With(tn).Observe(0.001)
+			}
+		}(g)
+	}
+	// Export concurrently with the writers: snapshots must never tear or
+	// block recording.
+	stop := make(chan struct{})
+	exporterDone := make(chan struct{})
+	go func() {
+		defer close(exporterDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				_ = reg.WritePrometheus(&sb)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-exporterDone
+
+	var total uint64
+	for _, tn := range tenants {
+		total += cv.With(tn).Value()
+	}
+	if want := uint64(goroutines * perG); total != want {
+		t.Fatalf("counter total = %d, want %d", total, want)
+	}
+	var hcount uint64
+	for _, tn := range tenants {
+		hcount += hv.With(tn).Count()
+	}
+	if want := uint64(goroutines * perG); hcount != want {
+		t.Fatalf("histogram count = %d, want %d", hcount, want)
+	}
+}

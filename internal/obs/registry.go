@@ -13,13 +13,16 @@ const (
 	kindHistogram
 	kindCounterFunc
 	kindGaugeFunc
+	kindCounterVec
+	kindGaugeVec
+	kindHistogramVec
 )
 
 func (k kind) String() string {
 	switch k {
-	case kindCounter, kindCounterFunc:
+	case kindCounter, kindCounterFunc, kindCounterVec:
 		return "counter"
-	case kindGauge, kindGaugeFunc:
+	case kindGauge, kindGaugeFunc, kindGaugeVec:
 		return "gauge"
 	default:
 		return "histogram"
@@ -27,15 +30,19 @@ func (k kind) String() string {
 }
 
 // instrument is one registered metric: exactly one of the typed fields is
-// set according to kind.
+// set according to kind. label is set only for the vec kinds.
 type instrument struct {
 	name, help string
 	kind       kind
+	label      string
 	counter    *Counter
 	gauge      *Gauge
 	hist       *Histogram
 	cfn        func() uint64
 	gfn        func() float64
+	cvec       *CounterVec
+	gvec       *GaugeVec
+	hvec       *HistogramVec
 }
 
 // Registry holds named instruments in registration order. Registration is
@@ -69,11 +76,43 @@ func (r *Registry) register(in *instrument) *instrument {
 			// invariant: a metric name keeps one kind for the process lifetime.
 			panic(fmt.Sprintf("obs: %q registered as %s, requested as %s", in.name, prev.kind, in.kind))
 		}
+		if prev.label != in.label {
+			// invariant: a labeled family keeps one label name for the process lifetime.
+			panic(fmt.Sprintf("obs: %q registered with label %q, requested with %q", in.name, prev.label, in.label))
+		}
+		if prevBounds, reqBounds := prev.histBounds(), in.histBounds(); !sameBounds(prevBounds, reqBounds) {
+			// invariant: a histogram name keeps one bucket layout for the process lifetime.
+			panic(fmt.Sprintf("obs: %q registered with bounds %v, requested with %v", in.name, prevBounds, reqBounds))
+		}
 		return prev
 	}
 	r.byName[in.name] = in
 	r.order = append(r.order, in)
 	return in
+}
+
+// histBounds returns the bucket bounds an instrument carries (nil for
+// non-histogram kinds), for the re-registration mismatch check.
+func (in *instrument) histBounds() []float64 {
+	switch in.kind {
+	case kindHistogram:
+		return in.hist.bounds
+	case kindHistogramVec:
+		return in.hvec.bounds
+	}
+	return nil
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Counter registers (or returns the existing) counter under name.
@@ -94,7 +133,10 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 
 // Histogram registers (or returns the existing) histogram under name with
 // the given bucket upper bounds. Bounds are fixed at first registration;
-// later calls with the same name reuse the original buckets.
+// a later call with different bounds panics like a kind mismatch does —
+// two subsystems disagreeing about a bucket layout is a wiring bug, and
+// silently keeping the first layout would misattribute the second
+// caller's observations.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil

@@ -39,6 +39,17 @@ func NewTimer(h *Histogram) *Timer {
 	return &Timer{h: h}
 }
 
+// Observe records an already-measured duration. Serving code that reads
+// the clock itself — because the same measurement also feeds a trace
+// record — uses this instead of Start/End so one time.Now pair serves
+// both consumers.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.h.Observe(d.Seconds())
+}
+
 // Start opens a span. The returned Span is a value — it lives on the
 // caller's stack, so span tracing allocates nothing.
 func (t *Timer) Start() Span {

@@ -1,0 +1,134 @@
+// Request-scoped tracing: a fixed-capacity lock-free ring of the most
+// recent request traces, exported as JSON at /debug/traces. Metrics answer
+// "how is the system doing"; the trace ring answers "why was THIS request
+// slow" — each entry carries the request's queue wait and the per-phase
+// engine timings of the round that served it.
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// RequestTrace is one served request's timing record. Phase fields are the
+// engine timings of the (possibly coalesced) round that carried the
+// request; QueueNs is the request's own wait from admission to the round
+// starting; TotalNs its full admission-to-answer span.
+type RequestTrace struct {
+	ID        uint64 `json:"id"`
+	Tenant    string `json:"tenant"`
+	Tasks     int    `json:"tasks"`
+	Round     int    `json:"round"`
+	Coalesced int    `json:"coalesced"`
+	Start     int64  `json:"start_unix_ns"`
+	QueueNs   int64  `json:"queue_ns"`
+	PredictNs int64  `json:"predict_ns"`
+	ScreenNs  int64  `json:"screen_ns"`
+	SolveNs   int64  `json:"solve_ns"`
+	ExecNs    int64  `json:"exec_ns"`
+	IngestNs  int64  `json:"ingest_ns"`
+	TotalNs   int64  `json:"total_ns"`
+	Status    string `json:"status"`
+}
+
+// TraceRing keeps the last Cap() traces. Put is lock-free — a ticket from
+// an atomic counter picks the slot, and the trace is published as one
+// atomic pointer store — so the serving path never contends with readers.
+// Snapshot reads the slots without stopping writers; under a concurrent
+// wrap it can observe an entry newer than its position implies, which is
+// fine for a debugging surface. A nil *TraceRing is a no-op, matching the
+// package's nil-instrument contract.
+type TraceRing struct {
+	slots []atomic.Pointer[RequestTrace]
+	next  atomic.Uint64
+}
+
+// NewTraceRing returns a ring holding the last capacity traces (minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{slots: make([]atomic.Pointer[RequestTrace], capacity)}
+}
+
+// Put records one trace, evicting the oldest once the ring is full. Safe
+// from any goroutine; no-op on nil.
+func (r *TraceRing) Put(t RequestTrace) {
+	if r == nil {
+		return
+	}
+	idx := r.next.Add(1) - 1
+	r.slots[idx%uint64(len(r.slots))].Store(&t)
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (r *TraceRing) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Snapshot appends the ring's current traces to buf, oldest first, and
+// returns the result. Nil ring returns buf unchanged.
+func (r *TraceRing) Snapshot(buf []RequestTrace) []RequestTrace {
+	if r == nil {
+		return buf
+	}
+	n := r.next.Load()
+	c := uint64(len(r.slots))
+	start := uint64(0)
+	if n > c {
+		start = n - c
+	}
+	for i := start; i < n; i++ {
+		if tp := r.slots[i%c].Load(); tp != nil {
+			buf = append(buf, *tp)
+		}
+	}
+	return buf
+}
+
+// traceDump is the /debug/traces response envelope.
+type traceDump struct {
+	Capacity int            `json:"capacity"`
+	Count    int            `json:"count"`
+	Traces   []RequestTrace `json:"traces"`
+}
+
+// TraceHandler serves ring as JSON: {"capacity", "count", "traces"} with
+// traces oldest first. A `?slow=DURATION` query (time.ParseDuration
+// syntax, e.g. ?slow=50ms) keeps only traces whose total span is at least
+// that long.
+func TraceHandler(ring *TraceRing) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var slow time.Duration
+		if q := req.URL.Query().Get("slow"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil {
+				http.Error(w, "bad slow threshold: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			slow = d
+		}
+		traces := ring.Snapshot(nil)
+		if slow > 0 {
+			kept := traces[:0]
+			for _, t := range traces {
+				if t.TotalNs >= slow.Nanoseconds() {
+					kept = append(kept, t)
+				}
+			}
+			traces = kept
+		}
+		if traces == nil {
+			traces = []RequestTrace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(traceDump{
+			Capacity: ring.Cap(), Count: len(traces), Traces: traces,
+		})
+	})
+}

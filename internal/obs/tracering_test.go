@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestTraceRingWrap(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Put(RequestTrace{ID: uint64(i), TotalNs: int64(i) * 1000})
+	}
+	got := r.Snapshot(nil)
+	if len(got) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(got))
+	}
+	for i, tr := range got {
+		if want := uint64(i + 3); tr.ID != want {
+			t.Fatalf("slot %d id = %d, want %d (oldest-first, oldest two evicted)", i, tr.ID, want)
+		}
+	}
+
+	// Nil ring: no-ops all around.
+	var nr *TraceRing
+	nr.Put(RequestTrace{})
+	if nr.Cap() != 0 || nr.Snapshot(nil) != nil {
+		t.Fatal("nil ring must be inert")
+	}
+}
+
+func TestTraceRingConcurrentPut(t *testing.T) {
+	r := NewTraceRing(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Put(RequestTrace{ID: uint64(g*1000 + i)})
+				r.Snapshot(nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Snapshot(nil)); got != 8 {
+		t.Fatalf("full ring snapshot len = %d, want 8", got)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	r := NewTraceRing(8)
+	r.Put(RequestTrace{ID: 1, Tenant: "a", TotalNs: int64(2e6)})
+	r.Put(RequestTrace{ID: 2, Tenant: "b", TotalNs: int64(90e6)})
+	h := TraceHandler(r)
+
+	get := func(url string) traceDump {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s = %d: %s", url, rec.Code, rec.Body.String())
+		}
+		var d traceDump
+		if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+			t.Fatalf("bad JSON from %s: %v", url, err)
+		}
+		return d
+	}
+
+	d := get("/debug/traces")
+	if d.Capacity != 8 || d.Count != 2 || len(d.Traces) != 2 {
+		t.Fatalf("dump = cap %d count %d len %d, want 8/2/2", d.Capacity, d.Count, len(d.Traces))
+	}
+	if d.Traces[0].ID != 1 || d.Traces[1].ID != 2 {
+		t.Fatal("traces must come back oldest first")
+	}
+
+	d = get("/debug/traces?slow=50ms")
+	if d.Count != 1 || d.Traces[0].Tenant != "b" {
+		t.Fatalf("slow filter kept %d traces (want the 90ms one): %+v", d.Count, d.Traces)
+	}
+
+	d = get("/debug/traces?slow=10m")
+	if d.Count != 0 || d.Traces == nil {
+		t.Fatalf("over-threshold filter: count %d traces %v, want empty non-nil", d.Count, d.Traces)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?slow=bogus", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad slow= value returned %d, want 400", rec.Code)
+	}
+}

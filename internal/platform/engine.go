@@ -31,6 +31,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"mfcp/internal/core"
 	"mfcp/internal/mat"
@@ -70,6 +71,11 @@ type engine struct {
 	// met holds the pre-bound serving instruments (all nil — and therefore
 	// no-ops — when cfg.Telemetry is nil).
 	met engineMetrics
+	// traceHook, when non-nil, receives each round's RoundTrace on the
+	// serial reduce path (Config.TraceHook / Session.SetTraceHook). The
+	// shards fill per-round trace slots regardless; only delivery is gated,
+	// so enabling tracing changes no code path that touches the trajectory.
+	traceHook func(RoundTrace)
 
 	roundStream *rng.Source
 	execStream  *rng.Source
@@ -142,6 +148,7 @@ func newEngine(ctx context.Context, cfg Config) (*engine, error) {
 		cfg: cfg, s: s, train: train, live: live, method: method,
 		mc: mc, mode: mode, autoSparse: autoSparse,
 		met:         newEngineMetrics(cfg.Telemetry),
+		traceHook:   cfg.TraceHook,
 		roundStream: s.Stream("platform-rounds"),
 		execStream:  s.Stream("platform-exec"),
 		warmCur:     new(mat.Dense), warmNext: new(mat.Dense),
@@ -208,9 +215,11 @@ var scratchArena = parallel.NewArena(func() *shardScratch {
 // read-only during the sweep). capture marks the batch's last round: that
 // shard — and only that shard — writes its relaxed solution into
 // e.warmNext for the next batch to promote.
-func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shardScratch, warm *mat.Dense, capture bool) RoundReport {
-	rsp := e.met.round.Start()
-	psp := e.met.predict.Start()
+// Phase durations are measured with explicit clock reads rather than obs
+// spans: the same measurement feeds both the phase histogram and the
+// round's trace slot (trc), which the reduce path hands to the trace hook.
+func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shardScratch, warm *mat.Dense, capture bool, trc *RoundTrace) RoundReport {
+	t0 := time.Now()
 	var That, Ahat *mat.Dense
 	if set != nil {
 		Z := e.s.FeaturesInto(round, sc.z)
@@ -219,11 +228,12 @@ func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shard
 	} else {
 		That, Ahat = e.method.Predict(round)
 	}
-	psp.End()
+	dPredict := time.Since(t0)
+	e.met.predict.Observe(dPredict)
 	if sc.ws == nil {
 		sc.ws = matching.NewWorkspace(That.Rows, That.Cols)
 	}
-	ssp := e.met.solve.Start()
+	s0 := time.Now()
 	assign, repInfo := e.mc.SolveWSInfoInit(That, Ahat, sc.ws, warm)
 	// The oracle solve in finishRound reuses sc.ws, so capture the
 	// predictive solve's convergence record (and, on the batch's last
@@ -232,9 +242,16 @@ func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shard
 	if capture {
 		e.warmNext.Reshape(That.Rows, That.Cols).CopyFrom(sc.ws.X)
 	}
-	ssp.End()
-	rr := e.finishRound(k, round, assign, repInfo, solveInfo, warm != nil, sc)
-	rsp.End()
+	dSolve := time.Since(s0)
+	e.met.solve.Observe(dSolve)
+	rr := e.finishRound(k, round, assign, repInfo, solveInfo, warm != nil, sc, trc)
+	d := time.Since(t0)
+	e.met.round.Observe(d)
+	e.met.routeSecDense.Observe(d.Seconds())
+	trc.Round, trc.Tasks = k, len(round)
+	trc.PredictNs = dPredict.Nanoseconds()
+	trc.SolveNs = dSolve.Nanoseconds()
+	trc.RoundNs = d.Nanoseconds()
 	return rr
 }
 
@@ -242,7 +259,7 @@ func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shard
 // sparse paths: score the assignment against the oracle on true matrices,
 // execute on the simulated fleet, and push partial feedback. All
 // randomness comes from streams split by k, so it is shard-agnostic.
-func (e *engine) finishRound(k int, round []int, assign []int, repInfo matching.RepairInfo, solveInfo matching.SolveInfo, warmed bool, sc *shardScratch) RoundReport {
+func (e *engine) finishRound(k int, round []int, assign []int, repInfo matching.RepairInfo, solveInfo matching.SolveInfo, warmed bool, sc *shardScratch, trc *RoundTrace) RoundReport {
 	e.s.TrueMatricesInto(round, sc.trueT, sc.trueA)
 	applyDrift(sc.trueT, e.cfg.Drift, k)
 	trueProb := e.mc.Problem(sc.trueT, sc.trueA)
@@ -260,17 +277,19 @@ func (e *engine) finishRound(k int, round []int, assign []int, repInfo matching.
 	for i, j := range round {
 		tasks[i] = e.s.Pool[j]
 	}
-	xsp := e.met.exec.Start()
+	x0 := time.Now()
 	exec := sched.Execute(e.s.Fleet, tasks, assign, e.mode, e.execStream.SplitIndexed("round", k))
 	scaleExecution(&exec, assign, e.cfg.Drift, k)
-	xsp.End()
+	dExec := time.Since(x0)
+	e.met.exec.Observe(dExec)
+	trc.ExecNs = dExec.Nanoseconds()
 
 	if e.obs != nil {
 		// Partial feedback: the realized standalone duration of each
 		// (assigned cluster, task) pair, normalized like training labels.
 		// Shards push concurrently; the drain re-sorts by (Round, Slot) so
 		// training order is independent of shard completion order.
-		isp := e.met.ingest.Start()
+		i0 := time.Now()
 		for j, i := range assign {
 			e.obs.Push(Observation{
 				Cluster: i, TaskIdx: round[j], Round: k, Slot: j,
@@ -278,7 +297,9 @@ func (e *engine) finishRound(k int, round []int, assign []int, repInfo matching.
 				Succeeded: exec.Success[j],
 			})
 		}
-		isp.End()
+		dIngest := time.Since(i0)
+		e.met.ingest.Observe(dIngest)
+		trc.IngestNs = dIngest.Nanoseconds()
 	}
 	return RoundReport{
 		Round: k, TaskIdx: round, Assignment: assign, Eval: ev, Execution: exec,
@@ -335,8 +356,8 @@ func (e *engine) screenPrepare() *matching.ScreenRef {
 // screen the predictions down to candidate lists, incrementally against
 // ref when incremental screening is on. The returned problem aliases the
 // slot's workspace.
-func (e *engine) screenRound(k int, round []int, set *core.PredictorSet, ref *matching.ScreenRef, slot *screenSlot) (*matching.SparseProblem, int, error) {
-	psp := e.met.predict.Start()
+func (e *engine) screenRound(k int, round []int, set *core.PredictorSet, ref *matching.ScreenRef, slot *screenSlot, trc *RoundTrace) (*matching.SparseProblem, int, error) {
+	p0 := time.Now()
 	var That, Ahat *mat.Dense
 	if set != nil {
 		Z := e.s.FeaturesInto(round, slot.z)
@@ -345,10 +366,17 @@ func (e *engine) screenRound(k int, round []int, set *core.PredictorSet, ref *ma
 	} else {
 		That, Ahat = e.method.Predict(round)
 	}
-	psp.End()
-	scsp := e.met.screen.Start()
+	dPredict := time.Since(p0)
+	e.met.predict.Observe(dPredict)
+	s0 := time.Now()
 	sp, reused, err := e.mc.ScreenIncrementalWS(That, Ahat, ref, slot.ws)
-	scsp.End()
+	dScreen := time.Since(s0)
+	e.met.screen.Observe(dScreen)
+	// The screener fills its trace fields before the round crosses the
+	// pipeline channel; the channel send orders them before the solver's
+	// writes to the same slot.
+	trc.PredictNs = dPredict.Nanoseconds()
+	trc.ScreenNs = dScreen.Nanoseconds()
 	if err != nil {
 		return nil, 0, err
 	}
@@ -362,8 +390,8 @@ func (e *engine) screenRound(k int, round []int, set *core.PredictorSet, ref *ma
 // gathered into the problem's CSR entry order; entries outside last
 // round's candidate sets start at zero and are handled by the solver's
 // init normalization.
-func (e *engine) solveScreenedRound(k int, round []int, sp *matching.SparseProblem, reused int, sc *shardScratch, warm *mat.Dense, capture bool) RoundReport {
-	rsp := e.met.round.Start()
+func (e *engine) solveScreenedRound(k int, round []int, sp *matching.SparseProblem, reused int, sc *shardScratch, warm *mat.Dense, capture bool, trc *RoundTrace) RoundReport {
+	t0 := time.Now()
 	if sc.hw == nil {
 		sc.hw = matching.NewHierWorkspace()
 	}
@@ -380,14 +408,15 @@ func (e *engine) solveScreenedRound(k int, round []int, sp *matching.SparseProbl
 			}
 		}
 	}
-	csp := e.met.cellSolve.Start()
+	c0 := time.Now()
 	res := matching.SolveHierarchical(sp, matching.HierOptions{
 		Cells:  e.mc.Cells,
 		Solve:  matching.SolveOptions{Iters: e.mc.SolveIters, Tol: e.mc.SolveTol},
 		Init:   init,
 		Repair: true,
 	}, sc.hw)
-	csp.End()
+	dSolve := time.Since(c0)
+	e.met.cellSolve.Observe(dSolve)
 	e.met.observeSparse(sp.NNZ(), sp.M()*sp.N(), res.Reconcile)
 	e.met.observeHierTimings(res.Timings)
 	if capture {
@@ -401,11 +430,24 @@ func (e *engine) solveScreenedRound(k int, round []int, sp *matching.SparseProbl
 			}
 		}
 	}
-	rr := e.finishRound(k, round, res.Assign, res.RepairInfo, res.Info, warm != nil, sc)
+	rr := e.finishRound(k, round, res.Assign, res.RepairInfo, res.Info, warm != nil, sc, trc)
 	rr.ScreenReused = reused
 	rr.Sparse = true
 	rr.AutoSparse = e.autoSparse
-	rsp.End()
+	// The solver's span starts after the screen handoff, so the round's
+	// compute total adds the screener-stage durations back in; pipeline
+	// queue wait between the stages is deliberately excluded.
+	d := time.Since(t0)
+	e.met.round.Observe(d)
+	if e.autoSparse {
+		e.met.routeSecAuto.Observe(d.Seconds())
+	} else {
+		e.met.routeSecSparse.Observe(d.Seconds())
+	}
+	trc.Round, trc.Tasks = k, len(round)
+	trc.Sparse, trc.AutoSparse = true, e.autoSparse
+	trc.SolveNs = dSolve.Nanoseconds()
+	trc.RoundNs = d.Nanoseconds() + trc.PredictNs + trc.ScreenNs
 	return rr
 }
 
@@ -416,16 +458,20 @@ func (e *engine) solveScreenedRound(k int, round []int, sp *matching.SparseProbl
 // one, and the shard drawing the last round captures for the next. Sparse
 // configurations route through the staged pipeline (sweepSparse), whose
 // screen stage can reject malformed predictions with a typed error.
-func (e *engine) sweep(k0 int, rounds [][]int, set *core.PredictorSet, out []RoundReport) error {
+// times must have the same length as out: each round's shard fills its
+// trace slot (phase timings), which the caller's serial reduce hands to
+// the trace hook in round order.
+func (e *engine) sweep(k0 int, rounds [][]int, set *core.PredictorSet, out []RoundReport, times []RoundTrace) error {
 	if e.mc.Sparse() {
-		return e.sweepSparse(k0, rounds, set, out)
+		return e.sweepSparse(k0, rounds, set, out, times)
 	}
 	warm, captureIdx := e.warmPrepare(len(rounds))
 	parallel.ForChunked(len(rounds), 1, func(lo, hi int) {
 		sc := scratchArena.Get()
 		defer scratchArena.Put(sc)
 		for i := lo; i < hi; i++ {
-			out[i] = e.evalRound(k0+i, rounds[i], set, sc, warm, i == captureIdx)
+			times[i] = RoundTrace{}
+			out[i] = e.evalRound(k0+i, rounds[i], set, sc, warm, i == captureIdx, &times[i])
 		}
 	})
 	e.warmCommit(len(rounds))
@@ -443,7 +489,7 @@ func (e *engine) sweep(k0 int, rounds [][]int, set *core.PredictorSet, out []Rou
 // round t's solve. Results still land in out by round offset and the
 // caller reduces in round order, so the trajectory is bit-identical at
 // any worker count.
-func (e *engine) sweepSparse(k0 int, rounds [][]int, set *core.PredictorSet, out []RoundReport) error {
+func (e *engine) sweepSparse(k0 int, rounds [][]int, set *core.PredictorSet, out []RoundReport, times []RoundTrace) error {
 	n := len(rounds)
 	if n == 0 {
 		return nil
@@ -474,7 +520,8 @@ func (e *engine) sweepSparse(k0 int, rounds [][]int, set *core.PredictorSet, out
 		defer close(ch)
 		for i := 0; i < n; i++ {
 			slot := <-free
-			sp, reused, err := e.screenRound(k0+i, rounds[i], set, ref, slot)
+			times[i] = RoundTrace{}
+			sp, reused, err := e.screenRound(k0+i, rounds[i], set, ref, slot, &times[i])
 			if err != nil {
 				screenErr = fmt.Errorf("platform: screen round %d: %w", k0+i, err)
 				return
@@ -490,7 +537,7 @@ func (e *engine) sweepSparse(k0 int, rounds [][]int, set *core.PredictorSet, out
 			sc := scratchArena.Get()
 			defer scratchArena.Put(sc)
 			for it := range ch {
-				out[it.idx] = e.solveScreenedRound(k0+it.idx, rounds[it.idx], it.sp, it.reused, sc, warm, it.idx == captureIdx)
+				out[it.idx] = e.solveScreenedRound(k0+it.idx, rounds[it.idx], it.sp, it.reused, sc, warm, it.idx == captureIdx, &times[it.idx])
 				free <- it.slot
 			}
 		}()
@@ -604,11 +651,12 @@ func (e *engine) serve(rep *Report, k0, n int) error {
 	rounds := e.sampleRounds(n)
 	ssp.End()
 	results := make([]RoundReport, n)
+	times := make([]RoundTrace, n)
 	var v0 uint64
 	if e.snap != nil {
 		v0 = e.snap.Version()
 	}
-	if err := e.sweep(k0, rounds, e.currentSet(), results); err != nil {
+	if err := e.sweep(k0, rounds, e.currentSet(), results, times); err != nil {
 		return err
 	}
 	if e.snap != nil {
@@ -618,6 +666,9 @@ func (e *engine) serve(rep *Report, k0, n int) error {
 	for i := range results {
 		reduce(rep, &results[i])
 		e.met.observeReduced(&results[i])
+		if e.traceHook != nil {
+			e.traceHook(times[i])
+		}
 	}
 	rsp.End()
 	return nil

@@ -79,6 +79,14 @@ type Config struct {
 	// DESIGN.md "Observability"). Nil disables recording; the served
 	// trajectory is bit-identical either way.
 	Telemetry *obs.Registry
+	// TraceHook, when non-nil, receives one RoundTrace per served round on
+	// the serial reduce path, in round order. Timings are captured with
+	// plain clock reads on the shards and never enter RoundReport, so the
+	// served trajectory is bit-identical with tracing on or off
+	// (TestTelemetryDoesNotPerturbTrajectory). The hook runs synchronously
+	// inside the serving call; keep it cheap and do not call back into the
+	// engine.
+	TraceHook func(RoundTrace)
 }
 
 func (c *Config) fillDefaults() {
@@ -132,6 +140,32 @@ type RoundReport struct {
 	// the AutoSparseTopK routing rule rather than configured explicitly.
 	Sparse     bool
 	AutoSparse bool
+}
+
+// RoundTrace is one served round's phase-timing record, delivered through
+// Config.TraceHook (and, via Session.SetTraceHook, to the HTTP serving
+// layer's /debug/traces ring). It is deliberately separate from
+// RoundReport: reports are part of the deterministic trajectory and are
+// compared bit for bit across worker counts, while wall-clock timings are
+// inherently run-dependent.
+type RoundTrace struct {
+	// Round and Tasks identify the round; Sparse/AutoSparse mirror the
+	// report's routing flags.
+	Round      int
+	Tasks      int
+	Sparse     bool
+	AutoSparse bool
+	// Phase durations in nanoseconds. ScreenNs is nonzero only on the
+	// sparse path; IngestNs only when observations are being collected
+	// (online serving). SolveNs is the predictive solve (dense mirror
+	// descent or the hierarchical cell solve). RoundNs spans the round's
+	// full compute on its shard, excluding pipeline queue waits.
+	PredictNs int64
+	ScreenNs  int64
+	SolveNs   int64
+	ExecNs    int64
+	IngestNs  int64
+	RoundNs   int64
 }
 
 // Report aggregates a full simulation.

@@ -26,9 +26,9 @@ func TestRoundReportSparseRouting(t *testing.T) {
 		}
 	}
 	assertSeries(t, dense.Telemetry, map[string]string{
-		"mfcp_rounds_dense_total":      "6",
-		"mfcp_rounds_sparse_total":     "0",
-		"mfcp_rounds_autosparse_total": "0",
+		`mfcp_rounds_by_route_total{route="dense"}`:      "6",
+		`mfcp_rounds_by_route_total{route="sparse"}`:     "0",
+		`mfcp_rounds_by_route_total{route="autosparse"}`: "0",
 	})
 
 	sparse := tinyCfg(MethodTSM)
@@ -47,9 +47,9 @@ func TestRoundReportSparseRouting(t *testing.T) {
 		}
 	}
 	assertSeries(t, sparse.Telemetry, map[string]string{
-		"mfcp_rounds_dense_total":      "0",
-		"mfcp_rounds_sparse_total":     "6",
-		"mfcp_rounds_autosparse_total": "0",
+		`mfcp_rounds_by_route_total{route="dense"}`:      "0",
+		`mfcp_rounds_by_route_total{route="sparse"}`:     "6",
+		`mfcp_rounds_by_route_total{route="autosparse"}`: "0",
 	})
 }
 
@@ -81,9 +81,12 @@ func TestAutoSparseRoutingSurfaced(t *testing.T) {
 			t.Fatalf("round %d Sparse=%v AutoSparse=%v, want both", rr.Round, rr.Sparse, rr.AutoSparse)
 		}
 	}
+	// Routes are disjoint: auto-selected sparse rounds count only under
+	// "autosparse", so the family still sums to rounds served.
 	assertSeries(t, cfg.Telemetry, map[string]string{
-		"mfcp_rounds_sparse_total":     "6",
-		"mfcp_rounds_autosparse_total": "6",
+		`mfcp_rounds_by_route_total{route="dense"}`:      "0",
+		`mfcp_rounds_by_route_total{route="sparse"}`:     "0",
+		`mfcp_rounds_by_route_total{route="autosparse"}`: "6",
 	})
 }
 

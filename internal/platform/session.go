@@ -55,8 +55,9 @@ type Session struct {
 	refitWG sync.WaitGroup
 
 	// results is the sweep scratch (reused across calls; reduce copies
-	// rounds into the report).
+	// rounds into the report); times is its parallel trace scratch.
 	results []RoundReport
+	times   []RoundTrace
 
 	// windowSum/windowN accumulate the in-progress window's regret for the
 	// learning curve.
@@ -129,8 +130,16 @@ func NewSession(ctx context.Context, cfg OnlineConfig) (*Session, error) {
 	}
 	s.spare = e.snap.Load().Snapshot(nil)
 	s.results = make([]RoundReport, cfg.RefitEvery)
+	s.times = make([]RoundTrace, cfg.RefitEvery)
 	return s, nil
 }
+
+// SetTraceHook registers fn to receive one RoundTrace per served round on
+// the serial reduce path, in round order (the HTTP serving layer uses this
+// to build its /debug/traces ring). Owner-goroutine only: set it before
+// serving begins, never concurrently with ServeComposed. Overrides any
+// Config.TraceHook.
+func (s *Session) SetTraceHook(fn func(RoundTrace)) { s.e.traceHook = fn }
 
 // RoundSize returns the configured tasks-per-round of the sampled path.
 func (s *Session) RoundSize() int { return s.cfg.RoundSize }
@@ -225,10 +234,12 @@ func (s *Session) serve(rounds [][]int) ([]RoundReport, error) {
 		chunk := rounds[off : off+n]
 		if cap(s.results) < n {
 			s.results = make([]RoundReport, n)
+			s.times = make([]RoundTrace, n)
 		}
 		window := s.results[:n]
+		times := s.times[:n]
 		v0 := s.e.snap.Version()
-		if err := s.e.sweep(s.served, chunk, s.e.currentSet(), window); err != nil {
+		if err := s.e.sweep(s.served, chunk, s.e.currentSet(), window, times); err != nil {
 			s.discardRing()
 			return out, err
 		}
@@ -237,6 +248,9 @@ func (s *Session) serve(rounds [][]int) ([]RoundReport, error) {
 		for i := range window {
 			reduce(&s.rep.Report, &window[i])
 			s.e.met.observeReduced(&window[i])
+			if s.e.traceHook != nil {
+				s.e.traceHook(times[i])
+			}
 			s.windowSum += window[i].Eval.Regret
 			s.windowN++
 		}

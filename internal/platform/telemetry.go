@@ -72,12 +72,18 @@ type engineMetrics struct {
 	screenFresh  *obs.Counter
 	reconcileSec *obs.Histogram
 	repairSec    *obs.Histogram
-	// Dense/sparse routing visibility: which path each round actually took,
-	// and whether the sparse path was auto-selected (AutoSparseTopK) rather
-	// than configured. Updated on the serial reduce path.
-	roundsDense  *obs.Counter
-	roundsSparse *obs.Counter
-	autoRouted   *obs.Counter
+	// Dense/sparse routing visibility: which path each round actually took.
+	// Pre-bound children of the labeled route family; the three routes are
+	// disjoint (an auto-selected sparse round counts only under
+	// "autosparse"), so the family sums to rounds served. Counters update
+	// on the serial reduce path; the per-route latency children are
+	// observed on the shards.
+	routeDense     *obs.Counter
+	routeSparse    *obs.Counter
+	routeAuto      *obs.Counter
+	routeSecDense  *obs.Histogram
+	routeSecSparse *obs.Histogram
+	routeSecAuto   *obs.Histogram
 
 	// Warm-start effectiveness: how many solves were seeded, and the
 	// rolling iteration counts of warm vs cold solves (the iterations-saved
@@ -104,6 +110,10 @@ const ewmaAlpha = 0.05
 func newEngineMetrics(reg *obs.Registry) engineMetrics {
 	embed.RegisterMetrics(reg)
 	tr := obs.NewTracer(reg, "mfcp_phase")
+	routes := reg.CounterVec("mfcp_rounds_by_route_total",
+		"rounds served by matching route (dense, sparse, autosparse are disjoint)", "route")
+	routeSec := reg.HistogramVec("mfcp_route_round_seconds",
+		"end-to-end round latency on its shard by matching route", "route", obs.LatencyBuckets)
 	return engineMetrics{
 		rounds: reg.Counter("mfcp_rounds_served_total", "allocation rounds served"),
 		tasks:  reg.Counter("mfcp_tasks_served_total", "tasks allocated across all rounds"),
@@ -147,12 +157,12 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 			"duration of the capacity-reconcile phase in seconds", obs.LatencyBuckets),
 		repairSec: reg.Histogram("mfcp_phase_repair_seconds",
 			"duration of the sparse repair phase in seconds", obs.LatencyBuckets),
-		roundsDense: reg.Counter("mfcp_rounds_dense_total",
-			"rounds solved on the dense matching path"),
-		roundsSparse: reg.Counter("mfcp_rounds_sparse_total",
-			"rounds solved on the screened sparse matching path"),
-		autoRouted: reg.Counter("mfcp_rounds_autosparse_total",
-			"sparse rounds whose top-k was auto-selected (AutoSparseTopK), not configured"),
+		routeDense:     routes.With("dense"),
+		routeSparse:    routes.With("sparse"),
+		routeAuto:      routes.With("autosparse"),
+		routeSecDense:  routeSec.With("dense"),
+		routeSecSparse: routeSec.With("sparse"),
+		routeSecAuto:   routeSec.With("autosparse"),
 
 		warmRounds: reg.Counter("mfcp_warm_rounds_total",
 			"predictive solves seeded from a previous round's relaxed iterate"),
@@ -217,13 +227,13 @@ func (m *engineMetrics) observeHierTimings(t matching.HierTimings) {
 func (m *engineMetrics) observeReduced(rr *RoundReport) {
 	m.rounds.Inc()
 	m.tasks.Add(uint64(len(rr.TaskIdx)))
-	if rr.Sparse {
-		m.roundsSparse.Inc()
-		if rr.AutoSparse {
-			m.autoRouted.Inc()
-		}
-	} else {
-		m.roundsDense.Inc()
+	switch {
+	case rr.Sparse && rr.AutoSparse:
+		m.routeAuto.Inc()
+	case rr.Sparse:
+		m.routeSparse.Inc()
+	default:
+		m.routeDense.Inc()
 	}
 	if rr.WarmStarted {
 		m.warmRounds.Inc()

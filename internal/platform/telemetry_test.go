@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"mfcp/internal/matching"
 	"mfcp/internal/metrics"
@@ -11,15 +12,62 @@ import (
 )
 
 // TestTelemetryDoesNotPerturbTrajectory pins the observability contract:
-// attaching a registry changes nothing about the served trajectory, at any
-// worker count.
+// attaching a registry — labeled families included — and a trace hook
+// changes nothing about the served trajectory, at any worker count. It also
+// pins the hook's delivery contract: one RoundTrace per round, in round
+// order, on the serial reduce path.
 func TestTelemetryDoesNotPerturbTrajectory(t *testing.T) {
 	base := mustRunOnlineAt(t, onlineTiny(MethodTSM), 1)
 	for _, w := range []int{1, 2, 8} {
 		cfg := onlineTiny(MethodTSM)
 		cfg.Telemetry = obs.NewRegistry()
+		var traces []RoundTrace
+		cfg.TraceHook = func(tr RoundTrace) { traces = append(traces, tr) }
 		rep := mustRunOnlineAt(t, cfg, w)
-		sameTrajectory(t, "telemetry on vs off", &base.Report, &rep.Report)
+		sameTrajectory(t, "telemetry+tracing on vs off", &base.Report, &rep.Report)
+		if len(traces) != len(rep.Rounds) {
+			t.Fatalf("workers=%d: hook saw %d rounds, served %d", w, len(traces), len(rep.Rounds))
+		}
+		for i, tr := range traces {
+			if tr.Round != i {
+				t.Fatalf("workers=%d: trace %d carries round %d — hook must fire in round order", w, i, tr.Round)
+			}
+			if tr.Tasks != len(rep.Rounds[i].TaskIdx) {
+				t.Fatalf("workers=%d round %d: trace tasks %d != report %d", w, i, tr.Tasks, len(rep.Rounds[i].TaskIdx))
+			}
+			if tr.PredictNs <= 0 || tr.SolveNs <= 0 || tr.ExecNs <= 0 || tr.RoundNs <= 0 {
+				t.Fatalf("workers=%d round %d: zero phase timing: %+v", w, i, tr)
+			}
+		}
+	}
+}
+
+// TestSparseTraceCarriesScreenPhase runs the screened pipeline with a trace
+// hook and asserts the screener-stage timings survive the channel handoff
+// to the solver pool.
+func TestSparseTraceCarriesScreenPhase(t *testing.T) {
+	cfg := tinyCfg(MethodTSM)
+	cfg.Match.TopK = 2
+	var traces []RoundTrace
+	cfg.TraceHook = func(tr RoundTrace) { traces = append(traces, tr) }
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != len(rep.Rounds) {
+		t.Fatalf("hook saw %d rounds, served %d", len(traces), len(rep.Rounds))
+	}
+	for i, tr := range traces {
+		if !tr.Sparse || tr.AutoSparse {
+			t.Fatalf("round %d: Sparse=%v AutoSparse=%v, want sparse explicit", i, tr.Sparse, tr.AutoSparse)
+		}
+		if tr.PredictNs <= 0 || tr.ScreenNs <= 0 || tr.SolveNs <= 0 {
+			t.Fatalf("round %d: missing sparse phase timings: %+v", i, tr)
+		}
+		if tr.RoundNs < tr.PredictNs+tr.ScreenNs {
+			t.Fatalf("round %d: RoundNs %d excludes the screener stage (predict %d + screen %d)",
+				i, tr.RoundNs, tr.PredictNs, tr.ScreenNs)
+		}
 	}
 }
 
@@ -100,6 +148,10 @@ func TestEngineExportsSeries(t *testing.T) {
 		"mfcp_rolling_reliability",
 		"mfcp_embed_cache_hits_total",
 		"mfcp_embed_cache_misses_total",
+		`mfcp_rounds_by_route_total{route="dense"} 9`,
+		`mfcp_rounds_by_route_total{route="sparse"} 0`,
+		`mfcp_rounds_by_route_total{route="autosparse"} 0`,
+		`mfcp_route_round_seconds_count{route="dense"} 9`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("export missing %q", want)
@@ -144,13 +196,12 @@ func TestTelemetryRecordingZeroAllocs(t *testing.T) {
 	ri := matching.RepairInfo{FeasMoves: 1, Moves: 2, Swaps: 1, CostBefore: 3, CostAfter: 2.5}
 	rr := RoundReport{TaskIdx: []int{1, 2, 3}, Eval: metrics.Eval{Regret: 0.1, Reliability: 0.9}}
 	if n := testing.AllocsPerRun(1000, func() {
-		rsp := met.round.Start()
-		psp := met.predict.Start()
-		psp.End()
+		met.predict.Observe(time.Microsecond)
+		met.round.Observe(time.Millisecond)
+		met.routeSecDense.Observe(0.001)
 		met.observeSolve(si, ri)
 		met.observeReduced(&rr)
 		met.observeSnapshot(1, 2)
-		rsp.End()
 	}); n != 0 {
 		t.Fatalf("telemetry recording allocated %v objects/op, want 0", n)
 	}
@@ -158,10 +209,10 @@ func TestTelemetryRecordingZeroAllocs(t *testing.T) {
 	// Disabled telemetry must be equally silent.
 	off := newEngineMetrics(nil)
 	if n := testing.AllocsPerRun(1000, func() {
-		rsp := off.round.Start()
+		off.round.Observe(time.Millisecond)
+		off.routeSecDense.Observe(0.001)
 		off.observeSolve(si, ri)
 		off.observeReduced(&rr)
-		rsp.End()
 	}); n != 0 {
 		t.Fatalf("disabled telemetry allocated %v objects/op, want 0", n)
 	}

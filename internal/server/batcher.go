@@ -3,6 +3,9 @@ package server
 import (
 	"errors"
 	"time"
+
+	"mfcp/internal/obs"
+	"mfcp/internal/platform"
 )
 
 // errShortServe guards the one-round contract of serveBatch; it maps to
@@ -80,6 +83,12 @@ func (s *Server) serveBatch(batch []*request, total int, flush flushReason) {
 	for _, rq := range batch {
 		round = append(round, rq.tasks...)
 	}
+	serveStart := time.Now()
+	// Reset the phase-timing slot before the serve: the session's trace
+	// hook (wired in New) fills it on this goroutine during ServeComposed.
+	// A matcher without a hook leaves it zero, and the traces simply carry
+	// no phase breakdown.
+	s.curTrace = platform.RoundTrace{}
 	reports, err := s.m.ServeComposed([][]int{round})
 	s.ringDepth.Store(int64(s.m.RingDepth()))
 	s.met.ringDepth.Set(float64(s.m.RingDepth()))
@@ -88,6 +97,7 @@ func (s *Server) serveBatch(batch []*request, total int, flush flushReason) {
 		err = errShortServe
 	}
 	if err != nil {
+		s.traceBatch(batch, nil, serveStart, err)
 		for _, rq := range batch {
 			rq.reply <- reply{err: err}
 		}
@@ -95,9 +105,11 @@ func (s *Server) serveBatch(batch []*request, total int, flush flushReason) {
 	}
 	rr := &reports[0]
 	s.met.observeBatch(len(batch), total, flush)
+	s.traceBatch(batch, rr, serveStart, nil)
 	off := 0
 	for _, rq := range batch {
 		resp := &MatchResponse{
+			RequestID:  rq.id,
 			Round:      rr.Round,
 			Coalesced:  len(batch),
 			BatchTasks: total,
@@ -117,5 +129,39 @@ func (s *Server) serveBatch(batch []*request, total int, flush flushReason) {
 		}
 		off += len(rq.tasks)
 		rq.reply <- reply{resp: resp}
+	}
+}
+
+// traceBatch records one RequestTrace per coalesced request. All requests
+// in the batch share the round's phase timings (the round WAS shared); the
+// queue wait and total span are each request's own. Runs on the batcher
+// goroutine, where curTrace was just written.
+func (s *Server) traceBatch(batch []*request, rr *platform.RoundReport, serveStart time.Time, err error) {
+	now := time.Now()
+	status := "ok"
+	if err != nil {
+		status = kindFor(err)
+	}
+	for _, rq := range batch {
+		t := obs.RequestTrace{
+			ID:        rq.id,
+			Tenant:    rq.tenant,
+			Tasks:     len(rq.tasks),
+			Round:     -1,
+			Coalesced: len(batch),
+			Start:     rq.enqueued.UnixNano(),
+			QueueNs:   serveStart.Sub(rq.enqueued).Nanoseconds(),
+			PredictNs: s.curTrace.PredictNs,
+			ScreenNs:  s.curTrace.ScreenNs,
+			SolveNs:   s.curTrace.SolveNs,
+			ExecNs:    s.curTrace.ExecNs,
+			IngestNs:  s.curTrace.IngestNs,
+			TotalNs:   now.Sub(rq.enqueued).Nanoseconds(),
+			Status:    status,
+		}
+		if rr != nil {
+			t.Round = rr.Round
+		}
+		s.traces.Put(t)
 	}
 }

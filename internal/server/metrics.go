@@ -13,6 +13,24 @@ type serverMetrics struct {
 	serverErrs *obs.Counter
 	latency    *obs.Timer
 
+	// Status-class counters: pre-bound children of one labeled family, so
+	// the answer path records with a single atomic increment.
+	resp2xx   *obs.Counter
+	resp4xx   *obs.Counter
+	resp5xx   *obs.Counter
+	respOther *obs.Counter
+
+	// Per-tenant attribution. Tenant names arrive from the network, so
+	// these families lean on the obs cardinality cap: past
+	// obs.DefaultMaxChildren distinct tenants, new names share the "other"
+	// child. The handlers call With per request — a read-locked map hit,
+	// no allocation.
+	tenantReqs    *obs.CounterVec
+	tenantTasks   *obs.CounterVec
+	tenantRejects *obs.CounterVec
+	tenantLatency *obs.HistogramVec
+	tenantPending *obs.GaugeVec
+
 	// Admission rejections by cause, recorded before a request is queued.
 	rejectQueue *obs.Counter
 	rejectRing  *obs.Counter
@@ -37,6 +55,8 @@ type serverMetrics struct {
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
+	classes := reg.CounterVec("mfcp_http_responses_total",
+		"match responses by status class (499 = client gone before the answer)", "class")
 	return serverMetrics{
 		requests:   reg.Counter("mfcp_http_requests_total", "match requests received"),
 		okResp:     reg.Counter("mfcp_http_ok_total", "match requests answered 200"),
@@ -44,6 +64,22 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		serverErrs: reg.Counter("mfcp_http_server_errors_total", "match requests answered 5xx"),
 		latency: obs.NewTimer(reg.Histogram("mfcp_http_request_seconds",
 			"end-to-end match request latency", obs.LatencyBuckets)),
+
+		resp2xx:   classes.With("2xx"),
+		resp4xx:   classes.With("4xx"),
+		resp5xx:   classes.With("5xx"),
+		respOther: classes.With("other"),
+
+		tenantReqs: reg.CounterVec("mfcp_tenant_requests_total",
+			"match requests received by tenant", "tenant"),
+		tenantTasks: reg.CounterVec("mfcp_tenant_tasks_total",
+			"tasks admitted to the batch queue by tenant", "tenant"),
+		tenantRejects: reg.CounterVec("mfcp_tenant_rejected_total",
+			"requests shed by admission control (backpressure, quota, queue) by tenant", "tenant"),
+		tenantLatency: reg.HistogramVec("mfcp_tenant_request_seconds",
+			"end-to-end match request latency by tenant", "tenant", obs.LatencyBuckets),
+		tenantPending: reg.GaugeVec("mfcp_tenant_pending_tasks",
+			"queued-but-unanswered tasks held against the tenant quota", "tenant"),
 
 		rejectQueue: reg.Counter("mfcp_admission_queue_rejected_total",
 			"requests shed because the batch queue was full"),
@@ -69,6 +105,26 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		ringDepth: reg.Gauge("mfcp_server_ring_depth",
 			"observation-ring depth after the last served batch"),
 		draining: reg.Gauge("mfcp_server_draining", "1 while the server is draining"),
+	}
+}
+
+// observeStatus folds a final HTTP status code into the class counters.
+// 499 (client gone before the answer) lands in "other" — it is neither a
+// client mistake nor a server fault.
+func (m *serverMetrics) observeStatus(code int) {
+	switch code / 100 {
+	case 2:
+		m.resp2xx.Inc()
+	case 4:
+		if code == 499 {
+			m.respOther.Inc()
+			return
+		}
+		m.resp4xx.Inc()
+	case 5:
+		m.resp5xx.Inc()
+	default:
+		m.respOther.Inc()
 	}
 }
 

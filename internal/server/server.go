@@ -78,6 +78,11 @@ type Config struct {
 	// Telemetry, when non-nil, receives the request/batch instruments and
 	// is mounted at /metrics (with /debug/pprof) on the server's mux.
 	Telemetry *obs.Registry
+	// TraceCap sizes the request-trace ring served at /debug/traces: the
+	// last TraceCap answered requests keep their per-phase timing records.
+	// Default 256. The ring is always on — it is a fixed-size buffer with a
+	// lock-free write path, cheap enough to leave running in production.
+	TraceCap int
 }
 
 func (c *Config) fillDefaults() {
@@ -96,6 +101,9 @@ func (c *Config) fillDefaults() {
 	if c.RetryAfterSeconds == 0 {
 		c.RetryAfterSeconds = 1
 	}
+	if c.TraceCap == 0 {
+		c.TraceCap = 256
+	}
 }
 
 // MatchRequest is the /v1/match request body: a tenant name and the task
@@ -113,10 +121,13 @@ type TaskAssignment struct {
 	Success bool    `json:"success"`
 }
 
-// MatchResponse is the /v1/match response body. Round is the absolute
-// round index that served this request; Coalesced and BatchTasks describe
-// the shared round (Coalesced == 1 means no other tenant rode along).
+// MatchResponse is the /v1/match response body. RequestID is the server's
+// id for this submission — the key to find its timing record at
+// /debug/traces. Round is the absolute round index that served this
+// request; Coalesced and BatchTasks describe the shared round
+// (Coalesced == 1 means no other tenant rode along).
 type MatchResponse struct {
+	RequestID   uint64           `json:"request_id"`
 	Round       int              `json:"round"`
 	Coalesced   int              `json:"coalesced"`
 	BatchTasks  int              `json:"batch_tasks"`
@@ -128,9 +139,11 @@ type MatchResponse struct {
 
 // request is one admitted submission traveling handler → batcher.
 type request struct {
-	tenant string
-	tasks  []int
-	reply  chan reply
+	id       uint64
+	tenant   string
+	tasks    []int
+	enqueued time.Time
+	reply    chan reply
 }
 
 type reply struct {
@@ -165,8 +178,23 @@ type Server struct {
 	accepted  atomic.Int64
 	answered  atomic.Int64
 
+	// quotaMu guards the exact per-tenant quota ledger (pending) and the
+	// bounded per-tenant stats digest (tstats). The two maps are deliberately
+	// separate: pending is admission-control state and must stay exact per
+	// tenant, while tstats is an observability surface and folds past
+	// tenantStatsCap distinct names into obs.OverflowLabel.
 	quotaMu sync.Mutex
 	pending map[string]int
+	tstats  map[string]*tenantStat
+
+	// traces is the request-trace ring behind /debug/traces; traceSeq mints
+	// request ids. curTrace is the engine's phase-timing record for the round
+	// in flight, written by the session's trace hook during ServeComposed and
+	// read right after it returns — both on the batcher goroutine, so the
+	// field needs no lock.
+	traces   *obs.TraceRing
+	traceSeq atomic.Uint64
+	curTrace platform.RoundTrace
 }
 
 // New wires a front-end around m and starts its batcher goroutine. The
@@ -180,12 +208,28 @@ func New(m Matcher, cfg Config) *Server {
 		submit:  make(chan *request, cfg.QueueCap),
 		done:    make(chan struct{}),
 		pending: make(map[string]int),
+		tstats:  make(map[string]*tenantStat),
+		traces:  obs.NewTraceRing(cfg.TraceCap),
 	}
 	s.served.Store(int64(m.Served()))
+	// When the matcher exposes a trace hook (as *platform.Session does),
+	// capture each served round's phase timings for the request traces. The
+	// hook is installed before the batcher goroutine starts, so the write
+	// happens-before every ServeComposed call; the hook itself fires on the
+	// batcher goroutine (the session's owner), so plain assignment is safe.
+	if th, ok := m.(interface {
+		SetTraceHook(func(platform.RoundTrace))
+	}); ok {
+		th.SetTraceHook(func(rt platform.RoundTrace) { s.curTrace = rt })
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/match", s.handleMatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// The trace ring is always mounted: it exists with or without a
+	// registry, and the more specific pattern wins over the /debug/
+	// catch-all below.
+	s.mux.Handle("GET /debug/traces", obs.TraceHandler(s.traces))
 	if cfg.Telemetry != nil {
 		oh := obs.Handler(cfg.Telemetry)
 		s.mux.Handle("/metrics", oh)
@@ -223,11 +267,38 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
+// statusRecorder captures the final status code written by the handler so
+// the deferred accounting can attribute the response to a class. The
+// zero-write case (client gone) is stamped explicitly with 499.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// statusClientGone is nginx's convention for "client closed the connection
+// before the answer"; nothing is written to the wire, the code exists only
+// for the class counters and the trace ring.
+const statusClientGone = 499
+
 // handleMatch validates, admits, enqueues, and waits for the batcher's
 // answer.
-func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
-	sp := s.met.latency.Start()
-	defer sp.End()
+func (s *Server) handleMatch(hw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w := &statusRecorder{ResponseWriter: hw, status: http.StatusOK}
+	tenant := ""
+	defer func() {
+		d := time.Since(start)
+		s.met.latency.Observe(d)
+		s.met.observeStatus(w.status)
+		if tenant != "" {
+			s.met.tenantLatency.With(tenant).Observe(d.Seconds())
+		}
+	}()
 	s.met.requests.Inc()
 
 	var req MatchRequest
@@ -235,6 +306,10 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		s.met.clientErrs.Inc()
 		writeError(w, mfcperr.Wrap(mfcperr.ErrBadShape, "server: malformed request body: %v", err))
 		return
+	}
+	if tenant = req.Tenant; tenant != "" {
+		s.met.tenantReqs.With(tenant).Inc()
+		s.noteTenant(tenant, func(st *tenantStat) { st.Requests++ })
 	}
 	if err := s.validate(&req); err != nil {
 		s.met.clientErrs.Inc()
@@ -246,6 +321,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if cap := s.m.RingCap(); cap > 0 {
 		if float64(s.ringDepth.Load()) >= s.cfg.RingHighWater*float64(cap) {
 			s.met.rejectRing.Inc()
+			s.rejectTenant(tenant)
 			writeReject(w, http.StatusServiceUnavailable, "backpressure",
 				"server: observation ring near capacity; retry shortly", s.cfg.RetryAfterSeconds)
 			return
@@ -253,24 +329,39 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.quotaAcquire(req.Tenant, len(req.Tasks)) {
 		s.met.rejectQuota.Inc()
+		s.rejectTenant(tenant)
 		writeReject(w, http.StatusTooManyRequests, "quota",
 			"server: tenant pending-task quota exceeded; retry shortly", s.cfg.RetryAfterSeconds)
 		return
 	}
 	defer s.quotaRelease(req.Tenant, len(req.Tasks))
 
-	rq := &request{tenant: req.Tenant, tasks: req.Tasks, reply: make(chan reply, 1)}
+	rq := &request{
+		id:       s.traceSeq.Add(1),
+		tenant:   req.Tenant,
+		tasks:    req.Tasks,
+		enqueued: time.Now(),
+		reply:    make(chan reply, 1),
+	}
 	if !s.enqueue(rq) {
 		s.met.rejectQueue.Inc()
+		s.rejectTenant(tenant)
 		writeReject(w, http.StatusServiceUnavailable, "overloaded",
 			"server: batch queue full or draining; retry shortly", s.cfg.RetryAfterSeconds)
 		return
 	}
 	s.accepted.Add(1)
+	if tenant != "" {
+		s.met.tenantTasks.With(tenant).Add(uint64(len(req.Tasks)))
+		s.noteTenant(tenant, func(st *tenantStat) { st.Tasks += uint64(len(req.Tasks)) })
+	}
 
 	select {
 	case rep := <-rq.reply:
 		s.answered.Add(1)
+		if tenant != "" {
+			s.noteTenant(tenant, func(st *tenantStat) { st.Answered++ })
+		}
 		if rep.err != nil {
 			if statusFor(rep.err) >= 500 {
 				s.met.serverErrs.Inc()
@@ -286,7 +377,11 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		// The client went away; the batcher's answer lands in the buffered
 		// reply channel and is dropped. The round is still served — accepted
 		// work is never abandoned server-side.
+		w.status = statusClientGone
 		s.answered.Add(1)
+		if tenant != "" {
+			s.noteTenant(tenant, func(st *tenantStat) { st.Answered++ })
+		}
 	}
 }
 
@@ -335,6 +430,9 @@ func (s *Server) quotaAcquire(tenant string, n int) bool {
 		return false
 	}
 	s.pending[tenant] += n
+	if tenant != "" {
+		s.met.tenantPending.With(tenant).Set(float64(s.pending[tenant]))
+	}
 	return true
 }
 
@@ -344,18 +442,99 @@ func (s *Server) quotaRelease(tenant string, n int) {
 	if s.pending[tenant] -= n; s.pending[tenant] <= 0 {
 		delete(s.pending, tenant)
 	}
+	if tenant != "" {
+		s.met.tenantPending.With(tenant).Set(float64(s.pending[tenant]))
+	}
+}
+
+// tenantStat is one tenant's row in the /v1/stats digest.
+type tenantStat struct {
+	Requests uint64 `json:"requests"`
+	Answered uint64 `json:"answered"`
+	Rejected uint64 `json:"rejected"`
+	Tasks    uint64 `json:"tasks"`
+	Pending  int    `json:"pending"`
+}
+
+// tenantStatsCap bounds the digest the same way the labeled metric
+// families are bounded: past this many distinct tenant names, new ones
+// share the obs.OverflowLabel row. The quota ledger is NOT folded — only
+// the reporting surface is.
+const tenantStatsCap = 32
+
+// statRow returns the digest row for tenant, folding past the cap. Caller
+// holds quotaMu.
+func (s *Server) statRow(tenant string) *tenantStat {
+	if st, ok := s.tstats[tenant]; ok {
+		return st
+	}
+	if len(s.tstats) >= tenantStatsCap {
+		tenant = obs.OverflowLabel
+		if st, ok := s.tstats[tenant]; ok {
+			return st
+		}
+	}
+	st := &tenantStat{}
+	s.tstats[tenant] = st
+	return st
+}
+
+// noteTenant applies f to tenant's digest row under the lock.
+func (s *Server) noteTenant(tenant string, f func(*tenantStat)) {
+	s.quotaMu.Lock()
+	f(s.statRow(tenant))
+	s.quotaMu.Unlock()
+}
+
+// rejectTenant records one shed request against the tenant, in both the
+// labeled counter family and the stats digest. No-op for anonymous
+// requests.
+func (s *Server) rejectTenant(tenant string) {
+	if tenant == "" {
+		return
+	}
+	s.met.tenantRejects.With(tenant).Inc()
+	s.noteTenant(tenant, func(st *tenantStat) { st.Rejected++ })
+}
+
+// tenantDigest copies the per-tenant rows and overlays live pending counts
+// from the quota ledger. Pending for tenants whose row folded to the
+// overflow key accumulates there.
+func (s *Server) tenantDigest() map[string]tenantStat {
+	s.quotaMu.Lock()
+	defer s.quotaMu.Unlock()
+	out := make(map[string]tenantStat, len(s.tstats))
+	for name, st := range s.tstats {
+		row := *st
+		row.Pending = 0
+		out[name] = row
+	}
+	for name, n := range s.pending {
+		key := name
+		if _, ok := out[key]; !ok {
+			key = obs.OverflowLabel
+			if _, ok := out[key]; !ok {
+				continue // anonymous tenant: quota tracked, no digest row
+			}
+		}
+		row := out[key]
+		row.Pending += n
+		out[key] = row
+	}
+	return out
 }
 
 // statsBody is the /v1/stats response.
 type statsBody struct {
-	Served    int64 `json:"rounds_served"`
-	Accepted  int64 `json:"requests_accepted"`
-	Answered  int64 `json:"requests_answered"`
-	RingDepth int64 `json:"ring_depth"`
-	RingCap   int   `json:"ring_cap"`
-	QueueLen  int   `json:"queue_len"`
-	QueueCap  int   `json:"queue_cap"`
-	Draining  bool  `json:"draining"`
+	Served    int64                 `json:"rounds_served"`
+	Accepted  int64                 `json:"requests_accepted"`
+	Answered  int64                 `json:"requests_answered"`
+	RingDepth int64                 `json:"ring_depth"`
+	RingCap   int                   `json:"ring_cap"`
+	QueueLen  int                   `json:"queue_len"`
+	QueueCap  int                   `json:"queue_cap"`
+	Draining  bool                  `json:"draining"`
+	Tenants   map[string]tenantStat `json:"tenants"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -371,6 +550,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		QueueLen:  len(s.submit),
 		QueueCap:  s.cfg.QueueCap,
 		Draining:  draining,
+		Tenants:   s.tenantDigest(),
 	})
 }
 

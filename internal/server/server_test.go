@@ -28,7 +28,12 @@ type fakeMatcher struct {
 	ringDepth   int
 	ringCap     int
 	poolLen     int
+	traceHook   func(platform.RoundTrace)
 }
+
+// SetTraceHook mimics *platform.Session's optional trace surface so the
+// front-end tests cover the hook wiring end to end.
+func (f *fakeMatcher) SetTraceHook(fn func(platform.RoundTrace)) { f.traceHook = fn }
 
 func newFakeMatcher() *fakeMatcher {
 	return &fakeMatcher{ringCap: 100, poolLen: 1000}
@@ -62,6 +67,12 @@ func (f *fakeMatcher) ServeComposed(rounds [][]int) ([]platform.RoundReport, err
 		f.served++
 		f.rounds = append(f.rounds, append([]int(nil), round...))
 		out[i] = rr
+		if f.traceHook != nil {
+			f.traceHook(platform.RoundTrace{
+				Round: rr.Round, Tasks: len(round),
+				PredictNs: 1_000, SolveNs: 2_000, ExecNs: 3_000, IngestNs: 400, RoundNs: 6_400,
+			})
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,251 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/obs"
+)
+
+// getTraces fetches /debug/traces (with optional query) and decodes it.
+func getTraces(t *testing.T, ts *httptest.Server, query string) (int, []obs.RequestTrace) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/debug/traces" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces%s: status %d", query, resp.StatusCode)
+	}
+	var dump struct {
+		Capacity int                `json:"capacity"`
+		Count    int                `json:"count"`
+		Traces   []obs.RequestTrace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Count != len(dump.Traces) {
+		t.Fatalf("count %d != len(traces) %d", dump.Count, len(dump.Traces))
+	}
+	return dump.Capacity, dump.Traces
+}
+
+// TestDebugTracesEndpoint pins the request-tracing contract: every served
+// request leaves a trace carrying its id (echoed in the response), tenant,
+// queue wait, and the phase timings delivered by the matcher's trace hook.
+func TestDebugTracesEndpoint(t *testing.T) {
+	f := newFakeMatcher()
+	s := New(f, Config{Window: 0, TraceCap: 8})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, raw := postMatch(t, ts, "alpha", []int{1, 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	mr := decodeMatch(t, raw)
+	if mr.RequestID == 0 {
+		t.Fatal("response carries no request_id")
+	}
+	if resp, _ := postMatch(t, ts, "beta", []int{3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second request: status %d", resp.StatusCode)
+	}
+
+	capacity, traces := getTraces(t, ts, "")
+	if capacity != 8 {
+		t.Fatalf("capacity %d, want configured 8", capacity)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2: %+v", len(traces), traces)
+	}
+	if traces[0].ID != mr.RequestID || traces[0].Tenant != "alpha" || traces[0].Tasks != 2 {
+		t.Fatalf("first trace does not match first request: %+v", traces[0])
+	}
+	if traces[1].Tenant != "beta" || traces[1].ID <= traces[0].ID {
+		t.Fatalf("traces not oldest-first with increasing ids: %+v", traces)
+	}
+	for i, tr := range traces {
+		if tr.Status != "ok" || tr.Round != i || tr.Coalesced != 1 {
+			t.Fatalf("trace %d: %+v", i, tr)
+		}
+		if tr.QueueNs < 0 || tr.TotalNs <= 0 || tr.Start <= 0 {
+			t.Fatalf("trace %d timing: %+v", i, tr)
+		}
+		// Phase timings are the fake hook's synthetic values, proving the
+		// hook→curTrace→ring path.
+		if tr.PredictNs != 1_000 || tr.SolveNs != 2_000 || tr.ExecNs != 3_000 || tr.IngestNs != 400 {
+			t.Fatalf("trace %d phase timings did not ride the hook: %+v", i, tr)
+		}
+	}
+
+	// The slow filter keeps only traces at least that old end-to-end.
+	if _, slow := getTraces(t, ts, "?slow=10m"); len(slow) != 0 {
+		t.Fatalf("?slow=10m kept %d traces", len(slow))
+	}
+	if _, all := getTraces(t, ts, "?slow=1ns"); len(all) != 2 {
+		t.Fatalf("?slow=1ns kept %d traces, want 2", len(all))
+	}
+	r, err := http.Get(ts.URL + "/debug/traces?slow=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus slow threshold: status %d, want 400", r.StatusCode)
+	}
+}
+
+// TestTracesRecordServeErrors pins that a failed round still leaves traces,
+// carrying the error kind and no round index.
+func TestTracesRecordServeErrors(t *testing.T) {
+	f := newFakeMatcher()
+	f.serveErr = mfcperr.Wrap(mfcperr.ErrInfeasible, "no feasible assignment")
+	s := New(f, Config{Window: 0})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, _ := postMatch(t, ts, "alpha", []int{1}); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+	_, traces := getTraces(t, ts, "")
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	if traces[0].Status != "infeasible" || traces[0].Round != -1 {
+		t.Fatalf("error trace: %+v", traces[0])
+	}
+}
+
+// TestDebugTracesWithoutTelemetry pins that the trace ring is mounted even
+// with no registry configured — tracing is not gated on metrics.
+func TestDebugTracesWithoutTelemetry(t *testing.T) {
+	f := newFakeMatcher()
+	s := New(f, Config{Window: 0})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postMatch(t, ts, "solo", []int{5})
+	if _, traces := getTraces(t, ts, ""); len(traces) != 1 || traces[0].Tenant != "solo" {
+		t.Fatalf("traces without telemetry: %+v", traces)
+	}
+}
+
+// TestTenantDigestAndLabeledSeries pins the per-tenant observability
+// surfaces: the /v1/stats digest rows and the labeled Prometheus families,
+// including rejection attribution and live pending counts.
+func TestTenantDigestAndLabeledSeries(t *testing.T) {
+	f := newFakeMatcher()
+	reg := obs.NewRegistry()
+	s := New(f, Config{Window: 0, TenantMaxPending: 4, Telemetry: reg})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		if resp, raw := postMatch(t, ts, "alpha", []int{i}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("alpha request %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	// Saturate greedy's quota out-of-band, then get shed with 429.
+	if !s.quotaAcquire("greedy", 4) {
+		t.Fatal("quota refused within limit")
+	}
+	if resp, _ := postMatch(t, ts, "greedy", []int{9}); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("greedy not shed")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb statsBody
+	if err := json.NewDecoder(resp.Body).Decode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	alpha, greedy := sb.Tenants["alpha"], sb.Tenants["greedy"]
+	if alpha.Requests != 2 || alpha.Answered != 2 || alpha.Rejected != 0 || alpha.Tasks != 2 || alpha.Pending != 0 {
+		t.Fatalf("alpha digest %+v", alpha)
+	}
+	if greedy.Requests != 1 || greedy.Rejected != 1 || greedy.Answered != 0 || greedy.Pending != 4 {
+		t.Fatalf("greedy digest %+v", greedy)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`mfcp_tenant_requests_total{tenant="alpha"} 2`,
+		`mfcp_tenant_requests_total{tenant="greedy"} 1`,
+		`mfcp_tenant_tasks_total{tenant="alpha"} 2`,
+		`mfcp_tenant_rejected_total{tenant="greedy"} 1`,
+		`mfcp_tenant_request_seconds_count{tenant="alpha"} 2`,
+		`mfcp_tenant_pending_tasks{tenant="alpha"} 0`,
+		`mfcp_tenant_pending_tasks{tenant="greedy"} 4`,
+		`mfcp_http_responses_total{class="2xx"} 2`,
+		`mfcp_http_responses_total{class="4xx"} 1`,
+		`mfcp_http_responses_total{class="5xx"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full export:\n%s", out)
+	}
+	s.quotaRelease("greedy", 4)
+}
+
+// TestTenantDigestBounded pins the digest's cardinality cap: past
+// tenantStatsCap distinct names the rows fold into the overflow key, while
+// every request is still counted somewhere.
+func TestTenantDigestBounded(t *testing.T) {
+	f := newFakeMatcher()
+	s := New(f, Config{Window: 0})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = tenantStatsCap + 8
+	for i := 0; i < n; i++ {
+		name := "tenant-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		if resp, _ := postMatch(t, ts, name, []int{i}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb statsBody
+	if err := json.NewDecoder(resp.Body).Decode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sb.Tenants) > tenantStatsCap+1 {
+		t.Fatalf("digest grew to %d rows, cap is %d+overflow", len(sb.Tenants), tenantStatsCap)
+	}
+	other, ok := sb.Tenants[obs.OverflowLabel]
+	if !ok || other.Requests == 0 {
+		t.Fatalf("overflow row missing or empty: %+v", sb.Tenants)
+	}
+	var total uint64
+	for _, st := range sb.Tenants {
+		total += st.Requests
+	}
+	if total != n {
+		t.Fatalf("digest rows sum to %d requests, want %d", total, n)
+	}
+}

@@ -1,0 +1,132 @@
+#!/bin/sh
+# promtext_lint.sh — validate a Prometheus text exposition (format 0.0.4)
+# read from stdin or the file given as $1. Used by ci.sh and serve_smoke.sh
+# to gate the /metrics surface: a scrape that Prometheus would reject or
+# misparse should fail CI, not page someone later.
+#
+# Checks:
+#   - sample-line syntax: metric name charset, quoted label values with only
+#     the three legal escapes (\\ \" \n), a numeric value, optional timestamp
+#   - label name charset and a consistent label-key order per series name
+#   - HELP/TYPE headers: known types, at most one per family, TYPE before
+#     the family's first sample
+#   - every sample belongs to a family with a TYPE header (_bucket/_sum/
+#     _count fold into their histogram/summary base family)
+#   - duplicate series (same name + label set appearing twice)
+#
+# Exit 0 on a clean exposition, 1 with per-line diagnostics otherwise.
+set -eu
+
+awk '
+function err(msg) {
+	printf "promtext-lint: line %d: %s\n", NR, msg > "/dev/stderr"
+	errs++
+}
+BEGIN { errs = 0; samples = 0 }
+/^$/ { next }
+/^# HELP / {
+	split($0, a, " ")
+	name = a[3]
+	if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) err("bad metric name in HELP: " name)
+	if (name in helped) err("duplicate HELP for " name)
+	helped[name] = 1
+	next
+}
+/^# TYPE / {
+	split($0, a, " ")
+	name = a[3]; t = a[4]
+	if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) err("bad metric name in TYPE: " name)
+	if (t !~ /^(counter|gauge|histogram|summary|untyped)$/) err("bad type \"" t "\" for " name)
+	if (name in typed) err("duplicate TYPE for " name)
+	if (name in sampled) err("TYPE for " name " after its first sample")
+	typed[name] = t
+	next
+}
+/^#/ { next }  # other comments are legal and ignored
+{
+	if (match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) {
+		err("sample does not start with a metric name: " $0)
+		next
+	}
+	name = substr($0, 1, RLENGTH)
+	rest = substr($0, RLENGTH + 1)
+	labels = ""; keys = ""
+	if (substr(rest, 1, 1) == "{") {
+		# Find the closing brace, honoring quotes and escapes.
+		n = length(rest); inq = 0; esc = 0; end = 0
+		for (i = 2; i <= n; i++) {
+			c = substr(rest, i, 1)
+			if (inq) {
+				if (esc) {
+					if (c != "\\" && c != "\"" && c != "n")
+						err("illegal escape \\" c " in: " $0)
+					esc = 0
+				} else if (c == "\\") esc = 1
+				else if (c == "\"") inq = 0
+			} else if (c == "\"") inq = 1
+			else if (c == "}") { end = i; break }
+		}
+		if (end == 0) { err("unterminated label set: " $0); next }
+		labels = substr(rest, 2, end - 2)
+		rest = substr(rest, end + 1)
+		# Walk key="value" pairs to validate names and collect key order.
+		rem = labels; bad = 0
+		while (length(rem) > 0) {
+			if (match(rem, /^[a-zA-Z_][a-zA-Z0-9_]*=/) == 0) {
+				err("bad label pair near \"" rem "\" in: " $0); bad = 1; break
+			}
+			k = substr(rem, 1, RLENGTH - 1)
+			keys = keys == "" ? k : keys "," k
+			rem = substr(rem, RLENGTH + 1)
+			if (substr(rem, 1, 1) != "\"") {
+				err("unquoted label value in: " $0); bad = 1; break
+			}
+			closed = 0; esc = 0
+			for (j = 2; j <= length(rem); j++) {
+				c = substr(rem, j, 1)
+				if (esc) esc = 0
+				else if (c == "\\") esc = 1
+				else if (c == "\"") { closed = j; break }
+			}
+			if (!closed) { err("unterminated label value in: " $0); bad = 1; break }
+			rem = substr(rem, closed + 1)
+			if (substr(rem, 1, 1) == ",") rem = substr(rem, 2)
+			else if (length(rem) > 0) {
+				err("garbage after label value in: " $0); bad = 1; break
+			}
+		}
+		if (bad) next
+	}
+	if (rest !~ /^ (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?)( -?[0-9]+)?$/) {
+		err("bad sample value/timestamp \"" rest "\" for " name)
+		next
+	}
+	samples++
+	# Series uniqueness: one (name, label set) per exposition.
+	series = name "{" labels "}"
+	if (series in seen) err("duplicate series " series)
+	seen[series] = 1
+	# Key-order consistency per series name.
+	if (name in keysOf) {
+		if (keysOf[name] != keys)
+			err("label keys \"" keys "\" for " name " differ from earlier \"" keysOf[name] "\"")
+	} else keysOf[name] = keys
+	# TYPE coverage: _bucket/_sum/_count fold into a histogram/summary base.
+	base = name
+	if (base ~ /_(bucket|sum|count)$/) {
+		b = base
+		sub(/_(bucket|sum|count)$/, "", b)
+		if (typed[b] == "histogram" || typed[b] == "summary") base = b
+	}
+	if (!(base in typed)) err("sample " name " has no TYPE header")
+	sampled[base] = 1
+}
+END {
+	if (samples == 0) { print "promtext-lint: no samples in input" > "/dev/stderr"; errs++ }
+	if (errs > 0) {
+		printf "promtext-lint: %d problem(s) in %d sample(s)\n", errs, samples > "/dev/stderr"
+		exit 1
+	}
+	printf "promtext-lint: ok (%d samples)\n", samples
+}
+' "${1:--}"

@@ -61,14 +61,26 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
 	"http://$ADDR/v1/match" -d '{"tenant":"smoke","tasks":[]}')
 [ "$CODE" = "400" ] || fail "empty batch answered $CODE, want 400"
 
-# Telemetry: the served request must show up in the counters.
+# Telemetry: the served request must show up in the counters, including the
+# per-tenant labeled families, and the exposition must pass the format lint.
 METRICS=$(curl -sf "http://$ADDR/metrics") || fail "metrics endpoint down"
 for series in \
 	'mfcp_http_requests_total [1-9]' \
 	'mfcp_http_ok_total [1-9]' \
-	'mfcp_batches_total [1-9]'; do
+	'mfcp_batches_total [1-9]' \
+	'mfcp_http_responses_total{class="2xx"} [1-9]' \
+	'mfcp_tenant_requests_total{tenant="smoke"} [1-9]' \
+	'mfcp_tenant_tasks_total{tenant="smoke"} [1-9]' \
+	'mfcp_tenant_request_seconds_count{tenant="smoke"} [1-9]'; do
 	echo "$METRICS" | grep -q "^$series" || fail "missing nonzero series: $series"
 done
+echo "$METRICS" | sh scripts/promtext_lint.sh || fail "exposition failed the format lint"
+
+# Request tracing: the served request must be findable at /debug/traces
+# with engine phase timings attached.
+TRACES=$(curl -sf "http://$ADDR/debug/traces") || fail "trace endpoint down"
+echo "$TRACES" | grep -q '"tenant":"smoke"' || fail "smoke request not traced: $TRACES"
+echo "$TRACES" | grep -q '"solve_ns":[1-9]' || fail "trace has no solve timing: $TRACES"
 
 # SIGTERM: drain, checkpoint, exit 130.
 kill -TERM "$PID"
