@@ -19,16 +19,24 @@ go vet ./...
 go build ./...
 # Serving-engine race gate first: the snapshot/ring/shard machinery plus
 # the pipelined sparse round (screener goroutine overlapped with the cell
-# solvers, double-buffered screen slots) and the HTTP front-end's
-# handler/batcher handoff are the likeliest sources of new races, so fail
-# fast on them before the full sweep.
-go test -race -run 'Pipelined|SparseEngine|WorkerCountInvariance|Screen' ./internal/platform ./internal/matching
+# solvers, double-buffered screen slots), the HTTP front-end's
+# handler/batcher handoff, and the ensemble's background-refit-vs-serving
+# path (risk-shifted predictions racing snapshot publication) are the
+# likeliest sources of new races, so fail fast on them before the full
+# sweep.
+go test -race -run 'Pipelined|SparseEngine|WorkerCountInvariance|Screen|EnsembleRisk' ./internal/platform ./internal/matching ./internal/server
 go test -race ./internal/platform ./internal/parallel ./internal/server
 go test -race ./...
 
 # Allocation pin (no -race: the detector instruments allocations): the
 # steady-state parallel screen must stay allocation-free.
 go test -run 'TestScreenWorkspaceZeroAllocs' ./internal/matching
+
+# Backend conformance across every registered predictor family (the suite
+# iterates core.BackendNames()): shapes, the zero-alloc PredictInto pin,
+# snapshot independence, codec round-trip + corruption -> ErrCorruptCheckpoint,
+# refit determinism. DESIGN.md §11.
+go test -run 'TestBackendConformance' ./internal/core
 
 # Scale-path smoke test: one production-dimension round (64 clusters ×
 # 2000 tasks) through screen → cell solve → reconcile → repair; fails on
@@ -67,10 +75,14 @@ for series in \
 	mfcp_rolling_regret; do
 	echo "$METRICS" | grep -q "^$series"
 done
-# Labeled families: the route breakdown must be served with label sets, and
-# the whole exposition must survive the format lint (DESIGN.md §6).
+# Labeled families: the route breakdown and the per-backend attribution
+# (rounds and published refits labeled by predictor family, DESIGN.md §11)
+# must be served with label sets, and the whole exposition must survive
+# the format lint (DESIGN.md §6).
 echo "$METRICS" | grep -q '^mfcp_rounds_by_route_total{route="dense"} [1-9]'
 echo "$METRICS" | grep -q '^mfcp_route_round_seconds_count{route="dense"} [1-9]'
+echo "$METRICS" | grep -q '^mfcp_backend_rounds_total{backend="mlp"} [1-9]'
+echo "$METRICS" | grep -q '^mfcp_backend_refits_total{backend="mlp"} [1-9]'
 echo "$METRICS" | sh scripts/promtext_lint.sh
 kill "$SIM_PID" 2>/dev/null || true
 trap - EXIT
@@ -84,6 +96,14 @@ sh scripts/checkpoint_smoke.sh "$BIN"
 # real listener, assert in-range assignments and nonzero request/batch
 # counters on /metrics, then SIGTERM -> drain -> checkpoint -> exit 130.
 sh scripts/serve_smoke.sh
+
+# Risk-aware ensemble serving under the race detector: the same end-to-end
+# drive against a race-built binary on -backend ensemble -risk 0.5, so
+# lower-confidence-bound serving racing background refits is exercised
+# through the real process, not just httptest (DESIGN.md §11).
+RACEBIN=$(mktemp -d)/mfcpserve
+go build -race -o "$RACEBIN" ./cmd/mfcpserve
+SERVE_BACKEND=ensemble SERVE_RISK=0.5 SERVE_ASYNC=1 sh scripts/serve_smoke.sh "$RACEBIN"
 
 # Serving-benchmark smoke: a short per-request-vs-batched pass that fails
 # unless the micro-batcher actually coalesced concurrent tenants.

@@ -15,6 +15,8 @@ package main
 import (
 	"fmt"
 	"testing"
+
+	"mfcp/internal/core"
 )
 
 // BenchmarkPretrain measures the MSE warm start — the entirety of the
@@ -25,6 +27,24 @@ func BenchmarkPretrain(b *testing.B) { benchPretrain(b) }
 // MSE warm start plus the end-to-end regret phase (per-epoch relaxed solves,
 // zeroth-order gradients, per-cluster backprop, validation rounds).
 func BenchmarkTrainMFCP(b *testing.B) { benchTrainMFCP(b) }
+
+// BenchmarkBackendPretrain sweeps supervised MSE training across every
+// registered predictor backend family on the identical budget — the
+// backend comparison recorded in BENCH_train.json.
+func BenchmarkBackendPretrain(b *testing.B) {
+	for _, name := range core.BackendNames() {
+		b.Run(name, func(b *testing.B) { benchBackendPretrain(b, name) })
+	}
+}
+
+// BenchmarkBackendPredict sweeps the steady-state batched forward
+// (PredictInto, warm workspace, 64-task round) across every registered
+// backend family; all of them hold 0 allocs/op.
+func BenchmarkBackendPredict(b *testing.B) {
+	for _, name := range core.BackendNames() {
+		b.Run(name, func(b *testing.B) { benchBackendPredict(b, name) })
+	}
+}
 
 // BenchmarkPlatformThroughput sweeps the concurrent serving engine over
 // worker counts, bare and with a live metrics registry attached, reporting

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"regexp"
@@ -15,19 +16,40 @@ import (
 
 	"mfcp/internal/core"
 	"mfcp/internal/embed"
+	"mfcp/internal/mat"
 	"mfcp/internal/obs"
 	"mfcp/internal/parallel"
 	"mfcp/internal/platform"
 	"mfcp/internal/workload"
 )
 
-// trainBenchmarks is the registry the -bench flag matches against.
-var trainBenchmarks = []struct {
+// benchEntry is one named benchmark in the -bench registry.
+type benchEntry struct {
 	Name string
 	F    func(b *testing.B)
-}{
-	{"Pretrain", benchPretrain},
-	{"TrainMFCP", benchTrainMFCP},
+}
+
+// trainBenchmarks is the registry the -bench flag matches against. The
+// backend comparison sweep iterates the backend registry, so a newly
+// registered predictor family shows up here without edits.
+var trainBenchmarks = func() []benchEntry {
+	bms := []benchEntry{
+		{"Pretrain", benchPretrain},
+		{"TrainMFCP", benchTrainMFCP},
+	}
+	for _, name := range core.BackendNames() {
+		name := name
+		bms = append(bms,
+			benchEntry{"BackendPretrain/" + name, func(b *testing.B) { benchBackendPretrain(b, name) }},
+			benchEntry{"BackendPredict/" + name, func(b *testing.B) { benchBackendPredict(b, name) }},
+		)
+	}
+	return append(bms, servingBenchmarks...)
+}()
+
+// servingBenchmarks are the engine-throughput entries appended after the
+// training and backend families.
+var servingBenchmarks = []benchEntry{
 	{"PlatformThroughput/workers=1", func(b *testing.B) { benchPlatformThroughput(b, 1, false) }},
 	{"PlatformThroughput/workers=2", func(b *testing.B) { benchPlatformThroughput(b, 2, false) }},
 	{"PlatformThroughput/workers=4", func(b *testing.B) { benchPlatformThroughput(b, 4, false) }},
@@ -75,6 +97,68 @@ func benchTrainMFCP(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.Train(s, train, cfg)
+	}
+}
+
+// benchBackendPretrain measures one pluggable backend's supervised MSE
+// training on the shared workload — the cost of standing a predictor family
+// up, per family, on the identical budget (60 epochs).
+func benchBackendPretrain(b *testing.B, name string) {
+	s, train := trainBenchScenario()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream := s.Stream("bench-backend-" + name)
+		be, err := core.NewBackend(name, s.M(), s.Features.Cols, []int{16}, stream.Split("init"))
+		if err != nil {
+			// invariant: names come from the backend registry itself.
+			panic(err)
+		}
+		if err := be.Pretrain(context.Background(), s, train, 60, stream.Split("train")); err != nil {
+			// invariant: benchmark fixtures use known-good configs and a
+			// background context.
+			panic(err)
+		}
+	}
+}
+
+// benchBackendPredictTasks is the batch width of the predict sweep — the
+// serving engine's typical coalesced-round scale.
+const benchBackendPredictTasks = 64
+
+// benchBackendPredict measures one backend's steady-state batched forward:
+// PredictInto on a warm caller-owned workspace over a 64-task round. This is
+// the serving hot path; every family must hold 0 allocs/op (the conformance
+// suite pins it, this records the latency spread between families).
+func benchBackendPredict(b *testing.B, name string) {
+	s, train := trainBenchScenario()
+	stream := s.Stream("bench-backend-" + name)
+	be, err := core.NewBackend(name, s.M(), s.Features.Cols, []int{16}, stream.Split("init"))
+	if err != nil {
+		// invariant: names come from the backend registry itself.
+		panic(err)
+	}
+	if err := be.Pretrain(context.Background(), s, train, 10, stream.Split("train")); err != nil {
+		// invariant: benchmark fixtures use known-good configs and a
+		// background context.
+		panic(err)
+	}
+	round := make([]int, benchBackendPredictTasks)
+	for i := range round {
+		round[i] = (i * 7) % s.PoolLen()
+	}
+	Z := s.FeaturesOf(round)
+	ws := be.NewWorkspace()
+	That, Ahat := new(mat.Dense), new(mat.Dense)
+	be.PredictInto(Z, ws, That, Ahat) // warm the workspace tapes
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		be.PredictInto(Z, ws, That, Ahat)
+	}
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(b.N)*benchBackendPredictTasks/secs, "tasks/sec")
 	}
 }
 

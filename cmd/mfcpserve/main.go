@@ -16,6 +16,7 @@
 // Usage:
 //
 //	mfcpserve -method tsm -addr 127.0.0.1:9310 -window 2ms
+//	mfcpserve -method tsm -backend ensemble -risk 0.5   # risk-averse LCB serving
 //	curl -s -X POST http://127.0.0.1:9310/v1/match \
 //	     -d '{"tenant":"a","tasks":[3,17,42]}'
 //	mfcpserve -checkpoint serve.ckpt            # ^C, then:
@@ -47,6 +48,8 @@ func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:9310", "listen address for the HTTP API")
 		method     = flag.String("method", "tsm", "predictor method: tam|tsm|ucb|mfcp-ad|mfcp-fg")
+		backend    = flag.String("backend", "", "predictor backend family: mlp|ensemble|table (default mlp; non-mlp needs -method tsm)")
+		risk       = flag.Float64("risk", 0, "risk aversion κ: serve T̂=μ+κσ, Â=μ−κσ (needs -backend ensemble)")
 		setting    = flag.String("setting", "A", "cluster setting A|B|C")
 		seed       = flag.Uint64("seed", 1, "scenario seed")
 		pool       = flag.Int("pool", 160, "task pool size")
@@ -93,6 +96,7 @@ func main() {
 				Seed:     *seed,
 			},
 			Method:         platform.MethodName(*method),
+			Backend:        *backend,
 			RoundSize:      *roundSize,
 			PretrainEpochs: *pretrain,
 			RegretEpochs:   *regret,
@@ -104,6 +108,7 @@ func main() {
 		CheckpointEvery: *ckEvery,
 		MaxRoundTasks:   *maxBatch,
 	}
+	ocfg.Match.RiskAversion = *risk
 	if *resume != "" {
 		ck, err := mfcp.LoadCheckpoint(*resume)
 		if err != nil {
@@ -113,8 +118,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[resuming at round %d (%d refits done)]\n", ck.Round, ck.Refits)
 	}
 
-	fmt.Fprintf(os.Stderr, "[training %s predictors (pool=%d, setting=%s)]\n",
-		*method, *pool, strings.ToUpper(*setting))
+	fam := *backend
+	if fam == "" {
+		fam = "mlp"
+	}
+	fmt.Fprintf(os.Stderr, "[training %s predictors (backend=%s, pool=%d, setting=%s)]\n",
+		*method, fam, *pool, strings.ToUpper(*setting))
 	sess, err := platform.NewSession(ctx, ocfg)
 	if err != nil {
 		if errors.Is(err, mfcp.ErrCanceled) {

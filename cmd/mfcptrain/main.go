@@ -11,6 +11,7 @@
 //
 //	mfcptrain -method mfcp-ad -setting A -seed 42
 //	mfcptrain -method tsm -pool 200 -rounds 40
+//	mfcptrain -method tsm -backend ensemble          # calibrated-ensemble backend
 //	mfcptrain -method mfcp-fg -checkpoint w.ckpt     # ^C-safe
 //	mfcptrain -method mfcp-fg -resume w.ckpt -epochs 40
 package main
@@ -35,6 +36,7 @@ import (
 func main() {
 	var (
 		method     = flag.String("method", "mfcp-fg", "tam|tsm|ucb|mfcp-ad|mfcp-fg")
+		backend    = flag.String("backend", "", "predictor backend family for tsm: mlp|ensemble|table (default mlp)")
 		setting    = flag.String("setting", "A", "cluster setting A|B|C")
 		seed       = flag.Uint64("seed", 1, "scenario seed")
 		pool       = flag.Int("pool", 120, "task pool size")
@@ -57,6 +59,15 @@ func main() {
 	if (*checkpoint != "" || *resume != "") && !predictorBacked {
 		fail(fmt.Errorf("-checkpoint/-resume need a predictor-backed method (tsm, mfcp-*), not %q", *method))
 	}
+	// -backend mlp is the default path; only non-MLP families divert tsm
+	// onto the pluggable-backend machinery.
+	backendFam := *backend
+	if backendFam == core.BackendMLP {
+		backendFam = ""
+	}
+	if backendFam != "" && *method != "tsm" {
+		fail(fmt.Errorf("-backend %q serves supervised predictions and requires -method tsm, not %q", backendFam, *method))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -76,18 +87,32 @@ func main() {
 	train, test := s.Split(0.75)
 
 	var warm *mfcp.PredictorSet
+	var warmBackend core.Backend
 	if *resume != "" {
 		ck, err := mfcp.LoadCheckpoint(*resume)
 		if err != nil {
 			fail(fmt.Errorf("resume: %w", err))
 		}
-		if ck.Set == nil {
-			fail(fmt.Errorf("resume: checkpoint %s carries no predictor set", *resume))
+		if backendFam != "" {
+			if ck.Backend == nil {
+				fail(fmt.Errorf("resume: checkpoint %s carries no predictor backend", *resume))
+			}
+			if got := ck.Backend.BackendName(); got != backendFam {
+				fail(fmt.Errorf("resume: checkpoint %s holds backend %q, not %q", *resume, got, backendFam))
+			}
+			if err := ck.Backend.Validate(s.M(), s.Features.Cols); err != nil {
+				fail(fmt.Errorf("resume: %w", err))
+			}
+			warmBackend = ck.Backend
+		} else {
+			if ck.Set == nil {
+				fail(fmt.Errorf("resume: checkpoint %s carries no predictor set", *resume))
+			}
+			if err := ck.Set.Validate(s.M(), s.Features.Cols); err != nil {
+				fail(fmt.Errorf("resume: %w", err))
+			}
+			warm = ck.Set
 		}
-		if err := ck.Set.Validate(s.M(), s.Features.Cols); err != nil {
-			fail(fmt.Errorf("resume: %w", err))
-		}
-		warm = ck.Set
 		fmt.Fprintf(os.Stderr, "[warm-starting from %s]\n", *resume)
 	}
 
@@ -108,17 +133,46 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[weights saved to %s]\n", *checkpoint)
 	}
+	saveBackend := func(be core.Backend) {
+		if *checkpoint == "" || be == nil {
+			return
+		}
+		if err := mfcp.SaveCheckpoint(*checkpoint, &mfcp.Checkpoint{Backend: be}); err != nil {
+			fail(fmt.Errorf("checkpoint: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "[weights saved to %s]\n", *checkpoint)
+	}
 
 	var m mfcp.Method
 	var tr *mfcp.Trainer
+	var trainedBackend core.Backend
 	var trainErr error
 	switch *method {
 	case "tam":
 		m = mfcp.NewTAM(s, train)
 	case "tsm":
-		if warm != nil {
+		switch {
+		case backendFam != "":
+			be := warmBackend
+			if be == nil {
+				// Mirror the platform's stream layout so weights trained here
+				// match a platform run on the same scenario bit for bit.
+				stream := s.Stream("backend-" + backendFam)
+				var err error
+				be, err = core.NewBackend(backendFam, s.M(), s.Features.Cols, []int{16}, stream.Split("init"))
+				if err != nil {
+					fail(err)
+				}
+				trainErr = be.Pretrain(ctx, s, train, *pretrain, stream.Split("train"))
+			}
+			trainedBackend = be
+			m = &backendMethod{s: s, be: be}
+			if trainErr == nil {
+				defer saveBackend(be)
+			}
+		case warm != nil:
 			m = mfcp.NewTSMFrom(s, warm)
-		} else {
+		default:
 			tsm, err := baselines.NewTSMCtx(ctx, s, train, []int{16}, *pretrain)
 			trainErr = err
 			m = tsm
@@ -154,6 +208,9 @@ func main() {
 		if tr != nil {
 			phase = tr.Stopped
 			saveSet(tr.Set)
+		} else if trainedBackend != nil {
+			phase = "pretrain"
+			saveBackend(trainedBackend)
 		} else if ts, ok := m.(interface{ PredictorSet() *mfcp.PredictorSet }); ok {
 			phase = "pretrain"
 			saveSet(ts.PredictorSet())
@@ -187,4 +244,21 @@ func savedWord(path string) string {
 		return "discarded (no -checkpoint)"
 	}
 	return "saved"
+}
+
+// backendMethod adapts a pluggable predictor backend to the evaluation
+// harness's method interface. One-shot evaluation is the cold path, so
+// Predict allocates a fresh workspace per call.
+type backendMethod struct {
+	s  *mfcp.Scenario
+	be core.Backend
+}
+
+func (m *backendMethod) Name() string { return "TSM+" + m.be.BackendName() }
+
+func (m *backendMethod) Predict(round []int) (T, A *mfcp.Matrix) {
+	Z := m.s.FeaturesOf(round)
+	T, A = new(mfcp.Matrix), new(mfcp.Matrix)
+	m.be.PredictInto(Z, m.be.NewWorkspace(), T, A)
+	return T, A
 }

@@ -13,6 +13,7 @@
 //
 //	platformsim -method mfcp-fg -rounds 100
 //	platformsim -method tsm -setting C -parallel -v
+//	platformsim -method tsm -backend ensemble -risk 0.5 -online
 //	platformsim -method tsm -online -metrics-addr 127.0.0.1:9090 -hold
 //	platformsim -method tsm -online -checkpoint run.ckpt   # ^C, then:
 //	platformsim -method tsm -online -checkpoint run.ckpt -resume run.ckpt
@@ -40,6 +41,8 @@ import (
 func main() {
 	var (
 		method      = flag.String("method", "mfcp-fg", "tam|tsm|ucb|mfcp-ad|mfcp-fg")
+		backend     = flag.String("backend", "", "predictor backend family: mlp|ensemble|table (default mlp; non-mlp needs -method tsm)")
+		risk        = flag.Float64("risk", 0, "risk aversion κ: serve T̂=μ+κσ, Â=μ−κσ (needs -backend ensemble)")
 		setting     = flag.String("setting", "A", "cluster setting A|B|C")
 		seed        = flag.Uint64("seed", 1, "scenario seed")
 		pool        = flag.Int("pool", 160, "task pool size")
@@ -106,11 +109,13 @@ func main() {
 			Seed:     *seed,
 		},
 		Method:    platform.MethodName(*method),
+		Backend:   *backend,
 		Rounds:    *rounds,
 		RoundSize: *roundSize,
 		Parallel:  *parallel,
 		Telemetry: reg,
 	}
+	cfg.Match.RiskAversion = *risk
 
 	var rep *mfcp.PlatformReport
 	var orep *mfcp.OnlineReport

@@ -19,8 +19,6 @@ import (
 
 	"mfcp/internal/core"
 	"mfcp/internal/mat"
-	"mfcp/internal/nn"
-	"mfcp/internal/parallel"
 	"mfcp/internal/workload"
 )
 
@@ -107,13 +105,14 @@ func (b *TSM) Predict(round []int) (T, A *mat.Dense) {
 	return b.set.Predict(b.s.FeaturesOf(round))
 }
 
-// UCB holds bootstrap ensembles per cluster and predicts optimistic
-// confidence bounds: t̂ − α·σ_t (a fast cluster is given the benefit of the
-// doubt) and â + α·σ_a.
+// UCB predicts optimistic confidence bounds from bootstrap ensembles:
+// t̂ − α·σ_t (a fast cluster is given the benefit of the doubt) and
+// â + α·σ_a. The ensemble machinery lives in core.EnsembleBackend; UCB is
+// the risk-seeking view over it — risk −α with calibration disabled (unit
+// spread scales) reproduces the historical bounds bit for bit.
 type UCB struct {
 	s     *workload.Scenario
-	tEns  []*nn.Ensemble
-	aEns  []*nn.Ensemble
+	be    *core.EnsembleBackend
 	Alpha float64
 }
 
@@ -139,52 +138,32 @@ func NewUCB(s *workload.Scenario, train []int, cfg UCBConfig) *UCB {
 	if cfg.Epochs == 0 {
 		cfg.Epochs = 200
 	}
-	stream := s.Stream("ucb")
-	Z := s.FeaturesOf(train)
-	m := s.M()
-	b := &UCB{s: s, tEns: make([]*nn.Ensemble, m), aEns: make([]*nn.Ensemble, m), Alpha: cfg.Alpha}
-	dims := append([]int{s.Features.Cols}, cfg.Hidden...)
-	dims = append(dims, 1)
-	trainCfg := nn.TrainMSEConfig{Epochs: cfg.Epochs, BatchSize: 16}
-	parallel.ForChunked(2*m, 1, func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			i := k / 2
-			tv, av := s.LabelVectors(i, train)
-			if k%2 == 0 {
-				b.tEns[i] = nn.TrainEnsemble(cfg.Members, dims, nn.ReLU, nn.Softplus, Z, tv, trainCfg, stream.SplitIndexed("time", i))
-			} else {
-				b.aEns[i] = nn.TrainEnsemble(cfg.Members, dims, nn.ReLU, nn.Sigmoid, Z, av, trainCfg, stream.SplitIndexed("rel", i))
-			}
-		}
-	})
-	return b
+	be := core.NewEnsembleBackend(s.M(), s.Features.Cols, cfg.Hidden, cfg.Members, false)
+	if err := be.Pretrain(context.Background(), s, train, cfg.Epochs, s.Stream("ucb")); err != nil {
+		// invariant: a background context never cancels, and the MSE
+		// pretrain has no other failure mode.
+		panic(err)
+	}
+	return &UCB{s: s, be: be, Alpha: cfg.Alpha}
 }
+
+// Backend exposes the underlying ensemble backend, e.g. for serving the
+// same uncertainty machinery through the platform.
+func (b *UCB) Backend() *core.EnsembleBackend { return b.be }
 
 // Name implements the method interface.
 func (b *UCB) Name() string { return "UCB" }
 
-// Predict returns the optimistic confidence-bound matrices.
+// Predict returns the optimistic confidence-bound matrices: the backend's
+// risk-shifted forward with risk −α. A fresh workspace per call keeps
+// Predict safe for concurrent use (engine shards call backend-less methods
+// directly).
 func (b *UCB) Predict(round []int) (T, A *mat.Dense) {
 	Z := b.s.FeaturesOf(round)
 	m, n := b.s.M(), len(round)
 	T = mat.NewDense(m, n)
 	A = mat.NewDense(m, n)
-	for i := 0; i < m; i++ {
-		tMean, tStd := b.tEns[i].Predict(Z)
-		aMean, aStd := b.aEns[i].Predict(Z)
-		for j := 0; j < n; j++ {
-			tv := tMean[j] - b.Alpha*tStd[j]
-			if tv < 1e-4 {
-				tv = 1e-4
-			}
-			av := aMean[j] + b.Alpha*aStd[j]
-			if av > 0.999 {
-				av = 0.999
-			}
-			T.Set(i, j, tv)
-			A.Set(i, j, av)
-		}
-	}
+	b.be.PredictRiskInto(Z, b.be.NewWorkspace(), -b.Alpha, T, A)
 	return T, A
 }
 

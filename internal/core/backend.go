@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"mfcp/internal/binenc"
+	"mfcp/internal/mat"
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/rng"
+	"mfcp/internal/workload"
+)
+
+// Feedback is one realized execution observation routed into Backend.Refit:
+// which cluster ran which pool task, the normalized time it took, and
+// whether it completed. The platform's observation ring drains into slices
+// of these at refit boundaries (order matters: refit implementations may
+// weight the recent suffix more heavily, so callers pass observations in
+// arrival order).
+type Feedback struct {
+	Cluster   int
+	TaskIdx   int
+	TimeNorm  float64
+	Succeeded bool
+}
+
+// BackendWorkspace is the opaque per-goroutine scratch a Backend's
+// PredictInto runs through. Each concurrent caller owns one workspace
+// (obtained from the same backend family via NewWorkspace); workspaces are
+// shape-adaptive, so one instance serves rounds of varying size without
+// reallocating once warmed. Workspaces are interchangeable between
+// snapshots of the same backend family but not across families.
+type BackendWorkspace interface{}
+
+// Backend is a pluggable predictor family behind the serving stack: per-
+// cluster (time, reliability) models with a zero-alloc batched forward,
+// training hooks, RCU snapshot support, and a versioned binary codec. The
+// per-cluster MLP pair (the paper's predictor) is the reference
+// implementation; bootstrap ensembles and quantized linear tables are the
+// other in-tree families. The engine holds the published Backend in a
+// parallel.Snapshot and every shard predicts against the version it Loads,
+// so implementations must be safe for concurrent PredictInto calls as long
+// as each caller owns its workspace and nobody trains the published value
+// (refits train a private snapshot and publish it whole).
+type Backend interface {
+	// BackendName is the registry key ("mlp", "ensemble", "table").
+	BackendName() string
+	// M is the number of clusters covered.
+	M() int
+	// InDim is the task-feature dimensionality the models expect.
+	InDim() int
+	// NewWorkspace allocates a private workspace for PredictInto callers.
+	NewWorkspace() BackendWorkspace
+	// PredictInto maps task features Z (N × d) to predicted matrices T̂, Â
+	// (both reshaped in place to M × N) through w. After the workspace has
+	// warmed to the batch shape the call must perform no steady-state
+	// allocations — the conformance suite pins this with AllocsPerRun.
+	PredictInto(Z *mat.Dense, w BackendWorkspace, That, Ahat *mat.Dense)
+	// Snapshot deep-copies the backend into the provided target (which must
+	// be a prior Snapshot/construction of the same family and architecture),
+	// reusing its buffers, and returns it; a nil target allocates a fresh
+	// copy. This is the RCU publish primitive: the serving session keeps one
+	// spare per refit slot and alternates snapshots through it.
+	Snapshot(into Backend) Backend
+	// Validate checks the backend fits a scenario with m clusters and
+	// inDim-dimensional features (checkpoint resume calls it before serving
+	// restored weights).
+	Validate(m, inDim int) error
+	// Pretrain fits the backend to the measured labels over the training
+	// indices (the conventional supervised warm start). Streams derived
+	// from r fully determine the result; ctx cancels cooperatively with an
+	// mfcperr.ErrCanceled-wrapped error.
+	Pretrain(ctx context.Context, s *workload.Scenario, train []int, epochs int, r *rng.Source) error
+	// Refit updates the backend from the training replay plus live
+	// feedback (the online loop's partial-feedback adaptation). It runs on
+	// a private snapshot, never the published value.
+	Refit(s *workload.Scenario, train []int, live []Feedback, epochs int, r *rng.Source)
+	// AppendBackend appends the backend's versioned binary encoding to buf;
+	// DecodeBackend(BackendName(), ...) restores a bit-identical predictor.
+	AppendBackend(buf []byte) []byte
+}
+
+// UncertaintyBackend is a Backend that also quantifies predictive spread,
+// enabling risk-aware serving: PredictRiskInto shifts each prediction by
+// risk standard deviations in the pessimistic direction (execution time up,
+// reliability down), so a positive MatchConfig.RiskAversion makes the
+// matcher optimize a lower confidence bound on performance. A negative risk
+// is the optimistic (UCB) direction; zero is the calibrated mean.
+type UncertaintyBackend interface {
+	Backend
+	PredictRiskInto(Z *mat.Dense, w BackendWorkspace, risk float64, That, Ahat *mat.Dense)
+}
+
+// BackendFactory constructs an untrained backend for m clusters over
+// inDim-dimensional features; hidden is the model-size knob (hidden layer
+// widths for network families, ignored by closed-form ones) and r seeds
+// any initialization randomness.
+type BackendFactory func(m, inDim int, hidden []int, r *rng.Source) Backend
+
+// BackendDecoder restores a backend from its AppendBackend encoding.
+// Corruption must surface as an mfcperr.ErrCorruptCheckpoint-wrapped error.
+type BackendDecoder func(r *binenc.Reader) (Backend, error)
+
+type backendEntry struct {
+	factory BackendFactory
+	decoder BackendDecoder
+}
+
+var backendRegistry = map[string]backendEntry{}
+
+// RegisterBackend adds a backend family to the registry. In-tree families
+// register from init; registration is not synchronized, so external
+// registrations must happen before any serving starts.
+func RegisterBackend(name string, factory BackendFactory, decoder BackendDecoder) {
+	if _, dup := backendRegistry[name]; dup {
+		// invariant: backend names are package-level constants registered
+		// once from init.
+		panic("core: duplicate backend registration " + name)
+	}
+	backendRegistry[name] = backendEntry{factory: factory, decoder: decoder}
+}
+
+// NewBackend constructs a registered backend family by name. Unknown names
+// return an mfcperr.ErrBadConfig-wrapped error listing the registry.
+func NewBackend(name string, m, inDim int, hidden []int, r *rng.Source) (Backend, error) {
+	e, ok := backendRegistry[name]
+	if !ok {
+		return nil, mfcperr.Wrap(mfcperr.ErrBadConfig, "core: unknown backend %q (have %v)", name, BackendNames())
+	}
+	return e.factory(m, inDim, hidden, r), nil
+}
+
+// DecodeBackend restores a backend encoded by AppendBackend under the given
+// registry name. An unregistered name in a checkpoint is corruption from
+// the decoder's point of view.
+func DecodeBackend(name string, r *binenc.Reader) (Backend, error) {
+	e, ok := backendRegistry[name]
+	if !ok {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: checkpoint names unknown backend %q", name)
+	}
+	return e.decoder(r)
+}
+
+// refitRows assembles cluster i's refit dataset: the training replay
+// (profiling measurements, rescaled by a live-vs-profiled speed factor
+// estimated from the recent half of the observations so the anchor tracks
+// regime changes instead of fighting them) followed by the live
+// observations duplicated liveWeight times each. Time targets are realized
+// normalized durations; reliability targets the 0/1 completion indicator
+// (whose MSE minimizer is the Bernoulli mean). Shared by every in-tree
+// backend's Refit so the replay semantics stay uniform across families.
+func refitRows(s *workload.Scenario, train []int, obs []Feedback, i, liveWeight int) (X *mat.Dense, tTargets, aTargets mat.Vec) {
+	fHat := 0.0
+	cnt := 0
+	for _, ob := range obs[len(obs)/2:] {
+		if base := s.MeasT.At(i, ob.TaskIdx); base > 1e-9 {
+			fHat += ob.TimeNorm / base
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		fHat /= float64(cnt)
+	} else {
+		fHat = 1
+	}
+	rows := len(train) + liveWeight*len(obs)
+	X = mat.NewDense(rows, s.Features.Cols)
+	tTargets = mat.NewVec(rows)
+	aTargets = mat.NewVec(rows)
+	// Replay: the original profiling measurements, drift-corrected.
+	for k, j := range train {
+		copy(X.Row(k), s.Features.Row(j))
+		tTargets[k] = s.MeasT.At(i, j) * fHat
+		aTargets[k] = s.MeasA.At(i, j)
+	}
+	// Live observations, duplicated for weight.
+	at := len(train)
+	for _, ob := range obs {
+		for d := 0; d < liveWeight; d++ {
+			copy(X.Row(at), s.Features.Row(ob.TaskIdx))
+			tTargets[at] = ob.TimeNorm
+			if ob.Succeeded {
+				aTargets[at] = 1
+			}
+			at++
+		}
+	}
+	return X, tTargets, aTargets
+}
+
+// BackendNames lists the registered backend families, sorted.
+func BackendNames() []string {
+	names := make([]string, 0, len(backendRegistry))
+	for name := range backendRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

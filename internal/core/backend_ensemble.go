@@ -1,0 +1,470 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"mfcp/internal/binenc"
+	"mfcp/internal/mat"
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/nn"
+	"mfcp/internal/parallel"
+	"mfcp/internal/rng"
+	"mfcp/internal/workload"
+)
+
+// BackendEnsemble names the bootstrap-ensemble backend: per-cluster bags of
+// networks trained on bootstrap resamples, emitting a calibrated mean and
+// spread per prediction. The UCB baseline's confidence machinery,
+// generalized into a serving feature.
+const BackendEnsemble = "ensemble"
+
+// ensembleBackendCodecVersion versions EnsembleBackend.AppendBackend.
+const ensembleBackendCodecVersion = 1
+
+// defaultEnsembleMembers is the bag size the registry factory uses (the UCB
+// baseline's default).
+const defaultEnsembleMembers = 5
+
+func init() {
+	RegisterBackend(BackendEnsemble,
+		func(m, inDim int, hidden []int, r *rng.Source) Backend {
+			return NewEnsembleBackend(m, inDim, hidden, defaultEnsembleMembers, true)
+		},
+		decodeEnsembleBackend)
+}
+
+// EnsembleBackend predicts with per-cluster bootstrap ensembles (one bag
+// for execution time, one for reliability). Beyond the point predictions
+// the other backends offer, it quantifies spread: PredictRiskInto shifts
+// every entry risk calibrated standard deviations in the pessimistic
+// direction, which is how MatchConfig.RiskAversion reaches the solvers.
+// Member initialization and bootstrap resamples derive from the pretrain
+// stream, so the backend is exactly as deterministic as the MLP reference.
+type EnsembleBackend struct {
+	m, inDim, members int
+	hidden            []int
+	tEns, aEns        []*nn.Ensemble
+	// tCal/aCal scale each cluster's raw bootstrap spread so the mean
+	// predicted σ matches the mean absolute residual on the training split
+	// (a variance-scaling calibration). 1 until Pretrain runs with
+	// calibration enabled; the UCB baseline keeps them at 1 to preserve its
+	// pinned optimistic-bound behavior.
+	tCal, aCal []float64
+	calibrate  bool
+}
+
+// NewEnsembleBackend builds an untrained ensemble backend; Pretrain
+// constructs and fits the member networks (prediction before Pretrain is
+// invalid). calibrate enables the post-pretrain spread calibration — the
+// serving configuration; the UCB baseline disables it.
+func NewEnsembleBackend(m, inDim int, hidden []int, members int, calibrate bool) *EnsembleBackend {
+	if members < 1 {
+		members = defaultEnsembleMembers
+	}
+	if hidden == nil {
+		hidden = []int{16}
+	}
+	b := &EnsembleBackend{
+		m: m, inDim: inDim, members: members,
+		hidden:    append([]int(nil), hidden...),
+		tEns:      make([]*nn.Ensemble, m),
+		aEns:      make([]*nn.Ensemble, m),
+		tCal:      make([]float64, m),
+		aCal:      make([]float64, m),
+		calibrate: calibrate,
+	}
+	for i := 0; i < m; i++ {
+		b.tCal[i] = 1
+		b.aCal[i] = 1
+	}
+	return b
+}
+
+// BackendName implements Backend.
+func (b *EnsembleBackend) BackendName() string { return BackendEnsemble }
+
+// M implements Backend.
+func (b *EnsembleBackend) M() int { return b.m }
+
+// InDim implements Backend.
+func (b *EnsembleBackend) InDim() int { return b.inDim }
+
+// Members returns the per-head bag size.
+func (b *EnsembleBackend) Members() int { return b.members }
+
+// TimeEnsemble exposes cluster i's execution-time bag (the UCB baseline
+// predicts straight off the raw ensembles).
+func (b *EnsembleBackend) TimeEnsemble(i int) *nn.Ensemble { return b.tEns[i] }
+
+// RelEnsemble exposes cluster i's reliability bag.
+func (b *EnsembleBackend) RelEnsemble(i int) *nn.Ensemble { return b.aEns[i] }
+
+// ensembleWorkspace carries one warm forward tape per (cluster, head,
+// member) network plus the member-output pointers hoisted out of the row
+// loop. Tapes adapt to the batch shape, so a warmed workspace serves any
+// round size allocation-free; ensure re-sizes the tape grid when the
+// workspace meets a backend of a different architecture (pooled scratch can
+// travel between engines), which is the only allocating path after warmup.
+type ensembleWorkspace struct {
+	t, a       [][]*nn.Tape
+	tOut, aOut [][]*mat.Dense
+
+	// Chunk-body arguments, valid only inside a PredictRiskInto call; runf
+	// is the method value bound once in NewWorkspace so the hot forward
+	// passes no escaping closure literal to ForChunked (that would cost one
+	// heap object per round — PredictInto is AllocsPerRun-pinned at zero).
+	be         *EnsembleBackend
+	z          *mat.Dense
+	that, ahat *mat.Dense
+	risk       float64
+	runf       func(lo, hi int)
+}
+
+func (w *ensembleWorkspace) ensure(m, members int) {
+	if len(w.t) == m && (m == 0 || len(w.t[0]) == members) {
+		return
+	}
+	w.t = make([][]*nn.Tape, m)
+	w.a = make([][]*nn.Tape, m)
+	w.tOut = make([][]*mat.Dense, m)
+	w.aOut = make([][]*mat.Dense, m)
+	for i := 0; i < m; i++ {
+		w.t[i] = make([]*nn.Tape, members)
+		w.a[i] = make([]*nn.Tape, members)
+		w.tOut[i] = make([]*mat.Dense, members)
+		w.aOut[i] = make([]*mat.Dense, members)
+		for k := 0; k < members; k++ {
+			w.t[i][k] = nn.NewTape()
+			w.a[i][k] = nn.NewTape()
+		}
+	}
+}
+
+// NewWorkspace implements Backend.
+func (b *EnsembleBackend) NewWorkspace() BackendWorkspace {
+	w := &ensembleWorkspace{}
+	w.ensure(b.m, b.members)
+	return w
+}
+
+// PredictInto implements Backend: the calibrated ensemble means (risk 0).
+func (b *EnsembleBackend) PredictInto(Z *mat.Dense, w BackendWorkspace, That, Ahat *mat.Dense) {
+	b.PredictRiskInto(Z, w, 0, That, Ahat)
+}
+
+// PredictRiskInto implements UncertaintyBackend. Each entry is the
+// ensemble mean shifted risk calibrated standard deviations in the
+// pessimistic direction — T̂ = μ_T + κ·σ_T, Â = μ_A − κ·σ_A — so a
+// positive risk makes the downstream matcher optimize a lower confidence
+// bound on performance. Negative risk is the optimistic (UCB) direction:
+// with calibration off and risk = −α the outputs are bit-identical to the
+// UCB baseline's confidence bounds. Times are floored at 1e-4 and
+// reliabilities capped at 0.999 (matching the UCB clamps); the
+// reliability floor of 1e-4 applies only on the pessimistic side, keeping
+// the optimistic path's pinned behavior exact.
+func (b *EnsembleBackend) PredictRiskInto(Z *mat.Dense, w BackendWorkspace, risk float64, That, Ahat *mat.Dense) {
+	ws := w.(*ensembleWorkspace)
+	ws.ensure(b.m, b.members)
+	m, n := b.m, Z.Rows
+	That.Reshape(m, n)
+	Ahat.Reshape(m, n)
+	if ws.runf == nil {
+		ws.runf = ws.run
+	}
+	ws.be, ws.z, ws.that, ws.ahat, ws.risk = b, Z, That, Ahat, risk
+	parallel.ForChunked(m, 1, ws.runf)
+	ws.be, ws.z, ws.that, ws.ahat = nil, nil, nil, nil
+}
+
+// run is the ForChunked body of PredictRiskInto for clusters [lo, hi).
+func (ws *ensembleWorkspace) run(lo, hi int) {
+	b, Z, That, Ahat, risk := ws.be, ws.z, ws.that, ws.ahat, ws.risk
+	n := Z.Rows
+	k := float64(b.members)
+	for i := lo; i < hi; i++ {
+		tm, am := b.tEns[i].Members, b.aEns[i].Members
+		b.tEns[i].ForwardMembers(Z, ws.t[i])
+		b.aEns[i].ForwardMembers(Z, ws.a[i])
+		for c := range tm {
+			ws.tOut[i][c] = ws.t[i][c].Out()
+			ws.aOut[i][c] = ws.a[i][c].Out()
+		}
+		tCal, aCal := b.tCal[i], b.aCal[i]
+		for j := 0; j < n; j++ {
+			// Mean/std accumulation in member order, mirroring
+			// nn.Ensemble.Predict exactly (bit-identity with the UCB
+			// baseline depends on it).
+			s, ss := 0.0, 0.0
+			for c := range tm {
+				v := ws.tOut[i][c].At(j, 0)
+				s += v
+				ss += v * v
+			}
+			mu := s / k
+			va := ss/k - mu*mu
+			if va < 0 {
+				va = 0
+			}
+			tv := mu + risk*(tCal*math.Sqrt(va))
+			if tv < 1e-4 {
+				tv = 1e-4
+			}
+			s, ss = 0.0, 0.0
+			for c := range am {
+				v := ws.aOut[i][c].At(j, 0)
+				s += v
+				ss += v * v
+			}
+			mu = s / k
+			va = ss/k - mu*mu
+			if va < 0 {
+				va = 0
+			}
+			av := mu - risk*(aCal*math.Sqrt(va))
+			if av > 0.999 {
+				av = 0.999
+			}
+			if risk > 0 && av < 1e-4 {
+				av = 1e-4
+			}
+			That.Set(i, j, tv)
+			Ahat.Set(i, j, av)
+		}
+	}
+}
+
+// Snapshot implements Backend: member networks deep-copy (reusing the
+// target's weight buffers when provided), calibration scalars copy by
+// value.
+func (b *EnsembleBackend) Snapshot(into Backend) Backend {
+	var t *EnsembleBackend
+	if into == nil {
+		t = NewEnsembleBackend(b.m, b.inDim, b.hidden, b.members, b.calibrate)
+		for i := 0; i < b.m; i++ {
+			t.tEns[i] = cloneEnsemble(b.tEns[i])
+			t.aEns[i] = cloneEnsemble(b.aEns[i])
+		}
+	} else {
+		t = into.(*EnsembleBackend)
+		if t.m != b.m || t.members != b.members {
+			// invariant: snapshot targets are prior Snapshots of this backend.
+			panic("core: ensemble Snapshot into a different architecture")
+		}
+		for i := 0; i < b.m; i++ {
+			copyEnsemble(t.tEns[i], b.tEns[i])
+			copyEnsemble(t.aEns[i], b.aEns[i])
+		}
+	}
+	copy(t.tCal, b.tCal)
+	copy(t.aCal, b.aCal)
+	return t
+}
+
+func cloneEnsemble(e *nn.Ensemble) *nn.Ensemble {
+	if e == nil {
+		return nil
+	}
+	out := &nn.Ensemble{Members: make([]*nn.MLP, len(e.Members))}
+	for i, net := range e.Members {
+		out.Members[i] = net.Clone()
+	}
+	return out
+}
+
+func copyEnsemble(dst, src *nn.Ensemble) {
+	for i, net := range src.Members {
+		dst.Members[i].CopyFrom(net)
+	}
+}
+
+// Validate implements Backend.
+func (b *EnsembleBackend) Validate(m, inDim int) error {
+	if b.m != m {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "core: ensemble backend covers %d clusters, scenario has %d", b.m, m)
+	}
+	if b.inDim != inDim {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "core: ensemble backend expects %d-dim features, scenario has %d", b.inDim, inDim)
+	}
+	for i := 0; i < b.m; i++ {
+		if b.tEns[i] == nil || b.aEns[i] == nil || len(b.tEns[i].Members) != b.members || len(b.aEns[i].Members) != b.members {
+			return mfcperr.Wrap(mfcperr.ErrBadShape, "core: ensemble backend cluster %d is untrained or incomplete", i)
+		}
+	}
+	return nil
+}
+
+// Pretrain implements Backend: per cluster and head, bootstrap ensembles
+// trained exactly as the UCB baseline trains its (same stream splits, so
+// the baseline's refactor onto this backend is bit-identical), followed —
+// when calibration is on — by the deterministic spread calibration pass.
+func (b *EnsembleBackend) Pretrain(ctx context.Context, s *workload.Scenario, train []int, epochs int, r *rng.Source) error {
+	Z := s.FeaturesOf(train)
+	dims := append([]int{s.Features.Cols}, b.hidden...)
+	dims = append(dims, 1)
+	trainCfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16}
+	m := b.m
+	parallel.ForChunked(2*m, 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			if ctx.Err() != nil {
+				return
+			}
+			i := k / 2
+			tv, av := s.LabelVectors(i, train)
+			if k%2 == 0 {
+				b.tEns[i] = nn.TrainEnsemble(b.members, dims, nn.ReLU, nn.Softplus, Z, tv, trainCfg, r.SplitIndexed("time", i))
+			} else {
+				b.aEns[i] = nn.TrainEnsemble(b.members, dims, nn.ReLU, nn.Sigmoid, Z, av, trainCfg, r.SplitIndexed("rel", i))
+			}
+		}
+	})
+	if ctx.Err() != nil {
+		return mfcperr.Canceled("core.EnsembleBackend.Pretrain", context.Cause(ctx))
+	}
+	if b.calibrate {
+		b.calibrateSpread(s, train, Z)
+	}
+	return nil
+}
+
+// calibrateSpread fits the per-cluster, per-head spread scales on the
+// training split: mean |residual| over mean raw σ, so the reported spread
+// is in the units of actual error instead of raw bootstrap disagreement.
+// Deterministic (consumes no rng); degenerate spreads (σ̄ ≈ 0) keep scale 1.
+func (b *EnsembleBackend) calibrateSpread(s *workload.Scenario, train []int, Z *mat.Dense) {
+	parallel.ForChunked(b.m, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tv, av := s.LabelVectors(i, train)
+			b.tCal[i] = spreadScale(b.tEns[i], Z, tv)
+			b.aCal[i] = spreadScale(b.aEns[i], Z, av)
+		}
+	})
+}
+
+func spreadScale(e *nn.Ensemble, Z *mat.Dense, y mat.Vec) float64 {
+	mu, sd := e.Predict(Z)
+	resid, spread := 0.0, 0.0
+	for j := range y {
+		resid += math.Abs(y[j] - mu[j])
+		spread += sd[j]
+	}
+	if spread <= 1e-12*float64(len(y)) || len(y) == 0 {
+		return 1
+	}
+	return resid / spread
+}
+
+// Refit implements Backend: every member of an observed cluster's bags
+// fine-tunes on an independent bootstrap resample of the replay+live rows
+// (the same drift-corrected row construction as the MLP backend), keeping
+// the bag's diversity while tracking the live regime. Per-member streams
+// split deterministically from r, so the refit is worker-count invariant
+// and safe to run on an async snapshot.
+func (b *EnsembleBackend) Refit(s *workload.Scenario, train []int, live []Feedback, epochs int, r *rng.Source) {
+	perCluster := make([][]Feedback, b.m)
+	for _, ob := range live {
+		perCluster[ob.Cluster] = append(perCluster[ob.Cluster], ob)
+	}
+	const liveWeight = 3
+	parallel.ForChunked(b.m, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			obs := perCluster[i]
+			if len(obs) < 4 {
+				continue // too little signal to fine-tune on
+			}
+			X, tTargets, aTargets := refitRows(s, train, obs, i, liveWeight)
+			refitEnsemble(b.tEns[i], X, tTargets, epochs, r.SplitIndexed("time", i))
+			refitEnsemble(b.aEns[i], X, aTargets, epochs, r.SplitIndexed("rel", i))
+		}
+	})
+}
+
+func refitEnsemble(e *nn.Ensemble, X *mat.Dense, y mat.Vec, epochs int, r *rng.Source) {
+	n := X.Rows
+	XB := mat.NewDense(n, X.Cols)
+	YB := mat.NewVec(n)
+	for m, net := range e.Members {
+		mr := r.SplitIndexed("member", m)
+		br := mr.Split("bootstrap")
+		for j := 0; j < n; j++ {
+			s := br.Intn(n)
+			copy(XB.Row(j), X.Row(s))
+			YB[j] = y[s]
+		}
+		cfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16, Optimizer: nn.NewAdam(5e-4)}
+		nn.TrainMSE(net, XB, YB, cfg, mr.Split("train"))
+	}
+}
+
+// AppendBackend implements Backend.
+func (b *EnsembleBackend) AppendBackend(buf []byte) []byte {
+	buf = binenc.AppendU8(buf, ensembleBackendCodecVersion)
+	buf = binenc.AppendU32(buf, uint32(b.m))
+	buf = binenc.AppendU32(buf, uint32(b.inDim))
+	buf = binenc.AppendU32(buf, uint32(b.members))
+	buf = binenc.AppendU32(buf, uint32(len(b.hidden)))
+	for _, h := range b.hidden {
+		buf = binenc.AppendU32(buf, uint32(h))
+	}
+	for i := 0; i < b.m; i++ {
+		for _, net := range b.tEns[i].Members {
+			buf = net.AppendBinary(buf)
+		}
+		for _, net := range b.aEns[i].Members {
+			buf = net.AppendBinary(buf)
+		}
+	}
+	buf = binenc.AppendF64s(buf, b.tCal)
+	buf = binenc.AppendF64s(buf, b.aCal)
+	return buf
+}
+
+func decodeEnsembleBackend(r *binenc.Reader) (Backend, error) {
+	if v := r.U8(); r.Err() == nil && v != ensembleBackendCodecVersion {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: ensemble backend codec version %d, want %d", v, ensembleBackendCodecVersion)
+	}
+	m := int(r.U32())
+	inDim := int(r.U32())
+	members := int(r.U32())
+	nh := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if m < 0 || m > maxCheckpointEntries || members < 1 || members > maxCheckpointEntries || nh < 0 || nh > 64 {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: ensemble backend with %d clusters, %d members, %d hidden layers", m, members, nh)
+	}
+	hidden := make([]int, nh)
+	for k := range hidden {
+		hidden[k] = int(r.U32())
+	}
+	b := NewEnsembleBackend(m, inDim, hidden, members, true)
+	for i := 0; i < m; i++ {
+		b.tEns[i] = &nn.Ensemble{Members: make([]*nn.MLP, members)}
+		b.aEns[i] = &nn.Ensemble{Members: make([]*nn.MLP, members)}
+		for c := 0; c < members; c++ {
+			net, err := nn.ReadMLP(r)
+			if err != nil {
+				return nil, err
+			}
+			b.tEns[i].Members[c] = net
+		}
+		for c := 0; c < members; c++ {
+			net, err := nn.ReadMLP(r)
+			if err != nil {
+				return nil, err
+			}
+			b.aEns[i].Members[c] = net
+		}
+	}
+	tCal := r.F64s()
+	aCal := r.F64s()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if len(tCal) != m || len(aCal) != m {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: ensemble backend calibration length %d/%d, want %d", len(tCal), len(aCal), m)
+	}
+	copy(b.tCal, tCal)
+	copy(b.aCal, aCal)
+	return b, nil
+}

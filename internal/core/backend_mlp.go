@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+
+	"mfcp/internal/binenc"
+	"mfcp/internal/mat"
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/nn"
+	"mfcp/internal/parallel"
+	"mfcp/internal/rng"
+	"mfcp/internal/workload"
+)
+
+// BackendMLP names the reference backend: the paper's per-cluster MLP pair.
+const BackendMLP = "mlp"
+
+// mlpBackendCodecVersion versions MLPBackend.AppendBackend's wire form.
+const mlpBackendCodecVersion = 1
+
+func init() {
+	RegisterBackend(BackendMLP,
+		func(m, inDim int, hidden []int, r *rng.Source) Backend {
+			return WrapMLPBackend(NewPredictorSet(m, inDim, hidden, r))
+		},
+		decodeMLPBackend)
+}
+
+// MLPBackend adapts PredictorSet — the paper's per-cluster (time,
+// reliability) MLP pair — to the Backend interface. It is a zero-cost
+// wrapper: PredictInto routes through the identical forward code serving
+// used before the interface existed, so trajectories are bit-identical.
+type MLPBackend struct {
+	set *PredictorSet
+}
+
+// WrapMLPBackend wraps an existing predictor set without copying it. The
+// platform uses this to expose trainer- and baseline-owned sets through the
+// backend interface; mutations through either handle are visible to both.
+func WrapMLPBackend(set *PredictorSet) *MLPBackend { return &MLPBackend{set: set} }
+
+// Set returns the wrapped predictor set (the legacy checkpoint field and
+// the MFCP trainer both want the concrete type).
+func (b *MLPBackend) Set() *PredictorSet { return b.set }
+
+// BackendName implements Backend.
+func (b *MLPBackend) BackendName() string { return BackendMLP }
+
+// M implements Backend.
+func (b *MLPBackend) M() int { return b.set.M() }
+
+// InDim implements Backend.
+func (b *MLPBackend) InDim() int {
+	if len(b.set.Preds) == 0 {
+		return 0
+	}
+	return b.set.Preds[0].Time.Dims[0]
+}
+
+// NewWorkspace implements Backend.
+func (b *MLPBackend) NewWorkspace() BackendWorkspace { return &PredictWorkspace{} }
+
+// PredictInto implements Backend: PredictorSet.PredictInto through the
+// caller's tapes, allocation-free once the workspace has warmed.
+func (b *MLPBackend) PredictInto(Z *mat.Dense, w BackendWorkspace, That, Ahat *mat.Dense) {
+	b.set.PredictInto(Z, w.(*PredictWorkspace), That, Ahat)
+}
+
+// Snapshot implements Backend, delegating to PredictorSet.Snapshot (weight
+// buffers of the target are reused; nil allocates a fresh clone).
+func (b *MLPBackend) Snapshot(into Backend) Backend {
+	if into == nil {
+		return &MLPBackend{set: b.set.Clone()}
+	}
+	t := into.(*MLPBackend)
+	b.set.Snapshot(t.set)
+	return t
+}
+
+// Validate implements Backend.
+func (b *MLPBackend) Validate(m, inDim int) error { return b.set.Validate(m, inDim) }
+
+// Pretrain implements Backend: plain MSE fitting of all 2M networks
+// (equation 1, the two-stage baseline's entire learning).
+func (b *MLPBackend) Pretrain(ctx context.Context, s *workload.Scenario, train []int, epochs int, r *rng.Source) error {
+	return PretrainMSECtx(ctx, b.set, s, train, epochs, r)
+}
+
+// Refit implements Backend: each cluster's networks fine-tune on its live
+// observations MIXED with the original profiling labels (experience
+// replay). Fine-tuning on the small partial-feedback buffer alone
+// catastrophically forgets tasks outside it; replay anchors the update.
+// Live observations are weighted by duplication so fresh (possibly
+// drifted) signal still dominates where it exists. Time targets are
+// realized normalized durations; reliability targets the 0/1 completion
+// indicator (whose MSE minimizer is the Bernoulli mean).
+//
+// Clusters are independent given their rng streams (SplitIndexed by
+// cluster index), so the per-cluster fine-tunes run across
+// parallel.Workers() shards without changing the result.
+func (b *MLPBackend) Refit(s *workload.Scenario, train []int, live []Feedback, epochs int, r *rng.Source) {
+	m := b.set.M()
+	perCluster := make([][]Feedback, m)
+	for _, ob := range live {
+		perCluster[ob.Cluster] = append(perCluster[ob.Cluster], ob)
+	}
+	const liveWeight = 3 // each live observation counts as this many rows
+	parallel.ForChunked(m, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			refitMLPCluster(b.set, s, train, perCluster[i], i, liveWeight, epochs, r)
+		}
+	})
+}
+
+// refitMLPCluster fine-tunes cluster i's time and reliability networks.
+func refitMLPCluster(set *PredictorSet, s *workload.Scenario, train []int, obs []Feedback, i, liveWeight, epochs int, r *rng.Source) {
+	if len(obs) < 4 {
+		return // too little signal to fine-tune on
+	}
+	X, tTargets, aTargets := refitRows(s, train, obs, i, liveWeight)
+	timeCfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16, Optimizer: nn.NewAdam(5e-4)}
+	nn.TrainMSE(set.Preds[i].Time, X, tTargets, timeCfg, r.SplitIndexed("time", i))
+	relCfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16, Optimizer: nn.NewAdam(5e-4)}
+	nn.TrainMSE(set.Preds[i].Rel, X, aTargets, relCfg, r.SplitIndexed("rel", i))
+}
+
+// AppendBackend implements Backend: a codec version byte followed by the
+// PredictorSet encoding (checkpoint files carry MLP weights in the legacy
+// Set slot instead, so old resumes keep working; this form backs the
+// generic backend slot and the conformance round-trip).
+func (b *MLPBackend) AppendBackend(buf []byte) []byte {
+	buf = binenc.AppendU8(buf, mlpBackendCodecVersion)
+	return b.set.AppendBinary(buf)
+}
+
+func decodeMLPBackend(r *binenc.Reader) (Backend, error) {
+	if v := r.U8(); r.Err() == nil && v != mlpBackendCodecVersion {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: mlp backend codec version %d, want %d", v, mlpBackendCodecVersion)
+	}
+	set, err := ReadPredictorSet(r)
+	if err != nil {
+		return nil, err
+	}
+	return WrapMLPBackend(set), nil
+}

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"mfcp/internal/binenc"
+	"mfcp/internal/mat"
+	"mfcp/internal/mfcperr"
+	"mfcp/internal/parallel"
+	"mfcp/internal/rng"
+	"mfcp/internal/workload"
+)
+
+// BackendTable names the quantized low-cost inference backend: per-cluster
+// ridge-fit linear models with int8-quantized weights. Inference is one
+// dequantize-and-accumulate pass per (cluster, task) — orders of magnitude
+// cheaper than an MLP forward — which is the point for the 1000×100k scale
+// regime where prediction cost rivals the solve.
+const BackendTable = "table"
+
+// tableBackendCodecVersion versions TableBackend.AppendBackend.
+const tableBackendCodecVersion = 1
+
+// tableRidge is the ridge regularizer λ of the closed-form fit; it keeps
+// the normal equations positive definite on collinear features.
+const tableRidge = 1e-3
+
+func init() {
+	RegisterBackend(BackendTable,
+		func(m, inDim int, hidden []int, r *rng.Source) Backend {
+			return NewTableBackend(m, inDim)
+		},
+		decodeTableBackend)
+}
+
+// quantLinear is one int8-quantized affine model: ŷ = scale·Σ q_k·z_k + bias.
+// Weights quantize symmetrically to [-127, 127] with a per-model scale; the
+// bias stays float64 (one scalar per model costs nothing and preserves the
+// intercept exactly).
+type quantLinear struct {
+	q     []int8
+	scale float64
+	bias  float64
+}
+
+func (ql *quantLinear) eval(z []float64) float64 {
+	acc := 0.0
+	for k, w := range ql.q {
+		acc += float64(w) * z[k]
+	}
+	return ql.scale*acc + ql.bias
+}
+
+// quantize fits the int8 representation of weights w (bias separate).
+func (ql *quantLinear) quantize(w []float64, bias float64) {
+	if len(ql.q) != len(w) {
+		ql.q = make([]int8, len(w))
+	}
+	maxAbs := 0.0
+	for _, v := range w {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	ql.bias = bias
+	if maxAbs == 0 {
+		ql.scale = 0
+		for k := range ql.q {
+			ql.q[k] = 0
+		}
+		return
+	}
+	ql.scale = maxAbs / 127
+	for k, v := range w {
+		qv := math.Round(v / ql.scale)
+		if qv > 127 {
+			qv = 127
+		} else if qv < -127 {
+			qv = -127
+		}
+		ql.q[k] = int8(qv)
+	}
+}
+
+// TableBackend predicts with per-cluster quantized linear models fit in
+// closed form (ridge normal equations via Cholesky). Construction, fitting,
+// and refitting are fully deterministic and consume no rng; prediction is
+// trivially allocation-free. Accuracy trails the MLP backend — it is the
+// cheap-inference point on the cost/quality curve, not a replacement.
+type TableBackend struct {
+	m, inDim int
+	t, a     []quantLinear
+}
+
+// NewTableBackend builds an unfitted table backend (all-zero models;
+// Pretrain fits them).
+func NewTableBackend(m, inDim int) *TableBackend {
+	b := &TableBackend{m: m, inDim: inDim, t: make([]quantLinear, m), a: make([]quantLinear, m)}
+	for i := 0; i < m; i++ {
+		b.t[i].q = make([]int8, inDim)
+		b.a[i].q = make([]int8, inDim)
+	}
+	return b
+}
+
+// BackendName implements Backend.
+func (b *TableBackend) BackendName() string { return BackendTable }
+
+// M implements Backend.
+func (b *TableBackend) M() int { return b.m }
+
+// InDim implements Backend.
+func (b *TableBackend) InDim() int { return b.inDim }
+
+// tableWorkspace holds no forward scratch — table inference needs none —
+// only the pre-bound ForChunked closure and its in-flight arguments, so
+// PredictInto passes no escaping closure literal (it is AllocsPerRun-pinned
+// at zero).
+type tableWorkspace struct {
+	be         *TableBackend
+	z          *mat.Dense
+	that, ahat *mat.Dense
+	runf       func(lo, hi int)
+}
+
+// NewWorkspace implements Backend.
+func (b *TableBackend) NewWorkspace() BackendWorkspace { return &tableWorkspace{} }
+
+// PredictInto implements Backend: one dequantize-accumulate pass per
+// (cluster, task), outputs clamped to the admissible ranges (time ≥ 1e-4,
+// reliability in [1e-4, 0.999]) so the matcher never sees a degenerate
+// linear extrapolation.
+func (b *TableBackend) PredictInto(Z *mat.Dense, w BackendWorkspace, That, Ahat *mat.Dense) {
+	ws := w.(*tableWorkspace)
+	m, n := b.m, Z.Rows
+	That.Reshape(m, n)
+	Ahat.Reshape(m, n)
+	if ws.runf == nil {
+		ws.runf = ws.run
+	}
+	ws.be, ws.z, ws.that, ws.ahat = b, Z, That, Ahat
+	parallel.ForChunked(m, 1, ws.runf)
+	ws.be, ws.z, ws.that, ws.ahat = nil, nil, nil, nil
+}
+
+// run is the ForChunked body of PredictInto for clusters [lo, hi).
+func (ws *tableWorkspace) run(lo, hi int) {
+	b, Z, That, Ahat := ws.be, ws.z, ws.that, ws.ahat
+	n := Z.Rows
+	for i := lo; i < hi; i++ {
+		tq, aq := &b.t[i], &b.a[i]
+		for j := 0; j < n; j++ {
+			z := Z.Row(j)
+			tv := tq.eval(z)
+			if tv < 1e-4 {
+				tv = 1e-4
+			}
+			av := aq.eval(z)
+			if av < 1e-4 {
+				av = 1e-4
+			} else if av > 0.999 {
+				av = 0.999
+			}
+			That.Set(i, j, tv)
+			Ahat.Set(i, j, av)
+		}
+	}
+}
+
+// Snapshot implements Backend.
+func (b *TableBackend) Snapshot(into Backend) Backend {
+	var t *TableBackend
+	if into == nil {
+		t = NewTableBackend(b.m, b.inDim)
+	} else {
+		t = into.(*TableBackend)
+		if t.m != b.m || t.inDim != b.inDim {
+			// invariant: snapshot targets are prior Snapshots of this backend.
+			panic("core: table Snapshot into a different architecture")
+		}
+	}
+	for i := 0; i < b.m; i++ {
+		copy(t.t[i].q, b.t[i].q)
+		t.t[i].scale, t.t[i].bias = b.t[i].scale, b.t[i].bias
+		copy(t.a[i].q, b.a[i].q)
+		t.a[i].scale, t.a[i].bias = b.a[i].scale, b.a[i].bias
+	}
+	return t
+}
+
+// Validate implements Backend.
+func (b *TableBackend) Validate(m, inDim int) error {
+	if b.m != m {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "core: table backend covers %d clusters, scenario has %d", b.m, m)
+	}
+	if b.inDim != inDim {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "core: table backend expects %d-dim features, scenario has %d", b.inDim, inDim)
+	}
+	return nil
+}
+
+// Pretrain implements Backend: closed-form ridge fits per cluster and head
+// (epochs and r are unused — there is no iterative phase and no
+// randomness).
+func (b *TableBackend) Pretrain(ctx context.Context, s *workload.Scenario, train []int, epochs int, r *rng.Source) error {
+	Z := s.FeaturesOf(train)
+	parallel.ForChunked(b.m, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			tv, av := s.LabelVectors(i, train)
+			fitQuantLinear(&b.t[i], Z, tv)
+			fitQuantLinear(&b.a[i], Z, av)
+		}
+	})
+	if ctx.Err() != nil {
+		return mfcperr.Canceled("core.TableBackend.Pretrain", context.Cause(ctx))
+	}
+	return nil
+}
+
+// Refit implements Backend: the model refits in closed form on the same
+// drift-corrected replay+live rows the network backends fine-tune on.
+// Closed-form refits are idempotent and rng-free, so the async refit path
+// is trivially deterministic for this family.
+func (b *TableBackend) Refit(s *workload.Scenario, train []int, live []Feedback, epochs int, r *rng.Source) {
+	perCluster := make([][]Feedback, b.m)
+	for _, ob := range live {
+		perCluster[ob.Cluster] = append(perCluster[ob.Cluster], ob)
+	}
+	const liveWeight = 3
+	parallel.ForChunked(b.m, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			obs := perCluster[i]
+			if len(obs) < 4 {
+				continue // too little signal to refit on
+			}
+			X, tTargets, aTargets := refitRows(s, train, obs, i, liveWeight)
+			fitQuantLinear(&b.t[i], X, tTargets)
+			fitQuantLinear(&b.a[i], X, aTargets)
+		}
+	})
+}
+
+// fitQuantLinear solves the ridge normal equations (X'X + λI)w = X'y with
+// an appended bias column, then quantizes the weights. A Cholesky failure
+// (pathologically scaled features) degrades to the constant mean predictor
+// instead of erroring: a table that predicts the average is still a valid
+// — if uninformative — model.
+func fitQuantLinear(ql *quantLinear, X *mat.Dense, y mat.Vec) {
+	n, d := X.Rows, X.Cols
+	g := mat.NewDense(d+1, d+1)
+	rhs := mat.NewVec(d + 1)
+	for r := 0; r < n; r++ {
+		z := X.Row(r)
+		for a := 0; a < d; a++ {
+			za := z[a]
+			row := g.Row(a)
+			for c := a; c < d; c++ {
+				row[c] += za * z[c]
+			}
+			row[d] += za
+			rhs[a] += za * y[r]
+		}
+		g.Set(d, d, g.At(d, d)+1)
+		rhs[d] += y[r]
+	}
+	// Mirror the upper triangle and add the ridge (bias unpenalized beyond
+	// a vanishing term that keeps the factorization strictly PD).
+	for a := 0; a < d; a++ {
+		for c := a + 1; c < d; c++ {
+			g.Set(c, a, g.At(a, c))
+		}
+		g.Set(a, a, g.At(a, a)+tableRidge)
+	}
+	g.Set(d, d, g.At(d, d)+1e-9)
+	ch, err := mat.FactorizeCholesky(g)
+	if err != nil {
+		fallbackMean(ql, y)
+		return
+	}
+	w, err := ch.Solve(rhs, nil)
+	if err != nil {
+		fallbackMean(ql, y)
+		return
+	}
+	ql.quantize(w[:d], w[d])
+}
+
+func fallbackMean(ql *quantLinear, y mat.Vec) {
+	mean := 0.0
+	if len(y) > 0 {
+		mean = y.Sum() / float64(len(y))
+	}
+	zeros := make([]float64, len(ql.q))
+	ql.quantize(zeros, mean)
+}
+
+// AppendBackend implements Backend.
+func (b *TableBackend) AppendBackend(buf []byte) []byte {
+	buf = binenc.AppendU8(buf, tableBackendCodecVersion)
+	buf = binenc.AppendU32(buf, uint32(b.m))
+	buf = binenc.AppendU32(buf, uint32(b.inDim))
+	appendQL := func(ql *quantLinear) {
+		buf = binenc.AppendF64(buf, ql.scale)
+		buf = binenc.AppendF64(buf, ql.bias)
+		raw := make([]byte, len(ql.q))
+		for k, v := range ql.q {
+			raw[k] = byte(v)
+		}
+		buf = binenc.AppendBytes(buf, raw)
+	}
+	for i := 0; i < b.m; i++ {
+		appendQL(&b.t[i])
+		appendQL(&b.a[i])
+	}
+	return buf
+}
+
+func decodeTableBackend(r *binenc.Reader) (Backend, error) {
+	if v := r.U8(); r.Err() == nil && v != tableBackendCodecVersion {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: table backend codec version %d, want %d", v, tableBackendCodecVersion)
+	}
+	m := int(r.U32())
+	inDim := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if m < 0 || m > maxCheckpointEntries || inDim < 0 || inDim > maxCheckpointEntries {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: table backend with %d clusters, %d features", m, inDim)
+	}
+	b := NewTableBackend(m, inDim)
+	readQL := func(ql *quantLinear) error {
+		ql.scale = r.F64()
+		ql.bias = r.F64()
+		raw := r.Bytes()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if len(raw) != inDim {
+			return mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: table backend row of %d weights, want %d", len(raw), inDim)
+		}
+		for k, v := range raw {
+			ql.q[k] = int8(v)
+		}
+		return nil
+	}
+	for i := 0; i < m; i++ {
+		if err := readQL(&b.t[i]); err != nil {
+			return nil, err
+		}
+		if err := readQL(&b.a[i]); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}

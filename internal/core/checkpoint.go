@@ -16,13 +16,29 @@ import (
 //
 // The payload is a binenc record: round/refit counters, the config
 // fingerprint, named RNG stream states, named float gauges, the published
-// predictor set, and an owner-defined Extra blob (the platform layer stores
-// its replay buffer and report accumulators there). Everything is
-// little-endian and length-prefixed, so a truncated or bit-flipped file
+// predictor (a tag byte selects none / the legacy PredictorSet slot / a
+// named pluggable backend), and an owner-defined Extra blob (the platform
+// layer stores its replay buffer and report accumulators there). Everything
+// is little-endian and length-prefixed, so a truncated or bit-flipped file
 // surfaces as mfcperr.ErrCorruptCheckpoint at load, never as a bad resume.
+//
+// Version history: v1 framed the predictor as a hasSet byte (0/1) followed
+// by an optional PredictorSet. v2 reinterprets that byte as a tag and adds
+// tag 2 — a registry name string followed by the backend's AppendBackend
+// encoding — so non-MLP backends checkpoint without touching the legacy
+// layout. Tags 0 and 1 are wire-identical to v1, so the decoder accepts
+// both versions and old files resume unchanged.
 const (
-	checkpointMagic   = "MFCPCKPT"
-	checkpointVersion = 1
+	checkpointMagic      = "MFCPCKPT"
+	checkpointVersion    = 2
+	checkpointMinVersion = 1
+)
+
+// Predictor slot tags (the byte that was hasSet in checkpoint v1).
+const (
+	ckptPredNone    = 0 // no predictor state
+	ckptPredSet     = 1 // legacy PredictorSet (the MLP reference backend)
+	ckptPredBackend = 2 // registry name + Backend.AppendBackend payload
 )
 
 // maxCheckpointEntries bounds the named-collection counts a decoder will
@@ -59,8 +75,14 @@ type Checkpoint struct {
 	Streams []StreamState
 	// Gauges holds named float state (EWMA telemetry etc.) by name.
 	Gauges []GaugeState
-	// Set is the published predictor set (nil for methods without one).
+	// Set is the published predictor set (nil for methods without one). The
+	// MLP reference backend checkpoints here — the v1 wire slot — so files
+	// written before backends existed resume bit-identically.
 	Set *PredictorSet
+	// Backend is the published predictor for non-MLP backend families (nil
+	// otherwise). At most one of Set and Backend is non-nil; encoding
+	// prefers Set when both are.
+	Backend Backend
 	// Extra is an owner-defined binary payload (the platform engine stores
 	// its replay buffer, report accumulators, and window state here).
 	Extra []byte
@@ -158,11 +180,16 @@ func EncodeCheckpoint(c *Checkpoint) []byte {
 		p = binenc.AppendString(p, g.Name)
 		p = binenc.AppendF64(p, g.Value)
 	}
-	if c.Set != nil {
-		p = binenc.AppendU8(p, 1)
+	switch {
+	case c.Set != nil:
+		p = binenc.AppendU8(p, ckptPredSet)
 		p = c.Set.AppendBinary(p)
-	} else {
-		p = binenc.AppendU8(p, 0)
+	case c.Backend != nil:
+		p = binenc.AppendU8(p, ckptPredBackend)
+		p = binenc.AppendString(p, c.Backend.BackendName())
+		p = c.Backend.AppendBackend(p)
+	default:
+		p = binenc.AppendU8(p, ckptPredNone)
 	}
 	p = binenc.AppendBytes(p, c.Extra)
 
@@ -189,8 +216,8 @@ func DecodeCheckpoint(buf []byte) (*Checkpoint, error) {
 	ver := hr.U8()
 	sum := hr.U32()
 	plen := hr.U64()
-	if ver != checkpointVersion {
-		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: checkpoint version %d, want %d", ver, checkpointVersion)
+	if ver < checkpointMinVersion || ver > checkpointVersion {
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: checkpoint version %d, want %d..%d", ver, checkpointMinVersion, checkpointVersion)
 	}
 	payload := buf[head:]
 	if uint64(len(payload)) != plen {
@@ -232,12 +259,26 @@ func DecodeCheckpoint(buf []byte) (*Checkpoint, error) {
 		c.Gauges[i].Name = r.String()
 		c.Gauges[i].Value = r.F64()
 	}
-	if hasSet := r.U8(); r.Err() == nil && hasSet != 0 {
+	switch tag := r.U8(); {
+	case r.Err() != nil || tag == ckptPredNone:
+	case tag == ckptPredSet:
 		set, err := ReadPredictorSet(r)
 		if err != nil {
 			return nil, err
 		}
 		c.Set = set
+	case tag == ckptPredBackend && ver >= 2:
+		name := r.String()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		be, err := DecodeBackend(name, r)
+		if err != nil {
+			return nil, err
+		}
+		c.Backend = be
+	default:
+		return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "core: checkpoint v%d predictor tag %d", ver, tag)
 	}
 	// Extra aliases payload; copy so the checkpoint owns its memory.
 	c.Extra = append([]byte(nil), r.Bytes()...)

@@ -145,11 +145,38 @@ func (ps *PredictorSet) Snapshot(into *PredictorSet) *PredictorSet {
 }
 
 // PredictWorkspace owns the per-goroutine forward state for PredictInto:
-// one tape per (cluster, head) network. Distinct workspaces make concurrent
-// predictions over one shared (immutable) PredictorSet safe; the platform's
-// round shards each hold one.
+// one tape per (cluster, head) network, plus the pre-bound chunk closure
+// and its in-flight arguments. Hoisting the closure here is what makes the
+// hot forward allocation-free — a closure literal at the ForChunked call
+// site would escape and cost one heap object every round. Distinct
+// workspaces make concurrent predictions over one shared (immutable)
+// PredictorSet safe; the platform's round shards each hold one.
 type PredictWorkspace struct {
 	tp tapes
+
+	// Chunk-body arguments, valid only inside a PredictInto call; runf is
+	// the method value bound on first use (binding per call would allocate).
+	ps         *PredictorSet
+	z          *mat.Dense
+	that, ahat *mat.Dense
+	runf       func(lo, hi int)
+}
+
+// run is the ForChunked body of PredictInto: forward both heads of
+// clusters [lo, hi) over the in-flight batch and scatter the outputs.
+func (w *PredictWorkspace) run(lo, hi int) {
+	ps, Z, That, Ahat := w.ps, w.z, w.that, w.ahat
+	n := Z.Rows
+	for i := lo; i < hi; i++ {
+		ps.Preds[i].Time.ForwardTape(Z, w.tp.time[i])
+		ps.Preds[i].Rel.ForwardTape(Z, w.tp.rel[i])
+		tOut := w.tp.time[i].Out()
+		aOut := w.tp.rel[i].Out()
+		for j := 0; j < n; j++ {
+			That.Set(i, j, tOut.At(j, 0))
+			Ahat.Set(i, j, aOut.At(j, 0))
+		}
+	}
 }
 
 // PredictInto is Predict with caller-owned scratch: it runs every
@@ -161,5 +188,14 @@ type PredictWorkspace struct {
 // set (serving always predicts on a published snapshot, never the training
 // copy).
 func (ps *PredictorSet) PredictInto(Z *mat.Dense, w *PredictWorkspace, That, Ahat *mat.Dense) {
-	ps.forward(Z, &w.tp, That, Ahat)
+	m, n := ps.M(), Z.Rows
+	w.tp.ensure(m)
+	That.Reshape(m, n)
+	Ahat.Reshape(m, n)
+	if w.runf == nil {
+		w.runf = w.run
+	}
+	w.ps, w.z, w.that, w.ahat = ps, Z, That, Ahat
+	parallel.ForChunked(m, 1, w.runf)
+	w.ps, w.z, w.that, w.ahat = nil, nil, nil, nil
 }

@@ -94,6 +94,15 @@ type MatchConfig struct {
 	// mfcp_solver_iters_warm gauge). Training and one-shot solves ignore
 	// it.
 	WarmStart bool
+	// RiskAversion shifts serving-time predictions by this many calibrated
+	// standard deviations in the pessimistic direction (execution time up,
+	// reliability down) before the matcher sees them, so the solve optimizes
+	// a lower confidence bound on performance instead of the mean. Zero —
+	// the default — serves the calibrated mean. A positive value requires a
+	// backend that quantifies uncertainty (core.UncertaintyBackend, e.g. the
+	// bootstrap ensemble); the engine rejects the combination otherwise.
+	// Training ignores it.
+	RiskAversion float64
 	// ScreenStaleTol enables incremental screening in the serving engine
 	// (requires TopK > 0): a round slot's candidate set is carried over
 	// from the previous screen when neither of its predicted columns moved
@@ -161,6 +170,9 @@ func (mc *MatchConfig) Validate() error {
 	}
 	if mc.ScreenStaleTol > 0 && mc.TopK == 0 {
 		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: ScreenStaleTol %g requires the sparse path (TopK > 0)", mc.ScreenStaleTol)
+	}
+	if mc.RiskAversion < 0 || math.IsInf(mc.RiskAversion, 0) || math.IsNaN(mc.RiskAversion) {
+		return mfcperr.Wrap(mfcperr.ErrBadConfig, "matching: RiskAversion %g must be finite and non-negative", mc.RiskAversion)
 	}
 	return nil
 }

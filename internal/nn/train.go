@@ -122,6 +122,21 @@ func TrainEnsemble(k int, dims []int, hidden, out Activation, X *mat.Dense, y ma
 	return &Ensemble{Members: members}
 }
 
+// ForwardMembers runs every member over X through the caller's warm tapes
+// (one per member, in member order) — the allocation-free half of Predict.
+// Callers read member outputs from tapes[m].Out() and reduce them with the
+// exact accumulation Predict uses (see Ensemble.Predict) when bit-identical
+// means and spreads matter. tapes must have len(e.Members) entries.
+func (e *Ensemble) ForwardMembers(X *mat.Dense, tapes []*Tape) {
+	if len(tapes) != len(e.Members) {
+		// invariant: tapes come from a workspace sized off this ensemble.
+		panic("nn: ForwardMembers tape count mismatch")
+	}
+	for m, net := range e.Members {
+		net.ForwardTape(X, tapes[m])
+	}
+}
+
 // Predict returns the ensemble mean and standard deviation for each row of
 // X (both length X.Rows).
 func (e *Ensemble) Predict(X *mat.Dense) (mean, std mat.Vec) {

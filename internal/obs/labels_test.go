@@ -84,7 +84,7 @@ func TestLabelOverflowBucket(t *testing.T) {
 	reg := NewRegistry()
 	cv := reg.CounterVec("cap_total", "", "tenant")
 	for i := 0; i < DefaultMaxChildren; i++ {
-		cv.With(string(rune('A'+i))).Inc()
+		cv.With(string(rune('A' + i))).Inc()
 	}
 	first := cv.With("A")
 	over1 := cv.With("zz-over-1")

@@ -54,6 +54,15 @@ func onlineFingerprint(cfg *OnlineConfig) uint64 {
 		cfg.Match.Norm, cfg.Match.Objective, cfg.Match.Barrier, cfg.Match.SolveIters)
 	fmt.Fprintf(h, "|refitevery=%d|refitepochs=%d|buffercap=%d|async=%t",
 		cfg.RefitEvery, cfg.RefitEpochs, cfg.BufferCap, cfg.AsyncRefit)
+	// The backend family and risk shift shape every prediction; hash them
+	// only when they deviate from the legacy configuration so fingerprints
+	// of pre-backend checkpoints keep resuming.
+	if cfg.Backend != "" && cfg.Backend != core.BackendMLP {
+		fmt.Fprintf(h, "|backend=%s", cfg.Backend)
+	}
+	if cfg.Match.RiskAversion != 0 {
+		fmt.Fprintf(h, "|risk=%g", cfg.Match.RiskAversion)
+	}
 	return h.Sum64()
 }
 
@@ -139,7 +148,16 @@ func captureCheckpoint(e *engine, refitStream *rng.Source, rep *OnlineReport, ne
 			{Name: ckGaugeEMARel, Value: e.met.emaRel},
 			{Name: ckGaugeEMAInit, Value: b2f(e.met.emaInit)},
 		},
-		Set: e.snap.Load().Clone(),
+	}
+	// MLP weights go to the legacy Set slot — the checkpoint v1 wire form —
+	// so files from the serving fleet stay resumable by older readers; other
+	// families snapshot into the named backend slot.
+	if be := *e.snap.Load(); be != nil {
+		if mb, ok := be.(*core.MLPBackend); ok {
+			ck.Set = mb.Set().Clone()
+		} else {
+			ck.Backend = be.Snapshot(nil)
+		}
 	}
 	ck.Extra = appendOnlineExtra(nil, rep, buffer, droppedBase)
 	return ck

@@ -54,10 +54,13 @@ type engine struct {
 	train  []int
 	live   []int
 	method Predictor
-	// snap publishes the predictor version rounds serve against; nil for
-	// methods without a refittable PredictorSet (tam, ucb, oracle), which
-	// serve through method.Predict instead.
-	snap *parallel.Snapshot[core.PredictorSet]
+	// snap publishes the backend version rounds serve against; nil for
+	// methods without a refittable backend (tam, ucb, oracle), which serve
+	// through method.Predict instead. The boxed interface value a publish
+	// installs is never mutated after Swap — refits train a private
+	// Snapshot and box it fresh — so a Load is always one consistent
+	// predictor version.
+	snap *parallel.Snapshot[core.Backend]
 	// obs, when non-nil, receives one Observation per executed (cluster,
 	// task) pair — pushed lock-free by the shards, drained by the refit
 	// loop. Nil outside online serving.
@@ -144,28 +147,53 @@ func newEngine(ctx context.Context, cfg Config) (*engine, error) {
 	if cfg.Parallel {
 		mode = sched.Parallel
 	}
+	be := backendOf(method)
+	backendLabel := "none"
+	if be != nil {
+		backendLabel = be.BackendName()
+	}
+	if mc.RiskAversion > 0 {
+		if _, ok := be.(core.UncertaintyBackend); !ok {
+			return nil, mfcperr.Wrap(mfcperr.ErrBadConfig,
+				"platform: RiskAversion %g requires an uncertainty-quantifying backend; method %q serves %q", mc.RiskAversion, cfg.Method, backendLabel)
+		}
+	}
 	e := &engine{
 		cfg: cfg, s: s, train: train, live: live, method: method,
 		mc: mc, mode: mode, autoSparse: autoSparse,
-		met:         newEngineMetrics(cfg.Telemetry),
+		met:         newEngineMetrics(cfg.Telemetry, backendLabel),
 		traceHook:   cfg.TraceHook,
 		roundStream: s.Stream("platform-rounds"),
 		execStream:  s.Stream("platform-exec"),
 		warmCur:     new(mat.Dense), warmNext: new(mat.Dense),
 	}
-	if set := predictorSetOf(method); set != nil {
-		e.snap = parallel.NewSnapshot(set)
+	if be != nil {
+		e.snap = parallel.NewSnapshot(&be)
 	}
 	return e, nil
 }
 
-// currentSet returns the predictor version rounds should serve against, or
-// nil for methods without one.
-func (e *engine) currentSet() *core.PredictorSet {
+// currentBackend returns the backend version rounds should serve against,
+// or nil for methods without one.
+func (e *engine) currentBackend() core.Backend {
 	if e.snap == nil {
 		return nil
 	}
-	return e.snap.Load()
+	return *e.snap.Load()
+}
+
+// predictInto runs the serving-side prediction for one round through the
+// published backend: features gather, then the zero-alloc batched forward —
+// risk-shifted through the UncertaintyBackend path when RiskAversion is
+// positive (newEngine already rejected that configuration for backends that
+// cannot quantify spread).
+func (e *engine) predictInto(be core.Backend, round []int, z *mat.Dense, w core.BackendWorkspace, that, ahat *mat.Dense) {
+	Z := e.s.FeaturesInto(round, z)
+	if ub, ok := be.(core.UncertaintyBackend); ok && e.mc.RiskAversion > 0 {
+		ub.PredictRiskInto(Z, w, e.mc.RiskAversion, that, ahat)
+		return
+	}
+	be.PredictInto(Z, w, that, ahat)
 }
 
 // sampleRounds draws the next n round compositions from the round stream,
@@ -184,7 +212,13 @@ func (e *engine) sampleRounds(n int) [][]int {
 // the task-pointer gather buffer. Shards draw it from the arena at the
 // start of a chunk and return it after, so at most Workers() live at once.
 type shardScratch struct {
-	pw           core.PredictWorkspace
+	// bw is the backend prediction workspace, lazily created for the
+	// backend family this scratch last served (bwFor). The arena is shared
+	// across engines, so a pooled scratch can meet a different family; a
+	// name mismatch rebuilds the workspace, and within a family the
+	// workspace itself adapts to shape.
+	bw           core.BackendWorkspace
+	bwFor        string
 	z            *mat.Dense
 	that, ahat   *mat.Dense
 	trueT, trueA *mat.Dense
@@ -205,6 +239,16 @@ var scratchArena = parallel.NewArena(func() *shardScratch {
 	}
 })
 
+// workspace returns the scratch's prediction workspace for be, rebuilding
+// it only when the scratch last served a different backend family.
+func (sc *shardScratch) workspace(be core.Backend) core.BackendWorkspace {
+	if sc.bw == nil || sc.bwFor != be.BackendName() {
+		sc.bw = be.NewWorkspace()
+		sc.bwFor = be.BackendName()
+	}
+	return sc.bw
+}
+
 // evalRound evaluates allocation round k: predict with the given snapshot
 // (or the method's own path when set is nil), match, score against ground
 // truth, and execute on the simulated fleet. All randomness comes from
@@ -218,12 +262,11 @@ var scratchArena = parallel.NewArena(func() *shardScratch {
 // Phase durations are measured with explicit clock reads rather than obs
 // spans: the same measurement feeds both the phase histogram and the
 // round's trace slot (trc), which the reduce path hands to the trace hook.
-func (e *engine) evalRound(k int, round []int, set *core.PredictorSet, sc *shardScratch, warm *mat.Dense, capture bool, trc *RoundTrace) RoundReport {
+func (e *engine) evalRound(k int, round []int, be core.Backend, sc *shardScratch, warm *mat.Dense, capture bool, trc *RoundTrace) RoundReport {
 	t0 := time.Now()
 	var That, Ahat *mat.Dense
-	if set != nil {
-		Z := e.s.FeaturesInto(round, sc.z)
-		set.PredictInto(Z, &sc.pw, sc.that, sc.ahat)
+	if be != nil {
+		e.predictInto(be, round, sc.z, sc.workspace(be), sc.that, sc.ahat)
 		That, Ahat = sc.that, sc.ahat
 	} else {
 		That, Ahat = e.method.Predict(round)
@@ -314,10 +357,22 @@ func (e *engine) finishRound(k int, round []int, assign []int, repInfo matching.
 // problem, which is what makes reusing the workspace safe while other
 // rounds are still in flight.
 type screenSlot struct {
-	pw         core.PredictWorkspace
+	bw         core.BackendWorkspace
+	bwFor      string
 	z          *mat.Dense
 	that, ahat *mat.Dense
 	ws         *matching.ScreenWorkspace
+}
+
+// workspace returns the slot's prediction workspace for be, rebuilding it
+// only on a backend-family change (slots are engine-owned, so in practice
+// this builds once and then stays warm).
+func (sl *screenSlot) workspace(be core.Backend) core.BackendWorkspace {
+	if sl.bw == nil || sl.bwFor != be.BackendName() {
+		sl.bw = be.NewWorkspace()
+		sl.bwFor = be.BackendName()
+	}
+	return sl.bw
 }
 
 // screenSlotAt returns (lazily building) the i-th pooled slot.
@@ -356,12 +411,11 @@ func (e *engine) screenPrepare() *matching.ScreenRef {
 // screen the predictions down to candidate lists, incrementally against
 // ref when incremental screening is on. The returned problem aliases the
 // slot's workspace.
-func (e *engine) screenRound(k int, round []int, set *core.PredictorSet, ref *matching.ScreenRef, slot *screenSlot, trc *RoundTrace) (*matching.SparseProblem, int, error) {
+func (e *engine) screenRound(k int, round []int, be core.Backend, ref *matching.ScreenRef, slot *screenSlot, trc *RoundTrace) (*matching.SparseProblem, int, error) {
 	p0 := time.Now()
 	var That, Ahat *mat.Dense
-	if set != nil {
-		Z := e.s.FeaturesInto(round, slot.z)
-		set.PredictInto(Z, &slot.pw, slot.that, slot.ahat)
+	if be != nil {
+		e.predictInto(be, round, slot.z, slot.workspace(be), slot.that, slot.ahat)
 		That, Ahat = slot.that, slot.ahat
 	} else {
 		That, Ahat = e.method.Predict(round)
@@ -461,9 +515,9 @@ func (e *engine) solveScreenedRound(k int, round []int, sp *matching.SparseProbl
 // times must have the same length as out: each round's shard fills its
 // trace slot (phase timings), which the caller's serial reduce hands to
 // the trace hook in round order.
-func (e *engine) sweep(k0 int, rounds [][]int, set *core.PredictorSet, out []RoundReport, times []RoundTrace) error {
+func (e *engine) sweep(k0 int, rounds [][]int, be core.Backend, out []RoundReport, times []RoundTrace) error {
 	if e.mc.Sparse() {
-		return e.sweepSparse(k0, rounds, set, out, times)
+		return e.sweepSparse(k0, rounds, be, out, times)
 	}
 	warm, captureIdx := e.warmPrepare(len(rounds))
 	parallel.ForChunked(len(rounds), 1, func(lo, hi int) {
@@ -471,7 +525,7 @@ func (e *engine) sweep(k0 int, rounds [][]int, set *core.PredictorSet, out []Rou
 		defer scratchArena.Put(sc)
 		for i := lo; i < hi; i++ {
 			times[i] = RoundTrace{}
-			out[i] = e.evalRound(k0+i, rounds[i], set, sc, warm, i == captureIdx, &times[i])
+			out[i] = e.evalRound(k0+i, rounds[i], be, sc, warm, i == captureIdx, &times[i])
 		}
 	})
 	e.warmCommit(len(rounds))
@@ -489,7 +543,7 @@ func (e *engine) sweep(k0 int, rounds [][]int, set *core.PredictorSet, out []Rou
 // round t's solve. Results still land in out by round offset and the
 // caller reduces in round order, so the trajectory is bit-identical at
 // any worker count.
-func (e *engine) sweepSparse(k0 int, rounds [][]int, set *core.PredictorSet, out []RoundReport, times []RoundTrace) error {
+func (e *engine) sweepSparse(k0 int, rounds [][]int, be core.Backend, out []RoundReport, times []RoundTrace) error {
 	n := len(rounds)
 	if n == 0 {
 		return nil
@@ -521,7 +575,7 @@ func (e *engine) sweepSparse(k0 int, rounds [][]int, set *core.PredictorSet, out
 		for i := 0; i < n; i++ {
 			slot := <-free
 			times[i] = RoundTrace{}
-			sp, reused, err := e.screenRound(k0+i, rounds[i], set, ref, slot, &times[i])
+			sp, reused, err := e.screenRound(k0+i, rounds[i], be, ref, slot, &times[i])
 			if err != nil {
 				screenErr = fmt.Errorf("platform: screen round %d: %w", k0+i, err)
 				return
@@ -656,7 +710,7 @@ func (e *engine) serve(rep *Report, k0, n int) error {
 	if e.snap != nil {
 		v0 = e.snap.Version()
 	}
-	if err := e.sweep(k0, rounds, e.currentSet(), results, times); err != nil {
+	if err := e.sweep(k0, rounds, e.currentBackend(), results, times); err != nil {
 		return err
 	}
 	if e.snap != nil {

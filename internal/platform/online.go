@@ -7,12 +7,7 @@ import (
 
 	"mfcp/internal/baselines"
 	"mfcp/internal/core"
-	"mfcp/internal/mat"
 	"mfcp/internal/mfcperr"
-	"mfcp/internal/nn"
-	"mfcp/internal/parallel"
-	"mfcp/internal/rng"
-	"mfcp/internal/workload"
 )
 
 // Observation is one realized (cluster, task) execution the platform can
@@ -200,91 +195,31 @@ func RunOnlineCtx(ctx context.Context, cfg OnlineConfig) (*OnlineReport, error) 
 	return sess.Finish(), nil
 }
 
-// predictorSetOf extracts the refittable predictor set from a method, or
-// nil when the method has none (TAM, UCB, Oracle).
-func predictorSetOf(m Predictor) *core.PredictorSet {
+// backendOf extracts the refittable serving backend from a method, or nil
+// when the method has none (TAM, UCB, Oracle). Trainer- and TSM-owned
+// predictor sets are wrapped in place — mutations through either handle
+// stay visible — so the engine's snapshot publishing serves the exact
+// weights the method trained.
+func backendOf(m Predictor) core.Backend {
 	switch v := m.(type) {
 	case *core.Trainer:
-		return v.Set
+		return core.WrapMLPBackend(v.Set)
 	case *baselines.TSM:
-		return v.PredictorSet()
+		return core.WrapMLPBackend(v.PredictorSet())
+	case *backendMethod:
+		return v.be
 	default:
 		return nil
 	}
 }
 
-// refit fine-tunes each cluster's predictors on its buffered observations
-// MIXED with the original profiling labels (experience replay). Fine-tuning
-// on the small partial-feedback buffer alone catastrophically forgets tasks
-// outside it; replay anchors the update. Live observations are weighted by
-// duplication so fresh (possibly drifted) signal still dominates where it
-// exists. Time targets are realized normalized durations; reliability
-// targets the 0/1 completion indicator (whose MSE minimizer is the
-// Bernoulli mean).
-//
-// Clusters are independent given their rng streams (SplitIndexed by cluster
-// index), so the per-cluster fine-tunes run across parallel.Workers()
-// shards without changing the result.
-func refit(set *core.PredictorSet, s *workload.Scenario, train []int, buffer []Observation, epochs int, r *rng.Source) {
-	m := set.M()
-	perCluster := make([][]Observation, m)
-	for _, ob := range buffer {
-		perCluster[ob.Cluster] = append(perCluster[ob.Cluster], ob)
+// toFeedback projects drained observations (already in canonical (Round,
+// Slot) order) onto the backend-facing feedback records, preserving order —
+// refit implementations weight the recent suffix, so order is contract.
+func toFeedback(obs []Observation) []core.Feedback {
+	fb := make([]core.Feedback, len(obs))
+	for i, ob := range obs {
+		fb[i] = core.Feedback{Cluster: ob.Cluster, TaskIdx: ob.TaskIdx, TimeNorm: ob.TimeNorm, Succeeded: ob.Succeeded}
 	}
-	const liveWeight = 3 // each live observation counts as this many rows
-	parallel.ForChunked(m, 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			refitCluster(set, s, train, perCluster[i], i, liveWeight, epochs, r)
-		}
-	})
-}
-
-// refitCluster fine-tunes cluster i's time and reliability networks.
-func refitCluster(set *core.PredictorSet, s *workload.Scenario, train []int, obs []Observation, i, liveWeight, epochs int, r *rng.Source) {
-	if len(obs) < 4 {
-		return // too little signal to fine-tune on
-	}
-	// Estimate the cluster's current speed factor from paired
-	// live-vs-profiled durations of the same tasks (recent half of the
-	// buffer). Replay targets are rescaled by it, so the anchor tracks
-	// regime changes instead of fighting them.
-	fHat := 0.0
-	cnt := 0
-	for _, ob := range obs[len(obs)/2:] {
-		if base := s.MeasT.At(i, ob.TaskIdx); base > 1e-9 {
-			fHat += ob.TimeNorm / base
-			cnt++
-		}
-	}
-	if cnt > 0 {
-		fHat /= float64(cnt)
-	} else {
-		fHat = 1
-	}
-	rows := len(train) + liveWeight*len(obs)
-	X := mat.NewDense(rows, s.Features.Cols)
-	tTargets := mat.NewVec(rows)
-	aTargets := mat.NewVec(rows)
-	// Replay: the original profiling measurements, drift-corrected.
-	for k, j := range train {
-		copy(X.Row(k), s.Features.Row(j))
-		tTargets[k] = s.MeasT.At(i, j) * fHat
-		aTargets[k] = s.MeasA.At(i, j)
-	}
-	// Live observations, duplicated for weight.
-	at := len(train)
-	for _, ob := range obs {
-		for d := 0; d < liveWeight; d++ {
-			copy(X.Row(at), s.Features.Row(ob.TaskIdx))
-			tTargets[at] = ob.TimeNorm
-			if ob.Succeeded {
-				aTargets[at] = 1
-			}
-			at++
-		}
-	}
-	timeCfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16, Optimizer: nn.NewAdam(5e-4)}
-	nn.TrainMSE(set.Preds[i].Time, X, tTargets, timeCfg, r.SplitIndexed("time", i))
-	relCfg := nn.TrainMSEConfig{Epochs: epochs, BatchSize: 16, Optimizer: nn.NewAdam(5e-4)}
-	nn.TrainMSE(set.Preds[i].Rel, X, aTargets, relCfg, r.SplitIndexed("rel", i))
+	return fb
 }

@@ -50,6 +50,14 @@ type Config struct {
 	Scenario workload.Config
 	// Method selects the predictor (default mfcp-fg).
 	Method MethodName
+	// Backend selects the predictor backend family serving rounds: "mlp"
+	// (the default — the paper's per-cluster MLP pair), "ensemble"
+	// (bootstrap ensembles with calibrated spread; required for
+	// Match.RiskAversion > 0), or "table" (quantized linear models for the
+	// cheap-inference regime). Non-MLP backends pair with Method tsm — they
+	// are supervised predictors, not regret-descent trainers — and any
+	// other combination is rejected.
+	Backend string
 	// Match configures the matcher.
 	Match core.MatchConfig
 	// Rounds is the number of allocation rounds to simulate (default 50).
@@ -79,6 +87,10 @@ type Config struct {
 	// DESIGN.md "Observability"). Nil disables recording; the served
 	// trajectory is bit-identical either way.
 	Telemetry *obs.Registry
+	// warmBackend, when non-nil, skips backend training and serves from a
+	// snapshot of the given backend (checkpoint resume for non-MLP
+	// backends; NewSession wires it from Checkpoint.Backend).
+	warmBackend core.Backend
 	// TraceHook, when non-nil, receives one RoundTrace per served round on
 	// the serial reduce path, in round order. Timings are captured with
 	// plain clock reads on the shards and never enter RoundReport, so the
@@ -92,6 +104,9 @@ type Config struct {
 func (c *Config) fillDefaults() {
 	if c.Method == "" {
 		c.Method = MethodMFCPFG
+	}
+	if c.Backend == "" {
+		c.Backend = core.BackendMLP
 	}
 	if c.Rounds == 0 {
 		c.Rounds = 50
@@ -235,6 +250,29 @@ func buildMethod(ctx context.Context, cfg Config, s *workload.Scenario, train []
 			mc.Speedups = append(mc.Speedups, p.Speedup)
 		}
 	}
+	if cfg.Backend != core.BackendMLP {
+		if cfg.Method != MethodTSM {
+			return nil, mfcperr.Wrap(mfcperr.ErrBadConfig, "platform: backend %q serves supervised predictions and requires method %q (got %q)", cfg.Backend, MethodTSM, cfg.Method)
+		}
+		if cfg.WarmStart != nil {
+			return nil, mfcperr.Wrap(mfcperr.ErrBadConfig, "platform: backend %q cannot warm-start from a predictor set", cfg.Backend)
+		}
+		if cfg.warmBackend != nil {
+			if err := cfg.warmBackend.Validate(s.M(), s.Features.Cols); err != nil {
+				return nil, err
+			}
+			return &backendMethod{s: s, be: cfg.warmBackend.Snapshot(nil)}, nil
+		}
+		stream := s.Stream("backend-" + cfg.Backend)
+		be, err := core.NewBackend(cfg.Backend, s.M(), s.Features.Cols, cfg.Hidden, stream.Split("init"))
+		if err != nil {
+			return nil, err
+		}
+		if err := be.Pretrain(ctx, s, train, cfg.PretrainEpochs, stream.Split("train")); err != nil {
+			return nil, err
+		}
+		return &backendMethod{s: s, be: be}, nil
+	}
 	if cfg.WarmStart != nil {
 		if err := cfg.WarmStart.Validate(s.M(), s.Features.Cols); err != nil {
 			return nil, err
@@ -280,6 +318,26 @@ func buildMethod(ctx context.Context, cfg Config, s *workload.Scenario, train []
 	default:
 		return nil, fmt.Errorf("platform: unknown method %q", cfg.Method)
 	}
+}
+
+// backendMethod adapts a pluggable core.Backend to the Predictor interface
+// the platform drives. The serving engine predicts through the published
+// snapshot (backendOf unwraps be), so Predict here is the cold path —
+// harness-style one-shot evaluation — and allocates per call.
+type backendMethod struct {
+	s  *workload.Scenario
+	be core.Backend
+}
+
+// Name labels reports with the supervised method and its backend family.
+func (m *backendMethod) Name() string { return "TSM+" + m.be.BackendName() }
+
+// Predict implements Predictor.
+func (m *backendMethod) Predict(round []int) (T, A *mat.Dense) {
+	Z := m.s.FeaturesOf(round)
+	T, A = new(mat.Dense), new(mat.Dense)
+	m.be.PredictInto(Z, m.be.NewWorkspace(), T, A)
+	return T, A
 }
 
 // applyDrift scales row i of the true time matrix by cluster i's drift

@@ -49,9 +49,9 @@ type Session struct {
 	// drain scratch reused across window boundaries.
 	buffer  []Observation
 	drained []Observation
-	// spare double-buffers predictor versions across refits: the published
-	// set serves rounds while spare is the next refit's trainee.
-	spare   *core.PredictorSet
+	// spare double-buffers backend versions across refits: the published
+	// backend serves rounds while spare is the next refit's trainee.
+	spare   core.Backend
 	refitWG sync.WaitGroup
 
 	// results is the sweep scratch (reused across calls; reduce copies
@@ -82,14 +82,28 @@ func NewSession(ctx context.Context, cfg OnlineConfig) (*Session, error) {
 		if ck.ConfigHash != configHash {
 			return nil, mfcperr.Wrap(mfcperr.ErrBadConfig, "platform: checkpoint fingerprint %016x does not match this configuration (%016x)", ck.ConfigHash, configHash)
 		}
-		if ck.Set == nil {
-			return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "platform: checkpoint carries no predictor set")
-		}
 		// Serve from the saved weights without re-running training. A
 		// mid-window checkpoint (a drained match server's) resumes with the
 		// refit cadence still anchored at multiples of RefitEvery: the next
 		// refit fires when the absolute round count reaches the boundary.
-		cfg.WarmStart = ck.Set
+		// MLP checkpoints carry their weights in the legacy Set slot; other
+		// backend families use the named Backend slot, and the slot must
+		// agree with the configured family (the fingerprint covers the
+		// backend name, so a mismatch here is a corrupt or hand-edited file).
+		switch {
+		case ck.Set != nil:
+			if cfg.Backend != "" && cfg.Backend != core.BackendMLP {
+				return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "platform: checkpoint carries MLP weights but the configuration serves backend %q", cfg.Backend)
+			}
+			cfg.WarmStart = ck.Set
+		case ck.Backend != nil:
+			if ck.Backend.BackendName() != cfg.Backend {
+				return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "platform: checkpoint carries backend %q but the configuration serves %q", ck.Backend.BackendName(), cfg.Backend)
+			}
+			cfg.warmBackend = ck.Backend
+		default:
+			return nil, mfcperr.Wrap(mfcperr.ErrCorruptCheckpoint, "platform: checkpoint carries no predictor")
+		}
 		start = ck.Round
 	}
 	e, err := newEngine(ctx, cfg.Config)
@@ -128,7 +142,7 @@ func NewSession(ctx context.Context, cfg OnlineConfig) (*Session, error) {
 			return nil, err
 		}
 	}
-	s.spare = e.snap.Load().Snapshot(nil)
+	s.spare = (*e.snap.Load()).Snapshot(nil)
 	s.results = make([]RoundReport, cfg.RefitEvery)
 	s.times = make([]RoundTrace, cfg.RefitEvery)
 	return s, nil
@@ -159,6 +173,17 @@ func (s *Session) Refits() int { return s.rep.Refits }
 
 // Method returns the serving method's name.
 func (s *Session) Method() string { return s.e.method.Name() }
+
+// Backend returns the serving backend family's registry name ("mlp",
+// "ensemble", "table"). The nil guard is defensive: NewSession requires a
+// refittable (backend-carrying) method, so today the snapshot is always
+// populated.
+func (s *Session) Backend() string {
+	if be := s.e.currentBackend(); be != nil {
+		return be.BackendName()
+	}
+	return ""
+}
 
 // RingDepth returns the number of observations pending in the ingest ring.
 // Owner-goroutine only (ring length is consumer-owned).
@@ -239,7 +264,7 @@ func (s *Session) serve(rounds [][]int) ([]RoundReport, error) {
 		window := s.results[:n]
 		times := s.times[:n]
 		v0 := s.e.snap.Version()
-		if err := s.e.sweep(s.served, chunk, s.e.currentSet(), window, times); err != nil {
+		if err := s.e.sweep(s.served, chunk, s.e.currentBackend(), window, times); err != nil {
 			s.discardRing()
 			return out, err
 		}
@@ -281,7 +306,7 @@ func (s *Session) refitBoundary() error {
 	e := s.e
 	s.drainIntoBuffer()
 
-	cur := e.snap.Load()
+	cur := *e.snap.Load()
 	trainee := s.spare
 	stream := s.refitStream.SplitIndexed("refit", s.rep.Refits)
 	replay := s.buffer // immutable until the next refitWG.Wait()
@@ -292,10 +317,15 @@ func (s *Session) refitBoundary() error {
 		if h := testRefitHook; h != nil {
 			h()
 		}
-		refit(trainee, e.s, e.train, replay, s.cfg.RefitEpochs, stream)
-		e.snap.Swap(trainee)
+		trainee.Refit(e.s, e.train, toFeedback(replay), s.cfg.RefitEpochs, stream)
+		// Publish through a freshly boxed interface value: readers may still
+		// hold the previous box, which must therefore never be rewritten.
+		boxed := new(core.Backend)
+		*boxed = trainee
+		e.snap.Swap(boxed)
 		sp.End()
 		e.met.refits.Inc()
+		e.met.backendRefits.Inc()
 		e.met.snapVersion.Set(float64(e.snap.Version()))
 		e.met.refitPending.Set(0)
 	}

@@ -54,6 +54,14 @@ type engineMetrics struct {
 	snapVersion  *obs.Gauge
 	snapLag      *obs.Gauge
 
+	// Per-backend serving accounting: rounds and refits labeled by the
+	// backend family this engine serves ("mlp", "ensemble", "table", or
+	// "none" for methods without a published backend). Pre-bound children,
+	// one label value per engine, so fleet dashboards can break serving
+	// volume down by predictor family.
+	backendRounds *obs.Counter
+	backendRefits *obs.Counter
+
 	// Production-dimension sparse path (MatchConfig.TopK > 0): screening
 	// and cell-solve spans plus pruning-survivor and reconcile accounting.
 	// Recorded on the shards; every op is atomic.
@@ -107,13 +115,17 @@ type engineMetrics struct {
 // ewmaAlpha is the rolling-quality smoothing weight: ~20-round memory.
 const ewmaAlpha = 0.05
 
-func newEngineMetrics(reg *obs.Registry) engineMetrics {
+func newEngineMetrics(reg *obs.Registry, backend string) engineMetrics {
 	embed.RegisterMetrics(reg)
 	tr := obs.NewTracer(reg, "mfcp_phase")
 	routes := reg.CounterVec("mfcp_rounds_by_route_total",
 		"rounds served by matching route (dense, sparse, autosparse are disjoint)", "route")
 	routeSec := reg.HistogramVec("mfcp_route_round_seconds",
 		"end-to-end round latency on its shard by matching route", "route", obs.LatencyBuckets)
+	backendRounds := reg.CounterVec("mfcp_backend_rounds_total",
+		"rounds served, labeled by predictor backend family", "backend")
+	backendRefits := reg.CounterVec("mfcp_backend_refits_total",
+		"predictor refits published, labeled by backend family", "backend")
 	return engineMetrics{
 		rounds: reg.Counter("mfcp_rounds_served_total", "allocation rounds served"),
 		tasks:  reg.Counter("mfcp_tasks_served_total", "tasks allocated across all rounds"),
@@ -175,6 +187,9 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 		ringIngested: reg.Counter("mfcp_ring_ingested_total", "observations drained into the replay buffer"),
 		ringDepth:    reg.Gauge("mfcp_ring_depth", "observations pending in the ingest ring at the last window boundary"),
 
+		backendRounds: backendRounds.With(backend),
+		backendRefits: backendRefits.With(backend),
+
 		refits:       reg.Counter("mfcp_refits_total", "predictor refits published"),
 		refitPending: reg.Gauge("mfcp_refit_inflight", "refits currently training (0 or 1)"),
 		snapVersion:  reg.Gauge("mfcp_snapshot_version", "published predictor snapshot version"),
@@ -226,6 +241,7 @@ func (m *engineMetrics) observeHierTimings(t matching.HierTimings) {
 // quality gauges. Called serially, in round order, from the reduce path.
 func (m *engineMetrics) observeReduced(rr *RoundReport) {
 	m.rounds.Inc()
+	m.backendRounds.Inc()
 	m.tasks.Add(uint64(len(rr.TaskIdx)))
 	switch {
 	case rr.Sparse && rr.AutoSparse:

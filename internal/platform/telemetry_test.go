@@ -191,7 +191,7 @@ func TestTrainerExportsSeries(t *testing.T) {
 // layer: everything evalRound and the reduce path record per round stays off
 // the heap.
 func TestTelemetryRecordingZeroAllocs(t *testing.T) {
-	met := newEngineMetrics(obs.NewRegistry())
+	met := newEngineMetrics(obs.NewRegistry(), "mlp")
 	si := matching.SolveInfo{Iters: 40, Converged: true, FinalDelta: 1e-7}
 	ri := matching.RepairInfo{FeasMoves: 1, Moves: 2, Swaps: 1, CostBefore: 3, CostAfter: 2.5}
 	rr := RoundReport{TaskIdx: []int{1, 2, 3}, Eval: metrics.Eval{Regret: 0.1, Reliability: 0.9}}
@@ -207,7 +207,7 @@ func TestTelemetryRecordingZeroAllocs(t *testing.T) {
 	}
 
 	// Disabled telemetry must be equally silent.
-	off := newEngineMetrics(nil)
+	off := newEngineMetrics(nil, "none")
 	if n := testing.AllocsPerRun(1000, func() {
 		off.round.Observe(time.Millisecond)
 		off.routeSecDense.Observe(0.001)

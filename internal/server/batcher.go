@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"mfcp/internal/obs"
@@ -18,28 +19,34 @@ var errShortServe = errors.New("server: session returned no round report")
 // session, and fans the per-slot results back out to the waiting handlers.
 // When the queue closes (Drain), it flushes what remains, checkpoints, and
 // exits.
+//
+// Rounds are packed in deadline priority, not arrival order: requests
+// carrying a client deadline go first, earliest deadline first, so a
+// tight-deadline request is never starved behind a large earlier
+// submission that fills the round. Requests are never split across rounds
+// — every tenant's batch is placed by one predictor version in one solve —
+// so whatever does not fit under MaxBatchTasks stays pending, in priority
+// order, for the next round.
 func (s *Server) run() {
 	defer close(s.done)
-	var carry *request
+	var pending []*request
 	for {
-		first := carry
-		carry = nil
-		if first == nil {
+		if len(pending) == 0 {
 			rq, ok := <-s.submit
 			if !ok {
 				break
 			}
-			first = rq
+			pending = append(pending, rq)
 		}
-		batch := append(make([]*request, 0, 8), first)
-		total := len(first.tasks)
+		total := 0
+		for _, rq := range pending {
+			total += len(rq.tasks)
+		}
 		flush := flushImmediate
 
-		// Deadline-aware coalescing: wait up to Window for more tenants,
-		// flushing early once the composed round reaches MaxBatchTasks. A
-		// request that would overflow the cap is carried into the next
-		// round — requests are never split across rounds, so every tenant's
-		// batch is placed by one predictor version in one solve.
+		// Window-bounded coalescing: wait for more tenants, flushing early
+		// once the pending tasks can fill a round. A receive from the closed
+		// queue falls through immediately, so drain never waits the window.
 		if s.cfg.Window > 0 && total < s.cfg.MaxBatchTasks {
 			timer := time.NewTimer(s.cfg.Window)
 		collect:
@@ -49,12 +56,7 @@ func (s *Server) run() {
 					if !ok {
 						break collect
 					}
-					if total+len(rq.tasks) > s.cfg.MaxBatchTasks {
-						carry = rq
-						flush = flushBySize
-						break collect
-					}
-					batch = append(batch, rq)
+					pending = append(pending, rq)
 					total += len(rq.tasks)
 					if total >= s.cfg.MaxBatchTasks {
 						flush = flushBySize
@@ -67,11 +69,46 @@ func (s *Server) run() {
 			}
 			timer.Stop()
 		}
+		var batch []*request
+		batch, pending = packBatch(pending, s.cfg.MaxBatchTasks)
+		total = 0
+		for _, rq := range batch {
+			total += len(rq.tasks)
+		}
 		s.serveBatch(batch, total, flush)
 	}
 	// Queue closed and fully drained: every accepted request has been
 	// answered. Persist the session so the drained state is resumable.
 	_ = s.m.Checkpoint()
+}
+
+// packBatch orders the pending requests by placement priority — client
+// deadlines first, earliest first, deadline-less requests after in arrival
+// order — then fills one round up to maxTasks, stopping at the first
+// request that does not fit so equal-priority requests keep their FIFO
+// order. Returns the packed batch and what stays pending. With no
+// deadlines in play the sort is a stable no-op and packing reproduces the
+// historical FIFO-with-carry batches exactly.
+func packBatch(pending []*request, maxTasks int) (batch, rest []*request) {
+	sort.SliceStable(pending, func(i, j int) bool {
+		a, b := pending[i], pending[j]
+		switch {
+		case a.deadline.IsZero():
+			return false
+		case b.deadline.IsZero():
+			return true
+		default:
+			return a.deadline.Before(b.deadline)
+		}
+	})
+	total := 0
+	for k, rq := range pending {
+		if total+len(rq.tasks) > maxTasks {
+			return pending[:k], pending[k:]
+		}
+		total += len(rq.tasks)
+	}
+	return pending, nil
 }
 
 // serveBatch composes one round from the batch, serves it, and answers

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mkreq builds a batcher-side request with n tasks and an optional
+// deadline offset (0 = none) against a fixed epoch, so packBatch tests
+// are wall-clock free.
+func mkreq(id uint64, n int, deadlineMs int64) *request {
+	epoch := time.Unix(1_700_000_000, 0)
+	rq := &request{id: id, tasks: make([]int, n), enqueued: epoch}
+	if deadlineMs > 0 {
+		rq.deadline = epoch.Add(time.Duration(deadlineMs) * time.Millisecond)
+	}
+	return rq
+}
+
+func ids(rqs []*request) []uint64 {
+	out := make([]uint64, len(rqs))
+	for i, rq := range rqs {
+		out[i] = rq.id
+	}
+	return out
+}
+
+func sameIDs(a []uint64, b ...uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPackBatchFIFOWithoutDeadlines pins the legacy behavior: with no
+// deadlines in play, packing is FIFO with the first non-fitting request
+// (and everything after it) carried whole.
+func TestPackBatchFIFOWithoutDeadlines(t *testing.T) {
+	pending := []*request{mkreq(1, 3, 0), mkreq(2, 3, 0), mkreq(3, 4, 0), mkreq(4, 1, 0)}
+	batch, rest := packBatch(pending, 8)
+	if !sameIDs(ids(batch), 1, 2) {
+		t.Fatalf("batch %v, want FIFO prefix [1 2]", ids(batch))
+	}
+	// Request 4 would fit (3+3+1 ≤ 8) but packing must not leapfrog an
+	// equal-priority request — that would starve large submissions forever.
+	if !sameIDs(ids(rest), 3, 4) {
+		t.Fatalf("rest %v, want [3 4]", ids(rest))
+	}
+}
+
+// TestPackBatchDeadlinesFirst pins the priority order: deadline-carrying
+// requests pack before deadline-less ones, earliest first, FIFO within
+// ties.
+func TestPackBatchDeadlinesFirst(t *testing.T) {
+	pending := []*request{mkreq(1, 6, 0), mkreq(2, 2, 50), mkreq(3, 2, 10), mkreq(4, 2, 50)}
+	batch, rest := packBatch(pending, 8)
+	if !sameIDs(ids(batch), 3, 2, 4) {
+		t.Fatalf("batch %v, want deadline order [3 2 4]", ids(batch))
+	}
+	if !sameIDs(ids(rest), 1) {
+		t.Fatalf("rest %v, want the deadline-less [1] carried", ids(rest))
+	}
+}
+
+func postMatchDeadline(t *testing.T, ts *httptest.Server, tenant string, tasks []int, deadlineMs int64) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(MatchRequest{Tenant: tenant, Tasks: tasks, DeadlineMillis: deadlineMs})
+	resp, err := http.Post(ts.URL+"/v1/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/match: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestTightDeadlineNotStarvedByLargeRequest is the end-to-end starvation
+// pin: a large request arrives first and cannot share a round with the
+// small tight-deadline request that follows; the batcher must serve the
+// deadline request in the earlier round instead of making it wait behind
+// the bigger FIFO predecessor.
+func TestTightDeadlineNotStarvedByLargeRequest(t *testing.T) {
+	f := newFakeMatcher()
+	s := New(f, Config{Window: time.Second, MaxBatchTasks: 8})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	var large, tight MatchResponse
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, raw := postMatch(t, ts, "bulk", []int{0, 1, 2, 3, 4, 5})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("large request: status %d: %s", resp.StatusCode, raw)
+			return
+		}
+		large = decodeMatch(t, raw)
+	}()
+	// Let the batcher pick up the large request and open its window, then
+	// submit the urgent one: 6+4 > 8 forces a size flush with both pending.
+	time.Sleep(100 * time.Millisecond)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, raw := postMatchDeadline(t, ts, "urgent", []int{6, 7, 8, 9}, 5)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("tight request: status %d: %s", resp.StatusCode, raw)
+			return
+		}
+		tight = decodeMatch(t, raw)
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if tight.Round >= large.Round {
+		t.Fatalf("tight-deadline request served round %d, large FIFO predecessor round %d — deadline request was starved",
+			tight.Round, large.Round)
+	}
+	if tight.Coalesced != 1 || tight.BatchTasks != 4 {
+		t.Fatalf("tight-deadline response %+v, want its own 4-task round", tight)
+	}
+}
+
+// TestNegativeDeadlineRejected pins validation: deadline_ms < 0 is a 400
+// at the door, never a queued request.
+func TestNegativeDeadlineRejected(t *testing.T) {
+	f := newFakeMatcher()
+	s := New(f, Config{Window: 0})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, raw := postMatchDeadline(t, ts, "t", []int{1}, -7)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if len(f.servedRounds()) != 0 {
+		t.Fatal("rejected request reached the batcher")
+	}
+}
+
+// backendFake layers the optional Backend surface over the fake matcher,
+// as *platform.Session does.
+type backendFake struct {
+	*fakeMatcher
+	name string
+}
+
+func (b *backendFake) Backend() string { return b.name }
+
+// TestStatsReportBackend pins the /v1/stats backend field: present when
+// the matcher names its predictor family, absent otherwise.
+func TestStatsReportBackend(t *testing.T) {
+	s := New(&backendFake{fakeMatcher: newFakeMatcher(), name: "ensemble"}, Config{Window: 0})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb statsBody
+	if err := json.NewDecoder(resp.Body).Decode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sb.Backend != "ensemble" {
+		t.Fatalf("stats backend %q, want %q", sb.Backend, "ensemble")
+	}
+
+	plain := New(newFakeMatcher(), Config{Window: 0})
+	defer drain(t, plain)
+	tsPlain := httptest.NewServer(plain.Handler())
+	defer tsPlain.Close()
+	resp, err = http.Get(tsPlain.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(json.RawMessage(mustReadAll(t, resp)))
+	if bytes.Contains(raw, []byte(`"backend"`)) {
+		t.Fatalf("backend field present for a matcher without one: %s", raw)
+	}
+}
+
+func mustReadAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

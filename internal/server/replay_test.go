@@ -2,11 +2,14 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
+	"mfcp/internal/core"
 	"mfcp/internal/platform"
 	"mfcp/internal/workload"
 )
@@ -158,4 +161,81 @@ func TestConcurrentTenantsRealSession(t *testing.T) {
 		}
 	}
 	drain(t, s)
+}
+
+// TestEnsembleRiskServingEndToEnd is the uncertainty-serving race gate: a
+// real Session on the ensemble backend with RiskAversion > 0 and
+// asynchronous refits, driven by concurrent tenants through the full
+// HTTP → batcher → engine path. Enough rounds are pushed to cross several
+// refit boundaries, so background ensemble refits race live risk-shifted
+// predictions. Correctness is structural (valid clusters, well-formed
+// responses, the stats surface naming the backend); coalesced trajectories
+// are load-dependent by design.
+func TestEnsembleRiskServingEndToEnd(t *testing.T) {
+	cfg := replayOnlineCfg()
+	cfg.Rounds = 0 // unused by the session's composed path
+	cfg.MaxRoundTasks = 16
+	cfg.Backend = core.BackendEnsemble
+	cfg.Match.RiskAversion = 0.5
+	cfg.AsyncRefit = true
+	cfg.PretrainEpochs = 8
+	cfg.RefitEpochs = 2
+	sess, err := platform.NewSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Backend(); got != core.BackendEnsemble {
+		t.Fatalf("session backend %q, want %q", got, core.BackendEnsemble)
+	}
+	m := sess.M()
+	s := New(sess, Config{Window: 2 * time.Millisecond, MaxBatchTasks: 16})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		go func(i int) {
+			for j := 0; j < 5; j++ {
+				tasks := []int{(i*5 + j) % 36, (i*13 + j + 2) % 36}
+				resp, raw := postMatch(t, ts, "risk-tenant", tasks)
+				if resp.StatusCode != 200 {
+					done <- errorf("tenant %d round %d: status %d: %s", i, j, resp.StatusCode, raw)
+					return
+				}
+				mr := decodeMatch(t, raw)
+				if len(mr.Assignments) != 2 {
+					done <- errorf("tenant %d: %d assignments", i, len(mr.Assignments))
+					return
+				}
+				for _, a := range mr.Assignments {
+					if a.Cluster < 0 || a.Cluster >= m {
+						done <- errorf("tenant %d: cluster %d out of range", i, a.Cluster)
+						return
+					}
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 6; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb statsBody
+	if err := json.NewDecoder(resp.Body).Decode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sb.Backend != core.BackendEnsemble {
+		t.Fatalf("stats backend %q, want %q", sb.Backend, core.BackendEnsemble)
+	}
+	drain(t, s)
+	if sess.Refits() == 0 {
+		t.Fatal("no refits triggered; the test is not racing the ensemble refit path")
+	}
 }

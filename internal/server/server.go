@@ -111,6 +111,13 @@ func (c *Config) fillDefaults() {
 type MatchRequest struct {
 	Tenant string `json:"tenant"`
 	Tasks  []int  `json:"tasks"`
+	// DeadlineMillis is the client's soft latency budget in milliseconds
+	// from submission. The batcher packs tighter deadlines into rounds
+	// first, so a small urgent request is not starved behind a large earlier
+	// one when both cannot share a round. 0 means no deadline (packed after
+	// every deadline-carrying request, FIFO among themselves). A scheduling
+	// hint, not an SLA: the request is answered regardless.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 }
 
 // TaskAssignment is one task's placement and realized execution.
@@ -143,6 +150,9 @@ type request struct {
 	tenant   string
 	tasks    []int
 	enqueued time.Time
+	// deadline is the absolute client deadline (enqueued + DeadlineMillis);
+	// zero when the client sent none. Read only by the batcher's packing.
+	deadline time.Time
 	reply    chan reply
 }
 
@@ -158,6 +168,10 @@ type Server struct {
 	m   Matcher
 	met serverMetrics
 	mux *http.ServeMux
+
+	// backend is the matcher's predictor family name, captured once at
+	// construction for /v1/stats; empty when the matcher exposes none.
+	backend string
 
 	submit chan *request
 
@@ -212,6 +226,12 @@ func New(m Matcher, cfg Config) *Server {
 		traces:  obs.NewTraceRing(cfg.TraceCap),
 	}
 	s.served.Store(int64(m.Served()))
+	// The backend family is fixed for a session's lifetime (refits publish
+	// new weights, never a new family), so one capture at construction is
+	// enough for the stats surface.
+	if bk, ok := m.(interface{ Backend() string }); ok {
+		s.backend = bk.Backend()
+	}
 	// When the matcher exposes a trace hook (as *platform.Session does),
 	// capture each served round's phase timings for the request traces. The
 	// hook is installed before the batcher goroutine starts, so the write
@@ -343,6 +363,9 @@ func (s *Server) handleMatch(hw http.ResponseWriter, r *http.Request) {
 		enqueued: time.Now(),
 		reply:    make(chan reply, 1),
 	}
+	if req.DeadlineMillis > 0 {
+		rq.deadline = rq.enqueued.Add(time.Duration(req.DeadlineMillis) * time.Millisecond)
+	}
 	if !s.enqueue(rq) {
 		s.met.rejectQueue.Inc()
 		s.rejectTenant(tenant)
@@ -394,6 +417,9 @@ func (s *Server) validate(req *MatchRequest) error {
 	}
 	if len(req.Tasks) > s.cfg.MaxBatchTasks {
 		return mfcperr.Wrap(mfcperr.ErrBadShape, "server: %d tasks exceeds the %d per-request cap", len(req.Tasks), s.cfg.MaxBatchTasks)
+	}
+	if req.DeadlineMillis < 0 {
+		return mfcperr.Wrap(mfcperr.ErrBadShape, "server: negative deadline_ms %d", req.DeadlineMillis)
 	}
 	n := s.m.PoolLen()
 	for _, idx := range req.Tasks {
@@ -524,11 +550,13 @@ func (s *Server) tenantDigest() map[string]tenantStat {
 	return out
 }
 
-// statsBody is the /v1/stats response.
+// statsBody is the /v1/stats response. Backend names the predictor family
+// serving the matches (omitted when the matcher does not expose one).
 type statsBody struct {
 	Served    int64                 `json:"rounds_served"`
 	Accepted  int64                 `json:"requests_accepted"`
 	Answered  int64                 `json:"requests_answered"`
+	Backend   string                `json:"backend,omitempty"`
 	RingDepth int64                 `json:"ring_depth"`
 	RingCap   int                   `json:"ring_cap"`
 	QueueLen  int                   `json:"queue_len"`
@@ -545,6 +573,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Served:    s.served.Load(),
 		Accepted:  s.accepted.Load(),
 		Answered:  s.answered.Load(),
+		Backend:   s.backend,
 		RingDepth: s.ringDepth.Load(),
 		RingCap:   s.m.RingCap(),
 		QueueLen:  len(s.submit),

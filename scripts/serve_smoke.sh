@@ -12,6 +12,11 @@
 #
 # Usage: scripts/serve_smoke.sh [path-to-mfcpserve]
 # (builds the binary when not given). Run from the repository root.
+#
+# SERVE_BACKEND / SERVE_RISK select a predictor backend family and a
+# RiskAversion κ (ci.sh drives the ensemble+risk pass with a race-built
+# binary); unset they exercise the default MLP path. SERVE_ASYNC=1 turns
+# on background refits, so the refit path races live serving.
 set -eu
 
 BIN=${1:-}
@@ -19,6 +24,10 @@ if [ -z "$BIN" ]; then
 	BIN=$(mktemp -d)/mfcpserve
 	go build -o "$BIN" ./cmd/mfcpserve
 fi
+BACKEND=${SERVE_BACKEND:-}
+RISK=${SERVE_RISK:-0}
+ASYNC=
+[ "${SERVE_ASYNC:-0}" = "1" ] && ASYNC=-async-refit
 
 DIR=$(mktemp -d)
 CK=$DIR/serve.ckpt
@@ -33,7 +42,9 @@ fail() {
 	exit 1
 }
 
+# shellcheck disable=SC2086  # $ASYNC is deliberately word-split (flag or empty)
 "$BIN" -addr "$ADDR" -method tsm -pool 48 -n 4 \
+	-backend "$BACKEND" -risk "$RISK" $ASYNC \
 	-pretrain-epochs 30 -regret-epochs 4 -refit-every 3 \
 	-window 2ms -max-batch 16 -checkpoint "$CK" >"$LOG" 2>&1 &
 PID=$!
@@ -61,6 +72,24 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
 	"http://$ADDR/v1/match" -d '{"tenant":"smoke","tasks":[]}')
 [ "$CODE" = "400" ] || fail "empty batch answered $CODE, want 400"
 
+# Cross a refit boundary (-refit-every 3): three more batches, so the
+# predictor refit path runs live under the serving process.
+for i in 4 5 6; do
+	curl -sf -X POST "http://$ADDR/v1/match" \
+		-d "{\"tenant\":\"smoke\",\"tasks\":[$i]}" >/dev/null ||
+		fail "refit-window batch $i failed"
+done
+
+# Await the published refit before scraping — with -async-refit it lands
+# in the background, decoupled from the POST that crossed the boundary.
+i=0
+until curl -sf "http://$ADDR/metrics" 2>/dev/null |
+	grep -q "^mfcp_backend_refits_total{backend=\"${BACKEND:-mlp}\"} [1-9]"; do
+	i=$((i + 1))
+	[ "$i" -gt 150 ] && fail "refit never published"
+	sleep 0.2
+done
+
 # Telemetry: the served request must show up in the counters, including the
 # per-tenant labeled families, and the exposition must pass the format lint.
 METRICS=$(curl -sf "http://$ADDR/metrics") || fail "metrics endpoint down"
@@ -75,6 +104,17 @@ for series in \
 	echo "$METRICS" | grep -q "^$series" || fail "missing nonzero series: $series"
 done
 echo "$METRICS" | sh scripts/promtext_lint.sh || fail "exposition failed the format lint"
+
+# Backend attribution: served rounds and the published refit must land on
+# the per-backend labeled series, and /v1/stats must name the family.
+WANT_BACKEND=${BACKEND:-mlp}
+echo "$METRICS" | grep -q "^mfcp_backend_rounds_total{backend=\"$WANT_BACKEND\"} [1-9]" ||
+	fail "missing nonzero mfcp_backend_rounds_total{backend=\"$WANT_BACKEND\"}"
+echo "$METRICS" | grep -q "^mfcp_backend_refits_total{backend=\"$WANT_BACKEND\"} [1-9]" ||
+	fail "missing nonzero mfcp_backend_refits_total{backend=\"$WANT_BACKEND\"}"
+STATS=$(curl -sf "http://$ADDR/v1/stats") || fail "stats endpoint down"
+echo "$STATS" | grep -q "\"backend\":\"$WANT_BACKEND\"" ||
+	fail "stats does not name backend $WANT_BACKEND: $STATS"
 
 # Request tracing: the served request must be findable at /debug/traces
 # with engine phase timings attached.
